@@ -1,0 +1,47 @@
+//! Fig. 2a reproduction: Kendall-τ versus the NTK condition index K_i on
+//! CIFAR-10 / CIFAR-100 / ImageNet16-120.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::run_fig2a;
+use micronas_bench::{banner, bench_config, correlation_sample_size};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::{NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+
+fn print_figure() {
+    banner("Fig. 2a — Kendall-τ vs condition index K_i", "Fig. 2a");
+    let config = bench_config();
+    let series =
+        run_fig2a(&config, correlation_sample_size(), 16).expect("fig 2a experiment");
+    print!("{:<16}", "K_i");
+    for i in 1..=16 {
+        print!("{i:>7}");
+    }
+    println!();
+    for s in &series {
+        print!("{:<16}", s.dataset);
+        for tau in &s.taus {
+            print!("{tau:>7.3}");
+        }
+        println!("   (best index K_{})", s.best_index());
+    }
+    println!();
+    println!("Paper reference: τ ≈ 0.3–0.6 for small i on all three datasets, declining for large i.");
+}
+
+fn bench_ntk_evaluation(c: &mut Criterion) {
+    print_figure();
+    let config = bench_config();
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(8_888).expect("valid index");
+    let evaluator = NtkEvaluator::new(NtkConfig { max_condition_index: 16, ..config.ntk });
+    let mut group = c.benchmark_group("fig2a");
+    group.sample_size(10);
+    group.bench_function("ntk_condition_single_architecture", |b| {
+        b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 0).expect("ntk").condition_number)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntk_evaluation);
+criterion_main!(benches);

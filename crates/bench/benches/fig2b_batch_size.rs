@@ -1,0 +1,66 @@
+//! Fig. 2b reproduction: Kendall-τ versus NTK batch size (three seeds plus
+//! their average).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micronas::experiments::run_fig2b;
+use micronas_bench::{banner, bench_config, correlation_sample_size, paper_scale};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::{NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+
+fn batch_sizes() -> Vec<usize> {
+    if paper_scale() {
+        vec![4, 8, 16, 32, 64, 128]
+    } else {
+        vec![4, 8, 16, 32]
+    }
+}
+
+fn print_figure() {
+    banner("Fig. 2b — Kendall-τ vs NTK batch size", "Fig. 2b");
+    let config = bench_config();
+    let sizes = batch_sizes();
+    let result =
+        run_fig2b(&config, correlation_sample_size() / 2, &sizes, 3).expect("fig 2b experiment");
+    print!("{:<10}", "batch");
+    for b in &result.batch_sizes {
+        print!("{b:>8}");
+    }
+    println!();
+    for (i, seed_taus) in result.taus_per_seed.iter().enumerate() {
+        print!("seed {i:<5}");
+        for tau in seed_taus {
+            print!("{tau:>8.3}");
+        }
+        println!();
+    }
+    print!("{:<10}", "average");
+    for tau in &result.average {
+        print!("{tau:>8.3}");
+    }
+    println!();
+    println!(
+        "Knee batch size (within 0.05 of best τ): {}",
+        result.knee_batch_size(0.05)
+    );
+    println!("Paper reference: τ plateaus in the 16–32 range; beyond 32 the cost rises with no τ gain.");
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    print_figure();
+    let config = bench_config();
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(12_345).expect("valid index");
+    let mut group = c.benchmark_group("fig2b_ntk_batch");
+    group.sample_size(10);
+    for batch in [8usize, 32] {
+        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 0).expect("ntk").condition_number)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! §III FLOPs-guided versus latency-guided search comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::run_flops_vs_latency;
+use micronas_bench::{banner, bench_config};
+use micronas_hw::FlopsEstimator;
+use micronas_searchspace::{MacroSkeleton, SearchSpace};
+
+fn print_comparison() {
+    banner("FLOPs-guided vs latency-guided search", "§III guidance comparison");
+    let config = bench_config();
+    let cmp = run_flops_vs_latency(&config, 2.0).expect("guidance comparison");
+    println!(
+        "{:<26} {:>12} {:>10} {:>12} {:>10}",
+        "objective", "latency(ms)", "FLOPs(M)", "speedup", "ACC(%)"
+    );
+    for (name, p) in [
+        ("proxy-only baseline", &cmp.baseline),
+        ("FLOPs-guided", &cmp.flops_guided),
+        ("latency-guided", &cmp.latency_guided),
+    ] {
+        println!(
+            "{:<26} {:>12.1} {:>10.1} {:>11.2}x {:>10.2}",
+            name, p.latency_ms, p.flops_m, p.speedup_vs_baseline, p.accuracy
+        );
+    }
+    println!();
+    println!("Paper reference: the latency-guided search is superior and more balanced than the FLOPs-guided one,");
+    println!("because the latency model carries MCU-specific bias that raw FLOPs miss.");
+}
+
+fn bench_flops_estimator(c: &mut Criterion) {
+    print_comparison();
+    let space = SearchSpace::nas_bench_201();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let estimator = FlopsEstimator::new();
+    let cells: Vec<_> = (0..256).map(|i| space.cell(i * 61).expect("valid")).collect();
+    let mut group = c.benchmark_group("flops_vs_latency");
+    group.bench_function("flops_estimate_256_architectures", |b| {
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cell| estimator.cell_in_skeleton(cell, &skeleton).flops)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flops_estimator);
+criterion_main!(benches);

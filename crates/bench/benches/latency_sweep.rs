@@ -1,0 +1,48 @@
+//! §III latency-guided sweep: the 1.59×–3.23× speed-up band at negligible
+//! accuracy loss, obtained by sweeping the latency weight.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::run_latency_sweep;
+use micronas_bench::{banner, bench_config};
+use micronas_hw::LatencyEstimator;
+use micronas_mcu::McuSpec;
+use micronas_searchspace::{MacroSkeleton, SearchSpace};
+
+fn print_sweep() {
+    banner("Latency-guided weight sweep", "§III latency advantage band (1.59x–3.23x)");
+    let config = bench_config();
+    let points = run_latency_sweep(&config, &[0.5, 1.0, 2.0, 4.0, 8.0]).expect("latency sweep");
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "weight", "latency(ms)", "FLOPs(M)", "speedup", "ACC(%)"
+    );
+    for p in &points {
+        println!(
+            "{:<10.1} {:>12.1} {:>10.1} {:>11.2}x {:>10.2}",
+            p.hardware_weight, p.latency_ms, p.flops_m, p.speedup_vs_baseline, p.accuracy
+        );
+    }
+    println!();
+    println!("Paper reference: speed-ups from 1.59x to 3.23x over the proxy-only baseline with negligible accuracy loss.");
+}
+
+fn bench_latency_estimator(c: &mut Criterion) {
+    print_sweep();
+    let space = SearchSpace::nas_bench_201();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let estimator = LatencyEstimator::new(McuSpec::stm32f746zg());
+    let cells: Vec<_> = (0..64).map(|i| space.cell(i * 244).expect("valid")).collect();
+    let mut group = c.benchmark_group("latency_sweep");
+    group.bench_function("latency_lut_estimate_64_architectures", |b| {
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cell| estimator.cell_latency_ms(cell, &skeleton))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_estimator);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §IV future-work extension: peak-memory-guided search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::run_memory_guided;
+use micronas_bench::{banner, bench_config};
+use micronas_hw::MemoryEstimator;
+use micronas_searchspace::{MacroSkeleton, SearchSpace};
+
+fn print_sweep() {
+    banner("Peak-memory-guided search (extension)", "§IV future work: peak memory modelling");
+    let config = bench_config();
+    let points = run_memory_guided(&config, &[2.0, 8.0]).expect("memory-guided sweep");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "weight", "peak SRAM(KiB)", "latency(ms)", "ACC(%)"
+    );
+    for p in &points {
+        println!(
+            "{:<10.1} {:>14.1} {:>12.1} {:>10.2}",
+            p.hardware_weight, p.peak_sram_kib, p.latency_ms, p.accuracy
+        );
+    }
+    println!();
+    println!("The paper lists peak-memory guidance as future work; this extension shows the same pruning");
+    println!("machinery accepts an SRAM term and trades activation footprint against accuracy.");
+}
+
+fn bench_memory_estimator(c: &mut Criterion) {
+    print_sweep();
+    let space = SearchSpace::nas_bench_201();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let estimator = MemoryEstimator::new();
+    let cells: Vec<_> = (0..256).map(|i| space.cell(i * 61).expect("valid")).collect();
+    let mut group = c.benchmark_group("memory_guided");
+    group.bench_function("peak_memory_estimate_256_architectures", |b| {
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cell| estimator.cell_in_skeleton(cell, &skeleton).peak_activation_bytes)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_estimator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! §II-A.1 cost analysis: NTK evaluation wall-clock versus batch size
+//! (the cost half of the batch-size-32 trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micronas::experiments::run_ntk_cost;
+use micronas_bench::{banner, bench_config, paper_scale};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::{NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+
+fn print_costs() {
+    banner("NTK evaluation cost vs batch size", "§II-A.1 search-cost argument for batch 32");
+    let config = bench_config();
+    let sizes: Vec<usize> =
+        if paper_scale() { vec![4, 8, 16, 32, 64, 128] } else { vec![4, 8, 16, 32] };
+    let points = run_ntk_cost(&config, &sizes, 8).expect("ntk cost experiment");
+    println!("{:<10} {:>22}", "batch", "seconds / architecture");
+    for p in &points {
+        println!("{:<10} {:>22.4}", p.batch_size, p.seconds_per_architecture);
+    }
+    println!();
+    println!("Paper reference: increasing the batch beyond 32 escalates search cost without improving Kendall-τ.");
+}
+
+fn bench_ntk_cost(c: &mut Criterion) {
+    print_costs();
+    let config = bench_config();
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(7_000).expect("valid index");
+    let mut group = c.benchmark_group("ntk_cost");
+    group.sample_size(10);
+    for batch in [4usize, 16, 32] {
+        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 1).expect("ntk").condition_number)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntk_cost);
+criterion_main!(benches);

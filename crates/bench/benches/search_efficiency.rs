@@ -1,0 +1,72 @@
+//! §III / Table I search-time comparison: the ≈1104× efficiency claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::run_search_efficiency;
+use micronas::{EvolutionaryConfig, MicroNasSearch, SearchContext};
+use micronas_bench::{banner, bench_config, paper_scale};
+use micronas_datasets::DatasetKind;
+
+fn print_report() {
+    banner("Search-efficiency comparison", "Table I search time + §III 1104x claim");
+    let config = bench_config();
+    let evolution = if paper_scale() {
+        EvolutionaryConfig::munas_default()
+    } else {
+        EvolutionaryConfig { population: 24, cycles: 120, sample_size: 5 }
+    };
+    let report = run_search_efficiency(&config, evolution, 2.0).expect("efficiency experiment");
+    println!(
+        "{:<42} {:>14} {:>16} {:>12} {:>8}",
+        "framework", "wall clock(s)", "simulated GPU h", "evaluations", "ACC(%)"
+    );
+    println!(
+        "{:<42} {:>14.1} {:>16.1} {:>12} {:>8.2}",
+        "µNAS-style evolution (training-based)",
+        report.munas.wall_clock_seconds,
+        report.munas.simulated_gpu_hours,
+        report.munas.evaluations,
+        report.accuracies[0]
+    );
+    println!(
+        "{:<42} {:>14.1} {:>16.1} {:>12} {:>8.2}",
+        "TE-NAS (proxy-only pruning)",
+        report.te_nas.wall_clock_seconds,
+        report.te_nas.simulated_gpu_hours,
+        report.te_nas.evaluations,
+        report.accuracies[1]
+    );
+    println!(
+        "{:<42} {:>14.1} {:>16.1} {:>12} {:>8.2}",
+        "MicroNAS (latency-guided)",
+        report.micronas.wall_clock_seconds,
+        report.micronas.simulated_gpu_hours,
+        report.micronas.evaluations,
+        report.accuracies[2]
+    );
+    println!();
+    println!(
+        "Efficiency of MicroNAS vs µNAS-style search: {:.0}x   (paper: ≈1104x)",
+        report.efficiency_vs_munas
+    );
+    println!(
+        "Efficiency of MicroNAS vs TE-NAS:            {:.2}x   (paper: equal, 0.43 GPU hours each)",
+        report.efficiency_vs_te_nas
+    );
+}
+
+fn bench_te_nas_search(c: &mut Criterion) {
+    print_report();
+    let config = bench_config();
+    let mut group = c.benchmark_group("search_efficiency");
+    group.sample_size(10);
+    group.bench_function("te_nas_proxy_only_search", |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(DatasetKind::Cifar10, &config).expect("context");
+            MicroNasSearch::te_nas_baseline(&config).run(&ctx).expect("search").best.index()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_te_nas_search);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table I reproduction: µNAS vs TE-NAS vs MicroNAS on CIFAR-10.
+//!
+//! Prints the reproduced table, then benchmarks the latency-guided pruning
+//! search (the MicroNAS row) with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::{run_table1, Table1Row};
+use micronas::{EvolutionaryConfig, MicroNasSearch, ObjectiveWeights, SearchContext};
+use micronas_bench::{banner, bench_config, paper_scale};
+use micronas_datasets::DatasetKind;
+
+fn print_table() {
+    banner("Table I — Results on CIFAR-10", "Table I (µNAS / TE-NAS / MicroNAS)");
+    let config = bench_config();
+    let evolution = if paper_scale() {
+        EvolutionaryConfig::munas_default()
+    } else {
+        EvolutionaryConfig { population: 24, cycles: 120, sample_size: 5 }
+    };
+    let rows = run_table1(&config, evolution, 2.0).expect("table 1 experiment");
+    println!("{}", Table1Row::header());
+    for row in &rows {
+        println!("{}", row.formatted());
+    }
+    println!();
+    println!("Paper reference values: µNAS 0.014M params / 552h / 86.49%;");
+    println!("TE-NAS 188.66 MFLOPs / 1.317M / 0.43h / 93.78%; MicroNAS 51.04 MFLOPs / 0.372M / 3.23x / 0.43h / 93.88%");
+}
+
+fn bench_micronas_search(c: &mut Criterion) {
+    print_table();
+    let config = bench_config();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("micronas_latency_guided_search", |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(DatasetKind::Cifar10, &config).expect("context");
+            MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
+                .run(&ctx)
+                .expect("search")
+                .best
+                .index()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micronas_search);
+criterion_main!(benches);

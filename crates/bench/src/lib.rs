@@ -1,0 +1,77 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every table and figure of the paper has a Criterion bench target in
+//! `benches/`; each target
+//!
+//! 1. regenerates its table / figure once and prints the rows or series in
+//!    the same layout the paper uses, and
+//! 2. benchmarks the representative inner kernel of that experiment with
+//!    Criterion, so `cargo bench` also reports stable timing numbers.
+//!
+//! By default the experiments run at a reduced-but-faithful scale so a full
+//! `cargo bench --workspace` completes in minutes. Set the environment
+//! variable `MICRONAS_PAPER_SCALE=1` to run the paper-scale configuration
+//! (batch-32 NTK on the 16×16 proxy networks) instead.
+
+use micronas::MicroNasConfig;
+
+/// Returns the experiment configuration for benchmark runs.
+///
+/// Reduced scale (default) uses the batch-12 NTK on 12×12 proxies; paper
+/// scale (`MICRONAS_PAPER_SCALE=1`) uses the batch-32 NTK on 16×16 proxies,
+/// matching the setting the paper adopts.
+pub fn bench_config() -> MicroNasConfig {
+    if paper_scale() {
+        MicroNasConfig::paper_default()
+    } else {
+        MicroNasConfig::fast()
+    }
+}
+
+/// Whether paper-scale mode was requested via `MICRONAS_PAPER_SCALE=1`.
+pub fn paper_scale() -> bool {
+    std::env::var("MICRONAS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Number of architectures sampled for correlation experiments at the current
+/// scale.
+pub fn correlation_sample_size() -> usize {
+    if paper_scale() {
+        200
+    } else {
+        64
+    }
+}
+
+/// Prints a banner identifying the experiment and its scale.
+pub fn banner(experiment: &str, paper_reference: &str) {
+    println!();
+    println!("================================================================");
+    println!("MicroNAS reproduction — {experiment}");
+    println!("Reproduces: {paper_reference}");
+    println!(
+        "Scale: {}",
+        if paper_scale() { "paper (MICRONAS_PAPER_SCALE=1)" } else { "reduced (default)" }
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_reduced() {
+        // The environment variable is not set in the test environment.
+        if std::env::var("MICRONAS_PAPER_SCALE").is_err() {
+            assert!(!paper_scale());
+            assert_eq!(correlation_sample_size(), 64);
+            assert_eq!(bench_config(), MicroNasConfig::fast());
+        }
+    }
+
+    #[test]
+    fn banner_does_not_panic() {
+        banner("test", "none");
+    }
+}

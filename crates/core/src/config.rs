@@ -1,0 +1,158 @@
+use crate::{MicroNasError, Result};
+use micronas_hw::HardwareConstraints;
+use micronas_mcu::McuSpec;
+use micronas_nn::ProxyNetworkConfig;
+use micronas_proxies::{LinearRegionConfig, NtkConfig};
+use serde::{Deserialize, Serialize};
+
+/// Top-level configuration of a MicroNAS run: proxy settings, target device,
+/// hardware constraints and reproducibility seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroNasConfig {
+    /// NTK proxy configuration (the paper adopts batch size 32).
+    pub ntk: NtkConfig,
+    /// Linear-region proxy configuration.
+    pub linear_regions: LinearRegionConfig,
+    /// Target microcontroller.
+    pub mcu: McuSpec,
+    /// Hardware budgets enforced during the search.
+    pub constraints: HardwareConstraints,
+    /// Global seed for every stochastic component.
+    pub seed: u64,
+}
+
+impl MicroNasConfig {
+    /// The configuration used for the paper-scale experiments: batch-32 NTK
+    /// on the STM32F746ZG with the device's memory budgets.
+    pub fn paper_default() -> Self {
+        let mcu = McuSpec::stm32f746zg();
+        Self {
+            ntk: NtkConfig::paper_default(),
+            linear_regions: LinearRegionConfig::paper_default(),
+            constraints: HardwareConstraints::for_device(&mcu),
+            mcu,
+            seed: 0,
+        }
+    }
+
+    /// A reduced configuration that keeps searches fast enough for unit
+    /// tests and quick experimentation, while the NTK proxy still ranks
+    /// architectures the way the paper-scale configuration does
+    /// (12×12 probes, 6 channels, batch-12 NTK).
+    pub fn fast() -> Self {
+        let mcu = McuSpec::stm32f746zg();
+        Self {
+            ntk: NtkConfig::fast(),
+            linear_regions: LinearRegionConfig::fast(),
+            constraints: HardwareConstraints::unconstrained(),
+            mcu,
+            seed: 0,
+        }
+    }
+
+    /// Alias of [`MicroNasConfig::fast`] used by the shape-checking
+    /// experiment tests; kept separate so the test intent is explicit.
+    pub fn small() -> Self {
+        Self::fast()
+    }
+
+    /// An even smaller configuration used by the test-suite: 6×6 probe
+    /// inputs, 3-channel networks, 4-sample NTK batches.
+    pub fn tiny_test() -> Self {
+        let network = ProxyNetworkConfig {
+            input_channels: 3,
+            input_resolution: 6,
+            channels: 3,
+            num_cells: 1,
+            num_classes: 10,
+            init: micronas_tensor::InitKind::KaimingNormal,
+        };
+        let mcu = McuSpec::stm32f746zg();
+        Self {
+            ntk: NtkConfig { batch_size: 4, repeats: 1, network, max_condition_index: 4 },
+            linear_regions: LinearRegionConfig {
+                num_segments: 2,
+                points_per_segment: 6,
+                network,
+            },
+            constraints: HardwareConstraints::unconstrained(),
+            mcu,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed, keeping everything else.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the hardware constraints, keeping everything else.
+    pub fn with_constraints(mut self, constraints: HardwareConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroNasError::InvalidConfig`] for degenerate proxy settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.ntk.batch_size < 2 {
+            return Err(MicroNasError::InvalidConfig("NTK batch size must be at least 2".into()));
+        }
+        if self.linear_regions.num_segments == 0 {
+            return Err(MicroNasError::InvalidConfig(
+                "at least one linear-region probe segment is required".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MicroNasConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(MicroNasConfig::paper_default().validate().is_ok());
+        assert!(MicroNasConfig::fast().validate().is_ok());
+        assert!(MicroNasConfig::small().validate().is_ok());
+        assert!(MicroNasConfig::tiny_test().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_matches_paper_settings() {
+        let cfg = MicroNasConfig::paper_default();
+        assert_eq!(cfg.ntk.batch_size, 32, "the paper adopts a batch size of 32");
+        assert!(cfg.mcu.name.contains("STM32F746"));
+        assert_eq!(cfg.constraints.max_sram_kib, Some(320.0));
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let cfg = MicroNasConfig::fast().with_seed(99);
+        assert_eq!(cfg.seed, 99);
+        let c = HardwareConstraints::unconstrained().with_latency_ms(100.0);
+        let cfg = cfg.with_constraints(c);
+        assert_eq!(cfg.constraints.max_latency_ms, Some(100.0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = MicroNasConfig::fast();
+        cfg.ntk.batch_size = 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = MicroNasConfig::fast();
+        cfg.linear_regions.num_segments = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,200 @@
+use crate::{MicroNasConfig, Result};
+use micronas_datasets::DatasetKind;
+use micronas_hw::{HardwareConstraints, HardwareEvaluator, HardwareIndicators};
+use micronas_nasbench::SurrogateBenchmark;
+use micronas_proxies::{ZeroCostEvaluator, ZeroCostMetrics};
+use micronas_searchspace::{Architecture, CellTopology, MacroSkeleton, SearchSpace};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything a search algorithm needs to evaluate candidates on one dataset:
+/// the search space, the zero-cost proxies, the hardware evaluator, the
+/// hardware budgets and (for baselines and final reporting only) the
+/// surrogate accuracy benchmark.
+///
+/// Candidate evaluations are cached by architecture index, so repeated visits
+/// during pruning or evolution are free — mirroring how the paper's
+/// implementation caches its per-operation measurements.
+pub struct SearchContext {
+    space: SearchSpace,
+    dataset: DatasetKind,
+    zero_cost: ZeroCostEvaluator,
+    hardware: HardwareEvaluator,
+    constraints: HardwareConstraints,
+    benchmark: SurrogateBenchmark,
+    seed: u64,
+    cache: Mutex<HashMap<usize, CandidateEvaluation>>,
+    evaluations: Mutex<usize>,
+}
+
+/// The cached evaluation record of one candidate architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEvaluation {
+    /// The candidate's index in the search space.
+    pub arch_index: usize,
+    /// Zero-cost network-analysis metrics.
+    pub zero_cost: ZeroCostMetrics,
+    /// Hardware indicators.
+    pub hardware: HardwareIndicators,
+    /// Whether the candidate satisfies the context's hardware constraints.
+    pub feasible: bool,
+}
+
+impl SearchContext {
+    /// Builds a context for `dataset` from a [`MicroNasConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(dataset: DatasetKind, config: &MicroNasConfig) -> Result<Self> {
+        config.validate()?;
+        let benchmark = SurrogateBenchmark::new(config.seed);
+        let skeleton = benchmark.skeleton_for(dataset);
+        Ok(Self {
+            space: SearchSpace::nas_bench_201(),
+            dataset,
+            zero_cost: ZeroCostEvaluator::new(config.ntk, config.linear_regions),
+            hardware: HardwareEvaluator::new(skeleton, config.mcu.clone()),
+            constraints: config.constraints,
+            benchmark,
+            seed: config.seed,
+            cache: Mutex::new(HashMap::new()),
+            evaluations: Mutex::new(0),
+        })
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The dataset the search targets.
+    pub fn dataset(&self) -> DatasetKind {
+        self.dataset
+    }
+
+    /// The hardware budgets in force.
+    pub fn constraints(&self) -> &HardwareConstraints {
+        &self.constraints
+    }
+
+    /// The macro skeleton used for hardware estimation.
+    pub fn skeleton(&self) -> &MacroSkeleton {
+        self.hardware.skeleton()
+    }
+
+    /// The surrogate benchmark (used by training-based baselines and for
+    /// reporting the final accuracy of discovered models).
+    pub fn benchmark(&self) -> &SurrogateBenchmark {
+        &self.benchmark
+    }
+
+    /// The hardware evaluator.
+    pub fn hardware(&self) -> &HardwareEvaluator {
+        &self.hardware
+    }
+
+    /// The zero-cost evaluator.
+    pub fn zero_cost(&self) -> &ZeroCostEvaluator {
+        &self.zero_cost
+    }
+
+    /// The reproducibility seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of distinct architectures evaluated so far (cache misses).
+    pub fn evaluation_count(&self) -> usize {
+        *self.evaluations.lock()
+    }
+
+    /// Evaluates (or retrieves from cache) the zero-cost and hardware
+    /// indicators of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy evaluation failures.
+    pub fn evaluate(&self, cell: CellTopology) -> Result<CandidateEvaluation> {
+        let arch = Architecture::from_cell(&self.space, cell);
+        if let Some(hit) = self.cache.lock().get(&arch.index()) {
+            return Ok(*hit);
+        }
+        let zero_cost = self.zero_cost.evaluate(cell, self.dataset, self.seed)?;
+        let hardware = self.hardware.evaluate(cell);
+        let feasible = self.constraints.satisfied_by(&hardware);
+        let eval = CandidateEvaluation { arch_index: arch.index(), zero_cost, hardware, feasible };
+        self.cache.lock().insert(arch.index(), eval);
+        *self.evaluations.lock() += 1;
+        Ok(eval)
+    }
+
+    /// The surrogate "trained" accuracy of an architecture — never consulted
+    /// by the zero-shot search itself, only by training-based baselines and
+    /// final reporting.
+    pub fn trained_accuracy(&self, arch: &Architecture) -> f64 {
+        self.benchmark.query(arch, self.dataset).test_accuracy
+    }
+}
+
+impl std::fmt::Debug for SearchContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchContext")
+            .field("dataset", &self.dataset)
+            .field("seed", &self.seed)
+            .field("cached_evaluations", &self.cache.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MicroNasConfig;
+    use micronas_searchspace::Operation;
+
+    #[test]
+    fn evaluations_are_cached() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let cell = ctx.space().cell(5_000).unwrap();
+        let a = ctx.evaluate(cell).unwrap();
+        assert_eq!(ctx.evaluation_count(), 1);
+        let b = ctx.evaluate(cell).unwrap();
+        assert_eq!(ctx.evaluation_count(), 1, "second evaluation must hit the cache");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feasibility_reflects_constraints() {
+        let config = MicroNasConfig::tiny_test().with_constraints(
+            micronas_hw::HardwareConstraints::unconstrained().with_latency_ms(1e-6),
+        );
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let eval = ctx.evaluate(CellTopology::new([Operation::NorConv3x3; 6])).unwrap();
+        assert!(!eval.feasible, "an impossible latency budget marks everything infeasible");
+
+        let relaxed = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &relaxed).unwrap();
+        let eval = ctx.evaluate(CellTopology::new([Operation::NorConv3x3; 6])).unwrap();
+        assert!(eval.feasible);
+    }
+
+    #[test]
+    fn trained_accuracy_comes_from_the_surrogate() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let arch = ctx.space().architecture(1_234).unwrap();
+        let acc = ctx.trained_accuracy(&arch);
+        let direct = ctx.benchmark().query(&arch, DatasetKind::Cifar10).test_accuracy;
+        assert_eq!(acc, direct);
+    }
+
+    #[test]
+    fn debug_format_mentions_dataset() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar100, &config).unwrap();
+        assert!(format!("{ctx:?}").contains("Cifar100"));
+    }
+}

@@ -1,0 +1,61 @@
+use serde::{Deserialize, Serialize};
+
+/// Search-cost accounting, used for the paper's efficiency comparison
+/// (Table I "Search Time" column and the ≈1104× claim).
+///
+/// Zero-shot searches are charged their measured wall-clock time. Training
+/// based baselines (µNAS-style evolution) are additionally charged the
+/// *simulated* GPU hours that fully training their evaluated candidates would
+/// have cost, because that — not the negligible surrogate lookup — is what a
+/// real deployment would pay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SearchCost {
+    /// Measured wall-clock duration of the search in seconds.
+    pub wall_clock_seconds: f64,
+    /// Simulated training cost charged to the search, in GPU hours
+    /// (zero for train-free methods).
+    pub simulated_gpu_hours: f64,
+    /// Number of candidate architectures evaluated.
+    pub evaluations: usize,
+}
+
+impl SearchCost {
+    /// Total cost expressed in hours: wall clock plus simulated training.
+    pub fn total_hours(&self) -> f64 {
+        self.wall_clock_seconds / 3_600.0 + self.simulated_gpu_hours
+    }
+
+    /// Efficiency factor of `self` relative to `other`
+    /// (how many times cheaper `self` is).
+    pub fn efficiency_vs(&self, other: &SearchCost) -> f64 {
+        other.total_hours() / self.total_hours().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_hours_combines_both_components() {
+        let c = SearchCost { wall_clock_seconds: 3_600.0, simulated_gpu_hours: 2.0, evaluations: 10 };
+        assert!((c.total_hours() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_ratio_matches_paper_style_comparison() {
+        // A 552 GPU-hour baseline versus a half-GPU-hour zero-shot search is
+        // roughly a 1100x efficiency gap — the shape of the paper's claim.
+        let micro = SearchCost { wall_clock_seconds: 1_800.0, simulated_gpu_hours: 0.0, evaluations: 400 };
+        let munas = SearchCost { wall_clock_seconds: 0.0, simulated_gpu_hours: 552.0, evaluations: 500 };
+        let ratio = micro.efficiency_vs(&munas);
+        assert!(ratio > 1_000.0 && ratio < 1_300.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_handles_zero_cost_gracefully() {
+        let zero = SearchCost::default();
+        let other = SearchCost { wall_clock_seconds: 60.0, ..Default::default() };
+        assert!(zero.efficiency_vs(&other).is_finite());
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced by the MicroNAS search framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroNasError {
+    /// A zero-cost proxy evaluation failed.
+    Proxy(String),
+    /// A search-space operation failed (invalid prune, bad index, ...).
+    SearchSpace(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The search could not find any architecture satisfying the constraints.
+    NoFeasibleArchitecture,
+}
+
+impl fmt::Display for MicroNasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroNasError::Proxy(msg) => write!(f, "proxy evaluation failed: {msg}"),
+            MicroNasError::SearchSpace(msg) => write!(f, "search space operation failed: {msg}"),
+            MicroNasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MicroNasError::NoFeasibleArchitecture => {
+                write!(f, "no architecture satisfies the hardware constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicroNasError {}
+
+impl From<micronas_proxies::ProxyError> for MicroNasError {
+    fn from(e: micronas_proxies::ProxyError) -> Self {
+        MicroNasError::Proxy(e.to_string())
+    }
+}
+
+impl From<micronas_searchspace::SearchSpaceError> for MicroNasError {
+    fn from(e: micronas_searchspace::SearchSpaceError) -> Self {
+        MicroNasError::SearchSpace(e.to_string())
+    }
+}
+
+impl From<micronas_nn::NnError> for MicroNasError {
+    fn from(e: micronas_nn::NnError) -> Self {
+        MicroNasError::Proxy(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MicroNasError = micronas_proxies::ProxyError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("proxy"));
+        let e: MicroNasError =
+            micronas_searchspace::SearchSpaceError::InvalidEdge(9).into();
+        assert!(e.to_string().contains("search space"));
+        assert!(MicroNasError::NoFeasibleArchitecture.to_string().contains("constraints"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MicroNasError>();
+    }
+}

@@ -1,0 +1,234 @@
+use crate::{MicroNasConfig, Result};
+use micronas_datasets::DatasetKind;
+use micronas_nasbench::SurrogateBenchmark;
+use micronas_proxies::{correlation::kendall_tau, NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Kendall-τ of the NTK condition index K_i against accuracy, for one dataset
+/// (one line of Fig. 2a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2aSeries {
+    /// Dataset of this series.
+    pub dataset: String,
+    /// τ values indexed by `i - 1` for K_i, i = 1..=max_index.
+    pub taus: Vec<f64>,
+    /// Number of architectures sampled.
+    pub sample_size: usize,
+}
+
+impl Fig2aSeries {
+    /// The condition index with the strongest (most positive) correlation.
+    pub fn best_index(&self) -> usize {
+        self.taus
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("taus are finite"))
+            .map(|(i, _)| i + 1)
+            .unwrap_or(1)
+    }
+}
+
+/// Result of the Fig. 2b batch-size sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2bResult {
+    /// Batch sizes evaluated (the paper sweeps 4–128 on a log scale).
+    pub batch_sizes: Vec<usize>,
+    /// Kendall-τ per seed: `taus_per_seed[seed][batch_index]`.
+    pub taus_per_seed: Vec<Vec<f64>>,
+    /// Average τ across seeds per batch size.
+    pub average: Vec<f64>,
+    /// Number of architectures sampled.
+    pub sample_size: usize,
+}
+
+impl Fig2bResult {
+    /// The smallest batch size whose average τ is within `tolerance` of the
+    /// best average τ — the "knee" the paper uses to justify batch 32.
+    pub fn knee_batch_size(&self, tolerance: f64) -> usize {
+        let best = self.average.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (i, &tau) in self.average.iter().enumerate() {
+            if tau >= best - tolerance {
+                return self.batch_sizes[i];
+            }
+        }
+        *self.batch_sizes.last().expect("batch size list is non-empty")
+    }
+}
+
+/// Samples `sample_size` architectures evenly across the space, restricted to
+/// "trainable" ones (connected cells), matching how ranking-correlation
+/// studies on NAS-Bench-201 filter degenerate architectures.
+fn sample_architectures(space: &SearchSpace, sample_size: usize) -> Vec<usize> {
+    // Roughly a quarter of the cells are disconnected, so stride through the
+    // space densely enough that the connected filter still yields the
+    // requested sample size.
+    let stride = (space.len() / (sample_size.max(1) * 4)).max(1);
+    (0..space.len())
+        .step_by(stride)
+        .filter(|&i| {
+            space
+                .cell(i)
+                .map(|c| c.has_input_output_path())
+                .unwrap_or(false)
+        })
+        .take(sample_size)
+        .collect()
+}
+
+/// Reproduces Fig. 2a: Kendall-τ between the (negated) NTK condition index
+/// K_i and surrogate accuracy, for i = 1..=`max_index`, on all three datasets.
+///
+/// # Errors
+///
+/// Propagates proxy evaluation failures.
+pub fn run_fig2a(
+    config: &MicroNasConfig,
+    sample_size: usize,
+    max_index: usize,
+) -> Result<Vec<Fig2aSeries>> {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(config.seed);
+    let indices = sample_architectures(&space, sample_size);
+
+    let mut out = Vec::new();
+    for dataset in DatasetKind::ALL {
+        let mut ntk_config = config.ntk;
+        ntk_config.max_condition_index = max_index;
+        let evaluator = NtkEvaluator::new(ntk_config);
+
+        let rows: Vec<(Vec<f64>, f64)> = indices
+            .par_iter()
+            .map(|&idx| {
+                let arch = space.architecture(idx).expect("sampled index is valid");
+                let report = evaluator
+                    .evaluate(*arch.cell(), dataset, config.seed)
+                    .expect("proxy evaluation of a valid cell succeeds");
+                let accuracy = bench.query(&arch, dataset).test_accuracy;
+                (report.condition_indices, accuracy)
+            })
+            .collect();
+
+        let accuracies: Vec<f64> = rows.iter().map(|(_, a)| *a).collect();
+        let mut taus = Vec::with_capacity(max_index);
+        for i in 0..max_index {
+            // Smaller condition number ⇒ more trainable, so correlate the
+            // negated index with accuracy.
+            let neg_k: Vec<f64> = rows.iter().map(|(k, _)| -k[i]).collect();
+            taus.push(kendall_tau(&neg_k, &accuracies));
+        }
+        out.push(Fig2aSeries { dataset: dataset.name().to_string(), taus, sample_size: rows.len() });
+    }
+    Ok(out)
+}
+
+/// Reproduces Fig. 2b: Kendall-τ between the (negated) NTK condition number
+/// and surrogate accuracy as a function of the NTK batch size, repeated for
+/// `seeds` independent seeds plus their average.
+///
+/// # Errors
+///
+/// Propagates proxy evaluation failures.
+pub fn run_fig2b(
+    config: &MicroNasConfig,
+    sample_size: usize,
+    batch_sizes: &[usize],
+    seeds: usize,
+) -> Result<Fig2bResult> {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(config.seed);
+    let indices = sample_architectures(&space, sample_size);
+    let dataset = DatasetKind::Cifar10;
+    let accuracies: Vec<f64> = indices
+        .iter()
+        .map(|&idx| bench.query(&space.architecture(idx).expect("valid index"), dataset).test_accuracy)
+        .collect();
+
+    let mut taus_per_seed = Vec::with_capacity(seeds);
+    for seed in 0..seeds {
+        let mut taus = Vec::with_capacity(batch_sizes.len());
+        for &batch in batch_sizes {
+            let ntk_config = NtkConfig { batch_size: batch, ..config.ntk };
+            let evaluator = NtkEvaluator::new(ntk_config);
+            let neg_k: Vec<f64> = indices
+                .par_iter()
+                .map(|&idx| {
+                    let arch = space.architecture(idx).expect("valid index");
+                    let report = evaluator
+                        .evaluate(*arch.cell(), dataset, config.seed.wrapping_add(seed as u64 * 977))
+                        .expect("proxy evaluation succeeds");
+                    -report.condition_number
+                })
+                .collect();
+            taus.push(kendall_tau(&neg_k, &accuracies));
+        }
+        taus_per_seed.push(taus);
+    }
+
+    let average = (0..batch_sizes.len())
+        .map(|i| taus_per_seed.iter().map(|s| s[i]).sum::<f64>() / seeds.max(1) as f64)
+        .collect();
+    Ok(Fig2bResult {
+        batch_sizes: batch_sizes.to_vec(),
+        taus_per_seed,
+        average,
+        sample_size: indices.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_produces_positive_correlations_for_low_indices() {
+        let config = MicroNasConfig::small();
+        let series = run_fig2a(&config, 48, 4).unwrap();
+        assert_eq!(series.len(), 3);
+        let mut strong_datasets = 0;
+        for s in &series {
+            assert_eq!(s.taus.len(), 4);
+            assert!(s.sample_size >= 40);
+            // The classic condition number K_1 should carry positive ranking
+            // signal on every dataset. At this reduced test scale the
+            // correlations are weaker than the paper's full-scale Fig. 2a;
+            // the benchmark harness checks the paper-level values.
+            assert!(
+                s.taus[0] > 0.05,
+                "dataset {} K_1 correlation too weak: {:?}",
+                s.dataset,
+                s.taus
+            );
+            if s.taus[0] > 0.25 {
+                strong_datasets += 1;
+            }
+            assert!(s.best_index() >= 1 && s.best_index() <= 4);
+        }
+        assert!(
+            strong_datasets >= 1,
+            "at least one dataset should show a clear positive correlation: {series:?}"
+        );
+    }
+
+    #[test]
+    fn fig2b_batch_sweep_has_stable_plateau() {
+        let config = MicroNasConfig::small();
+        let result = run_fig2b(&config, 16, &[4, 8], 2).unwrap();
+        assert_eq!(result.batch_sizes, vec![4, 8]);
+        assert_eq!(result.taus_per_seed.len(), 2);
+        assert_eq!(result.average.len(), 2);
+        let knee = result.knee_batch_size(0.05);
+        assert!(knee == 4 || knee == 8);
+    }
+
+    #[test]
+    fn architecture_sampling_filters_disconnected_cells() {
+        let space = SearchSpace::nas_bench_201();
+        let sample = sample_architectures(&space, 50);
+        assert!(!sample.is_empty());
+        for idx in sample {
+            assert!(space.cell(idx).unwrap().has_input_output_path());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The experiment harness: one function per table / figure of the paper.
+//!
+//! Every benchmark binary and example calls into this module, so the exact
+//! same code path produces the numbers recorded in `EXPERIMENTS.md`, the
+//! Criterion benches and the runnable examples. Each experiment takes its
+//! scale parameters explicitly so tests can run reduced versions while the
+//! benchmark harness runs the paper-scale ones.
+//!
+//! | Function | Reproduces |
+//! |----------|------------|
+//! | [`run_table1`] | Table I (CIFAR-10 comparison of µNAS / TE-NAS / MicroNAS) |
+//! | [`run_fig2a`] | Fig. 2a (Kendall-τ vs. NTK condition index K_i, three datasets) |
+//! | [`run_fig2b`] | Fig. 2b (Kendall-τ vs. NTK batch size, three seeds + average) |
+//! | [`run_latency_sweep`] | §III latency-guided sweep (1.59×–3.23× speed-up band) |
+//! | [`run_search_efficiency`] | §III / Table I search-time comparison (≈1104×) |
+//! | [`run_flops_vs_latency`] | §III FLOPs-guided vs. latency-guided comparison |
+//! | [`run_memory_guided`] | §IV future-work extension: peak-memory-guided search |
+//! | [`run_ntk_cost`] | §II-A.1 cost argument: NTK wall-clock vs. batch size |
+
+mod efficiency;
+mod fig2;
+mod ntk_cost;
+mod sweeps;
+mod table1;
+
+pub use efficiency::{run_search_efficiency, EfficiencyReport};
+pub use fig2::{run_fig2a, run_fig2b, Fig2aSeries, Fig2bResult};
+pub use ntk_cost::{run_ntk_cost, NtkCostPoint};
+pub use sweeps::{
+    run_flops_vs_latency, run_latency_sweep, run_memory_guided, GuidanceComparison, SweepPoint,
+};
+pub use table1::{run_table1, Table1Row};

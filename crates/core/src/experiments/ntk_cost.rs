@@ -1,0 +1,73 @@
+use crate::{MicroNasConfig, Result};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::{NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-clock cost of one NTK evaluation at a given batch size
+/// (the cost half of the paper's Fig. 2b argument: beyond batch 32 the
+/// correlation stops improving but the cost keeps growing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NtkCostPoint {
+    /// NTK batch size.
+    pub batch_size: usize,
+    /// Average wall-clock seconds per architecture evaluation.
+    pub seconds_per_architecture: f64,
+    /// Number of architectures timed.
+    pub architectures: usize,
+}
+
+/// Measures the per-architecture NTK evaluation cost across batch sizes.
+///
+/// # Errors
+///
+/// Propagates proxy evaluation failures.
+pub fn run_ntk_cost(
+    config: &MicroNasConfig,
+    batch_sizes: &[usize],
+    architectures: usize,
+) -> Result<Vec<NtkCostPoint>> {
+    let space = SearchSpace::nas_bench_201();
+    let stride = (space.len() / architectures.max(1)).max(1);
+    let sample: Vec<usize> = (0..space.len())
+        .step_by(stride)
+        .filter(|&i| space.cell(i).map(|c| c.has_input_output_path()).unwrap_or(false))
+        .take(architectures)
+        .collect();
+
+    let mut out = Vec::with_capacity(batch_sizes.len());
+    for &batch in batch_sizes {
+        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        let start = Instant::now();
+        for &idx in &sample {
+            let cell = space.cell(idx)?;
+            evaluator.evaluate(cell, DatasetKind::Cifar10, config.seed)?;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        out.push(NtkCostPoint {
+            batch_size: batch,
+            seconds_per_architecture: elapsed / sample.len().max(1) as f64,
+            architectures: sample.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntk_cost_grows_with_batch_size() {
+        let config = MicroNasConfig::tiny_test();
+        let points = run_ntk_cost(&config, &[2, 8], 3).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[0].seconds_per_architecture > 0.0);
+        // Larger batches mean more per-sample gradient passes, so the cost
+        // must increase with the batch size (this is the paper's argument for
+        // stopping at batch 32).
+        assert!(points[1].seconds_per_architecture > points[0].seconds_per_architecture);
+        assert_eq!(points[0].architectures, 3);
+    }
+}

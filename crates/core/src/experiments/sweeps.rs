@@ -1,0 +1,187 @@
+use crate::{
+    MicroNasConfig, MicroNasSearch, ObjectiveWeights, Result, SearchContext,
+};
+use micronas_datasets::DatasetKind;
+use serde::{Deserialize, Serialize};
+
+/// One point of the latency-guided (or FLOPs-/memory-guided) weight sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Hardware weight used for this search.
+    pub hardware_weight: f64,
+    /// Latency of the discovered model in milliseconds.
+    pub latency_ms: f64,
+    /// FLOPs of the discovered model in millions.
+    pub flops_m: f64,
+    /// Peak SRAM of the discovered model in KiB.
+    pub peak_sram_kib: f64,
+    /// Surrogate accuracy of the discovered model in percent.
+    pub accuracy: f64,
+    /// Speed-up relative to the proxy-only (TE-NAS) baseline model.
+    pub speedup_vs_baseline: f64,
+}
+
+/// Side-by-side comparison of FLOPs-guided and latency-guided search
+/// (§III: "latency-guided search demonstrates superior and more balanced
+/// performance than the FLOPs-guided search").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuidanceComparison {
+    /// The proxy-only baseline point (weight 0).
+    pub baseline: SweepPoint,
+    /// The FLOPs-guided result.
+    pub flops_guided: SweepPoint,
+    /// The latency-guided result.
+    pub latency_guided: SweepPoint,
+}
+
+fn point_from_search(
+    ctx: &SearchContext,
+    config: &MicroNasConfig,
+    weights: ObjectiveWeights,
+    hardware_weight: f64,
+    baseline_latency_ms: f64,
+) -> Result<SweepPoint> {
+    let outcome = MicroNasSearch::new(weights, config).run(ctx)?;
+    Ok(SweepPoint {
+        hardware_weight,
+        latency_ms: outcome.evaluation.hardware.latency_ms,
+        flops_m: outcome.evaluation.hardware.flops_m,
+        peak_sram_kib: outcome.evaluation.hardware.peak_sram_kib,
+        accuracy: outcome.test_accuracy,
+        speedup_vs_baseline: baseline_latency_ms / outcome.evaluation.hardware.latency_ms,
+    })
+}
+
+/// Runs the latency-weight sweep behind the paper's "1.59×–3.23× with
+/// negligible performance trade-offs" claim: one latency-guided search per
+/// weight in `weights`, each compared against the proxy-only baseline.
+///
+/// # Errors
+///
+/// Propagates search failures.
+pub fn run_latency_sweep(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec<SweepPoint>> {
+    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
+    let baseline = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    let baseline_latency = baseline.evaluation.hardware.latency_ms;
+
+    let mut out = vec![SweepPoint {
+        hardware_weight: 0.0,
+        latency_ms: baseline_latency,
+        flops_m: baseline.evaluation.hardware.flops_m,
+        peak_sram_kib: baseline.evaluation.hardware.peak_sram_kib,
+        accuracy: baseline.test_accuracy,
+        speedup_vs_baseline: 1.0,
+    }];
+    for &w in weights {
+        out.push(point_from_search(
+            &ctx,
+            config,
+            ObjectiveWeights::latency_guided(w),
+            w,
+            baseline_latency,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Runs the FLOPs-guided vs latency-guided comparison (experiment E6).
+///
+/// # Errors
+///
+/// Propagates search failures.
+pub fn run_flops_vs_latency(config: &MicroNasConfig, weight: f64) -> Result<GuidanceComparison> {
+    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
+    let baseline_outcome = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    let baseline_latency = baseline_outcome.evaluation.hardware.latency_ms;
+    let baseline = SweepPoint {
+        hardware_weight: 0.0,
+        latency_ms: baseline_latency,
+        flops_m: baseline_outcome.evaluation.hardware.flops_m,
+        peak_sram_kib: baseline_outcome.evaluation.hardware.peak_sram_kib,
+        accuracy: baseline_outcome.test_accuracy,
+        speedup_vs_baseline: 1.0,
+    };
+    let flops_guided = point_from_search(
+        &ctx,
+        config,
+        ObjectiveWeights::flops_guided(weight),
+        weight,
+        baseline_latency,
+    )?;
+    let latency_guided = point_from_search(
+        &ctx,
+        config,
+        ObjectiveWeights::latency_guided(weight),
+        weight,
+        baseline_latency,
+    )?;
+    Ok(GuidanceComparison { baseline, flops_guided, latency_guided })
+}
+
+/// Runs the peak-memory-guided search extension (experiment E7, the paper's
+/// stated future work).
+///
+/// # Errors
+///
+/// Propagates search failures.
+pub fn run_memory_guided(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec<SweepPoint>> {
+    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
+    let baseline = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    let baseline_latency = baseline.evaluation.hardware.latency_ms;
+
+    let mut out = vec![SweepPoint {
+        hardware_weight: 0.0,
+        latency_ms: baseline_latency,
+        flops_m: baseline.evaluation.hardware.flops_m,
+        peak_sram_kib: baseline.evaluation.hardware.peak_sram_kib,
+        accuracy: baseline.test_accuracy,
+        speedup_vs_baseline: 1.0,
+    }];
+    for &w in weights {
+        out.push(point_from_search(
+            &ctx,
+            config,
+            ObjectiveWeights::memory_guided(w),
+            w,
+            baseline_latency,
+        )?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_speedup_grows_with_weight() {
+        let config = MicroNasConfig::small();
+        let points = run_latency_sweep(&config, &[2.0, 8.0]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].speedup_vs_baseline - 1.0).abs() < 1e-9);
+        // Heavier latency weights must never produce slower models.
+        assert!(points[2].latency_ms <= points[1].latency_ms + 1e-9);
+        assert!(points[2].speedup_vs_baseline >= points[1].speedup_vs_baseline - 1e-9);
+        // And accuracy should not collapse (the paper reports negligible loss).
+        assert!(points[2].accuracy > points[0].accuracy - 15.0);
+    }
+
+    #[test]
+    fn flops_vs_latency_comparison_produces_lighter_models() {
+        let config = MicroNasConfig::small();
+        let cmp = run_flops_vs_latency(&config, 4.0).unwrap();
+        assert!(cmp.flops_guided.flops_m <= cmp.baseline.flops_m);
+        assert!(cmp.latency_guided.latency_ms <= cmp.baseline.latency_ms);
+        // The latency-guided pick should be at least as fast as the
+        // FLOPs-guided pick (the MCU-specific bias of the latency model).
+        assert!(cmp.latency_guided.latency_ms <= cmp.flops_guided.latency_ms + 1e-9);
+    }
+
+    #[test]
+    fn memory_guided_search_reduces_peak_sram() {
+        let config = MicroNasConfig::small();
+        let points = run_memory_guided(&config, &[8.0]).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[1].peak_sram_kib <= points[0].peak_sram_kib);
+    }
+}

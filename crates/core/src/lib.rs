@@ -1,0 +1,57 @@
+//! MicroNAS: hardware-aware zero-shot neural architecture search for MCUs.
+//!
+//! This crate is the reproduction of the paper's primary contribution. It
+//! combines the zero-cost network-analysis indicators from
+//! [`micronas_proxies`] (NTK condition number, linear-region count) with the
+//! hardware indicators from [`micronas_hw`] (FLOPs, estimated MCU latency,
+//! peak memory) into a single **hybrid objective**, and searches the
+//! NAS-Bench-201 cell space with a **hardware-aware pruning algorithm**:
+//! starting from the full supernet, operations are greedily removed — least
+//! useful first, hardware-infeasible first of all — until a single
+//! architecture remains. No candidate is ever trained.
+//!
+//! The crate also implements the baselines the paper compares against
+//! (TE-NAS-style proxy-only pruning, a µNAS-style constrained evolutionary
+//! search that *does* pay for training, and random search), the search-cost
+//! accounting used for the 1104× efficiency claim, and an
+//! [`experiments`] module that regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use micronas::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, SearchContext};
+//! use micronas_datasets::DatasetKind;
+//!
+//! # fn main() -> Result<(), micronas::MicroNasError> {
+//! // Latency-guided search on CIFAR-10 for the paper's STM32F746 target.
+//! let config = MicroNasConfig::fast();
+//! let context = SearchContext::new(DatasetKind::Cifar10, &config)?;
+//! let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(1.0), &config)
+//!     .run(&context)?;
+//! println!("discovered {} in {:.1}s", outcome.best, outcome.cost.wall_clock_seconds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod context;
+mod cost;
+mod error;
+pub mod experiments;
+mod objective;
+mod outcome;
+mod search;
+
+pub use config::MicroNasConfig;
+pub use context::{CandidateEvaluation, SearchContext};
+pub use cost::SearchCost;
+pub use error::MicroNasError;
+pub use objective::{HybridObjective, ObjectiveWeights};
+pub use outcome::SearchOutcome;
+pub use search::{EvolutionaryConfig, EvolutionarySearch, MicroNasSearch, RandomSearch};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MicroNasError>;

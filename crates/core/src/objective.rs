@@ -1,0 +1,172 @@
+use micronas_hw::HardwareIndicators;
+use micronas_proxies::ZeroCostMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the hybrid objective function (§II of the paper).
+///
+/// The objective combines two network-analysis terms (trainability from the
+/// NTK spectrum, expressivity from the linear-region count) with hardware
+/// terms (FLOPs, estimated latency, and — as the paper's future-work
+/// extension — peak memory). The hardware weights are the paper's "tunable
+/// weight factors for precise control over the contributions of F and L".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight of the trainability score (negated log NTK condition number).
+    pub trainability: f64,
+    /// Weight of the expressivity score (log linear-region count).
+    pub expressivity: f64,
+    /// Weight of the FLOPs penalty.
+    pub flops: f64,
+    /// Weight of the latency penalty.
+    pub latency: f64,
+    /// Weight of the peak-memory penalty (extension).
+    pub memory: f64,
+}
+
+impl ObjectiveWeights {
+    /// The proxy-only objective used by the TE-NAS baseline and by the
+    /// paper's "no hardware constraints" configuration.
+    pub fn accuracy_only() -> Self {
+        Self { trainability: 1.0, expressivity: 1.0, flops: 0.0, latency: 0.0, memory: 0.0 }
+    }
+
+    /// The latency-guided objective (the paper's best-performing setting).
+    pub fn latency_guided(weight: f64) -> Self {
+        Self { latency: weight, ..Self::accuracy_only() }
+    }
+
+    /// The FLOPs-guided objective.
+    pub fn flops_guided(weight: f64) -> Self {
+        Self { flops: weight, ..Self::accuracy_only() }
+    }
+
+    /// The memory-guided objective (future-work extension, experiment E7).
+    pub fn memory_guided(weight: f64) -> Self {
+        Self { memory: weight, ..Self::accuracy_only() }
+    }
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        Self::accuracy_only()
+    }
+}
+
+/// Reference scales used to bring the hardware penalties onto the same
+/// footing as the (log-scale) network-analysis scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridObjective {
+    /// Objective weights.
+    pub weights: ObjectiveWeights,
+    /// FLOPs (millions) that map to a penalty of 1.0.
+    pub flops_scale_m: f64,
+    /// Latency (milliseconds) that maps to a penalty of 1.0.
+    pub latency_scale_ms: f64,
+    /// Peak memory (KiB) that maps to a penalty of 1.0.
+    pub memory_scale_kib: f64,
+}
+
+impl HybridObjective {
+    /// Creates an objective with the default NAS-Bench-201 / STM32F746
+    /// reference scales: 200 MFLOPs, 1 s latency and 320 KiB SRAM each count
+    /// as one unit of penalty.
+    pub fn new(weights: ObjectiveWeights) -> Self {
+        Self { weights, flops_scale_m: 200.0, latency_scale_ms: 1_000.0, memory_scale_kib: 320.0 }
+    }
+
+    /// Creates an objective with explicit reference scales.
+    pub fn with_scales(
+        weights: ObjectiveWeights,
+        flops_scale_m: f64,
+        latency_scale_ms: f64,
+        memory_scale_kib: f64,
+    ) -> Self {
+        Self { weights, flops_scale_m, latency_scale_ms, memory_scale_kib }
+    }
+
+    /// Scalar score of a candidate (larger is better).
+    pub fn score(&self, zero_cost: &ZeroCostMetrics, hw: &HardwareIndicators) -> f64 {
+        let w = &self.weights;
+        w.trainability * zero_cost.trainability + w.expressivity * zero_cost.expressivity
+            - w.flops * hw.flops_m / self.flops_scale_m
+            - w.latency * hw.latency_ms / self.latency_scale_ms
+            - w.memory * hw.peak_sram_kib / self.memory_scale_kib
+    }
+}
+
+impl Default for HybridObjective {
+    fn default() -> Self {
+        Self::new(ObjectiveWeights::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zc(trainability: f64, expressivity: f64) -> ZeroCostMetrics {
+        ZeroCostMetrics {
+            ntk_condition: (-trainability).exp(),
+            linear_regions: expressivity.exp() as usize,
+            trainability,
+            expressivity,
+        }
+    }
+
+    fn hw(flops_m: f64, latency_ms: f64, sram: f64) -> HardwareIndicators {
+        HardwareIndicators {
+            flops_m,
+            macs_m: flops_m / 2.0,
+            params_m: 0.4,
+            latency_ms,
+            peak_sram_kib: sram,
+            flash_kib: 500.0,
+        }
+    }
+
+    #[test]
+    fn accuracy_only_ignores_hardware() {
+        let obj = HybridObjective::new(ObjectiveWeights::accuracy_only());
+        let a = obj.score(&zc(-2.0, 3.0), &hw(50.0, 100.0, 64.0));
+        let b = obj.score(&zc(-2.0, 3.0), &hw(400.0, 2_000.0, 512.0));
+        assert_eq!(a, b);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn latency_weight_penalises_slow_candidates() {
+        let obj = HybridObjective::new(ObjectiveWeights::latency_guided(2.0));
+        let fast = obj.score(&zc(-2.0, 3.0), &hw(50.0, 200.0, 64.0));
+        let slow = obj.score(&zc(-2.0, 3.0), &hw(50.0, 1_200.0, 64.0));
+        assert!(fast > slow);
+        assert!((fast - slow - 2.0 * 1_000.0 / 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_and_memory_weights_penalise_heavier_candidates() {
+        let fl = HybridObjective::new(ObjectiveWeights::flops_guided(1.0));
+        assert!(fl.score(&zc(0.0, 0.0), &hw(50.0, 100.0, 64.0))
+            > fl.score(&zc(0.0, 0.0), &hw(300.0, 100.0, 64.0)));
+        let mem = HybridObjective::new(ObjectiveWeights::memory_guided(1.0));
+        assert!(mem.score(&zc(0.0, 0.0), &hw(50.0, 100.0, 64.0))
+            > mem.score(&zc(0.0, 0.0), &hw(50.0, 100.0, 256.0)));
+    }
+
+    #[test]
+    fn better_proxies_increase_the_score() {
+        let obj = HybridObjective::new(ObjectiveWeights::latency_guided(1.0));
+        let hw0 = hw(50.0, 300.0, 64.0);
+        assert!(obj.score(&zc(-1.0, 4.0), &hw0) > obj.score(&zc(-3.0, 4.0), &hw0));
+        assert!(obj.score(&zc(-1.0, 5.0), &hw0) > obj.score(&zc(-1.0, 3.0), &hw0));
+    }
+
+    #[test]
+    fn custom_scales_change_relative_weighting() {
+        let w = ObjectiveWeights::latency_guided(1.0);
+        let default = HybridObjective::new(w);
+        let strict = HybridObjective::with_scales(w, 200.0, 100.0, 320.0);
+        let zc0 = zc(0.0, 0.0);
+        let hw0 = hw(50.0, 300.0, 64.0);
+        assert!(strict.score(&zc0, &hw0) < default.score(&zc0, &hw0));
+    }
+}

@@ -1,0 +1,76 @@
+use crate::{CandidateEvaluation, SearchCost};
+use micronas_searchspace::Architecture;
+use serde::{Deserialize, Serialize};
+
+/// The result of one architecture search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The discovered architecture.
+    pub best: Architecture,
+    /// Its cached evaluation (zero-cost metrics + hardware indicators).
+    pub evaluation: CandidateEvaluation,
+    /// The surrogate "trained" accuracy of the discovered architecture
+    /// (reported after the search, exactly as the paper trains only the
+    /// final model).
+    pub test_accuracy: f64,
+    /// Cost accounting for the search.
+    pub cost: SearchCost,
+    /// Name of the algorithm that produced this outcome.
+    pub algorithm: String,
+    /// Objective score trajectory over the search (one entry per decision
+    /// step; contents depend on the algorithm).
+    pub history: Vec<f64>,
+}
+
+impl SearchOutcome {
+    /// Latency speed-up of this outcome relative to a reference latency in
+    /// milliseconds (e.g. the TE-NAS baseline's model).
+    pub fn speedup_vs(&self, reference_latency_ms: f64) -> f64 {
+        reference_latency_ms / self.evaluation.hardware.latency_ms.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_hw::HardwareIndicators;
+    use micronas_proxies::ZeroCostMetrics;
+    use micronas_searchspace::SearchSpace;
+
+    fn sample_outcome(latency_ms: f64) -> SearchOutcome {
+        let space = SearchSpace::nas_bench_201();
+        let arch = space.architecture(77).unwrap();
+        SearchOutcome {
+            best: arch,
+            evaluation: CandidateEvaluation {
+                arch_index: 77,
+                zero_cost: ZeroCostMetrics {
+                    ntk_condition: 10.0,
+                    linear_regions: 20,
+                    trainability: -2.3,
+                    expressivity: 3.0,
+                },
+                hardware: HardwareIndicators {
+                    flops_m: 60.0,
+                    macs_m: 30.0,
+                    params_m: 0.4,
+                    latency_ms,
+                    peak_sram_kib: 128.0,
+                    flash_kib: 400.0,
+                },
+                feasible: true,
+            },
+            test_accuracy: 93.0,
+            cost: SearchCost::default(),
+            algorithm: "test".to_string(),
+            history: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn speedup_is_reference_over_own_latency() {
+        let outcome = sample_outcome(250.0);
+        assert!((outcome.speedup_vs(750.0) - 3.0).abs() < 1e-12);
+        assert!((outcome.speedup_vs(250.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+use crate::{MicroNasError, Result, SearchContext, SearchCost, SearchOutcome};
+use micronas_searchspace::{mutate, random_architecture, Architecture};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+/// Configuration of the µNAS-style constrained evolutionary baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvolutionaryConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of evolution cycles (each cycle trains and evaluates one child).
+    pub cycles: usize,
+    /// Tournament sample size for parent selection.
+    pub sample_size: usize,
+}
+
+impl EvolutionaryConfig {
+    /// A configuration comparable to the paper's µNAS baseline budget:
+    /// training-based evaluation of several hundred candidates.
+    pub fn munas_default() -> Self {
+        Self { population: 50, cycles: 450, sample_size: 10 }
+    }
+
+    /// A reduced configuration for tests.
+    pub fn fast_test() -> Self {
+        Self { population: 8, cycles: 24, sample_size: 3 }
+    }
+}
+
+impl Default for EvolutionaryConfig {
+    fn default() -> Self {
+        Self::munas_default()
+    }
+}
+
+/// µNAS-style baseline: constrained aging evolution whose fitness is the
+/// *trained* accuracy of each candidate.
+///
+/// Unlike MicroNAS, every candidate this search evaluates must be trained, so
+/// its search cost is dominated by simulated GPU hours (charged from the
+/// surrogate benchmark's per-architecture training cost). Candidates that
+/// violate the hardware budgets are rejected during sampling and mutation,
+/// mirroring µNAS's resource-constrained search.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    config: EvolutionaryConfig,
+}
+
+impl EvolutionarySearch {
+    /// Creates the baseline with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroNasError::InvalidConfig`] for degenerate settings.
+    pub fn new(config: EvolutionaryConfig) -> Result<Self> {
+        if config.population < 2 || config.cycles == 0 || config.sample_size == 0 {
+            return Err(MicroNasError::InvalidConfig(
+                "evolutionary search needs population ≥ 2, cycles ≥ 1 and sample size ≥ 1".into(),
+            ));
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EvolutionaryConfig {
+        &self.config
+    }
+
+    /// Runs the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroNasError::NoFeasibleArchitecture`] if no feasible
+    /// candidate can be sampled.
+    pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed().wrapping_add(0x45564F));
+        let mut simulated_gpu_hours = 0.0f64;
+        let mut trained: HashSet<usize> = HashSet::new();
+        let mut history = Vec::new();
+
+        // Charge the (simulated) training bill for an architecture once.
+        let fitness = |arch: &Architecture,
+                           trained: &mut HashSet<usize>,
+                           gpu_hours: &mut f64|
+         -> f64 {
+            let entry = ctx.benchmark().query(arch, ctx.dataset());
+            if trained.insert(arch.index()) {
+                *gpu_hours += entry.train_cost_gpu_hours;
+            }
+            entry.test_accuracy
+        };
+
+        // Feasibility check uses only the cheap hardware indicators, as µNAS
+        // does with its analytic resource models.
+        let feasible = |arch: &Architecture| -> bool {
+            let hw = ctx.hardware().evaluate(*arch.cell());
+            ctx.constraints().satisfied_by(&hw)
+        };
+
+        // Seed the population with feasible random candidates.
+        let mut population: VecDeque<(Architecture, f64)> =
+            VecDeque::with_capacity(self.config.population);
+        let mut attempts = 0usize;
+        while population.len() < self.config.population {
+            attempts += 1;
+            if attempts > self.config.population * 200 {
+                return Err(MicroNasError::NoFeasibleArchitecture);
+            }
+            let arch = random_architecture(ctx.space(), &mut rng);
+            if !feasible(&arch) {
+                continue;
+            }
+            let fit = fitness(&arch, &mut trained, &mut simulated_gpu_hours);
+            population.push_back((arch, fit));
+        }
+
+        let mut best = population
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("accuracies are finite"))
+            .expect("population is non-empty");
+        history.push(best.1);
+
+        // Aging evolution: tournament parent selection, single mutation,
+        // oldest member dies.
+        for _ in 0..self.config.cycles {
+            let mut parent: Option<(Architecture, f64)> = None;
+            for _ in 0..self.config.sample_size {
+                let idx = rand::Rng::gen_range(&mut rng, 0..population.len());
+                let candidate = population[idx].clone();
+                if parent.as_ref().map_or(true, |p| candidate.1 > p.1) {
+                    parent = Some(candidate);
+                }
+            }
+            let parent = parent.expect("sample size is at least one");
+
+            // Mutate until a feasible child appears (bounded retries).
+            let mut child = mutate(ctx.space(), &parent.0, &mut rng);
+            let mut retries = 0;
+            while !feasible(&child) && retries < 50 {
+                child = mutate(ctx.space(), &parent.0, &mut rng);
+                retries += 1;
+            }
+            if !feasible(&child) {
+                history.push(best.1);
+                continue;
+            }
+            let child_fit = fitness(&child, &mut trained, &mut simulated_gpu_hours);
+            population.push_back((child, child_fit));
+            population.pop_front();
+            if child_fit > best.1 {
+                best = (child, child_fit);
+            }
+            history.push(best.1);
+        }
+
+        let evaluation = ctx.evaluate(*best.0.cell())?;
+        Ok(SearchOutcome {
+            best: best.0,
+            evaluation,
+            test_accuracy: best.1,
+            cost: SearchCost {
+                wall_clock_seconds: start.elapsed().as_secs_f64(),
+                simulated_gpu_hours,
+                evaluations: trained.len(),
+            },
+            algorithm: "µNAS-style constrained evolution (training-based)".to_string(),
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MicroNasConfig;
+    use micronas_datasets::DatasetKind;
+    use micronas_hw::HardwareConstraints;
+
+    fn tiny_context() -> SearchContext {
+        SearchContext::new(DatasetKind::Cifar10, &MicroNasConfig::tiny_test()).unwrap()
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 1, cycles: 10, sample_size: 2 }).is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 0, sample_size: 2 }).is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 5, sample_size: 0 }).is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig::fast_test()).is_ok());
+    }
+
+    #[test]
+    fn evolution_improves_or_maintains_best_fitness() {
+        let ctx = tiny_context();
+        let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
+        let outcome = search.run(&ctx).unwrap();
+        // The best-so-far trajectory must be non-decreasing.
+        for w in outcome.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(outcome.test_accuracy >= outcome.history[0]);
+        assert!(outcome.cost.simulated_gpu_hours > 0.0, "training-based search must pay GPU hours");
+        assert!(outcome.cost.evaluations > 0);
+    }
+
+    #[test]
+    fn simulated_cost_scales_with_number_of_trained_candidates() {
+        let ctx = tiny_context();
+        let small = EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 4, sample_size: 2 })
+            .unwrap()
+            .run(&ctx)
+            .unwrap();
+        let ctx2 = tiny_context();
+        let large = EvolutionarySearch::new(EvolutionaryConfig { population: 8, cycles: 30, sample_size: 2 })
+            .unwrap()
+            .run(&ctx2)
+            .unwrap();
+        assert!(large.cost.simulated_gpu_hours > small.cost.simulated_gpu_hours);
+    }
+
+    #[test]
+    fn respects_hardware_constraints() {
+        // Constrain parameters tightly; every member of the final population
+        // must satisfy the budget.
+        let config = MicroNasConfig::tiny_test().with_constraints(
+            HardwareConstraints::unconstrained().with_params_m(0.5),
+        );
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
+        let outcome = search.run(&ctx).unwrap();
+        assert!(outcome.evaluation.hardware.params_m <= 0.5);
+    }
+
+    #[test]
+    fn impossible_constraints_error_out() {
+        let config = MicroNasConfig::tiny_test().with_constraints(
+            HardwareConstraints::unconstrained().with_latency_ms(1e-9),
+        );
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
+        assert!(matches!(search.run(&ctx), Err(MicroNasError::NoFeasibleArchitecture)));
+    }
+}

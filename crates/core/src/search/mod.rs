@@ -1,0 +1,10 @@
+//! Search algorithms: the MicroNAS hardware-aware pruning search and the
+//! baselines it is compared against.
+
+mod evolutionary;
+mod pruning;
+mod random;
+
+pub use evolutionary::{EvolutionaryConfig, EvolutionarySearch};
+pub use pruning::MicroNasSearch;
+pub use random::RandomSearch;

@@ -1,0 +1,214 @@
+use crate::{
+    HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost,
+    SearchOutcome,
+};
+use micronas_searchspace::{EdgeId, Operation, Supernet};
+use std::time::Instant;
+
+/// The hardware-aware pruning-based search (the paper's §II algorithm), also
+/// used — with hardware weights set to zero — as the TE-NAS baseline.
+///
+/// The search starts from the full supernet (every edge carries all five
+/// candidate operations) and repeatedly removes the single (edge, operation)
+/// pair with the lowest *importance*, where importance is the hybrid
+/// objective of the architecture obtained by fixing that edge to that
+/// operation while the remaining undecided edges take their strongest alive
+/// candidate. Operations whose candidate architecture violates the hardware
+/// budgets are penalised so they are pruned first. After 24 prune steps
+/// exactly one operation survives per edge and the supernet collapses into
+/// the discovered architecture.
+#[derive(Debug, Clone)]
+pub struct MicroNasSearch {
+    objective: HybridObjective,
+    algorithm_name: String,
+    /// Penalty subtracted from the importance of hardware-infeasible candidates.
+    infeasibility_penalty: f64,
+}
+
+impl MicroNasSearch {
+    /// Creates a search with the given objective weights.
+    pub fn new(weights: ObjectiveWeights, _config: &crate::MicroNasConfig) -> Self {
+        let name = if weights.latency > 0.0 {
+            "MicroNAS (latency-guided)"
+        } else if weights.flops > 0.0 {
+            "MicroNAS (FLOPs-guided)"
+        } else if weights.memory > 0.0 {
+            "MicroNAS (memory-guided)"
+        } else {
+            "MicroNAS (proxy-only)"
+        };
+        Self {
+            objective: HybridObjective::new(weights),
+            algorithm_name: name.to_string(),
+            infeasibility_penalty: 25.0,
+        }
+    }
+
+    /// The TE-NAS baseline: identical pruning mechanics, but the objective
+    /// contains only the two network-analysis terms.
+    pub fn te_nas_baseline(config: &crate::MicroNasConfig) -> Self {
+        let mut s = Self::new(ObjectiveWeights::accuracy_only(), config);
+        s.algorithm_name = "TE-NAS (baseline)".to_string();
+        s
+    }
+
+    /// The objective driving this search.
+    pub fn objective(&self) -> &HybridObjective {
+        &self.objective
+    }
+
+    /// Human-readable algorithm name used in reports.
+    pub fn name(&self) -> &str {
+        &self.algorithm_name
+    }
+
+    /// Importance of assigning `op` to `edge` given the current supernet
+    /// state: the hybrid objective of the representative architecture with
+    /// that assignment, minus a penalty if the candidate violates the
+    /// hardware budgets.
+    fn importance(
+        &self,
+        ctx: &SearchContext,
+        supernet: &Supernet,
+        edge: EdgeId,
+        op: Operation,
+    ) -> Result<f64> {
+        let cell = supernet.representative_cell(true).with_op(edge, op)?;
+        let eval = ctx.evaluate(cell)?;
+        let mut score = self.objective.score(&eval.zero_cost, &eval.hardware);
+        if !eval.feasible {
+            let violations = ctx.constraints().violations(&eval.hardware).len() as f64;
+            score -= self.infeasibility_penalty * violations;
+        }
+        Ok(score)
+    }
+
+    /// Runs the search to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy-evaluation and search-space errors.
+    pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        let start = Instant::now();
+        let evaluations_before = ctx.evaluation_count();
+        let mut supernet = Supernet::full();
+        let mut history = Vec::new();
+
+        while !supernet.is_collapsed() {
+            let mut weakest: Option<(EdgeId, Operation, f64)> = None;
+            for edge in supernet.undecided_edges() {
+                for op in supernet.candidates(edge)? {
+                    let score = self.importance(ctx, &supernet, edge, op)?;
+                    let replace = match &weakest {
+                        None => true,
+                        Some((_, _, s)) => score < *s,
+                    };
+                    if replace {
+                        weakest = Some((edge, op, score));
+                    }
+                }
+            }
+            let (edge, op, score) =
+                weakest.ok_or(MicroNasError::NoFeasibleArchitecture)?;
+            supernet.prune(edge, op)?;
+            history.push(score);
+        }
+
+        let best = supernet.collapse(ctx.space())?;
+        let evaluation = ctx.evaluate(*best.cell())?;
+        if !evaluation.feasible && !history.is_empty() {
+            // The greedy prune can only guarantee feasibility if at least one
+            // feasible architecture exists; report the violation rather than
+            // silently returning an infeasible model.
+            if ctx.constraints().violations(&evaluation.hardware).len() > 2 {
+                return Err(MicroNasError::NoFeasibleArchitecture);
+            }
+        }
+        let test_accuracy = ctx.trained_accuracy(&best);
+        Ok(SearchOutcome {
+            best,
+            evaluation,
+            test_accuracy,
+            cost: SearchCost {
+                wall_clock_seconds: start.elapsed().as_secs_f64(),
+                simulated_gpu_hours: 0.0,
+                evaluations: ctx.evaluation_count() - evaluations_before,
+            },
+            algorithm: self.algorithm_name.clone(),
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MicroNasConfig;
+    use micronas_datasets::DatasetKind;
+    use micronas_hw::HardwareConstraints;
+
+    fn tiny_context(constraints: HardwareConstraints) -> SearchContext {
+        let config = MicroNasConfig::tiny_test().with_constraints(constraints);
+        SearchContext::new(DatasetKind::Cifar10, &config).unwrap()
+    }
+
+    #[test]
+    fn proxy_only_search_collapses_to_a_connected_architecture() {
+        let ctx = tiny_context(HardwareConstraints::unconstrained());
+        let config = MicroNasConfig::tiny_test();
+        let search = MicroNasSearch::te_nas_baseline(&config);
+        let outcome = search.run(&ctx).unwrap();
+        assert!(outcome.best.cell().has_input_output_path());
+        assert_eq!(outcome.history.len(), 24, "24 prune steps collapse the supernet");
+        assert!(outcome.cost.evaluations > 0);
+        assert!(outcome.cost.simulated_gpu_hours == 0.0);
+        assert!(outcome.test_accuracy > 50.0, "discovered model should be well above chance");
+        assert_eq!(outcome.algorithm, "TE-NAS (baseline)");
+    }
+
+    #[test]
+    fn latency_guided_search_finds_faster_model_than_proxy_only() {
+        let ctx = tiny_context(HardwareConstraints::unconstrained());
+        let config = MicroNasConfig::tiny_test();
+        let te_nas = MicroNasSearch::te_nas_baseline(&config).run(&ctx).unwrap();
+        let latency_guided =
+            MicroNasSearch::new(ObjectiveWeights::latency_guided(4.0), &config).run(&ctx).unwrap();
+        assert!(
+            latency_guided.evaluation.hardware.latency_ms
+                <= te_nas.evaluation.hardware.latency_ms,
+            "latency-guided ({:.1} ms) must not be slower than proxy-only ({:.1} ms)",
+            latency_guided.evaluation.hardware.latency_ms,
+            te_nas.evaluation.hardware.latency_ms
+        );
+        assert_eq!(latency_guided.algorithm, "MicroNAS (latency-guided)");
+    }
+
+    #[test]
+    fn constrained_search_respects_a_latency_budget() {
+        // Pick a budget between the fastest and slowest architectures.
+        let unconstrained_ctx = tiny_context(HardwareConstraints::unconstrained());
+        let config = MicroNasConfig::tiny_test();
+        let baseline = MicroNasSearch::te_nas_baseline(&config).run(&unconstrained_ctx).unwrap();
+        let budget_ms = baseline.evaluation.hardware.latency_ms * 0.6;
+
+        let ctx = tiny_context(HardwareConstraints::unconstrained().with_latency_ms(budget_ms));
+        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+        let outcome = search.run(&ctx).unwrap();
+        assert!(
+            outcome.evaluation.hardware.latency_ms <= budget_ms * 1.05,
+            "latency {} exceeds budget {}",
+            outcome.evaluation.hardware.latency_ms,
+            budget_ms
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_fixed_seed() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx1 = tiny_context(HardwareConstraints::unconstrained());
+        let ctx2 = tiny_context(HardwareConstraints::unconstrained());
+        let a = MicroNasSearch::te_nas_baseline(&config).run(&ctx1).unwrap();
+        let b = MicroNasSearch::te_nas_baseline(&config).run(&ctx2).unwrap();
+        assert_eq!(a.best.index(), b.best.index());
+    }
+}

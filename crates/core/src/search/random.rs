@@ -1,0 +1,136 @@
+use crate::{HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost, SearchOutcome};
+use micronas_searchspace::random_architecture;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Random search over the cell space using the same zero-cost objective.
+///
+/// This is the standard sanity baseline for zero-shot NAS: sample `budget`
+/// architectures uniformly at random, score each with the hybrid objective
+/// and keep the best feasible one.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    objective: HybridObjective,
+    budget: usize,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given objective weights and sample budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroNasError::InvalidConfig`] if `budget` is zero.
+    pub fn new(weights: ObjectiveWeights, budget: usize) -> Result<Self> {
+        if budget == 0 {
+            return Err(MicroNasError::InvalidConfig("random search budget must be positive".into()));
+        }
+        Ok(Self { objective: HybridObjective::new(weights), budget })
+    }
+
+    /// The number of architectures sampled.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroNasError::NoFeasibleArchitecture`] if every sampled
+    /// architecture violates the hardware budgets, and propagates proxy
+    /// failures.
+    pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        let start = Instant::now();
+        let evaluations_before = ctx.evaluation_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed().wrapping_add(RANDOM_STREAM));
+        let mut best: Option<(f64, SearchOutcome)> = None;
+        let mut history = Vec::with_capacity(self.budget);
+
+        for _ in 0..self.budget {
+            let arch = random_architecture(ctx.space(), &mut rng);
+            let eval = ctx.evaluate(*arch.cell())?;
+            let score = self.objective.score(&eval.zero_cost, &eval.hardware);
+            history.push(score);
+            if !eval.feasible {
+                continue;
+            }
+            let is_better = best.as_ref().map_or(true, |(s, _)| score > *s);
+            if is_better {
+                let outcome = SearchOutcome {
+                    best: arch,
+                    evaluation: eval,
+                    test_accuracy: ctx.trained_accuracy(&arch),
+                    cost: SearchCost::default(),
+                    algorithm: "Random search (zero-cost objective)".to_string(),
+                    history: Vec::new(),
+                };
+                best = Some((score, outcome));
+            }
+        }
+
+        let (_, mut outcome) = best.ok_or(MicroNasError::NoFeasibleArchitecture)?;
+        outcome.cost = SearchCost {
+            wall_clock_seconds: start.elapsed().as_secs_f64(),
+            simulated_gpu_hours: 0.0,
+            evaluations: ctx.evaluation_count() - evaluations_before,
+        };
+        outcome.history = history;
+        Ok(outcome)
+    }
+}
+
+/// Seed-stream tag for the random-search RNG.
+const RANDOM_STREAM: u64 = 0x52_41_4E_44;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MicroNasConfig;
+    use micronas_datasets::DatasetKind;
+    use micronas_hw::HardwareConstraints;
+
+    fn tiny_context() -> SearchContext {
+        SearchContext::new(DatasetKind::Cifar10, &MicroNasConfig::tiny_test()).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        assert!(RandomSearch::new(ObjectiveWeights::accuracy_only(), 0).is_err());
+        assert!(RandomSearch::new(ObjectiveWeights::accuracy_only(), 5).is_ok());
+    }
+
+    #[test]
+    fn finds_a_feasible_architecture_and_counts_cost() {
+        let ctx = tiny_context();
+        let search = RandomSearch::new(ObjectiveWeights::accuracy_only(), 6).unwrap();
+        let outcome = search.run(&ctx).unwrap();
+        assert!(outcome.evaluation.feasible);
+        assert_eq!(outcome.history.len(), 6);
+        assert!(outcome.cost.evaluations <= 6);
+        assert!(outcome.cost.wall_clock_seconds > 0.0);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_no_feasible_architecture() {
+        let config = MicroNasConfig::tiny_test().with_constraints(
+            HardwareConstraints::unconstrained().with_latency_ms(1e-9),
+        );
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let search = RandomSearch::new(ObjectiveWeights::latency_guided(1.0), 4).unwrap();
+        assert!(matches!(search.run(&ctx), Err(MicroNasError::NoFeasibleArchitecture)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = RandomSearch::new(ObjectiveWeights::accuracy_only(), 5)
+            .unwrap()
+            .run(&tiny_context())
+            .unwrap();
+        let b = RandomSearch::new(ObjectiveWeights::accuracy_only(), 5)
+            .unwrap()
+            .run(&tiny_context())
+            .unwrap();
+        assert_eq!(a.best.index(), b.best.index());
+    }
+}

@@ -1,0 +1,38 @@
+use micronas_tensor::Tensor;
+
+/// A mini-batch of images with their (synthetic) class labels.
+///
+/// The zero-cost proxies only use `images`; `labels` are provided for
+/// completeness and for tests that check the class-conditional structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Image tensor of shape `[N, 3, R, R]`.
+    pub images: Tensor,
+    /// Class label of each sample.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_tensor::Shape;
+
+    #[test]
+    fn len_tracks_labels() {
+        let b = Batch { images: Tensor::zeros(Shape::nchw(2, 3, 4, 4)), labels: vec![0, 1] };
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three datasets evaluated by NAS-Bench-201 and the MicroNAS paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// CIFAR-10: 32×32×3, 10 classes.
+    Cifar10,
+    /// CIFAR-100: 32×32×3, 100 classes.
+    Cifar100,
+    /// ImageNet16-120: 16×16×3, 120 classes.
+    ImageNet16_120,
+}
+
+impl DatasetKind {
+    /// All datasets in the order they appear in the paper's figures.
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Cifar10, DatasetKind::Cifar100, DatasetKind::ImageNet16_120];
+
+    /// Number of classes.
+    pub fn num_classes(self) -> usize {
+        match self {
+            DatasetKind::Cifar10 => 10,
+            DatasetKind::Cifar100 => 100,
+            DatasetKind::ImageNet16_120 => 120,
+        }
+    }
+
+    /// Native image resolution (height = width).
+    pub fn resolution(self) -> usize {
+        match self {
+            DatasetKind::Cifar10 | DatasetKind::Cifar100 => 32,
+            DatasetKind::ImageNet16_120 => 16,
+        }
+    }
+
+    /// Number of image channels (3 for all supported datasets).
+    pub fn channels(self) -> usize {
+        3
+    }
+
+    /// Canonical NAS-Bench-201 dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10 => "cifar10",
+            DatasetKind::Cifar100 => "cifar100",
+            DatasetKind::ImageNet16_120 => "ImageNet16-120",
+        }
+    }
+
+    /// A stable numeric identifier used for seeding.
+    pub fn id(self) -> u64 {
+        match self {
+            DatasetKind::Cifar10 => 1,
+            DatasetKind::Cifar100 => 2,
+            DatasetKind::ImageNet16_120 => 3,
+        }
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_match_the_benchmarks() {
+        assert_eq!(DatasetKind::Cifar10.num_classes(), 10);
+        assert_eq!(DatasetKind::Cifar100.num_classes(), 100);
+        assert_eq!(DatasetKind::ImageNet16_120.num_classes(), 120);
+        assert_eq!(DatasetKind::Cifar10.resolution(), 32);
+        assert_eq!(DatasetKind::ImageNet16_120.resolution(), 16);
+        for kind in DatasetKind::ALL {
+            assert_eq!(kind.channels(), 3);
+        }
+    }
+
+    #[test]
+    fn names_and_ids_are_unique() {
+        let names: std::collections::HashSet<_> = DatasetKind::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 3);
+        let ids: std::collections::HashSet<_> = DatasetKind::ALL.iter().map(|d| d.id()).collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(DatasetKind::ImageNet16_120.to_string(), "ImageNet16-120");
+    }
+}

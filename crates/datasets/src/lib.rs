@@ -1,0 +1,51 @@
+//! Synthetic stand-ins for the image datasets used by the paper.
+//!
+//! MicroNAS evaluates on CIFAR-10, CIFAR-100 and ImageNet16-120. The
+//! zero-cost proxies only consume a **single mini-batch of input images** —
+//! no labels and no training loop — so the statistical structure of the batch
+//! (resolution, channel count, per-class modes, pixel statistics) is what
+//! matters, not the actual photographs. This crate generates deterministic,
+//! class-conditional Gaussian images with the correct geometry for each
+//! dataset, which exercises exactly the same code path the real data would.
+//! The substitution is recorded in `DESIGN.md` (system #5).
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_datasets::{DatasetKind, SyntheticDataset};
+//!
+//! let data = SyntheticDataset::new(DatasetKind::Cifar10, 42);
+//! let batch = data.sample_batch(32, 16).unwrap();
+//! assert_eq!(batch.images.shape().dims(), &[32, 3, 16, 16]);
+//! assert_eq!(batch.labels.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod kind;
+mod synthetic;
+
+pub use batch::Batch;
+pub use kind::DatasetKind;
+pub use synthetic::SyntheticDataset;
+
+/// Errors produced by dataset sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A batch with zero samples or zero resolution was requested.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::InvalidRequest(msg) => write!(f, "invalid batch request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

@@ -1,0 +1,176 @@
+use crate::HardwareIndicators;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One violated hardware budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintViolation {
+    /// Estimated latency exceeds the budget (milliseconds: actual, limit).
+    Latency(f64, f64),
+    /// FLOPs exceed the budget (millions: actual, limit).
+    Flops(f64, f64),
+    /// Parameters exceed the budget (millions: actual, limit).
+    Params(f64, f64),
+    /// Peak activation memory exceeds SRAM (KiB: actual, limit).
+    Sram(f64, f64),
+    /// Weight storage exceeds flash (KiB: actual, limit).
+    Flash(f64, f64),
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::Latency(a, l) => write!(f, "latency {a:.2} ms exceeds {l:.2} ms"),
+            ConstraintViolation::Flops(a, l) => write!(f, "{a:.1} MFLOPs exceeds {l:.1} MFLOPs"),
+            ConstraintViolation::Params(a, l) => write!(f, "{a:.3} M params exceeds {l:.3} M"),
+            ConstraintViolation::Sram(a, l) => write!(f, "peak SRAM {a:.1} KiB exceeds {l:.1} KiB"),
+            ConstraintViolation::Flash(a, l) => write!(f, "flash {a:.1} KiB exceeds {l:.1} KiB"),
+        }
+    }
+}
+
+/// Deployment budgets for the hardware-aware search.
+///
+/// Unset fields (`None`) are unconstrained. [`HardwareConstraints::for_device`]
+/// derives memory budgets from an MCU spec while leaving latency free.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HardwareConstraints {
+    /// Maximum end-to-end latency in milliseconds.
+    pub max_latency_ms: Option<f64>,
+    /// Maximum FLOPs in millions.
+    pub max_flops_m: Option<f64>,
+    /// Maximum parameter count in millions.
+    pub max_params_m: Option<f64>,
+    /// Maximum peak activation memory in KiB.
+    pub max_sram_kib: Option<f64>,
+    /// Maximum weight storage in KiB.
+    pub max_flash_kib: Option<f64>,
+}
+
+impl HardwareConstraints {
+    /// No constraints at all (the paper's "baseline" search configuration).
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Memory constraints matching a device's SRAM and flash capacity.
+    pub fn for_device(spec: &micronas_mcu::McuSpec) -> Self {
+        Self {
+            max_latency_ms: None,
+            max_flops_m: None,
+            max_params_m: None,
+            max_sram_kib: Some(spec.sram_kib as f64),
+            max_flash_kib: Some(spec.flash_kib as f64),
+        }
+    }
+
+    /// Adds a latency budget, keeping other fields.
+    pub fn with_latency_ms(mut self, ms: f64) -> Self {
+        self.max_latency_ms = Some(ms);
+        self
+    }
+
+    /// Adds a FLOPs budget (millions), keeping other fields.
+    pub fn with_flops_m(mut self, flops_m: f64) -> Self {
+        self.max_flops_m = Some(flops_m);
+        self
+    }
+
+    /// Adds a parameter budget (millions), keeping other fields.
+    pub fn with_params_m(mut self, params_m: f64) -> Self {
+        self.max_params_m = Some(params_m);
+        self
+    }
+
+    /// Checks an indicator record against the budgets.
+    pub fn violations(&self, ind: &HardwareIndicators) -> Vec<ConstraintViolation> {
+        let mut out = Vec::new();
+        if let Some(limit) = self.max_latency_ms {
+            if ind.latency_ms > limit {
+                out.push(ConstraintViolation::Latency(ind.latency_ms, limit));
+            }
+        }
+        if let Some(limit) = self.max_flops_m {
+            if ind.flops_m > limit {
+                out.push(ConstraintViolation::Flops(ind.flops_m, limit));
+            }
+        }
+        if let Some(limit) = self.max_params_m {
+            if ind.params_m > limit {
+                out.push(ConstraintViolation::Params(ind.params_m, limit));
+            }
+        }
+        if let Some(limit) = self.max_sram_kib {
+            if ind.peak_sram_kib > limit {
+                out.push(ConstraintViolation::Sram(ind.peak_sram_kib, limit));
+            }
+        }
+        if let Some(limit) = self.max_flash_kib {
+            if ind.flash_kib > limit {
+                out.push(ConstraintViolation::Flash(ind.flash_kib, limit));
+            }
+        }
+        out
+    }
+
+    /// Whether the indicator record satisfies every budget.
+    pub fn satisfied_by(&self, ind: &HardwareIndicators) -> bool {
+        self.violations(ind).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_indicators() -> HardwareIndicators {
+        HardwareIndicators {
+            flops_m: 100.0,
+            macs_m: 50.0,
+            params_m: 0.8,
+            latency_ms: 250.0,
+            peak_sram_kib: 128.0,
+            flash_kib: 800.0,
+        }
+    }
+
+    #[test]
+    fn unconstrained_accepts_everything() {
+        let c = HardwareConstraints::unconstrained();
+        assert!(c.satisfied_by(&sample_indicators()));
+        assert!(c.violations(&sample_indicators()).is_empty());
+    }
+
+    #[test]
+    fn each_budget_is_enforced() {
+        let ind = sample_indicators();
+        assert!(!HardwareConstraints::unconstrained().with_latency_ms(200.0).satisfied_by(&ind));
+        assert!(HardwareConstraints::unconstrained().with_latency_ms(300.0).satisfied_by(&ind));
+        assert!(!HardwareConstraints::unconstrained().with_flops_m(50.0).satisfied_by(&ind));
+        assert!(!HardwareConstraints::unconstrained().with_params_m(0.5).satisfied_by(&ind));
+        let sram = HardwareConstraints { max_sram_kib: Some(64.0), ..Default::default() };
+        assert!(!sram.satisfied_by(&ind));
+        let flash = HardwareConstraints { max_flash_kib: Some(512.0), ..Default::default() };
+        assert!(!flash.satisfied_by(&ind));
+    }
+
+    #[test]
+    fn violations_carry_values_and_display() {
+        let ind = sample_indicators();
+        let c = HardwareConstraints::unconstrained().with_latency_ms(100.0).with_flops_m(10.0);
+        let v = c.violations(&ind);
+        assert_eq!(v.len(), 2);
+        let text: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert!(text.iter().any(|t| t.contains("ms")));
+        assert!(text.iter().any(|t| t.contains("MFLOPs")));
+    }
+
+    #[test]
+    fn device_constraints_use_spec_memory() {
+        let spec = micronas_mcu::McuSpec::stm32f746zg();
+        let c = HardwareConstraints::for_device(&spec);
+        assert_eq!(c.max_sram_kib, Some(320.0));
+        assert_eq!(c.max_flash_kib, Some(1024.0));
+        assert!(c.max_latency_ms.is_none());
+    }
+}

@@ -1,0 +1,130 @@
+use crate::{FlopsEstimator, LatencyEstimator, MemoryEstimator};
+use micronas_mcu::McuSpec;
+use micronas_searchspace::{CellTopology, MacroSkeleton};
+use serde::{Deserialize, Serialize};
+
+/// The combined hardware indicator record for one architecture, in the units
+/// used by the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareIndicators {
+    /// FLOPs in millions.
+    pub flops_m: f64,
+    /// MACs in millions.
+    pub macs_m: f64,
+    /// Parameters in millions.
+    pub params_m: f64,
+    /// Estimated MCU inference latency in milliseconds.
+    pub latency_ms: f64,
+    /// Peak activation memory in KiB.
+    pub peak_sram_kib: f64,
+    /// Weight (flash) footprint in KiB.
+    pub flash_kib: f64,
+}
+
+/// One-stop hardware evaluation of a candidate cell: FLOPs, parameters,
+/// estimated latency and memory footprint against a fixed macro skeleton and
+/// target device.
+///
+/// The evaluator owns a [`LatencyEstimator`] so the per-operation lookup
+/// table is shared across every architecture evaluated during a search,
+/// exactly as in the paper's workflow (profile once, reuse for all samples).
+#[derive(Debug)]
+pub struct HardwareEvaluator {
+    skeleton: MacroSkeleton,
+    flops: FlopsEstimator,
+    latency: LatencyEstimator,
+    memory: MemoryEstimator,
+}
+
+impl HardwareEvaluator {
+    /// Creates an evaluator for a skeleton and target device.
+    pub fn new(skeleton: MacroSkeleton, spec: McuSpec) -> Self {
+        Self {
+            skeleton,
+            flops: FlopsEstimator::new(),
+            latency: LatencyEstimator::new(spec),
+            memory: MemoryEstimator::new(),
+        }
+    }
+
+    /// The macro skeleton used for instantiation.
+    pub fn skeleton(&self) -> &MacroSkeleton {
+        &self.skeleton
+    }
+
+    /// The target device.
+    pub fn spec(&self) -> &McuSpec {
+        self.latency.spec()
+    }
+
+    /// The underlying latency estimator (exposes the lookup table).
+    pub fn latency_estimator(&self) -> &LatencyEstimator {
+        &self.latency
+    }
+
+    /// Evaluates every hardware indicator for one cell.
+    pub fn evaluate(&self, cell: CellTopology) -> HardwareIndicators {
+        let ops = self.skeleton.instantiate(&cell);
+        let flops = self.flops.network(&ops);
+        let latency = self.latency.estimate(&ops);
+        let memory = self.memory.network(&ops);
+        HardwareIndicators {
+            flops_m: flops.flops_m(),
+            macs_m: flops.macs as f64 / 1e6,
+            params_m: flops.params_m(),
+            latency_ms: latency.total_ms,
+            peak_sram_kib: memory.peak_activation_kib(),
+            flash_kib: memory.weight_kib(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    #[test]
+    fn evaluation_is_consistent_across_indicators() {
+        let space = SearchSpace::nas_bench_201();
+        let evaluator =
+            HardwareEvaluator::new(MacroSkeleton::nas_bench_201(10), McuSpec::stm32f746zg());
+        let light = evaluator.evaluate(space.cell(0).unwrap());
+        let heavy = evaluator.evaluate(CellTopology::new([Operation::NorConv3x3; 6]));
+        assert!(heavy.flops_m > light.flops_m);
+        assert!(heavy.params_m > light.params_m);
+        assert!(heavy.latency_ms > light.latency_ms);
+        assert!(heavy.flash_kib > light.flash_kib);
+        assert!(heavy.peak_sram_kib >= light.peak_sram_kib);
+    }
+
+    #[test]
+    fn lookup_table_is_shared_across_evaluations() {
+        let space = SearchSpace::nas_bench_201();
+        let evaluator =
+            HardwareEvaluator::new(MacroSkeleton::nas_bench_201(10), McuSpec::stm32f746zg());
+        let _ = evaluator.evaluate(space.cell(5).unwrap());
+        let after_first = evaluator.latency_estimator().lut_len();
+        let _ = evaluator.evaluate(space.cell(6).unwrap());
+        let _ = evaluator.evaluate(space.cell(7).unwrap());
+        let after_three = evaluator.latency_estimator().lut_len();
+        // The table grows sub-linearly: most op shapes repeat across cells.
+        assert!(after_three < after_first * 3);
+    }
+
+    #[test]
+    fn table1_band_check_for_speedup() {
+        // The paper's hardware-aware pick is ~3.2x faster than TE-NAS's pick.
+        // The latency ratio between a light-but-connected cell and an
+        // all-conv3x3 cell must comfortably cover that band.
+        let evaluator =
+            HardwareEvaluator::new(MacroSkeleton::nas_bench_201(10), McuSpec::stm32f746zg());
+        let mut light_ops = [Operation::SkipConnect; 6];
+        light_ops[0] = Operation::NorConv1x1;
+        light_ops[5] = Operation::NorConv3x3;
+        let light = evaluator.evaluate(CellTopology::new(light_ops));
+        let heavy = evaluator.evaluate(CellTopology::new([Operation::NorConv3x3; 6]));
+        let speedup = heavy.latency_ms / light.latency_ms;
+        assert!(speedup > 2.0, "speedup band too narrow: {speedup}");
+    }
+}

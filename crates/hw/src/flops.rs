@@ -1,0 +1,174 @@
+use micronas_searchspace::{CellTopology, MacroSkeleton, OpClass, OpInstance};
+use serde::{Deserialize, Serialize};
+
+/// FLOPs / MACs / parameter totals for a network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlopsReport {
+    /// Total floating point operations (2 × MACs plus element-wise work).
+    pub flops: u64,
+    /// Total multiply–accumulate operations.
+    pub macs: u64,
+    /// Total trainable parameters.
+    pub params: u64,
+}
+
+impl FlopsReport {
+    /// FLOPs expressed in millions, matching the unit of Table I.
+    pub fn flops_m(&self) -> f64 {
+        self.flops as f64 / 1e6
+    }
+
+    /// Parameters expressed in millions, matching the unit of Table I.
+    pub fn params_m(&self) -> f64 {
+        self.params as f64 / 1e6
+    }
+}
+
+/// Analytic FLOPs / parameter estimator.
+///
+/// The estimator mirrors the counting conventions of the paper (and of the
+/// `thop`/`fvcore` tools commonly used with NAS-Bench-201): convolutions and
+/// linear layers count 2 FLOPs per MAC, pooling and element-wise additions
+/// count 1 FLOP per processed element, identity and `none` edges are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlopsEstimator;
+
+impl FlopsEstimator {
+    /// Creates a new estimator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Multiply–accumulate count of one layer.
+    pub fn layer_macs(&self, op: &OpInstance) -> u64 {
+        let out = op.output_elements() as u64;
+        match op.class {
+            OpClass::Conv => out * (op.c_in * op.kernel * op.kernel) as u64,
+            OpClass::Linear => (op.c_in * op.c_out) as u64,
+            _ => 0,
+        }
+    }
+
+    /// FLOP count of one layer.
+    pub fn layer_flops(&self, op: &OpInstance) -> u64 {
+        let out = op.output_elements() as u64;
+        match op.class {
+            OpClass::Conv | OpClass::Linear => 2 * self.layer_macs(op),
+            OpClass::Pool => out * (op.kernel * op.kernel) as u64,
+            OpClass::GlobalPool => op.input_elements() as u64,
+            OpClass::Add => out,
+            OpClass::Identity | OpClass::Zero => 0,
+        }
+    }
+
+    /// Trainable parameter count of one layer.
+    pub fn layer_params(&self, op: &OpInstance) -> u64 {
+        match op.class {
+            OpClass::Conv => (op.c_in * op.c_out * op.kernel * op.kernel) as u64,
+            OpClass::Linear => (op.c_in * op.c_out) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Totals for a flattened network.
+    pub fn network(&self, ops: &[OpInstance]) -> FlopsReport {
+        let mut flops = 0u64;
+        let mut macs = 0u64;
+        let mut params = 0u64;
+        for op in ops {
+            flops += self.layer_flops(op);
+            macs += self.layer_macs(op);
+            params += self.layer_params(op);
+        }
+        FlopsReport { flops, macs, params }
+    }
+
+    /// Convenience wrapper: totals for a cell stacked into a skeleton.
+    pub fn cell_in_skeleton(&self, cell: &CellTopology, skeleton: &MacroSkeleton) -> FlopsReport {
+        self.network(&skeleton.instantiate(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    fn all_op_cell(op: Operation) -> CellTopology {
+        CellTopology::new([op; 6])
+    }
+
+    #[test]
+    fn all_none_cell_has_only_skeleton_flops() {
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let none = est.cell_in_skeleton(&all_op_cell(Operation::None), &sk);
+        let skip = est.cell_in_skeleton(&all_op_cell(Operation::SkipConnect), &sk);
+        // Skip connections add no FLOPs either: identical totals.
+        assert_eq!(none.flops, skip.flops);
+        assert!(none.flops > 0, "stem, reductions and head still count");
+    }
+
+    #[test]
+    fn conv3x3_cell_is_heaviest() {
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let c3 = est.cell_in_skeleton(&all_op_cell(Operation::NorConv3x3), &sk);
+        let c1 = est.cell_in_skeleton(&all_op_cell(Operation::NorConv1x1), &sk);
+        let pool = est.cell_in_skeleton(&all_op_cell(Operation::AvgPool3x3), &sk);
+        assert!(c3.flops > c1.flops);
+        assert!(c1.flops > pool.flops);
+        assert!(c3.params > c1.params);
+        assert_eq!(pool.params, est.cell_in_skeleton(&all_op_cell(Operation::None), &sk).params);
+    }
+
+    #[test]
+    fn flops_are_twice_macs_for_pure_conv_layers() {
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let ops = sk.instantiate(&all_op_cell(Operation::NorConv3x3));
+        for op in ops.iter().filter(|o| o.class == OpClass::Conv) {
+            assert_eq!(est.layer_flops(op), 2 * est.layer_macs(op));
+        }
+    }
+
+    #[test]
+    fn table1_magnitude_is_plausible() {
+        // Paper Table I reports TE-NAS at ~189 MFLOPs and the MicroNAS model
+        // at ~51 MFLOPs on CIFAR-10; the space spans roughly 10–300 MFLOPs.
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let space = SearchSpace::nas_bench_201();
+        let heaviest = est.cell_in_skeleton(&all_op_cell(Operation::NorConv3x3), &sk);
+        let lightest = est.cell_in_skeleton(&space.cell(0).unwrap(), &sk);
+        assert!(heaviest.flops_m() > 100.0 && heaviest.flops_m() < 500.0, "{}", heaviest.flops_m());
+        assert!(lightest.flops_m() < 40.0, "{}", lightest.flops_m());
+    }
+
+    #[test]
+    fn params_magnitude_is_plausible() {
+        // NAS-Bench-201 models range roughly 0.07–1.5 M parameters.
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let heaviest = est.cell_in_skeleton(&all_op_cell(Operation::NorConv3x3), &sk);
+        assert!(heaviest.params_m() > 0.5 && heaviest.params_m() < 2.0, "{}", heaviest.params_m());
+    }
+
+    #[test]
+    fn monotone_in_added_convolutions() {
+        let est = FlopsEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let space = SearchSpace::nas_bench_201();
+        let mut prev = est.cell_in_skeleton(&space.cell(0).unwrap(), &sk).flops;
+        // Gradually replace edges with conv3x3: FLOPs must never decrease.
+        let mut cell = space.cell(0).unwrap();
+        for edge in 0..6 {
+            cell = cell
+                .with_op(micronas_searchspace::EdgeId(edge), Operation::NorConv3x3)
+                .unwrap();
+            let f = est.cell_in_skeleton(&cell, &sk).flops;
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Hardware indicators for MCU-aware architecture search.
+//!
+//! MicroNAS steers its search with two hardware proxies — an analytic FLOPs
+//! count and an estimated on-device latency built from a per-operation lookup
+//! table — and the paper names peak-memory modelling as future work. This
+//! crate implements all three:
+//!
+//! * [`FlopsEstimator`] — exact multiply–accumulate / FLOP counting per layer
+//!   and per network, plus parameter counting;
+//! * [`LatencyEstimator`] — the paper's estimator structure: profile each
+//!   operation shape once (here against the cycle-approximate
+//!   [`micronas_mcu::McuSimulator`] standing in for the physical board),
+//!   cache the result in a lookup table, and sum table entries plus a
+//!   constant per-inference overhead;
+//! * [`MemoryEstimator`] — peak activation SRAM and flash weight footprint
+//!   (the paper's stated future-work extension);
+//! * [`HardwareConstraints`] / [`HardwareIndicators`] — the budget check used
+//!   by the hardware-aware pruning search, and the combined per-architecture
+//!   indicator record;
+//! * [`HardwareEvaluator`] — one-stop evaluation of a cell against a macro
+//!   skeleton and a target device.
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_hw::HardwareEvaluator;
+//! use micronas_mcu::McuSpec;
+//! use micronas_searchspace::{MacroSkeleton, SearchSpace};
+//!
+//! let space = SearchSpace::nas_bench_201();
+//! let evaluator = HardwareEvaluator::new(MacroSkeleton::nas_bench_201(10), McuSpec::stm32f746zg());
+//! let indicators = evaluator.evaluate(space.cell(4_000).unwrap());
+//! assert!(indicators.flops_m > 0.0);
+//! assert!(indicators.latency_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod constraints;
+mod evaluator;
+mod flops;
+mod latency;
+mod memory;
+
+pub use constraints::{ConstraintViolation, HardwareConstraints};
+pub use evaluator::{HardwareEvaluator, HardwareIndicators};
+pub use flops::{FlopsEstimator, FlopsReport};
+pub use latency::{LatencyBreakdown, LatencyEstimator, LutKey};
+pub use memory::{MemoryEstimator, MemoryReport};

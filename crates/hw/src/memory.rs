@@ -1,0 +1,151 @@
+use micronas_searchspace::{CellTopology, MacroSkeleton, OpClass, OpInstance};
+use serde::{Deserialize, Serialize};
+
+/// Memory footprint of a network on the target MCU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Peak activation working set in bytes (largest simultaneous
+    /// input + output buffer across layers; the tensor-arena high-water mark).
+    pub peak_activation_bytes: u64,
+    /// Total weight storage in bytes (flash footprint).
+    pub weight_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Peak activation memory in KiB.
+    pub fn peak_activation_kib(&self) -> f64 {
+        self.peak_activation_bytes as f64 / 1024.0
+    }
+
+    /// Weight storage in KiB.
+    pub fn weight_kib(&self) -> f64 {
+        self.weight_bytes as f64 / 1024.0
+    }
+
+    /// Whether the network fits the given SRAM / flash budgets (KiB).
+    pub fn fits(&self, sram_kib: usize, flash_kib: usize) -> bool {
+        self.peak_activation_bytes <= (sram_kib as u64) * 1024
+            && self.weight_bytes <= (flash_kib as u64) * 1024
+    }
+}
+
+/// Peak-memory estimator (the paper's stated future-work extension,
+/// implemented here so the memory-guided search ablation can run).
+///
+/// The activation model assumes single-buffered execution: at any time the
+/// active layer needs its input and output buffers resident in SRAM, which is
+/// how TensorFlow Lite Micro's greedy arena planner behaves for chain-like
+/// graphs. Weights live in flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryEstimator;
+
+impl MemoryEstimator {
+    /// Creates a new estimator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Working-set bytes of a single layer (input + output activations).
+    pub fn layer_working_set(&self, op: &OpInstance) -> u64 {
+        match op.class {
+            OpClass::Zero => 0,
+            _ => ((op.input_elements() + op.output_elements()) * 4) as u64,
+        }
+    }
+
+    /// Weight bytes of a single layer.
+    pub fn layer_weight_bytes(&self, op: &OpInstance) -> u64 {
+        match op.class {
+            OpClass::Conv => (op.c_in * op.c_out * op.kernel * op.kernel * 4) as u64,
+            OpClass::Linear => (op.c_in * op.c_out * 4) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Memory report for a flattened network.
+    pub fn network(&self, ops: &[OpInstance]) -> MemoryReport {
+        let mut peak = 0u64;
+        let mut weights = 0u64;
+        for op in ops {
+            peak = peak.max(self.layer_working_set(op));
+            weights += self.layer_weight_bytes(op);
+        }
+        MemoryReport { peak_activation_bytes: peak, weight_bytes: weights }
+    }
+
+    /// Convenience wrapper: report for a cell stacked into a skeleton.
+    pub fn cell_in_skeleton(&self, cell: &CellTopology, skeleton: &MacroSkeleton) -> MemoryReport {
+        self.network(&skeleton.instantiate(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    #[test]
+    fn peak_memory_dominated_by_early_high_resolution_layers() {
+        let est = MemoryEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+        let ops = sk.instantiate(&cell);
+        let report = est.network(&ops);
+        // Stage 0 runs at 32x32x16: a conv edge there holds 2 * 16*32*32 floats.
+        let stage0_conv = 2 * 16 * 32 * 32 * 4;
+        assert_eq!(report.peak_activation_bytes, stage0_conv as u64);
+    }
+
+    #[test]
+    fn weight_bytes_track_parameter_count() {
+        let est = MemoryEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let c3 = est.cell_in_skeleton(&CellTopology::new([Operation::NorConv3x3; 6]), &sk);
+        let c1 = est.cell_in_skeleton(&CellTopology::new([Operation::NorConv1x1; 6]), &sk);
+        assert!(c3.weight_bytes > c1.weight_bytes);
+        // 4 bytes per parameter.
+        let flops = crate::FlopsEstimator::new()
+            .cell_in_skeleton(&CellTopology::new([Operation::NorConv3x3; 6]), &sk);
+        assert_eq!(c3.weight_bytes, flops.params * 4);
+    }
+
+    #[test]
+    fn fits_respects_budgets() {
+        let est = MemoryEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let space = SearchSpace::nas_bench_201();
+        let report = est.cell_in_skeleton(&space.cell(100).unwrap(), &sk);
+        assert!(report.fits(10_000, 100_000));
+        assert!(!report.fits(0, 100_000));
+        assert!(!report.fits(10_000, 0));
+        assert!(report.peak_activation_kib() > 0.0);
+        assert!(report.weight_kib() > 0.0);
+    }
+
+    #[test]
+    fn none_edges_consume_no_activation_memory() {
+        let est = MemoryEstimator::new();
+        let inst = OpInstance {
+            role: micronas_searchspace::LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            class: OpClass::Zero,
+            cell_op: Some(Operation::None),
+            kernel: 1,
+            stride: 1,
+            c_in: 16,
+            c_out: 16,
+            h_in: 32,
+            w_in: 32,
+        };
+        assert_eq!(est.layer_working_set(&inst), 0);
+        assert_eq!(est.layer_weight_bytes(&inst), 0);
+    }
+
+    #[test]
+    fn skip_only_network_fits_f746_sram() {
+        // 320 KiB SRAM on the F746: the skip-only model easily fits.
+        let est = MemoryEstimator::new();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let report = est.cell_in_skeleton(&CellTopology::new([Operation::SkipConnect; 6]), &sk);
+        assert!(report.fits(320, 1024));
+    }
+}

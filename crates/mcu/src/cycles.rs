@@ -1,0 +1,229 @@
+use crate::McuSpec;
+use micronas_searchspace::{OpClass, OpInstance};
+use serde::{Deserialize, Serialize};
+
+/// Timing estimate for one primitive layer instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Cycles spent in arithmetic (MACs / additions).
+    pub compute_cycles: f64,
+    /// Cycles spent moving activations and weights.
+    pub memory_cycles: f64,
+    /// Fixed invocation overhead cycles.
+    pub overhead_cycles: f64,
+    /// Total modelled cycles for the layer.
+    pub total_cycles: f64,
+}
+
+impl LayerTiming {
+    /// Latency of the layer in milliseconds on the given device.
+    pub fn latency_ms(&self, spec: &McuSpec) -> f64 {
+        spec.cycles_to_ms(self.total_cycles)
+    }
+}
+
+/// The analytic cycle model for one device.
+///
+/// The model treats every layer as a compute phase overlapped with a memory
+/// phase (the slower of the two dominates, with a small serialisation
+/// penalty) plus a fixed invocation overhead. Multiply–accumulate counts and
+/// byte traffic are derived from the layer geometry in [`OpInstance`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    spec: McuSpec,
+}
+
+impl CycleModel {
+    /// Creates a cycle model for the given device.
+    pub fn new(spec: McuSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The device description backing this model.
+    pub fn spec(&self) -> &McuSpec {
+        &self.spec
+    }
+
+    /// Number of multiply–accumulate operations performed by the layer.
+    pub fn macs(&self, op: &OpInstance) -> u64 {
+        let out_elems = op.output_elements() as u64;
+        match op.class {
+            OpClass::Conv => out_elems * (op.c_in * op.kernel * op.kernel) as u64,
+            OpClass::Linear => (op.c_in * op.c_out) as u64,
+            // Pooling and additions perform one add per window element / element.
+            OpClass::Pool => out_elems * (op.kernel * op.kernel) as u64,
+            OpClass::Add => out_elems,
+            OpClass::GlobalPool => op.input_elements() as u64,
+            OpClass::Identity | OpClass::Zero => 0,
+        }
+    }
+
+    /// Bytes of weight data streamed from flash for the layer.
+    pub fn weight_bytes(&self, op: &OpInstance) -> u64 {
+        let params = match op.class {
+            OpClass::Conv => op.c_in * op.c_out * op.kernel * op.kernel,
+            OpClass::Linear => op.c_in * op.c_out,
+            _ => 0,
+        };
+        (params * 4) as u64
+    }
+
+    /// Bytes of activation traffic (reads + writes) for the layer.
+    pub fn activation_bytes(&self, op: &OpInstance) -> u64 {
+        let io = match op.class {
+            OpClass::Zero => op.output_elements(),
+            _ => op.input_elements() + op.output_elements(),
+        };
+        (io * 4) as u64
+    }
+
+    /// Estimated timing of one layer.
+    pub fn layer_timing(&self, op: &OpInstance) -> LayerTiming {
+        if matches!(op.class, OpClass::Zero) {
+            // The `none` operation compiles away entirely.
+            return LayerTiming {
+                compute_cycles: 0.0,
+                memory_cycles: 0.0,
+                overhead_cycles: 0.0,
+                total_cycles: 0.0,
+            };
+        }
+
+        let macs = self.macs(op) as f64;
+        let out_elems = op.output_elements() as f64;
+        let compute_cycles =
+            macs / self.spec.macs_per_cycle + out_elems * self.spec.per_element_overhead_cycles;
+
+        // Weights come from flash (wait states), activations from SRAM.
+        let weight_cycles = self.weight_bytes(op) as f64 / self.spec.bus_width_bytes
+            * (1.0 + self.spec.flash_wait_states);
+        let activation_cycles = self.activation_bytes(op) as f64 / self.spec.bus_width_bytes;
+        let memory_cycles = weight_cycles + activation_cycles;
+
+        let overhead_cycles = match op.class {
+            OpClass::Identity => self.spec.layer_invocation_cycles * 0.25,
+            _ => self.spec.layer_invocation_cycles,
+        };
+
+        // Compute and memory partially overlap on the M7 (store buffer +
+        // prefetch); the slower phase dominates and 30% of the faster phase
+        // leaks through as serialisation.
+        let overlapped = compute_cycles.max(memory_cycles) + 0.3 * compute_cycles.min(memory_cycles);
+        LayerTiming {
+            compute_cycles,
+            memory_cycles,
+            overhead_cycles,
+            total_cycles: overlapped + overhead_cycles,
+        }
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self::new(McuSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{LayerRole, Operation};
+
+    fn conv_instance(kernel: usize, c: usize, r: usize) -> OpInstance {
+        OpInstance {
+            role: LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            class: OpClass::Conv,
+            cell_op: Some(if kernel == 3 { Operation::NorConv3x3 } else { Operation::NorConv1x1 }),
+            kernel,
+            stride: 1,
+            c_in: c,
+            c_out: c,
+            h_in: r,
+            w_in: r,
+        }
+    }
+
+    fn instance_of(class: OpClass, kernel: usize, c: usize, r: usize) -> OpInstance {
+        OpInstance {
+            role: LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            class,
+            cell_op: None,
+            kernel,
+            stride: 1,
+            c_in: c,
+            c_out: c,
+            h_in: r,
+            w_in: r,
+        }
+    }
+
+    #[test]
+    fn mac_counts_match_analytic_formulas() {
+        let model = CycleModel::default();
+        let conv3 = conv_instance(3, 16, 32);
+        // out 16*32*32, per output 16*9 macs
+        assert_eq!(model.macs(&conv3), (16 * 32 * 32) as u64 * (16 * 9) as u64);
+        let conv1 = conv_instance(1, 16, 32);
+        assert_eq!(model.macs(&conv1), (16 * 32 * 32) as u64 * 16);
+        let skip = instance_of(OpClass::Identity, 1, 16, 32);
+        assert_eq!(model.macs(&skip), 0);
+    }
+
+    #[test]
+    fn conv3x3_slower_than_conv1x1_slower_than_pool() {
+        let model = CycleModel::default();
+        let t3 = model.layer_timing(&conv_instance(3, 16, 32)).total_cycles;
+        let t1 = model.layer_timing(&conv_instance(1, 16, 32)).total_cycles;
+        let tp = model.layer_timing(&instance_of(OpClass::Pool, 3, 16, 32)).total_cycles;
+        let ts = model.layer_timing(&instance_of(OpClass::Identity, 1, 16, 32)).total_cycles;
+        let tz = model.layer_timing(&instance_of(OpClass::Zero, 1, 16, 32)).total_cycles;
+        assert!(t3 > t1, "3x3 conv should cost more than 1x1 conv");
+        assert!(t1 > tp, "1x1 conv should cost more than 3x3 avg pool at same width");
+        assert!(tp > ts, "pooling should cost more than a skip connection");
+        assert_eq!(tz, 0.0, "the none op costs nothing");
+    }
+
+    #[test]
+    fn conv3x3_vs_1x1_ratio_is_less_than_flops_ratio() {
+        // The MCU-specific bias: per-element overhead and memory traffic mean
+        // a 3x3 conv is NOT 9x slower than a 1x1 conv even though it has 9x
+        // the FLOPs. This is exactly why the paper's latency-guided search
+        // beats the FLOPs-guided one.
+        let model = CycleModel::default();
+        let t3 = model.layer_timing(&conv_instance(3, 16, 32)).total_cycles;
+        let t1 = model.layer_timing(&conv_instance(1, 16, 32)).total_cycles;
+        let ratio = t3 / t1;
+        assert!(ratio < 9.0, "latency ratio {ratio} should be below the 9x FLOPs ratio");
+        assert!(ratio > 2.0, "latency ratio {ratio} should still clearly favour 1x1");
+    }
+
+    #[test]
+    fn faster_clock_reduces_latency_not_cycles() {
+        let f7 = CycleModel::new(McuSpec::stm32f746zg());
+        let h7 = CycleModel::new(McuSpec::stm32h743());
+        let inst = conv_instance(3, 16, 32);
+        let t_f7 = f7.layer_timing(&inst);
+        let t_h7 = h7.layer_timing(&inst);
+        assert!(t_h7.latency_ms(h7.spec()) < t_f7.latency_ms(f7.spec()));
+    }
+
+    #[test]
+    fn weight_and_activation_bytes() {
+        let model = CycleModel::default();
+        let conv = conv_instance(3, 8, 16);
+        assert_eq!(model.weight_bytes(&conv), (8 * 8 * 9 * 4) as u64);
+        assert_eq!(model.activation_bytes(&conv), ((8 * 16 * 16) * 2 * 4) as u64);
+        let skip = instance_of(OpClass::Identity, 1, 8, 16);
+        assert_eq!(model.weight_bytes(&skip), 0);
+    }
+
+    #[test]
+    fn timings_are_positive_and_consistent() {
+        let model = CycleModel::default();
+        let inst = conv_instance(3, 16, 32);
+        let t = model.layer_timing(&inst);
+        assert!(t.total_cycles >= t.compute_cycles.max(t.memory_cycles));
+        assert!(t.total_cycles > 0.0);
+        assert!(t.latency_ms(model.spec()) > 0.0);
+    }
+}

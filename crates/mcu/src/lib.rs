@@ -1,0 +1,46 @@
+//! Cycle-approximate model of the target microcontroller.
+//!
+//! The paper profiles every candidate operation on a physical STM32
+//! NUCLEO-F746ZG board (Arm Cortex-M7 @ 216 MHz) to build its latency lookup
+//! table. No board is available in this environment, so this crate provides
+//! the substitute required by the reproduction: an analytic, cycle-level cost
+//! model of a Cortex-M7-class core executing CMSIS-NN-style convolution,
+//! pooling and fully connected kernels.
+//!
+//! The model captures the effects that give the paper's latency estimator its
+//! MCU-specific bias:
+//!
+//! * single-precision MAC throughput with limited dual-issue,
+//! * flash wait-states on weight fetches vs. fast SRAM/DTCM activations,
+//! * per-output-element loop overhead (much heavier, relatively, for 1×1
+//!   convolutions and pooling than for 3×3 convolutions),
+//! * a fixed per-layer invocation overhead (kernel dispatch, im2col setup),
+//!   which the paper models as the "constant hardware latency overhead".
+//!
+//! The absolute cycle counts are approximations, but the *relative* cost of
+//! the five candidate operations — which is what drives the hardware-aware
+//! search — follows the published CMSIS-NN characterisation of Cortex-M7.
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_mcu::{McuSimulator, McuSpec};
+//! use micronas_searchspace::{MacroSkeleton, SearchSpace};
+//!
+//! let space = SearchSpace::nas_bench_201();
+//! let cell = space.cell(4_000).unwrap();
+//! let skeleton = MacroSkeleton::nas_bench_201(10);
+//! let sim = McuSimulator::new(McuSpec::stm32f746zg());
+//! let report = sim.simulate(&skeleton.instantiate(&cell));
+//! assert!(report.total_latency_ms() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cycles;
+mod simulator;
+mod spec;
+
+pub use cycles::{CycleModel, LayerTiming};
+pub use simulator::{InferenceReport, McuSimulator};
+pub use spec::McuSpec;

@@ -1,0 +1,195 @@
+use crate::{CycleModel, LayerTiming, McuSpec};
+use micronas_searchspace::{OpClass, OpInstance};
+use serde::{Deserialize, Serialize};
+
+/// Full-network inference estimate produced by the [`McuSimulator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Per-layer timings in the order the layers were supplied.
+    pub layers: Vec<LayerTiming>,
+    /// Total cycles including the fixed per-inference overhead.
+    pub total_cycles: f64,
+    /// Fixed per-inference overhead cycles included in `total_cycles`.
+    pub inference_overhead_cycles: f64,
+    /// Peak activation working-set estimate in bytes (largest single
+    /// input + output footprint across layers).
+    pub peak_activation_bytes: u64,
+    /// Total weight storage in bytes.
+    pub weight_bytes: u64,
+    /// Device the estimate was produced for.
+    pub device: String,
+    /// Core clock used for the time conversion, in MHz.
+    pub clock_mhz: f64,
+}
+
+impl InferenceReport {
+    /// Total inference latency in milliseconds.
+    pub fn total_latency_ms(&self) -> f64 {
+        self.total_cycles / self.clock_mhz / 1_000.0
+    }
+
+    /// Whether the model fits the given SRAM/flash budget (in KiB).
+    pub fn fits(&self, sram_kib: usize, flash_kib: usize) -> bool {
+        self.peak_activation_bytes <= (sram_kib * 1024) as u64
+            && self.weight_bytes <= (flash_kib * 1024) as u64
+    }
+}
+
+/// Cycle-approximate whole-network simulator for a single MCU.
+///
+/// This plays the role of the physical board in the paper's workflow: the
+/// latency lookup table in `micronas-hw` is *profiled* against this simulator
+/// rather than against real hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McuSimulator {
+    model: CycleModel,
+}
+
+impl McuSimulator {
+    /// Creates a simulator for the given device.
+    pub fn new(spec: McuSpec) -> Self {
+        Self { model: CycleModel::new(spec) }
+    }
+
+    /// The underlying cycle model.
+    pub fn cycle_model(&self) -> &CycleModel {
+        &self.model
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &McuSpec {
+        self.model.spec()
+    }
+
+    /// Profiles a single primitive operation, as the paper does when building
+    /// its per-operation latency lookup table.
+    pub fn profile_op(&self, op: &OpInstance) -> LayerTiming {
+        self.model.layer_timing(op)
+    }
+
+    /// Simulates a full inference over the flattened layer list of a network.
+    pub fn simulate(&self, ops: &[OpInstance]) -> InferenceReport {
+        let spec = self.model.spec();
+        let mut layers = Vec::with_capacity(ops.len());
+        let mut total = spec.inference_overhead_cycles;
+        let mut peak_activation = 0u64;
+        let mut weight_bytes = 0u64;
+        for op in ops {
+            let timing = self.model.layer_timing(op);
+            total += timing.total_cycles;
+            weight_bytes += self.model.weight_bytes(op);
+            if !matches!(op.class, OpClass::Zero) {
+                let working_set = ((op.input_elements() + op.output_elements()) * 4) as u64;
+                peak_activation = peak_activation.max(working_set);
+            }
+            layers.push(timing);
+        }
+        InferenceReport {
+            layers,
+            total_cycles: total,
+            inference_overhead_cycles: spec.inference_overhead_cycles,
+            peak_activation_bytes: peak_activation,
+            weight_bytes,
+            device: spec.name.clone(),
+            clock_mhz: spec.clock_mhz,
+        }
+    }
+}
+
+impl Default for McuSimulator {
+    fn default() -> Self {
+        Self::new(McuSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{MacroSkeleton, Operation, SearchSpace};
+
+    fn space_and_skeleton() -> (SearchSpace, MacroSkeleton) {
+        (SearchSpace::nas_bench_201(), MacroSkeleton::nas_bench_201(10))
+    }
+
+    #[test]
+    fn all_conv_network_is_slowest_all_none_fastest() {
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let all_none = sim.simulate(&skeleton.instantiate(&space.cell(0).unwrap()));
+        // Index of the all-conv3x3 cell: every edge = op index 3.
+        let all_conv_idx = (0..6).fold(0usize, |acc, i| acc + 3 * 5usize.pow(i as u32));
+        let all_conv = sim.simulate(&skeleton.instantiate(&space.cell(all_conv_idx).unwrap()));
+        assert!(all_conv.total_cycles > all_none.total_cycles * 2.0);
+        assert!(all_none.total_latency_ms() > 0.0, "stem/head still cost time");
+    }
+
+    #[test]
+    fn latency_in_plausible_mcu_range() {
+        // A full NAS-Bench-201 network on a 216 MHz M7 takes on the order of
+        // tens of milliseconds to a few seconds; sanity-check the model is in
+        // that band rather than wildly off.
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let mid = sim.simulate(&skeleton.instantiate(&space.cell(7_777).unwrap()));
+        let ms = mid.total_latency_ms();
+        assert!(ms > 5.0 && ms < 10_000.0, "latency {ms} ms outside plausible MCU range");
+    }
+
+    #[test]
+    fn report_accounts_every_layer() {
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let ops = skeleton.instantiate(&space.cell(123).unwrap());
+        let report = sim.simulate(&ops);
+        assert_eq!(report.layers.len(), ops.len());
+        let layer_sum: f64 = report.layers.iter().map(|l| l.total_cycles).sum();
+        assert!((report.total_cycles - layer_sum - report.inference_overhead_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_weights_and_activations() {
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let report = sim.simulate(&skeleton.instantiate(&space.cell(9_000).unwrap()));
+        assert!(report.weight_bytes > 0);
+        assert!(report.peak_activation_bytes > 0);
+        // The NAS-Bench-201 skeleton easily fits an F746's flash but may or
+        // may not fit SRAM; fits() must at least be monotone in the budget.
+        assert!(report.fits(usize::MAX / 2048, usize::MAX / 2048));
+        assert!(!report.fits(0, 0));
+    }
+
+    #[test]
+    fn skip_only_cell_cheaper_than_pool_only_cell() {
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let skip_idx = (0..6).fold(0usize, |acc, i| acc + Operation::SkipConnect.index() * 5usize.pow(i as u32));
+        let pool_idx = (0..6).fold(0usize, |acc, i| acc + Operation::AvgPool3x3.index() * 5usize.pow(i as u32));
+        let skip = sim.simulate(&skeleton.instantiate(&space.cell(skip_idx).unwrap()));
+        let pool = sim.simulate(&skeleton.instantiate(&space.cell(pool_idx).unwrap()));
+        assert!(skip.total_cycles < pool.total_cycles);
+    }
+
+    #[test]
+    fn profile_op_matches_cycle_model() {
+        let (space, skeleton) = space_and_skeleton();
+        let sim = McuSimulator::default();
+        let ops = skeleton.instantiate(&space.cell(42).unwrap());
+        for op in ops.iter().take(10) {
+            let a = sim.profile_op(op);
+            let b = sim.cycle_model().layer_timing(op);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_devices_give_different_latencies() {
+        let (space, skeleton) = space_and_skeleton();
+        let ops = skeleton.instantiate(&space.cell(5_555).unwrap());
+        let f7 = McuSimulator::new(McuSpec::stm32f746zg()).simulate(&ops);
+        let l4 = McuSimulator::new(McuSpec::stm32l476()).simulate(&ops);
+        let h7 = McuSimulator::new(McuSpec::stm32h743()).simulate(&ops);
+        assert!(l4.total_latency_ms() > f7.total_latency_ms());
+        assert!(h7.total_latency_ms() < f7.total_latency_ms());
+    }
+}

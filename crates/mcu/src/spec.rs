@@ -1,0 +1,135 @@
+use serde::{Deserialize, Serialize};
+
+/// Static description of a target microcontroller.
+///
+/// The default construction [`McuSpec::stm32f746zg`] models the board used in
+/// the paper (STM32 NUCLEO-F746ZG); [`McuSpec::stm32l476`] and
+/// [`McuSpec::stm32h743`] are provided for the cross-device sweeps in the
+/// extended benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Single-precision multiply–accumulate operations the core can retire
+    /// per cycle in a tight, well-scheduled loop (dual-issue + FMA).
+    pub macs_per_cycle: f64,
+    /// Additional cycles of loop/bookkeeping overhead per output element.
+    pub per_element_overhead_cycles: f64,
+    /// Flash wait states incurred when streaming weights from flash.
+    pub flash_wait_states: f64,
+    /// Bus width in bytes for memory transfers.
+    pub bus_width_bytes: f64,
+    /// Fixed per-layer invocation overhead in cycles (kernel dispatch,
+    /// buffer setup, im2col bookkeeping).
+    pub layer_invocation_cycles: f64,
+    /// Fixed per-inference overhead in cycles (framework entry, tensor arena
+    /// setup). This is the "constant hardware latency overhead" of the paper.
+    pub inference_overhead_cycles: f64,
+    /// Available SRAM in KiB (activation memory).
+    pub sram_kib: usize,
+    /// Available flash in KiB (weight storage).
+    pub flash_kib: usize,
+}
+
+impl McuSpec {
+    /// The STM32F746ZG (Cortex-M7 @ 216 MHz) used by the paper.
+    pub fn stm32f746zg() -> Self {
+        Self {
+            name: "STM32F746ZG (Cortex-M7 @216MHz)".to_string(),
+            clock_mhz: 216.0,
+            // Cortex-M7 dual-issues a subset of FP ops; sustained CMSIS-NN
+            // float kernels reach roughly 0.8 MAC/cycle.
+            macs_per_cycle: 0.8,
+            per_element_overhead_cycles: 6.0,
+            flash_wait_states: 7.0,
+            bus_width_bytes: 8.0,
+            layer_invocation_cycles: 4_000.0,
+            inference_overhead_cycles: 150_000.0,
+            sram_kib: 320,
+            flash_kib: 1_024,
+        }
+    }
+
+    /// A low-power Cortex-M4 class device (STM32L476 @ 80 MHz).
+    pub fn stm32l476() -> Self {
+        Self {
+            name: "STM32L476 (Cortex-M4 @80MHz)".to_string(),
+            clock_mhz: 80.0,
+            macs_per_cycle: 0.45,
+            per_element_overhead_cycles: 8.0,
+            flash_wait_states: 4.0,
+            bus_width_bytes: 4.0,
+            layer_invocation_cycles: 5_000.0,
+            inference_overhead_cycles: 180_000.0,
+            sram_kib: 128,
+            flash_kib: 1_024,
+        }
+    }
+
+    /// A high-end Cortex-M7 device (STM32H743 @ 480 MHz).
+    pub fn stm32h743() -> Self {
+        Self {
+            name: "STM32H743 (Cortex-M7 @480MHz)".to_string(),
+            clock_mhz: 480.0,
+            macs_per_cycle: 0.9,
+            per_element_overhead_cycles: 5.0,
+            flash_wait_states: 4.0,
+            bus_width_bytes: 8.0,
+            layer_invocation_cycles: 3_500.0,
+            inference_overhead_cycles: 120_000.0,
+            sram_kib: 512,
+            flash_kib: 2_048,
+        }
+    }
+
+    /// Cycle period in microseconds.
+    pub fn cycle_us(&self) -> f64 {
+        1.0 / self.clock_mhz
+    }
+
+    /// Converts a cycle count to milliseconds on this device.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles * self.cycle_us() / 1_000.0
+    }
+}
+
+impl Default for McuSpec {
+    fn default() -> Self {
+        Self::stm32f746zg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_values() {
+        let f7 = McuSpec::stm32f746zg();
+        assert_eq!(f7.clock_mhz, 216.0);
+        assert!(f7.macs_per_cycle > 0.0 && f7.macs_per_cycle <= 2.0);
+        assert!(f7.sram_kib >= 256);
+
+        let l4 = McuSpec::stm32l476();
+        assert!(l4.clock_mhz < f7.clock_mhz);
+        assert!(l4.macs_per_cycle < f7.macs_per_cycle);
+
+        let h7 = McuSpec::stm32h743();
+        assert!(h7.clock_mhz > f7.clock_mhz);
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let spec = McuSpec::stm32f746zg();
+        // 216e6 cycles is exactly one second = 1000 ms.
+        assert!((spec.cycles_to_ms(216e6) - 1_000.0).abs() < 1e-6);
+        assert!((spec.cycle_us() - 1.0 / 216.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_the_paper_board() {
+        assert_eq!(McuSpec::default(), McuSpec::stm32f746zg());
+    }
+}

@@ -1,0 +1,47 @@
+use serde::{Deserialize, Serialize};
+
+/// One row of the surrogate benchmark: everything NAS-Bench-201 would report
+/// for a fully trained architecture on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkEntry {
+    /// Architecture index in the search-space enumeration.
+    pub arch_index: usize,
+    /// Final test accuracy in percent.
+    pub test_accuracy: f64,
+    /// Final validation accuracy in percent (slightly noisier than test).
+    pub valid_accuracy: f64,
+    /// Trainable parameters in millions.
+    pub params_m: f64,
+    /// FLOPs in millions.
+    pub flops_m: f64,
+    /// Simulated cost of fully training this architecture, in GPU hours.
+    ///
+    /// Used to charge training-based baselines (µNAS-style evolutionary
+    /// search) a realistic search cost.
+    pub train_cost_gpu_hours: f64,
+}
+
+impl BenchmarkEntry {
+    /// Test error in percent (`100 - accuracy`).
+    pub fn test_error(&self) -> f64 {
+        100.0 - self.test_accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_complement_of_accuracy() {
+        let e = BenchmarkEntry {
+            arch_index: 1,
+            test_accuracy: 93.5,
+            valid_accuracy: 92.0,
+            params_m: 0.5,
+            flops_m: 80.0,
+            train_cost_gpu_hours: 1.1,
+        };
+        assert!((e.test_error() - 6.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Structural features of a cell used by the surrogate accuracy model.
+
+use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES};
+use serde::{Deserialize, Serialize};
+
+/// The set of edges that lie on at least one signal-carrying path from the
+/// cell input (node 0) to the cell output (node 3).
+///
+/// Operations on edges outside this set never influence the network output,
+/// so the surrogate ignores them — exactly as real training would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UsefulEdges {
+    mask: [bool; NUM_EDGES],
+}
+
+impl UsefulEdges {
+    /// Computes the useful-edge set of a cell.
+    pub fn of(cell: &CellTopology) -> Self {
+        // Forward reachability from node 0 over signal-carrying edges.
+        let mut forward = [false; NUM_NODES];
+        forward[0] = true;
+        for edge in EdgeId::all() {
+            let (src, dst) = edge.endpoints();
+            if forward[src] && cell.edge_ops()[edge.0].carries_signal() {
+                forward[dst] = true;
+            }
+        }
+        // Backward reachability to node 3 (process edges in reverse order).
+        let mut backward = [false; NUM_NODES];
+        backward[NUM_NODES - 1] = true;
+        for edge in EdgeId::all().iter().rev() {
+            let (src, dst) = edge.endpoints();
+            if backward[dst] && cell.edge_ops()[edge.0].carries_signal() {
+                backward[src] = true;
+            }
+        }
+        let mut mask = [false; NUM_EDGES];
+        for edge in EdgeId::all() {
+            let (src, dst) = edge.endpoints();
+            mask[edge.0] =
+                cell.edge_ops()[edge.0].carries_signal() && forward[src] && backward[dst];
+        }
+        Self { mask }
+    }
+
+    /// Whether a particular edge is useful.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.mask.get(edge.0).copied().unwrap_or(false)
+    }
+
+    /// Number of useful edges.
+    pub fn count(&self) -> usize {
+        self.mask.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Interpretable structural features of a cell, extracted once and consumed
+/// by the surrogate accuracy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellFeatures {
+    /// Whether any signal path connects input to output.
+    pub connected: bool,
+    /// Number of useful 3×3 convolution edges.
+    pub conv3_useful: usize,
+    /// Number of useful 1×1 convolution edges.
+    pub conv1_useful: usize,
+    /// Number of useful skip-connection edges.
+    pub skip_useful: usize,
+    /// Number of useful average-pooling edges.
+    pub pool_useful: usize,
+    /// Longest input→output path length counted in parameterised edges.
+    pub effective_depth: usize,
+    /// Longest input→output path length counted in all signal edges.
+    pub path_length: usize,
+    /// Number of signal-carrying edges entering the output node.
+    pub output_fanin: usize,
+    /// Number of `none` edges anywhere in the cell.
+    pub none_edges: usize,
+}
+
+impl CellFeatures {
+    /// Extracts features from a cell.
+    pub fn of(cell: &CellTopology) -> Self {
+        let useful = UsefulEdges::of(cell);
+        let mut conv3 = 0;
+        let mut conv1 = 0;
+        let mut skip = 0;
+        let mut pool = 0;
+        for edge in EdgeId::all() {
+            if !useful.contains(edge) {
+                continue;
+            }
+            match cell.edge_ops()[edge.0] {
+                Operation::NorConv3x3 => conv3 += 1,
+                Operation::NorConv1x1 => conv1 += 1,
+                Operation::SkipConnect => skip += 1,
+                Operation::AvgPool3x3 => pool += 1,
+                Operation::None => {}
+            }
+        }
+        let output_fanin = EdgeId::all()
+            .iter()
+            .filter(|e| e.endpoints().1 == NUM_NODES - 1 && useful.contains(**e))
+            .count();
+        let none_edges =
+            cell.edge_ops().iter().filter(|&&op| op == Operation::None).count();
+        Self {
+            connected: cell.has_input_output_path(),
+            conv3_useful: conv3,
+            conv1_useful: conv1,
+            skip_useful: skip,
+            pool_useful: pool,
+            effective_depth: cell.effective_depth(),
+            path_length: cell.longest_path_edges(),
+            output_fanin,
+            none_edges,
+        }
+    }
+
+    /// Weighted convolutional capacity of the useful part of the cell.
+    ///
+    /// 3×3 convolutions contribute most, 1×1 convolutions roughly half, and
+    /// pooling a small amount of non-parametric mixing.
+    pub fn capacity(&self) -> f64 {
+        self.conv3_useful as f64 + 0.55 * self.conv1_useful as f64 + 0.15 * self.pool_useful as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::SearchSpace;
+
+    #[test]
+    fn all_none_cell_is_disconnected_with_no_useful_edges() {
+        let cell = CellTopology::new([Operation::None; 6]);
+        let useful = UsefulEdges::of(&cell);
+        assert_eq!(useful.count(), 0);
+        let f = CellFeatures::of(&cell);
+        assert!(!f.connected);
+        assert_eq!(f.capacity(), 0.0);
+        assert_eq!(f.none_edges, 6);
+    }
+
+    #[test]
+    fn dead_branch_edges_are_not_useful() {
+        // conv3x3 on 0->1 but all edges out of node 1 are none, and the only
+        // path to the output is the direct skip 0->3.
+        let cell = CellTopology::new([
+            Operation::NorConv3x3, // 0->1 (dead end)
+            Operation::None,       // 0->2
+            Operation::None,       // 1->2
+            Operation::SkipConnect, // 0->3
+            Operation::None,       // 1->3
+            Operation::None,       // 2->3
+        ]);
+        let useful = UsefulEdges::of(&cell);
+        assert!(!useful.contains(EdgeId(0)), "conv on a dead branch is useless");
+        assert!(useful.contains(EdgeId(3)));
+        assert_eq!(useful.count(), 1);
+        let f = CellFeatures::of(&cell);
+        assert_eq!(f.conv3_useful, 0);
+        assert_eq!(f.skip_useful, 1);
+        assert!(f.connected);
+    }
+
+    #[test]
+    fn fully_connected_conv_cell_features() {
+        let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+        let f = CellFeatures::of(&cell);
+        assert!(f.connected);
+        assert_eq!(f.conv3_useful, 6);
+        assert_eq!(f.effective_depth, 3);
+        assert_eq!(f.path_length, 3);
+        assert_eq!(f.output_fanin, 3);
+        assert!((f.capacity() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_orders_conv3_over_conv1_over_pool() {
+        let c3 = CellFeatures::of(&CellTopology::new([Operation::NorConv3x3; 6]));
+        let c1 = CellFeatures::of(&CellTopology::new([Operation::NorConv1x1; 6]));
+        let p = CellFeatures::of(&CellTopology::new([Operation::AvgPool3x3; 6]));
+        assert!(c3.capacity() > c1.capacity());
+        assert!(c1.capacity() > p.capacity());
+    }
+
+    #[test]
+    fn features_are_defined_for_every_architecture() {
+        let space = SearchSpace::nas_bench_201();
+        for idx in (0..space.len()).step_by(311) {
+            let cell = space.cell(idx).unwrap();
+            let f = CellFeatures::of(&cell);
+            assert!(f.capacity() >= 0.0);
+            assert!(f.effective_depth <= 3);
+            assert!(f.output_fanin <= 3);
+            assert_eq!(
+                f.connected,
+                cell.has_input_output_path(),
+                "connectivity feature must match the cell"
+            );
+        }
+    }
+}

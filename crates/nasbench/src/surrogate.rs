@@ -1,0 +1,312 @@
+use crate::{BenchmarkEntry, CellFeatures, DatasetKind};
+use micronas_hw::FlopsEstimator;
+use micronas_searchspace::{Architecture, MacroSkeleton, SearchSpace};
+use micronas_tensor_compat::{hash_mix, split_mix64};
+use serde::{Deserialize, Serialize};
+
+// The surrogate only needs the hash helpers from the tensor crate; re-import
+// them through a tiny shim module so the dependency stays explicit.
+mod micronas_tensor_compat {
+    pub fn split_mix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn hash_mix(a: u64, b: u64) -> u64 {
+        split_mix64(split_mix64(a) ^ b.rotate_left(17))
+    }
+}
+
+/// Per-dataset calibration of the surrogate accuracy model.
+///
+/// The constants are chosen so the resulting accuracy distributions match the
+/// published NAS-Bench-201 statistics (best/median/chance-level accuracies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct DatasetCalibration {
+    /// Accuracy of a disconnected (untrainable) architecture: chance level.
+    chance: f64,
+    /// Accuracy of the weakest connected architectures.
+    floor: f64,
+    /// Additional accuracy available from convolutional capacity.
+    capacity_gain: f64,
+    /// Additional accuracy available from effective depth.
+    depth_gain: f64,
+    /// Additional accuracy available from output fan-in (ensemble width).
+    width_gain: f64,
+    /// Bonus for having at least one skip connection on a useful path.
+    skip_bonus: f64,
+    /// Penalty per useful pooling edge (over-smoothing hurts on small nets).
+    pool_penalty: f64,
+    /// Standard deviation of the reproducible training-noise term.
+    noise_std: f64,
+}
+
+impl DatasetCalibration {
+    fn for_dataset(kind: DatasetKind) -> Self {
+        match kind {
+            DatasetKind::Cifar10 => Self {
+                chance: 10.0,
+                floor: 62.0,
+                capacity_gain: 23.0,
+                depth_gain: 6.0,
+                width_gain: 3.0,
+                skip_bonus: 1.2,
+                pool_penalty: 0.8,
+                noise_std: 0.45,
+            },
+            DatasetKind::Cifar100 => Self {
+                chance: 1.0,
+                floor: 32.0,
+                capacity_gain: 30.0,
+                depth_gain: 7.5,
+                width_gain: 3.5,
+                skip_bonus: 1.5,
+                pool_penalty: 1.0,
+                noise_std: 0.8,
+            },
+            DatasetKind::ImageNet16_120 => Self {
+                chance: 0.83,
+                floor: 14.0,
+                capacity_gain: 24.0,
+                depth_gain: 6.0,
+                width_gain: 3.0,
+                skip_bonus: 1.2,
+                pool_penalty: 1.2,
+                noise_std: 1.0,
+            },
+        }
+    }
+}
+
+/// The deterministic surrogate benchmark (stand-in for the NAS-Bench-201
+/// accuracy tables).
+///
+/// All queries are pure functions of `(architecture, dataset, seed)`, so
+/// repeated runs — and different search algorithms — see exactly the same
+/// "trained" accuracies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateBenchmark {
+    seed: u64,
+    flops: FlopsEstimator,
+}
+
+impl SurrogateBenchmark {
+    /// Creates a surrogate benchmark with the given noise seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, flops: FlopsEstimator::new() }
+    }
+
+    /// The seed controlling the reproducible noise term.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Queries the benchmark for one architecture on one dataset.
+    pub fn query(&self, arch: &Architecture, dataset: DatasetKind) -> BenchmarkEntry {
+        let cal = DatasetCalibration::for_dataset(dataset);
+        let features = CellFeatures::of(arch.cell());
+        let skeleton = self.skeleton_for(dataset);
+        let hw = self.flops.cell_in_skeleton(arch.cell(), &skeleton);
+
+        let noise = self.noise(arch.index(), dataset, 0) * cal.noise_std;
+        let valid_noise = self.noise(arch.index(), dataset, 1) * cal.noise_std * 1.4;
+
+        let test_accuracy = if !features.connected {
+            (cal.chance + 0.3 * noise.abs()).min(100.0)
+        } else {
+            let capacity_term =
+                cal.capacity_gain * (1.0 - (-features.capacity() / 2.3).exp());
+            let depth_term =
+                cal.depth_gain * (1.0 - (-(features.effective_depth as f64) / 1.1).exp());
+            let width_term =
+                cal.width_gain * (1.0 - (-(features.output_fanin as f64 - 1.0).max(0.0) / 1.3).exp());
+            let skip_term = if features.skip_useful > 0 && features.effective_depth > 0 {
+                cal.skip_bonus
+            } else {
+                0.0
+            };
+            let pool_term = cal.pool_penalty * features.pool_useful as f64;
+            // Architectures that are connected but have zero parameterised
+            // capacity (pure skip/pool) train to a weak but above-chance level.
+            let raw = cal.floor + capacity_term + depth_term + width_term + skip_term - pool_term
+                + noise;
+            raw.clamp(cal.chance, 99.0)
+        };
+        let valid_accuracy = (test_accuracy - 0.6 + valid_noise).clamp(cal.chance * 0.9, 99.0);
+
+        // Simulated full-training cost: proportional to FLOPs with a fixed
+        // per-run overhead; calibrated so a mid-size NAS-Bench-201 model
+        // costs on the order of one GPU hour for 200 epochs.
+        let train_cost_gpu_hours = 0.25 + hw.flops_m() / 120.0;
+
+        BenchmarkEntry {
+            arch_index: arch.index(),
+            test_accuracy,
+            valid_accuracy,
+            params_m: hw.params_m(),
+            flops_m: hw.flops_m(),
+            train_cost_gpu_hours,
+        }
+    }
+
+    /// Queries every architecture in the space and returns the entry with the
+    /// highest test accuracy. Useful as an oracle in tests and experiments.
+    pub fn best_entry(&self, space: &SearchSpace, dataset: DatasetKind) -> BenchmarkEntry {
+        space
+            .iter()
+            .map(|arch| self.query(&arch, dataset))
+            .max_by(|a, b| {
+                a.test_accuracy
+                    .partial_cmp(&b.test_accuracy)
+                    .expect("accuracies are finite")
+            })
+            .expect("space is never empty")
+    }
+
+    /// The macro skeleton matching a dataset's input geometry.
+    pub fn skeleton_for(&self, dataset: DatasetKind) -> MacroSkeleton {
+        match dataset {
+            DatasetKind::Cifar10 => MacroSkeleton::nas_bench_201(10),
+            DatasetKind::Cifar100 => MacroSkeleton::nas_bench_201(100),
+            DatasetKind::ImageNet16_120 => MacroSkeleton::imagenet16(),
+        }
+    }
+
+    /// Reproducible standard-normal-ish noise for (architecture, dataset, stream).
+    fn noise(&self, arch_index: usize, dataset: DatasetKind, stream: u64) -> f64 {
+        let h = hash_mix(
+            hash_mix(self.seed, dataset.id()),
+            hash_mix(arch_index as u64, stream),
+        );
+        // Sum of three uniforms, centred: a cheap approximately normal variate.
+        let u = |k: u64| (split_mix64(h ^ k) >> 11) as f64 / (1u64 << 53) as f64;
+        (u(1) + u(2) + u(3)) * 2.0 - 3.0
+    }
+}
+
+impl Default for SurrogateBenchmark {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{CellTopology, Operation};
+
+    fn space() -> SearchSpace {
+        SearchSpace::nas_bench_201()
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let bench = SurrogateBenchmark::new(7);
+        let arch = space().architecture(9_876).unwrap();
+        let a = bench.query(&arch, DatasetKind::Cifar10);
+        let b = bench.query(&arch, DatasetKind::Cifar10);
+        assert_eq!(a, b);
+        let other_seed = SurrogateBenchmark::new(8).query(&arch, DatasetKind::Cifar10);
+        assert_ne!(a.test_accuracy, other_seed.test_accuracy);
+    }
+
+    #[test]
+    fn disconnected_architectures_score_at_chance() {
+        let bench = SurrogateBenchmark::default();
+        let all_none = Architecture::from_cell(&space(), CellTopology::new([Operation::None; 6]));
+        let c10 = bench.query(&all_none, DatasetKind::Cifar10);
+        let c100 = bench.query(&all_none, DatasetKind::Cifar100);
+        let in16 = bench.query(&all_none, DatasetKind::ImageNet16_120);
+        assert!(c10.test_accuracy < 12.0);
+        assert!(c100.test_accuracy < 2.5);
+        assert!(in16.test_accuracy < 2.0);
+    }
+
+    #[test]
+    fn accuracy_ranges_match_published_statistics() {
+        // NAS-Bench-201: best CIFAR-10 ≈ 94.4%, best CIFAR-100 ≈ 73.5%,
+        // best ImageNet16-120 ≈ 47.3%.
+        let bench = SurrogateBenchmark::default();
+        let sp = space();
+        let best10 = bench.best_entry(&sp, DatasetKind::Cifar10);
+        let best100 = bench.best_entry(&sp, DatasetKind::Cifar100);
+        let best16 = bench.best_entry(&sp, DatasetKind::ImageNet16_120);
+        assert!(best10.test_accuracy > 90.0 && best10.test_accuracy < 98.0, "{}", best10.test_accuracy);
+        assert!(best100.test_accuracy > 65.0 && best100.test_accuracy < 80.0, "{}", best100.test_accuracy);
+        assert!(best16.test_accuracy > 40.0 && best16.test_accuracy < 55.0, "{}", best16.test_accuracy);
+        assert!(best10.test_accuracy > best100.test_accuracy);
+        assert!(best100.test_accuracy > best16.test_accuracy);
+    }
+
+    #[test]
+    fn more_capacity_means_higher_accuracy_on_average() {
+        let bench = SurrogateBenchmark::default();
+        let sp = space();
+        let all_conv3 =
+            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv3x3; 6])), DatasetKind::Cifar10);
+        let all_conv1 =
+            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv1x1; 6])), DatasetKind::Cifar10);
+        let all_skip =
+            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::SkipConnect; 6])), DatasetKind::Cifar10);
+        let all_pool =
+            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::AvgPool3x3; 6])), DatasetKind::Cifar10);
+        assert!(all_conv3.test_accuracy > all_conv1.test_accuracy);
+        assert!(all_conv1.test_accuracy > all_skip.test_accuracy);
+        assert!(all_skip.test_accuracy > all_pool.test_accuracy - 5.0);
+        assert!(all_conv3.test_accuracy > 90.0);
+    }
+
+    #[test]
+    fn flops_correlate_positively_but_not_perfectly_with_accuracy() {
+        // Matches §II-B.1: positive correlation, far from rank-1.
+        let bench = SurrogateBenchmark::default();
+        let sp = space();
+        let sample: Vec<BenchmarkEntry> = (0..sp.len())
+            .step_by(97)
+            .map(|i| bench.query(&sp.architecture(i).unwrap(), DatasetKind::Cifar10))
+            .collect();
+        let n = sample.len() as f64;
+        let mean_f = sample.iter().map(|e| e.flops_m).sum::<f64>() / n;
+        let mean_a = sample.iter().map(|e| e.test_accuracy).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_f = 0.0;
+        let mut var_a = 0.0;
+        for e in &sample {
+            cov += (e.flops_m - mean_f) * (e.test_accuracy - mean_a);
+            var_f += (e.flops_m - mean_f).powi(2);
+            var_a += (e.test_accuracy - mean_a).powi(2);
+        }
+        let pearson = cov / (var_f.sqrt() * var_a.sqrt()).max(1e-12);
+        assert!(pearson > 0.3, "FLOPs/accuracy correlation too weak: {pearson}");
+        assert!(pearson < 0.98, "FLOPs/accuracy correlation implausibly perfect: {pearson}");
+    }
+
+    #[test]
+    fn validation_accuracy_tracks_test_accuracy() {
+        let bench = SurrogateBenchmark::default();
+        let sp = space();
+        for idx in (0..sp.len()).step_by(1013) {
+            let e = bench.query(&sp.architecture(idx).unwrap(), DatasetKind::Cifar100);
+            assert!((e.valid_accuracy - e.test_accuracy).abs() < 6.0);
+        }
+    }
+
+    #[test]
+    fn train_cost_scales_with_flops() {
+        let bench = SurrogateBenchmark::default();
+        let sp = space();
+        let heavy = bench.query(
+            &Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv3x3; 6])),
+            DatasetKind::Cifar10,
+        );
+        let light = bench.query(&sp.architecture(0).unwrap(), DatasetKind::Cifar10);
+        assert!(heavy.train_cost_gpu_hours > light.train_cost_gpu_hours);
+        assert!(light.train_cost_gpu_hours > 0.0);
+        // A full µNAS-style run training ~500 candidates lands in the
+        // hundreds of GPU hours, matching the paper's 552 h order of magnitude.
+        assert!(heavy.train_cost_gpu_hours * 500.0 > 100.0);
+    }
+}

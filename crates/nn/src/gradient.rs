@@ -1,0 +1,102 @@
+//! Flattened parameter-gradient vectors.
+//!
+//! The NTK Gram matrix needs inner products between per-sample gradient
+//! vectors ∇_θ f(x_i); a flat `Vec<f32>` representation keeps that a single
+//! dot product.
+
+use serde::{Deserialize, Serialize};
+
+/// The gradient of a scalar network output with respect to every trainable
+/// parameter, flattened into a single vector in a fixed parameter order
+/// (stem, cells in order, classifier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterGradients {
+    values: Vec<f32>,
+}
+
+impl ParameterGradients {
+    /// Creates a gradient vector from its flattened values.
+    pub fn new(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
+    /// Number of parameters covered by the gradient.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the gradient is empty (a network with no parameters).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The flattened gradient values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Inner product with another gradient vector — one entry of the NTK
+    /// Gram matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two gradients cover a different number of parameters
+    /// (they must come from the same network).
+    pub fn dot(&self, other: &ParameterGradients) -> f64 {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "gradients must come from the same network"
+        );
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
+    }
+
+    /// Euclidean norm of the gradient.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let a = ParameterGradients::new(vec![1.0, 2.0, 3.0]);
+        let b = ParameterGradients::new(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((a.norm() - 14.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_with_mismatched_lengths_panics() {
+        let a = ParameterGradients::new(vec![1.0]);
+        let b = ParameterGradients::new(vec![1.0, 2.0]);
+        let _ = a.dot(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(xs in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+            let ys: Vec<f32> = xs.iter().map(|x| x * 0.5 + 1.0).collect();
+            let a = ParameterGradients::new(xs);
+            let b = ParameterGradients::new(ys);
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn self_dot_equals_norm_squared(xs in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+            let a = ParameterGradients::new(xs);
+            prop_assert!((a.dot(&a) - a.norm() * a.norm()).abs() < 1e-6 * (1.0 + a.dot(&a)));
+        }
+    }
+}

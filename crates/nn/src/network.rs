@@ -1,0 +1,518 @@
+//! The proxy cell network: stem → stacked searched cells → pooling → classifier.
+
+use crate::{ConvLayer, LinearLayer, NnError, ParameterGradients, ProxyNetworkConfig, Result};
+use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES};
+use micronas_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, hash_mix,
+    ops::{relu, relu_backward},
+    Shape, Tensor,
+};
+
+/// Result of a forward pass through a [`CellNetwork`].
+#[derive(Debug, Clone)]
+pub struct ForwardOutput {
+    /// Classifier logits, shape `[N, num_classes]`.
+    pub logits: Tensor,
+    /// Pre-ReLU node activations feeding each convolution edge, in
+    /// (cell, edge) order. Their sign patterns define the linear region a
+    /// sample falls into.
+    pub pre_activations: Vec<Tensor>,
+}
+
+/// One stacked instance of the searched cell: a convolution layer for every
+/// parameterised edge.
+#[derive(Debug, Clone)]
+struct CellInstance {
+    edge_convs: Vec<Option<ConvLayer>>,
+}
+
+/// Intermediate tensors of a forward pass, retained for backpropagation.
+#[derive(Debug, Clone)]
+struct ForwardTrace {
+    /// Network input.
+    input: Tensor,
+    /// Output of the stem convolution (input to the first cell).
+    stem_out: Tensor,
+    /// Node values for every cell: `nodes[cell][node]`.
+    nodes: Vec<Vec<Tensor>>,
+    /// Input to the classifier (after global average pooling), `[N, C]`.
+    features: Tensor,
+    /// Classifier logits.
+    logits: Tensor,
+}
+
+/// A concrete, randomly initialised network built from one searched cell.
+///
+/// The macro structure mirrors NAS-Bench-201 at reduced scale: a 3×3 stem
+/// convolution, `num_cells` stacked copies of the cell at constant channel
+/// width, global average pooling and a linear classifier. See
+/// [`ProxyNetworkConfig`] for the geometry knobs.
+#[derive(Debug, Clone)]
+pub struct CellNetwork {
+    cell: CellTopology,
+    config: ProxyNetworkConfig,
+    stem: ConvLayer,
+    cells: Vec<CellInstance>,
+    classifier: LinearLayer,
+}
+
+impl CellNetwork {
+    /// Builds and randomly initialises the network for `cell`.
+    ///
+    /// The `seed` controls every weight tensor; two networks built with the
+    /// same `(cell, config, seed)` triple are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(cell: &CellTopology, config: &ProxyNetworkConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let stem = ConvLayer::new(
+            config.input_channels,
+            config.channels,
+            3,
+            1,
+            1,
+            config.init,
+            hash_mix(seed, STEM_SEED_STREAM),
+        );
+        let mut cells = Vec::with_capacity(config.num_cells);
+        for cell_idx in 0..config.num_cells {
+            let mut edge_convs = Vec::with_capacity(NUM_EDGES);
+            for edge in 0..NUM_EDGES {
+                let op = cell.edge_ops()[edge];
+                let conv = match op {
+                    Operation::NorConv1x1 => Some(ConvLayer::new(
+                        config.channels,
+                        config.channels,
+                        1,
+                        1,
+                        0,
+                        config.init,
+                        hash_mix(seed, (cell_idx * NUM_EDGES + edge) as u64 + 1),
+                    )),
+                    Operation::NorConv3x3 => Some(ConvLayer::new(
+                        config.channels,
+                        config.channels,
+                        3,
+                        1,
+                        1,
+                        config.init,
+                        hash_mix(seed, (cell_idx * NUM_EDGES + edge) as u64 + 1),
+                    )),
+                    _ => None,
+                };
+                edge_convs.push(conv);
+            }
+            cells.push(CellInstance { edge_convs });
+        }
+        let classifier = LinearLayer::new(
+            config.channels,
+            config.num_classes,
+            config.init,
+            hash_mix(seed, 0xC1A5_51F1),
+        );
+        Ok(Self { cell: *cell, config: *config, stem, cells, classifier })
+    }
+
+    /// The searched cell this network instantiates.
+    pub fn cell(&self) -> &CellTopology {
+        &self.cell
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &ProxyNetworkConfig {
+        &self.config
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        let mut n = self.stem.num_parameters();
+        for cell in &self.cells {
+            for conv in cell.edge_convs.iter().flatten() {
+                n += conv.num_parameters();
+            }
+        }
+        n + self.classifier.num_parameters()
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        let d = input.shape().dims();
+        let r = self.config.input_resolution;
+        if d.len() != 4 || d[1] != self.config.input_channels || d[2] != r || d[3] != r {
+            return Err(NnError::InputMismatch {
+                expected: [0, self.config.input_channels, r, r],
+                actual: d.to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    fn forward_trace(&self, input: &Tensor) -> Result<(ForwardTrace, Vec<Tensor>)> {
+        self.check_input(input)?;
+        let stem_out = self.stem.forward(input)?;
+        let mut pre_activations = Vec::new();
+        let mut nodes_per_cell = Vec::with_capacity(self.cells.len());
+        let mut x = stem_out.clone();
+        for cell in &self.cells {
+            let mut nodes: Vec<Tensor> = Vec::with_capacity(NUM_NODES);
+            nodes.push(x.clone());
+            for dst in 1..NUM_NODES {
+                let mut acc = Tensor::zeros(x.shape().clone());
+                for edge in EdgeId::all() {
+                    let (src, d) = edge.endpoints();
+                    if d != dst {
+                        continue;
+                    }
+                    let op = self.cell.edge_ops()[edge.0];
+                    let contribution = match op {
+                        Operation::None => None,
+                        Operation::SkipConnect => Some(nodes[src].clone()),
+                        Operation::AvgPool3x3 => Some(avg_pool2d(&nodes[src], 3, 1, 1)?),
+                        Operation::NorConv1x1 | Operation::NorConv3x3 => {
+                            let conv = cell.edge_convs[edge.0]
+                                .as_ref()
+                                .expect("conv edge always has a layer");
+                            pre_activations.push(nodes[src].clone());
+                            let activated = relu(&nodes[src]);
+                            Some(conv.forward(&activated)?)
+                        }
+                    };
+                    if let Some(c) = contribution {
+                        acc.axpy(1.0, &c).map_err(NnError::from)?;
+                    }
+                }
+                nodes.push(acc);
+            }
+            x = nodes[NUM_NODES - 1].clone();
+            nodes_per_cell.push(nodes);
+        }
+        let features = global_avg_pool(&x)?;
+        let logits = self.classifier.forward(&features)?;
+        let trace = ForwardTrace {
+            input: input.clone(),
+            stem_out,
+            nodes: nodes_per_cell,
+            features,
+            logits,
+        };
+        Ok((trace, pre_activations))
+    }
+
+    /// Runs the network on a batch of inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] if the input geometry does not
+    /// match the configuration.
+    pub fn forward(&self, input: &Tensor) -> Result<ForwardOutput> {
+        let (trace, pre_activations) = self.forward_trace(input)?;
+        Ok(ForwardOutput { logits: trace.logits, pre_activations })
+    }
+
+    /// Gradient of `sum(logits)` with respect to every parameter, for a batch.
+    ///
+    /// The returned vector follows the fixed parameter order (stem, cells in
+    /// order with edges in canonical order, classifier), matching
+    /// [`CellNetwork::num_parameters`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn parameter_gradients(&self, input: &Tensor) -> Result<ParameterGradients> {
+        let (trace, _) = self.forward_trace(input)?;
+        let batch = input.shape().dims()[0];
+        let grad_logits = Tensor::ones(Shape::d2(batch, self.config.num_classes));
+        self.backward(&trace, &grad_logits)
+    }
+
+    /// Per-sample gradients of `sum(logits)` for every sample in the batch.
+    ///
+    /// This is the quantity the NTK Gram matrix is built from:
+    /// `G[i][j] = grads[i] · grads[j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradients(&self, batch: &Tensor) -> Result<Vec<ParameterGradients>> {
+        self.check_input(batch)?;
+        let n = batch.shape().dims()[0];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let sample = extract_sample(batch, i)?;
+            out.push(self.parameter_gradients(&sample)?);
+        }
+        Ok(out)
+    }
+
+    fn backward(&self, trace: &ForwardTrace, grad_logits: &Tensor) -> Result<ParameterGradients> {
+        // Classifier.
+        let (grad_cls_w, grad_features) = self.classifier.backward(&trace.features, grad_logits)?;
+        // Global average pooling.
+        let last_x = trace
+            .nodes
+            .last()
+            .map(|nodes| &nodes[NUM_NODES - 1])
+            .unwrap_or(&trace.stem_out);
+        let mut grad_x = global_avg_pool_backward(&grad_features, last_x.shape())?;
+
+        // Cells in reverse order.
+        let mut cell_weight_grads: Vec<Vec<Option<Tensor>>> = Vec::with_capacity(self.cells.len());
+        for (cell_instance, nodes) in self.cells.iter().zip(trace.nodes.iter()).rev() {
+            let mut node_grads: Vec<Tensor> =
+                nodes.iter().map(|n| Tensor::zeros(n.shape().clone())).collect();
+            node_grads[NUM_NODES - 1] = grad_x.clone();
+            let mut weight_grads: Vec<Option<Tensor>> = vec![None; NUM_EDGES];
+
+            for edge in EdgeId::all().iter().rev() {
+                let (src, dst) = edge.endpoints();
+                let upstream = node_grads[dst].clone();
+                if upstream.l2_norm() == 0.0 {
+                    continue;
+                }
+                match self.cell.edge_ops()[edge.0] {
+                    Operation::None => {}
+                    Operation::SkipConnect => {
+                        node_grads[src].axpy(1.0, &upstream).map_err(NnError::from)?;
+                    }
+                    Operation::AvgPool3x3 => {
+                        let g = avg_pool2d_backward(&upstream, nodes[src].shape(), 3, 1, 1)?;
+                        node_grads[src].axpy(1.0, &g).map_err(NnError::from)?;
+                    }
+                    Operation::NorConv1x1 | Operation::NorConv3x3 => {
+                        let conv = cell_instance.edge_convs[edge.0]
+                            .as_ref()
+                            .expect("conv edge always has a layer");
+                        let activated = relu(&nodes[src]);
+                        let (gw, g_act) = conv.backward(&activated, &upstream)?;
+                        weight_grads[edge.0] = Some(gw);
+                        let g_src = relu_backward(&nodes[src], &g_act);
+                        node_grads[src].axpy(1.0, &g_src).map_err(NnError::from)?;
+                    }
+                }
+            }
+            grad_x = node_grads[0].clone();
+            cell_weight_grads.push(weight_grads);
+        }
+        cell_weight_grads.reverse();
+
+        // Stem.
+        let (grad_stem_w, _) = self.stem.backward(&trace.input, &grad_x)?;
+
+        // Flatten in canonical parameter order.
+        let mut flat = Vec::with_capacity(self.num_parameters());
+        flat.extend_from_slice(grad_stem_w.data());
+        for (cell_instance, weight_grads) in self.cells.iter().zip(cell_weight_grads.iter()) {
+            for (conv, grad) in cell_instance.edge_convs.iter().zip(weight_grads.iter()) {
+                if let Some(conv) = conv {
+                    match grad {
+                        Some(g) => flat.extend_from_slice(g.data()),
+                        // A conv edge whose upstream gradient was all zero.
+                        None => flat.extend(std::iter::repeat(0.0).take(conv.num_parameters())),
+                    }
+                }
+            }
+        }
+        flat.extend_from_slice(grad_cls_w.data());
+        debug_assert_eq!(flat.len(), self.num_parameters());
+        Ok(ParameterGradients::new(flat))
+    }
+}
+
+/// Extracts sample `i` of an NCHW batch as a batch of one.
+fn extract_sample(batch: &Tensor, i: usize) -> Result<Tensor> {
+    let d = batch.shape().dims();
+    let per_sample = d[1] * d[2] * d[3];
+    let start = i * per_sample;
+    let data = batch.data()[start..start + per_sample].to_vec();
+    Ok(Tensor::from_vec(Shape::nchw(1, d[1], d[2], d[3]), data)?)
+}
+
+/// Seed stream reserved for the stem convolution.
+const STEM_SEED_STREAM: u64 = 0x57E4_C0DE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::SearchSpace;
+    use micronas_tensor::DeterministicRng;
+
+    fn random_batch(config: &ProxyNetworkConfig, n: usize, seed: u64) -> Tensor {
+        let mut rng = DeterministicRng::new(seed);
+        let shape = Shape::nchw(n, config.input_channels, config.input_resolution, config.input_resolution);
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    fn conv_chain_cell() -> CellTopology {
+        // 0 -conv3x3-> 1 -conv1x1-> 2 -conv3x3-> 3 plus a skip 0->3.
+        let space = SearchSpace::nas_bench_201();
+        let mut cell = space.cell(0).unwrap();
+        cell = cell.with_op(EdgeId(0), Operation::NorConv3x3).unwrap();
+        cell = cell.with_op(EdgeId(2), Operation::NorConv1x1).unwrap();
+        cell = cell.with_op(EdgeId(5), Operation::NorConv3x3).unwrap();
+        cell = cell.with_op(EdgeId(3), Operation::SkipConnect).unwrap();
+        cell
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 1).unwrap();
+        let batch = random_batch(&config, 3, 2);
+        let out = net.forward(&batch).unwrap();
+        assert_eq!(out.logits.shape().dims(), &[3, 10]);
+        // 3 conv edges per cell, 1 cell.
+        assert_eq!(out.pre_activations.len(), 3);
+    }
+
+    #[test]
+    fn input_geometry_is_validated() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 1).unwrap();
+        let bad = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+        assert!(net.forward(&bad).is_err());
+        let bad_rank = Tensor::zeros(Shape::d2(3, 3));
+        assert!(net.forward(&bad_rank).is_err());
+    }
+
+    #[test]
+    fn parameter_count_matches_layers() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 1).unwrap();
+        let c = config.channels;
+        let expected = config.input_channels * c * 9       // stem
+            + c * c * 9                                     // edge 0 conv3x3
+            + c * c                                         // edge 2 conv1x1
+            + c * c * 9                                     // edge 5 conv3x3
+            + c * config.num_classes;                       // classifier
+        assert_eq!(net.num_parameters(), expected);
+    }
+
+    #[test]
+    fn all_none_cell_still_produces_logits() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(0).unwrap();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 3).unwrap();
+        let batch = random_batch(&config, 2, 4);
+        let out = net.forward(&batch).unwrap();
+        // No path from input to output: features are zero, so logits are zero.
+        assert!(out.logits.data().iter().all(|&v| v == 0.0));
+        assert!(out.pre_activations.is_empty());
+    }
+
+    #[test]
+    fn network_construction_is_deterministic() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let a = CellNetwork::new(&cell, &config, 7).unwrap();
+        let b = CellNetwork::new(&cell, &config, 7).unwrap();
+        let batch = random_batch(&config, 2, 5);
+        assert_eq!(a.forward(&batch).unwrap().logits, b.forward(&batch).unwrap().logits);
+        let c = CellNetwork::new(&cell, &config, 8).unwrap();
+        assert_ne!(a.forward(&batch).unwrap().logits, c.forward(&batch).unwrap().logits);
+    }
+
+    #[test]
+    fn per_sample_gradients_have_parameter_length() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(5);
+        let net = CellNetwork::new(&cell, &config, 1).unwrap();
+        let batch = random_batch(&config, 4, 6);
+        let grads = net.per_sample_gradients(&batch).unwrap();
+        assert_eq!(grads.len(), 4);
+        for g in &grads {
+            assert_eq!(g.len(), net.num_parameters());
+            assert!(g.norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_gradient_is_sum_of_per_sample_gradients() {
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(4);
+        let net = CellNetwork::new(&cell, &config, 2).unwrap();
+        let batch = random_batch(&config, 3, 7);
+        let total = net.parameter_gradients(&batch).unwrap();
+        let per_sample = net.per_sample_gradients(&batch).unwrap();
+        let mut summed = vec![0.0f32; total.len()];
+        for g in &per_sample {
+            for (s, v) in summed.iter_mut().zip(g.values()) {
+                *s += v;
+            }
+        }
+        for (a, b) in total.values().iter().zip(summed.iter()) {
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// The decisive correctness check: analytic parameter gradients must agree
+    /// with central finite differences of `sum(logits)`.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let cell = conv_chain_cell();
+        let mut config = ProxyNetworkConfig::tiny(3);
+        config.input_resolution = 6;
+        config.channels = 3;
+        let net = CellNetwork::new(&cell, &config, 11).unwrap();
+        let batch = random_batch(&config, 1, 12);
+        let analytic = net.parameter_gradients(&batch).unwrap();
+
+        // Perturb a handful of parameters spread across stem / cell convs / classifier.
+        let eps = 1e-2f32;
+        let n_params = net.num_parameters();
+        let probe_indices =
+            [0usize, n_params / 5, n_params / 2, (3 * n_params) / 4, n_params - 1];
+        for &flat_idx in &probe_indices {
+            let mut plus_net = net.clone();
+            let mut minus_net = net.clone();
+            perturb_parameter(&mut plus_net, flat_idx, eps);
+            perturb_parameter(&mut minus_net, flat_idx, -eps);
+            let plus = plus_net.forward(&batch).unwrap().logits.sum();
+            let minus = minus_net.forward(&batch).unwrap().logits.sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic.values()[flat_idx];
+            assert!(
+                (numeric - a).abs() < 3e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "param {flat_idx}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    /// Adds `delta` to the parameter at flat index `idx` (canonical order).
+    fn perturb_parameter(net: &mut CellNetwork, idx: usize, delta: f32) {
+        let mut offset = 0usize;
+        {
+            let stem = net.stem.weight_mut();
+            if idx < offset + stem.numel() {
+                stem.data_mut()[idx - offset] += delta;
+                return;
+            }
+            offset += stem.numel();
+        }
+        for cell in &mut net.cells {
+            for conv in cell.edge_convs.iter_mut().flatten() {
+                let w = conv.weight_mut();
+                if idx < offset + w.numel() {
+                    w.data_mut()[idx - offset] += delta;
+                    return;
+                }
+                offset += w.numel();
+            }
+        }
+        // Classifier: LinearLayer has no weight_mut; rebuild via unsafe-free trick.
+        let cls_len = net.classifier.num_parameters();
+        assert!(idx < offset + cls_len, "index out of range");
+        let mut w = net.classifier.weight().clone();
+        w.data_mut()[idx - offset] += delta;
+        net.classifier = rebuild_linear(&net.classifier, w);
+    }
+
+    fn rebuild_linear(_old: &LinearLayer, weight: Tensor) -> LinearLayer {
+        LinearLayer::from_weight(weight)
+    }
+}

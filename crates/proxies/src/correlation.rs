@@ -1,0 +1,200 @@
+//! Rank-correlation statistics (Kendall-τ, Spearman ρ).
+//!
+//! The paper's Fig. 2 reports Kendall-τ between proxy scores and final
+//! accuracies across a sample of architectures; these are the reference
+//! implementations used by the reproduction.
+
+/// Kendall rank correlation coefficient (τ-b, tie-corrected).
+///
+/// Returns a value in `[-1, 1]`; 0.0 for degenerate inputs (fewer than two
+/// points or all-tied rankings).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use micronas_proxies::correlation::kendall_tau;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [10.0, 20.0, 30.0, 40.0];
+/// assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "kendall_tau: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Tied in both: contributes to neither.
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let n1 = ties_x as f64;
+    let n2 = ties_y as f64;
+    let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Spearman rank correlation coefficient.
+///
+/// Ranks are mid-ranked for ties; returns 0.0 for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman_rho: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Mid-rank assignment used by [`spearman_rho`].
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    let mut out = vec![0.0f64; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = mid;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        cov += (x[i] - mx) * (y[i] - my);
+        vx += (x[i] - mx).powi(2);
+        vy += (y[i] - my).powi(2);
+    }
+    let denom = (vx * vy).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_agreement_and_disagreement() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y_up = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let y_down = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &y_up) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &y_down) + 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&x, &y_up) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&x, &y_down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_kendall_value() {
+        // Classic example: one discordant pair out of six.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&x, &y) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(spearman_rho(&[1.0, 1.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ties_are_handled_with_midranks() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let r = ranks(&x);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn tau_is_symmetric_and_bounded(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let t1 = kendall_tau(&x, &y);
+            let t2 = kendall_tau(&y, &x);
+            prop_assert!((t1 - t2).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&t1));
+            let s = spearman_rho(&x, &y);
+            prop_assert!((-1.0001..=1.0001).contains(&s));
+        }
+
+        #[test]
+        fn tau_invariant_under_monotone_transform(
+            xs in proptest::collection::vec(-50.0f64..50.0, 2..30)
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| x * 3.0 + 7.0).collect();
+            let zs: Vec<f64> = xs.iter().map(|x| x.exp().min(1e30)).collect();
+            prop_assert!((kendall_tau(&xs, &ys) - 1.0).abs() < 1e-9);
+            prop_assert!(kendall_tau(&xs, &zs) > 0.99);
+        }
+    }
+}

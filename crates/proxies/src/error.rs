@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced while evaluating zero-cost proxies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyError {
+    /// The underlying network substrate failed.
+    Network(String),
+    /// The dataset sampler failed.
+    Dataset(String),
+    /// The eigenvalue computation failed.
+    Eigen(String),
+    /// An invalid configuration was supplied.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Network(msg) => write!(f, "proxy network failure: {msg}"),
+            ProxyError::Dataset(msg) => write!(f, "dataset sampling failure: {msg}"),
+            ProxyError::Eigen(msg) => write!(f, "eigenvalue computation failure: {msg}"),
+            ProxyError::InvalidConfig(msg) => write!(f, "invalid proxy configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<micronas_nn::NnError> for ProxyError {
+    fn from(e: micronas_nn::NnError) -> Self {
+        ProxyError::Network(e.to_string())
+    }
+}
+
+impl From<micronas_datasets::DatasetError> for ProxyError {
+    fn from(e: micronas_datasets::DatasetError) -> Self {
+        ProxyError::Dataset(e.to_string())
+    }
+}
+
+impl From<micronas_tensor::TensorError> for ProxyError {
+    fn from(e: micronas_tensor::TensorError) -> Self {
+        ProxyError::Eigen(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ProxyError = micronas_nn::NnError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, ProxyError::Network(_)));
+        let e: ProxyError =
+            micronas_datasets::DatasetError::InvalidRequest("y".into()).into();
+        assert!(e.to_string().contains("dataset"));
+        let e: ProxyError = micronas_tensor::TensorError::Numerical("z".into()).into();
+        assert!(e.to_string().contains("eigenvalue"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProxyError>();
+    }
+}

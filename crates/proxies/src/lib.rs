@@ -1,0 +1,50 @@
+//! Zero-cost proxies for train-free architecture ranking.
+//!
+//! MicroNAS scores candidate architectures at random initialisation with two
+//! network-analysis indicators plus hardware proxies (the latter live in
+//! `micronas-hw`):
+//!
+//! * **Trainability** — the condition number of the neural tangent kernel
+//!   (NTK) Gram matrix of a single mini-batch ([`NtkEvaluator`], §II-A.1 of
+//!   the paper). Small condition numbers indicate well-conditioned training
+//!   dynamics. The evaluator also exposes the generalised index
+//!   `K_i = λ_max / λ_i` needed for the Fig. 2a sweep and supports arbitrary
+//!   batch sizes for the Fig. 2b sweep.
+//! * **Expressivity** — the number of linear regions the ReLU network carves
+//!   the input space into ([`LinearRegionEvaluator`], §II-A.2). The count is
+//!   estimated by walking random segments through input space and counting
+//!   activation-pattern transitions, a graded estimator that stays
+//!   informative at proxy scale.
+//!
+//! [`ZeroCostEvaluator`] bundles both indicators, and [`correlation`]
+//! provides the Kendall-τ / Spearman rank statistics used throughout the
+//! paper's analysis.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use micronas_datasets::DatasetKind;
+//! use micronas_proxies::{NtkConfig, NtkEvaluator};
+//! use micronas_searchspace::SearchSpace;
+//!
+//! let space = SearchSpace::nas_bench_201();
+//! let evaluator = NtkEvaluator::new(NtkConfig::fast());
+//! let report = evaluator.evaluate(space.cell(8_888).unwrap(), DatasetKind::Cifar10, 0).unwrap();
+//! println!("condition number: {}", report.condition_number);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+mod error;
+mod linear_regions;
+mod ntk;
+mod zero_cost;
+
+pub use error::ProxyError;
+pub use linear_regions::{LinearRegionConfig, LinearRegionEvaluator, LinearRegionReport};
+pub use ntk::{NtkConfig, NtkEvaluator, NtkReport};
+pub use zero_cost::{ZeroCostEvaluator, ZeroCostMetrics};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ProxyError>;

@@ -1,0 +1,285 @@
+//! Neural tangent kernel spectrum proxy (trainability indicator).
+
+use crate::{ProxyError, Result};
+use micronas_datasets::{DatasetKind, SyntheticDataset};
+use micronas_nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_searchspace::CellTopology;
+use micronas_tensor::{sym_eigenvalues, EigenOptions, Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the NTK condition-number proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NtkConfig {
+    /// Mini-batch size used to form the Gram matrix. The paper studies 4–128
+    /// (Fig. 2b) and adopts 32.
+    pub batch_size: usize,
+    /// Number of independent (init, batch) repetitions averaged together.
+    pub repeats: usize,
+    /// Geometry of the randomly initialised proxy network.
+    pub network: ProxyNetworkConfig,
+    /// Largest condition index `K_i` to report (Fig. 2a sweeps i = 1..=16).
+    pub max_condition_index: usize,
+}
+
+impl NtkConfig {
+    /// The configuration used by the paper's adopted setting: batch 32.
+    pub fn paper_default() -> Self {
+        Self {
+            batch_size: 32,
+            repeats: 1,
+            network: ProxyNetworkConfig::proxy_default(10),
+            max_condition_index: 16,
+        }
+    }
+
+    /// A fast configuration for unit tests and quick sweeps.
+    ///
+    /// Batch 12 on the [`ProxyNetworkConfig::small`] geometry is the smallest
+    /// setting at which the condition number still ranks architectures the
+    /// way the paper-scale networks do.
+    pub fn fast() -> Self {
+        Self {
+            batch_size: 12,
+            repeats: 1,
+            network: ProxyNetworkConfig::small(10),
+            max_condition_index: 8,
+        }
+    }
+
+    /// Returns a copy with a different batch size (Fig. 2b sweep).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns a copy with a different repeat count.
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_size < 2 {
+            return Err(ProxyError::InvalidConfig("NTK batch size must be at least 2".into()));
+        }
+        if self.repeats == 0 {
+            return Err(ProxyError::InvalidConfig("NTK repeats must be at least 1".into()));
+        }
+        if self.max_condition_index == 0 {
+            return Err(ProxyError::InvalidConfig("max condition index must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NtkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of one NTK evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NtkReport {
+    /// The classic condition number `K_1 = λ_max / λ_min`, averaged over repeats.
+    pub condition_number: f64,
+    /// Generalised condition indices `K_i = λ_max / λ_i` for `i = 1..=max_condition_index`.
+    pub condition_indices: Vec<f64>,
+    /// Eigenvalues of the Gram matrix from the first repeat, ascending.
+    pub eigenvalues: Vec<f64>,
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Number of repeats averaged.
+    pub repeats: usize,
+}
+
+impl NtkReport {
+    /// The trainability *score* used inside search objectives: the negated
+    /// log condition number, so that larger is better.
+    pub fn trainability_score(&self) -> f64 {
+        -(self.condition_number.max(1.0)).ln()
+    }
+}
+
+/// Evaluates the NTK condition number of candidate cells.
+///
+/// For each repeat the evaluator samples a fresh mini-batch from the
+/// synthetic dataset, builds a freshly initialised [`CellNetwork`], computes
+/// per-sample parameter gradients and forms the Gram matrix
+/// `G[i][j] = ∇θ f(x_i) · ∇θ f(x_j)`, whose spectrum yields the condition
+/// indices.
+#[derive(Debug, Clone)]
+pub struct NtkEvaluator {
+    config: NtkConfig,
+}
+
+impl NtkEvaluator {
+    /// Creates an evaluator with the given configuration.
+    pub fn new(config: NtkConfig) -> Self {
+        Self { config }
+    }
+
+    /// The evaluator's configuration.
+    pub fn config(&self) -> &NtkConfig {
+        &self.config
+    }
+
+    /// Evaluates the NTK spectrum of `cell` on a probe batch drawn from
+    /// `dataset`, using `seed` for both the batch and the initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the configuration is invalid or any
+    /// underlying numerical step fails.
+    pub fn evaluate(&self, cell: CellTopology, dataset: DatasetKind, seed: u64) -> Result<NtkReport> {
+        self.config.validate()?;
+        let mut net_config = self.config.network;
+        net_config.num_classes = dataset.num_classes().min(16);
+
+        let mut condition_sum = 0.0f64;
+        let mut indices_sum = vec![0.0f64; self.config.max_condition_index];
+        let mut first_eigenvalues = Vec::new();
+
+        for repeat in 0..self.config.repeats {
+            let repeat_seed = seed.wrapping_add(repeat as u64).wrapping_mul(0x9E37_79B9);
+            let data = SyntheticDataset::new(dataset, repeat_seed);
+            let batch = data.sample_batch_with_stream(
+                self.config.batch_size,
+                net_config.input_resolution,
+                repeat as u64,
+            )?;
+            let net = CellNetwork::new(&cell, &net_config, repeat_seed)?;
+            let gram = self.gram_matrix(&net, &batch.images)?;
+            let report = sym_eigenvalues(&gram, EigenOptions::default())
+                .map_err(|e| ProxyError::Eigen(e.to_string()))?;
+            condition_sum += report.condition_index(1);
+            for (i, slot) in indices_sum.iter_mut().enumerate() {
+                *slot += report.condition_index(i + 1);
+            }
+            if repeat == 0 {
+                first_eigenvalues = report.eigenvalues.clone();
+            }
+        }
+
+        let repeats = self.config.repeats as f64;
+        Ok(NtkReport {
+            condition_number: condition_sum / repeats,
+            condition_indices: indices_sum.iter().map(|v| v / repeats).collect(),
+            eigenvalues: first_eigenvalues,
+            batch_size: self.config.batch_size,
+            repeats: self.config.repeats,
+        })
+    }
+
+    /// Builds the NTK Gram matrix of a batch.
+    fn gram_matrix(&self, net: &CellNetwork, images: &Tensor) -> Result<Tensor> {
+        let grads = net.per_sample_gradients(images)?;
+        let n = grads.len();
+        let mut gram = Tensor::zeros(Shape::d2(n, n));
+        for i in 0..n {
+            for j in i..n {
+                let value = grads[i].dot(&grads[j]) as f32;
+                *gram.at2_mut(i, j) = value;
+                *gram.at2_mut(j, i) = value;
+            }
+        }
+        // A completely disconnected cell produces an all-zero Gram matrix;
+        // keep it numerically benign (condition_index clamps the denominator).
+        Ok(gram)
+    }
+}
+
+impl Default for NtkEvaluator {
+    fn default() -> Self {
+        Self::new(NtkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    fn fast_eval() -> NtkEvaluator {
+        NtkEvaluator::new(NtkConfig::fast())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(NtkConfig::fast().with_batch_size(1).validate().is_err());
+        assert!(NtkConfig::fast().with_repeats(0).validate().is_err());
+        let mut cfg = NtkConfig::fast();
+        cfg.max_condition_index = 0;
+        assert!(cfg.validate().is_err());
+        assert!(NtkConfig::paper_default().validate().is_ok());
+        assert_eq!(NtkConfig::paper_default().batch_size, 32);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(8_888).unwrap();
+        let eval = fast_eval();
+        let a = eval.evaluate(cell, DatasetKind::Cifar10, 3).unwrap();
+        let b = eval.evaluate(cell, DatasetKind::Cifar10, 3).unwrap();
+        assert_eq!(a, b);
+        let c = eval.evaluate(cell, DatasetKind::Cifar10, 4).unwrap();
+        assert_ne!(a.condition_number, c.condition_number);
+    }
+
+    #[test]
+    fn report_structure_is_consistent() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(12_003).unwrap();
+        let eval = fast_eval();
+        let report = eval.evaluate(cell, DatasetKind::Cifar10, 1).unwrap();
+        assert_eq!(report.batch_size, 12);
+        assert_eq!(report.eigenvalues.len(), 12);
+        assert_eq!(report.condition_indices.len(), 8);
+        // K_1 equals the reported condition number for a single repeat.
+        assert!((report.condition_indices[0] - report.condition_number).abs() < 1e-9);
+        // K_i is non-increasing in i.
+        for w in report.condition_indices.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        assert!(report.condition_number >= 1.0);
+        assert!(report.trainability_score() <= 0.0);
+    }
+
+    #[test]
+    fn disconnected_cell_has_much_worse_conditioning_than_conv_cell() {
+        // A conv-rich connected cell should be far better conditioned than a
+        // cell whose only path is a pooling chain (near-degenerate NTK).
+        let eval = fast_eval();
+        let conv_cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::NorConv3x3,
+        ]);
+        let pool_cell = CellTopology::new([Operation::AvgPool3x3; 6]);
+        let conv = eval.evaluate(conv_cell, DatasetKind::Cifar10, 5).unwrap();
+        let pool = eval.evaluate(pool_cell, DatasetKind::Cifar10, 5).unwrap();
+        assert!(
+            pool.condition_number > conv.condition_number,
+            "pool-only cell (K={}) should be worse conditioned than conv cell (K={})",
+            pool.condition_number,
+            conv.condition_number
+        );
+    }
+
+    #[test]
+    fn repeats_average_the_condition_number() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(9_431).unwrap();
+        let eval1 = NtkEvaluator::new(NtkConfig::fast().with_repeats(1));
+        let eval2 = NtkEvaluator::new(NtkConfig::fast().with_repeats(2));
+        let r1 = eval1.evaluate(cell, DatasetKind::Cifar10, 10).unwrap();
+        let r2 = eval2.evaluate(cell, DatasetKind::Cifar10, 10).unwrap();
+        assert_eq!(r2.repeats, 2);
+        // The two-repeat average is generally different from the single run.
+        assert!(r1.condition_number > 0.0 && r2.condition_number > 0.0);
+    }
+}

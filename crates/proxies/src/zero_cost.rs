@@ -1,0 +1,132 @@
+//! Combined zero-cost evaluation of a candidate architecture.
+
+use crate::{
+    LinearRegionConfig, LinearRegionEvaluator, NtkConfig, NtkEvaluator, Result,
+};
+use micronas_datasets::DatasetKind;
+use micronas_searchspace::CellTopology;
+use serde::{Deserialize, Serialize};
+
+/// The two network-analysis indicators of the hybrid objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZeroCostMetrics {
+    /// NTK condition number (smaller is better).
+    pub ntk_condition: f64,
+    /// Linear-region count (larger is better).
+    pub linear_regions: usize,
+    /// Trainability score: negated log condition number (larger is better).
+    pub trainability: f64,
+    /// Expressivity score: log region count (larger is better).
+    pub expressivity: f64,
+}
+
+/// Evaluates both zero-cost indicators for candidate cells.
+///
+/// This is the "network analysis" half of the MicroNAS workflow (Fig. 1);
+/// the hardware half lives in [`micronas_hw::HardwareEvaluator`].
+///
+/// [`micronas_hw::HardwareEvaluator`]: https://docs.rs/micronas-hw
+#[derive(Debug, Clone)]
+pub struct ZeroCostEvaluator {
+    ntk: NtkEvaluator,
+    linear_regions: LinearRegionEvaluator,
+}
+
+impl ZeroCostEvaluator {
+    /// Creates an evaluator from the two proxy configurations.
+    pub fn new(ntk: NtkConfig, lr: LinearRegionConfig) -> Self {
+        Self { ntk: NtkEvaluator::new(ntk), linear_regions: LinearRegionEvaluator::new(lr) }
+    }
+
+    /// A fast evaluator for tests and quick searches.
+    pub fn fast() -> Self {
+        Self::new(NtkConfig::fast(), LinearRegionConfig::fast())
+    }
+
+    /// The evaluator configured as in the paper (batch-32 NTK).
+    pub fn paper_default() -> Self {
+        Self::new(NtkConfig::paper_default(), LinearRegionConfig::paper_default())
+    }
+
+    /// The NTK sub-evaluator.
+    pub fn ntk(&self) -> &NtkEvaluator {
+        &self.ntk
+    }
+
+    /// The linear-region sub-evaluator.
+    pub fn linear_regions(&self) -> &LinearRegionEvaluator {
+        &self.linear_regions
+    }
+
+    /// Evaluates both indicators for one cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any proxy evaluation failure.
+    pub fn evaluate(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+    ) -> Result<ZeroCostMetrics> {
+        let ntk = self.ntk.evaluate(cell, dataset, seed)?;
+        let lr = self.linear_regions.evaluate(cell, dataset, seed)?;
+        Ok(ZeroCostMetrics {
+            ntk_condition: ntk.condition_number,
+            linear_regions: lr.regions,
+            trainability: ntk.trainability_score(),
+            expressivity: lr.expressivity_score(),
+        })
+    }
+}
+
+impl Default for ZeroCostEvaluator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    #[test]
+    fn evaluate_produces_consistent_scores() {
+        let space = SearchSpace::nas_bench_201();
+        let eval = ZeroCostEvaluator::fast();
+        let metrics = eval.evaluate(space.cell(4_242).unwrap(), DatasetKind::Cifar10, 1).unwrap();
+        assert!(metrics.ntk_condition >= 1.0);
+        assert!(metrics.linear_regions >= 1);
+        assert!((metrics.trainability - -(metrics.ntk_condition.max(1.0)).ln()).abs() < 1e-9);
+        assert!((metrics.expressivity - (metrics.linear_regions as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conv_rich_cell_beats_pool_cell_on_both_axes() {
+        let eval = ZeroCostEvaluator::fast();
+        let rich = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::NorConv3x3,
+        ]);
+        let poor = CellTopology::new([Operation::AvgPool3x3; 6]);
+        let a = eval.evaluate(rich, DatasetKind::Cifar10, 2).unwrap();
+        let b = eval.evaluate(poor, DatasetKind::Cifar10, 2).unwrap();
+        assert!(a.trainability > b.trainability);
+        assert!(a.expressivity > b.expressivity);
+    }
+
+    #[test]
+    fn accessors_expose_sub_evaluators() {
+        let eval = ZeroCostEvaluator::fast();
+        assert_eq!(eval.ntk().config().batch_size, NtkConfig::fast().batch_size);
+        assert_eq!(
+            eval.linear_regions().config().num_segments,
+            LinearRegionConfig::fast().num_segments
+        );
+    }
+}

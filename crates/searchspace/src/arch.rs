@@ -1,0 +1,113 @@
+use crate::{CellTopology, SearchSpace, SearchSpaceError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete architecture: a cell plus its position in the space enumeration.
+///
+/// The index is the canonical handle used by the surrogate benchmark, the
+/// hardware estimators and the search algorithms; the cell describes the
+/// actual wiring.
+///
+/// # Example
+///
+/// ```
+/// use micronas_searchspace::{Architecture, SearchSpace};
+/// let space = SearchSpace::nas_bench_201();
+/// let arch = Architecture::from_index(&space, 777).unwrap();
+/// assert_eq!(arch.index(), 777);
+/// println!("{arch}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Architecture {
+    index: usize,
+    cell: CellTopology,
+}
+
+impl Architecture {
+    /// Creates an architecture from an already-decoded (index, cell) pair.
+    ///
+    /// The caller is responsible for the pair being consistent; use
+    /// [`Architecture::from_index`] or [`Architecture::from_cell`] when in
+    /// doubt.
+    pub fn new(index: usize, cell: CellTopology) -> Self {
+        Self { index, cell }
+    }
+
+    /// Decodes the architecture at `index` in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::IndexOutOfRange`] if the index is outside
+    /// the space.
+    pub fn from_index(space: &SearchSpace, index: usize) -> Result<Self, SearchSpaceError> {
+        space.architecture(index)
+    }
+
+    /// Builds the architecture corresponding to a cell, computing its index.
+    pub fn from_cell(space: &SearchSpace, cell: CellTopology) -> Self {
+        Self { index: space.index_of(&cell), cell }
+    }
+
+    /// Index of the architecture in the space enumeration.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The cell topology.
+    pub fn cell(&self) -> &CellTopology {
+        &self.cell
+    }
+
+    /// The canonical NAS-Bench-201 architecture string.
+    pub fn arch_string(&self) -> String {
+        self.cell.to_string()
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}", self.index, self.cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeId, Operation};
+
+    #[test]
+    fn from_cell_matches_from_index() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(4242).unwrap();
+        let a = Architecture::from_cell(&space, cell);
+        let b = Architecture::from_index(&space, 4242).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_contains_index_and_string() {
+        let space = SearchSpace::nas_bench_201();
+        let arch = Architecture::from_index(&space, 3).unwrap();
+        let s = arch.to_string();
+        assert!(s.starts_with("#3 "));
+        assert!(s.contains('~'));
+    }
+
+    #[test]
+    fn arch_string_parses_back_to_same_cell() {
+        let space = SearchSpace::nas_bench_201();
+        let arch = Architecture::from_index(&space, 9_999).unwrap();
+        let parsed: CellTopology = arch.arch_string().parse().unwrap();
+        assert_eq!(&parsed, arch.cell());
+    }
+
+    #[test]
+    fn modified_cell_changes_index() {
+        let space = SearchSpace::nas_bench_201();
+        let arch = Architecture::from_index(&space, 0).unwrap();
+        let cell2 = arch.cell().with_op(EdgeId(0), Operation::NorConv3x3).unwrap();
+        let arch2 = Architecture::from_cell(&space, cell2);
+        assert_ne!(arch2.index(), arch.index());
+        assert_eq!(arch2.index(), Operation::NorConv3x3.index());
+    }
+}

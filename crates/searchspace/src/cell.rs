@@ -1,0 +1,379 @@
+use crate::{Operation, SearchSpaceError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of feature-map nodes in a NAS-Bench-201 cell (including input node).
+pub const NUM_NODES: usize = 4;
+
+/// Number of directed edges in the densely connected cell DAG:
+/// every node `j > 0` receives one edge from every node `i < j`.
+pub const NUM_EDGES: usize = 6;
+
+/// Identifier of one edge of the cell DAG.
+///
+/// Edges are stored in the canonical NAS-Bench-201 order:
+/// `(0→1), (0→2), (1→2), (0→3), (1→3), (2→3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The (source, destination) node pair of the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is ≥ [`NUM_EDGES`].
+    pub fn endpoints(self) -> (usize, usize) {
+        EDGE_ENDPOINTS[self.0]
+    }
+
+    /// All edges in canonical order.
+    pub fn all() -> [EdgeId; NUM_EDGES] {
+        [EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(4), EdgeId(5)]
+    }
+}
+
+/// Canonical edge order: grouped by destination node, source ascending.
+const EDGE_ENDPOINTS: [(usize, usize); NUM_EDGES] =
+    [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)];
+
+/// A concrete cell: one [`Operation`] assigned to each of the six edges.
+///
+/// # Example
+///
+/// ```
+/// use micronas_searchspace::{CellTopology, Operation};
+///
+/// let cell: CellTopology = "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|none~0|none~1|nor_conv_1x1~2|"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(cell.edge_ops()[0], Operation::NorConv3x3);
+/// assert_eq!(cell.to_string(),
+///     "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|none~0|none~1|nor_conv_1x1~2|");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellTopology {
+    ops: [Operation; NUM_EDGES],
+}
+
+impl CellTopology {
+    /// Creates a cell from the six edge operations in canonical order.
+    pub fn new(ops: [Operation; NUM_EDGES]) -> Self {
+        Self { ops }
+    }
+
+    /// The cell in which every edge is the `none` operation.
+    pub fn all_none() -> Self {
+        Self { ops: [Operation::None; NUM_EDGES] }
+    }
+
+    /// Operations on all edges in canonical order.
+    pub fn edge_ops(&self) -> &[Operation; NUM_EDGES] {
+        &self.ops
+    }
+
+    /// Operation on one edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
+    pub fn op(&self, edge: EdgeId) -> Result<Operation, SearchSpaceError> {
+        self.ops.get(edge.0).copied().ok_or(SearchSpaceError::InvalidEdge(edge.0))
+    }
+
+    /// Returns a copy of the cell with one edge replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
+    pub fn with_op(&self, edge: EdgeId, op: Operation) -> Result<Self, SearchSpaceError> {
+        if edge.0 >= NUM_EDGES {
+            return Err(SearchSpaceError::InvalidEdge(edge.0));
+        }
+        let mut ops = self.ops;
+        ops[edge.0] = op;
+        Ok(Self { ops })
+    }
+
+    /// Number of edges carrying each operation kind, indexed by
+    /// [`Operation::index`].
+    pub fn op_histogram(&self) -> [usize; crate::NUM_OPERATIONS] {
+        let mut hist = [0usize; crate::NUM_OPERATIONS];
+        for op in self.ops {
+            hist[op.index()] += 1;
+        }
+        hist
+    }
+
+    /// Whether any computational path exists from the input node (0) to the
+    /// output node (3) through edges that carry signal (i.e. are not `none`).
+    pub fn has_input_output_path(&self) -> bool {
+        // reachable[i] = node i receives signal originating at node 0.
+        let mut reachable = [false; NUM_NODES];
+        reachable[0] = true;
+        for (edge_idx, &(src, dst)) in EDGE_ENDPOINTS.iter().enumerate() {
+            if reachable[src] && self.ops[edge_idx].carries_signal() {
+                reachable[dst] = true;
+            }
+        }
+        reachable[NUM_NODES - 1]
+    }
+
+    /// Length of the longest signal-carrying path from node 0 to node 3,
+    /// counted in edges. Returns 0 when no path exists.
+    pub fn longest_path_edges(&self) -> usize {
+        let mut best = [0usize; NUM_NODES];
+        let mut reachable = [false; NUM_NODES];
+        reachable[0] = true;
+        for (edge_idx, &(src, dst)) in EDGE_ENDPOINTS.iter().enumerate() {
+            if reachable[src] && self.ops[edge_idx].carries_signal() {
+                reachable[dst] = true;
+                best[dst] = best[dst].max(best[src] + 1);
+            }
+        }
+        if reachable[NUM_NODES - 1] {
+            best[NUM_NODES - 1]
+        } else {
+            0
+        }
+    }
+
+    /// Length of the longest path counting only *parameterized* (convolution)
+    /// edges. This approximates the effective trainable depth of the cell.
+    pub fn effective_depth(&self) -> usize {
+        let mut best = [0usize; NUM_NODES];
+        let mut reachable = [false; NUM_NODES];
+        reachable[0] = true;
+        for (edge_idx, &(src, dst)) in EDGE_ENDPOINTS.iter().enumerate() {
+            let op = self.ops[edge_idx];
+            if reachable[src] && op.carries_signal() {
+                reachable[dst] = true;
+                let gain = usize::from(op.is_parameterized());
+                best[dst] = best[dst].max(best[src] + gain);
+            }
+        }
+        if reachable[NUM_NODES - 1] {
+            best[NUM_NODES - 1]
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for CellTopology {
+    fn default() -> Self {
+        Self::all_none()
+    }
+}
+
+impl fmt::Display for CellTopology {
+    /// Formats the cell using the canonical NAS-Bench-201 architecture string
+    /// `|op~0|+|op~0|op~1|+|op~0|op~1|op~2|`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut edge = 0usize;
+        for dst in 1..NUM_NODES {
+            if dst > 1 {
+                write!(f, "+")?;
+            }
+            write!(f, "|")?;
+            for src in 0..dst {
+                write!(f, "{}~{}|", self.ops[edge], src)?;
+                edge += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for CellTopology {
+    type Err = SearchSpaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_err = |reason: &str| SearchSpaceError::ParseArch {
+            input: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let groups: Vec<&str> = s.split('+').collect();
+        if groups.len() != NUM_NODES - 1 {
+            return Err(parse_err("expected three '+'-separated node groups"));
+        }
+        let mut ops = [Operation::None; NUM_EDGES];
+        let mut edge = 0usize;
+        for (dst_minus_one, group) in groups.iter().enumerate() {
+            let dst = dst_minus_one + 1;
+            let trimmed = group.trim_matches('|');
+            let entries: Vec<&str> = trimmed.split('|').filter(|e| !e.is_empty()).collect();
+            if entries.len() != dst {
+                return Err(parse_err(&format!("node {dst} should have {dst} incoming edges")));
+            }
+            for (expected_src, entry) in entries.iter().enumerate() {
+                let (op_name, src_str) = entry
+                    .rsplit_once('~')
+                    .ok_or_else(|| parse_err("edge entry missing '~source' suffix"))?;
+                let src: usize =
+                    src_str.parse().map_err(|_| parse_err("edge source is not a number"))?;
+                if src != expected_src {
+                    return Err(parse_err(&format!(
+                        "edge sources must appear in order (expected {expected_src}, got {src})"
+                    )));
+                }
+                ops[edge] = op_name.parse()?;
+                edge += 1;
+            }
+        }
+        Ok(CellTopology::new(ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_OPERATIONS;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edge_endpoints_are_canonical() {
+        assert_eq!(EdgeId(0).endpoints(), (0, 1));
+        assert_eq!(EdgeId(2).endpoints(), (1, 2));
+        assert_eq!(EdgeId(5).endpoints(), (2, 3));
+        assert_eq!(EdgeId::all().len(), NUM_EDGES);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::None,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::None,
+            Operation::NorConv1x1,
+        ]);
+        let s = cell.to_string();
+        assert_eq!(
+            s,
+            "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|none~0|none~1|nor_conv_1x1~2|"
+        );
+        let parsed: CellTopology = s.parse().unwrap();
+        assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_strings() {
+        assert!("".parse::<CellTopology>().is_err());
+        assert!("|none~0|".parse::<CellTopology>().is_err());
+        assert!("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+        // Wrong source numbering.
+        assert!("|none~1|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+        // Missing '~'.
+        assert!("|none|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+    }
+
+    #[test]
+    fn with_op_and_accessors() {
+        let cell = CellTopology::all_none();
+        assert_eq!(cell.op(EdgeId(3)).unwrap(), Operation::None);
+        let cell2 = cell.with_op(EdgeId(3), Operation::NorConv3x3).unwrap();
+        assert_eq!(cell2.op(EdgeId(3)).unwrap(), Operation::NorConv3x3);
+        assert!(cell.with_op(EdgeId(6), Operation::None).is_err());
+        assert!(cell.op(EdgeId(9)).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_every_edge() {
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::AvgPool3x3,
+            Operation::None,
+            Operation::NorConv1x1,
+        ]);
+        let hist = cell.op_histogram();
+        assert_eq!(hist[Operation::NorConv3x3.index()], 2);
+        assert_eq!(hist[Operation::None.index()], 1);
+        assert_eq!(hist.iter().sum::<usize>(), NUM_EDGES);
+    }
+
+    #[test]
+    fn path_detection() {
+        // All none: no path.
+        assert!(!CellTopology::all_none().has_input_output_path());
+        // Direct edge 0→3 only (edge index 3).
+        let direct = CellTopology::all_none().with_op(EdgeId(3), Operation::SkipConnect).unwrap();
+        assert!(direct.has_input_output_path());
+        assert_eq!(direct.longest_path_edges(), 1);
+        // Path 0→1→2→3 through convs: effective depth 3.
+        let chain = CellTopology::new([
+            Operation::NorConv3x3, // 0→1
+            Operation::None,       // 0→2
+            Operation::NorConv3x3, // 1→2
+            Operation::None,       // 0→3
+            Operation::None,       // 1→3
+            Operation::NorConv3x3, // 2→3
+        ]);
+        assert!(chain.has_input_output_path());
+        assert_eq!(chain.longest_path_edges(), 3);
+        assert_eq!(chain.effective_depth(), 3);
+    }
+
+    #[test]
+    fn effective_depth_ignores_pool_and_skip() {
+        let cell = CellTopology::new([
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::None,
+            Operation::None,
+            Operation::NorConv1x1,
+        ]);
+        // Path 0→1→2→3 exists with one parameterized edge (2→3 conv1x1).
+        assert_eq!(cell.effective_depth(), 1);
+        assert_eq!(cell.longest_path_edges(), 3);
+    }
+
+    #[test]
+    fn isolated_output_when_final_edges_are_none() {
+        // Signal reaches nodes 1 and 2, but all edges into node 3 are none.
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::None,
+            Operation::None,
+        ]);
+        assert!(!cell.has_input_output_path());
+        assert_eq!(cell.longest_path_edges(), 0);
+        assert_eq!(cell.effective_depth(), 0);
+    }
+
+    fn arb_cell() -> impl Strategy<Value = CellTopology> {
+        proptest::array::uniform6(0usize..5).prop_map(|idx| {
+            let mut ops = [Operation::None; NUM_EDGES];
+            for (i, &k) in idx.iter().enumerate() {
+                ops[i] = ALL_OPERATIONS[k];
+            }
+            CellTopology::new(ops)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip_all(cell in arb_cell()) {
+            let parsed: CellTopology = cell.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, cell);
+        }
+
+        #[test]
+        fn histogram_sums_to_six(cell in arb_cell()) {
+            prop_assert_eq!(cell.op_histogram().iter().sum::<usize>(), NUM_EDGES);
+        }
+
+        #[test]
+        fn effective_depth_bounded_by_path_length(cell in arb_cell()) {
+            prop_assert!(cell.effective_depth() <= cell.longest_path_edges());
+            prop_assert!(cell.longest_path_edges() <= 3);
+        }
+    }
+}

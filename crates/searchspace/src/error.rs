@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced while constructing or decoding architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchSpaceError {
+    /// An architecture index outside `0..space.len()` was requested.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of architectures in the space.
+        len: usize,
+    },
+    /// An architecture string could not be parsed.
+    ParseArch {
+        /// The offending string.
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An unknown operation name was encountered.
+    UnknownOperation(String),
+    /// An edge id outside the cell was referenced.
+    InvalidEdge(usize),
+    /// A supernet operation was invalid (e.g. pruning the last op on an edge).
+    InvalidPrune {
+        /// Edge on which the prune was attempted.
+        edge: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A macro-skeleton parameter was invalid.
+    InvalidSkeleton(String),
+}
+
+impl fmt::Display for SearchSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchSpaceError::IndexOutOfRange { index, len } => {
+                write!(f, "architecture index {index} out of range for space of {len}")
+            }
+            SearchSpaceError::ParseArch { input, reason } => {
+                write!(f, "could not parse architecture string {input:?}: {reason}")
+            }
+            SearchSpaceError::UnknownOperation(name) => write!(f, "unknown operation {name:?}"),
+            SearchSpaceError::InvalidEdge(e) => write!(f, "edge {e} does not exist in the cell"),
+            SearchSpaceError::InvalidPrune { edge, reason } => {
+                write!(f, "invalid prune on edge {edge}: {reason}")
+            }
+            SearchSpaceError::InvalidSkeleton(msg) => write!(f, "invalid macro skeleton: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchSpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_key_information() {
+        let e = SearchSpaceError::IndexOutOfRange { index: 20_000, len: 15_625 };
+        assert!(e.to_string().contains("20000"));
+        let e = SearchSpaceError::UnknownOperation("conv_7x7".into());
+        assert!(e.to_string().contains("conv_7x7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchSpaceError>();
+    }
+}

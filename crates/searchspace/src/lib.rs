@@ -1,0 +1,58 @@
+//! The NAS-Bench-201 style cell-based search space used by MicroNAS.
+//!
+//! An architecture in this space is a single **cell**: a densely connected
+//! directed acyclic graph with four feature-map nodes where each of the six
+//! edges carries one of five candidate operations (`none`, `skip_connect`,
+//! `nor_conv_1x1`, `nor_conv_3x3`, `avg_pool_3x3`). The full space therefore
+//! contains 5⁶ = 15 625 architectures. The same cell is stacked inside a
+//! fixed macro skeleton (stem → 3 stages of N cells with residual reduction
+//! blocks in between → global pool → linear classifier), exactly as in
+//! NAS-Bench-201.
+//!
+//! This crate provides:
+//!
+//! * [`Operation`] — the candidate operation set;
+//! * [`CellTopology`] — a concrete assignment of operations to edges, with
+//!   the canonical NAS-Bench-201 architecture-string encoding;
+//! * [`Architecture`] — a cell plus its index in the enumeration of the space;
+//! * [`SearchSpace`] — enumeration, sampling and indexing of all 15 625 cells;
+//! * [`Supernet`] — the pruning-search state in which every edge still holds
+//!   a *set* of candidate operations;
+//! * [`MacroSkeleton`] / [`OpInstance`] — the fixed outer network, flattened
+//!   into per-operation instances for FLOPs / latency / memory estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_searchspace::{Architecture, Operation, SearchSpace};
+//!
+//! let space = SearchSpace::nas_bench_201();
+//! assert_eq!(space.len(), 15_625);
+//!
+//! let arch = Architecture::from_index(&space, 0).unwrap();
+//! assert_eq!(arch.cell().edge_ops().len(), 6);
+//! assert!(arch.cell().edge_ops().iter().all(|&op| op == Operation::None));
+//! ```
+
+#![warn(missing_docs)]
+
+mod arch;
+mod cell;
+mod error;
+mod neighbors;
+mod op;
+mod skeleton;
+mod space;
+mod supernet;
+
+pub use arch::Architecture;
+pub use cell::{CellTopology, EdgeId, NUM_EDGES, NUM_NODES};
+pub use error::SearchSpaceError;
+pub use neighbors::{all_neighbors, mutate, random_architecture};
+pub use op::{Operation, ALL_OPERATIONS, NUM_OPERATIONS};
+pub use skeleton::{LayerRole, MacroSkeleton, OpClass, OpInstance, StageSpec};
+pub use space::SearchSpace;
+pub use supernet::Supernet;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SearchSpaceError>;

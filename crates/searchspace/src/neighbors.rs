@@ -1,0 +1,111 @@
+//! Neighbourhood and mutation utilities used by the evolutionary baseline
+//! (µNAS-style aging evolution) and by local-search ablations.
+
+use crate::{Architecture, CellTopology, EdgeId, Operation, SearchSpace, ALL_OPERATIONS, NUM_EDGES};
+use rand::Rng;
+
+/// All architectures that differ from `arch` by exactly one edge operation.
+///
+/// Each of the 6 edges can take 4 alternative operations, so the
+/// neighbourhood always contains 24 architectures.
+pub fn all_neighbors(space: &SearchSpace, arch: &Architecture) -> Vec<Architecture> {
+    let mut out = Vec::with_capacity(NUM_EDGES * (ALL_OPERATIONS.len() - 1));
+    for edge in EdgeId::all() {
+        let current = arch.cell().edge_ops()[edge.0];
+        for op in ALL_OPERATIONS {
+            if op != current {
+                let cell = arch
+                    .cell()
+                    .with_op(edge, op)
+                    .expect("edge ids from EdgeId::all() are always valid");
+                out.push(Architecture::from_cell(space, cell));
+            }
+        }
+    }
+    out
+}
+
+/// Mutates one uniformly chosen edge to a different uniformly chosen
+/// operation.
+pub fn mutate<R: Rng>(space: &SearchSpace, arch: &Architecture, rng: &mut R) -> Architecture {
+    let edge = EdgeId(rng.gen_range(0..NUM_EDGES));
+    let current = arch.cell().edge_ops()[edge.0];
+    let alternatives: Vec<Operation> =
+        ALL_OPERATIONS.iter().copied().filter(|&op| op != current).collect();
+    let op = alternatives[rng.gen_range(0..alternatives.len())];
+    let cell = arch.cell().with_op(edge, op).expect("edge id in range");
+    Architecture::from_cell(space, cell)
+}
+
+/// Samples a uniformly random architecture from the space.
+pub fn random_architecture<R: Rng>(space: &SearchSpace, rng: &mut R) -> Architecture {
+    let mut ops = [Operation::None; NUM_EDGES];
+    for slot in ops.iter_mut() {
+        *slot = ALL_OPERATIONS[rng.gen_range(0..ALL_OPERATIONS.len())];
+    }
+    Architecture::from_cell(space, CellTopology::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn neighborhood_has_24_unique_members() {
+        let space = SearchSpace::nas_bench_201();
+        let arch = space.architecture(5000).unwrap();
+        let neighbors = all_neighbors(&space, &arch);
+        assert_eq!(neighbors.len(), 24);
+        let unique: HashSet<usize> = neighbors.iter().map(|a| a.index()).collect();
+        assert_eq!(unique.len(), 24);
+        assert!(!unique.contains(&arch.index()));
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_edge() {
+        let space = SearchSpace::nas_bench_201();
+        let arch = space.architecture(123).unwrap();
+        for n in all_neighbors(&space, &arch) {
+            let diff = arch
+                .cell()
+                .edge_ops()
+                .iter()
+                .zip(n.cell().edge_ops())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_edge() {
+        let space = SearchSpace::nas_bench_201();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let arch = space.architecture(777).unwrap();
+        for _ in 0..32 {
+            let m = mutate(&space, &arch, &mut rng);
+            let diff = arch
+                .cell()
+                .edge_ops()
+                .iter()
+                .zip(m.cell().edge_ops())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn random_architecture_is_in_range_and_varied() {
+        let space = SearchSpace::nas_bench_201();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples: HashSet<usize> =
+            (0..64).map(|_| random_architecture(&space, &mut rng).index()).collect();
+        assert!(samples.iter().all(|&i| i < space.len()));
+        // With 64 draws from 15 625 architectures, collisions are very unlikely.
+        assert!(samples.len() > 50);
+    }
+}

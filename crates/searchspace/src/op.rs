@@ -1,0 +1,153 @@
+use crate::SearchSpaceError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of candidate operations per edge (NAS-Bench-201 uses five).
+pub const NUM_OPERATIONS: usize = 5;
+
+/// The five candidate operations of the NAS-Bench-201 search space.
+///
+/// The discriminant order matches the canonical NAS-Bench-201 op list so that
+/// architecture indices computed here agree with the reference enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operation {
+    /// The `none` (zeroize) operation: the edge outputs all zeros.
+    None,
+    /// Identity / skip connection.
+    SkipConnect,
+    /// 1×1 convolution (ReLU-Conv-BN block in the reference space).
+    NorConv1x1,
+    /// 3×3 convolution (ReLU-Conv-BN block in the reference space).
+    NorConv3x3,
+    /// 3×3 average pooling, stride 1, padding 1.
+    AvgPool3x3,
+}
+
+/// All operations in canonical NAS-Bench-201 order.
+pub const ALL_OPERATIONS: [Operation; NUM_OPERATIONS] = [
+    Operation::None,
+    Operation::SkipConnect,
+    Operation::NorConv1x1,
+    Operation::NorConv3x3,
+    Operation::AvgPool3x3,
+];
+
+impl Operation {
+    /// Canonical NAS-Bench-201 name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Operation::None => "none",
+            Operation::SkipConnect => "skip_connect",
+            Operation::NorConv1x1 => "nor_conv_1x1",
+            Operation::NorConv3x3 => "nor_conv_3x3",
+            Operation::AvgPool3x3 => "avg_pool_3x3",
+        }
+    }
+
+    /// Index of the operation in [`ALL_OPERATIONS`].
+    pub fn index(self) -> usize {
+        match self {
+            Operation::None => 0,
+            Operation::SkipConnect => 1,
+            Operation::NorConv1x1 => 2,
+            Operation::NorConv3x3 => 3,
+            Operation::AvgPool3x3 => 4,
+        }
+    }
+
+    /// Operation corresponding to an index in [`ALL_OPERATIONS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::UnknownOperation`] for indices ≥ 5.
+    pub fn from_index(index: usize) -> Result<Self, SearchSpaceError> {
+        ALL_OPERATIONS
+            .get(index)
+            .copied()
+            .ok_or_else(|| SearchSpaceError::UnknownOperation(format!("op index {index}")))
+    }
+
+    /// Whether the operation carries trainable parameters.
+    pub fn is_parameterized(self) -> bool {
+        matches!(self, Operation::NorConv1x1 | Operation::NorConv3x3)
+    }
+
+    /// Whether the operation passes information at all (everything except `none`).
+    pub fn carries_signal(self) -> bool {
+        !matches!(self, Operation::None)
+    }
+
+    /// Kernel size of the operation's spatial window (1 for skip/none).
+    pub fn kernel_size(self) -> usize {
+        match self {
+            Operation::None | Operation::SkipConnect | Operation::NorConv1x1 => 1,
+            Operation::NorConv3x3 | Operation::AvgPool3x3 => 3,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Operation {
+    type Err = SearchSpaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(Operation::None),
+            "skip_connect" => Ok(Operation::SkipConnect),
+            "nor_conv_1x1" => Ok(Operation::NorConv1x1),
+            "nor_conv_3x3" => Ok(Operation::NorConv3x3),
+            "avg_pool_3x3" => Ok(Operation::AvgPool3x3),
+            other => Err(SearchSpaceError::UnknownOperation(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for (i, op) in ALL_OPERATIONS.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Operation::from_index(i).unwrap(), *op);
+        }
+        assert!(Operation::from_index(5).is_err());
+    }
+
+    #[test]
+    fn roundtrip_name() {
+        for op in ALL_OPERATIONS {
+            assert_eq!(op.name().parse::<Operation>().unwrap(), op);
+        }
+        assert!("sep_conv_5x5".parse::<Operation>().is_err());
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(Operation::NorConv3x3.is_parameterized());
+        assert!(Operation::NorConv1x1.is_parameterized());
+        assert!(!Operation::AvgPool3x3.is_parameterized());
+        assert!(!Operation::None.carries_signal());
+        assert!(Operation::SkipConnect.carries_signal());
+    }
+
+    #[test]
+    fn kernel_sizes() {
+        assert_eq!(Operation::NorConv3x3.kernel_size(), 3);
+        assert_eq!(Operation::AvgPool3x3.kernel_size(), 3);
+        assert_eq!(Operation::NorConv1x1.kernel_size(), 1);
+        assert_eq!(Operation::SkipConnect.kernel_size(), 1);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Operation::NorConv3x3.to_string(), "nor_conv_3x3");
+    }
+}

@@ -1,0 +1,479 @@
+use crate::{CellTopology, Operation, SearchSpaceError};
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of a primitive layer instance, used by the FLOPs,
+/// latency and memory estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// A convolution (includes the stem, cell convolutions and residual-block convolutions).
+    Conv,
+    /// An average-pooling operation.
+    Pool,
+    /// An identity / skip connection (data movement only).
+    Identity,
+    /// The `none` operation: produces zeros, negligible cost but kept for completeness.
+    Zero,
+    /// The final fully connected classifier.
+    Linear,
+    /// The global average pooling before the classifier.
+    GlobalPool,
+    /// Element-wise addition that merges node inputs or residual branches.
+    Add,
+}
+
+/// Where in the macro skeleton a primitive layer instance lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerRole {
+    /// The 3×3 stem convolution.
+    Stem,
+    /// An operation on one edge of one cell.
+    Cell {
+        /// Stage index (0, 1 or 2).
+        stage: usize,
+        /// Cell index within the stage.
+        cell: usize,
+        /// Edge index within the cell (0..6).
+        edge: usize,
+    },
+    /// Part of a residual reduction block between stages.
+    Reduction {
+        /// Which reduction block (0 between stages 0/1, 1 between stages 1/2).
+        block: usize,
+    },
+    /// The classifier head (global pool + linear).
+    Head,
+}
+
+/// One primitive operation instance with its concrete tensor geometry.
+///
+/// The hardware estimators consume a flat list of these; they carry enough
+/// information (kernel, stride, channels, input resolution) to compute FLOPs,
+/// parameter count, activation sizes and per-op latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpInstance {
+    /// Which part of the network this instance belongs to.
+    pub role: LayerRole,
+    /// Operation class for cost modelling.
+    pub class: OpClass,
+    /// The originating cell operation, if this instance comes from a cell edge.
+    pub cell_op: Option<Operation>,
+    /// Square kernel size (1 for identity / linear / zero).
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input height.
+    pub h_in: usize,
+    /// Input width.
+    pub w_in: usize,
+}
+
+impl OpInstance {
+    /// Output spatial height after applying this op.
+    pub fn h_out(&self) -> usize {
+        match self.class {
+            OpClass::Linear | OpClass::GlobalPool => 1,
+            _ => (self.h_in + self.stride - 1) / self.stride,
+        }
+    }
+
+    /// Output spatial width after applying this op.
+    pub fn w_out(&self) -> usize {
+        match self.class {
+            OpClass::Linear | OpClass::GlobalPool => 1,
+            _ => (self.w_in + self.stride - 1) / self.stride,
+        }
+    }
+
+    /// Number of input activation elements.
+    pub fn input_elements(&self) -> usize {
+        self.c_in * self.h_in * self.w_in
+    }
+
+    /// Number of output activation elements.
+    pub fn output_elements(&self) -> usize {
+        self.c_out * self.h_out() * self.w_out()
+    }
+}
+
+/// Per-stage description of the macro skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Channel width of the stage.
+    pub channels: usize,
+    /// Spatial resolution (height = width) at the input of the stage.
+    pub resolution: usize,
+    /// Number of stacked cells.
+    pub cells: usize,
+}
+
+/// The fixed NAS-Bench-201 macro skeleton into which the searched cell is
+/// stacked.
+///
+/// Defaults follow the reference: a 3→16 stem, three stages of five cells
+/// with 16/32/64 channels at 32/16/8 resolution, residual reduction blocks in
+/// between and a global-pool + linear head.
+///
+/// # Example
+///
+/// ```
+/// use micronas_searchspace::{MacroSkeleton, SearchSpace};
+/// let space = SearchSpace::nas_bench_201();
+/// let skeleton = MacroSkeleton::nas_bench_201(10);
+/// let cell = space.cell(4321).unwrap();
+/// let instances = skeleton.instantiate(&cell);
+/// assert!(instances.len() > 90); // 15 cells x 6 edges + stem + reductions + head
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroSkeleton {
+    input_channels: usize,
+    input_resolution: usize,
+    num_classes: usize,
+    stages: Vec<StageSpec>,
+}
+
+impl MacroSkeleton {
+    /// The standard CIFAR-sized NAS-Bench-201 skeleton (32×32×3 input,
+    /// 16/32/64 channels, 5 cells per stage).
+    pub fn nas_bench_201(num_classes: usize) -> Self {
+        Self {
+            input_channels: 3,
+            input_resolution: 32,
+            num_classes,
+            stages: vec![
+                StageSpec { channels: 16, resolution: 32, cells: 5 },
+                StageSpec { channels: 32, resolution: 16, cells: 5 },
+                StageSpec { channels: 64, resolution: 8, cells: 5 },
+            ],
+        }
+    }
+
+    /// The ImageNet16-120 variant: 16×16 input resolution, 120 classes.
+    pub fn imagenet16() -> Self {
+        Self {
+            input_channels: 3,
+            input_resolution: 16,
+            num_classes: 120,
+            stages: vec![
+                StageSpec { channels: 16, resolution: 16, cells: 5 },
+                StageSpec { channels: 32, resolution: 8, cells: 5 },
+                StageSpec { channels: 64, resolution: 4, cells: 5 },
+            ],
+        }
+    }
+
+    /// A custom skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidSkeleton`] if any dimension is zero
+    /// or the stage list is empty.
+    pub fn custom(
+        input_channels: usize,
+        input_resolution: usize,
+        num_classes: usize,
+        stages: Vec<StageSpec>,
+    ) -> Result<Self, SearchSpaceError> {
+        if input_channels == 0 || input_resolution == 0 || num_classes == 0 {
+            return Err(SearchSpaceError::InvalidSkeleton(
+                "input channels, resolution and class count must be positive".into(),
+            ));
+        }
+        if stages.is_empty() {
+            return Err(SearchSpaceError::InvalidSkeleton("at least one stage is required".into()));
+        }
+        if stages.iter().any(|s| s.channels == 0 || s.resolution == 0 || s.cells == 0) {
+            return Err(SearchSpaceError::InvalidSkeleton(
+                "every stage needs positive channels, resolution and cell count".into(),
+            ));
+        }
+        Ok(Self { input_channels, input_resolution, num_classes, stages })
+    }
+
+    /// Number of classes predicted by the head.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Input image resolution (height = width).
+    pub fn input_resolution(&self) -> usize {
+        self.input_resolution
+    }
+
+    /// Input channel count.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+
+    /// The per-stage specifications.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Total number of stacked cells across all stages.
+    pub fn total_cells(&self) -> usize {
+        self.stages.iter().map(|s| s.cells).sum()
+    }
+
+    /// Flattens the skeleton, with `cell` substituted into every cell slot,
+    /// into a list of primitive operation instances for cost estimation.
+    pub fn instantiate(&self, cell: &CellTopology) -> Vec<OpInstance> {
+        let mut out = Vec::new();
+
+        // Stem: 3x3 conv, input_channels -> first stage channels.
+        let first = &self.stages[0];
+        out.push(OpInstance {
+            role: LayerRole::Stem,
+            class: OpClass::Conv,
+            cell_op: None,
+            kernel: 3,
+            stride: 1,
+            c_in: self.input_channels,
+            c_out: first.channels,
+            h_in: self.input_resolution,
+            w_in: self.input_resolution,
+        });
+
+        for (stage_idx, stage) in self.stages.iter().enumerate() {
+            // Residual reduction block between stages.
+            if stage_idx > 0 {
+                let prev = &self.stages[stage_idx - 1];
+                let block = stage_idx - 1;
+                // conv3x3 stride 2
+                out.push(OpInstance {
+                    role: LayerRole::Reduction { block },
+                    class: OpClass::Conv,
+                    cell_op: None,
+                    kernel: 3,
+                    stride: 2,
+                    c_in: prev.channels,
+                    c_out: stage.channels,
+                    h_in: prev.resolution,
+                    w_in: prev.resolution,
+                });
+                // conv3x3 stride 1
+                out.push(OpInstance {
+                    role: LayerRole::Reduction { block },
+                    class: OpClass::Conv,
+                    cell_op: None,
+                    kernel: 3,
+                    stride: 1,
+                    c_in: stage.channels,
+                    c_out: stage.channels,
+                    h_in: stage.resolution,
+                    w_in: stage.resolution,
+                });
+                // 1x1 shortcut (avg-pool + conv in the reference; modelled as strided 1x1 conv)
+                out.push(OpInstance {
+                    role: LayerRole::Reduction { block },
+                    class: OpClass::Conv,
+                    cell_op: None,
+                    kernel: 1,
+                    stride: 2,
+                    c_in: prev.channels,
+                    c_out: stage.channels,
+                    h_in: prev.resolution,
+                    w_in: prev.resolution,
+                });
+                // Residual addition.
+                out.push(OpInstance {
+                    role: LayerRole::Reduction { block },
+                    class: OpClass::Add,
+                    cell_op: None,
+                    kernel: 1,
+                    stride: 1,
+                    c_in: stage.channels,
+                    c_out: stage.channels,
+                    h_in: stage.resolution,
+                    w_in: stage.resolution,
+                });
+            }
+
+            // Stacked cells.
+            for cell_idx in 0..stage.cells {
+                for (edge_idx, &op) in cell.edge_ops().iter().enumerate() {
+                    let class = match op {
+                        Operation::None => OpClass::Zero,
+                        Operation::SkipConnect => OpClass::Identity,
+                        Operation::NorConv1x1 | Operation::NorConv3x3 => OpClass::Conv,
+                        Operation::AvgPool3x3 => OpClass::Pool,
+                    };
+                    out.push(OpInstance {
+                        role: LayerRole::Cell { stage: stage_idx, cell: cell_idx, edge: edge_idx },
+                        class,
+                        cell_op: Some(op),
+                        kernel: op.kernel_size(),
+                        stride: 1,
+                        c_in: stage.channels,
+                        c_out: stage.channels,
+                        h_in: stage.resolution,
+                        w_in: stage.resolution,
+                    });
+                }
+                // Node-merge additions inside the cell (nodes 1..3 sum their inputs).
+                out.push(OpInstance {
+                    role: LayerRole::Cell { stage: stage_idx, cell: cell_idx, edge: usize::MAX },
+                    class: OpClass::Add,
+                    cell_op: None,
+                    kernel: 1,
+                    stride: 1,
+                    c_in: stage.channels,
+                    c_out: stage.channels,
+                    h_in: stage.resolution,
+                    w_in: stage.resolution,
+                });
+            }
+        }
+
+        // Head: global average pool + linear classifier.
+        let last = self.stages.last().expect("constructor guarantees at least one stage");
+        out.push(OpInstance {
+            role: LayerRole::Head,
+            class: OpClass::GlobalPool,
+            cell_op: None,
+            kernel: 1,
+            stride: 1,
+            c_in: last.channels,
+            c_out: last.channels,
+            h_in: last.resolution,
+            w_in: last.resolution,
+        });
+        out.push(OpInstance {
+            role: LayerRole::Head,
+            class: OpClass::Linear,
+            cell_op: None,
+            kernel: 1,
+            stride: 1,
+            c_in: last.channels,
+            c_out: self.num_classes,
+            h_in: 1,
+            w_in: 1,
+        });
+        out
+    }
+}
+
+impl Default for MacroSkeleton {
+    fn default() -> Self {
+        Self::nas_bench_201(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchSpace;
+
+    #[test]
+    fn default_skeleton_matches_nas_bench_201() {
+        let sk = MacroSkeleton::default();
+        assert_eq!(sk.num_classes(), 10);
+        assert_eq!(sk.input_resolution(), 32);
+        assert_eq!(sk.total_cells(), 15);
+        assert_eq!(sk.stages().len(), 3);
+        assert_eq!(sk.stages()[2].channels, 64);
+    }
+
+    #[test]
+    fn imagenet16_variant() {
+        let sk = MacroSkeleton::imagenet16();
+        assert_eq!(sk.num_classes(), 120);
+        assert_eq!(sk.input_resolution(), 16);
+        assert_eq!(sk.stages()[2].resolution, 4);
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(MacroSkeleton::custom(3, 32, 10, vec![]).is_err());
+        assert!(MacroSkeleton::custom(0, 32, 10, vec![StageSpec { channels: 8, resolution: 8, cells: 1 }]).is_err());
+        assert!(MacroSkeleton::custom(
+            3,
+            32,
+            10,
+            vec![StageSpec { channels: 8, resolution: 0, cells: 1 }]
+        )
+        .is_err());
+        assert!(MacroSkeleton::custom(
+            3,
+            32,
+            10,
+            vec![StageSpec { channels: 8, resolution: 8, cells: 2 }]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn instantiate_counts_add_up() {
+        let space = SearchSpace::nas_bench_201();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let cell = space.cell(100).unwrap();
+        let instances = sk.instantiate(&cell);
+        // 1 stem + 2 reductions x 4 + 15 cells x (6 edges + 1 add) + 2 head = 1 + 8 + 105 + 2
+        assert_eq!(instances.len(), 1 + 8 + 15 * 7 + 2);
+        assert_eq!(instances.first().unwrap().role, LayerRole::Stem);
+        assert_eq!(instances.last().unwrap().class, OpClass::Linear);
+    }
+
+    #[test]
+    fn cell_edges_inherit_stage_geometry() {
+        let space = SearchSpace::nas_bench_201();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        // An all-conv3x3 cell.
+        let cell = space.cell(space.len() - 1).unwrap(); // all avg_pool
+        let instances = sk.instantiate(&cell);
+        let stage2_edges: Vec<&OpInstance> = instances
+            .iter()
+            .filter(|i| matches!(i.role, LayerRole::Cell { stage: 2, .. }) && i.cell_op.is_some())
+            .collect();
+        assert!(!stage2_edges.is_empty());
+        for inst in stage2_edges {
+            assert_eq!(inst.c_in, 64);
+            assert_eq!(inst.h_in, 8);
+            assert_eq!(inst.class, OpClass::Pool);
+        }
+    }
+
+    #[test]
+    fn op_instance_geometry_helpers() {
+        let inst = OpInstance {
+            role: LayerRole::Stem,
+            class: OpClass::Conv,
+            cell_op: None,
+            kernel: 3,
+            stride: 2,
+            c_in: 3,
+            c_out: 16,
+            h_in: 32,
+            w_in: 32,
+        };
+        assert_eq!(inst.h_out(), 16);
+        assert_eq!(inst.w_out(), 16);
+        assert_eq!(inst.input_elements(), 3 * 32 * 32);
+        assert_eq!(inst.output_elements(), 16 * 16 * 16);
+        let linear = OpInstance {
+            role: LayerRole::Head,
+            class: OpClass::Linear,
+            cell_op: None,
+            kernel: 1,
+            stride: 1,
+            c_in: 64,
+            c_out: 10,
+            h_in: 1,
+            w_in: 1,
+        };
+        assert_eq!(linear.output_elements(), 10);
+    }
+
+    #[test]
+    fn zero_op_classified_as_zero() {
+        let space = SearchSpace::nas_bench_201();
+        let sk = MacroSkeleton::nas_bench_201(10);
+        let cell = space.cell(0).unwrap(); // all none
+        let instances = sk.instantiate(&cell);
+        let zero_count = instances.iter().filter(|i| i.class == OpClass::Zero).count();
+        assert_eq!(zero_count, 15 * 6);
+    }
+}

@@ -1,0 +1,169 @@
+use crate::{Architecture, CellTopology, Operation, SearchSpaceError, ALL_OPERATIONS, NUM_EDGES, NUM_OPERATIONS};
+use serde::{Deserialize, Serialize};
+
+/// The enumerable cell search space (NAS-Bench-201: 5⁶ = 15 625 cells).
+///
+/// A `SearchSpace` value carries the operation alphabet and the number of
+/// edges; all architecture indexing is base-`|ops|` positional encoding over
+/// the edge list, matching the canonical NAS-Bench-201 enumeration.
+///
+/// # Example
+///
+/// ```
+/// use micronas_searchspace::SearchSpace;
+/// let space = SearchSpace::nas_bench_201();
+/// assert_eq!(space.len(), 15_625);
+/// let arch = space.architecture(12_345).unwrap();
+/// assert_eq!(space.index_of(arch.cell()), 12_345);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    name: String,
+    num_edges: usize,
+}
+
+impl SearchSpace {
+    /// The standard NAS-Bench-201 space evaluated in the paper.
+    pub fn nas_bench_201() -> Self {
+        Self { name: "NAS-Bench-201".to_string(), num_edges: NUM_EDGES }
+    }
+
+    /// Human-readable name of the space.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of edges per cell.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of architectures in the space.
+    pub fn len(&self) -> usize {
+        NUM_OPERATIONS.pow(self.num_edges as u32)
+    }
+
+    /// Always false: the space is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decodes an architecture index into a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::IndexOutOfRange`] if `index >= len()`.
+    pub fn cell(&self, index: usize) -> Result<CellTopology, SearchSpaceError> {
+        if index >= self.len() {
+            return Err(SearchSpaceError::IndexOutOfRange { index, len: self.len() });
+        }
+        let mut ops = [Operation::None; NUM_EDGES];
+        let mut rem = index;
+        for slot in ops.iter_mut() {
+            *slot = ALL_OPERATIONS[rem % NUM_OPERATIONS];
+            rem /= NUM_OPERATIONS;
+        }
+        Ok(CellTopology::new(ops))
+    }
+
+    /// Decodes an architecture index into an [`Architecture`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::IndexOutOfRange`] if `index >= len()`.
+    pub fn architecture(&self, index: usize) -> Result<Architecture, SearchSpaceError> {
+        Ok(Architecture::new(index, self.cell(index)?))
+    }
+
+    /// Index of a cell in the enumeration (inverse of [`SearchSpace::cell`]).
+    pub fn index_of(&self, cell: &CellTopology) -> usize {
+        let mut index = 0usize;
+        for (i, op) in cell.edge_ops().iter().enumerate() {
+            index += op.index() * NUM_OPERATIONS.pow(i as u32);
+        }
+        index
+    }
+
+    /// Iterates over every architecture in the space in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Architecture> + '_ {
+        (0..self.len()).map(move |i| {
+            Architecture::new(i, self.cell(i).expect("index is within range by construction"))
+        })
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self::nas_bench_201()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn space_size_is_15625() {
+        let space = SearchSpace::nas_bench_201();
+        assert_eq!(space.len(), 15_625);
+        assert!(!space.is_empty());
+        assert_eq!(space.name(), "NAS-Bench-201");
+        assert_eq!(space.num_edges(), 6);
+    }
+
+    #[test]
+    fn index_zero_is_all_none() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(0).unwrap();
+        assert!(cell.edge_ops().iter().all(|&op| op == Operation::None));
+    }
+
+    #[test]
+    fn last_index_is_all_avg_pool() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(space.len() - 1).unwrap();
+        assert!(cell.edge_ops().iter().all(|&op| op == Operation::AvgPool3x3));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let space = SearchSpace::nas_bench_201();
+        assert!(space.cell(15_625).is_err());
+        assert!(space.architecture(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn index_roundtrip_exhaustive_sample() {
+        let space = SearchSpace::nas_bench_201();
+        for index in (0..space.len()).step_by(97) {
+            let cell = space.cell(index).unwrap();
+            assert_eq!(space.index_of(&cell), index);
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_unique() {
+        let space = SearchSpace::nas_bench_201();
+        let mut count = 0usize;
+        let mut last_index = None;
+        for arch in space.iter().take(500) {
+            assert_eq!(space.index_of(arch.cell()), arch.index());
+            if let Some(prev) = last_index {
+                assert_eq!(arch.index(), prev + 1);
+            }
+            last_index = Some(arch.index());
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_indices(index in 0usize..15_625) {
+            let space = SearchSpace::nas_bench_201();
+            let cell = space.cell(index).unwrap();
+            prop_assert_eq!(space.index_of(&cell), index);
+        }
+    }
+}

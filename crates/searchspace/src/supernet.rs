@@ -1,0 +1,300 @@
+use crate::{
+    Architecture, CellTopology, EdgeId, Operation, SearchSpace, SearchSpaceError, ALL_OPERATIONS,
+    NUM_EDGES,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The state of the pruning-based search: every edge holds a *set* of
+/// still-alive candidate operations.
+///
+/// MicroNAS (like TE-NAS) starts from the full supernet — every edge carries
+/// all five operations — and repeatedly removes the operation whose deletion
+/// harms the hybrid objective the least, until exactly one operation is left
+/// per edge, at which point the supernet [`collapses`](Supernet::collapse)
+/// into a single [`Architecture`].
+///
+/// # Example
+///
+/// ```
+/// use micronas_searchspace::{EdgeId, Operation, Supernet};
+///
+/// let mut supernet = Supernet::full();
+/// assert_eq!(supernet.remaining_ops(), 30);
+/// supernet.prune(EdgeId(0), Operation::None).unwrap();
+/// assert_eq!(supernet.candidates(EdgeId(0)).unwrap().len(), 4);
+/// assert!(!supernet.is_collapsed());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Supernet {
+    /// Bitmask of alive operations per edge, indexed by `Operation::index()`.
+    alive: [u8; NUM_EDGES],
+}
+
+impl Supernet {
+    /// The full supernet with every operation alive on every edge.
+    pub fn full() -> Self {
+        let all_mask = (1u8 << ALL_OPERATIONS.len()) - 1;
+        Self { alive: [all_mask; NUM_EDGES] }
+    }
+
+    /// A supernet in which each edge carries only the operation of `cell`.
+    pub fn from_cell(cell: &CellTopology) -> Self {
+        let mut alive = [0u8; NUM_EDGES];
+        for (i, op) in cell.edge_ops().iter().enumerate() {
+            alive[i] = 1 << op.index();
+        }
+        Self { alive }
+    }
+
+    /// The operations still alive on an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
+    pub fn candidates(&self, edge: EdgeId) -> Result<Vec<Operation>, SearchSpaceError> {
+        let mask = self.alive.get(edge.0).ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
+        Ok(ALL_OPERATIONS.iter().copied().filter(|op| mask & (1 << op.index()) != 0).collect())
+    }
+
+    /// Whether `op` is still alive on `edge`.
+    pub fn is_alive(&self, edge: EdgeId, op: Operation) -> bool {
+        self.alive.get(edge.0).is_some_and(|m| m & (1 << op.index()) != 0)
+    }
+
+    /// Total number of (edge, operation) pairs still alive.
+    pub fn remaining_ops(&self) -> usize {
+        self.alive.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Number of architectures representable by the current state
+    /// (the product of per-edge candidate counts).
+    pub fn num_subnetworks(&self) -> usize {
+        self.alive.iter().map(|m| m.count_ones() as usize).product()
+    }
+
+    /// Removes one operation from one edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidPrune`] if the operation is not
+    /// alive on that edge or it is the last operation left, and
+    /// [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
+    pub fn prune(&mut self, edge: EdgeId, op: Operation) -> Result<(), SearchSpaceError> {
+        let mask = self.alive.get_mut(edge.0).ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
+        let bit = 1u8 << op.index();
+        if *mask & bit == 0 {
+            return Err(SearchSpaceError::InvalidPrune {
+                edge: edge.0,
+                reason: format!("{op} is not alive on this edge"),
+            });
+        }
+        if mask.count_ones() == 1 {
+            return Err(SearchSpaceError::InvalidPrune {
+                edge: edge.0,
+                reason: "cannot prune the last operation on an edge".to_string(),
+            });
+        }
+        *mask &= !bit;
+        Ok(())
+    }
+
+    /// Whether every edge has exactly one alive operation.
+    pub fn is_collapsed(&self) -> bool {
+        self.alive.iter().all(|m| m.count_ones() == 1)
+    }
+
+    /// Edges that still have more than one candidate.
+    pub fn undecided_edges(&self) -> Vec<EdgeId> {
+        (0..NUM_EDGES).filter(|&i| self.alive[i].count_ones() > 1).map(EdgeId).collect()
+    }
+
+    /// Collapses the supernet into a single architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchSpaceError::InvalidPrune`] if any edge still has more
+    /// than one candidate.
+    pub fn collapse(&self, space: &SearchSpace) -> Result<Architecture, SearchSpaceError> {
+        if !self.is_collapsed() {
+            let undecided = self.undecided_edges();
+            return Err(SearchSpaceError::InvalidPrune {
+                edge: undecided.first().map(|e| e.0).unwrap_or(0),
+                reason: format!("{} edges are still undecided", undecided.len()),
+            });
+        }
+        let mut ops = [Operation::None; NUM_EDGES];
+        for (i, mask) in self.alive.iter().enumerate() {
+            let idx = mask.trailing_zeros() as usize;
+            ops[i] = Operation::from_index(idx)?;
+        }
+        Ok(Architecture::from_cell(space, CellTopology::new(ops)))
+    }
+
+    /// A representative single-path cell for the current state: on each edge
+    /// the alive operation with the given per-edge preference is chosen. Used
+    /// by proxies that need a concrete network while the supernet is still
+    /// being pruned.
+    ///
+    /// The preference ranks operations by `Operation::index()` descending
+    /// (conv3x3 > conv1x1 > ... ) when `prefer_heavy` is true, ascending
+    /// otherwise.
+    pub fn representative_cell(&self, prefer_heavy: bool) -> CellTopology {
+        let mut ops = [Operation::None; NUM_EDGES];
+        for (i, mask) in self.alive.iter().enumerate() {
+            let mut candidates: Vec<Operation> = ALL_OPERATIONS
+                .iter()
+                .copied()
+                .filter(|op| mask & (1 << op.index()) != 0)
+                .collect();
+            if prefer_heavy {
+                candidates.sort_by_key(|op| std::cmp::Reverse(op_weight(*op)));
+            } else {
+                candidates.sort_by_key(|op| op_weight(*op));
+            }
+            ops[i] = candidates[0];
+        }
+        CellTopology::new(ops)
+    }
+}
+
+/// Rough "computational weight" ordering used to pick representative cells.
+fn op_weight(op: Operation) -> usize {
+    match op {
+        Operation::None => 0,
+        Operation::SkipConnect => 1,
+        Operation::AvgPool3x3 => 2,
+        Operation::NorConv1x1 => 3,
+        Operation::NorConv3x3 => 4,
+    }
+}
+
+impl Default for Supernet {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl fmt::Display for Supernet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Supernet[")?;
+        for (i, mask) in self.alive.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "e{}:{}", i, mask.count_ones())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_supernet_counts() {
+        let s = Supernet::full();
+        assert_eq!(s.remaining_ops(), 30);
+        assert_eq!(s.num_subnetworks(), 15_625);
+        assert!(!s.is_collapsed());
+        assert_eq!(s.undecided_edges().len(), 6);
+    }
+
+    #[test]
+    fn prune_reduces_candidates() {
+        let mut s = Supernet::full();
+        s.prune(EdgeId(2), Operation::AvgPool3x3).unwrap();
+        assert_eq!(s.candidates(EdgeId(2)).unwrap().len(), 4);
+        assert!(!s.is_alive(EdgeId(2), Operation::AvgPool3x3));
+        assert_eq!(s.num_subnetworks(), 5 * 5 * 4 * 5 * 5 * 5);
+        // Pruning the same op twice fails.
+        assert!(s.prune(EdgeId(2), Operation::AvgPool3x3).is_err());
+    }
+
+    #[test]
+    fn cannot_prune_last_op() {
+        let mut s = Supernet::full();
+        for op in [
+            Operation::None,
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::NorConv3x3,
+        ] {
+            s.prune(EdgeId(0), op).unwrap();
+        }
+        assert_eq!(s.candidates(EdgeId(0)).unwrap(), vec![Operation::AvgPool3x3]);
+        assert!(s.prune(EdgeId(0), Operation::AvgPool3x3).is_err());
+    }
+
+    #[test]
+    fn invalid_edge_rejected() {
+        let mut s = Supernet::full();
+        assert!(s.prune(EdgeId(6), Operation::None).is_err());
+        assert!(s.candidates(EdgeId(7)).is_err());
+        assert!(!s.is_alive(EdgeId(9), Operation::None));
+    }
+
+    #[test]
+    fn collapse_after_full_pruning() {
+        let space = SearchSpace::nas_bench_201();
+        let target = space.cell(1234).unwrap();
+        let mut s = Supernet::full();
+        assert!(s.collapse(&space).is_err());
+        for (i, &keep) in target.edge_ops().iter().enumerate() {
+            for op in ALL_OPERATIONS {
+                if op != keep {
+                    s.prune(EdgeId(i), op).unwrap();
+                }
+            }
+        }
+        assert!(s.is_collapsed());
+        let arch = s.collapse(&space).unwrap();
+        assert_eq!(arch.index(), 1234);
+    }
+
+    #[test]
+    fn from_cell_is_collapsed() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(777).unwrap();
+        let s = Supernet::from_cell(&cell);
+        assert!(s.is_collapsed());
+        assert_eq!(s.collapse(&space).unwrap().index(), 777);
+        assert_eq!(s.num_subnetworks(), 1);
+    }
+
+    #[test]
+    fn representative_cell_respects_preference() {
+        let s = Supernet::full();
+        let heavy = s.representative_cell(true);
+        assert!(heavy.edge_ops().iter().all(|&op| op == Operation::NorConv3x3));
+        let light = s.representative_cell(false);
+        assert!(light.edge_ops().iter().all(|&op| op == Operation::None));
+    }
+
+    #[test]
+    fn display_shows_per_edge_counts() {
+        let s = Supernet::full();
+        assert!(s.to_string().contains("e0:5"));
+    }
+
+    proptest! {
+        #[test]
+        fn num_subnetworks_matches_product(prunes in proptest::collection::vec((0usize..6, 0usize..5), 0..12)) {
+            let mut s = Supernet::full();
+            for (edge, op) in prunes {
+                // Ignore invalid prunes; we only check the invariant after the fact.
+                let _ = s.prune(EdgeId(edge), ALL_OPERATIONS[op]);
+            }
+            let expected: usize = (0..6)
+                .map(|i| s.candidates(EdgeId(i)).unwrap().len())
+                .product();
+            prop_assert_eq!(s.num_subnetworks(), expected);
+            // No edge is ever empty.
+            for i in 0..6 {
+                prop_assert!(!s.candidates(EdgeId(i)).unwrap().is_empty());
+            }
+        }
+    }
+}

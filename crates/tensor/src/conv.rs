@@ -1,0 +1,366 @@
+//! 2-D convolution kernels (forward, input gradient, weight gradient).
+//!
+//! Layout conventions follow NCHW for activations and `[out_c, in_c, kh, kw]`
+//! for weights, matching the NAS-Bench-201 reference implementation. The
+//! kernels are direct (naive) loops: the proxy networks evaluated during
+//! zero-shot search are tiny, so clarity wins over blocking tricks.
+
+use crate::{Result, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a 2-D convolution: kernel size, stride and padding.
+///
+/// # Example
+///
+/// ```
+/// use micronas_tensor::Conv2dSpec;
+/// let spec = Conv2dSpec::new(3, 1, 1);
+/// assert_eq!(spec.output_hw(32, 32), (32, 32));
+/// let down = Conv2dSpec::new(3, 2, 1);
+/// assert_eq!(down.output_hw(32, 32), (16, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Square kernel size (e.g. 1 or 3).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a new convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self { kernel, stride, padding }
+    }
+
+    /// Spatial output size for a given input size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+fn check_conv_args(input: &Tensor, weight: &Tensor) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    let id = input.shape().dims();
+    let wd = weight.shape().dims();
+    if id.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d input", expected: 4, actual: id.len() });
+    }
+    if wd.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d weight", expected: 4, actual: wd.len() });
+    }
+    if id[1] != wd[1] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "conv2d (channels)",
+            lhs: id.to_vec(),
+            rhs: wd.to_vec(),
+        });
+    }
+    Ok((id[0], id[1], id[2], id[3], wd[0], wd[2]))
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `[N, C_in, H, W]`, `weight` is `[C_out, C_in, K, K]`; the
+/// result is `[N, C_out, H_out, W_out]` per [`Conv2dSpec::output_hw`].
+///
+/// # Errors
+///
+/// Returns an error if ranks or channel counts are inconsistent, or if the
+/// weight kernel size does not match `spec.kernel`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let (n, c_in, h, w, c_out, k) = check_conv_args(input, weight)?;
+    if k != spec.kernel || weight.shape().dims()[3] != spec.kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight kernel {}x{} does not match spec kernel {}",
+            k,
+            weight.shape().dims()[3],
+            spec.kernel
+        )));
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    for b in 0..n {
+        for oc in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..c_in {
+                        for ky in 0..spec.kernel {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..spec.kernel {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at4(b, ic, iy as usize, ix as usize)
+                                    * weight.at4(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, oc, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of the convolution output with respect to its weights.
+///
+/// Given the forward `input` and the upstream gradient `grad_out`
+/// (`[N, C_out, H_out, W_out]`), returns a tensor with the same shape as the
+/// weights.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are inconsistent with `spec`.
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    grad_out: &Tensor,
+    c_out: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let id = input.shape().dims();
+    if id.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d_backward_weight input", expected: 4, actual: id.len() });
+    }
+    let gd = grad_out.shape().dims();
+    if gd.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d_backward_weight grad", expected: 4, actual: gd.len() });
+    }
+    let (n, c_in, h, w) = (id[0], id[1], id[2], id[3]);
+    let (oh, ow) = spec.output_hw(h, w);
+    if gd[0] != n || gd[1] != c_out || gd[2] != oh || gd[3] != ow {
+        return Err(TensorError::IncompatibleShapes {
+            op: "conv2d_backward_weight",
+            lhs: gd.to_vec(),
+            rhs: vec![n, c_out, oh, ow],
+        });
+    }
+    let mut grad_w = Tensor::zeros(Shape::nchw(c_out, c_in, spec.kernel, spec.kernel));
+    for b in 0..n {
+        for oc in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(b, oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ic in 0..c_in {
+                        for ky in 0..spec.kernel {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..spec.kernel {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                *grad_w.at4_mut(oc, ic, ky, kx) +=
+                                    g * input.at4(b, ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_w)
+}
+
+/// Gradient of the convolution output with respect to its input.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are inconsistent with `spec`.
+pub fn conv2d_backward_input(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    input_shape: &Shape,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let id = input_shape.dims();
+    if id.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d_backward_input shape", expected: 4, actual: id.len() });
+    }
+    let wd = weight.shape().dims();
+    let gd = grad_out.shape().dims();
+    let (n, c_in, h, w) = (id[0], id[1], id[2], id[3]);
+    let c_out = wd[0];
+    let (oh, ow) = spec.output_hw(h, w);
+    if gd != [n, c_out, oh, ow] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "conv2d_backward_input",
+            lhs: gd.to_vec(),
+            rhs: vec![n, c_out, oh, ow],
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    for b in 0..n {
+        for oc in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(b, oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ic in 0..c_in {
+                        for ky in 0..spec.kernel {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..spec.kernel {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                *grad_in.at4_mut(b, ic, iy as usize, ix as usize) +=
+                                    g * weight.at4(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicRng;
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = DeterministicRng::new(seed);
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // A 1x1 kernel with weight 1.0 and a single channel is the identity.
+        let input = random_tensor(Shape::nchw(1, 1, 4, 4), 1);
+        let weight = Tensor::ones(Shape::nchw(1, 1, 1, 1));
+        let out = conv2d(&input, &weight, Conv2dSpec::new(1, 1, 0)).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image with padding 1:
+        // centre output is 9, corners are 4, edges are 6.
+        let input = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let weight = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let out = conv2d(&input, &weight, Conv2dSpec::new(3, 1, 1)).unwrap();
+        assert_eq!(out.at4(0, 0, 1, 1), 9.0);
+        assert_eq!(out.at4(0, 0, 0, 0), 4.0);
+        assert_eq!(out.at4(0, 0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let input = random_tensor(Shape::nchw(2, 3, 8, 8), 2);
+        let weight = random_tensor(Shape::nchw(4, 3, 3, 3), 3);
+        let out = conv2d(&input, &weight, Conv2dSpec::new(3, 2, 1)).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let input = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        let weight = Tensor::zeros(Shape::nchw(2, 4, 3, 3));
+        assert!(conv2d(&input, &weight, Conv2dSpec::new(3, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn kernel_spec_mismatch_rejected() {
+        let input = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        let weight = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(conv2d(&input, &weight, Conv2dSpec::new(1, 1, 0)).is_err());
+    }
+
+    /// Finite-difference check of the weight gradient.
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = random_tensor(Shape::nchw(2, 2, 5, 5), 10);
+        let mut weight = random_tensor(Shape::nchw(3, 2, 3, 3), 11);
+        // Loss = sum of outputs; its gradient w.r.t. output is all-ones.
+        let out = conv2d(&input, &weight, spec).unwrap();
+        let grad_out = Tensor::ones(out.shape().clone());
+        let analytic = conv2d_backward_weight(&input, &grad_out, 3, spec).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 23, 53] {
+            let orig = weight.data()[idx];
+            weight.data_mut()[idx] = orig + eps;
+            let plus = conv2d(&input, &weight, spec).unwrap().sum();
+            weight.data_mut()[idx] = orig - eps;
+            let minus = conv2d(&input, &weight, spec).unwrap().sum();
+            weight.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (numeric - a).abs() < 2e-2 * (1.0 + a.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    /// Finite-difference check of the input gradient.
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let mut input = random_tensor(Shape::nchw(1, 2, 4, 4), 20);
+        let weight = random_tensor(Shape::nchw(2, 2, 3, 3), 21);
+        let out = conv2d(&input, &weight, spec).unwrap();
+        let grad_out = Tensor::ones(out.shape().clone());
+        let analytic =
+            conv2d_backward_input(&weight, &grad_out, &Shape::nchw(1, 2, 4, 4), spec).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 17, 31] {
+            let orig = input.data()[idx];
+            input.data_mut()[idx] = orig + eps;
+            let plus = conv2d(&input, &weight, spec).unwrap().sum();
+            input.data_mut()[idx] = orig - eps;
+            let minus = conv2d(&input, &weight, spec).unwrap().sum();
+            input.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (numeric - a).abs() < 2e-2 * (1.0 + a.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let a = random_tensor(Shape::nchw(1, 2, 6, 6), 30);
+        let b = random_tensor(Shape::nchw(1, 2, 6, 6), 31);
+        let w = random_tensor(Shape::nchw(2, 2, 3, 3), 32);
+        let lhs = conv2d(&a.add(&b).unwrap(), &w, spec).unwrap();
+        let rhs = conv2d(&a, &w, spec).unwrap().add(&conv2d(&b, &w, spec).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Error type returned by every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements supplied does not match the requested shape.
+    ShapeMismatch {
+        /// Number of elements the shape implies.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape (or a compatible dimension) do not.
+    IncompatibleShapes {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Left-hand-side dimensions.
+        lhs: Vec<usize>,
+        /// Right-hand-side dimensions.
+        rhs: Vec<usize>,
+    },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor that was supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A numeric routine failed to converge or met a degenerate input.
+    Numerical(String),
+    /// An argument was invalid (zero dimension, empty batch, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were supplied")
+            }
+            TensorError::IncompatibleShapes { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op} requires rank {expected} tensor, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch { expected: 4, actual: 3 };
+        assert!(err.to_string().contains("4"));
+        assert!(err.to_string().contains("3"));
+
+        let err = TensorError::IncompatibleShapes {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 2],
+        };
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

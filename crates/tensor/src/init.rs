@@ -1,0 +1,124 @@
+//! Weight initialisation schemes.
+//!
+//! Zero-shot proxies are evaluated at random initialisation, so the
+//! initialiser *is* part of the measurement: the NTK spectrum and the number
+//! of linear regions both depend on the weight scale. Kaiming initialisation
+//! (as used by the NAS-Bench-201 / TE-NAS reference code) is the default.
+
+use crate::{DeterministicRng, Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Supported initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitKind {
+    /// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`.
+    KaimingNormal,
+    /// Kaiming/He uniform: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+    KaimingUniform,
+    /// Xavier/Glorot uniform: `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+}
+
+fn fan_in_out(shape: &Shape) -> (usize, usize) {
+    let d = shape.dims();
+    match d.len() {
+        2 => (d[1], d[0]),
+        4 => (d[1] * d[2] * d[3], d[0] * d[2] * d[3]),
+        _ => {
+            let n = shape.numel().max(1);
+            (n, n)
+        }
+    }
+}
+
+/// Kaiming normal initialisation of a tensor with the given shape.
+///
+/// # Example
+///
+/// ```
+/// use micronas_tensor::{kaiming_normal, Shape};
+/// let w = kaiming_normal(Shape::nchw(8, 3, 3, 3), 42);
+/// assert_eq!(w.numel(), 8 * 3 * 3 * 3);
+/// ```
+pub fn kaiming_normal(shape: Shape, seed: u64) -> Tensor {
+    let (fan_in, _) = fan_in_out(&shape);
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let mut rng = DeterministicRng::new(seed);
+    let data = (0..shape.numel()).map(|_| rng.normal_with(0.0, std)).collect();
+    Tensor::from_vec(shape, data).expect("length matches shape by construction")
+}
+
+/// Kaiming uniform initialisation of a tensor with the given shape.
+pub fn kaiming_uniform(shape: Shape, seed: u64) -> Tensor {
+    let (fan_in, _) = fan_in_out(&shape);
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    let mut rng = DeterministicRng::new(seed);
+    let data = (0..shape.numel()).map(|_| rng.uniform(-bound, bound)).collect();
+    Tensor::from_vec(shape, data).expect("length matches shape by construction")
+}
+
+/// Xavier uniform initialisation of a tensor with the given shape.
+pub fn xavier_uniform(shape: Shape, seed: u64) -> Tensor {
+    let (fan_in, fan_out) = fan_in_out(&shape);
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let mut rng = DeterministicRng::new(seed);
+    let data = (0..shape.numel()).map(|_| rng.uniform(-bound, bound)).collect();
+    Tensor::from_vec(shape, data).expect("length matches shape by construction")
+}
+
+impl InitKind {
+    /// Initialises a tensor of the given shape with this scheme.
+    pub fn init(self, shape: Shape, seed: u64) -> Tensor {
+        match self {
+            InitKind::KaimingNormal => kaiming_normal(shape, seed),
+            InitKind::KaimingUniform => kaiming_uniform(shape, seed),
+            InitKind::XavierUniform => xavier_uniform(shape, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population_variance;
+
+    #[test]
+    fn kaiming_normal_variance_tracks_fan_in() {
+        // fan_in = 16*3*3 = 144, expected std = sqrt(2/144) ≈ 0.1178
+        let w = kaiming_normal(Shape::nchw(32, 16, 3, 3), 1);
+        let var = population_variance(w.data());
+        let expected = 2.0 / 144.0;
+        assert!((var - expected).abs() < expected * 0.25, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn kaiming_uniform_respects_bound() {
+        let w = kaiming_uniform(Shape::d2(10, 100), 2);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let w = xavier_uniform(Shape::d2(50, 100), 3);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_seed() {
+        let a = kaiming_normal(Shape::d2(4, 4), 7);
+        let b = kaiming_normal(Shape::d2(4, 4), 7);
+        let c = kaiming_normal(Shape::d2(4, 4), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_kind_dispatch() {
+        for kind in [InitKind::KaimingNormal, InitKind::KaimingUniform, InitKind::XavierUniform] {
+            let t = kind.init(Shape::d2(3, 3), 9);
+            assert_eq!(t.numel(), 9);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense tensor and small linear-algebra substrate for the MicroNAS reproduction.
+//!
+//! The original MicroNAS implementation relies on PyTorch for its forward and
+//! backward passes. This crate provides the minimal numerical kernel we need
+//! instead: an owned dense `f32` [`Tensor`] with NCHW convolution, matrix
+//! multiplication, a symmetric eigenvalue solver (cyclic Jacobi) for the
+//! neural-tangent-kernel spectrum, deterministic random initialisation, and a
+//! handful of statistics helpers.
+//!
+//! The crate is deliberately small and dependency-light; everything is plain
+//! safe Rust operating on contiguous `Vec<f32>` buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), micronas_tensor::TensorError> {
+//! let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::from_vec(Shape::d2(3, 2), vec![1., 0., 0., 1., 1., 1.])?;
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod init;
+mod linalg;
+pub mod ops;
+mod pool;
+mod rng;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dSpec};
+pub use error::TensorError;
+pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform, InitKind};
+pub use linalg::{condition_number, sym_eigenvalues, EigenOptions, EigenReport};
+pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward};
+pub use rng::{hash_mix, split_mix64, DeterministicRng};
+pub use shape::Shape;
+pub use stats::{dot, l2_norm, mean, population_variance, standardize};
+pub use tensor::Tensor;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,258 @@
+//! Symmetric eigenvalue routines for the NTK spectrum.
+//!
+//! The NTK Gram matrix of a mini-batch is a small (batch × batch) symmetric
+//! positive semi-definite matrix; its condition number λ_max / λ_min is the
+//! trainability indicator used by MicroNAS and TE-NAS. A cyclic Jacobi
+//! rotation solver is plenty for matrices of this size (≤ 128×128) and is
+//! numerically robust.
+
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the Jacobi eigenvalue iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EigenOptions {
+    /// Maximum number of full sweeps over all off-diagonal elements.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the off-diagonal Frobenius norm.
+    pub tolerance: f64,
+}
+
+impl Default for EigenOptions {
+    fn default() -> Self {
+        Self { max_sweeps: 64, tolerance: 1e-10 }
+    }
+}
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EigenReport {
+    /// Eigenvalues sorted in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Number of Jacobi sweeps performed.
+    pub sweeps: usize,
+    /// Whether the iteration reached the requested tolerance.
+    pub converged: bool,
+}
+
+impl EigenReport {
+    /// Largest eigenvalue.
+    pub fn lambda_max(&self) -> f64 {
+        *self.eigenvalues.last().expect("eigenvalue list is never empty")
+    }
+
+    /// Smallest eigenvalue.
+    pub fn lambda_min(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Ratio λ_max / λ_i where `i` is a 1-based index from the smallest
+    /// eigenvalue (i = 1 is the classic condition number).
+    ///
+    /// Indices beyond the matrix size saturate at the last eigenvalue. The
+    /// denominator is clamped to a small positive value so the ratio stays
+    /// finite for singular Gram matrices.
+    pub fn condition_index(&self, i: usize) -> f64 {
+        let idx = i.saturating_sub(1).min(self.eigenvalues.len() - 1);
+        let denom = self.eigenvalues[idx].max(1e-12);
+        self.lambda_max() / denom
+    }
+}
+
+/// Computes all eigenvalues of a symmetric matrix given as a rank-2 tensor.
+///
+/// Only the eigenvalues are returned (eigenvectors are not needed by any
+/// proxy). The input is symmetrised as `(A + Aᵀ) / 2` to absorb floating
+/// point asymmetry from the Gram-matrix accumulation.
+///
+/// # Errors
+///
+/// Returns an error if the tensor is not a non-empty square matrix or the
+/// iteration fails to make progress.
+pub fn sym_eigenvalues(matrix: &Tensor, options: EigenOptions) -> Result<EigenReport> {
+    let dims = matrix.shape().dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch { op: "sym_eigenvalues", expected: 2, actual: dims.len() });
+    }
+    if dims[0] != dims[1] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "sym_eigenvalues (square)",
+            lhs: dims.to_vec(),
+            rhs: dims.to_vec(),
+        });
+    }
+    let n = dims[0];
+    if n == 0 {
+        return Err(TensorError::InvalidArgument("cannot decompose an empty matrix".into()));
+    }
+
+    // Work in f64 for stability: NTK Gram entries can span many orders of magnitude.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 0.5 * (matrix.at2(i, j) as f64 + matrix.at2(j, i) as f64);
+        }
+    }
+
+    let off_diag_norm = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+
+    let mut sweeps = 0;
+    let mut converged = off_diag_norm(&a) <= options.tolerance;
+    while !converged && sweeps < options.max_sweeps {
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+        sweeps += 1;
+        converged = off_diag_norm(&a) <= options.tolerance;
+    }
+
+    let mut eigenvalues: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    eigenvalues.sort_by(|x, y| x.partial_cmp(y).expect("eigenvalues are finite"));
+    Ok(EigenReport { eigenvalues, sweeps, converged })
+}
+
+/// Convenience wrapper: the classic condition number λ_max / λ_min of a
+/// symmetric matrix, clamped to be finite.
+///
+/// # Errors
+///
+/// Propagates errors from [`sym_eigenvalues`].
+pub fn condition_number(matrix: &Tensor, options: EigenOptions) -> Result<f64> {
+    let report = sym_eigenvalues(matrix, options)?;
+    Ok(report.condition_index(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeterministicRng, Shape};
+
+    fn tensor_from(n: usize, vals: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::d2(n, n), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let m = tensor_from(3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let rep = sym_eigenvalues(&m, EigenOptions::default()).unwrap();
+        assert!(rep.converged);
+        let evs: Vec<f64> = rep.eigenvalues.clone();
+        assert!((evs[0] - 1.0).abs() < 1e-9);
+        assert!((evs[1] - 2.0).abs() < 1e-9);
+        assert!((evs[2] - 3.0).abs() < 1e-9);
+        assert!((rep.condition_index(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let m = tensor_from(2, &[2.0, 1.0, 1.0, 2.0]);
+        let rep = sym_eigenvalues(&m, EigenOptions::default()).unwrap();
+        assert!((rep.lambda_min() - 1.0).abs() < 1e-9);
+        assert!((rep.lambda_max() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = DeterministicRng::new(17);
+        let n = 12;
+        // Build a random symmetric matrix A = B + Bᵀ.
+        let mut vals = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                vals[i * n + j] = rng.normal();
+            }
+        }
+        let b = tensor_from(n, &vals);
+        let sym = b.add(&b.transpose().unwrap()).unwrap();
+        let trace: f64 = (0..n).map(|i| sym.at2(i, i) as f64).sum();
+        let rep = sym_eigenvalues(&sym, EigenOptions::default()).unwrap();
+        let sum: f64 = rep.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-3 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn gram_matrix_is_psd() {
+        // G = J Jᵀ must have non-negative eigenvalues.
+        let mut rng = DeterministicRng::new(23);
+        let (rows, cols) = (8, 20);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.normal()).collect();
+        let j = Tensor::from_vec(Shape::d2(rows, cols), data).unwrap();
+        let g = j.matmul(&j.transpose().unwrap()).unwrap();
+        let rep = sym_eigenvalues(&g, EigenOptions::default()).unwrap();
+        assert!(rep.eigenvalues.iter().all(|&e| e > -1e-4), "{:?}", rep.eigenvalues);
+    }
+
+    #[test]
+    fn condition_index_saturates_and_is_monotone() {
+        let m = tensor_from(3, &[4.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0]);
+        let rep = sym_eigenvalues(&m, EigenOptions::default()).unwrap();
+        // K1 = 4/1, K2 = 4/2, K3 = 4/4, K10 saturates at K3.
+        assert!((rep.condition_index(1) - 4.0).abs() < 1e-9);
+        assert!((rep.condition_index(2) - 2.0).abs() < 1e-9);
+        assert!((rep.condition_index(3) - 1.0).abs() < 1e-9);
+        assert_eq!(rep.condition_index(10), rep.condition_index(3));
+        assert!(rep.condition_index(1) >= rep.condition_index(2));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        let rect = Tensor::zeros(Shape::d2(2, 3));
+        assert!(sym_eigenvalues(&rect, EigenOptions::default()).is_err());
+        let empty = Tensor::zeros(Shape::d2(0, 0));
+        assert!(sym_eigenvalues(&empty, EigenOptions::default()).is_err());
+        let vec1 = Tensor::zeros(Shape::d1(4));
+        assert!(sym_eigenvalues(&vec1, EigenOptions::default()).is_err());
+    }
+
+    #[test]
+    fn condition_number_of_identity_is_one() {
+        let mut eye = Tensor::zeros(Shape::d2(5, 5));
+        for i in 0..5 {
+            *eye.at2_mut(i, i) = 1.0;
+        }
+        let k = condition_number(&eye, EigenOptions::default()).unwrap();
+        assert!((k - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_condition_is_finite() {
+        // Rank-1 matrix: eigenvalues {0, 0, something}; condition clamps denominator.
+        let m = tensor_from(3, &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let k = condition_number(&m, EigenOptions::default()).unwrap();
+        assert!(k.is_finite());
+        assert!(k > 1e6);
+    }
+}

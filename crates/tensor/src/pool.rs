@@ -1,0 +1,255 @@
+//! Average pooling and global average pooling with their backward passes.
+//!
+//! NAS-Bench-201 cells use 3×3 average pooling (stride 1, padding 1, with
+//! count-include-pad semantics matching the reference implementation) and a
+//! global average pool feeding the classifier head.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Average pooling over `kernel`×`kernel` windows with the given stride and
+/// padding. Padding contributes zeros and *is* counted in the divisor
+/// (count-include-pad), matching the NAS-Bench-201 reference.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or `kernel`/`stride` is zero.
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
+    if kernel == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument("kernel and stride must be positive".into()));
+    }
+    let d = input.shape().dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "avg_pool2d", expected: 4, actual: d.len() });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
+    let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
+    let denom = (kernel * kernel) as f32;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.at4(b, ch, iy as usize, ix as usize);
+                        }
+                    }
+                    *out.at4_mut(b, ch, oy, ox) = acc / denom;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: distributes the upstream gradient evenly
+/// over each pooling window.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_shape: &Shape,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let d = input_shape.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "avg_pool2d_backward", expected: 4, actual: d.len() });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
+    let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
+    if grad_out.shape().dims() != [n, c, oh, ow] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "avg_pool2d_backward",
+            lhs: grad_out.shape().dims().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
+    let denom = (kernel * kernel) as f32;
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(b, ch, oy, ox) / denom;
+                    for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            *grad_in.at4_mut(b, ch, iy as usize, ix as usize) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: reduces `[N, C, H, W]` to `[N, C]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let d = input.shape().dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "global_avg_pool", expected: 4, actual: d.len() });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let denom = (h * w) as f32;
+    let mut out = Tensor::zeros(Shape::d2(n, c));
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc = 0.0f32;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at4(b, ch, y, x);
+                }
+            }
+            *out.at2_mut(b, ch) = acc / denom;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &Shape) -> Result<Tensor> {
+    let d = input_shape.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "global_avg_pool_backward", expected: 4, actual: d.len() });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    if grad_out.shape().dims() != [n, c] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "global_avg_pool_backward",
+            lhs: grad_out.shape().dims().to_vec(),
+            rhs: vec![n, c],
+        });
+    }
+    let denom = (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    for b in 0..n {
+        for ch in 0..c {
+            let g = grad_out.at2(b, ch) / denom;
+            for y in 0..h {
+                for x in 0..w {
+                    *grad_in.at4_mut(b, ch, y, x) = g;
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicRng;
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = DeterministicRng::new(seed);
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn avg_pool_constant_input_interior() {
+        let input = Tensor::ones(Shape::nchw(1, 1, 5, 5));
+        let out = avg_pool2d(&input, 3, 1, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 5, 5]);
+        // Interior windows see 9 ones / 9 = 1.0.
+        assert_eq!(out.at4(0, 0, 2, 2), 1.0);
+        // Corner windows see 4 ones / 9 (count-include-pad).
+        assert!((out.at4(0, 0, 0, 0) - 4.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean_without_padding() {
+        let input = random_tensor(Shape::nchw(1, 2, 4, 4), 5);
+        let out = avg_pool2d(&input, 2, 2, 0).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2, 2]);
+        assert!((out.mean() - input.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn avg_pool_rejects_bad_rank() {
+        let input = Tensor::zeros(Shape::d2(3, 3));
+        assert!(avg_pool2d(&input, 3, 1, 1).is_err());
+        let four = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(avg_pool2d(&four, 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn avg_pool_backward_finite_difference() {
+        let mut input = random_tensor(Shape::nchw(1, 1, 4, 4), 6);
+        let grad = avg_pool2d_backward(
+            &Tensor::ones(Shape::nchw(1, 1, 4, 4)),
+            &Shape::nchw(1, 1, 4, 4),
+            3,
+            1,
+            1,
+        )
+        .unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 10, 15] {
+            let orig = input.data()[idx];
+            input.data_mut()[idx] = orig + eps;
+            let plus = avg_pool2d(&input, 3, 1, 1).unwrap().sum();
+            input.data_mut()[idx] = orig - eps;
+            let minus = avg_pool2d(&input, 3, 1, 1).unwrap().sum();
+            input.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - grad.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_correctly() {
+        let mut input = Tensor::zeros(Shape::nchw(2, 2, 2, 2));
+        for i in 0..input.numel() {
+            input.data_mut()[i] = i as f32;
+        }
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 2]);
+        assert_eq!(out.at2(0, 0), (0.0 + 1.0 + 2.0 + 3.0) / 4.0);
+        assert_eq!(out.at2(1, 1), (12.0 + 13.0 + 14.0 + 15.0) / 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_distributes_evenly() {
+        let grad_out = Tensor::ones(Shape::d2(1, 2));
+        let grad_in = global_avg_pool_backward(&grad_out, &Shape::nchw(1, 2, 2, 2)).unwrap();
+        assert!(grad_in.data().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_backward_shape_check() {
+        let grad_out = Tensor::ones(Shape::d2(2, 3));
+        assert!(global_avg_pool_backward(&grad_out, &Shape::nchw(1, 3, 2, 2)).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`].
+///
+/// A `Shape` is an ordered list of dimension sizes. Helper constructors exist
+/// for the ranks used throughout the workspace (vectors, matrices and NCHW
+/// feature maps).
+///
+/// # Example
+///
+/// ```
+/// use micronas_tensor::Shape;
+/// let s = Shape::nchw(8, 3, 32, 32);
+/// assert_eq!(s.numel(), 8 * 3 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an arbitrary list of dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// A rank-1 shape (vector of length `n`).
+    pub fn d1(n: usize) -> Self {
+        Self { dims: vec![n] }
+    }
+
+    /// A rank-2 shape (matrix with `rows` rows and `cols` columns).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Self { dims: vec![rows, cols] }
+    }
+
+    /// A rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Self { dims: vec![a, b, c] }
+    }
+
+    /// A rank-4 NCHW shape (batch, channels, height, width).
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { dims: vec![n, c, h, w] }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements implied by the shape.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the size of dimension `i`, if it exists.
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.dims.get(i).copied()
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// The stride of the last dimension is always 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Whether any dimension is zero (i.e. the shape holds no elements).
+    pub fn is_empty(&self) -> bool {
+        self.numel() == 0
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_numel() {
+        assert_eq!(Shape::d1(5).numel(), 5);
+        assert_eq!(Shape::d2(3, 4).numel(), 12);
+        assert_eq!(Shape::d3(2, 3, 4).numel(), 24);
+        assert_eq!(Shape::nchw(2, 3, 4, 5).numel(), 120);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        let s = Shape::d1(7);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::d2(2, 3).to_string(), "[2x3]");
+    }
+
+    #[test]
+    fn empty_shape_detection() {
+        assert!(Shape::d2(0, 3).is_empty());
+        assert!(!Shape::d2(1, 3).is_empty());
+    }
+
+    #[test]
+    fn conversion_from_vec_and_slice() {
+        let v: Shape = vec![2usize, 3].into();
+        assert_eq!(v, Shape::d2(2, 3));
+        let s: Shape = [4usize, 5][..].into();
+        assert_eq!(s, Shape::d2(4, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn strides_consistent_with_numel(dims in proptest::collection::vec(1usize..6, 1..5)) {
+            let shape = Shape::new(dims.clone());
+            let strides = shape.strides();
+            // stride of dim 0 times its size equals numel
+            prop_assert_eq!(strides[0] * dims[0], shape.numel());
+            // strides are non-increasing for row-major layout
+            for w in strides.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+}

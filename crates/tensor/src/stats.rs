@@ -1,0 +1,111 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Mean of a slice (0.0 for an empty slice).
+///
+/// # Example
+///
+/// ```
+/// use micronas_tensor::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance of a slice (0.0 for fewer than two elements).
+pub fn population_variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Standardizes a slice in place to zero mean and unit variance.
+///
+/// Slices with (numerically) zero variance are only mean-centred.
+pub fn standardize(xs: &mut [f32]) {
+    let m = mean(xs);
+    let var = population_variance(xs);
+    let std = var.sqrt();
+    for x in xs.iter_mut() {
+        *x -= m;
+        if std > 1e-12 {
+            *x /= std;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(population_variance(&[5.0]), 0.0);
+        assert!((population_variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn standardize_centres_and_scales() {
+        let mut xs = vec![2.0, 4.0, 6.0, 8.0];
+        standardize(&mut xs);
+        assert!(mean(&xs).abs() < 1e-6);
+        assert!((population_variance(&xs) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardize_constant_slice_centres_only() {
+        let mut xs = vec![3.0, 3.0, 3.0];
+        standardize(&mut xs);
+        assert!(xs.iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    proptest! {
+        #[test]
+        fn variance_nonnegative(xs in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+            prop_assert!(population_variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn standardized_mean_is_zero(xs in proptest::collection::vec(-100.0f32..100.0, 2..64)) {
+            let mut ys = xs.clone();
+            standardize(&mut ys);
+            prop_assert!(mean(&ys).abs() < 1e-3);
+        }
+    }
+}

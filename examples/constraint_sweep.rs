@@ -1,0 +1,51 @@
+//! Hardware-guidance sweep: latency-guided weight sweep, FLOPs-guided vs
+//! latency-guided comparison, and the peak-memory-guided extension.
+//!
+//! ```bash
+//! cargo run --release --example constraint_sweep
+//! ```
+
+use micronas_suite::core::experiments::{
+    run_flops_vs_latency, run_latency_sweep, run_memory_guided,
+};
+use micronas_suite::core::MicroNasConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MicroNasConfig::fast();
+
+    println!("Latency-guided weight sweep (§III: 1.59x–3.23x speed-up band)");
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "weight", "latency(ms)", "FLOPs(M)", "speedup", "ACC(%)"
+    );
+    for p in run_latency_sweep(&config, &[0.5, 1.0, 2.0, 4.0])? {
+        println!(
+            "{:<10.1} {:>12.1} {:>10.1} {:>11.2}x {:>10.2}",
+            p.hardware_weight, p.latency_ms, p.flops_m, p.speedup_vs_baseline, p.accuracy
+        );
+    }
+
+    println!();
+    println!("FLOPs-guided vs latency-guided (§III)");
+    let cmp = run_flops_vs_latency(&config, 2.0)?;
+    for (name, p) in [
+        ("proxy-only baseline", &cmp.baseline),
+        ("FLOPs-guided", &cmp.flops_guided),
+        ("latency-guided", &cmp.latency_guided),
+    ] {
+        println!(
+            "{:<22} latency {:>8.1} ms   FLOPs {:>7.1} M   accuracy {:>6.2} %",
+            name, p.latency_ms, p.flops_m, p.accuracy
+        );
+    }
+
+    println!();
+    println!("Peak-memory-guided extension (§IV future work)");
+    for p in run_memory_guided(&config, &[2.0, 8.0])? {
+        println!(
+            "weight {:<6.1} peak SRAM {:>8.1} KiB   latency {:>8.1} ms   accuracy {:>6.2} %",
+            p.hardware_weight, p.peak_sram_kib, p.latency_ms, p.accuracy
+        );
+    }
+    Ok(())
+}

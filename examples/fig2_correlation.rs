@@ -1,0 +1,58 @@
+//! Regenerates Fig. 2 of the paper: Kendall-τ ranking correlation of the NTK
+//! condition index (a) across index variants K_i and (b) across NTK batch
+//! sizes.
+//!
+//! ```bash
+//! cargo run --release --example fig2_correlation
+//! ```
+
+use micronas_suite::core::experiments::{run_fig2a, run_fig2b};
+use micronas_suite::core::MicroNasConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MicroNasConfig::fast();
+    let sample = 64;
+
+    println!("Fig. 2a — Kendall-τ vs NTK condition index K_i ({sample} architectures per dataset)");
+    let series = run_fig2a(&config, sample, 8)?;
+    print!("{:<16}", "dataset \\ K_i");
+    for i in 1..=8 {
+        print!("{i:>7}");
+    }
+    println!();
+    for s in &series {
+        print!("{:<16}", s.dataset);
+        for tau in &s.taus {
+            print!("{tau:>7.3}");
+        }
+        println!();
+    }
+
+    println!();
+    println!("Fig. 2b — Kendall-τ vs NTK batch size (3 seeds + average, CIFAR-10)");
+    let batches = [4usize, 8, 16, 32];
+    let result = run_fig2b(&config, sample / 2, &batches, 3)?;
+    print!("{:<10}", "batch");
+    for b in &result.batch_sizes {
+        print!("{b:>8}");
+    }
+    println!();
+    for (i, taus) in result.taus_per_seed.iter().enumerate() {
+        print!("seed {i:<5}");
+        for tau in taus {
+            print!("{tau:>8.3}");
+        }
+        println!();
+    }
+    print!("{:<10}", "average");
+    for tau in &result.average {
+        print!("{tau:>8.3}");
+    }
+    println!();
+    println!();
+    println!(
+        "Smallest batch within 0.05 τ of the best: {} (the paper adopts 32)",
+        result.knee_batch_size(0.05)
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: run a hardware-aware zero-shot search for an STM32F746 target.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example runs the MicroNAS latency-guided pruning search on the
+//! CIFAR-10 surrogate at a reduced proxy scale (a couple of seconds on a
+//! laptop), then prints the discovered cell together with its hardware
+//! indicators and surrogate accuracy.
+
+use micronas_suite::core::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, SearchContext};
+use micronas_suite::datasets::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure the search: fast proxy scale, STM32F746 target, no budgets.
+    let config = MicroNasConfig::fast();
+    println!("Target device : {}", config.mcu.name);
+    println!("NTK batch size: {}", config.ntk.batch_size);
+
+    // 2. Build the search context for CIFAR-10.
+    let context = SearchContext::new(DatasetKind::Cifar10, &config)?;
+
+    // 3. Run the latency-guided pruning search (zero training involved).
+    let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+    let outcome = search.run(&context)?;
+
+    // 4. Report what was found.
+    println!();
+    println!("Discovered architecture #{}", outcome.best.index());
+    println!("  cell      : {}", outcome.best.arch_string());
+    println!("  FLOPs     : {:.1} M", outcome.evaluation.hardware.flops_m);
+    println!("  params    : {:.3} M", outcome.evaluation.hardware.params_m);
+    println!("  latency   : {:.1} ms on {}", outcome.evaluation.hardware.latency_ms, config.mcu.name);
+    println!("  peak SRAM : {:.0} KiB", outcome.evaluation.hardware.peak_sram_kib);
+    println!("  NTK cond. : {:.1}", outcome.evaluation.zero_cost.ntk_condition);
+    println!("  lin. regions: {}", outcome.evaluation.zero_cost.linear_regions);
+    println!("  surrogate accuracy: {:.2} %", outcome.test_accuracy);
+    println!();
+    println!(
+        "Search cost: {:.1} s wall clock, {} architectures evaluated, zero training.",
+        outcome.cost.wall_clock_seconds, outcome.cost.evaluations
+    );
+    Ok(())
+}

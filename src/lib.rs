@@ -1,0 +1,28 @@
+//! Umbrella crate for the MicroNAS reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a package to belong to. It simply re-exports every
+//! member crate under a short alias so examples can write
+//! `use micronas_suite::proxies::NtkConfig;` etc.
+//!
+//! The real public API lives in the member crates:
+//!
+//! * [`tensor`] — dense tensors and linear algebra ([`micronas_tensor`])
+//! * [`nn`] — neural-network substrate with explicit backprop ([`micronas_nn`])
+//! * [`searchspace`] — the NAS-Bench-201 cell search space ([`micronas_searchspace`])
+//! * [`datasets`] — synthetic CIFAR-style dataset generators ([`micronas_datasets`])
+//! * [`nasbench`] — the surrogate accuracy benchmark ([`micronas_nasbench`])
+//! * [`mcu`] — cycle-approximate Cortex-M7 MCU model ([`micronas_mcu`])
+//! * [`hw`] — FLOPs / latency / memory hardware indicators ([`micronas_hw`])
+//! * [`proxies`] — zero-cost proxies (NTK spectrum, linear regions) ([`micronas_proxies`])
+//! * [`core`] — the MicroNAS search framework and baselines ([`micronas`])
+
+pub use micronas as core;
+pub use micronas_datasets as datasets;
+pub use micronas_hw as hw;
+pub use micronas_mcu as mcu;
+pub use micronas_nasbench as nasbench;
+pub use micronas_nn as nn;
+pub use micronas_proxies as proxies;
+pub use micronas_searchspace as searchspace;
+pub use micronas_tensor as tensor;

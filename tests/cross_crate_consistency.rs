@@ -1,0 +1,98 @@
+//! Consistency checks that span multiple crates: the hardware estimators,
+//! the surrogate benchmark, the MCU simulator and the search space must agree
+//! with each other wherever their outputs overlap.
+
+use micronas_suite::hw::{FlopsEstimator, LatencyEstimator, MemoryEstimator};
+use micronas_suite::mcu::{McuSimulator, McuSpec};
+use micronas_suite::nasbench::{DatasetKind, SurrogateBenchmark};
+use micronas_suite::searchspace::{MacroSkeleton, SearchSpace};
+
+/// The surrogate benchmark's params/FLOPs columns must equal the hardware
+/// estimator's values (they share the estimator, but this guards the wiring).
+#[test]
+fn surrogate_hardware_columns_match_the_estimators() {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(0);
+    let est = FlopsEstimator::new();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    for idx in (0..space.len()).step_by(2_111) {
+        let arch = space.architecture(idx).unwrap();
+        let entry = bench.query(&arch, DatasetKind::Cifar10);
+        let report = est.cell_in_skeleton(arch.cell(), &skeleton);
+        assert!((entry.flops_m - report.flops_m()).abs() < 1e-9);
+        assert!((entry.params_m - report.params_m()).abs() < 1e-9);
+    }
+}
+
+/// The lookup-table latency estimator must agree with the cycle-level
+/// simulator it was profiled on, across a spread of architectures.
+#[test]
+fn latency_lut_matches_direct_simulation_across_the_space() {
+    let space = SearchSpace::nas_bench_201();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let estimator = LatencyEstimator::new(McuSpec::stm32f746zg());
+    for idx in (0..space.len()).step_by(1_563) {
+        let cell = space.cell(idx).unwrap();
+        let err = estimator.validate_against_simulator(&skeleton.instantiate(&cell));
+        assert!(err < 0.01, "architecture {idx}: relative error {err}");
+    }
+}
+
+/// Memory accounting must agree between the high-level estimator and the
+/// simulator's own working-set tracking.
+#[test]
+fn memory_estimator_matches_simulator_accounting() {
+    let space = SearchSpace::nas_bench_201();
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let memory = MemoryEstimator::new();
+    let simulator = McuSimulator::new(McuSpec::stm32f746zg());
+    for idx in (0..space.len()).step_by(3_907) {
+        let cell = space.cell(idx).unwrap();
+        let ops = skeleton.instantiate(&cell);
+        let report = memory.network(&ops);
+        let sim = simulator.simulate(&ops);
+        assert_eq!(report.peak_activation_bytes, sim.peak_activation_bytes);
+        assert_eq!(report.weight_bytes, sim.weight_bytes);
+    }
+}
+
+/// Every architecture index must round-trip through the arch-string encoding
+/// and keep its surrogate accuracy (i.e. accuracy is a function of the cell,
+/// not of incidental state).
+#[test]
+fn arch_string_round_trip_preserves_benchmark_identity() {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(7);
+    for idx in (0..space.len()).step_by(977) {
+        let arch = space.architecture(idx).unwrap();
+        let reparsed: micronas_suite::searchspace::CellTopology =
+            arch.arch_string().parse().unwrap();
+        let round_trip = micronas_suite::searchspace::Architecture::from_cell(&space, reparsed);
+        assert_eq!(round_trip.index(), idx);
+        let a = bench.query(&arch, DatasetKind::Cifar100);
+        let b = bench.query(&round_trip, DatasetKind::Cifar100);
+        assert_eq!(a, b);
+    }
+}
+
+/// Latency, FLOPs and memory must all rank the canonical light/heavy cells
+/// the same way — the cross-indicator sanity the hardware-aware objective
+/// relies on.
+#[test]
+fn hardware_indicators_agree_on_extreme_cells() {
+    use micronas_suite::searchspace::{CellTopology, Operation};
+    let skeleton = MacroSkeleton::nas_bench_201(10);
+    let flops = FlopsEstimator::new();
+    let latency = LatencyEstimator::new(McuSpec::stm32f746zg());
+    let memory = MemoryEstimator::new();
+
+    let light = CellTopology::new([Operation::SkipConnect; 6]);
+    let heavy = CellTopology::new([Operation::NorConv3x3; 6]);
+
+    assert!(flops.cell_in_skeleton(&heavy, &skeleton).flops > flops.cell_in_skeleton(&light, &skeleton).flops);
+    assert!(latency.cell_latency_ms(&heavy, &skeleton) > latency.cell_latency_ms(&light, &skeleton));
+    assert!(
+        memory.cell_in_skeleton(&heavy, &skeleton).weight_bytes
+            > memory.cell_in_skeleton(&light, &skeleton).weight_bytes
+    );
+}

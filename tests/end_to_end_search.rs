@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: the full MicroNAS pipeline from
+//! configuration to discovered architecture.
+
+use micronas_suite::core::{
+    MicroNasConfig, MicroNasSearch, ObjectiveWeights, RandomSearch, SearchContext,
+};
+use micronas_suite::datasets::DatasetKind;
+use micronas_suite::hw::HardwareConstraints;
+
+/// The headline pipeline: a latency-guided search must return a connected,
+/// feasible architecture that is at least as fast as the proxy-only pick,
+/// without ever training a network.
+#[test]
+fn latency_guided_pipeline_end_to_end() {
+    let config = MicroNasConfig::fast();
+    let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+
+    let te_nas = MicroNasSearch::te_nas_baseline(&config).run(&ctx).unwrap();
+    let micro = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
+        .run(&ctx)
+        .unwrap();
+
+    assert!(micro.best.cell().has_input_output_path());
+    assert!(micro.evaluation.feasible);
+    assert!(micro.evaluation.hardware.latency_ms <= te_nas.evaluation.hardware.latency_ms);
+    assert!(micro.speedup_vs(te_nas.evaluation.hardware.latency_ms) >= 1.0);
+    assert_eq!(micro.cost.simulated_gpu_hours, 0.0, "zero-shot search never trains");
+    // Accuracy of the latency-guided pick stays in the useful range.
+    assert!(micro.test_accuracy > 60.0, "accuracy {}", micro.test_accuracy);
+}
+
+/// The search must honour explicit hardware budgets end to end.
+#[test]
+fn constrained_pipeline_respects_budgets() {
+    let base = MicroNasConfig::fast();
+    let unconstrained_ctx = SearchContext::new(DatasetKind::Cifar10, &base).unwrap();
+    let reference = MicroNasSearch::te_nas_baseline(&base).run(&unconstrained_ctx).unwrap();
+
+    let budget_ms = reference.evaluation.hardware.latency_ms * 0.5;
+    let config = base.with_constraints(
+        HardwareConstraints::for_device(&micronas_suite::mcu::McuSpec::stm32f746zg())
+            .with_latency_ms(budget_ms),
+    );
+    let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+    let outcome =
+        MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config).run(&ctx).unwrap();
+
+    assert!(
+        outcome.evaluation.hardware.latency_ms <= budget_ms * 1.05,
+        "latency {:.1} ms exceeds the {:.1} ms budget",
+        outcome.evaluation.hardware.latency_ms,
+        budget_ms
+    );
+    assert!(outcome.evaluation.hardware.peak_sram_kib <= 320.0);
+}
+
+/// Two identical runs must produce identical results (full determinism),
+/// and the pruning search must beat random search with the same objective
+/// under the same evaluation budget.
+#[test]
+fn pipeline_is_deterministic_and_beats_random_search() {
+    let config = MicroNasConfig::fast();
+
+    let ctx_a = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+    let ctx_b = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+    let a = MicroNasSearch::te_nas_baseline(&config).run(&ctx_a).unwrap();
+    let b = MicroNasSearch::te_nas_baseline(&config).run(&ctx_b).unwrap();
+    assert_eq!(a.best.index(), b.best.index());
+    assert_eq!(a.evaluation.hardware.latency_ms, b.evaluation.hardware.latency_ms);
+
+    // Random search with a matching evaluation budget.
+    let ctx_rand = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+    let budget = a.cost.evaluations.max(8);
+    let random = RandomSearch::new(ObjectiveWeights::accuracy_only(), budget)
+        .unwrap()
+        .run(&ctx_rand)
+        .unwrap();
+    // The pruning search should find an architecture at least as good (in
+    // surrogate accuracy) as a random sample of equal size most of the time;
+    // allow a small tolerance to keep the test robust.
+    assert!(
+        a.test_accuracy >= random.test_accuracy - 3.0,
+        "pruning {:.2}% vs random {:.2}%",
+        a.test_accuracy,
+        random.test_accuracy
+    );
+}
+
+/// The same pipeline works on the other two datasets of the paper.
+#[test]
+fn pipeline_runs_on_all_three_datasets() {
+    let config = MicroNasConfig::fast();
+    for dataset in [DatasetKind::Cifar100, DatasetKind::ImageNet16_120] {
+        let ctx = SearchContext::new(dataset, &config).unwrap();
+        let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(1.0), &config)
+            .run(&ctx)
+            .unwrap();
+        assert!(outcome.best.cell().has_input_output_path(), "{dataset}: disconnected pick");
+        assert!(outcome.evaluation.hardware.latency_ms > 0.0);
+        assert!(outcome.test_accuracy > 5.0);
+    }
+}

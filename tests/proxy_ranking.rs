@@ -1,0 +1,69 @@
+//! Integration test of the zero-cost ranking signal: the combined proxy
+//! score computed from randomly initialised networks must rank architectures
+//! consistently with the surrogate "trained" accuracy — the property the
+//! whole zero-shot NAS approach rests on.
+
+use micronas_suite::core::{HybridObjective, ObjectiveWeights};
+use micronas_suite::datasets::DatasetKind;
+use micronas_suite::hw::HardwareEvaluator;
+use micronas_suite::mcu::McuSpec;
+use micronas_suite::nasbench::SurrogateBenchmark;
+use micronas_suite::proxies::{correlation::kendall_tau, ZeroCostEvaluator};
+use micronas_suite::searchspace::SearchSpace;
+
+#[test]
+fn combined_zero_cost_score_correlates_with_surrogate_accuracy() {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(0);
+    let zero_cost = ZeroCostEvaluator::fast();
+    let hardware = HardwareEvaluator::new(bench.skeleton_for(DatasetKind::Cifar10), McuSpec::stm32f746zg());
+    let objective = HybridObjective::new(ObjectiveWeights::accuracy_only());
+
+    // A spread of connected architectures across the space.
+    let sample: Vec<usize> = (0..space.len())
+        .step_by(211)
+        .filter(|&i| space.cell(i).unwrap().has_input_output_path())
+        .take(60)
+        .collect();
+    assert!(sample.len() >= 50);
+
+    let mut scores = Vec::new();
+    let mut accuracies = Vec::new();
+    for &idx in &sample {
+        let arch = space.architecture(idx).unwrap();
+        let metrics = zero_cost.evaluate(*arch.cell(), DatasetKind::Cifar10, 0).unwrap();
+        let hw = hardware.evaluate(*arch.cell());
+        scores.push(objective.score(&metrics, &hw));
+        accuracies.push(bench.query(&arch, DatasetKind::Cifar10).test_accuracy);
+    }
+
+    let tau = kendall_tau(&scores, &accuracies);
+    assert!(
+        tau > 0.25,
+        "the proxy-only objective must carry ranking signal (Kendall-τ = {tau:.3})"
+    );
+}
+
+#[test]
+fn expressivity_alone_also_carries_signal() {
+    let space = SearchSpace::nas_bench_201();
+    let bench = SurrogateBenchmark::new(0);
+    let zero_cost = ZeroCostEvaluator::fast();
+
+    let sample: Vec<usize> = (0..space.len())
+        .step_by(419)
+        .filter(|&i| space.cell(i).unwrap().has_input_output_path())
+        .take(36)
+        .collect();
+
+    let mut expressivity = Vec::new();
+    let mut accuracies = Vec::new();
+    for &idx in &sample {
+        let arch = space.architecture(idx).unwrap();
+        let metrics = zero_cost.evaluate(*arch.cell(), DatasetKind::Cifar10, 1).unwrap();
+        expressivity.push(metrics.expressivity);
+        accuracies.push(bench.query(&arch, DatasetKind::Cifar10).test_accuracy);
+    }
+    let tau = kendall_tau(&expressivity, &accuracies);
+    assert!(tau > 0.2, "linear-region count should rank architectures (τ = {tau:.3})");
+}
