@@ -1,0 +1,126 @@
+//! Convolution kernel micro-benchmarks: direct loops vs im2col + GEMM.
+//!
+//! Measures the forward pass and both gradients on the geometries the proxy
+//! networks actually run (3×3 stride-1 and 1×1 cell convolutions at the
+//! paper-default 16×16 resolution), with each engine pinned explicitly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micronas_bench::banner;
+use micronas_tensor::{
+    conv2d_backward_input_with, conv2d_backward_weight_with, conv2d_with, set_conv_engine,
+    Conv2dSpec, ConvEngine, DeterministicRng, Shape, Tensor, Workspace,
+};
+
+fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = DeterministicRng::new(seed);
+    let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+    Tensor::from_vec(shape, data).unwrap()
+}
+
+struct Case {
+    name: &'static str,
+    batch: usize,
+    channels: usize,
+    resolution: usize,
+    spec: Conv2dSpec,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "conv3x3_16x16_c8_n32",
+        batch: 32,
+        channels: 8,
+        resolution: 16,
+        spec: Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+    },
+    Case {
+        name: "conv1x1_16x16_c8_n32",
+        batch: 32,
+        channels: 8,
+        resolution: 16,
+        spec: Conv2dSpec {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
+    },
+    Case {
+        name: "conv3x3_12x12_c6_n12",
+        batch: 12,
+        channels: 6,
+        resolution: 12,
+        spec: Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+    },
+];
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    banner(
+        "conv kernels: direct vs im2col+GEMM",
+        "proxy-evaluation hot path (NTK forward/backward)",
+    );
+    let mut group = c.benchmark_group("conv_kernels");
+    group.sample_size(20);
+    for case in CASES {
+        let input = random_tensor(
+            Shape::nchw(case.batch, case.channels, case.resolution, case.resolution),
+            1,
+        );
+        let weight = random_tensor(
+            Shape::nchw(
+                case.channels,
+                case.channels,
+                case.spec.kernel,
+                case.spec.kernel,
+            ),
+            2,
+        );
+        let (oh, ow) = case.spec.output_hw(case.resolution, case.resolution);
+        let grad_out = random_tensor(Shape::nchw(case.batch, case.channels, oh, ow), 3);
+        let mut ws = Workspace::default();
+        for (engine, engine_name) in [
+            (ConvEngine::Direct, "direct"),
+            (ConvEngine::Im2colGemm, "im2col_gemm"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(case.name, engine_name),
+                &engine,
+                |b, &engine| {
+                    set_conv_engine(engine);
+                    b.iter(|| {
+                        let fwd = conv2d_with(&input, &weight, case.spec, &mut ws).unwrap();
+                        let gw = conv2d_backward_weight_with(
+                            &input,
+                            &grad_out,
+                            case.channels,
+                            case.spec,
+                            &mut ws,
+                        )
+                        .unwrap();
+                        let gi = conv2d_backward_input_with(
+                            &weight,
+                            &grad_out,
+                            input.shape(),
+                            case.spec,
+                            &mut ws,
+                        )
+                        .unwrap();
+                        (fwd.sum(), gw.sum(), gi.sum())
+                    });
+                    set_conv_engine(ConvEngine::Auto);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels);
+criterion_main!(benches);

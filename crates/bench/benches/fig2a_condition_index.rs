@@ -11,8 +11,7 @@ use micronas_searchspace::SearchSpace;
 fn print_figure() {
     banner("Fig. 2a — Kendall-τ vs condition index K_i", "Fig. 2a");
     let config = bench_config();
-    let series =
-        run_fig2a(&config, correlation_sample_size(), 16).expect("fig 2a experiment");
+    let series = run_fig2a(&config, correlation_sample_size(), 16).expect("fig 2a experiment");
     print!("{:<16}", "K_i");
     for i in 1..=16 {
         print!("{i:>7}");
@@ -26,7 +25,9 @@ fn print_figure() {
         println!("   (best index K_{})", s.best_index());
     }
     println!();
-    println!("Paper reference: τ ≈ 0.3–0.6 for small i on all three datasets, declining for large i.");
+    println!(
+        "Paper reference: τ ≈ 0.3–0.6 for small i on all three datasets, declining for large i."
+    );
 }
 
 fn bench_ntk_evaluation(c: &mut Criterion) {
@@ -34,11 +35,19 @@ fn bench_ntk_evaluation(c: &mut Criterion) {
     let config = bench_config();
     let space = SearchSpace::nas_bench_201();
     let cell = space.cell(8_888).expect("valid index");
-    let evaluator = NtkEvaluator::new(NtkConfig { max_condition_index: 16, ..config.ntk });
+    let evaluator = NtkEvaluator::new(NtkConfig {
+        max_condition_index: 16,
+        ..config.ntk
+    });
     let mut group = c.benchmark_group("fig2a");
     group.sample_size(10);
     group.bench_function("ntk_condition_single_architecture", |b| {
-        b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 0).expect("ntk").condition_number)
+        b.iter(|| {
+            evaluator
+                .evaluate(cell, DatasetKind::Cifar10, 0)
+                .expect("ntk")
+                .condition_number
+        })
     });
     group.finish();
 }

@@ -43,7 +43,9 @@ fn print_figure() {
         "Knee batch size (within 0.05 of best τ): {}",
         result.knee_batch_size(0.05)
     );
-    println!("Paper reference: τ plateaus in the 16–32 range; beyond 32 the cost rises with no τ gain.");
+    println!(
+        "Paper reference: τ plateaus in the 16–32 range; beyond 32 the cost rises with no τ gain."
+    );
 }
 
 fn bench_batch_scaling(c: &mut Criterion) {
@@ -54,9 +56,17 @@ fn bench_batch_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2b_ntk_batch");
     group.sample_size(10);
     for batch in [8usize, 32] {
-        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        let evaluator = NtkEvaluator::new(NtkConfig {
+            batch_size: batch,
+            ..config.ntk
+        });
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
-            b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 0).expect("ntk").condition_number)
+            b.iter(|| {
+                evaluator
+                    .evaluate(cell, DatasetKind::Cifar10, 0)
+                    .expect("ntk")
+                    .condition_number
+            })
         });
     }
     group.finish();

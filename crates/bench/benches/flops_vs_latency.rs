@@ -7,7 +7,10 @@ use micronas_hw::FlopsEstimator;
 use micronas_searchspace::{MacroSkeleton, SearchSpace};
 
 fn print_comparison() {
-    banner("FLOPs-guided vs latency-guided search", "§III guidance comparison");
+    banner(
+        "FLOPs-guided vs latency-guided search",
+        "§III guidance comparison",
+    );
     let config = bench_config();
     let cmp = run_flops_vs_latency(&config, 2.0).expect("guidance comparison");
     println!(
@@ -34,7 +37,9 @@ fn bench_flops_estimator(c: &mut Criterion) {
     let space = SearchSpace::nas_bench_201();
     let skeleton = MacroSkeleton::nas_bench_201(10);
     let estimator = FlopsEstimator::new();
-    let cells: Vec<_> = (0..256).map(|i| space.cell(i * 61).expect("valid")).collect();
+    let cells: Vec<_> = (0..256)
+        .map(|i| space.cell(i * 61).expect("valid"))
+        .collect();
     let mut group = c.benchmark_group("flops_vs_latency");
     group.bench_function("flops_estimate_256_architectures", |b| {
         b.iter(|| {

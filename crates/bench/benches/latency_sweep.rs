@@ -9,7 +9,10 @@ use micronas_mcu::McuSpec;
 use micronas_searchspace::{MacroSkeleton, SearchSpace};
 
 fn print_sweep() {
-    banner("Latency-guided weight sweep", "§III latency advantage band (1.59x–3.23x)");
+    banner(
+        "Latency-guided weight sweep",
+        "§III latency advantage band (1.59x–3.23x)",
+    );
     let config = bench_config();
     let points = run_latency_sweep(&config, &[0.5, 1.0, 2.0, 4.0, 8.0]).expect("latency sweep");
     println!(
@@ -31,7 +34,9 @@ fn bench_latency_estimator(c: &mut Criterion) {
     let space = SearchSpace::nas_bench_201();
     let skeleton = MacroSkeleton::nas_bench_201(10);
     let estimator = LatencyEstimator::new(McuSpec::stm32f746zg());
-    let cells: Vec<_> = (0..64).map(|i| space.cell(i * 244).expect("valid")).collect();
+    let cells: Vec<_> = (0..64)
+        .map(|i| space.cell(i * 244).expect("valid"))
+        .collect();
     let mut group = c.benchmark_group("latency_sweep");
     group.bench_function("latency_lut_estimate_64_architectures", |b| {
         b.iter(|| {

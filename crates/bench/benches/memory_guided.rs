@@ -7,7 +7,10 @@ use micronas_hw::MemoryEstimator;
 use micronas_searchspace::{MacroSkeleton, SearchSpace};
 
 fn print_sweep() {
-    banner("Peak-memory-guided search (extension)", "§IV future work: peak memory modelling");
+    banner(
+        "Peak-memory-guided search (extension)",
+        "§IV future work: peak memory modelling",
+    );
     let config = bench_config();
     let points = run_memory_guided(&config, &[2.0, 8.0]).expect("memory-guided sweep");
     println!(
@@ -30,13 +33,19 @@ fn bench_memory_estimator(c: &mut Criterion) {
     let space = SearchSpace::nas_bench_201();
     let skeleton = MacroSkeleton::nas_bench_201(10);
     let estimator = MemoryEstimator::new();
-    let cells: Vec<_> = (0..256).map(|i| space.cell(i * 61).expect("valid")).collect();
+    let cells: Vec<_> = (0..256)
+        .map(|i| space.cell(i * 61).expect("valid"))
+        .collect();
     let mut group = c.benchmark_group("memory_guided");
     group.bench_function("peak_memory_estimate_256_architectures", |b| {
         b.iter(|| {
             cells
                 .iter()
-                .map(|cell| estimator.cell_in_skeleton(cell, &skeleton).peak_activation_bytes)
+                .map(|cell| {
+                    estimator
+                        .cell_in_skeleton(cell, &skeleton)
+                        .peak_activation_bytes
+                })
                 .sum::<u64>()
         })
     });

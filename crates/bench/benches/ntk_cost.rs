@@ -9,10 +9,16 @@ use micronas_proxies::{NtkConfig, NtkEvaluator};
 use micronas_searchspace::SearchSpace;
 
 fn print_costs() {
-    banner("NTK evaluation cost vs batch size", "§II-A.1 search-cost argument for batch 32");
+    banner(
+        "NTK evaluation cost vs batch size",
+        "§II-A.1 search-cost argument for batch 32",
+    );
     let config = bench_config();
-    let sizes: Vec<usize> =
-        if paper_scale() { vec![4, 8, 16, 32, 64, 128] } else { vec![4, 8, 16, 32] };
+    let sizes: Vec<usize> = if paper_scale() {
+        vec![4, 8, 16, 32, 64, 128]
+    } else {
+        vec![4, 8, 16, 32]
+    };
     let points = run_ntk_cost(&config, &sizes, 8).expect("ntk cost experiment");
     println!("{:<10} {:>22}", "batch", "seconds / architecture");
     for p in &points {
@@ -30,9 +36,17 @@ fn bench_ntk_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ntk_cost");
     group.sample_size(10);
     for batch in [4usize, 16, 32] {
-        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        let evaluator = NtkEvaluator::new(NtkConfig {
+            batch_size: batch,
+            ..config.ntk
+        });
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
-            b.iter(|| evaluator.evaluate(cell, DatasetKind::Cifar10, 1).expect("ntk").condition_number)
+            b.iter(|| {
+                evaluator
+                    .evaluate(cell, DatasetKind::Cifar10, 1)
+                    .expect("ntk")
+                    .condition_number
+            })
         });
     }
     group.finish();

@@ -1,0 +1,76 @@
+//! End-to-end NTK evaluation: direct conv kernels vs the im2col/GEMM engine.
+//!
+//! This is the acceptance benchmark for the proxy-evaluation overhaul: one
+//! paper-default NTK evaluation (batch 32, 16×16 proxy network) per engine,
+//! plus an explicit speedup summary printed before the Criterion timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micronas_bench::banner;
+use micronas_datasets::DatasetKind;
+use micronas_proxies::{NtkConfig, NtkEvaluator};
+use micronas_searchspace::SearchSpace;
+use micronas_tensor::{set_conv_engine, ConvEngine};
+use std::time::Instant;
+
+fn measured_seconds(evaluator: &NtkEvaluator, engine: ConvEngine, runs: usize) -> f64 {
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(7_000).expect("valid index");
+    set_conv_engine(engine);
+    // One warm-up evaluation, then timed runs.
+    evaluator
+        .evaluate(cell, DatasetKind::Cifar10, 0)
+        .expect("ntk");
+    let start = Instant::now();
+    for seed in 0..runs {
+        evaluator
+            .evaluate(cell, DatasetKind::Cifar10, seed as u64)
+            .expect("ntk");
+    }
+    let elapsed = start.elapsed().as_secs_f64() / runs as f64;
+    set_conv_engine(ConvEngine::Auto);
+    elapsed
+}
+
+fn print_speedup() {
+    banner(
+        "NTK end-to-end: direct vs im2col+GEMM",
+        "proxy-evaluation engine acceptance (≥ 3× on paper-default NTK)",
+    );
+    let evaluator = NtkEvaluator::new(NtkConfig::paper_default());
+    let direct = measured_seconds(&evaluator, ConvEngine::Direct, 2);
+    let gemm = measured_seconds(&evaluator, ConvEngine::Im2colGemm, 2);
+    println!("paper-default NTK evaluation (batch 32, 16x16 proxy, 2 cells):");
+    println!("  direct kernels:      {:>8.3} s / evaluation", direct);
+    println!("  im2col+GEMM engine:  {:>8.3} s / evaluation", gemm);
+    println!("  speedup:             {:>8.2}x", direct / gemm);
+}
+
+fn bench_ntk_engines(c: &mut Criterion) {
+    if !c.is_test_mode() {
+        print_speedup();
+    }
+    let evaluator = NtkEvaluator::new(NtkConfig::paper_default());
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(7_000).expect("valid index");
+    let mut group = c.benchmark_group("ntk_engine");
+    group.sample_size(10);
+    for (engine, name) in [
+        (ConvEngine::Direct, "direct"),
+        (ConvEngine::Im2colGemm, "im2col_gemm"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, &engine| {
+            set_conv_engine(engine);
+            b.iter(|| {
+                evaluator
+                    .evaluate(cell, DatasetKind::Cifar10, 1)
+                    .expect("ntk")
+                    .condition_number
+            });
+            set_conv_engine(ConvEngine::Auto);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntk_engines);
+criterion_main!(benches);

@@ -7,12 +7,19 @@ use micronas_bench::{banner, bench_config, paper_scale};
 use micronas_datasets::DatasetKind;
 
 fn print_report() {
-    banner("Search-efficiency comparison", "Table I search time + §III 1104x claim");
+    banner(
+        "Search-efficiency comparison",
+        "Table I search time + §III 1104x claim",
+    );
     let config = bench_config();
     let evolution = if paper_scale() {
         EvolutionaryConfig::munas_default()
     } else {
-        EvolutionaryConfig { population: 24, cycles: 120, sample_size: 5 }
+        EvolutionaryConfig {
+            population: 24,
+            cycles: 120,
+            sample_size: 5,
+        }
     };
     let report = run_search_efficiency(&config, evolution, 2.0).expect("efficiency experiment");
     println!(
@@ -62,7 +69,11 @@ fn bench_te_nas_search(c: &mut Criterion) {
     group.bench_function("te_nas_proxy_only_search", |b| {
         b.iter(|| {
             let ctx = SearchContext::new(DatasetKind::Cifar10, &config).expect("context");
-            MicroNasSearch::te_nas_baseline(&config).run(&ctx).expect("search").best.index()
+            MicroNasSearch::te_nas_baseline(&config)
+                .run(&ctx)
+                .expect("search")
+                .best
+                .index()
         })
     });
     group.finish();

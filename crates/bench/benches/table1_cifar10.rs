@@ -10,12 +10,19 @@ use micronas_bench::{banner, bench_config, paper_scale};
 use micronas_datasets::DatasetKind;
 
 fn print_table() {
-    banner("Table I — Results on CIFAR-10", "Table I (µNAS / TE-NAS / MicroNAS)");
+    banner(
+        "Table I — Results on CIFAR-10",
+        "Table I (µNAS / TE-NAS / MicroNAS)",
+    );
     let config = bench_config();
     let evolution = if paper_scale() {
         EvolutionaryConfig::munas_default()
     } else {
-        EvolutionaryConfig { population: 24, cycles: 120, sample_size: 5 }
+        EvolutionaryConfig {
+            population: 24,
+            cycles: 120,
+            sample_size: 5,
+        }
     };
     let rows = run_table1(&config, evolution, 2.0).expect("table 1 experiment");
     println!("{}", Table1Row::header());

@@ -30,7 +30,9 @@ pub fn bench_config() -> MicroNasConfig {
 
 /// Whether paper-scale mode was requested via `MICRONAS_PAPER_SCALE=1`.
 pub fn paper_scale() -> bool {
-    std::env::var("MICRONAS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MICRONAS_PAPER_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Number of architectures sampled for correlation experiments at the current
@@ -51,7 +53,11 @@ pub fn banner(experiment: &str, paper_reference: &str) {
     println!("Reproduces: {paper_reference}");
     println!(
         "Scale: {}",
-        if paper_scale() { "paper (MICRONAS_PAPER_SCALE=1)" } else { "reduced (default)" }
+        if paper_scale() {
+            "paper (MICRONAS_PAPER_SCALE=1)"
+        } else {
+            "reduced (default)"
+        }
     );
     println!("================================================================");
 }

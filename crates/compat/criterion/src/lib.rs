@@ -1,0 +1,341 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: every benchmark is warmed up once, then `sample_size`
+//! samples are collected; each sample runs as many iterations as needed to
+//! exceed a minimum measurement window. Median, minimum and maximum
+//! per-iteration times are printed in criterion's familiar
+//! `time: [low median high]` layout.
+//!
+//! `--test` on the command line (as passed by `cargo bench -- --test`)
+//! switches to smoke mode: each benchmark body runs exactly once, untimed.
+//! Positional command-line arguments act as substring filters on benchmark
+//! names, like criterion's.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filters: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process command line.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo or users pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => c.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: String, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(&name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&name);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own windows.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(full, sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f`, handing it a reference to `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(full, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Collects timing samples for one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+/// Minimum wall-clock window per timing sample.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Runs the benchmarked routine repeatedly, recording per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and calibration: how many iterations fill the window?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let iters_per_sample = if once >= MIN_SAMPLE_WINDOW {
+            1
+        } else {
+            (MIN_SAMPLE_WINDOW.as_secs_f64() / once.as_secs_f64().max(1e-9)).ceil() as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.test_mode {
+            println!("{name}: test passed");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = sorted[sorted.len() / 2];
+        let low = sorted[0];
+        let high = sorted[sorted.len() - 1];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            format_time(low),
+            format_time(median),
+            format_time(high)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            default_sample_size: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: Vec::new(),
+            default_sample_size: 10,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filters_skip_mismatched_names() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["match-me".to_string()],
+            default_sample_size: 10,
+        };
+        let mut ran = 0u64;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.bench_function("match-me-too", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: Vec::new(),
+            default_sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(32), &32usize, |b, &n| {
+            b.iter(|| ran += n as u64)
+        });
+        group.finish();
+        assert_eq!(ran, 33);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

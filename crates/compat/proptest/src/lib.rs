@@ -1,0 +1,312 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses: the
+//! [`Strategy`] trait (with `prop_map`), range strategies for the numeric
+//! primitives, tuple strategies, [`collection::vec`], [`array::uniform6`]
+//! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: each property runs a fixed
+//! number of deterministically seeded cases (derived from the test name), so
+//! failures reproduce bit-for-bit on every run and machine.
+
+use std::ops::Range;
+
+/// Number of cases each `proptest!` property runs.
+pub const DEFAULT_CASES: usize = 48;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestRng};
+}
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Creates a generator seeded from a test name, so every property gets
+    /// an independent but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i64, i32, i16, i8, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `element` and a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_array {
+        ($($fn_name:ident => $n:literal),+ $(,)?) => {$(
+            /// Strategy for `[S::Value; N]` arrays with independent elements.
+            pub fn $fn_name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        )+};
+    }
+
+    uniform_array!(uniform4 => 4, uniform6 => 6, uniform8 => 8);
+
+    /// The strategy returned by the `uniformN` constructors.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...) { .. }` as a
+/// deterministic multi-case property test.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::DEFAULT_CASES {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a property-test condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::new(2);
+        let strat = crate::collection::vec(0.0f64..1.0, 2..10);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn array_and_map_compose() {
+        let mut rng = TestRng::new(3);
+        let strat = crate::array::uniform6(0usize..5).prop_map(|a| a.iter().sum::<usize>());
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            assert!(s <= 24);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("some_test");
+        let mut b = TestRng::from_name("some_test");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_name("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, ys in crate::collection::vec(0usize..4, 1..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(!ys.is_empty() && ys.len() < 5);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of rayon's API this workspace uses —
+//! `par_iter().map(..).collect()`, `current_num_threads`, and
+//! `ThreadPoolBuilder::num_threads(..).build().install(..)` — on top of
+//! `std::thread::scope`. Work is split into contiguous chunks, one per
+//! worker, and results are reassembled **in input order**, so a parallel map
+//! is always a permutation-free, bitwise-deterministic replacement for the
+//! sequential map regardless of thread count.
+//!
+//! The thread count resolves, in priority order: the innermost active
+//! [`ThreadPool::install`] scope, the `RAYON_NUM_THREADS` environment
+//! variable, then `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over a slice.
+fn parallel_map<'data, T, U, F>(items: &'data [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'data T) -> U + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunked: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in chunked {
+        out.extend(part);
+    }
+    out
+}
+
+/// Types that expose a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element yielded by the parallel iterator.
+    type Item: 'data;
+    /// Creates a parallel iterator borrowing `self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every element through `f` in parallel, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped form of [`ParIter`]; terminal operations execute the map.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Executes the parallel map and collects the ordered results.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count; 0 means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Present for API compatibility; this implementation cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count configuration mirroring `rayon::ThreadPool`.
+///
+/// Workers are spawned per parallel call rather than kept hot; `install`
+/// only pins the thread *count* for parallel operations run inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in force on this thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let resolved = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let previous = POOL_OVERRIDE.with(|c| c.replace(resolved));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// The configured thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_and_multi_thread_results_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let one: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| {
+                items
+                    .par_iter()
+                    .map(|&x| x.wrapping_mul(31).rotate_left(7))
+                    .collect()
+            });
+        let many: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| {
+                items
+                    .par_iter()
+                    .map(|&x| x.wrapping_mul(31).rotate_left(7))
+                    .collect()
+            });
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        // Outside install the override is gone.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

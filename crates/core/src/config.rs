@@ -69,7 +69,12 @@ impl MicroNasConfig {
         };
         let mcu = McuSpec::stm32f746zg();
         Self {
-            ntk: NtkConfig { batch_size: 4, repeats: 1, network, max_condition_index: 4 },
+            ntk: NtkConfig {
+                batch_size: 4,
+                repeats: 1,
+                network,
+                max_condition_index: 4,
+            },
             linear_regions: LinearRegionConfig {
                 num_segments: 2,
                 points_per_segment: 6,
@@ -100,7 +105,9 @@ impl MicroNasConfig {
     /// Returns [`MicroNasError::InvalidConfig`] for degenerate proxy settings.
     pub fn validate(&self) -> Result<()> {
         if self.ntk.batch_size < 2 {
-            return Err(MicroNasError::InvalidConfig("NTK batch size must be at least 2".into()));
+            return Err(MicroNasError::InvalidConfig(
+                "NTK batch size must be at least 2".into(),
+            ));
         }
         if self.linear_regions.num_segments == 0 {
             return Err(MicroNasError::InvalidConfig(
@@ -132,7 +139,10 @@ mod tests {
     #[test]
     fn paper_default_matches_paper_settings() {
         let cfg = MicroNasConfig::paper_default();
-        assert_eq!(cfg.ntk.batch_size, 32, "the paper adopts a batch size of 32");
+        assert_eq!(
+            cfg.ntk.batch_size, 32,
+            "the paper adopts a batch size of 32"
+        );
         assert!(cfg.mcu.name.contains("STM32F746"));
         assert_eq!(cfg.constraints.max_sram_kib, Some(320.0));
     }

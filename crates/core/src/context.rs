@@ -113,6 +113,11 @@ impl SearchContext {
     /// Evaluates (or retrieves from cache) the zero-cost and hardware
     /// indicators of a cell.
     ///
+    /// Safe to call from parallel candidate-scoring workers: the result is a
+    /// pure function of `(cell, dataset, seed)`, and the evaluation counter
+    /// only advances when a cell enters the cache for the first time, so
+    /// counts are identical regardless of thread count or interleaving.
+    ///
     /// # Errors
     ///
     /// Propagates proxy evaluation failures.
@@ -124,9 +129,17 @@ impl SearchContext {
         let zero_cost = self.zero_cost.evaluate(cell, self.dataset, self.seed)?;
         let hardware = self.hardware.evaluate(cell);
         let feasible = self.constraints.satisfied_by(&hardware);
-        let eval = CandidateEvaluation { arch_index: arch.index(), zero_cost, hardware, feasible };
-        self.cache.lock().insert(arch.index(), eval);
-        *self.evaluations.lock() += 1;
+        let eval = CandidateEvaluation {
+            arch_index: arch.index(),
+            zero_cost,
+            hardware,
+            feasible,
+        };
+        // Two workers may race to evaluate the same cell; both compute the
+        // same pure value, but only the first insertion counts it.
+        if self.cache.lock().insert(arch.index(), eval).is_none() {
+            *self.evaluations.lock() += 1;
+        }
         Ok(eval)
     }
 
@@ -162,7 +175,11 @@ mod tests {
         let a = ctx.evaluate(cell).unwrap();
         assert_eq!(ctx.evaluation_count(), 1);
         let b = ctx.evaluate(cell).unwrap();
-        assert_eq!(ctx.evaluation_count(), 1, "second evaluation must hit the cache");
+        assert_eq!(
+            ctx.evaluation_count(),
+            1,
+            "second evaluation must hit the cache"
+        );
         assert_eq!(a, b);
     }
 
@@ -172,12 +189,19 @@ mod tests {
             micronas_hw::HardwareConstraints::unconstrained().with_latency_ms(1e-6),
         );
         let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-        let eval = ctx.evaluate(CellTopology::new([Operation::NorConv3x3; 6])).unwrap();
-        assert!(!eval.feasible, "an impossible latency budget marks everything infeasible");
+        let eval = ctx
+            .evaluate(CellTopology::new([Operation::NorConv3x3; 6]))
+            .unwrap();
+        assert!(
+            !eval.feasible,
+            "an impossible latency budget marks everything infeasible"
+        );
 
         let relaxed = MicroNasConfig::tiny_test();
         let ctx = SearchContext::new(DatasetKind::Cifar10, &relaxed).unwrap();
-        let eval = ctx.evaluate(CellTopology::new([Operation::NorConv3x3; 6])).unwrap();
+        let eval = ctx
+            .evaluate(CellTopology::new([Operation::NorConv3x3; 6]))
+            .unwrap();
         assert!(eval.feasible);
     }
 
@@ -187,7 +211,10 @@ mod tests {
         let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
         let arch = ctx.space().architecture(1_234).unwrap();
         let acc = ctx.trained_accuracy(&arch);
-        let direct = ctx.benchmark().query(&arch, DatasetKind::Cifar10).test_accuracy;
+        let direct = ctx
+            .benchmark()
+            .query(&arch, DatasetKind::Cifar10)
+            .test_accuracy;
         assert_eq!(acc, direct);
     }
 

@@ -38,7 +38,11 @@ mod tests {
 
     #[test]
     fn total_hours_combines_both_components() {
-        let c = SearchCost { wall_clock_seconds: 3_600.0, simulated_gpu_hours: 2.0, evaluations: 10 };
+        let c = SearchCost {
+            wall_clock_seconds: 3_600.0,
+            simulated_gpu_hours: 2.0,
+            evaluations: 10,
+        };
         assert!((c.total_hours() - 3.0).abs() < 1e-12);
     }
 
@@ -46,8 +50,16 @@ mod tests {
     fn efficiency_ratio_matches_paper_style_comparison() {
         // A 552 GPU-hour baseline versus a half-GPU-hour zero-shot search is
         // roughly a 1100x efficiency gap — the shape of the paper's claim.
-        let micro = SearchCost { wall_clock_seconds: 1_800.0, simulated_gpu_hours: 0.0, evaluations: 400 };
-        let munas = SearchCost { wall_clock_seconds: 0.0, simulated_gpu_hours: 552.0, evaluations: 500 };
+        let micro = SearchCost {
+            wall_clock_seconds: 1_800.0,
+            simulated_gpu_hours: 0.0,
+            evaluations: 400,
+        };
+        let munas = SearchCost {
+            wall_clock_seconds: 0.0,
+            simulated_gpu_hours: 552.0,
+            evaluations: 500,
+        };
         let ratio = micro.efficiency_vs(&munas);
         assert!(ratio > 1_000.0 && ratio < 1_300.0, "ratio {ratio}");
     }
@@ -55,7 +67,10 @@ mod tests {
     #[test]
     fn efficiency_handles_zero_cost_gracefully() {
         let zero = SearchCost::default();
-        let other = SearchCost { wall_clock_seconds: 60.0, ..Default::default() };
+        let other = SearchCost {
+            wall_clock_seconds: 60.0,
+            ..Default::default()
+        };
         assert!(zero.efficiency_vs(&other).is_finite());
     }
 }

@@ -54,10 +54,11 @@ mod tests {
     fn conversions_and_display() {
         let e: MicroNasError = micronas_proxies::ProxyError::InvalidConfig("x".into()).into();
         assert!(e.to_string().contains("proxy"));
-        let e: MicroNasError =
-            micronas_searchspace::SearchSpaceError::InvalidEdge(9).into();
+        let e: MicroNasError = micronas_searchspace::SearchSpaceError::InvalidEdge(9).into();
         assert!(e.to_string().contains("search space"));
-        assert!(MicroNasError::NoFeasibleArchitecture.to_string().contains("constraints"));
+        assert!(MicroNasError::NoFeasibleArchitecture
+            .to_string()
+            .contains("constraints"));
     }
 
     #[test]

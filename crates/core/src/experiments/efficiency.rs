@@ -1,6 +1,6 @@
 use crate::{
     EvolutionaryConfig, EvolutionarySearch, MicroNasConfig, MicroNasSearch, ObjectiveWeights,
-    Result, SearchCost, SearchContext,
+    Result, SearchContext, SearchCost,
 };
 use micronas_datasets::DatasetKind;
 use serde::{Deserialize, Serialize};
@@ -43,7 +43,11 @@ pub fn run_search_efficiency(
     Ok(EfficiencyReport {
         efficiency_vs_munas: micro.cost.efficiency_vs(&munas.cost),
         efficiency_vs_te_nas: micro.cost.efficiency_vs(&te_nas.cost),
-        accuracies: [munas.test_accuracy, te_nas.test_accuracy, micro.test_accuracy],
+        accuracies: [
+            munas.test_accuracy,
+            te_nas.test_accuracy,
+            micro.test_accuracy,
+        ],
         micronas: micro.cost,
         te_nas: te_nas.cost,
         munas: munas.cost,
@@ -57,8 +61,7 @@ mod tests {
     #[test]
     fn zero_shot_search_is_orders_of_magnitude_cheaper_than_training_based() {
         let config = MicroNasConfig::small();
-        let report =
-            run_search_efficiency(&config, EvolutionaryConfig::fast_test(), 2.0).unwrap();
+        let report = run_search_efficiency(&config, EvolutionaryConfig::fast_test(), 2.0).unwrap();
         // The paper reports ~1104x vs µNAS; at test scale the exact number
         // differs but the gap must remain at least two orders of magnitude.
         assert!(
@@ -72,7 +75,10 @@ mod tests {
         assert!(report.munas.simulated_gpu_hours > 0.0);
         assert_eq!(report.micronas.simulated_gpu_hours, 0.0);
         for acc in report.accuracies {
-            assert!(acc > 20.0, "every framework should find a usable model, got {acc}");
+            assert!(
+                acc > 20.0,
+                "every framework should find a usable model, got {acc}"
+            );
         }
     }
 }

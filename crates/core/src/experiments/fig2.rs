@@ -47,13 +47,20 @@ impl Fig2bResult {
     /// The smallest batch size whose average τ is within `tolerance` of the
     /// best average τ — the "knee" the paper uses to justify batch 32.
     pub fn knee_batch_size(&self, tolerance: f64) -> usize {
-        let best = self.average.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = self
+            .average
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         for (i, &tau) in self.average.iter().enumerate() {
             if tau >= best - tolerance {
                 return self.batch_sizes[i];
             }
         }
-        *self.batch_sizes.last().expect("batch size list is non-empty")
+        *self
+            .batch_sizes
+            .last()
+            .expect("batch size list is non-empty")
     }
 }
 
@@ -118,7 +125,11 @@ pub fn run_fig2a(
             let neg_k: Vec<f64> = rows.iter().map(|(k, _)| -k[i]).collect();
             taus.push(kendall_tau(&neg_k, &accuracies));
         }
-        out.push(Fig2aSeries { dataset: dataset.name().to_string(), taus, sample_size: rows.len() });
+        out.push(Fig2aSeries {
+            dataset: dataset.name().to_string(),
+            taus,
+            sample_size: rows.len(),
+        });
     }
     Ok(out)
 }
@@ -142,21 +153,32 @@ pub fn run_fig2b(
     let dataset = DatasetKind::Cifar10;
     let accuracies: Vec<f64> = indices
         .iter()
-        .map(|&idx| bench.query(&space.architecture(idx).expect("valid index"), dataset).test_accuracy)
+        .map(|&idx| {
+            bench
+                .query(&space.architecture(idx).expect("valid index"), dataset)
+                .test_accuracy
+        })
         .collect();
 
     let mut taus_per_seed = Vec::with_capacity(seeds);
     for seed in 0..seeds {
         let mut taus = Vec::with_capacity(batch_sizes.len());
         for &batch in batch_sizes {
-            let ntk_config = NtkConfig { batch_size: batch, ..config.ntk };
+            let ntk_config = NtkConfig {
+                batch_size: batch,
+                ..config.ntk
+            };
             let evaluator = NtkEvaluator::new(ntk_config);
             let neg_k: Vec<f64> = indices
                 .par_iter()
                 .map(|&idx| {
                     let arch = space.architecture(idx).expect("valid index");
                     let report = evaluator
-                        .evaluate(*arch.cell(), dataset, config.seed.wrapping_add(seed as u64 * 977))
+                        .evaluate(
+                            *arch.cell(),
+                            dataset,
+                            config.seed.wrapping_add(seed as u64 * 977),
+                        )
                         .expect("proxy evaluation succeeds");
                     -report.condition_number
                 })

@@ -32,13 +32,21 @@ pub fn run_ntk_cost(
     let stride = (space.len() / architectures.max(1)).max(1);
     let sample: Vec<usize> = (0..space.len())
         .step_by(stride)
-        .filter(|&i| space.cell(i).map(|c| c.has_input_output_path()).unwrap_or(false))
+        .filter(|&i| {
+            space
+                .cell(i)
+                .map(|c| c.has_input_output_path())
+                .unwrap_or(false)
+        })
         .take(architectures)
         .collect();
 
     let mut out = Vec::with_capacity(batch_sizes.len());
     for &batch in batch_sizes {
-        let evaluator = NtkEvaluator::new(NtkConfig { batch_size: batch, ..config.ntk });
+        let evaluator = NtkEvaluator::new(NtkConfig {
+            batch_size: batch,
+            ..config.ntk
+        });
         let start = Instant::now();
         for &idx in &sample {
             let cell = space.cell(idx)?;

@@ -1,6 +1,4 @@
-use crate::{
-    MicroNasConfig, MicroNasSearch, ObjectiveWeights, Result, SearchContext,
-};
+use crate::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, Result, SearchContext};
 use micronas_datasets::DatasetKind;
 use serde::{Deserialize, Serialize};
 
@@ -115,7 +113,11 @@ pub fn run_flops_vs_latency(config: &MicroNasConfig, weight: f64) -> Result<Guid
         weight,
         baseline_latency,
     )?;
-    Ok(GuidanceComparison { baseline, flops_guided, latency_guided })
+    Ok(GuidanceComparison {
+        baseline,
+        flops_guided,
+        latency_guided,
+    })
 }
 
 /// Runs the peak-memory-guided search extension (experiment E7, the paper's

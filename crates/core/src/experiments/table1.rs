@@ -43,7 +43,13 @@ impl Table1Row {
     pub fn header() -> String {
         format!(
             "{:<38} {:>9} {:>9} {:>11} {:>9} {:>14} {:>8}",
-            "NAS framework", "FLOPs(M)", "Params(M)", "Latency(ms)", "Speedup", "SearchTime(h)", "ACC(%)"
+            "NAS framework",
+            "FLOPs(M)",
+            "Params(M)",
+            "Latency(ms)",
+            "Speedup",
+            "SearchTime(h)",
+            "ACC(%)"
         )
     }
 }

@@ -1,7 +1,9 @@
 use crate::{MicroNasError, Result, SearchContext, SearchCost, SearchOutcome};
 use micronas_searchspace::{mutate, random_architecture, Architecture};
+use micronas_tensor::hash_mix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
@@ -21,12 +23,20 @@ impl EvolutionaryConfig {
     /// A configuration comparable to the paper's µNAS baseline budget:
     /// training-based evaluation of several hundred candidates.
     pub fn munas_default() -> Self {
-        Self { population: 50, cycles: 450, sample_size: 10 }
+        Self {
+            population: 50,
+            cycles: 450,
+            sample_size: 10,
+        }
     }
 
     /// A reduced configuration for tests.
     pub fn fast_test() -> Self {
-        Self { population: 8, cycles: 24, sample_size: 3 }
+        Self {
+            population: 8,
+            cycles: 24,
+            sample_size: 3,
+        }
     }
 }
 
@@ -83,16 +93,14 @@ impl EvolutionarySearch {
         let mut history = Vec::new();
 
         // Charge the (simulated) training bill for an architecture once.
-        let fitness = |arch: &Architecture,
-                           trained: &mut HashSet<usize>,
-                           gpu_hours: &mut f64|
-         -> f64 {
-            let entry = ctx.benchmark().query(arch, ctx.dataset());
-            if trained.insert(arch.index()) {
-                *gpu_hours += entry.train_cost_gpu_hours;
-            }
-            entry.test_accuracy
-        };
+        let fitness =
+            |arch: &Architecture, trained: &mut HashSet<usize>, gpu_hours: &mut f64| -> f64 {
+                let entry = ctx.benchmark().query(arch, ctx.dataset());
+                if trained.insert(arch.index()) {
+                    *gpu_hours += entry.train_cost_gpu_hours;
+                }
+                entry.test_accuracy
+            };
 
         // Feasibility check uses only the cheap hardware indicators, as µNAS
         // does with its analytic resource models.
@@ -101,21 +109,35 @@ impl EvolutionarySearch {
             ctx.constraints().satisfied_by(&hw)
         };
 
-        // Seed the population with feasible random candidates.
+        // Seed the population with feasible random candidates. Candidate
+        // `i` is drawn from its own ChaCha8 stream keyed by
+        // `(base seed, attempt index)` and feasibility is checked on the
+        // rayon pool; the population is then filled in attempt order, so the
+        // result is bitwise identical for every thread count.
+        let base_seed = ctx.seed().wrapping_add(0x45564F);
         let mut population: VecDeque<(Architecture, f64)> =
             VecDeque::with_capacity(self.config.population);
-        let mut attempts = 0usize;
-        while population.len() < self.config.population {
-            attempts += 1;
-            if attempts > self.config.population * 200 {
-                return Err(MicroNasError::NoFeasibleArchitecture);
+        let max_attempts = self.config.population * 200;
+        let mut attempt = 0usize;
+        while population.len() < self.config.population && attempt < max_attempts {
+            let round = self.config.population.min(max_attempts - attempt);
+            let batch: Vec<Architecture> = (attempt..attempt + round)
+                .map(|i| {
+                    let mut arch_rng = ChaCha8Rng::seed_from_u64(hash_mix(base_seed, i as u64));
+                    random_architecture(ctx.space(), &mut arch_rng)
+                })
+                .collect();
+            let feasibility: Vec<bool> = batch.par_iter().map(&feasible).collect();
+            for (arch, ok) in batch.into_iter().zip(feasibility) {
+                if ok && population.len() < self.config.population {
+                    let fit = fitness(&arch, &mut trained, &mut simulated_gpu_hours);
+                    population.push_back((arch, fit));
+                }
             }
-            let arch = random_architecture(ctx.space(), &mut rng);
-            if !feasible(&arch) {
-                continue;
-            }
-            let fit = fitness(&arch, &mut trained, &mut simulated_gpu_hours);
-            population.push_back((arch, fit));
+            attempt += round;
+        }
+        if population.len() < self.config.population {
+            return Err(MicroNasError::NoFeasibleArchitecture);
         }
 
         let mut best = population
@@ -131,8 +153,8 @@ impl EvolutionarySearch {
             let mut parent: Option<(Architecture, f64)> = None;
             for _ in 0..self.config.sample_size {
                 let idx = rand::Rng::gen_range(&mut rng, 0..population.len());
-                let candidate = population[idx].clone();
-                if parent.as_ref().map_or(true, |p| candidate.1 > p.1) {
+                let candidate = population[idx];
+                if parent.as_ref().is_none_or(|p| candidate.1 > p.1) {
                     parent = Some(candidate);
                 }
             }
@@ -187,9 +209,24 @@ mod tests {
 
     #[test]
     fn degenerate_configs_are_rejected() {
-        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 1, cycles: 10, sample_size: 2 }).is_err());
-        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 0, sample_size: 2 }).is_err());
-        assert!(EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 5, sample_size: 0 }).is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig {
+            population: 1,
+            cycles: 10,
+            sample_size: 2
+        })
+        .is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig {
+            population: 4,
+            cycles: 0,
+            sample_size: 2
+        })
+        .is_err());
+        assert!(EvolutionarySearch::new(EvolutionaryConfig {
+            population: 4,
+            cycles: 5,
+            sample_size: 0
+        })
+        .is_err());
         assert!(EvolutionarySearch::new(EvolutionaryConfig::fast_test()).is_ok());
     }
 
@@ -203,22 +240,33 @@ mod tests {
             assert!(w[1] >= w[0]);
         }
         assert!(outcome.test_accuracy >= outcome.history[0]);
-        assert!(outcome.cost.simulated_gpu_hours > 0.0, "training-based search must pay GPU hours");
+        assert!(
+            outcome.cost.simulated_gpu_hours > 0.0,
+            "training-based search must pay GPU hours"
+        );
         assert!(outcome.cost.evaluations > 0);
     }
 
     #[test]
     fn simulated_cost_scales_with_number_of_trained_candidates() {
         let ctx = tiny_context();
-        let small = EvolutionarySearch::new(EvolutionaryConfig { population: 4, cycles: 4, sample_size: 2 })
-            .unwrap()
-            .run(&ctx)
-            .unwrap();
+        let small = EvolutionarySearch::new(EvolutionaryConfig {
+            population: 4,
+            cycles: 4,
+            sample_size: 2,
+        })
+        .unwrap()
+        .run(&ctx)
+        .unwrap();
         let ctx2 = tiny_context();
-        let large = EvolutionarySearch::new(EvolutionaryConfig { population: 8, cycles: 30, sample_size: 2 })
-            .unwrap()
-            .run(&ctx2)
-            .unwrap();
+        let large = EvolutionarySearch::new(EvolutionaryConfig {
+            population: 8,
+            cycles: 30,
+            sample_size: 2,
+        })
+        .unwrap()
+        .run(&ctx2)
+        .unwrap();
         assert!(large.cost.simulated_gpu_hours > small.cost.simulated_gpu_hours);
     }
 
@@ -226,9 +274,8 @@ mod tests {
     fn respects_hardware_constraints() {
         // Constrain parameters tightly; every member of the final population
         // must satisfy the budget.
-        let config = MicroNasConfig::tiny_test().with_constraints(
-            HardwareConstraints::unconstrained().with_params_m(0.5),
-        );
+        let config = MicroNasConfig::tiny_test()
+            .with_constraints(HardwareConstraints::unconstrained().with_params_m(0.5));
         let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
         let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
         let outcome = search.run(&ctx).unwrap();
@@ -237,11 +284,13 @@ mod tests {
 
     #[test]
     fn impossible_constraints_error_out() {
-        let config = MicroNasConfig::tiny_test().with_constraints(
-            HardwareConstraints::unconstrained().with_latency_ms(1e-9),
-        );
+        let config = MicroNasConfig::tiny_test()
+            .with_constraints(HardwareConstraints::unconstrained().with_latency_ms(1e-9));
         let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
         let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
-        assert!(matches!(search.run(&ctx), Err(MicroNasError::NoFeasibleArchitecture)));
+        assert!(matches!(
+            search.run(&ctx),
+            Err(MicroNasError::NoFeasibleArchitecture)
+        ));
     }
 }

@@ -3,6 +3,7 @@ use crate::{
     SearchOutcome,
 };
 use micronas_searchspace::{EdgeId, Operation, Supernet};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// The hardware-aware pruning-based search (the paper's §II algorithm), also
@@ -95,21 +96,36 @@ impl MicroNasSearch {
         let mut history = Vec::new();
 
         while !supernet.is_collapsed() {
-            let mut weakest: Option<(EdgeId, Operation, f64)> = None;
+            // Enumerate the candidate (edge, op) assignments of this prune
+            // step, then score them on the rayon pool. `ctx.evaluate` is a
+            // pure cached function of the cell and the reduction below walks
+            // the results in enumeration order with a strict `<` (first
+            // candidate wins ties), so the chosen prune — and therefore the
+            // whole search trajectory — is bitwise identical for every
+            // thread count.
+            let mut candidates: Vec<(EdgeId, Operation)> = Vec::new();
             for edge in supernet.undecided_edges() {
                 for op in supernet.candidates(edge)? {
-                    let score = self.importance(ctx, &supernet, edge, op)?;
-                    let replace = match &weakest {
-                        None => true,
-                        Some((_, _, s)) => score < *s,
-                    };
-                    if replace {
-                        weakest = Some((edge, op, score));
-                    }
+                    candidates.push((edge, op));
                 }
             }
-            let (edge, op, score) =
-                weakest.ok_or(MicroNasError::NoFeasibleArchitecture)?;
+            let scores: Vec<Result<f64>> = candidates
+                .par_iter()
+                .map(|&(edge, op)| self.importance(ctx, &supernet, edge, op))
+                .collect();
+
+            let mut weakest: Option<(EdgeId, Operation, f64)> = None;
+            for (&(edge, op), score) in candidates.iter().zip(scores) {
+                let score = score?;
+                let replace = match &weakest {
+                    None => true,
+                    Some((_, _, s)) => score < *s,
+                };
+                if replace {
+                    weakest = Some((edge, op, score));
+                }
+            }
+            let (edge, op, score) = weakest.ok_or(MicroNasError::NoFeasibleArchitecture)?;
             supernet.prune(edge, op)?;
             history.push(score);
         }
@@ -159,10 +175,17 @@ mod tests {
         let search = MicroNasSearch::te_nas_baseline(&config);
         let outcome = search.run(&ctx).unwrap();
         assert!(outcome.best.cell().has_input_output_path());
-        assert_eq!(outcome.history.len(), 24, "24 prune steps collapse the supernet");
+        assert_eq!(
+            outcome.history.len(),
+            24,
+            "24 prune steps collapse the supernet"
+        );
         assert!(outcome.cost.evaluations > 0);
         assert!(outcome.cost.simulated_gpu_hours == 0.0);
-        assert!(outcome.test_accuracy > 50.0, "discovered model should be well above chance");
+        assert!(
+            outcome.test_accuracy > 50.0,
+            "discovered model should be well above chance"
+        );
         assert_eq!(outcome.algorithm, "TE-NAS (baseline)");
     }
 
@@ -171,11 +194,11 @@ mod tests {
         let ctx = tiny_context(HardwareConstraints::unconstrained());
         let config = MicroNasConfig::tiny_test();
         let te_nas = MicroNasSearch::te_nas_baseline(&config).run(&ctx).unwrap();
-        let latency_guided =
-            MicroNasSearch::new(ObjectiveWeights::latency_guided(4.0), &config).run(&ctx).unwrap();
+        let latency_guided = MicroNasSearch::new(ObjectiveWeights::latency_guided(4.0), &config)
+            .run(&ctx)
+            .unwrap();
         assert!(
-            latency_guided.evaluation.hardware.latency_ms
-                <= te_nas.evaluation.hardware.latency_ms,
+            latency_guided.evaluation.hardware.latency_ms <= te_nas.evaluation.hardware.latency_ms,
             "latency-guided ({:.1} ms) must not be slower than proxy-only ({:.1} ms)",
             latency_guided.evaluation.hardware.latency_ms,
             te_nas.evaluation.hardware.latency_ms
@@ -188,7 +211,9 @@ mod tests {
         // Pick a budget between the fastest and slowest architectures.
         let unconstrained_ctx = tiny_context(HardwareConstraints::unconstrained());
         let config = MicroNasConfig::tiny_test();
-        let baseline = MicroNasSearch::te_nas_baseline(&config).run(&unconstrained_ctx).unwrap();
+        let baseline = MicroNasSearch::te_nas_baseline(&config)
+            .run(&unconstrained_ctx)
+            .unwrap();
         let budget_ms = baseline.evaluation.hardware.latency_ms * 0.6;
 
         let ctx = tiny_context(HardwareConstraints::unconstrained().with_latency_ms(budget_ms));

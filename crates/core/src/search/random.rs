@@ -1,7 +1,12 @@
-use crate::{HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost, SearchOutcome};
-use micronas_searchspace::random_architecture;
+use crate::{
+    HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost,
+    SearchOutcome,
+};
+use micronas_searchspace::{random_architecture, Architecture};
+use micronas_tensor::hash_mix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Random search over the cell space using the same zero-cost objective.
@@ -9,6 +14,12 @@ use std::time::Instant;
 /// This is the standard sanity baseline for zero-shot NAS: sample `budget`
 /// architectures uniformly at random, score each with the hybrid objective
 /// and keep the best feasible one.
+///
+/// Candidate scoring runs on the rayon pool. Every candidate's architecture
+/// is drawn from its own `ChaCha8Rng` seeded from
+/// `(base seed, candidate index)`, and results are reduced in candidate
+/// order, so the outcome — including the score history — is bitwise
+/// identical for every thread count.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     objective: HybridObjective,
@@ -23,9 +34,14 @@ impl RandomSearch {
     /// Returns [`MicroNasError::InvalidConfig`] if `budget` is zero.
     pub fn new(weights: ObjectiveWeights, budget: usize) -> Result<Self> {
         if budget == 0 {
-            return Err(MicroNasError::InvalidConfig("random search budget must be positive".into()));
+            return Err(MicroNasError::InvalidConfig(
+                "random search budget must be positive".into(),
+            ));
         }
-        Ok(Self { objective: HybridObjective::new(weights), budget })
+        Ok(Self {
+            objective: HybridObjective::new(weights),
+            budget,
+        })
     }
 
     /// The number of architectures sampled.
@@ -43,24 +59,43 @@ impl RandomSearch {
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
-        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed().wrapping_add(RANDOM_STREAM));
+        let base_seed = ctx.seed().wrapping_add(RANDOM_STREAM);
+
+        // Draw every candidate from its own deterministic stream so the
+        // sample set does not depend on scoring order or thread count.
+        let candidates: Vec<Architecture> = (0..self.budget)
+            .map(|index| {
+                let mut rng = ChaCha8Rng::seed_from_u64(hash_mix(base_seed, index as u64));
+                random_architecture(ctx.space(), &mut rng)
+            })
+            .collect();
+
+        // Score in parallel; results come back in candidate order.
+        let scored: Vec<Result<(crate::CandidateEvaluation, f64)>> = candidates
+            .par_iter()
+            .map(|arch| {
+                let eval = ctx.evaluate(*arch.cell())?;
+                let score = self.objective.score(&eval.zero_cost, &eval.hardware);
+                Ok((eval, score))
+            })
+            .collect();
+
+        // Sequential, order-preserving reduction: identical to the previous
+        // one-at-a-time loop (first-seen candidate wins ties).
         let mut best: Option<(f64, SearchOutcome)> = None;
         let mut history = Vec::with_capacity(self.budget);
-
-        for _ in 0..self.budget {
-            let arch = random_architecture(ctx.space(), &mut rng);
-            let eval = ctx.evaluate(*arch.cell())?;
-            let score = self.objective.score(&eval.zero_cost, &eval.hardware);
+        for (arch, result) in candidates.iter().zip(scored) {
+            let (eval, score) = result?;
             history.push(score);
             if !eval.feasible {
                 continue;
             }
-            let is_better = best.as_ref().map_or(true, |(s, _)| score > *s);
+            let is_better = best.as_ref().is_none_or(|(s, _)| score > *s);
             if is_better {
                 let outcome = SearchOutcome {
-                    best: arch,
+                    best: *arch,
                     evaluation: eval,
-                    test_accuracy: ctx.trained_accuracy(&arch),
+                    test_accuracy: ctx.trained_accuracy(arch),
                     cost: SearchCost::default(),
                     algorithm: "Random search (zero-cost objective)".to_string(),
                     history: Vec::new(),
@@ -113,12 +148,14 @@ mod tests {
 
     #[test]
     fn impossible_constraints_yield_no_feasible_architecture() {
-        let config = MicroNasConfig::tiny_test().with_constraints(
-            HardwareConstraints::unconstrained().with_latency_ms(1e-9),
-        );
+        let config = MicroNasConfig::tiny_test()
+            .with_constraints(HardwareConstraints::unconstrained().with_latency_ms(1e-9));
         let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
         let search = RandomSearch::new(ObjectiveWeights::latency_guided(1.0), 4).unwrap();
-        assert!(matches!(search.run(&ctx), Err(MicroNasError::NoFeasibleArchitecture)));
+        assert!(matches!(
+            search.run(&ctx),
+            Err(MicroNasError::NoFeasibleArchitecture)
+        ));
     }
 
     #[test]

@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn len_tracks_labels() {
-        let b = Batch { images: Tensor::zeros(Shape::nchw(2, 3, 4, 4)), labels: vec![0, 1] };
+        let b = Batch {
+            images: Tensor::zeros(Shape::nchw(2, 3, 4, 4)),
+            labels: vec![0, 1],
+        };
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
     }

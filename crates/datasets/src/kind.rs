@@ -14,8 +14,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All datasets in the order they appear in the paper's figures.
-    pub const ALL: [DatasetKind; 3] =
-        [DatasetKind::Cifar10, DatasetKind::Cifar100, DatasetKind::ImageNet16_120];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Cifar10,
+        DatasetKind::Cifar100,
+        DatasetKind::ImageNet16_120,
+    ];
 
     /// Number of classes.
     pub fn num_classes(self) -> usize {
@@ -82,7 +85,8 @@ mod tests {
 
     #[test]
     fn names_and_ids_are_unique() {
-        let names: std::collections::HashSet<_> = DatasetKind::ALL.iter().map(|d| d.name()).collect();
+        let names: std::collections::HashSet<_> =
+            DatasetKind::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), 3);
         let ids: std::collections::HashSet<_> = DatasetKind::ALL.iter().map(|d| d.id()).collect();
         assert_eq!(ids.len(), 3);

@@ -21,7 +21,11 @@ pub struct SyntheticDataset {
 impl SyntheticDataset {
     /// Creates a dataset generator for `kind` with a global `seed`.
     pub fn new(kind: DatasetKind, seed: u64) -> Self {
-        Self { kind, seed, prototype_weight: 0.5 }
+        Self {
+            kind,
+            seed,
+            prototype_weight: 0.5,
+        }
     }
 
     /// The dataset being mimicked.
@@ -72,10 +76,14 @@ impl SyntheticDataset {
         stream: u64,
     ) -> Result<Batch> {
         if batch_size == 0 {
-            return Err(DatasetError::InvalidRequest("batch size must be positive".into()));
+            return Err(DatasetError::InvalidRequest(
+                "batch size must be positive".into(),
+            ));
         }
         if resolution == 0 {
-            return Err(DatasetError::InvalidRequest("resolution must be positive".into()));
+            return Err(DatasetError::InvalidRequest(
+                "resolution must be positive".into(),
+            ));
         }
         let channels = self.kind.channels();
         let num_classes = self.kind.num_classes();
@@ -83,8 +91,10 @@ impl SyntheticDataset {
         let mut data = vec![0.0f32; batch_size * per_image];
         let mut labels = Vec::with_capacity(batch_size);
 
-        let mut batch_rng =
-            DeterministicRng::with_stream(hash_mix(self.seed, self.kind.id()), hash_mix(stream, 0xBA7C));
+        let mut batch_rng = DeterministicRng::with_stream(
+            hash_mix(self.seed, self.kind.id()),
+            hash_mix(stream, 0xBA7C),
+        );
         for sample in 0..batch_size {
             let label = batch_rng.below(num_classes);
             labels.push(label);
@@ -99,9 +109,11 @@ impl SyntheticDataset {
                 *d = self.prototype_weight * p + (1.0 - self.prototype_weight) * noise;
             }
         }
-        let images =
-            Tensor::from_vec(Shape::nchw(batch_size, channels, resolution, resolution), data)
-                .expect("length matches shape by construction");
+        let images = Tensor::from_vec(
+            Shape::nchw(batch_size, channels, resolution, resolution),
+            data,
+        )
+        .expect("length matches shape by construction");
         Ok(Batch { images, labels })
     }
 
@@ -126,9 +138,7 @@ impl SyntheticDataset {
                 for x in 0..resolution {
                     let u = x as f32 / resolution as f32;
                     let v = y as f32 / resolution as f32;
-                    out.push(
-                        amp * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin(),
-                    );
+                    out.push(amp * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin());
                 }
             }
         }
@@ -162,10 +172,16 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic() {
-        let a = SyntheticDataset::new(DatasetKind::Cifar100, 7).sample_batch(4, 16).unwrap();
-        let b = SyntheticDataset::new(DatasetKind::Cifar100, 7).sample_batch(4, 16).unwrap();
+        let a = SyntheticDataset::new(DatasetKind::Cifar100, 7)
+            .sample_batch(4, 16)
+            .unwrap();
+        let b = SyntheticDataset::new(DatasetKind::Cifar100, 7)
+            .sample_batch(4, 16)
+            .unwrap();
         assert_eq!(a, b);
-        let c = SyntheticDataset::new(DatasetKind::Cifar100, 8).sample_batch(4, 16).unwrap();
+        let c = SyntheticDataset::new(DatasetKind::Cifar100, 8)
+            .sample_batch(4, 16)
+            .unwrap();
         assert_ne!(a, c);
     }
 

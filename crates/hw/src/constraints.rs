@@ -144,20 +144,36 @@ mod tests {
     #[test]
     fn each_budget_is_enforced() {
         let ind = sample_indicators();
-        assert!(!HardwareConstraints::unconstrained().with_latency_ms(200.0).satisfied_by(&ind));
-        assert!(HardwareConstraints::unconstrained().with_latency_ms(300.0).satisfied_by(&ind));
-        assert!(!HardwareConstraints::unconstrained().with_flops_m(50.0).satisfied_by(&ind));
-        assert!(!HardwareConstraints::unconstrained().with_params_m(0.5).satisfied_by(&ind));
-        let sram = HardwareConstraints { max_sram_kib: Some(64.0), ..Default::default() };
+        assert!(!HardwareConstraints::unconstrained()
+            .with_latency_ms(200.0)
+            .satisfied_by(&ind));
+        assert!(HardwareConstraints::unconstrained()
+            .with_latency_ms(300.0)
+            .satisfied_by(&ind));
+        assert!(!HardwareConstraints::unconstrained()
+            .with_flops_m(50.0)
+            .satisfied_by(&ind));
+        assert!(!HardwareConstraints::unconstrained()
+            .with_params_m(0.5)
+            .satisfied_by(&ind));
+        let sram = HardwareConstraints {
+            max_sram_kib: Some(64.0),
+            ..Default::default()
+        };
         assert!(!sram.satisfied_by(&ind));
-        let flash = HardwareConstraints { max_flash_kib: Some(512.0), ..Default::default() };
+        let flash = HardwareConstraints {
+            max_flash_kib: Some(512.0),
+            ..Default::default()
+        };
         assert!(!flash.satisfied_by(&ind));
     }
 
     #[test]
     fn violations_carry_values_and_display() {
         let ind = sample_indicators();
-        let c = HardwareConstraints::unconstrained().with_latency_ms(100.0).with_flops_m(10.0);
+        let c = HardwareConstraints::unconstrained()
+            .with_latency_ms(100.0)
+            .with_flops_m(10.0);
         let v = c.violations(&ind);
         assert_eq!(v.len(), 2);
         let text: Vec<String> = v.iter().map(|x| x.to_string()).collect();

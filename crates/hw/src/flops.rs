@@ -80,7 +80,11 @@ impl FlopsEstimator {
             macs += self.layer_macs(op);
             params += self.layer_params(op);
         }
-        FlopsReport { flops, macs, params }
+        FlopsReport {
+            flops,
+            macs,
+            params,
+        }
     }
 
     /// Convenience wrapper: totals for a cell stacked into a skeleton.
@@ -119,7 +123,11 @@ mod tests {
         assert!(c3.flops > c1.flops);
         assert!(c1.flops > pool.flops);
         assert!(c3.params > c1.params);
-        assert_eq!(pool.params, est.cell_in_skeleton(&all_op_cell(Operation::None), &sk).params);
+        assert_eq!(
+            pool.params,
+            est.cell_in_skeleton(&all_op_cell(Operation::None), &sk)
+                .params
+        );
     }
 
     #[test]
@@ -141,7 +149,11 @@ mod tests {
         let space = SearchSpace::nas_bench_201();
         let heaviest = est.cell_in_skeleton(&all_op_cell(Operation::NorConv3x3), &sk);
         let lightest = est.cell_in_skeleton(&space.cell(0).unwrap(), &sk);
-        assert!(heaviest.flops_m() > 100.0 && heaviest.flops_m() < 500.0, "{}", heaviest.flops_m());
+        assert!(
+            heaviest.flops_m() > 100.0 && heaviest.flops_m() < 500.0,
+            "{}",
+            heaviest.flops_m()
+        );
         assert!(lightest.flops_m() < 40.0, "{}", lightest.flops_m());
     }
 
@@ -151,7 +163,11 @@ mod tests {
         let est = FlopsEstimator::new();
         let sk = MacroSkeleton::nas_bench_201(10);
         let heaviest = est.cell_in_skeleton(&all_op_cell(Operation::NorConv3x3), &sk);
-        assert!(heaviest.params_m() > 0.5 && heaviest.params_m() < 2.0, "{}", heaviest.params_m());
+        assert!(
+            heaviest.params_m() > 0.5 && heaviest.params_m() < 2.0,
+            "{}",
+            heaviest.params_m()
+        );
     }
 
     #[test]

@@ -72,8 +72,14 @@ impl LatencyEstimator {
     /// Creates an estimator for the given target device.
     pub fn new(spec: McuSpec) -> Self {
         let simulator = McuSimulator::new(spec);
-        let overhead_ms = simulator.spec().cycles_to_ms(simulator.spec().inference_overhead_cycles);
-        Self { simulator, lut: Mutex::new(HashMap::new()), overhead_ms }
+        let overhead_ms = simulator
+            .spec()
+            .cycles_to_ms(simulator.spec().inference_overhead_cycles);
+        Self {
+            simulator,
+            lut: Mutex::new(HashMap::new()),
+            overhead_ms,
+        }
     }
 
     /// The target device.

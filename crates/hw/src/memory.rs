@@ -70,7 +70,10 @@ impl MemoryEstimator {
             peak = peak.max(self.layer_working_set(op));
             weights += self.layer_weight_bytes(op);
         }
-        MemoryReport { peak_activation_bytes: peak, weight_bytes: weights }
+        MemoryReport {
+            peak_activation_bytes: peak,
+            weight_bytes: weights,
+        }
     }
 
     /// Convenience wrapper: report for a cell stacked into a skeleton.
@@ -126,7 +129,11 @@ mod tests {
     fn none_edges_consume_no_activation_memory() {
         let est = MemoryEstimator::new();
         let inst = OpInstance {
-            role: micronas_searchspace::LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            role: micronas_searchspace::LayerRole::Cell {
+                stage: 0,
+                cell: 0,
+                edge: 0,
+            },
             class: OpClass::Zero,
             cell_op: Some(Operation::None),
             kernel: 1,

@@ -108,7 +108,8 @@ impl CycleModel {
         // Compute and memory partially overlap on the M7 (store buffer +
         // prefetch); the slower phase dominates and 30% of the faster phase
         // leaks through as serialisation.
-        let overlapped = compute_cycles.max(memory_cycles) + 0.3 * compute_cycles.min(memory_cycles);
+        let overlapped =
+            compute_cycles.max(memory_cycles) + 0.3 * compute_cycles.min(memory_cycles);
         LayerTiming {
             compute_cycles,
             memory_cycles,
@@ -131,9 +132,17 @@ mod tests {
 
     fn conv_instance(kernel: usize, c: usize, r: usize) -> OpInstance {
         OpInstance {
-            role: LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            role: LayerRole::Cell {
+                stage: 0,
+                cell: 0,
+                edge: 0,
+            },
             class: OpClass::Conv,
-            cell_op: Some(if kernel == 3 { Operation::NorConv3x3 } else { Operation::NorConv1x1 }),
+            cell_op: Some(if kernel == 3 {
+                Operation::NorConv3x3
+            } else {
+                Operation::NorConv1x1
+            }),
             kernel,
             stride: 1,
             c_in: c,
@@ -145,7 +154,11 @@ mod tests {
 
     fn instance_of(class: OpClass, kernel: usize, c: usize, r: usize) -> OpInstance {
         OpInstance {
-            role: LayerRole::Cell { stage: 0, cell: 0, edge: 0 },
+            role: LayerRole::Cell {
+                stage: 0,
+                cell: 0,
+                edge: 0,
+            },
             class,
             cell_op: None,
             kernel,
@@ -174,11 +187,20 @@ mod tests {
         let model = CycleModel::default();
         let t3 = model.layer_timing(&conv_instance(3, 16, 32)).total_cycles;
         let t1 = model.layer_timing(&conv_instance(1, 16, 32)).total_cycles;
-        let tp = model.layer_timing(&instance_of(OpClass::Pool, 3, 16, 32)).total_cycles;
-        let ts = model.layer_timing(&instance_of(OpClass::Identity, 1, 16, 32)).total_cycles;
-        let tz = model.layer_timing(&instance_of(OpClass::Zero, 1, 16, 32)).total_cycles;
+        let tp = model
+            .layer_timing(&instance_of(OpClass::Pool, 3, 16, 32))
+            .total_cycles;
+        let ts = model
+            .layer_timing(&instance_of(OpClass::Identity, 1, 16, 32))
+            .total_cycles;
+        let tz = model
+            .layer_timing(&instance_of(OpClass::Zero, 1, 16, 32))
+            .total_cycles;
         assert!(t3 > t1, "3x3 conv should cost more than 1x1 conv");
-        assert!(t1 > tp, "1x1 conv should cost more than 3x3 avg pool at same width");
+        assert!(
+            t1 > tp,
+            "1x1 conv should cost more than 3x3 avg pool at same width"
+        );
         assert!(tp > ts, "pooling should cost more than a skip connection");
         assert_eq!(tz, 0.0, "the none op costs nothing");
     }
@@ -193,8 +215,14 @@ mod tests {
         let t3 = model.layer_timing(&conv_instance(3, 16, 32)).total_cycles;
         let t1 = model.layer_timing(&conv_instance(1, 16, 32)).total_cycles;
         let ratio = t3 / t1;
-        assert!(ratio < 9.0, "latency ratio {ratio} should be below the 9x FLOPs ratio");
-        assert!(ratio > 2.0, "latency ratio {ratio} should still clearly favour 1x1");
+        assert!(
+            ratio < 9.0,
+            "latency ratio {ratio} should be below the 9x FLOPs ratio"
+        );
+        assert!(
+            ratio > 2.0,
+            "latency ratio {ratio} should still clearly favour 1x1"
+        );
     }
 
     #[test]
@@ -212,7 +240,10 @@ mod tests {
         let model = CycleModel::default();
         let conv = conv_instance(3, 8, 16);
         assert_eq!(model.weight_bytes(&conv), (8 * 8 * 9 * 4) as u64);
-        assert_eq!(model.activation_bytes(&conv), ((8 * 16 * 16) * 2 * 4) as u64);
+        assert_eq!(
+            model.activation_bytes(&conv),
+            ((8 * 16 * 16) * 2 * 4) as u64
+        );
         let skip = instance_of(OpClass::Identity, 1, 8, 16);
         assert_eq!(model.weight_bytes(&skip), 0);
     }

@@ -48,7 +48,9 @@ pub struct McuSimulator {
 impl McuSimulator {
     /// Creates a simulator for the given device.
     pub fn new(spec: McuSpec) -> Self {
-        Self { model: CycleModel::new(spec) }
+        Self {
+            model: CycleModel::new(spec),
+        }
     }
 
     /// The underlying cycle model.
@@ -108,7 +110,10 @@ mod tests {
     use micronas_searchspace::{MacroSkeleton, Operation, SearchSpace};
 
     fn space_and_skeleton() -> (SearchSpace, MacroSkeleton) {
-        (SearchSpace::nas_bench_201(), MacroSkeleton::nas_bench_201(10))
+        (
+            SearchSpace::nas_bench_201(),
+            MacroSkeleton::nas_bench_201(10),
+        )
     }
 
     #[test]
@@ -120,7 +125,10 @@ mod tests {
         let all_conv_idx = (0..6).fold(0usize, |acc, i| acc + 3 * 5usize.pow(i as u32));
         let all_conv = sim.simulate(&skeleton.instantiate(&space.cell(all_conv_idx).unwrap()));
         assert!(all_conv.total_cycles > all_none.total_cycles * 2.0);
-        assert!(all_none.total_latency_ms() > 0.0, "stem/head still cost time");
+        assert!(
+            all_none.total_latency_ms() > 0.0,
+            "stem/head still cost time"
+        );
     }
 
     #[test]
@@ -132,7 +140,10 @@ mod tests {
         let sim = McuSimulator::default();
         let mid = sim.simulate(&skeleton.instantiate(&space.cell(7_777).unwrap()));
         let ms = mid.total_latency_ms();
-        assert!(ms > 5.0 && ms < 10_000.0, "latency {ms} ms outside plausible MCU range");
+        assert!(
+            ms > 5.0 && ms < 10_000.0,
+            "latency {ms} ms outside plausible MCU range"
+        );
     }
 
     #[test]
@@ -163,8 +174,12 @@ mod tests {
     fn skip_only_cell_cheaper_than_pool_only_cell() {
         let (space, skeleton) = space_and_skeleton();
         let sim = McuSimulator::default();
-        let skip_idx = (0..6).fold(0usize, |acc, i| acc + Operation::SkipConnect.index() * 5usize.pow(i as u32));
-        let pool_idx = (0..6).fold(0usize, |acc, i| acc + Operation::AvgPool3x3.index() * 5usize.pow(i as u32));
+        let skip_idx = (0..6).fold(0usize, |acc, i| {
+            acc + Operation::SkipConnect.index() * 5usize.pow(i as u32)
+        });
+        let pool_idx = (0..6).fold(0usize, |acc, i| {
+            acc + Operation::AvgPool3x3.index() * 5usize.pow(i as u32)
+        });
         let skip = sim.simulate(&skeleton.instantiate(&space.cell(skip_idx).unwrap()));
         let pool = sim.simulate(&skeleton.instantiate(&space.cell(pool_idx).unwrap()));
         assert!(skip.total_cycles < pool.total_cycles);

@@ -102,8 +102,11 @@ impl CellFeatures {
             .iter()
             .filter(|e| e.endpoints().1 == NUM_NODES - 1 && useful.contains(**e))
             .count();
-        let none_edges =
-            cell.edge_ops().iter().filter(|&&op| op == Operation::None).count();
+        let none_edges = cell
+            .edge_ops()
+            .iter()
+            .filter(|&&op| op == Operation::None)
+            .count();
         Self {
             connected: cell.has_input_output_path(),
             conv3_useful: conv3,
@@ -147,15 +150,18 @@ mod tests {
         // conv3x3 on 0->1 but all edges out of node 1 are none, and the only
         // path to the output is the direct skip 0->3.
         let cell = CellTopology::new([
-            Operation::NorConv3x3, // 0->1 (dead end)
-            Operation::None,       // 0->2
-            Operation::None,       // 1->2
+            Operation::NorConv3x3,  // 0->1 (dead end)
+            Operation::None,        // 0->2
+            Operation::None,        // 1->2
             Operation::SkipConnect, // 0->3
-            Operation::None,       // 1->3
-            Operation::None,       // 2->3
+            Operation::None,        // 1->3
+            Operation::None,        // 2->3
         ]);
         let useful = UsefulEdges::of(&cell);
-        assert!(!useful.contains(EdgeId(0)), "conv on a dead branch is useless");
+        assert!(
+            !useful.contains(EdgeId(0)),
+            "conv on a dead branch is useless"
+        );
         assert!(useful.contains(EdgeId(3)));
         assert_eq!(useful.count(), 1);
         let f = CellFeatures::of(&cell);

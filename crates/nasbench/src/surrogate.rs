@@ -96,7 +96,10 @@ pub struct SurrogateBenchmark {
 impl SurrogateBenchmark {
     /// Creates a surrogate benchmark with the given noise seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, flops: FlopsEstimator::new() }
+        Self {
+            seed,
+            flops: FlopsEstimator::new(),
+        }
     }
 
     /// The seed controlling the reproducible noise term.
@@ -117,12 +120,11 @@ impl SurrogateBenchmark {
         let test_accuracy = if !features.connected {
             (cal.chance + 0.3 * noise.abs()).min(100.0)
         } else {
-            let capacity_term =
-                cal.capacity_gain * (1.0 - (-features.capacity() / 2.3).exp());
+            let capacity_term = cal.capacity_gain * (1.0 - (-features.capacity() / 2.3).exp());
             let depth_term =
                 cal.depth_gain * (1.0 - (-(features.effective_depth as f64) / 1.1).exp());
-            let width_term =
-                cal.width_gain * (1.0 - (-(features.output_fanin as f64 - 1.0).max(0.0) / 1.3).exp());
+            let width_term = cal.width_gain
+                * (1.0 - (-(features.output_fanin as f64 - 1.0).max(0.0) / 1.3).exp());
             let skip_term = if features.skip_useful > 0 && features.effective_depth > 0 {
                 cal.skip_bonus
             } else {
@@ -131,8 +133,8 @@ impl SurrogateBenchmark {
             let pool_term = cal.pool_penalty * features.pool_useful as f64;
             // Architectures that are connected but have zero parameterised
             // capacity (pure skip/pool) train to a weak but above-chance level.
-            let raw = cal.floor + capacity_term + depth_term + width_term + skip_term - pool_term
-                + noise;
+            let raw =
+                cal.floor + capacity_term + depth_term + width_term + skip_term - pool_term + noise;
             raw.clamp(cal.chance, 99.0)
         };
         let valid_accuracy = (test_accuracy - 0.6 + valid_noise).clamp(cal.chance * 0.9, 99.0);
@@ -234,9 +236,21 @@ mod tests {
         let best10 = bench.best_entry(&sp, DatasetKind::Cifar10);
         let best100 = bench.best_entry(&sp, DatasetKind::Cifar100);
         let best16 = bench.best_entry(&sp, DatasetKind::ImageNet16_120);
-        assert!(best10.test_accuracy > 90.0 && best10.test_accuracy < 98.0, "{}", best10.test_accuracy);
-        assert!(best100.test_accuracy > 65.0 && best100.test_accuracy < 80.0, "{}", best100.test_accuracy);
-        assert!(best16.test_accuracy > 40.0 && best16.test_accuracy < 55.0, "{}", best16.test_accuracy);
+        assert!(
+            best10.test_accuracy > 90.0 && best10.test_accuracy < 98.0,
+            "{}",
+            best10.test_accuracy
+        );
+        assert!(
+            best100.test_accuracy > 65.0 && best100.test_accuracy < 80.0,
+            "{}",
+            best100.test_accuracy
+        );
+        assert!(
+            best16.test_accuracy > 40.0 && best16.test_accuracy < 55.0,
+            "{}",
+            best16.test_accuracy
+        );
         assert!(best10.test_accuracy > best100.test_accuracy);
         assert!(best100.test_accuracy > best16.test_accuracy);
     }
@@ -245,14 +259,22 @@ mod tests {
     fn more_capacity_means_higher_accuracy_on_average() {
         let bench = SurrogateBenchmark::default();
         let sp = space();
-        let all_conv3 =
-            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv3x3; 6])), DatasetKind::Cifar10);
-        let all_conv1 =
-            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv1x1; 6])), DatasetKind::Cifar10);
-        let all_skip =
-            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::SkipConnect; 6])), DatasetKind::Cifar10);
-        let all_pool =
-            bench.query(&Architecture::from_cell(&sp, CellTopology::new([Operation::AvgPool3x3; 6])), DatasetKind::Cifar10);
+        let all_conv3 = bench.query(
+            &Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv3x3; 6])),
+            DatasetKind::Cifar10,
+        );
+        let all_conv1 = bench.query(
+            &Architecture::from_cell(&sp, CellTopology::new([Operation::NorConv1x1; 6])),
+            DatasetKind::Cifar10,
+        );
+        let all_skip = bench.query(
+            &Architecture::from_cell(&sp, CellTopology::new([Operation::SkipConnect; 6])),
+            DatasetKind::Cifar10,
+        );
+        let all_pool = bench.query(
+            &Architecture::from_cell(&sp, CellTopology::new([Operation::AvgPool3x3; 6])),
+            DatasetKind::Cifar10,
+        );
         assert!(all_conv3.test_accuracy > all_conv1.test_accuracy);
         assert!(all_conv1.test_accuracy > all_skip.test_accuracy);
         assert!(all_skip.test_accuracy > all_pool.test_accuracy - 5.0);
@@ -280,8 +302,14 @@ mod tests {
             var_a += (e.test_accuracy - mean_a).powi(2);
         }
         let pearson = cov / (var_f.sqrt() * var_a.sqrt()).max(1e-12);
-        assert!(pearson > 0.3, "FLOPs/accuracy correlation too weak: {pearson}");
-        assert!(pearson < 0.98, "FLOPs/accuracy correlation implausibly perfect: {pearson}");
+        assert!(
+            pearson > 0.3,
+            "FLOPs/accuracy correlation too weak: {pearson}"
+        );
+        assert!(
+            pearson < 0.98,
+            "FLOPs/accuracy correlation implausibly perfect: {pearson}"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl ParameterGradients {
 
     /// Euclidean norm of the gradient.
     pub fn norm(&self) -> f64 {
-        self.values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.values
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

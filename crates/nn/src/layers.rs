@@ -2,7 +2,8 @@
 
 use crate::Result;
 use micronas_tensor::{
-    conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dSpec, InitKind, Shape, Tensor,
+    conv2d_backward_input_with, conv2d_backward_weight_with, conv2d_with, gemm_nn, gemm_nt,
+    gemm_tn, Conv2dSpec, InitKind, Shape, Tensor, Workspace,
 };
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +33,10 @@ impl ConvLayer {
         seed: u64,
     ) -> Self {
         let weight = init.init(Shape::nchw(out_channels, in_channels, kernel, kernel), seed);
-        Self { weight, spec: Conv2dSpec::new(kernel, stride, padding) }
+        Self {
+            weight,
+            spec: Conv2dSpec::new(kernel, stride, padding),
+        }
     }
 
     /// The convolution geometry.
@@ -66,7 +70,16 @@ impl ConvLayer {
     ///
     /// Propagates tensor-shape errors from the convolution kernel.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        Ok(conv2d(input, &self.weight, self.spec)?)
+        self.forward_with(input, &mut Workspace::default())
+    }
+
+    /// Forward pass reusing an explicit scratch [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors from the convolution kernel.
+    pub fn forward_with(&self, input: &Tensor, workspace: &mut Workspace) -> Result<Tensor> {
+        Ok(conv2d_with(input, &self.weight, self.spec, workspace)?)
     }
 
     /// Backward pass: returns `(grad_weight, grad_input)` for the upstream
@@ -76,10 +89,34 @@ impl ConvLayer {
     ///
     /// Propagates tensor-shape errors from the convolution kernels.
     pub fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<(Tensor, Tensor)> {
-        let grad_w =
-            conv2d_backward_weight(input, grad_out, self.out_channels(), self.spec)?;
-        let grad_in =
-            conv2d_backward_input(&self.weight, grad_out, input.shape(), self.spec)?;
+        self.backward_with(input, grad_out, &mut Workspace::default())
+    }
+
+    /// Backward pass reusing an explicit scratch [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors from the convolution kernels.
+    pub fn backward_with(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<(Tensor, Tensor)> {
+        let grad_w = conv2d_backward_weight_with(
+            input,
+            grad_out,
+            self.out_channels(),
+            self.spec,
+            workspace,
+        )?;
+        let grad_in = conv2d_backward_input_with(
+            &self.weight,
+            grad_out,
+            input.shape(),
+            self.spec,
+            workspace,
+        )?;
         Ok((grad_w, grad_in))
     }
 }
@@ -94,7 +131,9 @@ pub struct LinearLayer {
 impl LinearLayer {
     /// Creates a linear layer with freshly initialised weights.
     pub fn new(in_features: usize, out_features: usize, init: InitKind, seed: u64) -> Self {
-        Self { weight: init.init(Shape::d2(out_features, in_features), seed) }
+        Self {
+            weight: init.init(Shape::d2(out_features, in_features), seed),
+        }
     }
 
     /// Creates a linear layer from an explicit `[out, in]` weight matrix.
@@ -119,11 +158,26 @@ impl LinearLayer {
 
     /// Forward pass: `output = input · weightᵀ`.
     ///
+    /// Runs as a single transpose-free `A · Bᵀ` GEMM (the weight is stored
+    /// `[out, in]`, exactly the layout [`gemm_nt`] wants).
+    ///
     /// # Errors
     ///
     /// Propagates tensor-shape errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        Ok(input.matmul(&self.weight.transpose()?)?)
+        let (batch, in_features) = self.check_input(input)?;
+        let out_features = self.weight.shape().dims()[0];
+        let mut out = Tensor::zeros(Shape::d2(batch, out_features));
+        gemm_nt(
+            batch,
+            in_features,
+            out_features,
+            input.data(),
+            self.weight.data(),
+            out.data_mut(),
+            false,
+        );
+        Ok(out)
     }
 
     /// Backward pass: returns `(grad_weight, grad_input)`.
@@ -132,11 +186,56 @@ impl LinearLayer {
     ///
     /// Propagates tensor-shape errors.
     pub fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<(Tensor, Tensor)> {
+        let (batch, in_features) = self.check_input(input)?;
+        let out_features = self.weight.shape().dims()[0];
+        let gd = grad_out.shape().dims();
+        if gd.len() != 2 || gd[0] != batch || gd[1] != out_features {
+            return Err(crate::NnError::from(
+                micronas_tensor::TensorError::IncompatibleShapes {
+                    op: "linear backward",
+                    lhs: gd.to_vec(),
+                    rhs: vec![batch, out_features],
+                },
+            ));
+        }
         // grad_w [out, in] = grad_outᵀ [out, N] · input [N, in]
-        let grad_w = grad_out.transpose()?.matmul(input)?;
+        let mut grad_w = Tensor::zeros(self.weight.shape().clone());
+        gemm_tn(
+            out_features,
+            batch,
+            in_features,
+            grad_out.data(),
+            input.data(),
+            grad_w.data_mut(),
+            false,
+        );
         // grad_in [N, in] = grad_out [N, out] · weight [out, in]
-        let grad_in = grad_out.matmul(&self.weight)?;
+        let mut grad_in = Tensor::zeros(Shape::d2(batch, in_features));
+        gemm_nn(
+            batch,
+            out_features,
+            in_features,
+            grad_out.data(),
+            self.weight.data(),
+            grad_in.data_mut(),
+            false,
+        );
         Ok((grad_w, grad_in))
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize)> {
+        let id = input.shape().dims();
+        let in_features = self.weight.shape().dims()[1];
+        if id.len() != 2 || id[1] != in_features {
+            return Err(crate::NnError::from(
+                micronas_tensor::TensorError::IncompatibleShapes {
+                    op: "linear forward",
+                    lhs: id.to_vec(),
+                    rhs: vec![id.first().copied().unwrap_or(0), in_features],
+                },
+            ));
+        }
+        Ok((id[0], in_features))
     }
 }
 

@@ -5,7 +5,7 @@ use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES
 use micronas_tensor::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, hash_mix,
     ops::{relu, relu_backward},
-    Shape, Tensor,
+    Shape, Tensor, Workspace,
 };
 
 /// Result of a forward pass through a [`CellNetwork`].
@@ -112,7 +112,13 @@ impl CellNetwork {
             config.init,
             hash_mix(seed, 0xC1A5_51F1),
         );
-        Ok(Self { cell: *cell, config: *config, stem, cells, classifier })
+        Ok(Self {
+            cell: *cell,
+            config: *config,
+            stem,
+            cells,
+            classifier,
+        })
     }
 
     /// The searched cell this network instantiates.
@@ -148,9 +154,13 @@ impl CellNetwork {
         Ok(())
     }
 
-    fn forward_trace(&self, input: &Tensor) -> Result<(ForwardTrace, Vec<Tensor>)> {
+    fn forward_trace(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<(ForwardTrace, Vec<Tensor>)> {
         self.check_input(input)?;
-        let stem_out = self.stem.forward(input)?;
+        let stem_out = self.stem.forward_with(input, workspace)?;
         let mut pre_activations = Vec::new();
         let mut nodes_per_cell = Vec::with_capacity(self.cells.len());
         let mut x = stem_out.clone();
@@ -175,7 +185,7 @@ impl CellNetwork {
                                 .expect("conv edge always has a layer");
                             pre_activations.push(nodes[src].clone());
                             let activated = relu(&nodes[src]);
-                            Some(conv.forward(&activated)?)
+                            Some(conv.forward_with(&activated, workspace)?)
                         }
                     };
                     if let Some(c) = contribution {
@@ -206,8 +216,21 @@ impl CellNetwork {
     /// Returns [`NnError::InputMismatch`] if the input geometry does not
     /// match the configuration.
     pub fn forward(&self, input: &Tensor) -> Result<ForwardOutput> {
-        let (trace, pre_activations) = self.forward_trace(input)?;
-        Ok(ForwardOutput { logits: trace.logits, pre_activations })
+        self.forward_with(input, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::forward`] reusing an explicit scratch [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] if the input geometry does not
+    /// match the configuration.
+    pub fn forward_with(&self, input: &Tensor, workspace: &mut Workspace) -> Result<ForwardOutput> {
+        let (trace, pre_activations) = self.forward_trace(input, workspace)?;
+        Ok(ForwardOutput {
+            logits: trace.logits,
+            pre_activations,
+        })
     }
 
     /// Gradient of `sum(logits)` with respect to every parameter, for a batch.
@@ -220,10 +243,24 @@ impl CellNetwork {
     ///
     /// Returns [`NnError::InputMismatch`] for geometry mismatches.
     pub fn parameter_gradients(&self, input: &Tensor) -> Result<ParameterGradients> {
-        let (trace, _) = self.forward_trace(input)?;
+        self.parameter_gradients_with(input, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::parameter_gradients`] reusing an explicit scratch
+    /// [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn parameter_gradients_with(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<ParameterGradients> {
+        let (trace, _) = self.forward_trace(input, workspace)?;
         let batch = input.shape().dims()[0];
         let grad_logits = Tensor::ones(Shape::d2(batch, self.config.num_classes));
-        self.backward(&trace, &grad_logits)
+        self.backward(&trace, &grad_logits, workspace)
     }
 
     /// Per-sample gradients of `sum(logits)` for every sample in the batch.
@@ -235,17 +272,39 @@ impl CellNetwork {
     ///
     /// Returns [`NnError::InputMismatch`] for geometry mismatches.
     pub fn per_sample_gradients(&self, batch: &Tensor) -> Result<Vec<ParameterGradients>> {
+        self.per_sample_gradients_with(batch, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::per_sample_gradients`] reusing an explicit scratch
+    /// [`Workspace`].
+    ///
+    /// One workspace serves every per-sample backward pass, so the NTK inner
+    /// loop performs no scratch allocation after the first sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradients_with(
+        &self,
+        batch: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<ParameterGradients>> {
         self.check_input(batch)?;
         let n = batch.shape().dims()[0];
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let sample = extract_sample(batch, i)?;
-            out.push(self.parameter_gradients(&sample)?);
+            out.push(self.parameter_gradients_with(&sample, workspace)?);
         }
         Ok(out)
     }
 
-    fn backward(&self, trace: &ForwardTrace, grad_logits: &Tensor) -> Result<ParameterGradients> {
+    fn backward(
+        &self,
+        trace: &ForwardTrace,
+        grad_logits: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<ParameterGradients> {
         // Classifier.
         let (grad_cls_w, grad_features) = self.classifier.backward(&trace.features, grad_logits)?;
         // Global average pooling.
@@ -259,8 +318,10 @@ impl CellNetwork {
         // Cells in reverse order.
         let mut cell_weight_grads: Vec<Vec<Option<Tensor>>> = Vec::with_capacity(self.cells.len());
         for (cell_instance, nodes) in self.cells.iter().zip(trace.nodes.iter()).rev() {
-            let mut node_grads: Vec<Tensor> =
-                nodes.iter().map(|n| Tensor::zeros(n.shape().clone())).collect();
+            let mut node_grads: Vec<Tensor> = nodes
+                .iter()
+                .map(|n| Tensor::zeros(n.shape().clone()))
+                .collect();
             node_grads[NUM_NODES - 1] = grad_x.clone();
             let mut weight_grads: Vec<Option<Tensor>> = vec![None; NUM_EDGES];
 
@@ -273,7 +334,9 @@ impl CellNetwork {
                 match self.cell.edge_ops()[edge.0] {
                     Operation::None => {}
                     Operation::SkipConnect => {
-                        node_grads[src].axpy(1.0, &upstream).map_err(NnError::from)?;
+                        node_grads[src]
+                            .axpy(1.0, &upstream)
+                            .map_err(NnError::from)?;
                     }
                     Operation::AvgPool3x3 => {
                         let g = avg_pool2d_backward(&upstream, nodes[src].shape(), 3, 1, 1)?;
@@ -284,7 +347,7 @@ impl CellNetwork {
                             .as_ref()
                             .expect("conv edge always has a layer");
                         let activated = relu(&nodes[src]);
-                        let (gw, g_act) = conv.backward(&activated, &upstream)?;
+                        let (gw, g_act) = conv.backward_with(&activated, &upstream, workspace)?;
                         weight_grads[edge.0] = Some(gw);
                         let g_src = relu_backward(&nodes[src], &g_act);
                         node_grads[src].axpy(1.0, &g_src).map_err(NnError::from)?;
@@ -297,7 +360,7 @@ impl CellNetwork {
         cell_weight_grads.reverse();
 
         // Stem.
-        let (grad_stem_w, _) = self.stem.backward(&trace.input, &grad_x)?;
+        let (grad_stem_w, _) = self.stem.backward_with(&trace.input, &grad_x, workspace)?;
 
         // Flatten in canonical parameter order.
         let mut flat = Vec::with_capacity(self.num_parameters());
@@ -308,7 +371,7 @@ impl CellNetwork {
                     match grad {
                         Some(g) => flat.extend_from_slice(g.data()),
                         // A conv edge whose upstream gradient was all zero.
-                        None => flat.extend(std::iter::repeat(0.0).take(conv.num_parameters())),
+                        None => flat.extend(std::iter::repeat_n(0.0, conv.num_parameters())),
                     }
                 }
             }
@@ -339,7 +402,12 @@ mod tests {
 
     fn random_batch(config: &ProxyNetworkConfig, n: usize, seed: u64) -> Tensor {
         let mut rng = DeterministicRng::new(seed);
-        let shape = Shape::nchw(n, config.input_channels, config.input_resolution, config.input_resolution);
+        let shape = Shape::nchw(
+            n,
+            config.input_channels,
+            config.input_resolution,
+            config.input_resolution,
+        );
         let data = (0..shape.numel()).map(|_| rng.normal()).collect();
         Tensor::from_vec(shape, data).unwrap()
     }
@@ -388,7 +456,7 @@ mod tests {
             + c * c * 9                                     // edge 0 conv3x3
             + c * c                                         // edge 2 conv1x1
             + c * c * 9                                     // edge 5 conv3x3
-            + c * config.num_classes;                       // classifier
+            + c * config.num_classes; // classifier
         assert_eq!(net.num_parameters(), expected);
     }
 
@@ -412,9 +480,15 @@ mod tests {
         let a = CellNetwork::new(&cell, &config, 7).unwrap();
         let b = CellNetwork::new(&cell, &config, 7).unwrap();
         let batch = random_batch(&config, 2, 5);
-        assert_eq!(a.forward(&batch).unwrap().logits, b.forward(&batch).unwrap().logits);
+        assert_eq!(
+            a.forward(&batch).unwrap().logits,
+            b.forward(&batch).unwrap().logits
+        );
         let c = CellNetwork::new(&cell, &config, 8).unwrap();
-        assert_ne!(a.forward(&batch).unwrap().logits, c.forward(&batch).unwrap().logits);
+        assert_ne!(
+            a.forward(&batch).unwrap().logits,
+            c.forward(&batch).unwrap().logits
+        );
     }
 
     #[test]
@@ -465,8 +539,13 @@ mod tests {
         // Perturb a handful of parameters spread across stem / cell convs / classifier.
         let eps = 1e-2f32;
         let n_params = net.num_parameters();
-        let probe_indices =
-            [0usize, n_params / 5, n_params / 2, (3 * n_params) / 4, n_params - 1];
+        let probe_indices = [
+            0usize,
+            n_params / 5,
+            n_params / 2,
+            (3 * n_params) / 4,
+            n_params - 1,
+        ];
         for &flat_idx in &probe_indices {
             let mut plus_net = net.clone();
             let mut minus_net = net.clone();

@@ -80,7 +80,11 @@ pub fn spearman_rho(x: &[f64], y: &[f64]) -> f64 {
 fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("values are finite")
+    });
     let mut out = vec![0.0f64; n];
     let mut i = 0usize;
     while i < n {

@@ -52,8 +52,7 @@ mod tests {
     fn conversions_and_display() {
         let e: ProxyError = micronas_nn::NnError::InvalidConfig("x".into()).into();
         assert!(matches!(e, ProxyError::Network(_)));
-        let e: ProxyError =
-            micronas_datasets::DatasetError::InvalidRequest("y".into()).into();
+        let e: ProxyError = micronas_datasets::DatasetError::InvalidRequest("y".into()).into();
         assert!(e.to_string().contains("dataset"));
         let e: ProxyError = micronas_tensor::TensorError::Numerical("z".into()).into();
         assert!(e.to_string().contains("eigenvalue"));

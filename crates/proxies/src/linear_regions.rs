@@ -4,7 +4,7 @@ use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
-use micronas_tensor::{Shape, Tensor};
+use micronas_tensor::{Shape, Tensor, Workspace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -22,20 +22,32 @@ pub struct LinearRegionConfig {
 impl LinearRegionConfig {
     /// The default configuration used by the benchmark harness.
     pub fn paper_default() -> Self {
-        Self { num_segments: 8, points_per_segment: 24, network: ProxyNetworkConfig::proxy_default(10) }
+        Self {
+            num_segments: 8,
+            points_per_segment: 24,
+            network: ProxyNetworkConfig::proxy_default(10),
+        }
     }
 
     /// A fast configuration for unit tests.
     pub fn fast() -> Self {
-        Self { num_segments: 3, points_per_segment: 10, network: ProxyNetworkConfig::small(10) }
+        Self {
+            num_segments: 3,
+            points_per_segment: 10,
+            network: ProxyNetworkConfig::small(10),
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if self.num_segments == 0 {
-            return Err(ProxyError::InvalidConfig("at least one probe segment is required".into()));
+            return Err(ProxyError::InvalidConfig(
+                "at least one probe segment is required".into(),
+            ));
         }
         if self.points_per_segment < 2 {
-            return Err(ProxyError::InvalidConfig("segments need at least two points".into()));
+            return Err(ProxyError::InvalidConfig(
+                "segments need at least two points".into(),
+            ));
         }
         Ok(())
     }
@@ -120,21 +132,24 @@ impl LinearRegionEvaluator {
         let mut total_regions = 0usize;
         let mut all_patterns: HashSet<Vec<bool>> = HashSet::new();
         let mut relu_units = 0usize;
+        // One conv scratch arena serves every probe segment.
+        let mut workspace = Workspace::default();
 
         for segment in 0..self.config.num_segments {
             // Two endpoint batches of one sample each.
-            let endpoints = data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
+            let endpoints =
+                data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
             let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
-            let output = net.forward(&points)?;
-            let patterns = activation_patterns(&output.pre_activations, self.config.points_per_segment);
+            let output = net.forward_with(&points, &mut workspace)?;
+            let patterns =
+                activation_patterns(&output.pre_activations, self.config.points_per_segment);
             relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
 
             // Count pieces along the segment: 1 + number of ReLU hyperplane
             // crossings (Hamming distance between consecutive patterns).
             let mut segment_regions = 1usize;
             for w in patterns.windows(2) {
-                segment_regions +=
-                    w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
+                segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
             }
             // A network with no ReLU units has a single global linear region.
             if relu_units == 0 {
@@ -150,7 +165,11 @@ impl LinearRegionEvaluator {
         Ok(LinearRegionReport {
             regions: total_regions,
             regions_per_segment,
-            distinct_patterns: if relu_units == 0 { 1 } else { all_patterns.len() },
+            distinct_patterns: if relu_units == 0 {
+                1
+            } else {
+                all_patterns.len()
+            },
             relu_units,
         })
     }
@@ -169,8 +188,8 @@ impl LinearRegionEvaluator {
                 data.push((1.0 - t) * a[k] + t * b[k]);
             }
         }
-        Ok(Tensor::from_vec(Shape::nchw(steps, d[1], d[2], d[3]), data)
-            .map_err(|e| ProxyError::Network(e.to_string()))?)
+        Tensor::from_vec(Shape::nchw(steps, d[1], d[2], d[3]), data)
+            .map_err(|e| ProxyError::Network(e.to_string()))
     }
 }
 
@@ -190,7 +209,9 @@ fn activation_patterns(pre_activations: &[Tensor], num_points: usize) -> Vec<Vec
         for (point, pattern) in patterns.iter_mut().enumerate() {
             let start = point * per_sample;
             pattern.extend(
-                tensor.data()[start..start + per_sample].iter().map(|&v| v > 0.0),
+                tensor.data()[start..start + per_sample]
+                    .iter()
+                    .map(|&v| v > 0.0),
             );
         }
     }
@@ -231,9 +252,14 @@ mod tests {
     fn relu_free_cells_have_one_region_per_segment() {
         // Skip-only and pool-only cells contain no ReLU-conv blocks at all.
         let eval = fast_eval();
-        for op in [Operation::SkipConnect, Operation::AvgPool3x3, Operation::None] {
-            let report =
-                eval.evaluate(CellTopology::new([op; 6]), DatasetKind::Cifar10, 2).unwrap();
+        for op in [
+            Operation::SkipConnect,
+            Operation::AvgPool3x3,
+            Operation::None,
+        ] {
+            let report = eval
+                .evaluate(CellTopology::new([op; 6]), DatasetKind::Cifar10, 2)
+                .unwrap();
             assert_eq!(report.relu_units, 0);
             assert_eq!(report.regions, eval.config().num_segments);
             assert_eq!(report.distinct_patterns, 1);
@@ -268,7 +294,9 @@ mod tests {
     fn regions_per_segment_consistent_with_total() {
         let space = SearchSpace::nas_bench_201();
         let eval = fast_eval();
-        let report = eval.evaluate(space.cell(11_111).unwrap(), DatasetKind::Cifar100, 4).unwrap();
+        let report = eval
+            .evaluate(space.cell(11_111).unwrap(), DatasetKind::Cifar100, 4)
+            .unwrap();
         let expected = report.regions as f64 / eval.config().num_segments as f64;
         assert!((report.regions_per_segment - expected).abs() < 1e-12);
         assert!(report.regions >= eval.config().num_segments);

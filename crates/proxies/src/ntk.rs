@@ -4,7 +4,7 @@ use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
-use micronas_tensor::{sym_eigenvalues, EigenOptions, Shape, Tensor};
+use micronas_tensor::{sym_eigenvalues_with, EigenOptions, EigenReport, Shape, Tensor, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the NTK condition-number proxy.
@@ -60,13 +60,19 @@ impl NtkConfig {
 
     fn validate(&self) -> Result<()> {
         if self.batch_size < 2 {
-            return Err(ProxyError::InvalidConfig("NTK batch size must be at least 2".into()));
+            return Err(ProxyError::InvalidConfig(
+                "NTK batch size must be at least 2".into(),
+            ));
         }
         if self.repeats == 0 {
-            return Err(ProxyError::InvalidConfig("NTK repeats must be at least 1".into()));
+            return Err(ProxyError::InvalidConfig(
+                "NTK repeats must be at least 1".into(),
+            ));
         }
         if self.max_condition_index == 0 {
-            return Err(ProxyError::InvalidConfig("max condition index must be at least 1".into()));
+            return Err(ProxyError::InvalidConfig(
+                "max condition index must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -85,7 +91,9 @@ pub struct NtkReport {
     pub condition_number: f64,
     /// Generalised condition indices `K_i = λ_max / λ_i` for `i = 1..=max_condition_index`.
     pub condition_indices: Vec<f64>,
-    /// Eigenvalues of the Gram matrix from the first repeat, ascending.
+    /// Eigenvalues of the centred Gram matrix from the first repeat,
+    /// ascending, with the structural zero mode of the centring removed
+    /// (so the list has `batch_size - 1` entries).
     pub eigenvalues: Vec<f64>,
     /// Batch size used.
     pub batch_size: usize,
@@ -105,9 +113,14 @@ impl NtkReport {
 ///
 /// For each repeat the evaluator samples a fresh mini-batch from the
 /// synthetic dataset, builds a freshly initialised [`CellNetwork`], computes
-/// per-sample parameter gradients and forms the Gram matrix
-/// `G[i][j] = ∇θ f(x_i) · ∇θ f(x_j)`, whose spectrum yields the condition
-/// indices.
+/// per-sample parameter gradients `g_i = ∇θ f(x_i)`, centres them
+/// (`ĝ_i = g_i - mean(g)`) and forms the normalised Gram matrix
+/// `G[i][j] = ĝ_i · ĝ_j / (‖ĝ_i‖ ‖ĝ_j‖)`, whose spectrum — with the
+/// structural zero mode of the centring removed — yields the condition
+/// indices. Centring and normalising compensates for the missing batch
+/// normalisation in the proxy networks: the raw per-sample gradients share a
+/// dominant common component whose magnitude spread would otherwise drown the
+/// trainability signal the paper's indicator measures.
 #[derive(Debug, Clone)]
 pub struct NtkEvaluator {
     config: NtkConfig,
@@ -131,7 +144,12 @@ impl NtkEvaluator {
     ///
     /// Returns a [`ProxyError`] if the configuration is invalid or any
     /// underlying numerical step fails.
-    pub fn evaluate(&self, cell: CellTopology, dataset: DatasetKind, seed: u64) -> Result<NtkReport> {
+    pub fn evaluate(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+    ) -> Result<NtkReport> {
         self.config.validate()?;
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
@@ -139,6 +157,10 @@ impl NtkEvaluator {
         let mut condition_sum = 0.0f64;
         let mut indices_sum = vec![0.0f64; self.config.max_condition_index];
         let mut first_eigenvalues = Vec::new();
+        // One conv scratch arena and one eigensolver scratch buffer serve
+        // every repeat (and every per-sample backward pass inside it).
+        let mut workspace = Workspace::default();
+        let mut eigen_scratch = Vec::new();
 
         for repeat in 0..self.config.repeats {
             let repeat_seed = seed.wrapping_add(repeat as u64).wrapping_mul(0x9E37_79B9);
@@ -149,9 +171,17 @@ impl NtkEvaluator {
                 repeat as u64,
             )?;
             let net = CellNetwork::new(&cell, &net_config, repeat_seed)?;
-            let gram = self.gram_matrix(&net, &batch.images)?;
-            let report = sym_eigenvalues(&gram, EigenOptions::default())
+            let gram = self.gram_matrix(&net, &batch.images, &mut workspace)?;
+            let full = sym_eigenvalues_with(&gram, EigenOptions::default(), &mut eigen_scratch)
                 .map_err(|e| ProxyError::Eigen(e.to_string()))?;
+            // Centring the per-sample gradients (see `gram_matrix`) pins one
+            // structural zero eigenvalue (the all-ones direction); drop it so
+            // the condition indices describe the informative subspace.
+            let report = EigenReport {
+                eigenvalues: full.eigenvalues[1..].to_vec(),
+                sweeps: full.sweeps,
+                converged: full.converged,
+            };
             condition_sum += report.condition_index(1);
             for (i, slot) in indices_sum.iter_mut().enumerate() {
                 *slot += report.condition_index(i + 1);
@@ -171,20 +201,61 @@ impl NtkEvaluator {
         })
     }
 
-    /// Builds the NTK Gram matrix of a batch.
-    fn gram_matrix(&self, net: &CellNetwork, images: &Tensor) -> Result<Tensor> {
-        let grads = net.per_sample_gradients(images)?;
+    /// Builds the NTK Gram matrix of a batch from **norm-normalised**
+    /// per-sample gradients.
+    ///
+    /// The proxy networks omit batch normalisation, so at random
+    /// initialisation the per-sample gradient *norms* spread over several
+    /// orders of magnitude with depth; that norm spread dominates the raw
+    /// Gram spectrum and inverts the trainability ranking the paper's
+    /// indicator relies on. Normalising each gradient to unit length keeps
+    /// the angular structure — how sample-specific the tangent features are —
+    /// which is the quantity the condition number is meant to capture.
+    fn gram_matrix(
+        &self,
+        net: &CellNetwork,
+        images: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        let grads = net.per_sample_gradients_with(images, workspace)?;
         let n = grads.len();
+        // Raw Gram in f64.
+        let mut raw = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let dot = grads[i].dot(&grads[j]);
+                raw[i * n + j] = dot;
+                raw[j * n + i] = dot;
+            }
+        }
+        // Centring the gradients (ĝ_i = g_i − mean) is equivalent to
+        // double-centring the raw Gram: Ĝ = H G H with H = I − 11ᵀ/n. This
+        // O(n²) identity avoids materialising the centred gradient matrix
+        // (n × num_parameters) entirely.
+        let inv_n = 1.0 / n.max(1) as f64;
+        let row_means: Vec<f64> = (0..n)
+            .map(|i| raw[i * n..(i + 1) * n].iter().sum::<f64>() * inv_n)
+            .collect();
+        let total_mean = row_means.iter().sum::<f64>() * inv_n;
+        let centred =
+            |i: usize, j: usize| raw[i * n + j] - row_means[i] - row_means[j] + total_mean;
+        let norms: Vec<f64> = (0..n).map(|i| centred(i, i).max(0.0).sqrt()).collect();
         let mut gram = Tensor::zeros(Shape::d2(n, n));
         for i in 0..n {
             for j in i..n {
-                let value = grads[i].dot(&grads[j]) as f32;
+                let scale = norms[i] * norms[j];
+                let value = if scale > 0.0 {
+                    (centred(i, j) / scale) as f32
+                } else {
+                    // A completely disconnected cell produces zero gradients;
+                    // keep the Gram all-zero (condition_index clamps the
+                    // denominator so the spectrum stays benign).
+                    0.0
+                };
                 *gram.at2_mut(i, j) = value;
                 *gram.at2_mut(j, i) = value;
             }
         }
-        // A completely disconnected cell produces an all-zero Gram matrix;
-        // keep it numerically benign (condition_index clamps the denominator).
         Ok(gram)
     }
 }
@@ -234,7 +305,8 @@ mod tests {
         let eval = fast_eval();
         let report = eval.evaluate(cell, DatasetKind::Cifar10, 1).unwrap();
         assert_eq!(report.batch_size, 12);
-        assert_eq!(report.eigenvalues.len(), 12);
+        // The centring null mode is dropped from the reported spectrum.
+        assert_eq!(report.eigenvalues.len(), 11);
         assert_eq!(report.condition_indices.len(), 8);
         // K_1 equals the reported condition number for a single repeat.
         assert!((report.condition_indices[0] - report.condition_number).abs() < 1e-9);

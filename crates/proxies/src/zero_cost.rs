@@ -1,8 +1,6 @@
 //! Combined zero-cost evaluation of a candidate architecture.
 
-use crate::{
-    LinearRegionConfig, LinearRegionEvaluator, NtkConfig, NtkEvaluator, Result,
-};
+use crate::{LinearRegionConfig, LinearRegionEvaluator, NtkConfig, NtkEvaluator, Result};
 use micronas_datasets::DatasetKind;
 use micronas_searchspace::CellTopology;
 use serde::{Deserialize, Serialize};
@@ -35,7 +33,10 @@ pub struct ZeroCostEvaluator {
 impl ZeroCostEvaluator {
     /// Creates an evaluator from the two proxy configurations.
     pub fn new(ntk: NtkConfig, lr: LinearRegionConfig) -> Self {
-        Self { ntk: NtkEvaluator::new(ntk), linear_regions: LinearRegionEvaluator::new(lr) }
+        Self {
+            ntk: NtkEvaluator::new(ntk),
+            linear_regions: LinearRegionEvaluator::new(lr),
+        }
     }
 
     /// A fast evaluator for tests and quick searches.
@@ -45,7 +46,10 @@ impl ZeroCostEvaluator {
 
     /// The evaluator configured as in the paper (batch-32 NTK).
     pub fn paper_default() -> Self {
-        Self::new(NtkConfig::paper_default(), LinearRegionConfig::paper_default())
+        Self::new(
+            NtkConfig::paper_default(),
+            LinearRegionConfig::paper_default(),
+        )
     }
 
     /// The NTK sub-evaluator.
@@ -95,7 +99,9 @@ mod tests {
     fn evaluate_produces_consistent_scores() {
         let space = SearchSpace::nas_bench_201();
         let eval = ZeroCostEvaluator::fast();
-        let metrics = eval.evaluate(space.cell(4_242).unwrap(), DatasetKind::Cifar10, 1).unwrap();
+        let metrics = eval
+            .evaluate(space.cell(4_242).unwrap(), DatasetKind::Cifar10, 1)
+            .unwrap();
         assert!(metrics.ntk_condition >= 1.0);
         assert!(metrics.linear_regions >= 1);
         assert!((metrics.trainability - -(metrics.ntk_condition.max(1.0)).ln()).abs() < 1e-9);

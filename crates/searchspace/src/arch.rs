@@ -45,7 +45,10 @@ impl Architecture {
 
     /// Builds the architecture corresponding to a cell, computing its index.
     pub fn from_cell(space: &SearchSpace, cell: CellTopology) -> Self {
-        Self { index: space.index_of(&cell), cell }
+        Self {
+            index: space.index_of(&cell),
+            cell,
+        }
     }
 
     /// Index of the architecture in the space enumeration.
@@ -105,7 +108,10 @@ mod tests {
     fn modified_cell_changes_index() {
         let space = SearchSpace::nas_bench_201();
         let arch = Architecture::from_index(&space, 0).unwrap();
-        let cell2 = arch.cell().with_op(EdgeId(0), Operation::NorConv3x3).unwrap();
+        let cell2 = arch
+            .cell()
+            .with_op(EdgeId(0), Operation::NorConv3x3)
+            .unwrap();
         let arch2 = Architecture::from_cell(&space, cell2);
         assert_ne!(arch2.index(), arch.index());
         assert_eq!(arch2.index(), Operation::NorConv3x3.index());

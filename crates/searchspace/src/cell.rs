@@ -29,7 +29,14 @@ impl EdgeId {
 
     /// All edges in canonical order.
     pub fn all() -> [EdgeId; NUM_EDGES] {
-        [EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(4), EdgeId(5)]
+        [
+            EdgeId(0),
+            EdgeId(1),
+            EdgeId(2),
+            EdgeId(3),
+            EdgeId(4),
+            EdgeId(5),
+        ]
     }
 }
 
@@ -64,7 +71,9 @@ impl CellTopology {
 
     /// The cell in which every edge is the `none` operation.
     pub fn all_none() -> Self {
-        Self { ops: [Operation::None; NUM_EDGES] }
+        Self {
+            ops: [Operation::None; NUM_EDGES],
+        }
     }
 
     /// Operations on all edges in canonical order.
@@ -78,7 +87,10 @@ impl CellTopology {
     ///
     /// Returns [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
     pub fn op(&self, edge: EdgeId) -> Result<Operation, SearchSpaceError> {
-        self.ops.get(edge.0).copied().ok_or(SearchSpaceError::InvalidEdge(edge.0))
+        self.ops
+            .get(edge.0)
+            .copied()
+            .ok_or(SearchSpaceError::InvalidEdge(edge.0))
     }
 
     /// Returns a copy of the cell with one edge replaced.
@@ -204,14 +216,17 @@ impl FromStr for CellTopology {
             let trimmed = group.trim_matches('|');
             let entries: Vec<&str> = trimmed.split('|').filter(|e| !e.is_empty()).collect();
             if entries.len() != dst {
-                return Err(parse_err(&format!("node {dst} should have {dst} incoming edges")));
+                return Err(parse_err(&format!(
+                    "node {dst} should have {dst} incoming edges"
+                )));
             }
             for (expected_src, entry) in entries.iter().enumerate() {
                 let (op_name, src_str) = entry
                     .rsplit_once('~')
                     .ok_or_else(|| parse_err("edge entry missing '~source' suffix"))?;
-                let src: usize =
-                    src_str.parse().map_err(|_| parse_err("edge source is not a number"))?;
+                let src: usize = src_str
+                    .parse()
+                    .map_err(|_| parse_err("edge source is not a number"))?;
                 if src != expected_src {
                     return Err(parse_err(&format!(
                         "edge sources must appear in order (expected {expected_src}, got {src})"
@@ -262,11 +277,17 @@ mod tests {
     fn parse_rejects_malformed_strings() {
         assert!("".parse::<CellTopology>().is_err());
         assert!("|none~0|".parse::<CellTopology>().is_err());
-        assert!("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+        assert!("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|"
+            .parse::<CellTopology>()
+            .is_err());
         // Wrong source numbering.
-        assert!("|none~1|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+        assert!("|none~1|+|none~0|none~1|+|none~0|none~1|none~2|"
+            .parse::<CellTopology>()
+            .is_err());
         // Missing '~'.
-        assert!("|none|+|none~0|none~1|+|none~0|none~1|none~2|".parse::<CellTopology>().is_err());
+        assert!("|none|+|none~0|none~1|+|none~0|none~1|none~2|"
+            .parse::<CellTopology>()
+            .is_err());
     }
 
     #[test]
@@ -300,7 +321,9 @@ mod tests {
         // All none: no path.
         assert!(!CellTopology::all_none().has_input_output_path());
         // Direct edge 0→3 only (edge index 3).
-        let direct = CellTopology::all_none().with_op(EdgeId(3), Operation::SkipConnect).unwrap();
+        let direct = CellTopology::all_none()
+            .with_op(EdgeId(3), Operation::SkipConnect)
+            .unwrap();
         assert!(direct.has_input_output_path());
         assert_eq!(direct.longest_path_edges(), 1);
         // Path 0→1→2→3 through convs: effective depth 3.

@@ -36,7 +36,10 @@ impl fmt::Display for SearchSpaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SearchSpaceError::IndexOutOfRange { index, len } => {
-                write!(f, "architecture index {index} out of range for space of {len}")
+                write!(
+                    f,
+                    "architecture index {index} out of range for space of {len}"
+                )
             }
             SearchSpaceError::ParseArch { input, reason } => {
                 write!(f, "could not parse architecture string {input:?}: {reason}")
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn errors_display_key_information() {
-        let e = SearchSpaceError::IndexOutOfRange { index: 20_000, len: 15_625 };
+        let e = SearchSpaceError::IndexOutOfRange {
+            index: 20_000,
+            len: 15_625,
+        };
         assert!(e.to_string().contains("20000"));
         let e = SearchSpaceError::UnknownOperation("conv_7x7".into());
         assert!(e.to_string().contains("conv_7x7"));

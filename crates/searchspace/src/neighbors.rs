@@ -1,7 +1,9 @@
 //! Neighbourhood and mutation utilities used by the evolutionary baseline
 //! (µNAS-style aging evolution) and by local-search ablations.
 
-use crate::{Architecture, CellTopology, EdgeId, Operation, SearchSpace, ALL_OPERATIONS, NUM_EDGES};
+use crate::{
+    Architecture, CellTopology, EdgeId, Operation, SearchSpace, ALL_OPERATIONS, NUM_EDGES,
+};
 use rand::Rng;
 
 /// All architectures that differ from `arch` by exactly one edge operation.
@@ -30,8 +32,11 @@ pub fn all_neighbors(space: &SearchSpace, arch: &Architecture) -> Vec<Architectu
 pub fn mutate<R: Rng>(space: &SearchSpace, arch: &Architecture, rng: &mut R) -> Architecture {
     let edge = EdgeId(rng.gen_range(0..NUM_EDGES));
     let current = arch.cell().edge_ops()[edge.0];
-    let alternatives: Vec<Operation> =
-        ALL_OPERATIONS.iter().copied().filter(|&op| op != current).collect();
+    let alternatives: Vec<Operation> = ALL_OPERATIONS
+        .iter()
+        .copied()
+        .filter(|&op| op != current)
+        .collect();
     let op = alternatives[rng.gen_range(0..alternatives.len())];
     let cell = arch.cell().with_op(edge, op).expect("edge id in range");
     Architecture::from_cell(space, cell)
@@ -102,8 +107,9 @@ mod tests {
     fn random_architecture_is_in_range_and_varied() {
         let space = SearchSpace::nas_bench_201();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let samples: HashSet<usize> =
-            (0..64).map(|_| random_architecture(&space, &mut rng).index()).collect();
+        let samples: HashSet<usize> = (0..64)
+            .map(|_| random_architecture(&space, &mut rng).index())
+            .collect();
         assert!(samples.iter().all(|&i| i < space.len()));
         // With 64 draws from 15 625 architectures, collisions are very unlikely.
         assert!(samples.len() > 50);

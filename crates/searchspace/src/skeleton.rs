@@ -76,7 +76,7 @@ impl OpInstance {
     pub fn h_out(&self) -> usize {
         match self.class {
             OpClass::Linear | OpClass::GlobalPool => 1,
-            _ => (self.h_in + self.stride - 1) / self.stride,
+            _ => self.h_in.div_ceil(self.stride),
         }
     }
 
@@ -84,7 +84,7 @@ impl OpInstance {
     pub fn w_out(&self) -> usize {
         match self.class {
             OpClass::Linear | OpClass::GlobalPool => 1,
-            _ => (self.w_in + self.stride - 1) / self.stride,
+            _ => self.w_in.div_ceil(self.stride),
         }
     }
 
@@ -144,9 +144,21 @@ impl MacroSkeleton {
             input_resolution: 32,
             num_classes,
             stages: vec![
-                StageSpec { channels: 16, resolution: 32, cells: 5 },
-                StageSpec { channels: 32, resolution: 16, cells: 5 },
-                StageSpec { channels: 64, resolution: 8, cells: 5 },
+                StageSpec {
+                    channels: 16,
+                    resolution: 32,
+                    cells: 5,
+                },
+                StageSpec {
+                    channels: 32,
+                    resolution: 16,
+                    cells: 5,
+                },
+                StageSpec {
+                    channels: 64,
+                    resolution: 8,
+                    cells: 5,
+                },
             ],
         }
     }
@@ -158,9 +170,21 @@ impl MacroSkeleton {
             input_resolution: 16,
             num_classes: 120,
             stages: vec![
-                StageSpec { channels: 16, resolution: 16, cells: 5 },
-                StageSpec { channels: 32, resolution: 8, cells: 5 },
-                StageSpec { channels: 64, resolution: 4, cells: 5 },
+                StageSpec {
+                    channels: 16,
+                    resolution: 16,
+                    cells: 5,
+                },
+                StageSpec {
+                    channels: 32,
+                    resolution: 8,
+                    cells: 5,
+                },
+                StageSpec {
+                    channels: 64,
+                    resolution: 4,
+                    cells: 5,
+                },
             ],
         }
     }
@@ -183,14 +207,24 @@ impl MacroSkeleton {
             ));
         }
         if stages.is_empty() {
-            return Err(SearchSpaceError::InvalidSkeleton("at least one stage is required".into()));
+            return Err(SearchSpaceError::InvalidSkeleton(
+                "at least one stage is required".into(),
+            ));
         }
-        if stages.iter().any(|s| s.channels == 0 || s.resolution == 0 || s.cells == 0) {
+        if stages
+            .iter()
+            .any(|s| s.channels == 0 || s.resolution == 0 || s.cells == 0)
+        {
             return Err(SearchSpaceError::InvalidSkeleton(
                 "every stage needs positive channels, resolution and cell count".into(),
             ));
         }
-        Ok(Self { input_channels, input_resolution, num_classes, stages })
+        Ok(Self {
+            input_channels,
+            input_resolution,
+            num_classes,
+            stages,
+        })
     }
 
     /// Number of classes predicted by the head.
@@ -302,7 +336,11 @@ impl MacroSkeleton {
                         Operation::AvgPool3x3 => OpClass::Pool,
                     };
                     out.push(OpInstance {
-                        role: LayerRole::Cell { stage: stage_idx, cell: cell_idx, edge: edge_idx },
+                        role: LayerRole::Cell {
+                            stage: stage_idx,
+                            cell: cell_idx,
+                            edge: edge_idx,
+                        },
                         class,
                         cell_op: Some(op),
                         kernel: op.kernel_size(),
@@ -315,7 +353,11 @@ impl MacroSkeleton {
                 }
                 // Node-merge additions inside the cell (nodes 1..3 sum their inputs).
                 out.push(OpInstance {
-                    role: LayerRole::Cell { stage: stage_idx, cell: cell_idx, edge: usize::MAX },
+                    role: LayerRole::Cell {
+                        stage: stage_idx,
+                        cell: cell_idx,
+                        edge: usize::MAX,
+                    },
                     class: OpClass::Add,
                     cell_op: None,
                     kernel: 1,
@@ -329,7 +371,10 @@ impl MacroSkeleton {
         }
 
         // Head: global average pool + linear classifier.
-        let last = self.stages.last().expect("constructor guarantees at least one stage");
+        let last = self
+            .stages
+            .last()
+            .expect("constructor guarantees at least one stage");
         out.push(OpInstance {
             role: LayerRole::Head,
             class: OpClass::GlobalPool,
@@ -388,19 +433,37 @@ mod tests {
     #[test]
     fn custom_validation() {
         assert!(MacroSkeleton::custom(3, 32, 10, vec![]).is_err());
-        assert!(MacroSkeleton::custom(0, 32, 10, vec![StageSpec { channels: 8, resolution: 8, cells: 1 }]).is_err());
         assert!(MacroSkeleton::custom(
-            3,
+            0,
             32,
             10,
-            vec![StageSpec { channels: 8, resolution: 0, cells: 1 }]
+            vec![StageSpec {
+                channels: 8,
+                resolution: 8,
+                cells: 1
+            }]
         )
         .is_err());
         assert!(MacroSkeleton::custom(
             3,
             32,
             10,
-            vec![StageSpec { channels: 8, resolution: 8, cells: 2 }]
+            vec![StageSpec {
+                channels: 8,
+                resolution: 0,
+                cells: 1
+            }]
+        )
+        .is_err());
+        assert!(MacroSkeleton::custom(
+            3,
+            32,
+            10,
+            vec![StageSpec {
+                channels: 8,
+                resolution: 8,
+                cells: 2
+            }]
         )
         .is_ok());
     }
@@ -473,7 +536,10 @@ mod tests {
         let sk = MacroSkeleton::nas_bench_201(10);
         let cell = space.cell(0).unwrap(); // all none
         let instances = sk.instantiate(&cell);
-        let zero_count = instances.iter().filter(|i| i.class == OpClass::Zero).count();
+        let zero_count = instances
+            .iter()
+            .filter(|i| i.class == OpClass::Zero)
+            .count();
         assert_eq!(zero_count, 15 * 6);
     }
 }

@@ -1,4 +1,7 @@
-use crate::{Architecture, CellTopology, Operation, SearchSpaceError, ALL_OPERATIONS, NUM_EDGES, NUM_OPERATIONS};
+use crate::{
+    Architecture, CellTopology, Operation, SearchSpaceError, ALL_OPERATIONS, NUM_EDGES,
+    NUM_OPERATIONS,
+};
 use serde::{Deserialize, Serialize};
 
 /// The enumerable cell search space (NAS-Bench-201: 5⁶ = 15 625 cells).
@@ -25,7 +28,10 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// The standard NAS-Bench-201 space evaluated in the paper.
     pub fn nas_bench_201() -> Self {
-        Self { name: "NAS-Bench-201".to_string(), num_edges: NUM_EDGES }
+        Self {
+            name: "NAS-Bench-201".to_string(),
+            num_edges: NUM_EDGES,
+        }
     }
 
     /// Human-readable name of the space.
@@ -55,7 +61,10 @@ impl SearchSpace {
     /// Returns [`SearchSpaceError::IndexOutOfRange`] if `index >= len()`.
     pub fn cell(&self, index: usize) -> Result<CellTopology, SearchSpaceError> {
         if index >= self.len() {
-            return Err(SearchSpaceError::IndexOutOfRange { index, len: self.len() });
+            return Err(SearchSpaceError::IndexOutOfRange {
+                index,
+                len: self.len(),
+            });
         }
         let mut ops = [Operation::None; NUM_EDGES];
         let mut rem = index;
@@ -87,7 +96,10 @@ impl SearchSpace {
     /// Iterates over every architecture in the space in index order.
     pub fn iter(&self) -> impl Iterator<Item = Architecture> + '_ {
         (0..self.len()).map(move |i| {
-            Architecture::new(i, self.cell(i).expect("index is within range by construction"))
+            Architecture::new(
+                i,
+                self.cell(i).expect("index is within range by construction"),
+            )
         })
     }
 }
@@ -123,7 +135,10 @@ mod tests {
     fn last_index_is_all_avg_pool() {
         let space = SearchSpace::nas_bench_201();
         let cell = space.cell(space.len() - 1).unwrap();
-        assert!(cell.edge_ops().iter().all(|&op| op == Operation::AvgPool3x3));
+        assert!(cell
+            .edge_ops()
+            .iter()
+            .all(|&op| op == Operation::AvgPool3x3));
     }
 
     #[test]

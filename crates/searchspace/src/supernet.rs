@@ -35,7 +35,9 @@ impl Supernet {
     /// The full supernet with every operation alive on every edge.
     pub fn full() -> Self {
         let all_mask = (1u8 << ALL_OPERATIONS.len()) - 1;
-        Self { alive: [all_mask; NUM_EDGES] }
+        Self {
+            alive: [all_mask; NUM_EDGES],
+        }
     }
 
     /// A supernet in which each edge carries only the operation of `cell`.
@@ -53,13 +55,22 @@ impl Supernet {
     ///
     /// Returns [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
     pub fn candidates(&self, edge: EdgeId) -> Result<Vec<Operation>, SearchSpaceError> {
-        let mask = self.alive.get(edge.0).ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
-        Ok(ALL_OPERATIONS.iter().copied().filter(|op| mask & (1 << op.index()) != 0).collect())
+        let mask = self
+            .alive
+            .get(edge.0)
+            .ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
+        Ok(ALL_OPERATIONS
+            .iter()
+            .copied()
+            .filter(|op| mask & (1 << op.index()) != 0)
+            .collect())
     }
 
     /// Whether `op` is still alive on `edge`.
     pub fn is_alive(&self, edge: EdgeId, op: Operation) -> bool {
-        self.alive.get(edge.0).is_some_and(|m| m & (1 << op.index()) != 0)
+        self.alive
+            .get(edge.0)
+            .is_some_and(|m| m & (1 << op.index()) != 0)
     }
 
     /// Total number of (edge, operation) pairs still alive.
@@ -81,7 +92,10 @@ impl Supernet {
     /// alive on that edge or it is the last operation left, and
     /// [`SearchSpaceError::InvalidEdge`] for edge ids ≥ 6.
     pub fn prune(&mut self, edge: EdgeId, op: Operation) -> Result<(), SearchSpaceError> {
-        let mask = self.alive.get_mut(edge.0).ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
+        let mask = self
+            .alive
+            .get_mut(edge.0)
+            .ok_or(SearchSpaceError::InvalidEdge(edge.0))?;
         let bit = 1u8 << op.index();
         if *mask & bit == 0 {
             return Err(SearchSpaceError::InvalidPrune {
@@ -106,7 +120,10 @@ impl Supernet {
 
     /// Edges that still have more than one candidate.
     pub fn undecided_edges(&self) -> Vec<EdgeId> {
-        (0..NUM_EDGES).filter(|&i| self.alive[i].count_ones() > 1).map(EdgeId).collect()
+        (0..NUM_EDGES)
+            .filter(|&i| self.alive[i].count_ones() > 1)
+            .map(EdgeId)
+            .collect()
     }
 
     /// Collapses the supernet into a single architecture.
@@ -224,7 +241,10 @@ mod tests {
         ] {
             s.prune(EdgeId(0), op).unwrap();
         }
-        assert_eq!(s.candidates(EdgeId(0)).unwrap(), vec![Operation::AvgPool3x3]);
+        assert_eq!(
+            s.candidates(EdgeId(0)).unwrap(),
+            vec![Operation::AvgPool3x3]
+        );
         assert!(s.prune(EdgeId(0), Operation::AvgPool3x3).is_err());
     }
 
@@ -268,7 +288,10 @@ mod tests {
     fn representative_cell_respects_preference() {
         let s = Supernet::full();
         let heavy = s.representative_cell(true);
-        assert!(heavy.edge_ops().iter().all(|&op| op == Operation::NorConv3x3));
+        assert!(heavy
+            .edge_ops()
+            .iter()
+            .all(|&op| op == Operation::NorConv3x3));
         let light = s.representative_cell(false);
         assert!(light.edge_ops().iter().all(|&op| op == Operation::None));
     }

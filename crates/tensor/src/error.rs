@@ -45,16 +45,29 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape implies {expected} elements but {actual} were supplied")
+                write!(
+                    f,
+                    "shape implies {expected} elements but {actual} were supplied"
+                )
             }
             TensorError::IncompatibleShapes { op, lhs, rhs } => {
-                write!(f, "incompatible shapes for {op}: lhs {lhs:?} vs rhs {rhs:?}")
+                write!(
+                    f,
+                    "incompatible shapes for {op}: lhs {lhs:?} vs rhs {rhs:?}"
+                )
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} requires rank {expected} tensor, got rank {actual}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             TensorError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -70,7 +83,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TensorError::ShapeMismatch { expected: 4, actual: 3 };
+        let err = TensorError::ShapeMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(err.to_string().contains("4"));
         assert!(err.to_string().contains("3"));
 

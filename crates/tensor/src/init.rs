@@ -44,7 +44,9 @@ pub fn kaiming_normal(shape: Shape, seed: u64) -> Tensor {
     let (fan_in, _) = fan_in_out(&shape);
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
     let mut rng = DeterministicRng::new(seed);
-    let data = (0..shape.numel()).map(|_| rng.normal_with(0.0, std)).collect();
+    let data = (0..shape.numel())
+        .map(|_| rng.normal_with(0.0, std))
+        .collect();
     Tensor::from_vec(shape, data).expect("length matches shape by construction")
 }
 
@@ -53,7 +55,9 @@ pub fn kaiming_uniform(shape: Shape, seed: u64) -> Tensor {
     let (fan_in, _) = fan_in_out(&shape);
     let bound = (6.0 / fan_in.max(1) as f32).sqrt();
     let mut rng = DeterministicRng::new(seed);
-    let data = (0..shape.numel()).map(|_| rng.uniform(-bound, bound)).collect();
+    let data = (0..shape.numel())
+        .map(|_| rng.uniform(-bound, bound))
+        .collect();
     Tensor::from_vec(shape, data).expect("length matches shape by construction")
 }
 
@@ -62,7 +66,9 @@ pub fn xavier_uniform(shape: Shape, seed: u64) -> Tensor {
     let (fan_in, fan_out) = fan_in_out(&shape);
     let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
     let mut rng = DeterministicRng::new(seed);
-    let data = (0..shape.numel()).map(|_| rng.uniform(-bound, bound)).collect();
+    let data = (0..shape.numel())
+        .map(|_| rng.uniform(-bound, bound))
+        .collect();
     Tensor::from_vec(shape, data).expect("length matches shape by construction")
 }
 
@@ -88,7 +94,10 @@ mod tests {
         let w = kaiming_normal(Shape::nchw(32, 16, 3, 3), 1);
         let var = population_variance(w.data());
         let expected = 2.0 / 144.0;
-        assert!((var - expected).abs() < expected * 0.25, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.25,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -116,7 +125,11 @@ mod tests {
 
     #[test]
     fn init_kind_dispatch() {
-        for kind in [InitKind::KaimingNormal, InitKind::KaimingUniform, InitKind::XavierUniform] {
+        for kind in [
+            InitKind::KaimingNormal,
+            InitKind::KaimingUniform,
+            InitKind::XavierUniform,
+        ] {
             let t = kind.init(Shape::d2(3, 3), 9);
             assert_eq!(t.numel(), 9);
         }

@@ -10,6 +10,22 @@
 //! The crate is deliberately small and dependency-light; everything is plain
 //! safe Rust operating on contiguous `Vec<f32>` buffers.
 //!
+//! # Convolution engines and workspace reuse
+//!
+//! Convolution has two implementations selected per call (see the `conv`
+//! module docs for the full contract):
+//!
+//! * **direct** naive loops — the correctness oracle, kept for tiny shapes
+//!   and exposed as [`conv2d_direct`] / [`conv2d_backward_weight_direct`] /
+//!   [`conv2d_backward_input_direct`];
+//! * **im2col + cache-blocked GEMM** ([`gemm_nn`], [`gemm_nt`], [`gemm_tn`])
+//!   — the default for real workloads.
+//!
+//! The `*_with` conv entry points thread a reusable [`Workspace`] scratch
+//! arena through the lowering so repeated forward/backward passes (NTK
+//! repeats, linear-region probes) stop allocating; [`set_conv_engine`] pins
+//! an engine process-wide for benchmarks and equivalence tests.
+//!
 //! # Example
 //!
 //! ```
@@ -36,16 +52,25 @@ mod rng;
 mod shape;
 mod stats;
 mod tensor;
+mod workspace;
 
-pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dSpec};
+pub use conv::{
+    conv2d, conv2d_backward_input, conv2d_backward_input_direct, conv2d_backward_input_with,
+    conv2d_backward_weight, conv2d_backward_weight_direct, conv2d_backward_weight_with,
+    conv2d_direct, conv2d_with, conv_engine, set_conv_engine, Conv2dSpec, ConvEngine,
+};
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform, InitKind};
-pub use linalg::{condition_number, sym_eigenvalues, EigenOptions, EigenReport};
+pub use linalg::{
+    condition_number, gemm_nn, gemm_nt, gemm_tn, sym_eigenvalues, sym_eigenvalues_with,
+    EigenOptions, EigenReport,
+};
 pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward};
 pub use rng::{hash_mix, split_mix64, DeterministicRng};
 pub use shape::Shape;
 pub use stats::{dot, l2_norm, mean, population_variance, standardize};
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

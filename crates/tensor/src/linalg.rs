@@ -1,13 +1,198 @@
-//! Symmetric eigenvalue routines for the NTK spectrum.
+//! Dense linear algebra: cache-blocked GEMM kernels and symmetric
+//! eigenvalue routines for the NTK spectrum.
+//!
+//! # GEMM kernels
+//!
+//! [`gemm_nn`], [`gemm_nt`] and [`gemm_tn`] are the single-precision
+//! matrix-multiply primitives behind the im2col convolution path and the
+//! linear layers. They are cache-blocked (panels of `B` and unrolled rank-4
+//! updates) so the inner loops autovectorise and the `C` traffic is
+//! amortised; no external BLAS is involved.
+//!
+//! # Eigensolver
 //!
 //! The NTK Gram matrix of a mini-batch is a small (batch × batch) symmetric
 //! positive semi-definite matrix; its condition number λ_max / λ_min is the
 //! trainability indicator used by MicroNAS and TE-NAS. A cyclic Jacobi
 //! rotation solver is plenty for matrices of this size (≤ 128×128) and is
-//! numerically robust.
+//! numerically robust. [`sym_eigenvalues_with`] exposes a scratch-reusing
+//! variant so per-candidate repeat loops stop allocating.
 
 use crate::{Result, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
+
+/// Panel width of `B` kept hot in cache by the blocked kernels.
+const GEMM_NC: usize = 512;
+/// Depth of the rank-k panels processed per pass.
+const GEMM_KC: usize = 128;
+
+#[inline]
+fn gemm_check(m: usize, k: usize, n: usize, a: usize, b: usize, c: usize) {
+    assert_eq!(a, m * k, "gemm: A buffer has wrong length");
+    assert_eq!(b, k * n, "gemm: B buffer has wrong length");
+    assert_eq!(c, m * n, "gemm: C buffer has wrong length");
+}
+
+/// `C = A · B` (or `C += A · B` with `accumulate`), all row-major:
+/// `A` is `[m, k]`, `B` is `[k, n]`, `C` is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if a buffer length does not match its dimensions.
+pub fn gemm_nn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    gemm_check(m, k, n, a.len(), b.len(), c.len());
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for jb in (0..n).step_by(GEMM_NC) {
+        let je = (jb + GEMM_NC).min(n);
+        for pb in (0..k).step_by(GEMM_KC) {
+            let pe = (pb + GEMM_KC).min(k);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n + jb..i * n + je];
+                let mut p = pb;
+                // Rank-4 update: four rows of B per pass over the C row.
+                while p + 4 <= pe {
+                    let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                    let b0 = &b[p * n + jb..p * n + je];
+                    let b1 = &b[(p + 1) * n + jb..(p + 1) * n + je];
+                    let b2 = &b[(p + 2) * n + jb..(p + 2) * n + je];
+                    let b3 = &b[(p + 3) * n + jb..(p + 3) * n + je];
+                    for (idx, out) in c_row.iter_mut().enumerate() {
+                        *out += a0 * b0[idx] + a1 * b1[idx] + a2 * b2[idx] + a3 * b3[idx];
+                    }
+                    p += 4;
+                }
+                while p < pe {
+                    let ap = a_row[p];
+                    if ap != 0.0 {
+                        let b_row = &b[p * n + jb..p * n + je];
+                        for (out, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *out += ap * bv;
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` (or `C += A · Bᵀ` with `accumulate`), all row-major:
+/// `A` is `[m, k]`, `B` is `[n, k]`, `C` is `[m, n]`.
+///
+/// Both operands are traversed along contiguous rows, so this is the
+/// preferred kernel whenever the right-hand side is naturally transposed
+/// (linear-layer forward, conv weight gradients).
+///
+/// # Panics
+///
+/// Panics if a buffer length does not match its dimensions.
+pub fn gemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A buffer has wrong length");
+    assert_eq!(b.len(), n * k, "gemm: B buffer has wrong length");
+    assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            // Four-lane dot product; lanes are summed pairwise at the end so
+            // the result does not depend on the (fixed) unroll factor.
+            let mut acc = [0.0f32; 4];
+            let mut chunks_a = a_row.chunks_exact(4);
+            let mut chunks_b = b_row.chunks_exact(4);
+            for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+                acc[0] += ca[0] * cb[0];
+                acc[1] += ca[1] * cb[1];
+                acc[2] += ca[2] * cb[2];
+                acc[3] += ca[3] * cb[3];
+            }
+            let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for (&ra, &rb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+                dot += ra * rb;
+            }
+            if accumulate {
+                c[i * n + j] += dot;
+            } else {
+                c[i * n + j] = dot;
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` (or `C += Aᵀ · B` with `accumulate`), all row-major:
+/// `A` is `[k, m]`, `B` is `[k, n]`, `C` is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if a buffer length does not match its dimensions.
+pub fn gemm_tn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), k * m, "gemm: A buffer has wrong length");
+    assert_eq!(b.len(), k * n, "gemm: B buffer has wrong length");
+    assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for jb in (0..n).step_by(GEMM_NC) {
+        let je = (jb + GEMM_NC).min(n);
+        for pb in (0..k).step_by(GEMM_KC) {
+            let pe = (pb + GEMM_KC).min(k);
+            for i in 0..m {
+                let c_row = &mut c[i * n + jb..i * n + je];
+                let mut p = pb;
+                while p + 4 <= pe {
+                    let a0 = a[p * m + i];
+                    let a1 = a[(p + 1) * m + i];
+                    let a2 = a[(p + 2) * m + i];
+                    let a3 = a[(p + 3) * m + i];
+                    let b0 = &b[p * n + jb..p * n + je];
+                    let b1 = &b[(p + 1) * n + jb..(p + 1) * n + je];
+                    let b2 = &b[(p + 2) * n + jb..(p + 2) * n + je];
+                    let b3 = &b[(p + 3) * n + jb..(p + 3) * n + je];
+                    for (idx, out) in c_row.iter_mut().enumerate() {
+                        *out += a0 * b0[idx] + a1 * b1[idx] + a2 * b2[idx] + a3 * b3[idx];
+                    }
+                    p += 4;
+                }
+                while p < pe {
+                    let ap = a[p * m + i];
+                    if ap != 0.0 {
+                        let b_row = &b[p * n + jb..p * n + je];
+                        for (out, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *out += ap * bv;
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+}
 
 /// Options controlling the Jacobi eigenvalue iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,7 +205,10 @@ pub struct EigenOptions {
 
 impl Default for EigenOptions {
     fn default() -> Self {
-        Self { max_sweeps: 64, tolerance: 1e-10 }
+        Self {
+            max_sweeps: 64,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -38,7 +226,10 @@ pub struct EigenReport {
 impl EigenReport {
     /// Largest eigenvalue.
     pub fn lambda_max(&self) -> f64 {
-        *self.eigenvalues.last().expect("eigenvalue list is never empty")
+        *self
+            .eigenvalues
+            .last()
+            .expect("eigenvalue list is never empty")
     }
 
     /// Smallest eigenvalue.
@@ -70,9 +261,33 @@ impl EigenReport {
 /// Returns an error if the tensor is not a non-empty square matrix or the
 /// iteration fails to make progress.
 pub fn sym_eigenvalues(matrix: &Tensor, options: EigenOptions) -> Result<EigenReport> {
+    sym_eigenvalues_with(matrix, options, &mut Vec::new())
+}
+
+/// Scratch-reusing variant of [`sym_eigenvalues`].
+///
+/// The symmetrised working copy of the matrix is built directly inside
+/// `scratch` (grown once, then reused), so repeated decompositions — the NTK
+/// repeat loop decomposes one Gram matrix per repeat — stop allocating. The
+/// off-diagonal norm is accumulated during the same fill pass, so a matrix
+/// that is already diagonal to within tolerance returns after sweep 0
+/// without any rotation work.
+///
+/// # Errors
+///
+/// Returns an error if the tensor is not a non-empty square matrix.
+pub fn sym_eigenvalues_with(
+    matrix: &Tensor,
+    options: EigenOptions,
+    scratch: &mut Vec<f64>,
+) -> Result<EigenReport> {
     let dims = matrix.shape().dims();
     if dims.len() != 2 {
-        return Err(TensorError::RankMismatch { op: "sym_eigenvalues", expected: 2, actual: dims.len() });
+        return Err(TensorError::RankMismatch {
+            op: "sym_eigenvalues",
+            expected: 2,
+            actual: dims.len(),
+        });
     }
     if dims[0] != dims[1] {
         return Err(TensorError::IncompatibleShapes {
@@ -83,14 +298,26 @@ pub fn sym_eigenvalues(matrix: &Tensor, options: EigenOptions) -> Result<EigenRe
     }
     let n = dims[0];
     if n == 0 {
-        return Err(TensorError::InvalidArgument("cannot decompose an empty matrix".into()));
+        return Err(TensorError::InvalidArgument(
+            "cannot decompose an empty matrix".into(),
+        ));
     }
 
-    // Work in f64 for stability: NTK Gram entries can span many orders of magnitude.
-    let mut a = vec![0.0f64; n * n];
+    // Work in f64 for stability: NTK Gram entries can span many orders of
+    // magnitude. The symmetrised copy is built straight into the reusable
+    // scratch buffer, fusing the off-diagonal norm into the same pass.
+    scratch.clear();
+    scratch.resize(n * n, 0.0);
+    let a = &mut scratch[..n * n];
+    let data = matrix.data();
+    let mut initial_off = 0.0f64;
     for i in 0..n {
-        for j in 0..n {
-            a[i * n + j] = 0.5 * (matrix.at2(i, j) as f64 + matrix.at2(j, i) as f64);
+        a[i * n + i] = data[i * n + i] as f64;
+        for j in (i + 1)..n {
+            let v = 0.5 * (data[i * n + j] as f64 + data[j * n + i] as f64);
+            a[i * n + j] = v;
+            a[j * n + i] = v;
+            initial_off += v * v;
         }
     }
 
@@ -105,7 +332,8 @@ pub fn sym_eigenvalues(matrix: &Tensor, options: EigenOptions) -> Result<EigenRe
     };
 
     let mut sweeps = 0;
-    let mut converged = off_diag_norm(&a) <= options.tolerance;
+    // Early exit at sweep 0: already (numerically) diagonal.
+    let mut converged = (2.0 * initial_off).sqrt() <= options.tolerance;
     while !converged && sweeps < options.max_sweeps {
         for p in 0..n {
             for q in (p + 1)..n {
@@ -135,12 +363,16 @@ pub fn sym_eigenvalues(matrix: &Tensor, options: EigenOptions) -> Result<EigenRe
             }
         }
         sweeps += 1;
-        converged = off_diag_norm(&a) <= options.tolerance;
+        converged = off_diag_norm(a) <= options.tolerance;
     }
 
     let mut eigenvalues: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
     eigenvalues.sort_by(|x, y| x.partial_cmp(y).expect("eigenvalues are finite"));
-    Ok(EigenReport { eigenvalues, sweeps, converged })
+    Ok(EigenReport {
+        eigenvalues,
+        sweeps,
+        converged,
+    })
 }
 
 /// Convenience wrapper: the classic condition number λ_max / λ_min of a
@@ -161,6 +393,128 @@ mod tests {
 
     fn tensor_from(n: usize, vals: &[f32]) -> Tensor {
         Tensor::from_vec(Shape::d2(n, n), vals.to_vec()).unwrap()
+    }
+
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn random_mat(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let mut rng = DeterministicRng::new(seed);
+        (0..rows * cols).map(|_| rng.normal()).collect()
+    }
+
+    fn assert_close(lhs: &[f32], rhs: &[f32]) {
+        assert_eq!(lhs.len(), rhs.len());
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_across_odd_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 130, 9),
+            (4, 4, 600),
+            (33, 257, 19),
+        ] {
+            let a = random_mat(m, k, 1);
+            let b = random_mat(k, n, 2);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut c, false);
+            assert_close(&c, &naive_nn(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn gemm_nn_accumulates() {
+        let (m, k, n) = (5, 9, 11);
+        let a = random_mat(m, k, 3);
+        let b = random_mat(k, n, 4);
+        let mut c = vec![1.0f32; m * n];
+        gemm_nn(m, k, n, &a, &b, &mut c, true);
+        let expected: Vec<f32> = naive_nn(m, k, n, &a, &b).iter().map(|v| v + 1.0).collect();
+        assert_close(&c, &expected);
+    }
+
+    #[test]
+    fn gemm_nt_matches_nn_of_transpose() {
+        for &(m, k, n) in &[(2, 3, 4), (7, 129, 5), (1, 64, 1)] {
+            let a = random_mat(m, k, 5);
+            let bt = random_mat(n, k, 6); // B is [n, k]
+                                          // Build B = [k, n] explicitly.
+            let mut b = vec![0.0f32; k * n];
+            for j in 0..n {
+                for p in 0..k {
+                    b[p * n + j] = bt[j * k + p];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt(m, k, n, &a, &bt, &mut c, false);
+            assert_close(&c, &naive_nn(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_nn_of_transpose() {
+        for &(m, k, n) in &[(2, 3, 4), (6, 130, 9), (1, 5, 600)] {
+            let at = random_mat(k, m, 7); // A is [k, m]
+            let b = random_mat(k, n, 8);
+            let mut a = vec![0.0f32; m * k];
+            for p in 0..k {
+                for i in 0..m {
+                    a[i * k + p] = at[p * m + i];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_tn(m, k, n, &at, &b, &mut c, false);
+            assert_close(&c, &naive_nn(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gemm_rejects_bad_lengths() {
+        let mut c = vec![0.0f32; 4];
+        gemm_nn(2, 3, 2, &[0.0; 5], &[0.0; 6], &mut c, false);
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses() {
+        let mut rng = DeterministicRng::new(31);
+        let n = 10;
+        let vals: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let b = tensor_from(n, &vals);
+        let sym = b.add(&b.transpose().unwrap()).unwrap();
+        let plain = sym_eigenvalues(&sym, EigenOptions::default()).unwrap();
+        let mut scratch = Vec::new();
+        let reused = sym_eigenvalues_with(&sym, EigenOptions::default(), &mut scratch).unwrap();
+        assert_eq!(plain, reused);
+        let cap = scratch.capacity();
+        let again = sym_eigenvalues_with(&sym, EigenOptions::default(), &mut scratch).unwrap();
+        assert_eq!(plain, again);
+        assert_eq!(scratch.capacity(), cap, "second call must not reallocate");
+    }
+
+    #[test]
+    fn already_diagonal_matrix_converges_in_zero_sweeps() {
+        let m = tensor_from(3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let rep = sym_eigenvalues(&m, EigenOptions::default()).unwrap();
+        assert!(rep.converged);
+        assert_eq!(
+            rep.sweeps, 0,
+            "diagonal input must early-exit before any sweep"
+        );
     }
 
     #[test]
@@ -212,7 +566,11 @@ mod tests {
         let j = Tensor::from_vec(Shape::d2(rows, cols), data).unwrap();
         let g = j.matmul(&j.transpose().unwrap()).unwrap();
         let rep = sym_eigenvalues(&g, EigenOptions::default()).unwrap();
-        assert!(rep.eigenvalues.iter().all(|&e| e > -1e-4), "{:?}", rep.eigenvalues);
+        assert!(
+            rep.eigenvalues.iter().all(|&e| e > -1e-4),
+            "{:?}",
+            rep.eigenvalues
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// Panics if `input` and `upstream` have different element counts; the two
 /// always originate from the same forward pass in practice.
 pub fn relu_backward(input: &Tensor, upstream: &Tensor) -> Tensor {
-    assert_eq!(input.numel(), upstream.numel(), "relu_backward: length mismatch");
+    assert_eq!(
+        input.numel(),
+        upstream.numel(),
+        "relu_backward: length mismatch"
+    );
     let data = input
         .data()
         .iter()

@@ -15,11 +15,17 @@ use crate::{Result, Shape, Tensor, TensorError};
 /// Returns an error if the input is not rank 4 or `kernel`/`stride` is zero.
 pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
     if kernel == 0 || stride == 0 {
-        return Err(TensorError::InvalidArgument("kernel and stride must be positive".into()));
+        return Err(TensorError::InvalidArgument(
+            "kernel and stride must be positive".into(),
+        ));
     }
     let d = input.shape().dims();
     if d.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "avg_pool2d", expected: 4, actual: d.len() });
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d",
+            expected: 4,
+            actual: d.len(),
+        });
     }
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
@@ -67,7 +73,11 @@ pub fn avg_pool2d_backward(
 ) -> Result<Tensor> {
     let d = input_shape.dims();
     if d.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "avg_pool2d_backward", expected: 4, actual: d.len() });
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d_backward",
+            expected: 4,
+            actual: d.len(),
+        });
     }
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
@@ -114,7 +124,11 @@ pub fn avg_pool2d_backward(
 pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     let d = input.shape().dims();
     if d.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "global_avg_pool", expected: 4, actual: d.len() });
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool",
+            expected: 4,
+            actual: d.len(),
+        });
     }
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let denom = (h * w) as f32;
@@ -141,7 +155,11 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &Shape) -> Result<Tensor> {
     let d = input_shape.dims();
     if d.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "global_avg_pool_backward", expected: 4, actual: d.len() });
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool_backward",
+            expected: 4,
+            actual: d.len(),
+        });
     }
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     if grad_out.shape().dims() != [n, c] {

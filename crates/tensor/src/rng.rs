@@ -47,13 +47,17 @@ pub struct DeterministicRng {
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(split_mix64(seed)) }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(split_mix64(seed)),
+        }
     }
 
     /// Creates a generator for a (seed, stream) pair, useful for giving every
     /// architecture or sample its own independent stream.
     pub fn with_stream(seed: u64, stream: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(hash_mix(seed, stream)) }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(hash_mix(seed, stream)),
+        }
     }
 
     /// Uniform sample in `[0, 1)`.

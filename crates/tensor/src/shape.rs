@@ -33,17 +33,23 @@ impl Shape {
 
     /// A rank-2 shape (matrix with `rows` rows and `cols` columns).
     pub fn d2(rows: usize, cols: usize) -> Self {
-        Self { dims: vec![rows, cols] }
+        Self {
+            dims: vec![rows, cols],
+        }
     }
 
     /// A rank-3 shape.
     pub fn d3(a: usize, b: usize, c: usize) -> Self {
-        Self { dims: vec![a, b, c] }
+        Self {
+            dims: vec![a, b, c],
+        }
     }
 
     /// A rank-4 NCHW shape (batch, channels, height, width).
     pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Self { dims: vec![n, c, h, w] }
+        Self {
+            dims: vec![n, c, h, w],
+        }
     }
 
     /// The dimension sizes.

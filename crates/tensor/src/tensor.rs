@@ -31,19 +31,28 @@ impl Tensor {
     /// Creates a tensor of the given shape filled with zeros.
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.numel();
-        Self { shape, data: vec![0.0; n] }
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor of the given shape filled with ones.
     pub fn ones(shape: Shape) -> Self {
         let n = shape.numel();
-        Self { shape, data: vec![1.0; n] }
+        Self {
+            shape,
+            data: vec![1.0; n],
+        }
     }
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: Shape, value: f32) -> Self {
         let n = shape.numel();
-        Self { shape, data: vec![value; n] }
+        Self {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -54,7 +63,10 @@ impl Tensor {
     /// `shape.numel()`.
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
         if shape.numel() != data.len() {
-            return Err(TensorError::ShapeMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -93,7 +105,10 @@ impl Tensor {
         self.data
             .get(index)
             .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index, len: self.data.len() })
+            .ok_or(TensorError::IndexOutOfBounds {
+                index,
+                len: self.data.len(),
+            })
     }
 
     /// Reinterprets the tensor with a new shape holding the same number of
@@ -104,9 +119,15 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
     pub fn reshape(&self, shape: Shape) -> Result<Self> {
         if shape.numel() != self.numel() {
-            return Err(TensorError::ShapeMismatch { expected: shape.numel(), actual: self.numel() });
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
         }
-        Ok(Self { shape, data: self.data.clone() })
+        Ok(Self {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Element at NCHW position, for rank-4 tensors.
@@ -146,7 +167,10 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -244,10 +268,18 @@ impl Tensor {
     /// and [`TensorError::IncompatibleShapes`] if the inner dimensions differ.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Self> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         if rhs.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: rhs.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: rhs.shape.rank(),
+            });
         }
         let (m, k) = (self.shape.dims()[0], self.shape.dims()[1]);
         let (k2, n) = (rhs.shape.dims()[0], rhs.shape.dims()[1]);
@@ -259,19 +291,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &rhs.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in dst.iter_mut().zip(row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::linalg::gemm_nn(m, k, n, &self.data, &rhs.data, &mut out, false);
         Tensor::from_vec(Shape::d2(m, n), out)
     }
 
@@ -282,7 +302,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
     pub fn transpose(&self) -> Result<Self> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         let (m, n) = (self.shape.dims()[0], self.shape.dims()[1]);
         let mut out = vec![0.0f32; m * n];
@@ -307,10 +331,20 @@ impl Tensor {
                 rhs: rhs.shape.dims().to_vec(),
             });
         }
-        Ok(self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).sum())
+        Ok(self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
         if self.shape != rhs.shape {
             return Err(TensorError::IncompatibleShapes {
                 op,
@@ -318,14 +352,28 @@ impl Tensor {
                 rhs: rhs.shape.dims().to_vec(),
             });
         }
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 }
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor{} n={} mean={:.4}", self.shape, self.numel(), self.mean())
+        write!(
+            f,
+            "Tensor{} n={} mean={:.4}",
+            self.shape,
+            self.numel(),
+            self.mean()
+        )
     }
 }
 

@@ -1,0 +1,99 @@
+//! Reusable scratch-buffer arena for the im2col/GEMM convolution path.
+
+/// Scratch buffers reused across convolution calls.
+///
+/// The im2col convolution kernels lower every image to a column matrix
+/// before multiplying; without reuse that is one large allocation per layer
+/// per forward/backward call, and the NTK / linear-region proxies run
+/// thousands of such calls per candidate. A `Workspace` owns those buffers
+/// and grows them monotonically to the largest size requested, so steady
+/// state evaluation performs no allocation at all.
+///
+/// # Contract
+///
+/// * A `Workspace` carries **no** numerical state between calls: every kernel
+///   fully overwrites the region it requests before reading it. Buffers may
+///   therefore be shared freely across layers, networks and candidates.
+/// * Workspaces are cheap to create (`Workspace::default()` holds empty
+///   buffers); threading one through a hot loop is purely an allocation
+///   optimisation, never a semantic change.
+/// * A workspace must not be shared across threads concurrently (the type is
+///   deliberately `!Sync` by virtue of requiring `&mut`); give each worker
+///   its own instance.
+///
+/// # Example
+///
+/// ```
+/// use micronas_tensor::{conv2d_with, Conv2dSpec, Shape, Tensor, Workspace};
+/// # fn main() -> Result<(), micronas_tensor::TensorError> {
+/// let input = Tensor::ones(Shape::nchw(1, 3, 8, 8));
+/// let weight = Tensor::ones(Shape::nchw(4, 3, 3, 3));
+/// let mut ws = Workspace::default();
+/// // Repeated calls reuse the same scratch memory.
+/// let a = conv2d_with(&input, &weight, Conv2dSpec::new(3, 1, 1), &mut ws)?;
+/// let b = conv2d_with(&input, &weight, Conv2dSpec::new(3, 1, 1), &mut ws)?;
+/// assert_eq!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// im2col column matrix (`[C_in·K·K, OH·OW]`), also used as the column
+    /// gradient staging buffer in the input-gradient kernel.
+    col: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a column buffer of exactly `len` elements.
+    ///
+    /// The contents are unspecified; callers fully overwrite the region.
+    pub(crate) fn col_buffer(&mut self, len: usize) -> &mut [f32] {
+        if self.col.len() < len {
+            self.col.resize(len, 0.0);
+        }
+        &mut self.col[..len]
+    }
+
+    /// Current scratch footprint in bytes (capacity, not live data).
+    pub fn capacity_bytes(&self) -> usize {
+        self.col.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Releases all scratch memory.
+    pub fn clear(&mut self) {
+        self.col = Vec::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_monotonically_and_are_reused() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.capacity_bytes(), 0);
+        let first = ws.col_buffer(100).as_ptr();
+        let cap = ws.capacity_bytes();
+        assert!(cap >= 400);
+        // A smaller request must reuse the same storage.
+        let second = ws.col_buffer(10).as_ptr();
+        assert_eq!(first, second);
+        assert_eq!(ws.capacity_bytes(), cap);
+        ws.clear();
+        assert_eq!(ws.capacity_bytes(), 0);
+    }
+
+    #[test]
+    fn buffer_has_requested_length() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.col_buffer(17).len(), 17);
+        assert_eq!(ws.col_buffer(3).len(), 3);
+        assert_eq!(ws.col_buffer(33).len(), 33);
+    }
+}

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<36} {:>12} {:>14} {:>10}",
         "device", "latency(ms)", "LUT entries", "fits?"
     );
-    for spec in [McuSpec::stm32l476(), McuSpec::stm32f746zg(), McuSpec::stm32h743()] {
+    for spec in [
+        McuSpec::stm32l476(),
+        McuSpec::stm32f746zg(),
+        McuSpec::stm32h743(),
+    ] {
         let estimator = LatencyEstimator::new(spec.clone());
         let latency = estimator.cell_latency_ms(arch.cell(), &skeleton);
         let fits = memory.fits(spec.sram_kib, spec.flash_kib);
@@ -53,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (class, ms) in classes {
         println!("  {class:<12} {ms:>10.2} ms");
     }
-    println!("  {:<12} {:>10.2} ms (constant per-inference overhead)", "overhead", breakdown.overhead_ms);
+    println!(
+        "  {:<12} {:>10.2} ms (constant per-inference overhead)",
+        "overhead", breakdown.overhead_ms
+    );
 
     println!();
     println!("Cross-check against the cycle-level simulator:");

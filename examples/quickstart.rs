@@ -30,11 +30,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Discovered architecture #{}", outcome.best.index());
     println!("  cell      : {}", outcome.best.arch_string());
     println!("  FLOPs     : {:.1} M", outcome.evaluation.hardware.flops_m);
-    println!("  params    : {:.3} M", outcome.evaluation.hardware.params_m);
-    println!("  latency   : {:.1} ms on {}", outcome.evaluation.hardware.latency_ms, config.mcu.name);
-    println!("  peak SRAM : {:.0} KiB", outcome.evaluation.hardware.peak_sram_kib);
-    println!("  NTK cond. : {:.1}", outcome.evaluation.zero_cost.ntk_condition);
-    println!("  lin. regions: {}", outcome.evaluation.zero_cost.linear_regions);
+    println!(
+        "  params    : {:.3} M",
+        outcome.evaluation.hardware.params_m
+    );
+    println!(
+        "  latency   : {:.1} ms on {}",
+        outcome.evaluation.hardware.latency_ms, config.mcu.name
+    );
+    println!(
+        "  peak SRAM : {:.0} KiB",
+        outcome.evaluation.hardware.peak_sram_kib
+    );
+    println!(
+        "  NTK cond. : {:.1}",
+        outcome.evaluation.zero_cost.ntk_condition
+    );
+    println!(
+        "  lin. regions: {}",
+        outcome.evaluation.zero_cost.linear_regions
+    );
     println!("  surrogate accuracy: {:.2} %", outcome.test_accuracy);
     println!();
     println!(

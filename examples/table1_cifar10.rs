@@ -10,7 +10,11 @@ use micronas_suite::core::{EvolutionaryConfig, MicroNasConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MicroNasConfig::fast();
-    let evolution = EvolutionaryConfig { population: 24, cycles: 120, sample_size: 5 };
+    let evolution = EvolutionaryConfig {
+        population: 24,
+        cycles: 120,
+        sample_size: 5,
+    };
 
     println!("Reproducing Table I (reduced scale; see crates/bench for the full harness)...");
     let rows = run_table1(&config, evolution, 2.0)?;
@@ -28,6 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  MicroNAS— 51.04 MFLOPs, 0.372 M params, 3.23x, 0.43 h, 93.88 %");
     println!();
     println!("Shape checks to look for: MicroNAS row is lighter and faster than TE-NAS at similar");
-    println!("accuracy, and both are orders of magnitude cheaper to search than the µNAS-style row.");
+    println!(
+        "accuracy, and both are orders of magnitude cheaper to search than the µNAS-style row."
+    );
     Ok(())
 }

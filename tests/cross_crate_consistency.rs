@@ -89,8 +89,13 @@ fn hardware_indicators_agree_on_extreme_cells() {
     let light = CellTopology::new([Operation::SkipConnect; 6]);
     let heavy = CellTopology::new([Operation::NorConv3x3; 6]);
 
-    assert!(flops.cell_in_skeleton(&heavy, &skeleton).flops > flops.cell_in_skeleton(&light, &skeleton).flops);
-    assert!(latency.cell_latency_ms(&heavy, &skeleton) > latency.cell_latency_ms(&light, &skeleton));
+    assert!(
+        flops.cell_in_skeleton(&heavy, &skeleton).flops
+            > flops.cell_in_skeleton(&light, &skeleton).flops
+    );
+    assert!(
+        latency.cell_latency_ms(&heavy, &skeleton) > latency.cell_latency_ms(&light, &skeleton)
+    );
     assert!(
         memory.cell_in_skeleton(&heavy, &skeleton).weight_bytes
             > memory.cell_in_skeleton(&light, &skeleton).weight_bytes

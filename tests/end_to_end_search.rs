@@ -24,9 +24,16 @@ fn latency_guided_pipeline_end_to_end() {
     assert!(micro.evaluation.feasible);
     assert!(micro.evaluation.hardware.latency_ms <= te_nas.evaluation.hardware.latency_ms);
     assert!(micro.speedup_vs(te_nas.evaluation.hardware.latency_ms) >= 1.0);
-    assert_eq!(micro.cost.simulated_gpu_hours, 0.0, "zero-shot search never trains");
+    assert_eq!(
+        micro.cost.simulated_gpu_hours, 0.0,
+        "zero-shot search never trains"
+    );
     // Accuracy of the latency-guided pick stays in the useful range.
-    assert!(micro.test_accuracy > 60.0, "accuracy {}", micro.test_accuracy);
+    assert!(
+        micro.test_accuracy > 60.0,
+        "accuracy {}",
+        micro.test_accuracy
+    );
 }
 
 /// The search must honour explicit hardware budgets end to end.
@@ -34,7 +41,9 @@ fn latency_guided_pipeline_end_to_end() {
 fn constrained_pipeline_respects_budgets() {
     let base = MicroNasConfig::fast();
     let unconstrained_ctx = SearchContext::new(DatasetKind::Cifar10, &base).unwrap();
-    let reference = MicroNasSearch::te_nas_baseline(&base).run(&unconstrained_ctx).unwrap();
+    let reference = MicroNasSearch::te_nas_baseline(&base)
+        .run(&unconstrained_ctx)
+        .unwrap();
 
     let budget_ms = reference.evaluation.hardware.latency_ms * 0.5;
     let config = base.with_constraints(
@@ -42,8 +51,9 @@ fn constrained_pipeline_respects_budgets() {
             .with_latency_ms(budget_ms),
     );
     let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-    let outcome =
-        MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config).run(&ctx).unwrap();
+    let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
+        .run(&ctx)
+        .unwrap();
 
     assert!(
         outcome.evaluation.hardware.latency_ms <= budget_ms * 1.05,
@@ -63,10 +73,17 @@ fn pipeline_is_deterministic_and_beats_random_search() {
 
     let ctx_a = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
     let ctx_b = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-    let a = MicroNasSearch::te_nas_baseline(&config).run(&ctx_a).unwrap();
-    let b = MicroNasSearch::te_nas_baseline(&config).run(&ctx_b).unwrap();
+    let a = MicroNasSearch::te_nas_baseline(&config)
+        .run(&ctx_a)
+        .unwrap();
+    let b = MicroNasSearch::te_nas_baseline(&config)
+        .run(&ctx_b)
+        .unwrap();
     assert_eq!(a.best.index(), b.best.index());
-    assert_eq!(a.evaluation.hardware.latency_ms, b.evaluation.hardware.latency_ms);
+    assert_eq!(
+        a.evaluation.hardware.latency_ms,
+        b.evaluation.hardware.latency_ms
+    );
 
     // Random search with a matching evaluation budget.
     let ctx_rand = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
@@ -95,7 +112,10 @@ fn pipeline_runs_on_all_three_datasets() {
         let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(1.0), &config)
             .run(&ctx)
             .unwrap();
-        assert!(outcome.best.cell().has_input_output_path(), "{dataset}: disconnected pick");
+        assert!(
+            outcome.best.cell().has_input_output_path(),
+            "{dataset}: disconnected pick"
+        );
         assert!(outcome.evaluation.hardware.latency_ms > 0.0);
         assert!(outcome.test_accuracy > 5.0);
     }

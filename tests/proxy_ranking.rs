@@ -16,7 +16,10 @@ fn combined_zero_cost_score_correlates_with_surrogate_accuracy() {
     let space = SearchSpace::nas_bench_201();
     let bench = SurrogateBenchmark::new(0);
     let zero_cost = ZeroCostEvaluator::fast();
-    let hardware = HardwareEvaluator::new(bench.skeleton_for(DatasetKind::Cifar10), McuSpec::stm32f746zg());
+    let hardware = HardwareEvaluator::new(
+        bench.skeleton_for(DatasetKind::Cifar10),
+        McuSpec::stm32f746zg(),
+    );
     let objective = HybridObjective::new(ObjectiveWeights::accuracy_only());
 
     // A spread of connected architectures across the space.
@@ -31,7 +34,9 @@ fn combined_zero_cost_score_correlates_with_surrogate_accuracy() {
     let mut accuracies = Vec::new();
     for &idx in &sample {
         let arch = space.architecture(idx).unwrap();
-        let metrics = zero_cost.evaluate(*arch.cell(), DatasetKind::Cifar10, 0).unwrap();
+        let metrics = zero_cost
+            .evaluate(*arch.cell(), DatasetKind::Cifar10, 0)
+            .unwrap();
         let hw = hardware.evaluate(*arch.cell());
         scores.push(objective.score(&metrics, &hw));
         accuracies.push(bench.query(&arch, DatasetKind::Cifar10).test_accuracy);
@@ -60,10 +65,15 @@ fn expressivity_alone_also_carries_signal() {
     let mut accuracies = Vec::new();
     for &idx in &sample {
         let arch = space.architecture(idx).unwrap();
-        let metrics = zero_cost.evaluate(*arch.cell(), DatasetKind::Cifar10, 1).unwrap();
+        let metrics = zero_cost
+            .evaluate(*arch.cell(), DatasetKind::Cifar10, 1)
+            .unwrap();
         expressivity.push(metrics.expressivity);
         accuracies.push(bench.query(&arch, DatasetKind::Cifar10).test_accuracy);
     }
     let tau = kendall_tau(&expressivity, &accuracies);
-    assert!(tau > 0.2, "linear-region count should rank architectures (τ = {tau:.3})");
+    assert!(
+        tau > 0.2,
+        "linear-region count should rank architectures (τ = {tau:.3})"
+    );
 }
