@@ -1,0 +1,181 @@
+//! Evaluation-store throughput: concurrent hit/miss rates of the sharded
+//! map, logged-insert overhead, and the headline cold-vs-warm paper-sweep
+//! comparison.
+//!
+//! The sweep comparison is the acceptance check of the shared store: a
+//! repeated paper grid against a warm store must perform **zero** proxy
+//! recomputations (100% hit rate) and finish several times faster than the
+//! cold run, while producing a bitwise-identical report. The measured
+//! numbers land in `target/bench-json/store_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micronas::experiments::{run_paper_sweep, SweepScale};
+use micronas::MicroNasConfig;
+use micronas_bench::{banner, bench_config, paper_scale, write_bench_json};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::ZeroCostMetrics;
+use micronas_searchspace::SearchSpace;
+use micronas_store::{EvalKey, EvalRecord, EvalStore};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keys used by the lookup benchmarks. Seeds (not cells) vary so every key
+/// is distinct even across isomorphic cells.
+fn keys(n: usize) -> Vec<EvalKey> {
+    let space = SearchSpace::nas_bench_201();
+    (0..n)
+        .map(|i| {
+            EvalKey::zero_cost(
+                &space.cell(i % space.len()).unwrap(),
+                DatasetKind::Cifar10,
+                i as u64,
+                32,
+            )
+        })
+        .collect()
+}
+
+fn record(i: usize) -> EvalRecord {
+    EvalRecord::ZeroCost(ZeroCostMetrics {
+        ntk_condition: 1.0 + i as f64,
+        linear_regions: i + 1,
+        trainability: -(1.0 + i as f64).ln(),
+        expressivity: (1.0 + i as f64).ln(),
+    })
+}
+
+/// Parallel warm lookups per second over a pre-populated store.
+fn measure_hit_throughput(n: usize) -> f64 {
+    let store = EvalStore::in_memory(0);
+    let keys = keys(n);
+    for (i, k) in keys.iter().enumerate() {
+        store.insert(*k, record(i)).unwrap();
+    }
+    let start = Instant::now();
+    let found: Vec<usize> = keys
+        .par_iter()
+        .map(|k| usize::from(store.get(k).is_some()))
+        .collect();
+    assert_eq!(found.into_iter().sum::<usize>(), n);
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Memory-only inserts per second (the miss path without log I/O).
+fn measure_insert_throughput(n: usize) -> f64 {
+    let store = EvalStore::in_memory(0);
+    let keys = keys(n);
+    let start = Instant::now();
+    for (i, k) in keys.iter().enumerate() {
+        store.insert(*k, record(i)).unwrap();
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Logged inserts per second (the persistent miss path).
+fn measure_logged_insert_throughput(n: usize) -> f64 {
+    let mut path = std::env::temp_dir();
+    path.push(format!("micronas-bench-store-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = EvalStore::open(&path, 0).unwrap();
+    let keys = keys(n);
+    let start = Instant::now();
+    for (i, k) in keys.iter().enumerate() {
+        store.insert(*k, record(i)).unwrap();
+    }
+    let rate = n as f64 / start.elapsed().as_secs_f64();
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    rate
+}
+
+/// The cold-vs-warm sweep comparison; returns
+/// `(cold_s, warm_s, warm_hit_rate, identical)`.
+fn cold_vs_warm_sweep(config: &MicroNasConfig, scale: &SweepScale) -> (f64, f64, f64, bool) {
+    let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+    let cold = run_paper_sweep(config, scale, Some(store.clone())).expect("cold sweep");
+    let warm = run_paper_sweep(config, scale, Some(store)).expect("warm sweep");
+    assert_eq!(
+        warm.recomputations(),
+        Some(0),
+        "warm sweep must not recompute"
+    );
+    (
+        cold.wall_seconds,
+        warm.wall_seconds,
+        warm.hit_rate().unwrap_or(0.0),
+        cold.identity_fingerprint() == warm.identity_fingerprint(),
+    )
+}
+
+fn bench_store_throughput(c: &mut Criterion) {
+    const LOOKUPS: usize = 100_000;
+    const INSERTS: usize = 20_000;
+
+    if !c.is_test_mode() {
+        banner(
+            "evaluation-store throughput",
+            "shared cross-search evaluation store (cold vs warm paper sweep)",
+        );
+    }
+
+    // Smoke/measure the raw store operations through Criterion.
+    let mut group = c.benchmark_group("store_throughput");
+    group.sample_size(10);
+    group.bench_function("hit_lookups_100k_concurrent", |b| {
+        b.iter(|| measure_hit_throughput(LOOKUPS))
+    });
+    group.bench_function("inserts_20k_memory", |b| {
+        b.iter(|| measure_insert_throughput(INSERTS))
+    });
+    group.bench_function("inserts_20k_logged", |b| {
+        b.iter(|| measure_logged_insert_throughput(INSERTS))
+    });
+    group.finish();
+
+    // Headline comparison + JSON recording. Test mode uses the tiny grid so
+    // the CI smoke stays fast; measurement mode uses the bench scale.
+    let (config, scale) = if c.is_test_mode() {
+        (MicroNasConfig::tiny_test(), SweepScale::tiny())
+    } else if paper_scale() {
+        (bench_config(), SweepScale::paper())
+    } else {
+        (bench_config(), SweepScale::fast())
+    };
+    let hit_rate_per_s = measure_hit_throughput(LOOKUPS);
+    let insert_per_s = measure_insert_throughput(INSERTS);
+    let logged_per_s = measure_logged_insert_throughput(INSERTS);
+    let (cold_s, warm_s, warm_hit_rate, identical) = cold_vs_warm_sweep(&config, &scale);
+    let speedup = cold_s / warm_s.max(1e-12);
+    assert!(identical, "cold and warm sweeps must agree bitwise");
+
+    if !c.is_test_mode() {
+        println!();
+        println!("concurrent hit lookups:   {hit_rate_per_s:>12.0} ops/s");
+        println!("memory inserts:           {insert_per_s:>12.0} ops/s");
+        println!("logged inserts:           {logged_per_s:>12.0} ops/s");
+        println!();
+        println!("paper sweep, cold store:  {cold_s:>12.3} s");
+        println!("paper sweep, warm store:  {warm_s:>12.3} s  ({speedup:.1}x faster)");
+        println!("warm hit rate:            {:>11.1}%", warm_hit_rate * 100.0);
+        println!("bitwise identical:        {identical}");
+    }
+    if let Some(path) = write_bench_json(
+        "store_throughput",
+        &[
+            ("hit_lookups_per_s", hit_rate_per_s),
+            ("memory_inserts_per_s", insert_per_s),
+            ("logged_inserts_per_s", logged_per_s),
+            ("sweep_cold_seconds", cold_s),
+            ("sweep_warm_seconds", warm_s),
+            ("sweep_warm_speedup", speedup),
+            ("sweep_warm_hit_rate", warm_hit_rate),
+            ("sweep_bitwise_identical", f64::from(u8::from(identical))),
+        ],
+    ) {
+        println!("recorded: {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_store_throughput);
+criterion_main!(benches);

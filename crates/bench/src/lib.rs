@@ -45,6 +45,40 @@ pub fn correlation_sample_size() -> usize {
     }
 }
 
+/// Writes benchmark numbers to the bench JSON directory
+/// (`target/bench-json/<name>.json`), one flat object of numeric fields plus
+/// the scale the numbers were measured at. Hand-rolled JSON: the workspace's
+/// `serde` is an offline no-op shim, and a flat `f64` map needs nothing more.
+///
+/// Returns the path written to, or `None` when the directory could not be
+/// created (benches must never fail because of recording).
+pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> Option<std::path::PathBuf> {
+    // Anchor at the workspace target directory: cargo runs benches with the
+    // package directory (not the workspace root) as cwd.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    let dir = target.join("bench-json");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"bench\": \"{name}\",\n  \"scale\": \"{}\"",
+        if paper_scale() { "paper" } else { "reduced" }
+    ));
+    for (key, value) in fields {
+        body.push_str(&format!(",\n  \"{key}\": {value:?}"));
+    }
+    body.push_str("\n}\n");
+    std::fs::write(&path, body).ok()?;
+    Some(path)
+}
+
 /// Prints a banner identifying the experiment and its scale.
 pub fn banner(experiment: &str, paper_reference: &str) {
     println!();
@@ -79,5 +113,17 @@ mod tests {
     #[test]
     fn banner_does_not_panic() {
         banner("test", "none");
+    }
+
+    #[test]
+    fn bench_json_is_written_and_well_formed() {
+        let path = write_bench_json("lib_test_smoke", &[("alpha", 1.25), ("beta", 3.0)])
+            .expect("bench json should be writable in the test environment");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"lib_test_smoke\""));
+        assert!(body.contains("\"alpha\": 1.25"));
+        assert!(body.contains("\"beta\": 3.0"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
     }
 }

@@ -98,6 +98,47 @@ impl MicroNasConfig {
         self
     }
 
+    /// The evaluation-store namespace of this configuration: a stable
+    /// fingerprint of everything that shapes proxy and hardware values
+    /// (probe-network geometry, NTK repeats, linear-region probing, the
+    /// target MCU).
+    ///
+    /// The fingerprint hashes an explicit, version-tagged little-endian
+    /// encoding of the configuration *values* — never `Debug` renderings or
+    /// `std` hashes, which are allowed to change across refactors and
+    /// toolchains and would silently orphan every persisted log.
+    ///
+    /// The NTK *batch size* is deliberately excluded — it is part of every
+    /// store key instead ([`micronas_store::ProxyKind`]), because it is the
+    /// one axis the paper sweeps (Fig. 2b). The seed and the hardware
+    /// budgets are excluded too: the seed is a key coordinate, and
+    /// feasibility is recomputed per context from the stored indicators.
+    pub fn store_namespace(&self) -> u64 {
+        let mut h = micronas_store::Fnv1a::new();
+        h.update(b"micronas/namespace/v1");
+        encode_network(&mut h, &self.ntk.network);
+        h.update(&(self.ntk.repeats as u64).to_le_bytes());
+        h.update(&(self.linear_regions.num_segments as u64).to_le_bytes());
+        h.update(&(self.linear_regions.points_per_segment as u64).to_le_bytes());
+        encode_network(&mut h, &self.linear_regions.network);
+        h.update(&(self.mcu.name.len() as u64).to_le_bytes());
+        h.update(self.mcu.name.as_bytes());
+        for v in [
+            self.mcu.clock_mhz,
+            self.mcu.macs_per_cycle,
+            self.mcu.per_element_overhead_cycles,
+            self.mcu.flash_wait_states,
+            self.mcu.bus_width_bytes,
+            self.mcu.layer_invocation_cycles,
+            self.mcu.inference_overhead_cycles,
+        ] {
+            h.update(&v.to_bits().to_le_bytes());
+        }
+        h.update(&(self.mcu.sram_kib as u64).to_le_bytes());
+        h.update(&(self.mcu.flash_kib as u64).to_le_bytes());
+        h.finish()
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -108,6 +149,20 @@ impl MicroNasConfig {
             return Err(MicroNasError::InvalidConfig(
                 "NTK batch size must be at least 2".into(),
             ));
+        }
+        if self.ntk.batch_size > MAX_NTK_BATCH {
+            return Err(MicroNasError::InvalidConfig(format!(
+                "NTK batch size {} exceeds the supported maximum {MAX_NTK_BATCH} \
+                 (store keys encode the batch in 16 bits)",
+                self.ntk.batch_size
+            )));
+        }
+        if self.ntk.max_condition_index > micronas_store::MAX_SPECTRUM_INDICES {
+            return Err(MicroNasError::InvalidConfig(format!(
+                "NTK max condition index {} exceeds the storable spectrum length {}",
+                self.ntk.max_condition_index,
+                micronas_store::MAX_SPECTRUM_INDICES
+            )));
         }
         if self.linear_regions.num_segments == 0 {
             return Err(MicroNasError::InvalidConfig(
@@ -122,6 +177,30 @@ impl Default for MicroNasConfig {
     fn default() -> Self {
         Self::paper_default()
     }
+}
+
+/// Largest NTK batch size accepted by [`MicroNasConfig::validate`]: store
+/// keys encode the batch in 16 bits, and the paper sweeps 4–128.
+const MAX_NTK_BATCH: usize = u16::MAX as usize;
+
+/// Stable value encoding of a proxy-network geometry for the namespace
+/// fingerprint.
+fn encode_network(h: &mut micronas_store::Fnv1a, net: &micronas_nn::ProxyNetworkConfig) {
+    for v in [
+        net.input_channels,
+        net.input_resolution,
+        net.channels,
+        net.num_cells,
+        net.num_classes,
+    ] {
+        h.update(&(v as u64).to_le_bytes());
+    }
+    let init_tag: u8 = match net.init {
+        micronas_tensor::InitKind::KaimingNormal => 0,
+        micronas_tensor::InitKind::KaimingUniform => 1,
+        micronas_tensor::InitKind::XavierUniform => 2,
+    };
+    h.update(&[init_tag]);
 }
 
 #[cfg(test)]
@@ -157,10 +236,52 @@ mod tests {
     }
 
     #[test]
+    fn store_namespace_tracks_proxy_configuration() {
+        let a = MicroNasConfig::fast();
+        assert_eq!(
+            a.store_namespace(),
+            MicroNasConfig::fast().store_namespace()
+        );
+        assert_ne!(
+            a.store_namespace(),
+            MicroNasConfig::tiny_test().store_namespace(),
+            "different probe networks must not share a namespace"
+        );
+        // Seed, constraints and NTK batch size do NOT change the namespace.
+        assert_eq!(
+            a.store_namespace(),
+            MicroNasConfig::fast().with_seed(99).store_namespace()
+        );
+        let mut swept = MicroNasConfig::fast();
+        swept.ntk.batch_size = 64;
+        assert_eq!(a.store_namespace(), swept.store_namespace());
+    }
+
+    #[test]
+    fn store_namespace_is_pinned() {
+        // Golden value: the namespace is part of the persisted log header,
+        // so it must never drift across refactors or toolchains. If this
+        // assertion fails, the encoding changed — bump the version tag and
+        // plan a migration, never silently re-fingerprint.
+        assert_eq!(
+            MicroNasConfig::paper_default().store_namespace(),
+            0xd64e_988d_261b_274f,
+            "got {:#018x}",
+            MicroNasConfig::paper_default().store_namespace()
+        );
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let mut cfg = MicroNasConfig::fast();
         cfg.ntk.batch_size = 1;
         assert!(cfg.validate().is_err());
+        let mut cfg = MicroNasConfig::fast();
+        cfg.ntk.batch_size = (u16::MAX as usize) + 1;
+        assert!(
+            cfg.validate().is_err(),
+            "batch sizes beyond the 16-bit key range must be rejected"
+        );
         let mut cfg = MicroNasConfig::fast();
         cfg.linear_regions.num_segments = 0;
         assert!(cfg.validate().is_err());

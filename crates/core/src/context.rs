@@ -1,21 +1,39 @@
-use crate::{MicroNasConfig, Result};
+use crate::{EvalCacheStats, MicroNasConfig, Result};
 use micronas_datasets::DatasetKind;
 use micronas_hw::{HardwareConstraints, HardwareEvaluator, HardwareIndicators};
 use micronas_nasbench::SurrogateBenchmark;
 use micronas_proxies::{ZeroCostEvaluator, ZeroCostMetrics};
 use micronas_searchspace::{Architecture, CellTopology, MacroSkeleton, SearchSpace};
-use parking_lot::Mutex;
+use micronas_store::{EvalKey, EvalRecord, EvalStore, GetOrInsertError};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Everything a search algorithm needs to evaluate candidates on one dataset:
 /// the search space, the zero-cost proxies, the hardware evaluator, the
 /// hardware budgets and (for baselines and final reporting only) the
 /// surrogate accuracy benchmark.
 ///
-/// Candidate evaluations are cached by architecture index, so repeated visits
-/// during pruning or evolution are free — mirroring how the paper's
-/// implementation caches its per-operation measurements.
+/// # Caching and the shared evaluation store
+///
+/// Candidate evaluations are cached at two levels. The context's own cache
+/// (keyed by architecture index) makes repeated visits during pruning or
+/// evolution free, mirroring how the paper's implementation caches its
+/// per-operation measurements. Optionally, a shared
+/// [`micronas_store::EvalStore`] sits behind it: a content-addressed,
+/// possibly persistent store that other searches — in this process or an
+/// earlier one — may already have warmed (see [`SearchContext::with_store`]).
+///
+/// # Canonical evaluation
+///
+/// Proxy and hardware values are always computed on the cell's *canonical
+/// form* (the representative of its isomorphism orbit —
+/// [`CellTopology::canonical_form`]). Evaluation is therefore a pure
+/// function of architecture *identity* rather than representation: two
+/// isomorphic cells receive bitwise-identical scores, and results are
+/// bitwise-identical whether the store is enabled, disabled or pre-warmed.
 pub struct SearchContext {
     space: SearchSpace,
     dataset: DatasetKind,
@@ -24,8 +42,16 @@ pub struct SearchContext {
     constraints: HardwareConstraints,
     benchmark: SurrogateBenchmark,
     seed: u64,
+    ntk_batch: u16,
+    store: Option<Arc<EvalStore>>,
     cache: Mutex<HashMap<usize, CandidateEvaluation>>,
+    /// Hardware indicators by canonical digest. An `RwLock` so the warm
+    /// feasibility path — hammered by rayon workers during evolutionary
+    /// population seeding — takes only a shared read lock.
+    hw_cache: RwLock<HashMap<u64, HardwareIndicators>>,
     evaluations: Mutex<usize>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 /// The cached evaluation record of one candidate architecture.
@@ -42,12 +68,39 @@ pub struct CandidateEvaluation {
 }
 
 impl SearchContext {
-    /// Builds a context for `dataset` from a [`MicroNasConfig`].
+    /// Builds a context for `dataset` from a [`MicroNasConfig`], without a
+    /// shared store (the context still caches privately).
     ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid.
     pub fn new(dataset: DatasetKind, config: &MicroNasConfig) -> Result<Self> {
+        Self::build(dataset, config, None)
+    }
+
+    /// Builds a context that shares (and warms) `store`. The store must have
+    /// been created for this configuration's namespace
+    /// ([`MicroNasConfig::store_namespace`]); sharing a store across
+    /// incompatible proxy/hardware configurations would serve wrong values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the store
+    /// namespace does not match the configuration.
+    pub fn with_store(
+        dataset: DatasetKind,
+        config: &MicroNasConfig,
+        store: Arc<EvalStore>,
+    ) -> Result<Self> {
+        ensure_store_namespace(&store, config)?;
+        Self::build(dataset, config, Some(store))
+    }
+
+    fn build(
+        dataset: DatasetKind,
+        config: &MicroNasConfig,
+        store: Option<Arc<EvalStore>>,
+    ) -> Result<Self> {
         config.validate()?;
         let benchmark = SurrogateBenchmark::new(config.seed);
         let skeleton = benchmark.skeleton_for(dataset);
@@ -59,8 +112,13 @@ impl SearchContext {
             constraints: config.constraints,
             benchmark,
             seed: config.seed,
+            ntk_batch: config.ntk.batch_size as u16,
+            store,
             cache: Mutex::new(HashMap::new()),
+            hw_cache: RwLock::new(HashMap::new()),
             evaluations: Mutex::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         })
     }
 
@@ -100,6 +158,11 @@ impl SearchContext {
         &self.zero_cost
     }
 
+    /// The shared evaluation store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<EvalStore>> {
+        self.store.as_ref()
+    }
+
     /// The reproducibility seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -110,13 +173,84 @@ impl SearchContext {
         *self.evaluations.lock()
     }
 
+    /// Snapshot of the hit/miss counters: requests served from the context
+    /// cache or the shared store versus freshly computed proxy passes.
+    pub fn cache_stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches (or computes) the zero-cost metrics of the canonical cell.
+    fn fetch_zero_cost(&self, canonical: CellTopology) -> Result<ZeroCostMetrics> {
+        let Some(store) = &self.store else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(self
+                .zero_cost
+                .evaluate(canonical, self.dataset, self.seed)?);
+        };
+        let key = EvalKey::zero_cost(&canonical, self.dataset, self.seed, self.ntk_batch);
+        let (record, hit) = store
+            .get_or_try_insert_with(key, || {
+                self.zero_cost
+                    .evaluate(canonical, self.dataset, self.seed)
+                    .map(EvalRecord::ZeroCost)
+            })
+            .map_err(flatten_store_error)?;
+        self.count(hit);
+        record
+            .as_zero_cost()
+            .ok_or_else(|| record_kind_error("zero-cost"))
+    }
+
+    /// Fetches (or computes) the hardware indicators of the canonical cell.
+    fn fetch_hardware(&self, canonical: CellTopology) -> Result<HardwareIndicators> {
+        let digest = micronas_store::ArchDigest::of(&canonical).value();
+        if let Some(hit) = self.hw_cache.read().get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*hit);
+        }
+        let indicators = match &self.store {
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.hardware.evaluate(canonical)
+            }
+            Some(store) => {
+                let key = EvalKey::hardware(&canonical, self.dataset);
+                let (record, hit) = store
+                    .get_or_try_insert_with(key, || {
+                        Ok::<_, crate::MicroNasError>(EvalRecord::Hardware(
+                            self.hardware.evaluate(canonical),
+                        ))
+                    })
+                    .map_err(flatten_store_error)?;
+                self.count(hit);
+                record
+                    .as_hardware()
+                    .ok_or_else(|| record_kind_error("hardware"))?
+            }
+        };
+        self.hw_cache.write().insert(digest, indicators);
+        Ok(indicators)
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Evaluates (or retrieves from cache) the zero-cost and hardware
     /// indicators of a cell.
     ///
     /// Safe to call from parallel candidate-scoring workers: the result is a
-    /// pure function of `(cell, dataset, seed)`, and the evaluation counter
-    /// only advances when a cell enters the cache for the first time, so
-    /// counts are identical regardless of thread count or interleaving.
+    /// pure function of `(architecture identity, dataset, seed)` — proxies
+    /// run on the cell's canonical form — and the evaluation counter only
+    /// advances when a cell enters the cache for the first time, so counts
+    /// are identical regardless of thread count or interleaving.
     ///
     /// # Errors
     ///
@@ -124,10 +258,17 @@ impl SearchContext {
     pub fn evaluate(&self, cell: CellTopology) -> Result<CandidateEvaluation> {
         let arch = Architecture::from_cell(&self.space, cell);
         if let Some(hit) = self.cache.lock().get(&arch.index()) {
+            // The unit of the hit/miss counters is one *record* fetch. A
+            // full evaluation fetches two records (zero-cost + hardware), so
+            // a context-cache hit — which short-circuits both — counts two,
+            // keeping hit rates comparable across cache layers and store
+            // modes.
+            self.hits.fetch_add(2, Ordering::Relaxed);
             return Ok(*hit);
         }
-        let zero_cost = self.zero_cost.evaluate(cell, self.dataset, self.seed)?;
-        let hardware = self.hardware.evaluate(cell);
+        let canonical = cell.canonical_form();
+        let zero_cost = self.fetch_zero_cost(canonical)?;
+        let hardware = self.fetch_hardware(canonical)?;
         let feasible = self.constraints.satisfied_by(&hardware);
         let eval = CandidateEvaluation {
             arch_index: arch.index(),
@@ -143,6 +284,31 @@ impl SearchContext {
         Ok(eval)
     }
 
+    /// The hardware indicators of a cell, served from the caches or the
+    /// shared store when possible. Cheaper than [`SearchContext::evaluate`]
+    /// because no zero-cost proxies run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn hardware_indicators(&self, cell: CellTopology) -> Result<HardwareIndicators> {
+        self.fetch_hardware(cell.canonical_form())
+    }
+
+    /// Whether a cell satisfies this context's hardware budgets, using the
+    /// cached/stored hardware indicators. Revisited cells — e.g. mutated
+    /// children that land on an already-scored architecture — hit the store
+    /// instead of paying a fresh hardware pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn is_feasible(&self, cell: CellTopology) -> Result<bool> {
+        Ok(self
+            .constraints
+            .satisfied_by(&self.hardware_indicators(cell)?))
+    }
+
     /// The surrogate "trained" accuracy of an architecture — never consulted
     /// by the zero-shot search itself, only by training-based baselines and
     /// final reporting.
@@ -151,12 +317,52 @@ impl SearchContext {
     }
 }
 
+/// Verifies that `store` was opened for `config`'s evaluation namespace.
+/// Every entry point that reads or writes a store on behalf of a
+/// configuration must call this first — serving or appending records under
+/// the wrong namespace would poison the store's persistent log.
+///
+/// # Errors
+///
+/// Returns [`crate::MicroNasError::InvalidConfig`] on a mismatch.
+pub(crate) fn ensure_store_namespace(store: &EvalStore, config: &MicroNasConfig) -> Result<()> {
+    if store.namespace() != config.store_namespace() {
+        return Err(crate::MicroNasError::InvalidConfig(format!(
+            "evaluation store namespace {:#018x} does not match the \
+             configuration's {:#018x}",
+            store.namespace(),
+            config.store_namespace()
+        )));
+    }
+    Ok(())
+}
+
+/// Maps a store-layer error (compute failure or log I/O) onto the crate
+/// error type.
+fn flatten_store_error<E: Into<crate::MicroNasError>>(
+    e: GetOrInsertError<E>,
+) -> crate::MicroNasError {
+    match e {
+        GetOrInsertError::Compute(e) => e.into(),
+        GetOrInsertError::Store(e) => e.into(),
+    }
+}
+
+/// A record of an unexpected kind under a typed key — only possible if a
+/// foreign log was forged into the store's namespace.
+fn record_kind_error(expected: &str) -> crate::MicroNasError {
+    crate::MicroNasError::Store(format!(
+        "store returned a record of the wrong kind (expected {expected})"
+    ))
+}
+
 impl std::fmt::Debug for SearchContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SearchContext")
             .field("dataset", &self.dataset)
             .field("seed", &self.seed)
             .field("cached_evaluations", &self.cache.lock().len())
+            .field("store", &self.store.as_ref().map(|s| s.namespace()))
             .finish()
     }
 }
@@ -181,6 +387,101 @@ mod tests {
             "second evaluation must hit the cache"
         );
         assert_eq!(a, b);
+        let stats = ctx.cache_stats();
+        assert!(stats.hits >= 1, "the revisit counts as a hit");
+        assert!(stats.misses >= 1, "the first visit computed fresh values");
+    }
+
+    #[test]
+    fn isomorphic_cells_evaluate_identically() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv1x1,
+            Operation::None,
+        ]);
+        let twin = cell.intermediate_swap().unwrap();
+        let a = ctx.evaluate(cell).unwrap();
+        let b = ctx.evaluate(twin).unwrap();
+        assert_ne!(a.arch_index, b.arch_index, "distinct representations");
+        assert_eq!(a.zero_cost, b.zero_cost, "identical proxy scores");
+        assert_eq!(a.hardware, b.hardware, "identical hardware indicators");
+    }
+
+    #[test]
+    fn shared_store_serves_hits_across_contexts() {
+        let config = MicroNasConfig::tiny_test();
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+
+        let ctx1 = SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let a = ctx1.evaluate(cell).unwrap();
+        let cold = store.stats();
+        assert!(cold.misses > 0, "cold store computes fresh values");
+
+        // A brand-new context with an empty private cache: everything must
+        // come from the shared store.
+        let ctx2 = SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let b = ctx2.evaluate(cell).unwrap();
+        assert_eq!(a, b);
+        let warm = store.stats().since(&cold);
+        assert_eq!(warm.misses, 0, "warm store must not recompute");
+        assert!(warm.hits >= 2, "zero-cost and hardware records both hit");
+    }
+
+    #[test]
+    fn store_modes_agree_bitwise() {
+        let config = MicroNasConfig::tiny_test();
+        let cell = CellTopology::new([
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv3x3,
+            Operation::None,
+        ]);
+
+        let off = SearchContext::new(DatasetKind::Cifar10, &config)
+            .unwrap()
+            .evaluate(cell)
+            .unwrap();
+
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let cold = SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone())
+            .unwrap()
+            .evaluate(cell)
+            .unwrap();
+        let warm = SearchContext::with_store(DatasetKind::Cifar10, &config, store)
+            .unwrap()
+            .evaluate(cell)
+            .unwrap();
+
+        assert_eq!(off, cold, "store-off vs cold store");
+        assert_eq!(off, warm, "store-off vs pre-warmed store");
+    }
+
+    #[test]
+    fn mismatched_store_namespace_is_rejected() {
+        let config = MicroNasConfig::tiny_test();
+        let store = Arc::new(EvalStore::in_memory(12345));
+        assert!(SearchContext::with_store(DatasetKind::Cifar10, &config, store).is_err());
+    }
+
+    #[test]
+    fn feasibility_uses_the_hardware_cache() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+        assert!(ctx.is_feasible(cell).unwrap());
+        let after_first = ctx.cache_stats();
+        assert!(ctx.is_feasible(cell).unwrap());
+        let delta = ctx.cache_stats().since(&after_first);
+        assert_eq!(delta.misses, 0, "second feasibility check is cached");
+        assert_eq!(delta.hits, 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@ pub enum MicroNasError {
     SearchSpace(String),
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// The shared evaluation store failed (log I/O, corrupt record, ...).
+    Store(String),
     /// The search could not find any architecture satisfying the constraints.
     NoFeasibleArchitecture,
 }
@@ -19,6 +21,7 @@ impl fmt::Display for MicroNasError {
             MicroNasError::Proxy(msg) => write!(f, "proxy evaluation failed: {msg}"),
             MicroNasError::SearchSpace(msg) => write!(f, "search space operation failed: {msg}"),
             MicroNasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MicroNasError::Store(msg) => write!(f, "evaluation store failed: {msg}"),
             MicroNasError::NoFeasibleArchitecture => {
                 write!(f, "no architecture satisfies the hardware constraints")
             }
@@ -37,6 +40,12 @@ impl From<micronas_proxies::ProxyError> for MicroNasError {
 impl From<micronas_searchspace::SearchSpaceError> for MicroNasError {
     fn from(e: micronas_searchspace::SearchSpaceError) -> Self {
         MicroNasError::SearchSpace(e.to_string())
+    }
+}
+
+impl From<micronas_store::StoreError> for MicroNasError {
+    fn from(e: micronas_store::StoreError) -> Self {
+        MicroNasError::Store(e.to_string())
     }
 }
 
@@ -59,6 +68,8 @@ mod tests {
         assert!(MicroNasError::NoFeasibleArchitecture
             .to_string()
             .contains("constraints"));
+        let e: MicroNasError = micronas_store::StoreError::BadMagic.into();
+        assert!(e.to_string().contains("store"));
     }
 
     #[test]

@@ -3,6 +3,7 @@ use micronas_datasets::DatasetKind;
 use micronas_nasbench::SurrogateBenchmark;
 use micronas_proxies::{correlation::kendall_tau, NtkConfig, NtkEvaluator};
 use micronas_searchspace::SearchSpace;
+use micronas_store::{EvalKey, EvalRecord, EvalStore, NtkSpectrumRecord};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +68,7 @@ impl Fig2bResult {
 /// Samples `sample_size` architectures evenly across the space, restricted to
 /// "trainable" ones (connected cells), matching how ranking-correlation
 /// studies on NAS-Bench-201 filter degenerate architectures.
-fn sample_architectures(space: &SearchSpace, sample_size: usize) -> Vec<usize> {
+pub(crate) fn sample_architectures(space: &SearchSpace, sample_size: usize) -> Vec<usize> {
     // Roughly a quarter of the cells are disconnected, so stride through the
     // space densely enough that the connected filter still yields the
     // requested sample size.
@@ -95,6 +96,20 @@ pub fn run_fig2a(
     sample_size: usize,
     max_index: usize,
 ) -> Result<Vec<Fig2aSeries>> {
+    run_fig2a_in(config, sample_size, max_index, None)
+}
+
+/// [`run_fig2a`] against an optional shared evaluation store. This is the
+/// single implementation behind both the public function and the paper-grid
+/// sweep driver, so the two can never diverge: NTK spectra are always
+/// computed on the cell's canonical form (via [`ntk_spectrum_cached`]) and
+/// reused from the store when one is attached.
+pub(crate) fn run_fig2a_in(
+    config: &MicroNasConfig,
+    sample_size: usize,
+    max_index: usize,
+    store: Option<&EvalStore>,
+) -> Result<Vec<Fig2aSeries>> {
     let space = SearchSpace::nas_bench_201();
     let bench = SurrogateBenchmark::new(config.seed);
     let indices = sample_architectures(&space, sample_size);
@@ -105,17 +120,23 @@ pub fn run_fig2a(
         ntk_config.max_condition_index = max_index;
         let evaluator = NtkEvaluator::new(ntk_config);
 
-        let rows: Vec<(Vec<f64>, f64)> = indices
+        let rows: Vec<Result<(Vec<f64>, f64)>> = indices
             .par_iter()
             .map(|&idx| {
                 let arch = space.architecture(idx).expect("sampled index is valid");
-                let report = evaluator
-                    .evaluate(*arch.cell(), dataset, config.seed)
-                    .expect("proxy evaluation of a valid cell succeeds");
+                let rec = ntk_spectrum_cached(
+                    store,
+                    &evaluator,
+                    *arch.cell(),
+                    dataset,
+                    config.seed,
+                    max_index,
+                )?;
                 let accuracy = bench.query(&arch, dataset).test_accuracy;
-                (report.condition_indices, accuracy)
+                Ok((rec.condition_indices, accuracy))
             })
             .collect();
+        let rows = rows.into_iter().collect::<Result<Vec<_>>>()?;
 
         let accuracies: Vec<f64> = rows.iter().map(|(_, a)| *a).collect();
         let mut taus = Vec::with_capacity(max_index);
@@ -134,6 +155,49 @@ pub fn run_fig2a(
     Ok(out)
 }
 
+/// Fetches (or computes and stores) the NTK spectrum of a cell. The proxy
+/// runs on the canonical orbit representative, so the result is a pure
+/// function of the store key - bitwise identical with or without a store. A
+/// resident record shorter than `needed` counts as a miss and is recomputed
+/// (and replaced with the longer spectrum).
+pub(crate) fn ntk_spectrum_cached(
+    store: Option<&EvalStore>,
+    evaluator: &NtkEvaluator,
+    cell: micronas_searchspace::CellTopology,
+    dataset: DatasetKind,
+    seed: u64,
+    needed: usize,
+) -> Result<NtkSpectrumRecord> {
+    let canonical = cell.canonical_form();
+    let batch = u16::try_from(evaluator.config().batch_size).map_err(|_| {
+        crate::MicroNasError::InvalidConfig(format!(
+            "NTK batch size {} exceeds the store key range",
+            evaluator.config().batch_size
+        ))
+    })?;
+    let key = EvalKey::ntk_spectrum(&canonical, dataset, seed, batch);
+    if let Some(store) = store {
+        let usable = store.get_matching(&key, |r| {
+            r.as_ntk_spectrum()
+                .is_some_and(|s| s.condition_indices.len() >= needed)
+        });
+        if let Some(EvalRecord::NtkSpectrum(rec)) = usable {
+            return Ok(rec);
+        }
+    }
+    let report = evaluator.evaluate(canonical, dataset, seed)?;
+    let record = NtkSpectrumRecord {
+        condition_number: report.condition_number,
+        condition_indices: report.condition_indices,
+    };
+    if let Some(store) = store {
+        store
+            .insert(key, EvalRecord::NtkSpectrum(record.clone()))
+            .map_err(crate::MicroNasError::from)?;
+    }
+    Ok(record)
+}
+
 /// Reproduces Fig. 2b: Kendall-τ between the (negated) NTK condition number
 /// and surrogate accuracy as a function of the NTK batch size, repeated for
 /// `seeds` independent seeds plus their average.
@@ -146,6 +210,28 @@ pub fn run_fig2b(
     sample_size: usize,
     batch_sizes: &[usize],
     seeds: usize,
+) -> Result<Fig2bResult> {
+    run_fig2b_in(
+        config,
+        sample_size,
+        batch_sizes,
+        seeds,
+        config.ntk.max_condition_index,
+        None,
+    )
+}
+
+/// [`run_fig2b`] against an optional shared evaluation store. Spectrum
+/// records are computed with `spectrum_indices` condition indices so they
+/// satisfy Fig. 2a requests on the same store (the sweep driver passes the
+/// same value to both experiments; only `K_1` is read here).
+pub(crate) fn run_fig2b_in(
+    config: &MicroNasConfig,
+    sample_size: usize,
+    batch_sizes: &[usize],
+    seeds: usize,
+    spectrum_indices: usize,
+    store: Option<&EvalStore>,
 ) -> Result<Fig2bResult> {
     let space = SearchSpace::nas_bench_201();
     let bench = SurrogateBenchmark::new(config.seed);
@@ -162,27 +248,31 @@ pub fn run_fig2b(
 
     let mut taus_per_seed = Vec::with_capacity(seeds);
     for seed in 0..seeds {
+        let eval_seed = config.seed.wrapping_add(seed as u64 * 977);
         let mut taus = Vec::with_capacity(batch_sizes.len());
         for &batch in batch_sizes {
             let ntk_config = NtkConfig {
                 batch_size: batch,
+                max_condition_index: spectrum_indices,
                 ..config.ntk
             };
             let evaluator = NtkEvaluator::new(ntk_config);
-            let neg_k: Vec<f64> = indices
+            let neg_k: Vec<Result<f64>> = indices
                 .par_iter()
                 .map(|&idx| {
                     let arch = space.architecture(idx).expect("valid index");
-                    let report = evaluator
-                        .evaluate(
-                            *arch.cell(),
-                            dataset,
-                            config.seed.wrapping_add(seed as u64 * 977),
-                        )
-                        .expect("proxy evaluation succeeds");
-                    -report.condition_number
+                    let rec = ntk_spectrum_cached(
+                        store,
+                        &evaluator,
+                        *arch.cell(),
+                        dataset,
+                        eval_seed,
+                        1,
+                    )?;
+                    Ok(-rec.condition_number)
                 })
                 .collect();
+            let neg_k = neg_k.into_iter().collect::<Result<Vec<_>>>()?;
             taus.push(kendall_tau(&neg_k, &accuracies));
         }
         taus_per_seed.push(taus);

@@ -16,16 +16,19 @@
 //! | [`run_flops_vs_latency`] | §III FLOPs-guided vs. latency-guided comparison |
 //! | [`run_memory_guided`] | §IV future-work extension: peak-memory-guided search |
 //! | [`run_ntk_cost`] | §II-A.1 cost argument: NTK wall-clock vs. batch size |
+//! | [`run_paper_sweep`] | The whole grid above against one shared evaluation store |
 
 mod efficiency;
 mod fig2;
 mod ntk_cost;
+mod sweep;
 mod sweeps;
 mod table1;
 
 pub use efficiency::{run_search_efficiency, EfficiencyReport};
 pub use fig2::{run_fig2a, run_fig2b, Fig2aSeries, Fig2bResult};
 pub use ntk_cost::{run_ntk_cost, NtkCostPoint};
+pub use sweep::{run_paper_sweep, SweepReport, SweepScale};
 pub use sweeps::{
     run_flops_vs_latency, run_latency_sweep, run_memory_guided, GuidanceComparison, SweepPoint,
 };

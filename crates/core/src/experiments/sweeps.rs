@@ -59,7 +59,17 @@ fn point_from_search(
 /// Propagates search failures.
 pub fn run_latency_sweep(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec<SweepPoint>> {
     let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
-    let baseline = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    latency_sweep_in(&ctx, config, weights)
+}
+
+/// The latency-weight sweep against a caller-provided context, so sweeps can
+/// share one evaluation cache (and one store) across experiments.
+pub(crate) fn latency_sweep_in(
+    ctx: &SearchContext,
+    config: &MicroNasConfig,
+    weights: &[f64],
+) -> Result<Vec<SweepPoint>> {
+    let baseline = MicroNasSearch::te_nas_baseline(config).run(ctx)?;
     let baseline_latency = baseline.evaluation.hardware.latency_ms;
 
     let mut out = vec![SweepPoint {
@@ -72,7 +82,7 @@ pub fn run_latency_sweep(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec
     }];
     for &w in weights {
         out.push(point_from_search(
-            &ctx,
+            ctx,
             config,
             ObjectiveWeights::latency_guided(w),
             w,

@@ -67,11 +67,21 @@ pub fn run_table1(
     latency_weight: f64,
 ) -> Result<Vec<Table1Row>> {
     let context = SearchContext::new(DatasetKind::Cifar10, config)?;
+    table1_rows_in(&context, config, evolution, latency_weight)
+}
 
-    let munas = EvolutionarySearch::new(evolution)?.run(&context)?;
-    let te_nas = MicroNasSearch::te_nas_baseline(config).run(&context)?;
+/// Table I rows computed against a caller-provided context, so sweeps can
+/// share one evaluation cache (and one store) across experiments.
+pub(crate) fn table1_rows_in(
+    context: &SearchContext,
+    config: &MicroNasConfig,
+    evolution: EvolutionaryConfig,
+    latency_weight: f64,
+) -> Result<Vec<Table1Row>> {
+    let munas = EvolutionarySearch::new(evolution)?.run(context)?;
+    let te_nas = MicroNasSearch::te_nas_baseline(config).run(context)?;
     let micro = MicroNasSearch::new(ObjectiveWeights::latency_guided(latency_weight), config)
-        .run(&context)?;
+        .run(context)?;
 
     let reference_latency = te_nas.evaluation.hardware.latency_ms;
     let rows = vec![

@@ -47,7 +47,7 @@ mod search;
 
 pub use config::MicroNasConfig;
 pub use context::{CandidateEvaluation, SearchContext};
-pub use cost::SearchCost;
+pub use cost::{EvalCacheStats, SearchCost};
 pub use error::MicroNasError;
 pub use objective::{HybridObjective, ObjectiveWeights};
 pub use outcome::SearchOutcome;

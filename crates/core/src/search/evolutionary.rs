@@ -87,6 +87,7 @@ impl EvolutionarySearch {
     /// candidate can be sampled.
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
         let start = Instant::now();
+        let cache_before = ctx.cache_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed().wrapping_add(0x45564F));
         let mut simulated_gpu_hours = 0.0f64;
         let mut trained: HashSet<usize> = HashSet::new();
@@ -103,11 +104,11 @@ impl EvolutionarySearch {
             };
 
         // Feasibility check uses only the cheap hardware indicators, as µNAS
-        // does with its analytic resource models.
-        let feasible = |arch: &Architecture| -> bool {
-            let hw = ctx.hardware().evaluate(*arch.cell());
-            ctx.constraints().satisfied_by(&hw)
-        };
+        // does with its analytic resource models. It goes through the
+        // context's cached path, so mutated children that revisit an
+        // already-scored cell hit the cache (or the shared store) instead of
+        // paying a fresh hardware pass.
+        let feasible = |arch: &Architecture| -> Result<bool> { ctx.is_feasible(*arch.cell()) };
 
         // Seed the population with feasible random candidates. Candidate
         // `i` is drawn from its own ChaCha8 stream keyed by
@@ -127,9 +128,9 @@ impl EvolutionarySearch {
                     random_architecture(ctx.space(), &mut arch_rng)
                 })
                 .collect();
-            let feasibility: Vec<bool> = batch.par_iter().map(&feasible).collect();
+            let feasibility: Vec<Result<bool>> = batch.par_iter().map(&feasible).collect();
             for (arch, ok) in batch.into_iter().zip(feasibility) {
-                if ok && population.len() < self.config.population {
+                if ok? && population.len() < self.config.population {
                     let fit = fitness(&arch, &mut trained, &mut simulated_gpu_hours);
                     population.push_back((arch, fit));
                 }
@@ -163,11 +164,11 @@ impl EvolutionarySearch {
             // Mutate until a feasible child appears (bounded retries).
             let mut child = mutate(ctx.space(), &parent.0, &mut rng);
             let mut retries = 0;
-            while !feasible(&child) && retries < 50 {
+            while !feasible(&child)? && retries < 50 {
                 child = mutate(ctx.space(), &parent.0, &mut rng);
                 retries += 1;
             }
-            if !feasible(&child) {
+            if !feasible(&child)? {
                 history.push(best.1);
                 continue;
             }
@@ -189,6 +190,7 @@ impl EvolutionarySearch {
                 wall_clock_seconds: start.elapsed().as_secs_f64(),
                 simulated_gpu_hours,
                 evaluations: trained.len(),
+                cache: ctx.cache_stats().since(&cache_before),
             },
             algorithm: "µNAS-style constrained evolution (training-based)".to_string(),
             history,
@@ -268,6 +270,44 @@ mod tests {
         .run(&ctx2)
         .unwrap();
         assert!(large.cost.simulated_gpu_hours > small.cost.simulated_gpu_hours);
+    }
+
+    #[test]
+    fn revisited_children_hit_the_evaluation_cache() {
+        let ctx = tiny_context();
+        let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
+        let outcome = search.run(&ctx).unwrap();
+        // Mutated children frequently land on already-scored cells; those
+        // feasibility checks must be served from the cache, not recomputed.
+        assert!(
+            outcome.cost.cache.hits > 0,
+            "revisits must hit the cache: {:?}",
+            outcome.cost.cache
+        );
+        assert!(outcome.cost.cache.misses > 0, "fresh cells still compute");
+    }
+
+    #[test]
+    fn shared_store_removes_duplicate_work_across_runs() {
+        use micronas_store::EvalStore;
+        use std::sync::Arc;
+
+        let config = MicroNasConfig::tiny_test();
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let search = EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap();
+
+        let ctx1 = SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let first = search.run(&ctx1).unwrap();
+
+        let ctx2 = SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let second = search.run(&ctx2).unwrap();
+
+        // Identical search under a warm store: no fresh proxy passes at all,
+        // and the outcome is bitwise identical.
+        assert_eq!(second.cost.cache.misses, 0, "warm store must not recompute");
+        assert_eq!(first.best.index(), second.best.index());
+        assert_eq!(first.history, second.history);
+        assert_eq!(first.evaluation, second.evaluation);
     }
 
     #[test]

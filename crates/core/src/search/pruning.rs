@@ -92,6 +92,7 @@ impl MicroNasSearch {
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
+        let cache_before = ctx.cache_stats();
         let mut supernet = Supernet::full();
         let mut history = Vec::new();
 
@@ -149,6 +150,7 @@ impl MicroNasSearch {
                 wall_clock_seconds: start.elapsed().as_secs_f64(),
                 simulated_gpu_hours: 0.0,
                 evaluations: ctx.evaluation_count() - evaluations_before,
+                cache: ctx.cache_stats().since(&cache_before),
             },
             algorithm: self.algorithm_name.clone(),
             history,
@@ -224,6 +226,39 @@ mod tests {
             "latency {} exceeds budget {}",
             outcome.evaluation.hardware.latency_ms,
             budget_ms
+        );
+    }
+
+    #[test]
+    fn outcome_is_bitwise_identical_across_store_modes() {
+        use micronas_store::EvalStore;
+        use std::sync::Arc;
+
+        let config = MicroNasConfig::tiny_test();
+        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+
+        let off = search
+            .run(&tiny_context(HardwareConstraints::unconstrained()))
+            .unwrap();
+
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let ctx_cold =
+            SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let cold = search.run(&ctx_cold).unwrap();
+
+        let ctx_warm =
+            SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let warm = search.run(&ctx_warm).unwrap();
+
+        for (label, other) in [("cold", &cold), ("warm", &warm)] {
+            assert_eq!(off.best.index(), other.best.index(), "{label} best");
+            assert_eq!(off.history, other.history, "{label} history");
+            assert_eq!(off.evaluation, other.evaluation, "{label} evaluation");
+            assert_eq!(off.test_accuracy, other.test_accuracy, "{label} accuracy");
+        }
+        assert_eq!(
+            warm.cost.cache.misses, 0,
+            "a pre-warmed store serves the whole search"
         );
     }
 

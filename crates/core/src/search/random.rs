@@ -59,6 +59,7 @@ impl RandomSearch {
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
+        let cache_before = ctx.cache_stats();
         let base_seed = ctx.seed().wrapping_add(RANDOM_STREAM);
 
         // Draw every candidate from its own deterministic stream so the
@@ -109,6 +110,7 @@ impl RandomSearch {
             wall_clock_seconds: start.elapsed().as_secs_f64(),
             simulated_gpu_hours: 0.0,
             evaluations: ctx.evaluation_count() - evaluations_before,
+            cache: ctx.cache_stats().since(&cache_before),
         };
         outcome.history = history;
         Ok(outcome)

@@ -1,0 +1,184 @@
+//! Canonical (isomorphism-invariant) cell representatives.
+//!
+//! Two NAS-Bench-201 cells can describe the same architecture under a
+//! relabeling of the *intermediate* nodes. The cell DAG fixes node 0 as the
+//! cell input and node 3 as the cell output, so the only relabeling freedom
+//! is swapping the intermediate nodes 1 and 2. That swap maps the internal
+//! edge `1→2` onto the reversed pair `2→1`, which the encoding cannot
+//! express — so the swap is a valid isomorphism exactly when edge `1→2`
+//! carries the `none` operation (no signal, nothing to reverse).
+//!
+//! [`CellTopology::canonical_form`] picks one representative per isomorphism
+//! orbit: the lexicographically smallest operation assignment (compared by
+//! [`Operation::index`] over the canonical edge order). Every orbit has at
+//! most two members, so canonicalisation is a single comparison.
+//!
+//! Canonical forms give every architecture a *content address*: a stable
+//! digest of the canonical encoding identifies the architecture itself,
+//! independent of which orbit member a search happened to visit. The
+//! `micronas-store` crate builds its persistent evaluation keys on top of
+//! this, and `micronas`'s `SearchContext` evaluates proxies on the canonical
+//! representative so that isomorphic cells receive bitwise-identical scores.
+
+use crate::{CellTopology, Operation, NUM_EDGES};
+
+impl CellTopology {
+    /// The cell obtained by swapping the intermediate nodes 1 and 2, when
+    /// that swap is a valid isomorphism (edge `1→2` is `none`).
+    ///
+    /// In canonical edge order `[0→1, 0→2, 1→2, 0→3, 1→3, 2→3]` the swap
+    /// exchanges the positions `0↔1` (the edges out of the input node) and
+    /// `4↔5` (the edges into the output node).
+    pub fn intermediate_swap(&self) -> Option<CellTopology> {
+        let ops = self.edge_ops();
+        if ops[2] != Operation::None {
+            return None;
+        }
+        Some(CellTopology::new([
+            ops[1], ops[0], ops[2], ops[3], ops[5], ops[4],
+        ]))
+    }
+
+    /// The canonical representative of this cell's isomorphism orbit: the
+    /// lexicographically smallest operation assignment among the cell and
+    /// its valid intermediate-node relabelings.
+    pub fn canonical_form(&self) -> CellTopology {
+        match self.intermediate_swap() {
+            Some(swapped) if encoding(&swapped) < encoding(self) => swapped,
+            _ => *self,
+        }
+    }
+
+    /// Whether this cell already is its orbit's canonical representative.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical_form() == *self
+    }
+
+    /// Whether two cells describe the same architecture up to relabeling of
+    /// the intermediate nodes.
+    pub fn isomorphic_to(&self, other: &CellTopology) -> bool {
+        self.canonical_form() == other.canonical_form()
+    }
+}
+
+/// The cell's encoding as operation indices in canonical edge order, the
+/// total order used to pick orbit representatives.
+fn encoding(cell: &CellTopology) -> [usize; NUM_EDGES] {
+    let mut out = [0usize; NUM_EDGES];
+    for (slot, op) in out.iter_mut().zip(cell.edge_ops()) {
+        *slot = op.index();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SearchSpace, ALL_OPERATIONS};
+    use proptest::prelude::*;
+
+    fn arb_cell() -> impl Strategy<Value = CellTopology> {
+        proptest::array::uniform6(0usize..5).prop_map(|idx| {
+            let mut ops = [Operation::None; NUM_EDGES];
+            for (i, &k) in idx.iter().enumerate() {
+                ops[i] = ALL_OPERATIONS[k];
+            }
+            CellTopology::new(ops)
+        })
+    }
+
+    #[test]
+    fn swap_requires_none_on_the_internal_edge() {
+        let blocked = CellTopology::new([Operation::NorConv3x3; 6]);
+        assert!(blocked.intermediate_swap().is_none());
+        assert!(blocked.is_canonical());
+
+        let open = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv1x1,
+            Operation::None,
+        ]);
+        let swapped = open.intermediate_swap().unwrap();
+        assert_eq!(
+            swapped,
+            CellTopology::new([
+                Operation::SkipConnect,
+                Operation::NorConv3x3,
+                Operation::None,
+                Operation::AvgPool3x3,
+                Operation::None,
+                Operation::NorConv1x1,
+            ])
+        );
+    }
+
+    #[test]
+    fn canonical_form_picks_the_smaller_encoding() {
+        // skip(1) on 0→1 beats conv3x3(3): the swapped form is canonical.
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv1x1,
+            Operation::None,
+        ]);
+        assert!(!cell.is_canonical());
+        let canon = cell.canonical_form();
+        assert_eq!(canon, cell.intermediate_swap().unwrap());
+        assert!(canon.is_canonical());
+        assert!(cell.isomorphic_to(&canon));
+    }
+
+    #[test]
+    fn orbit_size_over_the_whole_space() {
+        // Every orbit has one or two members; counting representatives over
+        // all 15 625 cells gives the number of distinct architectures under
+        // intermediate-node relabeling.
+        let space = SearchSpace::nas_bench_201();
+        let mut canonical = 0usize;
+        for i in 0..space.len() {
+            if space.cell(i).unwrap().is_canonical() {
+                canonical += 1;
+            }
+        }
+        assert!(canonical < space.len());
+        // 5^5 cells have `none` on edge 1→2; of those, the ones where the
+        // swapped encoding differs pair up. Orbits of size two: for e12=none,
+        // pairs with (e01,e13) != (e02,e23). 5^5 - pairs... just pin the
+        // counted value as a regression guard:
+        assert_eq!(canonical, 14_125);
+    }
+
+    proptest! {
+        #[test]
+        fn canonicalisation_is_idempotent(cell in arb_cell()) {
+            let canon = cell.canonical_form();
+            prop_assert!(canon.is_canonical());
+            prop_assert_eq!(canon.canonical_form(), canon);
+        }
+
+        #[test]
+        fn swap_is_an_involution(cell in arb_cell()) {
+            if let Some(swapped) = cell.intermediate_swap() {
+                prop_assert_eq!(swapped.intermediate_swap().unwrap(), cell);
+                prop_assert!(cell.isomorphic_to(&swapped));
+            }
+        }
+
+        #[test]
+        fn orbit_members_share_invariants(cell in arb_cell()) {
+            let canon = cell.canonical_form();
+            prop_assert_eq!(canon.op_histogram(), cell.op_histogram());
+            prop_assert_eq!(
+                canon.has_input_output_path(),
+                cell.has_input_output_path()
+            );
+            prop_assert_eq!(canon.longest_path_edges(), cell.longest_path_edges());
+            prop_assert_eq!(canon.effective_depth(), cell.effective_depth());
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //!
 //! * [`Operation`] — the candidate operation set;
 //! * [`CellTopology`] — a concrete assignment of operations to edges, with
-//!   the canonical NAS-Bench-201 architecture-string encoding;
+//!   the canonical NAS-Bench-201 architecture-string encoding and the
+//!   isomorphism-orbit canonical form used for content-addressed identity
+//!   (see [`CellTopology::canonical_form`]);
 //! * [`Architecture`] — a cell plus its index in the enumeration of the space;
 //! * [`SearchSpace`] — enumeration, sampling and indexing of all 15 625 cells;
 //! * [`Supernet`] — the pruning-search state in which every edge still holds
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod canonical;
 mod cell;
 mod error;
 mod neighbors;

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors raised by the evaluation store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error while reading or writing the on-disk log.
+    Io(std::io::Error),
+    /// The log file does not start with the expected magic bytes.
+    BadMagic,
+    /// The log was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The log belongs to a different evaluation configuration.
+    NamespaceMismatch {
+        /// Namespace fingerprint found in the file header.
+        found: u64,
+        /// Namespace fingerprint the caller expected.
+        expected: u64,
+    },
+    /// A record payload could not be decoded (unknown tag or short buffer).
+    MalformedRecord(&'static str),
+    /// Another store (in this or another process) holds the log open. The
+    /// log format is single-writer; the OS advisory lock is released
+    /// automatically when the owner exits or crashes.
+    Locked {
+        /// Path of the contended log file.
+        path: std::path::PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not an evaluation-store log (bad magic)"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "log format version {found} is incompatible with this build (expected {expected})"
+            ),
+            StoreError::NamespaceMismatch { found, expected } => write!(
+                f,
+                "log namespace {found:#018x} does not match the evaluation \
+                 configuration {expected:#018x}"
+            ),
+            StoreError::MalformedRecord(what) => write!(f, "malformed store record: {what}"),
+            StoreError::Locked { path } => write!(
+                f,
+                "evaluation-store log {} is held by another store (single-writer)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::NamespaceMismatch {
+            found: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("namespace"));
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let io: StoreError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

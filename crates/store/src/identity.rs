@@ -1,0 +1,236 @@
+//! Content-addressed architecture identity.
+//!
+//! Every stored evaluation is keyed by an [`EvalKey`]: the digest of the
+//! cell's canonical form plus the evaluation coordinates (dataset, seed,
+//! proxy kind). The digest is computed with **FNV-1a (64-bit)** — a simple,
+//! publicly specified hash with fixed constants — over a version-stamped
+//! canonical byte encoding, so digests are stable across processes, builds
+//! and platforms. `std::hash::DefaultHasher` is deliberately *not* used: its
+//! output is allowed to change between Rust releases and is randomised in
+//! some configurations, which would silently orphan every persisted record.
+
+use crate::fnv::Fnv1a;
+use micronas_datasets::DatasetKind;
+use micronas_searchspace::CellTopology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Version stamp mixed into every digest. Bump when the canonical encoding
+/// changes so stale digests can never alias new ones.
+pub const IDENTITY_VERSION: u32 = 1;
+
+/// Domain-separation prefix of the canonical cell encoding.
+const CELL_DOMAIN: &[u8] = b"micronas/cell/";
+
+/// A stable, content-addressed digest of an architecture.
+///
+/// Two cells receive the same digest exactly when they are isomorphic
+/// (identical up to relabeling of the intermediate nodes — see
+/// [`CellTopology::canonical_form`]). The digest is a pure function of the
+/// canonical encoding and [`IDENTITY_VERSION`]; it does not depend on the
+/// process, platform or Rust release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArchDigest(pub u64);
+
+impl ArchDigest {
+    /// Digest of `cell`'s isomorphism orbit.
+    pub fn of(cell: &CellTopology) -> Self {
+        let canonical = cell.canonical_form();
+        let mut h = Fnv1a::new();
+        h.update(CELL_DOMAIN);
+        h.update(&IDENTITY_VERSION.to_le_bytes());
+        for op in canonical.edge_ops() {
+            h.update(&[op.index() as u8]);
+        }
+        ArchDigest(h.finish())
+    }
+
+    /// The raw 64-bit digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ArchDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Which proxy family a record belongs to, including the one configuration
+/// axis the paper sweeps (the NTK batch size). Everything else that shapes
+/// proxy values — probe-network geometry, linear-region probing, the target
+/// MCU — is captured by the store's namespace fingerprint instead (see
+/// [`crate::EvalStore::namespace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProxyKind {
+    /// The bundled zero-cost metrics (NTK condition + linear regions) at the
+    /// given NTK batch size.
+    ZeroCost {
+        /// NTK mini-batch size.
+        ntk_batch: u16,
+    },
+    /// The full NTK condition-index spectrum `K_1..K_n` at the given batch
+    /// size (Fig. 2a/2b material).
+    NtkSpectrum {
+        /// NTK mini-batch size.
+        batch: u16,
+    },
+    /// Hardware indicators (FLOPs, latency, memory). Seed-independent:
+    /// records of this kind use seed 0 by convention.
+    Hardware,
+}
+
+impl ProxyKind {
+    /// Stable `(tag, parameter)` encoding used by the log format and the
+    /// shard hash.
+    pub fn encode(self) -> (u8, u16) {
+        match self {
+            ProxyKind::ZeroCost { ntk_batch } => (0, ntk_batch),
+            ProxyKind::NtkSpectrum { batch } => (1, batch),
+            ProxyKind::Hardware => (2, 0),
+        }
+    }
+
+    /// Inverse of [`ProxyKind::encode`].
+    pub fn decode(tag: u8, param: u16) -> Option<Self> {
+        match tag {
+            0 => Some(ProxyKind::ZeroCost { ntk_batch: param }),
+            1 => Some(ProxyKind::NtkSpectrum { batch: param }),
+            2 => Some(ProxyKind::Hardware),
+            _ => None,
+        }
+    }
+}
+
+/// The full identity of one stored evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvalKey {
+    /// Content-addressed digest of the architecture (canonical form).
+    pub cell: ArchDigest,
+    /// Dataset the proxies were evaluated on.
+    pub dataset: DatasetKind,
+    /// Reproducibility seed of the evaluation (0 for seed-independent kinds).
+    pub seed: u64,
+    /// Proxy family (and its swept parameter).
+    pub kind: ProxyKind,
+}
+
+impl EvalKey {
+    /// Key for the bundled zero-cost metrics of a cell.
+    pub fn zero_cost(cell: &CellTopology, dataset: DatasetKind, seed: u64, ntk_batch: u16) -> Self {
+        Self {
+            cell: ArchDigest::of(cell),
+            dataset,
+            seed,
+            kind: ProxyKind::ZeroCost { ntk_batch },
+        }
+    }
+
+    /// Key for the NTK condition-index spectrum of a cell.
+    pub fn ntk_spectrum(cell: &CellTopology, dataset: DatasetKind, seed: u64, batch: u16) -> Self {
+        Self {
+            cell: ArchDigest::of(cell),
+            dataset,
+            seed,
+            kind: ProxyKind::NtkSpectrum { batch },
+        }
+    }
+
+    /// Key for the (seed-independent) hardware indicators of a cell.
+    pub fn hardware(cell: &CellTopology, dataset: DatasetKind) -> Self {
+        Self {
+            cell: ArchDigest::of(cell),
+            dataset,
+            seed: 0,
+            kind: ProxyKind::Hardware,
+        }
+    }
+
+    /// A stable 64-bit mix of every key field, used for shard selection.
+    pub fn shard_hash(&self) -> u64 {
+        let (tag, param) = self.kind.encode();
+        let mut h = Fnv1a::new();
+        h.update(&self.cell.0.to_le_bytes());
+        h.update(&[self.dataset.id() as u8]);
+        h.update(&self.seed.to_le_bytes());
+        h.update(&[tag]);
+        h.update(&param.to_le_bytes());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    #[test]
+    fn digest_is_isomorphism_invariant() {
+        let cell = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv1x1,
+            Operation::None,
+        ]);
+        let swapped = cell.intermediate_swap().unwrap();
+        assert_ne!(cell, swapped);
+        assert_eq!(ArchDigest::of(&cell), ArchDigest::of(&swapped));
+    }
+
+    #[test]
+    fn digests_separate_all_canonical_classes() {
+        // Collision-freeness over the *entire* space: every isomorphism
+        // class must map to a distinct digest.
+        let space = SearchSpace::nas_bench_201();
+        let mut seen: std::collections::HashMap<u64, CellTopology> =
+            std::collections::HashMap::new();
+        for i in 0..space.len() {
+            let cell = space.cell(i).unwrap();
+            let digest = ArchDigest::of(&cell).value();
+            if let Some(previous) = seen.insert(digest, cell) {
+                assert!(
+                    previous.isomorphic_to(&cell),
+                    "digest collision between non-isomorphic cells {previous} and {cell}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 14_125, "one digest per isomorphism class");
+    }
+
+    #[test]
+    fn proxy_kind_roundtrips() {
+        for kind in [
+            ProxyKind::ZeroCost { ntk_batch: 32 },
+            ProxyKind::NtkSpectrum { batch: 4 },
+            ProxyKind::Hardware,
+        ] {
+            let (tag, param) = kind.encode();
+            assert_eq!(ProxyKind::decode(tag, param), Some(kind));
+        }
+        assert_eq!(ProxyKind::decode(99, 0), None);
+    }
+
+    #[test]
+    fn keys_distinguish_every_coordinate() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(123).unwrap();
+        let base = EvalKey::zero_cost(&cell, DatasetKind::Cifar10, 7, 32);
+        assert_ne!(
+            base,
+            EvalKey::zero_cost(&cell, DatasetKind::Cifar100, 7, 32)
+        );
+        assert_ne!(base, EvalKey::zero_cost(&cell, DatasetKind::Cifar10, 8, 32));
+        assert_ne!(base, EvalKey::zero_cost(&cell, DatasetKind::Cifar10, 7, 16));
+        assert_ne!(
+            base,
+            EvalKey::ntk_spectrum(&cell, DatasetKind::Cifar10, 7, 32)
+        );
+        assert_ne!(
+            base.shard_hash(),
+            EvalKey::hardware(&cell, DatasetKind::Cifar10).shard_hash()
+        );
+    }
+}

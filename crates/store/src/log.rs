@@ -1,0 +1,499 @@
+//! The append-only on-disk log behind [`crate::EvalStore`].
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! header:  magic "MNEVST01" (8 bytes)
+//!          format version   u32 le
+//!          namespace        u64 le   (evaluation-configuration fingerprint)
+//! record:  payload length   u32 le
+//!          checksum         u64 le   (FNV-1a 64 of the payload bytes)
+//!          payload          (see `record::encode_entry`)
+//! ```
+//!
+//! The log is append-only: a record, once written, is never modified in
+//! place. Crash tolerance comes from replay-time **tail recovery**: a
+//! partially written record at the end of the file (torn length prefix,
+//! short payload, or checksum mismatch) marks the end of the valid prefix;
+//! everything before it is kept, the tail is truncated away, and the store
+//! keeps appending from there. A checksum mismatch therefore never silently
+//! yields corrupt data — the offending record and anything after it (whose
+//! framing can no longer be trusted) are rejected.
+//!
+//! Re-inserting a key appends a newer record; replay is last-wins. The
+//! [`compact`] operation rewrites the log with exactly one record per live
+//! key (atomically, via a temp file and rename), which bounds log growth for
+//! long-lived stores.
+
+use crate::fnv::fnv1a64;
+use crate::record::{decode_entry, encode_entry};
+use crate::{EvalKey, EvalRecord, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every log file.
+pub const LOG_MAGIC: [u8; 8] = *b"MNEVST01";
+
+/// Format version written by this build.
+pub const LOG_VERSION: u32 = 1;
+
+/// Byte length of the file header.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Per-record framing overhead (length + checksum).
+const FRAME_LEN: usize = 4 + 8;
+
+/// Upper bound on a single payload; anything larger is treated as corruption.
+const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Result of replaying a log file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every valid `(key, record)` entry, in append order (callers apply
+    /// last-wins).
+    pub entries: Vec<(EvalKey, EvalRecord)>,
+    /// Byte offset of the end of the valid prefix.
+    pub valid_len: u64,
+    /// Whether an invalid tail (torn write or checksum mismatch) was found
+    /// and discarded.
+    pub recovered: bool,
+}
+
+/// An open, appendable log file.
+#[derive(Debug)]
+pub struct LogWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl LogWriter {
+    /// Opens `path` for appending, creating it (with a fresh header) if
+    /// missing, validating the header and replaying existing records
+    /// otherwise. An invalid tail is truncated away before appending resumes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, bad magic, version/namespace mismatches, or
+    /// [`StoreError::Locked`] when another process (or another store in this
+    /// process) already has the log open.
+    pub fn open(path: &Path, namespace: u64) -> Result<(Self, Replay), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        lock_exclusive(&file, path)?;
+
+        // Decide fresh-vs-existing from the file length observed *after*
+        // taking the lock: a pre-open `exists()` check would race with a
+        // concurrent creator and overwrite its header and records.
+        //
+        // A file shorter than one header cannot hold any record. If its
+        // bytes are a prefix of the header we would write — the only thing a
+        // crash during creation can leave behind — recover it like a torn
+        // tail (rewrite the header, resume empty) rather than bricking the
+        // store with `BadMagic` forever. Anything else, short or
+        // full-length, is someone else's file and is refused untouched.
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(&LOG_MAGIC);
+        header.extend_from_slice(&LOG_VERSION.to_le_bytes());
+        header.extend_from_slice(&namespace.to_le_bytes());
+
+        let replay = if file.metadata()?.len() >= HEADER_LEN {
+            let replay = replay_file(&mut file, namespace)?;
+            if replay.recovered {
+                file.set_len(replay.valid_len)?;
+            }
+            file.seek(SeekFrom::Start(replay.valid_len))?;
+            replay
+        } else {
+            let mut torn = Vec::new();
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut torn)?;
+            if !header.starts_with(&torn) {
+                return Err(StoreError::BadMagic);
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header)?;
+            file.flush()?;
+            Replay {
+                entries: Vec::new(),
+                valid_len: HEADER_LEN,
+                recovered: !torn.is_empty(),
+            }
+        };
+
+        Ok((
+            Self {
+                writer: BufWriter::new(file),
+                path: path.to_path_buf(),
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one record and flushes it to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append(&mut self, key: &EvalKey, record: &EvalRecord) -> Result<(), StoreError> {
+        let payload = encode_entry(key, record);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// The path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Takes the OS advisory lock on the log file, enforcing a single writer.
+///
+/// The lock is attached to the open file description: it is released when
+/// the file handle drops — including when the owning process dies, so a
+/// crashed writer never leaves a stale lock behind (tail recovery handles
+/// whatever it left in the file instead).
+fn lock_exclusive(file: &File, path: &Path) -> Result<(), StoreError> {
+    match file.try_lock() {
+        Ok(()) => Ok(()),
+        Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Locked {
+            path: path.to_path_buf(),
+        }),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
+}
+
+/// Replays the records of an open log file (header first).
+fn replay_file(file: &mut File, namespace: u64) -> Result<Replay, StoreError> {
+    file.seek(SeekFrom::Start(0))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    replay_bytes(&bytes, namespace)
+}
+
+/// Replays a log image held in memory.
+///
+/// # Errors
+///
+/// Fails on header problems (magic / version / namespace); record-level
+/// corruption is *not* an error — it terminates the valid prefix instead.
+pub fn replay_bytes(bytes: &[u8], namespace: u64) -> Result<Replay, StoreError> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes[..8] != LOG_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    if version != LOG_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: LOG_VERSION,
+        });
+    }
+    let found_ns = u64::from_le_bytes(bytes[12..20].try_into().expect("len 8"));
+    if found_ns != namespace {
+        return Err(StoreError::NamespaceMismatch {
+            found: found_ns,
+            expected: namespace,
+        });
+    }
+
+    let mut entries = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut recovered = false;
+    while pos < bytes.len() {
+        let Some(frame) = bytes.get(pos..pos + FRAME_LEN) else {
+            recovered = true; // torn frame at the tail
+            break;
+        };
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("len 4"));
+        let checksum = u64::from_le_bytes(frame[4..12].try_into().expect("len 8"));
+        if len > MAX_PAYLOAD {
+            recovered = true; // nonsensical length: treat as corruption
+            break;
+        }
+        let start = pos + FRAME_LEN;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            recovered = true; // short payload at the tail
+            break;
+        };
+        if fnv1a64(payload) != checksum {
+            recovered = true; // checksum mismatch: reject record and tail
+            break;
+        }
+        match decode_entry(payload) {
+            Ok(entry) => entries.push(entry),
+            Err(_) => {
+                recovered = true; // checksummed but undecodable: reject
+                break;
+            }
+        }
+        pos = start + len as usize;
+    }
+
+    Ok(Replay {
+        entries,
+        valid_len: pos as u64,
+        recovered,
+    })
+}
+
+/// Statistics of one [`compact`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CompactStats {
+    /// Records in the log before compaction (including superseded ones).
+    pub records_before: usize,
+    /// Live records written back.
+    pub records_after: usize,
+    /// File size before, in bytes.
+    pub bytes_before: u64,
+    /// File size after, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Offline compaction: rewrites `path` so it contains exactly one record per
+/// live key (the latest one), preserving first-seen key order. The rewrite
+/// is atomic — records stream into `<path>.compact.tmp`, which then replaces
+/// the log via rename — so a crash mid-compaction leaves the original intact.
+///
+/// # Errors
+///
+/// Propagates I/O failures and header mismatches.
+pub fn compact(path: &Path, namespace: u64) -> Result<CompactStats, StoreError> {
+    // Hold the writer lock for the whole rewrite so a live store can never
+    // append to a log that is being replaced underneath it.
+    let locked = OpenOptions::new().read(true).open(path)?;
+    lock_exclusive(&locked, path)?;
+    let mut bytes = Vec::new();
+    (&locked).read_to_end(&mut bytes)?;
+    let replay = replay_bytes(&bytes, namespace)?;
+    let records_before = replay.entries.len();
+
+    // Last-wins per key, preserving first-seen order for determinism.
+    let mut order: Vec<EvalKey> = Vec::new();
+    let mut latest: std::collections::HashMap<EvalKey, EvalRecord> =
+        std::collections::HashMap::new();
+    for (key, record) in replay.entries {
+        if latest.insert(key, record).is_none() {
+            order.push(key);
+        }
+    }
+
+    let tmp_path = path.with_extension("compact.tmp");
+    {
+        let file = File::create(&tmp_path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(&LOG_MAGIC)?;
+        w.write_all(&LOG_VERSION.to_le_bytes())?;
+        w.write_all(&namespace.to_le_bytes())?;
+        for key in &order {
+            let payload = encode_entry(key, &latest[key]);
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+            w.write_all(&payload)?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp_path, path)?;
+
+    Ok(CompactStats {
+        records_before,
+        records_after: order.len(),
+        bytes_before: bytes.len() as u64,
+        bytes_after: std::fs::metadata(path)?.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProxyKind;
+    use micronas_datasets::DatasetKind;
+    use micronas_proxies::ZeroCostMetrics;
+    use micronas_searchspace::SearchSpace;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "micronas-store-log-{}-{tag}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_entry(i: usize) -> (EvalKey, EvalRecord) {
+        let space = SearchSpace::nas_bench_201();
+        let key = EvalKey::zero_cost(&space.cell(i).unwrap(), DatasetKind::Cifar10, 3, 12);
+        let record = EvalRecord::ZeroCost(ZeroCostMetrics {
+            ntk_condition: i as f64 + 0.5,
+            linear_regions: i + 1,
+            trainability: -(i as f64),
+            expressivity: (i as f64).ln_1p(),
+        });
+        (key, record)
+    }
+
+    #[test]
+    fn fresh_log_roundtrips() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut log, replay) = LogWriter::open(&path, 7).unwrap();
+            assert!(replay.entries.is_empty());
+            for i in 0..5 {
+                let (k, r) = sample_entry(i);
+                log.append(&k, &r).unwrap();
+            }
+        }
+        let (_, replay) = LogWriter::open(&path, 7).unwrap();
+        assert_eq!(replay.entries.len(), 5);
+        assert!(!replay.recovered);
+        assert_eq!(replay.entries[3], sample_entry(3));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn namespace_and_version_are_enforced() {
+        let path = temp_path("namespace");
+        drop(LogWriter::open(&path, 1).unwrap());
+        assert!(matches!(
+            LogWriter::open(&path, 2),
+            Err(StoreError::NamespaceMismatch {
+                found: 1,
+                expected: 2
+            })
+        ));
+        // Corrupt the magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(replay_bytes(&bytes, 1), Err(StoreError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_recovered() {
+        let path = temp_path("torn");
+        {
+            let (mut log, _) = LogWriter::open(&path, 0).unwrap();
+            for i in 0..3 {
+                let (k, r) = sample_entry(i);
+                log.append(&k, &r).unwrap();
+            }
+        }
+        // Simulate a crash mid-record: chop bytes off the end.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+
+        let (mut log, replay) = LogWriter::open(&path, 0).unwrap();
+        assert_eq!(replay.entries.len(), 2, "the torn third record is dropped");
+        assert!(replay.recovered);
+        // The log must be appendable again after recovery.
+        let (k, r) = sample_entry(9);
+        log.append(&k, &r).unwrap();
+        drop(log);
+        let (_, replay) = LogWriter::open(&path, 0).unwrap();
+        assert_eq!(replay.entries.len(), 3);
+        assert!(!replay.recovered);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_rejects_the_record_and_tail() {
+        let path = temp_path("checksum");
+        let offsets = {
+            let (mut log, _) = LogWriter::open(&path, 0).unwrap();
+            let mut offsets = Vec::new();
+            for i in 0..3 {
+                offsets.push(std::fs::metadata(&path).unwrap().len());
+                let (k, r) = sample_entry(i);
+                log.append(&k, &r).unwrap();
+            }
+            offsets
+        };
+        // Flip one payload byte of the SECOND record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let payload_start = offsets[1] as usize + FRAME_LEN;
+        bytes[payload_start + 30] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replay) = LogWriter::open(&path, 0).unwrap();
+        assert_eq!(
+            replay.entries.len(),
+            1,
+            "only the record before the corruption survives"
+        );
+        assert!(replay.recovered);
+        assert_eq!(replay.entries[0], sample_entry(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_live_entries() {
+        let path = temp_path("compact");
+        {
+            let (mut log, _) = LogWriter::open(&path, 5).unwrap();
+            // Ten appends over five keys: each key written twice, the second
+            // time with a different record value.
+            for round in 0..2 {
+                for i in 0..5 {
+                    let (k, _) = sample_entry(i);
+                    let r = EvalRecord::ZeroCost(ZeroCostMetrics {
+                        ntk_condition: (round * 100 + i) as f64,
+                        linear_regions: round * 10 + i,
+                        trainability: 0.0,
+                        expressivity: 0.0,
+                    });
+                    log.append(&k, &r).unwrap();
+                }
+            }
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let stats = compact(&path, 5).unwrap();
+        assert_eq!(stats.records_before, 10);
+        assert_eq!(stats.records_after, 5);
+        assert_eq!(stats.bytes_before, before);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let (_, replay) = LogWriter::open(&path, 5).unwrap();
+        assert_eq!(replay.entries.len(), 5);
+        for (i, (key, record)) in replay.entries.iter().enumerate() {
+            assert_eq!(*key, sample_entry(i).0, "first-seen key order preserved");
+            let m = record.as_zero_cost().unwrap();
+            assert_eq!(m.ntk_condition, (100 + i) as f64, "last write wins");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn proxy_kind_hardware_key_survives_roundtrip() {
+        let path = temp_path("hw");
+        let space = SearchSpace::nas_bench_201();
+        let key = EvalKey::hardware(&space.cell(77).unwrap(), DatasetKind::Cifar100);
+        assert_eq!(key.kind, ProxyKind::Hardware);
+        let record = EvalRecord::Hardware(micronas_hw::HardwareIndicators {
+            flops_m: 1.0,
+            macs_m: 2.0,
+            params_m: 3.0,
+            latency_ms: 4.0,
+            peak_sram_kib: 5.0,
+            flash_kib: 6.0,
+        });
+        {
+            let (mut log, _) = LogWriter::open(&path, 0).unwrap();
+            log.append(&key, &record).unwrap();
+        }
+        let (_, replay) = LogWriter::open(&path, 0).unwrap();
+        assert_eq!(replay.entries[0].0, key);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

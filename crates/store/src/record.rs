@@ -1,0 +1,328 @@
+//! Stored evaluation records and their binary codec.
+//!
+//! The log payload format is deliberately tiny and explicit: little-endian
+//! fixed-width integers, `f64` as IEEE-754 bit patterns, one tag byte per
+//! enum. Nothing here depends on `serde` (the workspace's serde is an
+//! offline no-op shim) or on unstable std hashing.
+
+use crate::{ArchDigest, EvalKey, ProxyKind, StoreError};
+use micronas_datasets::DatasetKind;
+use micronas_hw::HardwareIndicators;
+use micronas_proxies::ZeroCostMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Largest NTK spectrum a record may carry. Enforced symmetrically at
+/// insert time ([`EvalRecord::validate`]) and at decode time, so the log
+/// can never accept a record that replay would later reject (which would
+/// truncate it — and everything after it — on reopen).
+pub const MAX_SPECTRUM_INDICES: usize = 4096;
+
+/// The NTK condition-index spectrum of one architecture (Fig. 2a/2b
+/// material): `K_i = λ_max / λ_i` for `i = 1..=n`, plus the headline
+/// condition number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NtkSpectrumRecord {
+    /// The classic condition number `K_1` (averaged over repeats).
+    pub condition_number: f64,
+    /// Generalised condition indices `K_1..K_n`.
+    pub condition_indices: Vec<f64>,
+}
+
+/// One stored evaluation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalRecord {
+    /// Bundled zero-cost metrics.
+    ZeroCost(ZeroCostMetrics),
+    /// Hardware indicators.
+    Hardware(HardwareIndicators),
+    /// NTK condition-index spectrum.
+    NtkSpectrum(NtkSpectrumRecord),
+}
+
+impl EvalRecord {
+    /// The zero-cost metrics, if this is a zero-cost record.
+    pub fn as_zero_cost(&self) -> Option<ZeroCostMetrics> {
+        match self {
+            EvalRecord::ZeroCost(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The hardware indicators, if this is a hardware record.
+    pub fn as_hardware(&self) -> Option<HardwareIndicators> {
+        match self {
+            EvalRecord::Hardware(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The NTK spectrum, if this is a spectrum record.
+    pub fn as_ntk_spectrum(&self) -> Option<&NtkSpectrumRecord> {
+        match self {
+            EvalRecord::NtkSpectrum(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the record satisfies the codec's bounds (and will therefore
+    /// survive a log round-trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::MalformedRecord`] for records the decoder
+    /// would reject.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        match self {
+            EvalRecord::NtkSpectrum(s) if s.condition_indices.len() > MAX_SPECTRUM_INDICES => {
+                Err(StoreError::MalformedRecord("spectrum too long"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Encodes `(key, record)` into the log payload bytes.
+pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&key.cell.0.to_le_bytes());
+    out.push(key.dataset.id() as u8);
+    out.extend_from_slice(&key.seed.to_le_bytes());
+    let (tag, param) = key.kind.encode();
+    out.push(tag);
+    out.extend_from_slice(&param.to_le_bytes());
+    match record {
+        EvalRecord::ZeroCost(m) => {
+            out.push(0);
+            out.extend_from_slice(&m.ntk_condition.to_bits().to_le_bytes());
+            out.extend_from_slice(&(m.linear_regions as u64).to_le_bytes());
+            out.extend_from_slice(&m.trainability.to_bits().to_le_bytes());
+            out.extend_from_slice(&m.expressivity.to_bits().to_le_bytes());
+        }
+        EvalRecord::Hardware(h) => {
+            out.push(1);
+            for v in [
+                h.flops_m,
+                h.macs_m,
+                h.params_m,
+                h.latency_ms,
+                h.peak_sram_kib,
+                h.flash_kib,
+            ] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        EvalRecord::NtkSpectrum(s) => {
+            out.push(2);
+            out.extend_from_slice(&s.condition_number.to_bits().to_le_bytes());
+            out.extend_from_slice(&(s.condition_indices.len() as u32).to_le_bytes());
+            for v in &s.condition_indices {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Cursor over a payload buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(StoreError::MalformedRecord("payload too short"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn dataset_from_id(id: u8) -> Result<DatasetKind, StoreError> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|d| d.id() as u8 == id)
+        .ok_or(StoreError::MalformedRecord("unknown dataset id"))
+}
+
+/// Decodes a log payload back into `(key, record)`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::MalformedRecord`] when the buffer is truncated,
+/// carries an unknown tag, or has trailing garbage.
+pub fn decode_entry(payload: &[u8]) -> Result<(EvalKey, EvalRecord), StoreError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let cell = ArchDigest(r.u64()?);
+    let dataset = dataset_from_id(r.u8()?)?;
+    let seed = r.u64()?;
+    let kind_tag = r.u8()?;
+    let kind_param = r.u16()?;
+    let kind = ProxyKind::decode(kind_tag, kind_param)
+        .ok_or(StoreError::MalformedRecord("unknown proxy kind"))?;
+    let key = EvalKey {
+        cell,
+        dataset,
+        seed,
+        kind,
+    };
+    let record = match r.u8()? {
+        0 => EvalRecord::ZeroCost(ZeroCostMetrics {
+            ntk_condition: r.f64()?,
+            linear_regions: r.u64()? as usize,
+            trainability: r.f64()?,
+            expressivity: r.f64()?,
+        }),
+        1 => EvalRecord::Hardware(HardwareIndicators {
+            flops_m: r.f64()?,
+            macs_m: r.f64()?,
+            params_m: r.f64()?,
+            latency_ms: r.f64()?,
+            peak_sram_kib: r.f64()?,
+            flash_kib: r.f64()?,
+        }),
+        2 => {
+            let condition_number = r.f64()?;
+            let n = r.u32()? as usize;
+            if n > MAX_SPECTRUM_INDICES {
+                return Err(StoreError::MalformedRecord("spectrum too long"));
+            }
+            let mut condition_indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                condition_indices.push(r.f64()?);
+            }
+            EvalRecord::NtkSpectrum(NtkSpectrumRecord {
+                condition_number,
+                condition_indices,
+            })
+        }
+        _ => return Err(StoreError::MalformedRecord("unknown record tag")),
+    };
+    if r.pos != payload.len() {
+        return Err(StoreError::MalformedRecord("trailing bytes"));
+    }
+    Ok((key, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::SearchSpace;
+
+    fn sample_key(kind: ProxyKind) -> EvalKey {
+        let space = SearchSpace::nas_bench_201();
+        EvalKey {
+            cell: ArchDigest::of(&space.cell(4_242).unwrap()),
+            dataset: DatasetKind::ImageNet16_120,
+            seed: 0xDEAD_BEEF,
+            kind,
+        }
+    }
+
+    #[test]
+    fn zero_cost_roundtrip() {
+        let key = sample_key(ProxyKind::ZeroCost { ntk_batch: 32 });
+        let record = EvalRecord::ZeroCost(ZeroCostMetrics {
+            ntk_condition: 12.5,
+            linear_regions: 77,
+            trainability: -2.52,
+            expressivity: 4.34,
+        });
+        let bytes = encode_entry(&key, &record);
+        let (k2, r2) = decode_entry(&bytes).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(r2, record);
+        assert_eq!(r2.as_zero_cost().unwrap().linear_regions, 77);
+    }
+
+    #[test]
+    fn hardware_roundtrip() {
+        let key = sample_key(ProxyKind::Hardware);
+        let record = EvalRecord::Hardware(HardwareIndicators {
+            flops_m: 60.0,
+            macs_m: 30.0,
+            params_m: 0.4,
+            latency_ms: 123.456,
+            peak_sram_kib: 128.0,
+            flash_kib: 400.0,
+        });
+        let bytes = encode_entry(&key, &record);
+        let (k2, r2) = decode_entry(&bytes).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(r2.as_hardware().unwrap(), record.as_hardware().unwrap());
+    }
+
+    #[test]
+    fn spectrum_roundtrip_preserves_bit_patterns() {
+        let key = sample_key(ProxyKind::NtkSpectrum { batch: 12 });
+        let record = EvalRecord::NtkSpectrum(NtkSpectrumRecord {
+            condition_number: 1.0 + f64::EPSILON,
+            condition_indices: vec![1.0, 2.5, f64::MAX, 1e-300],
+        });
+        let bytes = encode_entry(&key, &record);
+        let (_, r2) = decode_entry(&bytes).unwrap();
+        let (a, b) = (
+            record.as_ntk_spectrum().unwrap(),
+            r2.as_ntk_spectrum().unwrap(),
+        );
+        assert_eq!(a.condition_number.to_bits(), b.condition_number.to_bits());
+        for (x, y) in a.condition_indices.iter().zip(&b.condition_indices) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        let key = sample_key(ProxyKind::Hardware);
+        let record = EvalRecord::Hardware(HardwareIndicators {
+            flops_m: 1.0,
+            macs_m: 1.0,
+            params_m: 1.0,
+            latency_ms: 1.0,
+            peak_sram_kib: 1.0,
+            flash_kib: 1.0,
+        });
+        let bytes = encode_entry(&key, &record);
+        // Truncated.
+        assert!(decode_entry(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_entry(&long).is_err());
+        // Unknown record tag.
+        let mut bad_tag = bytes.clone();
+        bad_tag[20] = 42; // record tag offset: 8 + 1 + 8 + 1 + 2 = 20
+        assert!(decode_entry(&bad_tag).is_err());
+        // Unknown dataset id.
+        let mut bad_ds = bytes;
+        bad_ds[8] = 200;
+        assert!(decode_entry(&bad_ds).is_err());
+    }
+}

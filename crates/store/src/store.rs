@@ -1,0 +1,427 @@
+//! The sharded, concurrent, optionally persistent evaluation store.
+
+use crate::log::{self, CompactStats, LogWriter, Replay};
+use crate::{EvalKey, EvalRecord, StoreError};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of lock stripes. Reads take a shard's `RwLock` in shared mode, so
+/// rayon workers pounding the same warm store contend only on the stripe
+/// holding the same key range — and read-read never blocks at all.
+const SHARDS: usize = 16;
+
+/// Hit/miss/entry counters of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that required computing (or explicitly missed).
+    pub misses: u64,
+    /// Records resident in the store (or, in a [`StoreStats::since`] delta,
+    /// records added over the measured span).
+    pub entries: u64,
+}
+
+impl StoreStats {
+    /// Hit rate in `[0, 1]`; 1.0 for an unqueried store.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas accumulated since an earlier snapshot — including
+    /// `entries`, which becomes "records added since" (nothing is ever
+    /// evicted, so the count is monotone).
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries - earlier.entries,
+        }
+    }
+}
+
+/// A shared, persistent evaluation store with content-addressed keys.
+///
+/// In memory the store is a striped concurrent map: [`SHARDS`] independent
+/// `RwLock<HashMap>` stripes selected by the key's stable shard hash, so
+/// parallel candidate-scoring workers share hits without a global lock.
+/// Optionally, every insert is also appended to an on-disk log (see
+/// [`crate::log`]) that is replayed on open — giving evaluations a lifetime
+/// beyond a single search, a single process, or a single machine.
+///
+/// The store is *namespaced* by an evaluation-configuration fingerprint:
+/// records are only meaningful under the proxy/hardware configuration that
+/// produced them, so the log header pins the namespace and refuses to open
+/// under a different one.
+#[derive(Debug)]
+pub struct EvalStore {
+    shards: Vec<RwLock<HashMap<EvalKey, EvalRecord>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
+    namespace: u64,
+    log: Option<Mutex<LogWriter>>,
+}
+
+impl EvalStore {
+    fn with_shards(namespace: u64, log: Option<Mutex<LogWriter>>) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            namespace,
+            log,
+        }
+    }
+
+    /// A memory-only store (no persistence) for the given namespace.
+    pub fn in_memory(namespace: u64) -> Self {
+        Self::with_shards(namespace, None)
+    }
+
+    /// Opens (or creates) a persistent store backed by the log at `path`.
+    /// Existing records are replayed into memory; a torn tail left by a
+    /// crash is truncated away before appending resumes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, bad magic, or version/namespace mismatches.
+    pub fn open(path: &Path, namespace: u64) -> Result<Self, StoreError> {
+        let (writer, replay) = LogWriter::open(path, namespace)?;
+        let store = Self::with_shards(namespace, Some(Mutex::new(writer)));
+        store.load_replay(replay);
+        Ok(store)
+    }
+
+    fn load_replay(&self, replay: Replay) {
+        for (key, record) in replay.entries {
+            let shard = self.shard(&key);
+            if shard.write().insert(key, record).is_none() {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn shard(&self, key: &EvalKey) -> &RwLock<HashMap<EvalKey, EvalRecord>> {
+        &self.shards[(key.shard_hash() as usize) % SHARDS]
+    }
+
+    /// The evaluation-configuration fingerprint this store is scoped to.
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Number of resident records.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks a record up, counting a hit or miss.
+    pub fn get(&self, key: &EvalKey) -> Option<EvalRecord> {
+        self.get_matching(key, |_| true)
+    }
+
+    /// Looks a record up, treating it as present only when `usable` accepts
+    /// it. A resident-but-unusable record (e.g. a spectrum shorter than the
+    /// caller needs) counts as a **miss**, because the caller will have to
+    /// recompute — keeping the hit/miss counters an honest measure of work
+    /// saved.
+    pub fn get_matching<F>(&self, key: &EvalKey, usable: F) -> Option<EvalRecord>
+    where
+        F: FnOnce(&EvalRecord) -> bool,
+    {
+        let found = self.shard(key).read().get(key).cloned();
+        match found {
+            Some(record) if usable(&record) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a record, persisting it when a log is attached.
+    /// Returns `true` when the key was new. Does not touch the hit/miss
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log I/O failures; the in-memory insert still took effect.
+    pub fn insert(&self, key: EvalKey, record: EvalRecord) -> Result<bool, StoreError> {
+        // Reject records the log decoder would refuse; accepting one would
+        // truncate it (and every record behind it) on the next replay.
+        record.validate()?;
+        let fresh = {
+            let shard = self.shard(&key);
+            let mut map = shard.write();
+            map.insert(key, record.clone()).is_none()
+        };
+        if fresh {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(log) = &self.log {
+            log.lock().append(&key, &record)?;
+        }
+        Ok(fresh)
+    }
+
+    /// Returns the stored record for `key`, computing and inserting it on a
+    /// miss. The closure runs *outside* any lock, so concurrent workers may
+    /// race to compute the same pure value; the first insert wins and the
+    /// value is identical either way. The boolean is `true` on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error on a miss, and log I/O failures.
+    pub fn get_or_try_insert_with<E, F>(
+        &self,
+        key: EvalKey,
+        compute: F,
+    ) -> Result<(EvalRecord, bool), GetOrInsertError<E>>
+    where
+        F: FnOnce() -> Result<EvalRecord, E>,
+    {
+        if let Some(found) = self.shard(&key).read().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((found, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let record = compute().map_err(GetOrInsertError::Compute)?;
+        self.insert(key, record.clone())
+            .map_err(GetOrInsertError::Store)?;
+        Ok((record, false))
+    }
+
+    /// Offline compaction of the log at `path`: rewrites it with exactly one
+    /// record per live key. The store must not have the file open (this is
+    /// an associated function, not a method, to make that explicit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and header mismatches.
+    pub fn compact_path(path: &Path, namespace: u64) -> Result<CompactStats, StoreError> {
+        log::compact(path, namespace)
+    }
+}
+
+/// Error of [`EvalStore::get_or_try_insert_with`]: either the compute
+/// closure failed or the store could not persist the fresh record.
+#[derive(Debug)]
+pub enum GetOrInsertError<E> {
+    /// The compute closure failed.
+    Compute(E),
+    /// The record was computed but could not be persisted.
+    Store(StoreError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProxyKind;
+    use micronas_datasets::DatasetKind;
+    use micronas_proxies::ZeroCostMetrics;
+    use micronas_searchspace::SearchSpace;
+
+    // Distinct seeds rather than distinct cells: cell indices can collapse
+    // onto one content address when they are isomorphic (by design).
+    fn key(i: usize) -> EvalKey {
+        let space = SearchSpace::nas_bench_201();
+        EvalKey::zero_cost(
+            &space.cell(500).unwrap(),
+            DatasetKind::Cifar10,
+            i as u64,
+            12,
+        )
+    }
+
+    fn record(v: f64) -> EvalRecord {
+        EvalRecord::ZeroCost(ZeroCostMetrics {
+            ntk_condition: v,
+            linear_regions: 1,
+            trainability: -v,
+            expressivity: 0.0,
+        })
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let store = EvalStore::in_memory(0);
+        assert!(store.get(&key(1)).is_none());
+        store.insert(key(1), record(1.0)).unwrap();
+        assert!(store.get(&key(1)).is_some());
+        assert!(store.get(&key(2)).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let store = EvalStore::in_memory(0);
+        let mut calls = 0;
+        let (r1, hit1) = store
+            .get_or_try_insert_with::<(), _>(key(3), || {
+                calls += 1;
+                Ok(record(3.0))
+            })
+            .unwrap();
+        let (r2, hit2) = store
+            .get_or_try_insert_with::<(), _>(key(3), || {
+                calls += 1;
+                Ok(record(99.0))
+            })
+            .unwrap();
+        assert_eq!(calls, 1);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(r1, r2);
+        // Errors propagate and nothing is inserted.
+        let err = store.get_or_try_insert_with::<&str, _>(key(4), || Err("nope"));
+        assert!(matches!(err, Err(GetOrInsertError::Compute("nope"))));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn isomorphic_cells_share_an_entry() {
+        let cell = micronas_searchspace::CellTopology::new([
+            micronas_searchspace::Operation::NorConv3x3,
+            micronas_searchspace::Operation::SkipConnect,
+            micronas_searchspace::Operation::None,
+            micronas_searchspace::Operation::AvgPool3x3,
+            micronas_searchspace::Operation::NorConv1x1,
+            micronas_searchspace::Operation::None,
+        ]);
+        let twin = cell.intermediate_swap().unwrap();
+        let store = EvalStore::in_memory(0);
+        store
+            .insert(
+                EvalKey::zero_cost(&cell, DatasetKind::Cifar10, 0, 12),
+                record(5.0),
+            )
+            .unwrap();
+        let via_twin = store.get(&EvalKey::zero_cost(&twin, DatasetKind::Cifar10, 0, 12));
+        assert_eq!(via_twin, Some(record(5.0)));
+    }
+
+    #[test]
+    fn concurrent_workers_share_hits() {
+        use rayon::prelude::*;
+        let store = EvalStore::in_memory(0);
+        for i in 0..64 {
+            store.insert(key(i), record(i as f64)).unwrap();
+        }
+        let values: Vec<f64> = (0..64usize)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| {
+                store
+                    .get(&key(i))
+                    .and_then(|r| r.as_zero_cost())
+                    .map(|m| m.ntk_condition)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        let sum: f64 = values.iter().sum();
+        assert_eq!(sum, (0..64).map(|i| i as f64).sum::<f64>());
+        assert_eq!(store.stats().hits, 64);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("micronas-store-reopen-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = EvalStore::open(&path, 42).unwrap();
+            store.insert(key(0), record(1.5)).unwrap();
+            store.insert(key(1), record(2.5)).unwrap();
+        }
+        let store = EvalStore::open(&path, 42).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store
+                .get(&key(0))
+                .unwrap()
+                .as_zero_cost()
+                .unwrap()
+                .ntk_condition,
+            1.5
+        );
+        // While the store holds the log, any second open is refused — the
+        // format is single-writer and concurrent appends would corrupt it.
+        assert!(matches!(
+            EvalStore::open(&path, 42),
+            Err(StoreError::Locked { .. })
+        ));
+        drop(store);
+        assert!(matches!(
+            EvalStore::open(&path, 43),
+            Err(StoreError::NamespaceMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let store = EvalStore::in_memory(0);
+        store.insert(key(0), record(0.0)).unwrap();
+        store.get(&key(0));
+        let snapshot = store.stats();
+        store.get(&key(0));
+        store.get(&key(9));
+        store.insert(key(9), record(9.0)).unwrap();
+        let delta = store.stats().since(&snapshot);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.entries, 1, "entries delta counts records added");
+    }
+
+    #[test]
+    fn get_matching_counts_unusable_records_as_misses() {
+        let store = EvalStore::in_memory(0);
+        store.insert(key(0), record(1.0)).unwrap();
+        assert!(store.get_matching(&key(0), |_| false).is_none());
+        assert!(store.get_matching(&key(0), |_| true).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn hardware_keys_use_seed_zero() {
+        let space = SearchSpace::nas_bench_201();
+        let k = EvalKey::hardware(&space.cell(5).unwrap(), DatasetKind::Cifar10);
+        assert_eq!(k.seed, 0);
+        assert_eq!(k.kind, ProxyKind::Hardware);
+    }
+}

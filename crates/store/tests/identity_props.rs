@@ -1,0 +1,96 @@
+//! Property tests for the content-addressed architecture identity:
+//! isomorphism invariance, distinctness, and cross-process stability
+//! (golden digests).
+
+use micronas_searchspace::{CellTopology, Operation, SearchSpace, ALL_OPERATIONS, NUM_EDGES};
+use micronas_store::{ArchDigest, EvalKey, ProxyKind};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn arb_cell() -> impl Strategy<Value = CellTopology> {
+    proptest::array::uniform6(0usize..5).prop_map(|idx| {
+        let mut ops = [Operation::None; NUM_EDGES];
+        for (i, &k) in idx.iter().enumerate() {
+            ops[i] = ALL_OPERATIONS[k];
+        }
+        CellTopology::new(ops)
+    })
+}
+
+proptest! {
+    /// Isomorphic (relabel-permuted) cells hash equal.
+    #[test]
+    fn isomorphic_cells_hash_equal(cell in arb_cell()) {
+        if let Some(twin) = cell.intermediate_swap() {
+            prop_assert_eq!(ArchDigest::of(&cell), ArchDigest::of(&twin));
+        }
+        prop_assert_eq!(ArchDigest::of(&cell), ArchDigest::of(&cell.canonical_form()));
+    }
+
+    /// Digesting is deterministic within a process.
+    #[test]
+    fn digests_are_deterministic(cell in arb_cell()) {
+        prop_assert_eq!(ArchDigest::of(&cell), ArchDigest::of(&cell));
+    }
+}
+
+/// Distinct (non-isomorphic) cells hash distinct, over random samples.
+#[test]
+fn distinct_cells_hash_distinct_over_random_samples() {
+    let space = SearchSpace::nas_bench_201();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..2_000 {
+        let a = space.cell(rng.gen_range(0..space.len())).unwrap();
+        let b = space.cell(rng.gen_range(0..space.len())).unwrap();
+        if a.isomorphic_to(&b) {
+            assert_eq!(ArchDigest::of(&a), ArchDigest::of(&b));
+        } else {
+            assert_ne!(
+                ArchDigest::of(&a),
+                ArchDigest::of(&b),
+                "non-isomorphic cells {a} and {b} must not collide"
+            );
+        }
+    }
+}
+
+/// Golden digests: these exact values must never change. They pin both the
+/// canonical encoding and the FNV-1a constants, so any process, platform or
+/// toolchain reproduces them bit-for-bit. If this test fails, the identity
+/// version must be bumped (`IDENTITY_VERSION`) and persisted stores migrated
+/// — never silently rehashed.
+#[test]
+fn golden_digest_values_are_stable_across_processes() {
+    let space = SearchSpace::nas_bench_201();
+    let golden: [(usize, u64); 4] = [
+        (0, 0x4b9b_4998_497f_326c),
+        (1, 0x584a_2cc2_c6ce_9ccf),
+        (5_000, 0x4b9e_ac98_4982_107c),
+        (15_624, 0xaeaa_ed55_41b3_45a4),
+    ];
+    for (index, expected) in golden {
+        let digest = ArchDigest::of(&space.cell(index).unwrap());
+        assert_eq!(
+            digest.value(),
+            expected,
+            "digest of cell #{index} drifted: got {digest}, expected {expected:#018x}"
+        );
+    }
+
+    // The all-conv cell, written out explicitly so the golden value does not
+    // depend on the space's index enumeration either.
+    let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+    assert_eq!(ArchDigest::of(&cell).value(), 0x3420_6f53_2bbe_e216);
+}
+
+/// Keys built through the convenience constructors agree with manual ones.
+#[test]
+fn key_constructors_are_consistent() {
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(321).unwrap();
+    let key = EvalKey::ntk_spectrum(&cell, micronas_datasets::DatasetKind::Cifar10, 9, 32);
+    assert_eq!(key.cell, ArchDigest::of(&cell));
+    assert_eq!(key.kind, ProxyKind::NtkSpectrum { batch: 32 });
+    assert_eq!(key.seed, 9);
+}

@@ -1,0 +1,305 @@
+//! Persistence tests for the evaluation store: log round-trips, simulated
+//! crash recovery, checksum rejection and compaction.
+//!
+//! These are the tests CI runs explicitly in the tier-1 job
+//! (`cargo test -p micronas-store --test persistence`).
+
+use micronas_datasets::DatasetKind;
+use micronas_hw::HardwareIndicators;
+use micronas_proxies::ZeroCostMetrics;
+use micronas_searchspace::SearchSpace;
+use micronas_store::{EvalKey, EvalRecord, EvalStore, NtkSpectrumRecord, StoreError};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "micronas-store-persistence-{}-{tag}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The state a store must hold after appending `entries` in order:
+/// last write wins per key (isomorphic cells share one content address, so
+/// distinct sample cells may legitimately collapse onto one key).
+fn last_wins(entries: &[(EvalKey, EvalRecord)]) -> std::collections::HashMap<EvalKey, EvalRecord> {
+    entries.iter().cloned().collect()
+}
+
+/// A mixed batch of records across every `ProxyKind`.
+fn sample_entries(n: usize) -> Vec<(EvalKey, EvalRecord)> {
+    let space = SearchSpace::nas_bench_201();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let cell = space.cell(i * 97 % space.len()).unwrap();
+        match i % 3 {
+            0 => out.push((
+                EvalKey::zero_cost(&cell, DatasetKind::Cifar10, i as u64, 32),
+                EvalRecord::ZeroCost(ZeroCostMetrics {
+                    ntk_condition: 1.0 + i as f64,
+                    linear_regions: i + 1,
+                    trainability: -(1.0 + i as f64).ln(),
+                    expressivity: (i as f64 + 1.0).ln(),
+                }),
+            )),
+            1 => out.push((
+                EvalKey::hardware(&cell, DatasetKind::Cifar100),
+                EvalRecord::Hardware(HardwareIndicators {
+                    flops_m: i as f64,
+                    macs_m: i as f64 / 2.0,
+                    params_m: 0.1 * i as f64,
+                    latency_ms: 3.0 * i as f64,
+                    peak_sram_kib: 64.0,
+                    flash_kib: 512.0,
+                }),
+            )),
+            _ => out.push((
+                EvalKey::ntk_spectrum(&cell, DatasetKind::ImageNet16_120, i as u64, 16),
+                EvalRecord::NtkSpectrum(NtkSpectrumRecord {
+                    condition_number: i as f64 + 0.25,
+                    condition_indices: (1..=8).map(|k| (i * k) as f64).collect(),
+                }),
+            )),
+        }
+    }
+    out
+}
+
+#[test]
+fn log_round_trip_across_processes_worth_of_reopens() {
+    let path = temp_path("roundtrip");
+    let entries = sample_entries(30);
+    {
+        let store = EvalStore::open(&path, 0xFEED).unwrap();
+        for (k, r) in &entries {
+            store.insert(*k, r.clone()).unwrap();
+        }
+    }
+    // "New process": reopen and verify every live record bitwise.
+    let store = EvalStore::open(&path, 0xFEED).unwrap();
+    for (k, r) in &last_wins(&entries) {
+        let got = store.get(k).expect("record must survive reopen");
+        assert_eq!(&got, r);
+    }
+    // And a third generation still works after appending more.
+    store
+        .insert(
+            EvalKey::hardware(
+                &SearchSpace::nas_bench_201().cell(15_000).unwrap(),
+                DatasetKind::Cifar10,
+            ),
+            EvalRecord::Hardware(HardwareIndicators {
+                flops_m: 1.0,
+                macs_m: 1.0,
+                params_m: 1.0,
+                latency_ms: 1.0,
+                peak_sram_kib: 1.0,
+                flash_kib: 1.0,
+            }),
+        )
+        .unwrap();
+    let len_before = store.len();
+    drop(store);
+    let store = EvalStore::open(&path, 0xFEED).unwrap();
+    assert_eq!(store.len(), len_before);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_tail_recovery_after_simulated_crash() {
+    let path = temp_path("crash");
+    let entries = sample_entries(12);
+    {
+        let store = EvalStore::open(&path, 1).unwrap();
+        for (k, r) in &entries {
+            store.insert(*k, r.clone()).unwrap();
+        }
+    }
+    // Crash mid-append: the last record loses its final 11 bytes.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+
+    let store = EvalStore::open(&path, 1).unwrap();
+    let expected = last_wins(&entries[..entries.len() - 1]);
+    assert_eq!(
+        store.len(),
+        expected.len(),
+        "exactly the torn record is lost"
+    );
+    for (k, r) in &expected {
+        assert_eq!(store.get(k).as_ref(), Some(r));
+    }
+    // The store accepts appends after recovery, and they persist.
+    let (k, r) = &entries[entries.len() - 1];
+    store.insert(*k, r.clone()).unwrap();
+    drop(store);
+    let store = EvalStore::open(&path, 1).unwrap();
+    assert_eq!(store.len(), last_wins(&entries).len());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checksum_mismatch_is_rejected() {
+    let path = temp_path("bitrot");
+    {
+        let store = EvalStore::open(&path, 2).unwrap();
+        for (k, r) in sample_entries(6) {
+            store.insert(k, r).unwrap();
+        }
+    }
+    // Flip a single payload bit a few records before the end. Framing can no
+    // longer be trusted from that point, so replay must reject the corrupted
+    // record and the tail behind it — but keep everything before.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = 20 + (bytes.len() - 20) / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = EvalStore::open(&path, 2).unwrap();
+    let all = sample_entries(6);
+    assert!(
+        store.len() < last_wins(&all).len(),
+        "corrupted record must not be served"
+    );
+    // Survivors are a prefix of the appends; the first record sits well
+    // before the flipped byte and must be intact.
+    let (k, r) = &all[0];
+    assert_eq!(
+        store.get(k).as_ref(),
+        Some(r),
+        "records before the corruption stay intact"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn compaction_preserves_every_live_entry() {
+    let path = temp_path("compaction");
+    let entries = sample_entries(20);
+    {
+        let store = EvalStore::open(&path, 3).unwrap();
+        // Write everything twice (second generation has different values for
+        // the zero-cost records), so half the log is garbage.
+        for (k, r) in &entries {
+            store.insert(*k, r.clone()).unwrap();
+        }
+        for (k, r) in &entries {
+            let newer = match r {
+                EvalRecord::ZeroCost(m) => EvalRecord::ZeroCost(ZeroCostMetrics {
+                    ntk_condition: m.ntk_condition + 1000.0,
+                    ..*m
+                }),
+                other => other.clone(),
+            };
+            store.insert(*k, newer).unwrap();
+        }
+    }
+    // Expected live state: last write wins per key (isomorphic cells may
+    // collapse onto one content address, so dedupe by key, not by entry).
+    let mut live: std::collections::HashMap<_, _> = std::collections::HashMap::new();
+    for (k, r) in &entries {
+        let newer = match r {
+            EvalRecord::ZeroCost(m) => EvalRecord::ZeroCost(ZeroCostMetrics {
+                ntk_condition: m.ntk_condition + 1000.0,
+                ..*m
+            }),
+            other => other.clone(),
+        };
+        live.insert(*k, newer);
+    }
+
+    let before = std::fs::metadata(&path).unwrap().len();
+    let stats = EvalStore::compact_path(&path, 3).unwrap();
+    assert_eq!(stats.bytes_before, before);
+    assert!(stats.bytes_after < stats.bytes_before);
+    assert_eq!(stats.records_before, 2 * entries.len());
+    assert_eq!(stats.records_after, live.len());
+
+    let store = EvalStore::open(&path, 3).unwrap();
+    assert_eq!(store.len(), stats.records_after);
+    for (k, expected) in &live {
+        let got = store.get(k).expect("live entry survives compaction");
+        assert_eq!(&got, expected, "compaction must keep the latest generation");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_header_from_a_crashed_creation_self_heals() {
+    let path = temp_path("torn-header");
+    // Simulate a crash mid-way through writing the 20-byte header.
+    std::fs::write(&path, &micronas_store::log::LOG_MAGIC[..5]).unwrap();
+
+    let store = EvalStore::open(&path, 9).unwrap();
+    assert!(store.is_empty(), "a torn header recovers to an empty store");
+    let entries = sample_entries(3);
+    for (k, r) in &entries {
+        store.insert(*k, r.clone()).unwrap();
+    }
+    drop(store);
+    let store = EvalStore::open(&path, 9).unwrap();
+    assert_eq!(store.len(), last_wins(&entries).len());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn oversized_spectra_are_rejected_at_insert_not_at_replay() {
+    let path = temp_path("oversized");
+    let store = EvalStore::open(&path, 12).unwrap();
+    let cell = SearchSpace::nas_bench_201().cell(1).unwrap();
+    let key = EvalKey::ntk_spectrum(&cell, DatasetKind::Cifar10, 0, 32);
+    let oversized = EvalRecord::NtkSpectrum(NtkSpectrumRecord {
+        condition_number: 1.0,
+        condition_indices: vec![1.0; micronas_store::MAX_SPECTRUM_INDICES + 1],
+    });
+    // Accepting this record would make the next replay truncate the log at
+    // its offset, silently destroying everything appended after it.
+    assert!(matches!(
+        store.insert(key, oversized),
+        Err(StoreError::MalformedRecord(_))
+    ));
+    let (k, r) = &sample_entries(1)[0];
+    store.insert(*k, r.clone()).unwrap();
+    drop(store);
+    let store = EvalStore::open(&path, 12).unwrap();
+    assert_eq!(store.len(), 1, "the valid record survives replay");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn single_writer_lock_guards_the_log() {
+    let path = temp_path("lock");
+    let store = EvalStore::open(&path, 4).unwrap();
+    // A second store on the same log — as a concurrent process would
+    // attempt — must be refused rather than silently corrupting the file.
+    assert!(matches!(
+        EvalStore::open(&path, 4),
+        Err(StoreError::Locked { .. })
+    ));
+    // Compaction also refuses to run under a live writer.
+    assert!(matches!(
+        EvalStore::compact_path(&path, 4),
+        Err(StoreError::Locked { .. })
+    ));
+    // The lock dies with the store; afterwards both succeed.
+    drop(store);
+    EvalStore::compact_path(&path, 4).unwrap();
+    drop(EvalStore::open(&path, 4).unwrap());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn namespace_guards_cross_configuration_reuse() {
+    let path = temp_path("namespace");
+    drop(EvalStore::open(&path, 10).unwrap());
+    match EvalStore::open(&path, 11) {
+        Err(StoreError::NamespaceMismatch { found, expected }) => {
+            assert_eq!(found, 10);
+            assert_eq!(expected, 11);
+        }
+        other => panic!("expected a namespace mismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,111 @@
+//! The paper grid against a persistent evaluation store: run the whole
+//! MicroNAS evaluation (Fig. 2a, Fig. 2b, Table I, latency sweep) twice and
+//! watch the second pass reuse every evaluation of the first.
+//!
+//! ```bash
+//! cargo run --release --example sweep_cached
+//! ```
+//!
+//! The store lives in `micronas_sweep_store.log` (override with
+//! `MICRONAS_STORE_PATH`), so re-running the example — or any other process
+//! sharing the store — starts warm: 100% hit rate, zero proxy
+//! recomputations, and a bitwise-identical report. The log is compacted at
+//! the end, demonstrating the full store lifecycle.
+
+use micronas_suite::core::experiments::{run_paper_sweep, SweepReport, SweepScale, Table1Row};
+use micronas_suite::core::MicroNasConfig;
+use micronas_suite::store::EvalStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn report_line(label: &str, report: &SweepReport) {
+    match &report.store {
+        Some(stats) => println!(
+            "{label:<18} {:>8.2}s   hits {:>6}  misses {:>6}  hit-rate {:>6.1}%",
+            report.wall_seconds,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        ),
+        None => println!("{label:<18} {:>8.2}s   (no store)", report.wall_seconds),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MicroNasConfig::fast();
+    let scale = SweepScale::fast();
+    let path = std::env::var_os("MICRONAS_STORE_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("micronas_sweep_store.log"));
+
+    println!("Evaluation store: {}", path.display());
+    println!(
+        "Namespace:        {:#018x} (fingerprint of the proxy/hardware configuration)",
+        config.store_namespace()
+    );
+    println!();
+
+    // ---- Pass 1: possibly cold (warm if the log already exists) ---------
+    let store = Arc::new(EvalStore::open(&path, config.store_namespace())?);
+    let preloaded = store.len();
+    if preloaded > 0 {
+        println!("Replayed {preloaded} records from an earlier process — starting warm.");
+    }
+    let first = run_paper_sweep(&config, &scale, Some(store.clone()))?;
+    report_line("first sweep:", &first);
+
+    // ---- Pass 2: guaranteed warm ----------------------------------------
+    let second = run_paper_sweep(&config, &scale, Some(store.clone()))?;
+    report_line("second sweep:", &second);
+
+    let identical = first.identity_fingerprint() == second.identity_fingerprint();
+    let speedup = first.wall_seconds / second.wall_seconds.max(1e-12);
+    println!();
+    println!(
+        "warm speedup: {speedup:.1}x   recomputations: {}   bitwise identical: {identical}",
+        second.recomputations().unwrap_or(u64::MAX),
+    );
+    assert!(identical, "sweep results must not depend on store warmth");
+    assert_eq!(second.recomputations(), Some(0));
+
+    // ---- The results themselves -----------------------------------------
+    println!();
+    println!("Fig. 2a (Kendall-tau of -K_i vs accuracy):");
+    for series in &first.fig2a {
+        let taus: Vec<String> = series.taus.iter().map(|t| format!("{t:+.3}")).collect();
+        println!("  {:<16} [{}]", series.dataset, taus.join(", "));
+    }
+    println!();
+    println!("Fig. 2b average tau per NTK batch size:");
+    for (batch, tau) in first.fig2b.batch_sizes.iter().zip(&first.fig2b.average) {
+        println!("  batch {batch:>4}: {tau:+.3}");
+    }
+    println!();
+    println!("Table I:");
+    println!("  {}", Table1Row::header());
+    for row in &first.table1 {
+        println!("  {}", row.formatted());
+    }
+    println!();
+    println!("Latency sweep:");
+    for p in &first.latency_sweep {
+        println!(
+            "  weight {:>5.1}: {:>8.1} ms  ({:.2}x vs baseline)  ACC {:>5.2}%",
+            p.hardware_weight, p.latency_ms, p.speedup_vs_baseline, p.accuracy
+        );
+    }
+
+    // ---- Compaction ------------------------------------------------------
+    let entries = store.len();
+    drop(first);
+    drop(second);
+    drop(store); // close the log before offline compaction
+    let stats = EvalStore::compact_path(&path, config.store_namespace())?;
+    println!();
+    println!(
+        "Compacted {} -> {} records ({} -> {} bytes); {entries} live evaluations persisted for \
+         the next process.",
+        stats.records_before, stats.records_after, stats.bytes_before, stats.bytes_after
+    );
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! * [`mcu`] — cycle-approximate Cortex-M7 MCU model ([`micronas_mcu`])
 //! * [`hw`] — FLOPs / latency / memory hardware indicators ([`micronas_hw`])
 //! * [`proxies`] — zero-cost proxies (NTK spectrum, linear regions) ([`micronas_proxies`])
+//! * [`store`] — shared, persistent evaluation store ([`micronas_store`])
 //! * [`core`] — the MicroNAS search framework and baselines ([`micronas`])
 
 pub use micronas as core;
@@ -25,4 +26,5 @@ pub use micronas_nasbench as nasbench;
 pub use micronas_nn as nn;
 pub use micronas_proxies as proxies;
 pub use micronas_searchspace as searchspace;
+pub use micronas_store as store;
 pub use micronas_tensor as tensor;
