@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use micronas::experiments::{run_paper_sweep, SweepScale};
 use micronas::MicroNasConfig;
-use micronas_bench::{banner, bench_config, paper_scale, write_bench_json};
+use micronas_bench::{banner, bench_config, paper_scale, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::ZeroCostMetrics;
 use micronas_searchspace::SearchSpace;
@@ -160,7 +160,7 @@ fn bench_store_throughput(c: &mut Criterion) {
         println!("warm hit rate:            {:>11.1}%", warm_hit_rate * 100.0);
         println!("bitwise identical:        {identical}");
     }
-    if let Some(path) = write_bench_json(
+    record_bench_json(
         "store_throughput",
         &[
             ("hit_lookups_per_s", hit_rate_per_s),
@@ -172,9 +172,7 @@ fn bench_store_throughput(c: &mut Criterion) {
             ("sweep_warm_hit_rate", warm_hit_rate),
             ("sweep_bitwise_identical", f64::from(u8::from(identical))),
         ],
-    ) {
-        println!("recorded: {}", path.display());
-    }
+    );
 }
 
 criterion_group!(benches, bench_store_throughput);

@@ -50,9 +50,16 @@ pub fn correlation_sample_size() -> usize {
 /// the scale the numbers were measured at. Hand-rolled JSON: the workspace's
 /// `serde` is an offline no-op shim, and a flat `f64` map needs nothing more.
 ///
-/// Returns the path written to, or `None` when the directory could not be
-/// created (benches must never fail because of recording).
-pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> Option<std::path::PathBuf> {
+/// The directory is created (`create_dir_all`) before writing, so benches
+/// can record from a pristine checkout.
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] when the directory cannot be
+/// created or the file cannot be written. Bench targets report the error
+/// (see [`record_bench_json`]) rather than panicking — a benchmark must
+/// never die because recording failed.
+pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> std::io::Result<std::path::PathBuf> {
     // Anchor at the workspace target directory: cargo runs benches with the
     // package directory (not the workspace root) as cwd.
     let target = std::env::var_os("CARGO_TARGET_DIR")
@@ -64,7 +71,7 @@ pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> Option<std::path:
                 .join("target")
         });
     let dir = target.join("bench-json");
-    std::fs::create_dir_all(&dir).ok()?;
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut body = String::from("{\n");
     body.push_str(&format!(
@@ -75,8 +82,18 @@ pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> Option<std::path:
         body.push_str(&format!(",\n  \"{key}\": {value:?}"));
     }
     body.push_str("\n}\n");
-    std::fs::write(&path, body).ok()?;
-    Some(path)
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// [`write_bench_json`] with the standard bench-target reporting: prints the
+/// recorded path on success and a diagnostic (without failing the bench) on
+/// I/O error.
+pub fn record_bench_json(name: &str, fields: &[(&str, f64)]) {
+    match write_bench_json(name, fields) {
+        Ok(path) => println!("recorded: {}", path.display()),
+        Err(e) => eprintln!("warning: could not record bench json for {name}: {e}"),
+    }
 }
 
 /// Prints a banner identifying the experiment and its scale.
@@ -118,7 +135,7 @@ mod tests {
     #[test]
     fn bench_json_is_written_and_well_formed() {
         let path = write_bench_json("lib_test_smoke", &[("alpha", 1.25), ("beta", 3.0)])
-            .expect("bench json should be writable in the test environment");
+            .expect("bench json must be writable in the test environment");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"lib_test_smoke\""));
         assert!(body.contains("\"alpha\": 1.25"));

@@ -113,9 +113,18 @@ impl MicroNasConfig {
     /// one axis the paper sweeps (Fig. 2b). The seed and the hardware
     /// budgets are excluded too: the seed is a key coordinate, and
     /// feasibility is recomputed per context from the stored indicators.
+    ///
+    /// # Versioning rule
+    ///
+    /// The version tag below must be bumped whenever proxy *outputs* change
+    /// for identical inputs — not just when this encoding changes. A
+    /// numerical rework (e.g. the batched per-sample gradients and GEMM
+    /// Gram build of namespace v2, which reorder floating-point reductions)
+    /// silently invalidates every cached evaluation; bumping the tag makes
+    /// old logs refuse to open rather than serve stale values.
     pub fn store_namespace(&self) -> u64 {
         let mut h = micronas_store::Fnv1a::new();
-        h.update(b"micronas/namespace/v1");
+        h.update(b"micronas/namespace/v2");
         encode_network(&mut h, &self.ntk.network);
         h.update(&(self.ntk.repeats as u64).to_le_bytes());
         h.update(&(self.linear_regions.num_segments as u64).to_le_bytes());
@@ -265,7 +274,7 @@ mod tests {
         // plan a migration, never silently re-fingerprint.
         assert_eq!(
             MicroNasConfig::paper_default().store_namespace(),
-            0xd64e_988d_261b_274f,
+            0xa01c_0bcb_e15a_bdf4,
             "got {:#018x}",
             MicroNasConfig::paper_default().store_namespace()
         );

@@ -95,10 +95,17 @@ impl SyntheticDataset {
             hash_mix(self.seed, self.kind.id()),
             hash_mix(stream, 0xBA7C),
         );
+        // Prototypes are pure functions of (dataset, class, resolution);
+        // memoise them for the batch so each class pays its sinusoid pass
+        // once instead of once per drawn sample (the trigonometry dominates
+        // the whole sampling cost otherwise). Values are bitwise-identical
+        // to recomputation.
+        let mut prototypes: Vec<Option<Vec<f32>>> = vec![None; num_classes];
         for sample in 0..batch_size {
             let label = batch_rng.below(num_classes);
             labels.push(label);
-            let prototype = self.class_prototype(label, resolution);
+            let prototype =
+                prototypes[label].get_or_insert_with(|| self.class_prototype(label, resolution));
             let mut noise_rng = DeterministicRng::with_stream(
                 hash_mix(self.seed, self.kind.id()),
                 hash_mix(stream.wrapping_add(1), sample as u64),

@@ -65,6 +65,71 @@ impl ParameterGradients {
     }
 }
 
+/// Per-sample gradients of a whole batch, stored as one contiguous row-major
+/// `[n, P]` matrix (`n` samples × `P` parameters).
+///
+/// This is the layout the batched backward pass emits and the NTK Gram
+/// build (`G = J·Jᵀ`) consumes: sample `i`'s flattened parameter gradient is
+/// row `i`, so the Gram matrix is a single GEMM over the buffer instead of
+/// `n²` pairwise dot products over separate allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerSampleGradients {
+    n: usize,
+    p: usize,
+    values: Vec<f32>,
+}
+
+impl PerSampleGradients {
+    /// Wraps a row-major `[n, p]` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n * p`.
+    pub fn new(n: usize, p: usize, values: Vec<f32>) -> Self {
+        assert_eq!(values.len(), n * p, "per-sample gradient matrix size");
+        Self { n, p, values }
+    }
+
+    /// Number of samples (rows).
+    pub fn num_samples(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parameters (columns).
+    pub fn num_parameters(&self) -> usize {
+        self.p
+    }
+
+    /// The whole `[n, P]` buffer, row-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The gradient row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_samples()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.values[i * self.p..(i + 1) * self.p]
+    }
+
+    /// Splits the matrix into one owned [`ParameterGradients`] per sample
+    /// (the pre-batched representation; costs one copy per row).
+    pub fn to_parameter_gradients(&self) -> Vec<ParameterGradients> {
+        (0..self.n)
+            .map(|i| ParameterGradients::new(self.row(i).to_vec()))
+            .collect()
+    }
+
+    /// Consumes the matrix and returns its backing buffer — callers that
+    /// took it from a [`micronas_tensor::Workspace`]-backed path recycle it
+    /// there, keeping steady-state NTK evaluation allocation-free.
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +151,24 @@ mod tests {
         let a = ParameterGradients::new(vec![1.0]);
         let b = ParameterGradients::new(vec![1.0, 2.0]);
         let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn per_sample_matrix_rows_and_split() {
+        let m = PerSampleGradients::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.num_samples(), 2);
+        assert_eq!(m.num_parameters(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let split = m.to_parameter_gradients();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[1].values(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn per_sample_matrix_checks_length() {
+        let _ = PerSampleGradients::new(2, 3, vec![0.0; 5]);
     }
 
     proptest! {

@@ -82,6 +82,22 @@ impl ConvLayer {
         Ok(conv2d_with(input, &self.weight, self.spec, workspace)?)
     }
 
+    /// Forward pass drawing the output tensor from the workspace recycling
+    /// pool (see [`micronas_tensor::conv2d_pooled`]); numerically identical
+    /// to [`ConvLayer::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors from the convolution kernel.
+    pub fn forward_pooled(&self, input: &Tensor, workspace: &mut Workspace) -> Result<Tensor> {
+        Ok(micronas_tensor::conv2d_pooled(
+            input,
+            &self.weight,
+            self.spec,
+            workspace,
+        )?)
+    }
+
     /// Backward pass: returns `(grad_weight, grad_input)` for the upstream
     /// gradient `grad_out`.
     ///

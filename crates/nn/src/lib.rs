@@ -45,7 +45,7 @@ mod network;
 
 pub use config::ProxyNetworkConfig;
 pub use error::NnError;
-pub use gradient::ParameterGradients;
+pub use gradient::{ParameterGradients, PerSampleGradients};
 pub use layers::{ConvLayer, LinearLayer};
 pub use network::{CellNetwork, ForwardOutput};
 

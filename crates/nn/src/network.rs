@@ -1,9 +1,14 @@
 //! The proxy cell network: stem → stacked searched cells → pooling → classifier.
 
-use crate::{ConvLayer, LinearLayer, NnError, ParameterGradients, ProxyNetworkConfig, Result};
+use crate::{
+    ConvLayer, LinearLayer, NnError, ParameterGradients, PerSampleGradients, ProxyNetworkConfig,
+    Result,
+};
 use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES};
 use micronas_tensor::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, hash_mix,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_pooled, avg_pool2d_pooled,
+    conv2d_backward_input_pooled, conv2d_backward_weight_per_sample_into, gemm_nn, global_avg_pool,
+    global_avg_pool_backward, hash_mix,
     ops::{relu, relu_backward},
     Shape, Tensor, Workspace,
 };
@@ -154,7 +159,231 @@ impl CellNetwork {
         Ok(())
     }
 
+    /// Runs the forward pass, retaining every node activation for the
+    /// backward pass. All large intermediates come from the workspace
+    /// recycling pool; pair with [`recycle_trace`] so steady-state
+    /// evaluation performs no allocation. `collect_pre_activations` controls
+    /// whether the pre-ReLU conv inputs are copied out (the linear-region
+    /// proxy needs them, the gradient paths do not).
     fn forward_trace(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+        collect_pre_activations: bool,
+    ) -> Result<(ForwardTrace, Vec<Tensor>)> {
+        self.check_input(input)?;
+        let stem_out = self.stem.forward_pooled(input, workspace)?;
+        let mut pre_activations = Vec::new();
+        let mut nodes_per_cell = Vec::with_capacity(self.cells.len());
+        let mut x = pooled_copy(&stem_out, workspace);
+        for cell in &self.cells {
+            let mut nodes: Vec<Tensor> = Vec::with_capacity(NUM_NODES);
+            nodes.push(x);
+            for dst in 1..NUM_NODES {
+                let mut acc = pooled_zeros(nodes[0].shape().clone(), workspace);
+                for edge in EdgeId::all() {
+                    let (src, d) = edge.endpoints();
+                    if d != dst {
+                        continue;
+                    }
+                    let op = self.cell.edge_ops()[edge.0];
+                    match op {
+                        Operation::None => {}
+                        Operation::SkipConnect => {
+                            acc.axpy(1.0, &nodes[src]).map_err(NnError::from)?;
+                        }
+                        Operation::AvgPool3x3 => {
+                            let c = avg_pool2d_pooled(&nodes[src], 3, 1, 1, workspace)?;
+                            acc.axpy(1.0, &c).map_err(NnError::from)?;
+                            workspace.recycle(c.into_vec());
+                        }
+                        Operation::NorConv1x1 | Operation::NorConv3x3 => {
+                            let conv = cell.edge_convs[edge.0]
+                                .as_ref()
+                                .expect("conv edge always has a layer");
+                            if collect_pre_activations {
+                                pre_activations.push(nodes[src].clone());
+                            }
+                            let activated = pooled_relu(&nodes[src], workspace);
+                            let c = conv.forward_pooled(&activated, workspace)?;
+                            workspace.recycle(activated.into_vec());
+                            acc.axpy(1.0, &c).map_err(NnError::from)?;
+                            workspace.recycle(c.into_vec());
+                        }
+                    }
+                }
+                nodes.push(acc);
+            }
+            x = pooled_copy(&nodes[NUM_NODES - 1], workspace);
+            nodes_per_cell.push(nodes);
+        }
+        let features = global_avg_pool(&x)?;
+        workspace.recycle(x.into_vec());
+        let logits = self.classifier.forward(&features)?;
+        let trace = ForwardTrace {
+            input: pooled_copy(input, workspace),
+            stem_out,
+            nodes: nodes_per_cell,
+            features,
+            logits,
+        };
+        Ok((trace, pre_activations))
+    }
+
+    /// Runs the network on a batch of inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] if the input geometry does not
+    /// match the configuration.
+    pub fn forward(&self, input: &Tensor) -> Result<ForwardOutput> {
+        self.forward_with(input, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::forward`] reusing an explicit scratch [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] if the input geometry does not
+    /// match the configuration.
+    pub fn forward_with(&self, input: &Tensor, workspace: &mut Workspace) -> Result<ForwardOutput> {
+        let (trace, pre_activations) = self.forward_trace(input, workspace, true)?;
+        let logits = trace.logits.clone();
+        recycle_trace(trace, workspace);
+        Ok(ForwardOutput {
+            logits,
+            pre_activations,
+        })
+    }
+
+    /// Gradient of `sum(logits)` with respect to every parameter, for a batch.
+    ///
+    /// The returned vector follows the fixed parameter order (stem, cells in
+    /// order with edges in canonical order, classifier), matching
+    /// [`CellNetwork::num_parameters`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn parameter_gradients(&self, input: &Tensor) -> Result<ParameterGradients> {
+        self.parameter_gradients_with(input, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::parameter_gradients`] reusing an explicit scratch
+    /// [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn parameter_gradients_with(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<ParameterGradients> {
+        let (trace, _) = self.forward_trace(input, workspace, false)?;
+        let batch = input.shape().dims()[0];
+        let grad_logits = Tensor::ones(Shape::d2(batch, self.config.num_classes));
+        let grads = self.backward(&trace, &grad_logits, workspace)?;
+        recycle_trace(trace, workspace);
+        Ok(grads)
+    }
+
+    /// Per-sample gradients of `sum(logits)` for every sample in the batch.
+    ///
+    /// This is the quantity the NTK Gram matrix is built from:
+    /// `G[i][j] = grads[i] · grads[j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradients(&self, batch: &Tensor) -> Result<Vec<ParameterGradients>> {
+        self.per_sample_gradients_with(batch, &mut Workspace::default())
+    }
+
+    /// [`CellNetwork::per_sample_gradients`] reusing an explicit scratch
+    /// [`Workspace`]; computed by the batched formulation
+    /// ([`CellNetwork::per_sample_gradient_matrix_with`]) and split into one
+    /// vector per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradients_with(
+        &self,
+        batch: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<ParameterGradients>> {
+        Ok(self
+            .per_sample_gradient_matrix_with(batch, workspace)?
+            .to_parameter_gradients())
+    }
+
+    /// Per-sample gradients of `sum(logits)` as one contiguous row-major
+    /// `[n, P]` matrix, computed by the **batched** formulation: a single
+    /// forward pass over the whole batch, then a single backward sweep in
+    /// which every convolution edge emits all `n` per-sample weight
+    /// gradients from one shared im2col lowering
+    /// ([`conv2d_backward_weight_per_sample_into`]) straight into the matrix.
+    ///
+    /// Compared to the looped formulation
+    /// ([`CellNetwork::per_sample_gradients_looped_with`]) this runs one
+    /// trace instead of `n`, shares every node-gradient tensor across the
+    /// batch, and leaves the per-sample gradients in the exact layout the
+    /// NTK Gram GEMM (`G = J·Jᵀ`) consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradient_matrix_with(
+        &self,
+        batch: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<PerSampleGradients> {
+        let (trace, _) = self.forward_trace(batch, workspace, false)?;
+        let n = batch.shape().dims()[0];
+        let p = self.num_parameters();
+        // The matrix buffer comes from the recycling pool: at batch 32 it is
+        // past the allocator's mmap threshold, so a fresh allocation per
+        // evaluation would cost page faults. Callers hand it back via
+        // `PerSampleGradients::into_values` + `Workspace::recycle`.
+        let mut matrix = workspace.take_zeroed(n * p);
+        self.backward_per_sample_into(&trace, workspace, &mut matrix)?;
+        recycle_trace(trace, workspace);
+        Ok(PerSampleGradients::new(n, p, matrix))
+    }
+
+    /// The pre-batching reference implementation of per-sample gradients:
+    /// one full forward/backward pass per sample, with the reference
+    /// (allocation-per-tensor) trace. Kept verbatim as the oracle the
+    /// batched formulation is property-tested against, and as the baseline
+    /// side of the `ntk_engine` benchmark — it *is* the path the proxy
+    /// engine ran before batching, so the benchmark's speedup is measured
+    /// against the real predecessor, not a strawman.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradients_looped_with(
+        &self,
+        batch: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<ParameterGradients>> {
+        self.check_input(batch)?;
+        let n = batch.shape().dims()[0];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let sample = extract_sample(batch, i)?;
+            let (trace, _) = self.forward_trace_reference(&sample, workspace)?;
+            let grad_logits = Tensor::ones(Shape::d2(1, self.config.num_classes));
+            out.push(self.backward(&trace, &grad_logits, workspace)?);
+        }
+        Ok(out)
+    }
+
+    /// The reference forward trace: plain per-tensor allocation, no buffer
+    /// recycling. Byte-for-byte the trace the engine ran before the batched
+    /// rework; produces values identical to [`CellNetwork::forward_trace`].
+    fn forward_trace_reference(
         &self,
         input: &Tensor,
         workspace: &mut Workspace,
@@ -209,94 +438,194 @@ impl CellNetwork {
         Ok((trace, pre_activations))
     }
 
-    /// Runs the network on a batch of inputs.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] if the input geometry does not
-    /// match the configuration.
-    pub fn forward(&self, input: &Tensor) -> Result<ForwardOutput> {
-        self.forward_with(input, &mut Workspace::default())
-    }
-
-    /// [`CellNetwork::forward`] reusing an explicit scratch [`Workspace`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] if the input geometry does not
-    /// match the configuration.
-    pub fn forward_with(&self, input: &Tensor, workspace: &mut Workspace) -> Result<ForwardOutput> {
-        let (trace, pre_activations) = self.forward_trace(input, workspace)?;
-        Ok(ForwardOutput {
-            logits: trace.logits,
-            pre_activations,
-        })
-    }
-
-    /// Gradient of `sum(logits)` with respect to every parameter, for a batch.
-    ///
-    /// The returned vector follows the fixed parameter order (stem, cells in
-    /// order with edges in canonical order, classifier), matching
-    /// [`CellNetwork::num_parameters`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
-    pub fn parameter_gradients(&self, input: &Tensor) -> Result<ParameterGradients> {
-        self.parameter_gradients_with(input, &mut Workspace::default())
-    }
-
-    /// [`CellNetwork::parameter_gradients`] reusing an explicit scratch
-    /// [`Workspace`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
-    pub fn parameter_gradients_with(
-        &self,
-        input: &Tensor,
-        workspace: &mut Workspace,
-    ) -> Result<ParameterGradients> {
-        let (trace, _) = self.forward_trace(input, workspace)?;
-        let batch = input.shape().dims()[0];
-        let grad_logits = Tensor::ones(Shape::d2(batch, self.config.num_classes));
-        self.backward(&trace, &grad_logits, workspace)
-    }
-
-    /// Per-sample gradients of `sum(logits)` for every sample in the batch.
-    ///
-    /// This is the quantity the NTK Gram matrix is built from:
-    /// `G[i][j] = grads[i] · grads[j]`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
-    pub fn per_sample_gradients(&self, batch: &Tensor) -> Result<Vec<ParameterGradients>> {
-        self.per_sample_gradients_with(batch, &mut Workspace::default())
-    }
-
-    /// [`CellNetwork::per_sample_gradients`] reusing an explicit scratch
-    /// [`Workspace`].
-    ///
-    /// One workspace serves every per-sample backward pass, so the NTK inner
-    /// loop performs no scratch allocation after the first sample.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
-    pub fn per_sample_gradients_with(
-        &self,
-        batch: &Tensor,
-        workspace: &mut Workspace,
-    ) -> Result<Vec<ParameterGradients>> {
-        self.check_input(batch)?;
-        let n = batch.shape().dims()[0];
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let sample = extract_sample(batch, i)?;
-            out.push(self.parameter_gradients_with(&sample, workspace)?);
+    /// Parameter offset of each cell's conv edges in the canonical flattened
+    /// order (stem, cells in order with edges in canonical order,
+    /// classifier). Non-conv edges get `usize::MAX`. Returns the table and
+    /// the classifier offset.
+    fn edge_parameter_offsets(&self) -> (Vec<[usize; NUM_EDGES]>, usize) {
+        let mut offset = self.stem.num_parameters();
+        let mut table = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let mut row = [usize::MAX; NUM_EDGES];
+            for (e, conv) in cell.edge_convs.iter().enumerate() {
+                if let Some(conv) = conv {
+                    row[e] = offset;
+                    offset += conv.num_parameters();
+                }
+            }
+            table.push(row);
         }
-        Ok(out)
+        (table, offset)
+    }
+
+    /// Batched backward pass of `sum(logits)` writing per-sample parameter
+    /// gradients into the row-major `[n, P]` `matrix` (pre-zeroed).
+    ///
+    /// Node gradients flow exactly as in [`CellNetwork::backward`] — samples
+    /// are independent through every convolution, pooling and element-wise
+    /// op, so one batch-level sweep produces each sample's node gradients
+    /// bit-for-bit as `n` separate backward passes would — but at every
+    /// parameterised layer the weight gradient is *not* summed over the
+    /// batch: each sample's contribution lands in its own row.
+    fn backward_per_sample_into(
+        &self,
+        trace: &ForwardTrace,
+        workspace: &mut Workspace,
+        matrix: &mut [f32],
+    ) -> Result<()> {
+        let n = trace.input.shape().dims()[0];
+        let p = self.num_parameters();
+        debug_assert_eq!(matrix.len(), n * p);
+        let (edge_offsets, classifier_offset) = self.edge_parameter_offsets();
+        let num_classes = self.config.num_classes;
+        let channels = self.config.channels;
+
+        // Classifier, per sample: with L = sum(logits), dL/dW[o][i] for
+        // sample b is grad_logits[b][o] · features[b][i] — a pure outer
+        // product, so each row is written directly.
+        let features = trace.features.data();
+        for b in 0..n {
+            let row = &mut matrix[b * p + classifier_offset..(b * p) + p];
+            for o in 0..num_classes {
+                for i in 0..channels {
+                    row[o * channels + i] = features[b * channels + i];
+                }
+            }
+        }
+
+        // Gradient w.r.t. the features: grad_logits · W with grad_logits
+        // all-ones, batched over samples (rows are independent).
+        let mut grad_features = Tensor::zeros(Shape::d2(n, channels));
+        let ones = vec![1.0f32; n * num_classes];
+        gemm_nn(
+            n,
+            num_classes,
+            channels,
+            &ones,
+            self.classifier.weight().data(),
+            grad_features.data_mut(),
+            false,
+        );
+
+        // Global average pooling, into a pooled buffer (the batch-level
+        // gradient tensor is large enough that a fresh allocation per
+        // backward costs an mmap): every plane of the input gradient is the
+        // corresponding feature gradient spread uniformly — the same values
+        // `global_avg_pool_backward` produces.
+        let last_x = trace
+            .nodes
+            .last()
+            .map(|nodes| &nodes[NUM_NODES - 1])
+            .unwrap_or(&trace.stem_out);
+        let hw: usize = last_x.shape().dims()[2] * last_x.shape().dims()[3];
+        let mut grad_x = {
+            let mut buf = workspace.take(last_x.numel());
+            for (&g, plane) in grad_features.data().iter().zip(buf.chunks_exact_mut(hw)) {
+                plane.fill(g / hw as f32);
+            }
+            Tensor::from_vec(last_x.shape().clone(), buf).expect("length matches shape")
+        };
+
+        // Cells in reverse order.
+        for (cell_idx, (cell_instance, nodes)) in
+            self.cells.iter().zip(trace.nodes.iter()).enumerate().rev()
+        {
+            let mut node_grads: Vec<Tensor> = nodes[..NUM_NODES - 1]
+                .iter()
+                .map(|nd| pooled_zeros(nd.shape().clone(), workspace))
+                .collect();
+            node_grads.push(grad_x);
+            // A node gradient is structurally zero until an edge accumulates
+            // into it; tracking that with a flag skips dead subgraphs without
+            // the full-tensor norm pass the looped reference pays per edge.
+            // (An accumulated-but-numerically-zero gradient is processed; it
+            // contributes zeros, identical to skipping.)
+            let mut touched = [false; NUM_NODES];
+            touched[NUM_NODES - 1] = true;
+
+            for edge in EdgeId::all().iter().rev() {
+                let (src, dst) = edge.endpoints();
+                if !touched[dst] {
+                    continue;
+                }
+                // Source nodes always precede destination nodes, so a split
+                // borrows the upstream gradient while the source accumulates.
+                let (lower, upper) = node_grads.split_at_mut(dst);
+                let upstream = &upper[0];
+                match self.cell.edge_ops()[edge.0] {
+                    Operation::None => {}
+                    Operation::SkipConnect => {
+                        lower[src].axpy(1.0, upstream).map_err(NnError::from)?;
+                        touched[src] = true;
+                    }
+                    Operation::AvgPool3x3 => {
+                        let g = avg_pool2d_backward_pooled(
+                            upstream,
+                            nodes[src].shape(),
+                            3,
+                            1,
+                            1,
+                            workspace,
+                        )?;
+                        lower[src].axpy(1.0, &g).map_err(NnError::from)?;
+                        workspace.recycle(g.into_vec());
+                        touched[src] = true;
+                    }
+                    Operation::NorConv1x1 | Operation::NorConv3x3 => {
+                        let conv = cell_instance.edge_convs[edge.0]
+                            .as_ref()
+                            .expect("conv edge always has a layer");
+                        let activated = pooled_relu(&nodes[src], workspace);
+                        conv2d_backward_weight_per_sample_into(
+                            &activated,
+                            upstream,
+                            conv.out_channels(),
+                            conv.spec(),
+                            workspace,
+                            matrix,
+                            p,
+                            edge_offsets[cell_idx][edge.0],
+                        )?;
+                        let mut g_src = conv2d_backward_input_pooled(
+                            conv.weight(),
+                            upstream,
+                            activated.shape(),
+                            conv.spec(),
+                            workspace,
+                        )?;
+                        workspace.recycle(activated.into_vec());
+                        // ReLU backward, in place on the input gradient.
+                        for (g, &x) in g_src.data_mut().iter_mut().zip(nodes[src].data()) {
+                            if x <= 0.0 {
+                                *g = 0.0;
+                            }
+                        }
+                        lower[src].axpy(1.0, &g_src).map_err(NnError::from)?;
+                        workspace.recycle(g_src.into_vec());
+                        touched[src] = true;
+                    }
+                }
+            }
+            let mut drain = node_grads.into_iter();
+            grad_x = drain.next().expect("node 0 gradient");
+            for t in drain {
+                workspace.recycle(t.into_vec());
+            }
+        }
+
+        // Stem, per sample.
+        conv2d_backward_weight_per_sample_into(
+            &trace.input,
+            &grad_x,
+            self.stem.out_channels(),
+            self.stem.spec(),
+            workspace,
+            matrix,
+            p,
+            0,
+        )?;
+        workspace.recycle(grad_x.into_vec());
+        Ok(())
     }
 
     fn backward(
@@ -391,6 +720,41 @@ fn extract_sample(batch: &Tensor, i: usize) -> Result<Tensor> {
     Ok(Tensor::from_vec(Shape::nchw(1, d[1], d[2], d[3]), data)?)
 }
 
+/// A zero-filled tensor whose buffer comes from the workspace recycling pool.
+fn pooled_zeros(shape: Shape, workspace: &mut Workspace) -> Tensor {
+    let n = shape.numel();
+    Tensor::from_vec(shape, workspace.take_zeroed(n)).expect("length matches shape")
+}
+
+/// A copy of `t` whose buffer comes from the workspace recycling pool.
+fn pooled_copy(t: &Tensor, workspace: &mut Workspace) -> Tensor {
+    let mut buf = workspace.take(t.numel());
+    buf.copy_from_slice(t.data());
+    Tensor::from_vec(t.shape().clone(), buf).expect("length matches shape")
+}
+
+/// `relu(t)` into a pooled buffer (same values as [`relu`]).
+fn pooled_relu(t: &Tensor, workspace: &mut Workspace) -> Tensor {
+    let mut buf = workspace.take(t.numel());
+    for (o, &v) in buf.iter_mut().zip(t.data()) {
+        *o = if v > 0.0 { v } else { 0.0 };
+    }
+    Tensor::from_vec(t.shape().clone(), buf).expect("length matches shape")
+}
+
+/// Returns every pooled buffer of a [`ForwardTrace`] to the workspace so the
+/// next trace reuses it. The classifier-side tensors (`features`, `logits`)
+/// are small and are left to the allocator.
+fn recycle_trace(trace: ForwardTrace, workspace: &mut Workspace) {
+    workspace.recycle(trace.input.into_vec());
+    workspace.recycle(trace.stem_out.into_vec());
+    for nodes in trace.nodes {
+        for t in nodes {
+            workspace.recycle(t.into_vec());
+        }
+    }
+}
+
 /// Seed stream reserved for the stem convolution.
 const STEM_SEED_STREAM: u64 = 0x57E4_C0DE;
 
@@ -399,6 +763,10 @@ mod tests {
     use super::*;
     use micronas_searchspace::SearchSpace;
     use micronas_tensor::DeterministicRng;
+
+    /// Serialises the tests that pin or depend on the process-global conv
+    /// engine, so a concurrent pin cannot flip the engine mid-comparison.
+    static ENGINE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn random_batch(config: &ProxyNetworkConfig, n: usize, seed: u64) -> Tensor {
         let mut rng = DeterministicRng::new(seed);
@@ -475,6 +843,7 @@ mod tests {
 
     #[test]
     fn network_construction_is_deterministic() {
+        let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let cell = conv_chain_cell();
         let config = ProxyNetworkConfig::tiny(10);
         let a = CellNetwork::new(&cell, &config, 7).unwrap();
@@ -521,6 +890,103 @@ mod tests {
         }
         for (a, b) in total.values().iter().zip(summed.iter()) {
             assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+
+        // And per-sample — not just summed — the batched formulation must
+        // reproduce the looped one.
+        let mut ws = Workspace::default();
+        let looped = net
+            .per_sample_gradients_looped_with(&batch, &mut ws)
+            .unwrap();
+        assert_eq!(looped.len(), per_sample.len());
+        for (b, (fast, slow)) in per_sample.iter().zip(looped.iter()).enumerate() {
+            for (i, (x, y)) in fast.values().iter().zip(slow.values()).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-4 * (1.0 + y.abs()),
+                    "sample {b} param {i}: batched {x} vs looped {y}"
+                );
+            }
+        }
+    }
+
+    /// Batched and looped per-sample gradients must agree per sample across
+    /// random cells, batch sizes and both pinned convolution engines. Under
+    /// a pinned engine the two formulations execute identical per-sample
+    /// kernels, so the comparison is exact.
+    #[test]
+    fn batched_per_sample_gradients_match_looped_on_both_engines() {
+        use micronas_tensor::{set_conv_engine, ConvEngine};
+        let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let space = SearchSpace::nas_bench_201();
+        // A spread of cells: conv-heavy, pool/skip-mixed, sparse.
+        let cells = [
+            conv_chain_cell(),
+            space.cell(7_000).unwrap(),
+            space.cell(11_111).unwrap(),
+            space.cell(404).unwrap(),
+        ];
+        let config = ProxyNetworkConfig::tiny(4);
+        for engine in [ConvEngine::Direct, ConvEngine::Im2colGemm] {
+            set_conv_engine(engine);
+            for (c_idx, cell) in cells.iter().enumerate() {
+                let net = CellNetwork::new(cell, &config, c_idx as u64 + 1).unwrap();
+                for n in [1usize, 2, 7] {
+                    let batch = random_batch(&config, n, 19 + n as u64);
+                    let mut ws = Workspace::default();
+                    let fast = net
+                        .per_sample_gradient_matrix_with(&batch, &mut ws)
+                        .unwrap();
+                    let looped = net
+                        .per_sample_gradients_looped_with(&batch, &mut ws)
+                        .unwrap();
+                    assert_eq!(fast.num_samples(), n);
+                    assert_eq!(fast.num_parameters(), net.num_parameters());
+                    for (b, slow) in looped.iter().enumerate() {
+                        assert_eq!(
+                            fast.row(b),
+                            slow.values(),
+                            "engine {engine:?} cell {c_idx} n={n} sample {b}"
+                        );
+                    }
+                }
+            }
+        }
+        set_conv_engine(ConvEngine::Auto);
+    }
+
+    proptest::proptest! {
+        /// Property form of the batched-vs-looped equivalence: random cells
+        /// from the full NAS-Bench-201 space, the batch sizes the edge cases
+        /// live at (1, 2, 7), both pinned convolution engines.
+        #[test]
+        fn batched_per_sample_gradients_match_looped_across_random_cells(
+            cell_index in 0usize..15_625,
+            batch_choice in 0usize..3,
+            engine_choice in 0usize..2,
+            seed in 0u64..1_000,
+        ) {
+            use micronas_tensor::{set_conv_engine, ConvEngine};
+            let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let space = SearchSpace::nas_bench_201();
+            let cell = space.cell(cell_index).unwrap();
+            let mut config = ProxyNetworkConfig::tiny(3);
+            config.input_resolution = 6;
+            let n = [1usize, 2, 7][batch_choice];
+            let net = CellNetwork::new(&cell, &config, seed).unwrap();
+            let batch = random_batch(&config, n, seed + 1);
+            let mut ws = Workspace::default();
+            set_conv_engine(if engine_choice == 0 {
+                ConvEngine::Direct
+            } else {
+                ConvEngine::Im2colGemm
+            });
+            let fast = net.per_sample_gradient_matrix_with(&batch, &mut ws);
+            let looped = net.per_sample_gradients_looped_with(&batch, &mut ws);
+            set_conv_engine(ConvEngine::Auto);
+            let (fast, looped) = (fast.unwrap(), looped.unwrap());
+            for (b, slow) in looped.iter().enumerate() {
+                proptest::prop_assert_eq!(fast.row(b), slow.values(), "sample {}", b);
+            }
         }
     }
 

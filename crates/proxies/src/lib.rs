@@ -39,11 +39,12 @@ pub mod correlation;
 mod error;
 mod linear_regions;
 mod ntk;
+mod scratch;
 mod zero_cost;
 
 pub use error::ProxyError;
 pub use linear_regions::{LinearRegionConfig, LinearRegionEvaluator, LinearRegionReport};
-pub use ntk::{NtkConfig, NtkEvaluator, NtkReport};
+pub use ntk::{GradientPath, NtkConfig, NtkEvaluator, NtkReport};
 pub use zero_cost::{ZeroCostEvaluator, ZeroCostMetrics};
 
 /// Convenient result alias used throughout the crate.

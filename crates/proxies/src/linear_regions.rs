@@ -4,7 +4,7 @@ use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
-use micronas_tensor::{Shape, Tensor, Workspace};
+use micronas_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -132,34 +132,39 @@ impl LinearRegionEvaluator {
         let mut total_regions = 0usize;
         let mut all_patterns: HashSet<Vec<bool>> = HashSet::new();
         let mut relu_units = 0usize;
-        // One conv scratch arena serves every probe segment.
-        let mut workspace = Workspace::default();
 
-        for segment in 0..self.config.num_segments {
-            // Two endpoint batches of one sample each.
-            let endpoints =
-                data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
-            let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
-            let output = net.forward_with(&points, &mut workspace)?;
-            let patterns =
-                activation_patterns(&output.pre_activations, self.config.points_per_segment);
-            relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
+        // The shared per-thread scratch arena serves every probe segment and
+        // stays hot across candidates.
+        crate::scratch::with_thread_workspace(|workspace| -> Result<()> {
+            for segment in 0..self.config.num_segments {
+                // Two endpoint batches of one sample each.
+                let endpoints =
+                    data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
+                let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
+                let output = net.forward_with(&points, workspace)?;
+                let patterns =
+                    activation_patterns(&output.pre_activations, self.config.points_per_segment);
+                relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
 
-            // Count pieces along the segment: 1 + number of ReLU hyperplane
-            // crossings (Hamming distance between consecutive patterns).
-            let mut segment_regions = 1usize;
-            for w in patterns.windows(2) {
-                segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
+                // Count pieces along the segment: 1 + number of ReLU
+                // hyperplane crossings (Hamming distance between consecutive
+                // patterns).
+                let mut segment_regions = 1usize;
+                for w in patterns.windows(2) {
+                    segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
+                }
+                // A network with no ReLU units has a single global linear
+                // region.
+                if relu_units == 0 {
+                    segment_regions = 1;
+                }
+                total_regions += segment_regions;
+                for p in patterns {
+                    all_patterns.insert(p);
+                }
             }
-            // A network with no ReLU units has a single global linear region.
-            if relu_units == 0 {
-                segment_regions = 1;
-            }
-            total_regions += segment_regions;
-            for p in patterns {
-                all_patterns.insert(p);
-            }
-        }
+            Ok(())
+        })?;
 
         let regions_per_segment = total_regions as f64 / self.config.num_segments as f64;
         Ok(LinearRegionReport {

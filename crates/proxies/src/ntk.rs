@@ -4,7 +4,9 @@ use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
-use micronas_tensor::{sym_eigenvalues_with, EigenOptions, EigenReport, Shape, Tensor, Workspace};
+use micronas_tensor::{
+    gram_nt_f64, sym_eigenvalues_with, EigenOptions, EigenReport, Shape, Tensor, Workspace,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the NTK condition-number proxy.
@@ -109,6 +111,35 @@ impl NtkReport {
     }
 }
 
+/// Which per-sample gradient formulation the NTK evaluator runs.
+///
+/// Both produce the same per-sample gradients (property-tested bit-for-bit
+/// under pinned convolution engines); they differ only in how the work is
+/// scheduled, and the two Gram builds differ at reduction-order (~1e-15
+/// relative) level. This knob exists for the `ntk_engine` benchmark and for
+/// regression hunting — production code should leave the default
+/// [`GradientPath::Batched`] in place. In particular, results produced
+/// under [`GradientPath::Looped`] must **never** be written into a shared
+/// [`micronas-store`] evaluation store: store keys do not encode the
+/// formulation, and the store's bitwise-identity guarantee assumes every
+/// writer runs the default path. (The store-writing search contexts always
+/// construct default evaluators, so this only concerns code that inserts
+/// records by hand.)
+///
+/// [`micronas-store`]: https://docs.rs/micronas-store
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradientPath {
+    /// One forward pass and one backward sweep over the whole batch; every
+    /// conv edge emits all per-sample weight gradients from a shared im2col
+    /// into a contiguous `[n, P]` matrix, and the Gram matrix is one
+    /// `G = J·Jᵀ` GEMM.
+    #[default]
+    Batched,
+    /// The pre-batching formulation: one full backward pass per sample and
+    /// n² scalar dot products for the Gram matrix.
+    Looped,
+}
+
 /// Evaluates the NTK condition number of candidate cells.
 ///
 /// For each repeat the evaluator samples a fresh mini-batch from the
@@ -124,12 +155,29 @@ impl NtkReport {
 #[derive(Debug, Clone)]
 pub struct NtkEvaluator {
     config: NtkConfig,
+    gradient_path: GradientPath,
 }
 
 impl NtkEvaluator {
     /// Creates an evaluator with the given configuration.
     pub fn new(config: NtkConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            gradient_path: GradientPath::default(),
+        }
+    }
+
+    /// Returns a copy pinned to a specific per-sample gradient formulation
+    /// (benchmarks compare [`GradientPath::Batched`] against
+    /// [`GradientPath::Looped`]).
+    pub fn with_gradient_path(mut self, path: GradientPath) -> Self {
+        self.gradient_path = path;
+        self
+    }
+
+    /// The gradient formulation in force.
+    pub fn gradient_path(&self) -> GradientPath {
+        self.gradient_path
     }
 
     /// The evaluator's configuration.
@@ -154,12 +202,27 @@ impl NtkEvaluator {
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
 
+        // The thread-local arena keeps batch-level buffers hot across
+        // candidates (fresh per-call allocation of batch-32 tensors costs
+        // mmap round-trips) and shrinks back to the evaluation's watermark
+        // on the way out.
+        crate::scratch::with_thread_workspace(|workspace| {
+            self.evaluate_with_workspace(cell, dataset, seed, net_config, workspace)
+        })
+    }
+
+    fn evaluate_with_workspace(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+        net_config: ProxyNetworkConfig,
+        workspace: &mut Workspace,
+    ) -> Result<NtkReport> {
         let mut condition_sum = 0.0f64;
         let mut indices_sum = vec![0.0f64; self.config.max_condition_index];
         let mut first_eigenvalues = Vec::new();
-        // One conv scratch arena and one eigensolver scratch buffer serve
-        // every repeat (and every per-sample backward pass inside it).
-        let mut workspace = Workspace::default();
+        // One eigensolver scratch buffer serves every repeat.
         let mut eigen_scratch = Vec::new();
 
         for repeat in 0..self.config.repeats {
@@ -171,7 +234,7 @@ impl NtkEvaluator {
                 repeat as u64,
             )?;
             let net = CellNetwork::new(&cell, &net_config, repeat_seed)?;
-            let gram = self.gram_matrix(&net, &batch.images, &mut workspace)?;
+            let gram = self.gram_matrix(&net, &batch.images, workspace)?;
             let full = sym_eigenvalues_with(&gram, EigenOptions::default(), &mut eigen_scratch)
                 .map_err(|e| ProxyError::Eigen(e.to_string()))?;
             // Centring the per-sample gradients (see `gram_matrix`) pins one
@@ -217,17 +280,32 @@ impl NtkEvaluator {
         images: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<Tensor> {
-        let grads = net.per_sample_gradients_with(images, workspace)?;
-        let n = grads.len();
+        let n = images.shape().dims()[0];
         // Raw Gram in f64.
-        let mut raw = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let dot = grads[i].dot(&grads[j]);
-                raw[i * n + j] = dot;
-                raw[j * n + i] = dot;
+        let raw = match self.gradient_path {
+            GradientPath::Batched => {
+                // One batched backward emits the contiguous [n, P] gradient
+                // matrix; the raw Gram is a single G = J·Jᵀ GEMM (f32 panels
+                // with f64 accumulation).
+                let j = net.per_sample_gradient_matrix_with(images, workspace)?;
+                let mut raw = vec![0.0f64; n * n];
+                gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
+                workspace.recycle(j.into_values());
+                raw
             }
-        }
+            GradientPath::Looped => {
+                let grads = net.per_sample_gradients_looped_with(images, workspace)?;
+                let mut raw = vec![0.0f64; n * n];
+                for i in 0..n {
+                    for j in i..n {
+                        let dot = grads[i].dot(&grads[j]);
+                        raw[i * n + j] = dot;
+                        raw[j * n + i] = dot;
+                    }
+                }
+                raw
+            }
+        };
         // Centring the gradients (ĝ_i = g_i − mean) is equivalent to
         // double-centring the raw Gram: Ĝ = H G H with H = I − 11ᵀ/n. This
         // O(n²) identity avoids materialising the centred gradient matrix
@@ -340,6 +418,34 @@ mod tests {
             pool.condition_number,
             conv.condition_number
         );
+    }
+
+    #[test]
+    fn batched_and_looped_paths_agree() {
+        // The per-sample gradients are identical bit-for-bit (see the nn
+        // property tests); the Gram builds differ only in accumulation
+        // order, so the spectra must agree to fine tolerance.
+        let space = SearchSpace::nas_bench_201();
+        for index in [7_000usize, 11_111, 404] {
+            let cell = space.cell(index).unwrap();
+            let batched = NtkEvaluator::new(NtkConfig::fast())
+                .evaluate(cell, DatasetKind::Cifar10, 2)
+                .unwrap();
+            let looped = NtkEvaluator::new(NtkConfig::fast())
+                .with_gradient_path(GradientPath::Looped)
+                .evaluate(cell, DatasetKind::Cifar10, 2)
+                .unwrap();
+            assert!(
+                (batched.condition_number - looped.condition_number).abs()
+                    < 1e-3 * (1.0 + looped.condition_number.abs()),
+                "cell {index}: batched K={} vs looped K={}",
+                batched.condition_number,
+                looped.condition_number
+            );
+            for (a, b) in batched.eigenvalues.iter().zip(looped.eigenvalues.iter()) {
+                assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

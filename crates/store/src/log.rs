@@ -60,11 +60,85 @@ pub struct Replay {
     pub recovered: bool,
 }
 
+/// An exclusively locked log file: an RAII guard pairing the open handle
+/// with the OS advisory writer lock.
+///
+/// The lock is released by the [`Drop`] impl, so *every* exit path — normal
+/// return, `?` early return mid-open (bad header, namespace mismatch), or a
+/// panic unwinding through the owner — releases it deterministically instead
+/// of relying on the handle eventually being closed. (If the owning process
+/// dies outright the kernel drops the open file description and its lock;
+/// tail recovery handles whatever the crash left in the file.)
+#[derive(Debug)]
+pub(crate) struct LockedFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl LockedFile {
+    /// Takes the OS advisory lock on `file`, enforcing a single writer.
+    fn lock(file: File, path: &Path) -> Result<Self, StoreError> {
+        match file.try_lock() {
+            Ok(()) => Ok(Self {
+                file,
+                path: path.to_path_buf(),
+            }),
+            Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Locked {
+                path: path.to_path_buf(),
+            }),
+            Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+        }
+    }
+
+    /// The locked file's path.
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Truncates (or extends) the underlying file.
+    fn set_len(&self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    /// Length of the underlying file in bytes.
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl Drop for LockedFile {
+    fn drop(&mut self) {
+        // Explicit, best-effort release; the kernel also drops the lock with
+        // the file description if this is skipped by an abort.
+        let _ = self.file.unlock();
+    }
+}
+
+impl Read for LockedFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.file.read(buf)
+    }
+}
+
+impl Write for LockedFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl Seek for LockedFile {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.file.seek(pos)
+    }
+}
+
 /// An open, appendable log file.
 #[derive(Debug)]
 pub struct LogWriter {
-    writer: BufWriter<File>,
-    path: PathBuf,
+    writer: BufWriter<LockedFile>,
 }
 
 impl LogWriter {
@@ -78,13 +152,16 @@ impl LogWriter {
     /// [`StoreError::Locked`] when another process (or another store in this
     /// process) already has the log open.
     pub fn open(path: &Path, namespace: u64) -> Result<(Self, Replay), StoreError> {
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
-        lock_exclusive(&file, path)?;
+        // The guard owns the lock from here on: any error path below (bad
+        // magic, version/namespace mismatch, I/O failure) drops it and
+        // releases the lock on the way out.
+        let mut file = LockedFile::lock(file, path)?;
 
         // Decide fresh-vs-existing from the file length observed *after*
         // taking the lock: a pre-open `exists()` check would race with a
@@ -101,7 +178,7 @@ impl LogWriter {
         header.extend_from_slice(&LOG_VERSION.to_le_bytes());
         header.extend_from_slice(&namespace.to_le_bytes());
 
-        let replay = if file.metadata()?.len() >= HEADER_LEN {
+        let replay = if file.len()? >= HEADER_LEN {
             let replay = replay_file(&mut file, namespace)?;
             if replay.recovered {
                 file.set_len(replay.valid_len)?;
@@ -129,7 +206,6 @@ impl LogWriter {
         Ok((
             Self {
                 writer: BufWriter::new(file),
-                path: path.to_path_buf(),
             },
             replay,
         ))
@@ -152,28 +228,12 @@ impl LogWriter {
 
     /// The path of the underlying file.
     pub fn path(&self) -> &Path {
-        &self.path
-    }
-}
-
-/// Takes the OS advisory lock on the log file, enforcing a single writer.
-///
-/// The lock is attached to the open file description: it is released when
-/// the file handle drops — including when the owning process dies, so a
-/// crashed writer never leaves a stale lock behind (tail recovery handles
-/// whatever it left in the file instead).
-fn lock_exclusive(file: &File, path: &Path) -> Result<(), StoreError> {
-    match file.try_lock() {
-        Ok(()) => Ok(()),
-        Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Locked {
-            path: path.to_path_buf(),
-        }),
-        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+        self.writer.get_ref().path()
     }
 }
 
 /// Replays the records of an open log file (header first).
-fn replay_file(file: &mut File, namespace: u64) -> Result<Replay, StoreError> {
+fn replay_file(file: &mut LockedFile, namespace: u64) -> Result<Replay, StoreError> {
     file.seek(SeekFrom::Start(0))?;
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)?;
@@ -271,11 +331,12 @@ pub struct CompactStats {
 /// Propagates I/O failures and header mismatches.
 pub fn compact(path: &Path, namespace: u64) -> Result<CompactStats, StoreError> {
     // Hold the writer lock for the whole rewrite so a live store can never
-    // append to a log that is being replaced underneath it.
-    let locked = OpenOptions::new().read(true).open(path)?;
-    lock_exclusive(&locked, path)?;
+    // append to a log that is being replaced underneath it. The RAII guard
+    // releases it on every exit path, including the replay `?` below.
+    let file = OpenOptions::new().read(true).open(path)?;
+    let mut locked = LockedFile::lock(file, path)?;
     let mut bytes = Vec::new();
-    (&locked).read_to_end(&mut bytes)?;
+    locked.read_to_end(&mut bytes)?;
     let replay = replay_bytes(&bytes, namespace)?;
     let records_before = replay.entries.len();
 
@@ -434,6 +495,53 @@ mod tests {
         );
         assert!(replay.recovered);
         assert_eq!(replay.entries[0], sample_entry(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_is_released_when_a_writer_panics() {
+        let path = temp_path("panic");
+        let outcome = std::panic::catch_unwind(|| {
+            let (mut log, _) = LogWriter::open(&path, 0).unwrap();
+            let (k, r) = sample_entry(0);
+            log.append(&k, &r).unwrap();
+            panic!("simulated writer crash while holding the lock");
+        });
+        assert!(outcome.is_err(), "the writer must have panicked");
+        // Unwinding dropped the RAII guard, releasing the advisory lock: a
+        // second open must succeed immediately and see the appended record.
+        let (_, replay) = LogWriter::open(&path, 0).expect("lock released after panic");
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0], sample_entry(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_is_released_on_failed_open() {
+        let path = temp_path("early-return");
+        drop(LogWriter::open(&path, 1).unwrap());
+        // A namespace mismatch errors *after* the lock is taken; the guard
+        // must release it on that early-return path, or the subsequent
+        // correct open would see `Locked` instead of succeeding.
+        assert!(matches!(
+            LogWriter::open(&path, 2),
+            Err(StoreError::NamespaceMismatch { .. })
+        ));
+        let (_, replay) = LogWriter::open(&path, 1).expect("lock released after failed open");
+        assert!(replay.entries.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_blocks_second_writer_while_held() {
+        let path = temp_path("held");
+        let (log, _) = LogWriter::open(&path, 0).unwrap();
+        assert!(matches!(
+            LogWriter::open(&path, 0),
+            Err(StoreError::Locked { .. })
+        ));
+        drop(log);
+        assert!(LogWriter::open(&path, 0).is_ok());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -27,10 +27,21 @@
 //! [`conv2d_backward_input_with`]) take a `&mut Workspace` and are what the
 //! neural-network layer above threads through its forward/backward passes so
 //! repeated evaluation (NTK repeats, linear-region probes) allocates no
-//! scratch. The plain entry points allocate a fresh workspace per call and
+//! scratch. The `*_pooled` variants additionally draw their *output* tensors
+//! from the workspace's recycling pool — batch-level feature maps are past
+//! the allocator's mmap threshold, so fresh allocation per call costs page
+//! faults. The plain entry points allocate a fresh workspace per call and
 //! are otherwise identical.
+//!
+//! # Per-sample weight gradients
+//!
+//! [`conv2d_backward_weight_per_sample_with`] /
+//! [`conv2d_backward_weight_per_sample_into`] emit one weight gradient per
+//! batch element from a single shared lowering per sample — the kernel
+//! behind batched per-sample gradients for the NTK Gram matrix, with
+//! [`conv2d_backward_weight_per_sample_direct`] as its naive-loop oracle.
 
-use crate::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use crate::linalg::{gemm_nn, gemm_tn};
 use crate::{Result, Shape, Tensor, TensorError, Workspace};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -139,6 +150,7 @@ fn use_direct(n: usize, c_in: usize, c_out: usize, k: usize, oh: usize, ow: usiz
 fn check_conv_args(
     input: &Tensor,
     weight: &Tensor,
+    spec: Conv2dSpec,
 ) -> Result<(usize, usize, usize, usize, usize, usize)> {
     let id = input.shape().dims();
     let wd = weight.shape().dims();
@@ -162,6 +174,12 @@ fn check_conv_args(
             lhs: id.to_vec(),
             rhs: wd.to_vec(),
         });
+    }
+    if wd[2] != spec.kernel || wd[3] != spec.kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight kernel {}x{} does not match spec kernel {}",
+            wd[2], wd[3], spec.kernel
+        )));
     }
     Ok((id[0], id[1], id[2], id[3], wd[0], wd[2]))
 }
@@ -306,6 +324,35 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tenso
     conv2d_with(input, weight, spec, &mut Workspace::default())
 }
 
+/// [`conv2d_with`] drawing the output tensor from the workspace recycling
+/// pool instead of the allocator.
+///
+/// Numerically identical to [`conv2d_with`]; the only difference is where
+/// the output buffer comes from. Callers that return the tensor to the pool
+/// ([`Workspace::recycle`]) when done make steady-state forward passes
+/// allocation-free — batch-level feature maps are large enough that a fresh
+/// allocation per call costs an mmap plus page faults.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_pooled(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+) -> Result<Tensor> {
+    let (n, _, h, w, c_out, _) = check_conv_args(input, weight, spec)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    let shape = Shape::nchw(n, c_out, oh, ow);
+    // Unspecified contents: every dispatch path fully overwrites the output
+    // (the direct loops assign each element; the GEMM branches run with
+    // accumulate=false, which clears the destination themselves).
+    let out = Tensor::from_vec(shape, workspace.take(n * c_out * oh * ow))
+        .expect("length matches shape by construction");
+    conv2d_assign(input, weight, spec, workspace, out)
+}
+
 /// [`conv2d`] with an explicit scratch [`Workspace`].
 ///
 /// # Errors
@@ -317,24 +364,33 @@ pub fn conv2d_with(
     spec: Conv2dSpec,
     workspace: &mut Workspace,
 ) -> Result<Tensor> {
-    let (n, c_in, h, w, c_out, k) = check_conv_args(input, weight)?;
-    if k != spec.kernel || weight.shape().dims()[3] != spec.kernel {
-        return Err(TensorError::InvalidArgument(format!(
-            "weight kernel {}x{} does not match spec kernel {}",
-            k,
-            weight.shape().dims()[3],
-            spec.kernel
-        )));
-    }
+    let (n, _c_in, h, w, c_out, _) = check_conv_args(input, weight, spec)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    let out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    conv2d_assign(input, weight, spec, workspace, out)
+}
+
+/// Dispatching forward-conv body: writes into the pre-zeroed `out` (owned by
+/// the caller, either fresh or from the workspace pool) and returns it.
+/// Arguments have been validated.
+fn conv2d_assign(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+    mut out: Tensor,
+) -> Result<Tensor> {
+    let id = input.shape().dims();
+    let (n, c_in, h, w) = (id[0], id[1], id[2], id[3]);
+    let c_out = weight.shape().dims()[0];
+    let k = spec.kernel;
     let (oh, ow) = spec.output_hw(h, w);
     if use_direct(n, c_in, c_out, k, oh, ow) {
         // Arguments are already validated; go straight to the loops.
-        return Ok(conv2d_direct_unchecked(
-            input, weight, spec, n, c_in, h, w, c_out, oh, ow,
-        ));
+        conv2d_direct_unchecked(input, weight, spec, n, c_in, h, w, c_out, oh, ow, &mut out);
+        return Ok(out);
     }
 
-    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
     let ohow = oh * ow;
     let ckk = c_in * k * k;
     let in_stride = c_in * h * w;
@@ -366,22 +422,15 @@ pub fn conv2d_with(
 ///
 /// Same conditions as [`conv2d`].
 pub fn conv2d_direct(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
-    let (n, c_in, h, w, c_out, k) = check_conv_args(input, weight)?;
-    if k != spec.kernel || weight.shape().dims()[3] != spec.kernel {
-        return Err(TensorError::InvalidArgument(format!(
-            "weight kernel {}x{} does not match spec kernel {}",
-            k,
-            weight.shape().dims()[3],
-            spec.kernel
-        )));
-    }
+    let (n, c_in, h, w, c_out, _) = check_conv_args(input, weight, spec)?;
     let (oh, ow) = spec.output_hw(h, w);
-    Ok(conv2d_direct_unchecked(
-        input, weight, spec, n, c_in, h, w, c_out, oh, ow,
-    ))
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    conv2d_direct_unchecked(input, weight, spec, n, c_in, h, w, c_out, oh, ow, &mut out);
+    Ok(out)
 }
 
-/// Loop body of [`conv2d_direct`]; callers have validated the arguments.
+/// Loop body of [`conv2d_direct`], writing every element of `out`; callers
+/// have validated the arguments.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_direct_unchecked(
     input: &Tensor,
@@ -394,8 +443,8 @@ fn conv2d_direct_unchecked(
     c_out: usize,
     oh: usize,
     ow: usize,
-) -> Tensor {
-    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    out: &mut Tensor,
+) {
     for b in 0..n {
         for oc in 0..c_out {
             for oy in 0..oh {
@@ -422,7 +471,6 @@ fn conv2d_direct_unchecked(
             }
         }
     }
-    out
 }
 
 // ---------------------------------------------------------------------------
@@ -474,24 +522,231 @@ pub fn conv2d_backward_weight_with(
     let ckk = c_in * k * k;
     let in_stride = c_in * h * w;
     let out_stride = c_out * ohow;
-    let gw = grad_w.data_mut();
-    if spec.is_pointwise() {
-        for b in 0..n {
-            let image = &input.data()[b * in_stride..(b + 1) * in_stride];
-            let g = &grad_out.data()[b * out_stride..(b + 1) * out_stride];
-            // grad_w [C_out, C_in] += grad_out_b [C_out, OHOW] · imageᵀ.
-            gemm_nt(c_out, ohow, ckk, g, image, gw, true);
-        }
-        return Ok(grad_w);
-    }
-    let col = workspace.col_buffer(ckk * ohow);
+    // Transposed formulation: grad_Wᵀ [CKK, C_out] = Σ_b col_b · grad_outᵀ_b,
+    // which runs the GEMM in `gemm_nn`'s narrow register-tiled shape with a
+    // contiguous im2col lowering; one small transpose at the end restores
+    // the `[C_out, CKK]` layout. A pointwise conv's column matrix is the
+    // image itself, so its lowering is skipped entirely.
+    let col_len = if spec.is_pointwise() { 0 } else { ckk * ohow };
+    let (col, aux) = workspace.col_and_aux(col_len, (ohow + ckk) * c_out);
+    let (g_t, w_t) = aux.split_at_mut(ohow * c_out);
+    w_t.fill(0.0);
     for b in 0..n {
         let image = &input.data()[b * in_stride..(b + 1) * in_stride];
-        im2col(image, c_in, h, w, spec, oh, ow, col);
+        let bmat: &[f32] = if spec.is_pointwise() {
+            image
+        } else {
+            im2col(image, c_in, h, w, spec, oh, ow, col);
+            col
+        };
         let g = &grad_out.data()[b * out_stride..(b + 1) * out_stride];
-        gemm_nt(c_out, ohow, ckk, g, col, gw, true);
+        transpose_into(g, c_out, ohow, g_t);
+        gemm_nn(ckk, ohow, c_out, bmat, g_t, w_t, true);
     }
+    let gw = grad_w.data_mut();
+    transpose_into(w_t, ckk, c_out, gw);
     Ok(grad_w)
+}
+
+/// Writes `dstᵀ = src` for a row-major `[rows, cols]` `src` into a
+/// `[cols, rows]` destination.
+fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for r in 0..rows {
+        let row = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-sample weight gradient (batched backward)
+// ---------------------------------------------------------------------------
+
+/// Per-sample weight gradients: one `[C_out, C_in, K, K]` gradient per batch
+/// element, **not** summed over the batch.
+///
+/// This is the kernel behind batched per-sample gradients for the NTK Gram
+/// matrix: one shared im2col lowering per sample feeds one `A · Bᵀ` GEMM per
+/// sample, emitting all `N` weight gradients in a single pass instead of `N`
+/// separate backward calls. The result has shape `[N, C_out, C_in, K, K]`;
+/// summing over the leading axis reproduces [`conv2d_backward_weight`]
+/// exactly.
+///
+/// Hot loops that assemble a contiguous `[N, P]` gradient matrix should use
+/// [`conv2d_backward_weight_per_sample_into`] and write each sample's slice
+/// in place.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are inconsistent with `spec`.
+pub fn conv2d_backward_weight_per_sample_with(
+    input: &Tensor,
+    grad_out: &Tensor,
+    c_out: usize,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+) -> Result<Tensor> {
+    let (n, c_in, ..) = check_backward_weight_args(input, grad_out, c_out, spec)?;
+    let per_sample = c_out * c_in * spec.kernel * spec.kernel;
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, c_in * spec.kernel, spec.kernel));
+    conv2d_backward_weight_per_sample_into(
+        input,
+        grad_out,
+        c_out,
+        spec,
+        workspace,
+        out.data_mut(),
+        per_sample,
+        0,
+    )?;
+    Ok(out)
+}
+
+/// [`conv2d_backward_weight_per_sample_with`] writing straight into a caller
+/// matrix: sample `b`'s flattened `[C_out, C_in, K, K]` gradient lands at
+/// `out[b * row_stride + offset ..][.. c_out·c_in·k²]`.
+///
+/// With `row_stride` set to the network's total parameter count and `offset`
+/// to this layer's parameter offset, the batched backward pass of a network
+/// assembles the full `[N, P]` per-sample gradient matrix with no staging
+/// copies.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are inconsistent with `spec`, or if `out`
+/// is too short for the last sample's slice.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_weight_per_sample_into(
+    input: &Tensor,
+    grad_out: &Tensor,
+    c_out: usize,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+    out: &mut [f32],
+    row_stride: usize,
+    offset: usize,
+) -> Result<()> {
+    let (n, c_in, h, w, oh, ow) = check_backward_weight_args(input, grad_out, c_out, spec)?;
+    let k = spec.kernel;
+    let per_sample = c_out * c_in * k * k;
+    if n > 0 && out.len() < (n - 1) * row_stride + offset + per_sample {
+        return Err(TensorError::InvalidArgument(format!(
+            "per-sample gradient output buffer too short: {} < {}",
+            out.len(),
+            (n - 1) * row_stride + offset + per_sample
+        )));
+    }
+    let ohow = oh * ow;
+    let ckk = c_in * k * k;
+    let in_stride = c_in * h * w;
+    let out_stride = c_out * ohow;
+    // Dispatch on the per-sample workload: each sample's gradient is its own
+    // small GEMM, and matching the per-sample (batch-1) decision keeps these
+    // values bitwise-identical to a loop of batch-1 backward calls under
+    // every engine, including `Auto`.
+    if use_direct(1, c_in, c_out, k, oh, ow) {
+        for b in 0..n {
+            let dst = &mut out[b * row_stride + offset..b * row_stride + offset + per_sample];
+            direct_weight_grad_sample(input, grad_out, b, c_out, c_in, h, w, oh, ow, spec, dst);
+        }
+        return Ok(());
+    }
+    // One shared im2col lowering per sample feeds that sample's
+    // weight-gradient GEMM, in the same transposed narrow shape as
+    // [`conv2d_backward_weight_with`] — so each batched per-sample gradient
+    // is bit-for-bit the value a batch-1 backward call would produce.
+    let col_len = if spec.is_pointwise() { 0 } else { ckk * ohow };
+    let (col, aux) = workspace.col_and_aux(col_len, (ohow + ckk) * c_out);
+    let (g_t, w_t) = aux.split_at_mut(ohow * c_out);
+    for b in 0..n {
+        let image = &input.data()[b * in_stride..(b + 1) * in_stride];
+        let bmat: &[f32] = if spec.is_pointwise() {
+            image
+        } else {
+            im2col(image, c_in, h, w, spec, oh, ow, col);
+            col
+        };
+        let g = &grad_out.data()[b * out_stride..(b + 1) * out_stride];
+        transpose_into(g, c_out, ohow, g_t);
+        gemm_nn(ckk, ohow, c_out, bmat, g_t, w_t, false);
+        let dst = &mut out[b * row_stride + offset..b * row_stride + offset + per_sample];
+        transpose_into(w_t, ckk, c_out, dst);
+    }
+    Ok(())
+}
+
+/// Direct (naive-loop) per-sample weight gradients: the reference
+/// implementation for [`conv2d_backward_weight_per_sample_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_backward_weight_per_sample_with`].
+pub fn conv2d_backward_weight_per_sample_direct(
+    input: &Tensor,
+    grad_out: &Tensor,
+    c_out: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, c_in, h, w, oh, ow) = check_backward_weight_args(input, grad_out, c_out, spec)?;
+    let k = spec.kernel;
+    let per_sample = c_out * c_in * k * k;
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, c_in * k, k));
+    let data = out.data_mut();
+    for b in 0..n {
+        let dst = &mut data[b * per_sample..(b + 1) * per_sample];
+        direct_weight_grad_sample(input, grad_out, b, c_out, c_in, h, w, oh, ow, spec, dst);
+    }
+    Ok(out)
+}
+
+/// Direct weight gradient of a single batch element, written into `dst`
+/// (`[C_out, C_in, K, K]` flattened). Callers have validated the arguments
+/// and zero/overwrite semantics: `dst` is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+fn direct_weight_grad_sample(
+    input: &Tensor,
+    grad_out: &Tensor,
+    b: usize,
+    c_out: usize,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    spec: Conv2dSpec,
+    dst: &mut [f32],
+) {
+    let k = spec.kernel;
+    dst.fill(0.0);
+    for oc in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = grad_out.at4(b, oc, oy, ox);
+                if g == 0.0 {
+                    continue;
+                }
+                for ic in 0..c_in {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[((oc * c_in + ic) * k + ky) * k + kx] +=
+                                g * input.at4(b, ic, iy as usize, ix as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn check_backward_weight_args(
@@ -631,15 +886,53 @@ pub fn conv2d_backward_input_with(
     spec: Conv2dSpec,
     workspace: &mut Workspace,
 ) -> Result<Tensor> {
-    let (n, c_in, h, w, c_out, oh, ow) =
-        check_backward_input_args(weight, grad_out, input_shape, spec)?;
+    check_backward_input_args(weight, grad_out, input_shape, spec)?;
+    let grad_in = Tensor::zeros(input_shape.clone());
+    conv2d_backward_input_assign(weight, grad_out, spec, workspace, grad_in)
+}
+
+/// [`conv2d_backward_input_with`] drawing the output tensor from the
+/// workspace recycling pool instead of the allocator (see [`conv2d_pooled`]).
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_backward_input`].
+pub fn conv2d_backward_input_pooled(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    input_shape: &Shape,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+) -> Result<Tensor> {
+    check_backward_input_args(weight, grad_out, input_shape, spec)?;
+    let grad_in = Tensor::from_vec(
+        input_shape.clone(),
+        workspace.take_zeroed(input_shape.numel()),
+    )
+    .expect("length matches shape by construction");
+    conv2d_backward_input_assign(weight, grad_out, spec, workspace, grad_in)
+}
+
+/// Dispatching input-gradient body: writes into the pre-zeroed `grad_in`
+/// (owned by the caller, fresh or pooled) and returns it. Arguments have
+/// been validated.
+fn conv2d_backward_input_assign(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+    mut grad_in: Tensor,
+) -> Result<Tensor> {
+    let id = grad_in.shape().dims();
+    let (n, c_in, h, w) = (id[0], id[1], id[2], id[3]);
+    let c_out = weight.shape().dims()[0];
     let k = spec.kernel;
+    let (oh, ow) = spec.output_hw(h, w);
     if use_direct(n, c_in, c_out, k, oh, ow) {
         // Arguments are already validated; go straight to the loops.
-        return Ok(conv2d_backward_input_unchecked(
+        conv2d_backward_input_unchecked(
             weight,
             grad_out,
-            input_shape,
             spec,
             n,
             c_in,
@@ -648,10 +941,11 @@ pub fn conv2d_backward_input_with(
             c_out,
             oh,
             ow,
-        ));
+            &mut grad_in,
+        );
+        return Ok(grad_in);
     }
 
-    let mut grad_in = Tensor::zeros(input_shape.clone());
     let ohow = oh * ow;
     let ckk = c_in * k * k;
     let in_stride = c_in * h * w;
@@ -667,12 +961,14 @@ pub fn conv2d_backward_input_with(
         }
         return Ok(grad_in);
     }
-    let col = workspace.col_buffer(ckk * ohow);
+    // Column *gradients* stage in the auxiliary buffer, leaving the column
+    // buffer free for kernels that hold an im2col lowering across this call.
+    let stage = workspace.aux_buffer(ckk * ohow);
     for b in 0..n {
         let g = &grad_out.data()[b * out_stride..(b + 1) * out_stride];
-        gemm_tn(ckk, c_out, ohow, w_mat, g, col, false);
+        gemm_tn(ckk, c_out, ohow, w_mat, g, stage, false);
         let dst = &mut gi[b * in_stride..(b + 1) * in_stride];
-        col2im_add(col, c_in, h, w, spec, oh, ow, dst);
+        col2im_add(stage, c_in, h, w, spec, oh, ow, dst);
     }
     Ok(grad_in)
 }
@@ -719,10 +1015,10 @@ pub fn conv2d_backward_input_direct(
 ) -> Result<Tensor> {
     let (n, c_in, h, w, c_out, oh, ow) =
         check_backward_input_args(weight, grad_out, input_shape, spec)?;
-    Ok(conv2d_backward_input_unchecked(
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    conv2d_backward_input_unchecked(
         weight,
         grad_out,
-        input_shape,
         spec,
         n,
         c_in,
@@ -731,16 +1027,17 @@ pub fn conv2d_backward_input_direct(
         c_out,
         oh,
         ow,
-    ))
+        &mut grad_in,
+    );
+    Ok(grad_in)
 }
 
-/// Loop body of [`conv2d_backward_input_direct`]; callers have validated
-/// the arguments.
+/// Loop body of [`conv2d_backward_input_direct`], accumulating into the
+/// pre-zeroed `grad_in`; callers have validated the arguments.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_backward_input_unchecked(
     weight: &Tensor,
     grad_out: &Tensor,
-    input_shape: &Shape,
     spec: Conv2dSpec,
     n: usize,
     c_in: usize,
@@ -749,8 +1046,8 @@ fn conv2d_backward_input_unchecked(
     c_out: usize,
     oh: usize,
     ow: usize,
-) -> Tensor {
-    let mut grad_in = Tensor::zeros(input_shape.clone());
+    grad_in: &mut Tensor,
+) {
     for b in 0..n {
         for oc in 0..c_out {
             for oy in 0..oh {
@@ -779,7 +1076,6 @@ fn conv2d_backward_input_unchecked(
             }
         }
     }
-    grad_in
 }
 
 #[cfg(test)]
@@ -981,7 +1277,90 @@ mod tests {
         check_engines_agree(2, 3, 4, 9, 9, Conv2dSpec::new(1, 1, 1), 51);
     }
 
+    #[test]
+    fn per_sample_weight_grads_sum_to_batch_gradient() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = random_tensor(Shape::nchw(3, 2, 6, 6), 60);
+        let grad_out = random_tensor(Shape::nchw(3, 4, 6, 6), 61);
+        let mut ws = Workspace::default();
+        let per_sample =
+            conv2d_backward_weight_per_sample_with(&input, &grad_out, 4, spec, &mut ws).unwrap();
+        assert_eq!(per_sample.shape().dims(), &[3, 4, 2 * 3, 3]);
+        let total = conv2d_backward_weight(&input, &grad_out, 4, spec).unwrap();
+        let p = total.numel();
+        for (idx, &t) in total.data().iter().enumerate() {
+            let summed: f32 = (0..3).map(|b| per_sample.data()[b * p + idx]).sum();
+            assert!(
+                (summed - t).abs() < 1e-4 * (1.0 + t.abs()),
+                "param {idx}: per-sample sum {summed} vs batch {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_sample_into_respects_stride_and_offset() {
+        let spec = Conv2dSpec::new(1, 1, 0);
+        let input = random_tensor(Shape::nchw(2, 3, 5, 5), 62);
+        let grad_out = random_tensor(Shape::nchw(2, 2, 5, 5), 63);
+        let mut ws = Workspace::default();
+        let per_sample = 2 * 3;
+        let (row_stride, offset) = (per_sample + 7, 4);
+        let mut out = vec![f32::NAN; 2 * row_stride];
+        conv2d_backward_weight_per_sample_into(
+            &input, &grad_out, 2, spec, &mut ws, &mut out, row_stride, offset,
+        )
+        .unwrap();
+        let reference =
+            conv2d_backward_weight_per_sample_with(&input, &grad_out, 2, spec, &mut ws).unwrap();
+        for b in 0..2 {
+            let got = &out[b * row_stride + offset..b * row_stride + offset + per_sample];
+            let want = &reference.data()[b * per_sample..(b + 1) * per_sample];
+            assert_eq!(got, want);
+        }
+        // Bytes outside the strided slices are untouched.
+        assert!(out[..offset].iter().all(|v| v.is_nan()));
+
+        // A too-short buffer is rejected, not sliced out of bounds.
+        let mut short = vec![0.0; row_stride];
+        assert!(conv2d_backward_weight_per_sample_into(
+            &input, &grad_out, 2, spec, &mut ws, &mut short, row_stride, offset,
+        )
+        .is_err());
+    }
+
     proptest! {
+        /// Per-sample weight gradients from the GEMM path match the direct
+        /// per-sample oracle across random geometries.
+        #[test]
+        fn per_sample_weight_grads_match_direct_oracle(
+            n in 1usize..4,
+            c_in in 1usize..4,
+            c_out in 1usize..4,
+            h in 3usize..9,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            padding in 0usize..2,
+            seed in 0u64..1_000,
+        ) {
+            let spec = Conv2dSpec::new(kernel, stride, padding);
+            let (oh, ow) = spec.output_hw(h, h);
+            if h + 2 * padding >= kernel && oh > 0 && ow > 0 {
+                let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+                let input = random_tensor(Shape::nchw(n, c_in, h, h), seed);
+                let grad_out = random_tensor(Shape::nchw(n, c_out, oh, ow), seed + 1);
+                let mut ws = Workspace::default();
+                set_conv_engine(ConvEngine::Im2colGemm);
+                let gemm = conv2d_backward_weight_per_sample_with(
+                    &input, &grad_out, c_out, spec, &mut ws,
+                );
+                set_conv_engine(ConvEngine::Auto);
+                let reference =
+                    conv2d_backward_weight_per_sample_direct(&input, &grad_out, c_out, spec)
+                        .unwrap();
+                assert_tensors_close(&gemm.unwrap(), &reference, 1e-5);
+            }
+        }
+
         /// The decisive property: im2col/GEMM forward and both gradients
         /// match the direct reference kernels across random geometries.
         #[test]

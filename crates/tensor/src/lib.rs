@@ -55,17 +55,22 @@ mod tensor;
 mod workspace;
 
 pub use conv::{
-    conv2d, conv2d_backward_input, conv2d_backward_input_direct, conv2d_backward_input_with,
-    conv2d_backward_weight, conv2d_backward_weight_direct, conv2d_backward_weight_with,
-    conv2d_direct, conv2d_with, conv_engine, set_conv_engine, Conv2dSpec, ConvEngine,
+    conv2d, conv2d_backward_input, conv2d_backward_input_direct, conv2d_backward_input_pooled,
+    conv2d_backward_input_with, conv2d_backward_weight, conv2d_backward_weight_direct,
+    conv2d_backward_weight_per_sample_direct, conv2d_backward_weight_per_sample_into,
+    conv2d_backward_weight_per_sample_with, conv2d_backward_weight_with, conv2d_direct,
+    conv2d_pooled, conv2d_with, conv_engine, set_conv_engine, Conv2dSpec, ConvEngine,
 };
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform, InitKind};
 pub use linalg::{
-    condition_number, gemm_nn, gemm_nt, gemm_tn, sym_eigenvalues, sym_eigenvalues_with,
-    EigenOptions, EigenReport,
+    condition_number, gemm_nn, gemm_nt, gemm_tn, gram_nt_f64, sym_eigenvalues,
+    sym_eigenvalues_with, EigenOptions, EigenReport,
 };
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_pooled, avg_pool2d_pooled,
+    global_avg_pool, global_avg_pool_backward,
+};
 pub use rng::{hash_mix, split_mix64, DeterministicRng};
 pub use shape::Shape;
 pub use stats::{dot, l2_norm, mean, population_variance, standardize};

@@ -33,8 +33,28 @@ fn gemm_check(m: usize, k: usize, n: usize, a: usize, b: usize, c: usize) {
     assert_eq!(c, m * n, "gemm: C buffer has wrong length");
 }
 
+/// Widest `n` routed to the register-tiled kernel: narrow C rows starve the
+/// memory-resident formulation (most of the register file idle), while wide
+/// C rows amortise it and prefer the streaming rank-4 updates.
+const GEMM_NARROW_N: usize = 32;
+
+/// Smallest `k` routed to the register-tiled kernel even for wide outputs:
+/// past this depth the tiled schedule's B-block reuse (each block read once
+/// per 4-row band instead of once per row) outweighs the streaming
+/// schedule's longer contiguous runs.
+const GEMM_DEEP_K: usize = 64;
+
 /// `C = A · B` (or `C += A · B` with `accumulate`), all row-major:
 /// `A` is `[m, k]`, `B` is `[k, n]`, `C` is `[m, n]`.
+///
+/// Dispatches between two schedules on the output width `n`:
+///
+/// * **narrow** (`n ≤ 32`, e.g. the transposed weight-gradient GEMMs):
+///   register-tiled 4×8 accumulator tiles with `k` innermost — the tile's
+///   partial sums live in vector registers across the whole `k` sweep and
+///   the inner loop is four packed FMAs per step;
+/// * **wide** (spatially-wide feature maps): cache-blocked streaming rank-4
+///   C-row updates, which amortise the C traffic over long contiguous rows.
 ///
 /// # Panics
 ///
@@ -52,6 +72,23 @@ pub fn gemm_nn(
     if !accumulate {
         c.fill(0.0);
     }
+    if n <= GEMM_NARROW_N || k >= GEMM_DEEP_K {
+        let mut ib = 0;
+        while ib + 4 <= m {
+            gemm_nn_row_band::<4>(ib, k, n, a, b, c);
+            ib += 4;
+        }
+        while ib < m {
+            gemm_nn_row_band::<1>(ib, k, n, a, b, c);
+            ib += 1;
+        }
+    } else {
+        gemm_nn_wide(m, k, n, a, b, c);
+    }
+}
+
+/// The cache-blocked streaming schedule of [`gemm_nn`] (wide outputs).
+fn gemm_nn_wide(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for jb in (0..n).step_by(GEMM_NC) {
         let je = (jb + GEMM_NC).min(n);
         for pb in (0..k).step_by(GEMM_KC) {
@@ -82,6 +119,81 @@ pub fn gemm_nn(
                     }
                     p += 1;
                 }
+            }
+        }
+    }
+}
+
+/// One `R`-row band of the register-tiled [`gemm_nn`]: accumulates
+/// `C[ib..ib+R, :] += A[ib..ib+R, :] · B`.
+fn gemm_nn_row_band<const R: usize>(
+    ib: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut jb = 0;
+    // Main tile: R×16 accumulators (2R packed-FMA dependency chains), wide
+    // enough to hide FMA latency. Tile width does not affect numerics: every
+    // output element accumulates over `k` in the same order regardless of
+    // which tile it lands in.
+    while jb + 16 <= n {
+        let mut acc = [[0.0f32; 16]; R];
+        for p in 0..k {
+            let bv: &[f32; 16] = b[p * n + jb..p * n + jb + 16]
+                .try_into()
+                .expect("slice length 16");
+            for r in 0..R {
+                let av = a[(ib + r) * k + p];
+                for l in 0..16 {
+                    acc[r][l] += av * bv[l];
+                }
+            }
+        }
+        for r in 0..R {
+            let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + 16];
+            for l in 0..16 {
+                c_row[l] += acc[r][l];
+            }
+        }
+        jb += 16;
+    }
+    while jb + 8 <= n {
+        // R×8 accumulator tile held in registers across the full k sweep.
+        let mut acc = [[0.0f32; 8]; R];
+        for p in 0..k {
+            let bv: &[f32; 8] = b[p * n + jb..p * n + jb + 8]
+                .try_into()
+                .expect("slice length 8");
+            for r in 0..R {
+                let av = a[(ib + r) * k + p];
+                for l in 0..8 {
+                    acc[r][l] += av * bv[l];
+                }
+            }
+        }
+        for r in 0..R {
+            let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + 8];
+            for l in 0..8 {
+                c_row[l] += acc[r][l];
+            }
+        }
+        jb += 8;
+    }
+    if jb < n {
+        // Remainder columns (< 8): scalar accumulators per column.
+        for j in jb..n {
+            let mut acc = [0.0f32; R];
+            for p in 0..k {
+                let bv = b[p * n + j];
+                for (r, slot) in acc.iter_mut().enumerate() {
+                    *slot += a[(ib + r) * k + p] * bv;
+                }
+            }
+            for (r, &v) in acc.iter().enumerate() {
+                c[(ib + r) * n + j] += v;
             }
         }
     }
@@ -190,6 +302,60 @@ pub fn gemm_tn(
                     p += 1;
                 }
             }
+        }
+    }
+}
+
+/// Length of the inner f32 panels of [`gram_nt_f64`]; each panel's partial
+/// dot product is accumulated into `f64` before moving on, which bounds the
+/// f32 accumulation error independently of the row length.
+const GRAM_KC: usize = 256;
+
+/// Symmetric Gram matrix `G = A · Aᵀ` of a row-major `[n, p]` matrix, in one
+/// GEMM-style pass: f32 panel products with f64 panel accumulation.
+///
+/// This is the NTK Gram build over the contiguous `[n, P]` per-sample
+/// gradient matrix. The inner loops run four f32 lanes over [`GRAM_KC`]-long
+/// panels (the same shape the autovectoriser turns into packed FMAs in the
+/// GEMM kernels); every panel's partial sum is then widened and accumulated
+/// in f64. The result differs from an exact-f64 dot product by at most the
+/// rounding of one panel, giving near-f64 accuracy at f32 speed — the
+/// "f32 GEMM with f64 correction" scheme.
+///
+/// Only the lower triangle is computed; the upper triangle is mirrored.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * p` or `out.len() != n * n`.
+pub fn gram_nt_f64(n: usize, p: usize, a: &[f32], out: &mut [f64]) {
+    assert_eq!(a.len(), n * p, "gram: A buffer has wrong length");
+    assert_eq!(out.len(), n * n, "gram: G buffer has wrong length");
+    for i in 0..n {
+        let row_i = &a[i * p..(i + 1) * p];
+        for j in 0..=i {
+            let row_j = &a[j * p..(j + 1) * p];
+            let mut total = 0.0f64;
+            let mut start = 0;
+            while start < p {
+                let end = (start + GRAM_KC).min(p);
+                let mut acc = [0.0f32; 4];
+                let mut chunks_a = row_i[start..end].chunks_exact(4);
+                let mut chunks_b = row_j[start..end].chunks_exact(4);
+                for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+                    acc[0] += ca[0] * cb[0];
+                    acc[1] += ca[1] * cb[1];
+                    acc[2] += ca[2] * cb[2];
+                    acc[3] += ca[3] * cb[3];
+                }
+                let mut panel = (acc[0] as f64 + acc[1] as f64) + (acc[2] as f64 + acc[3] as f64);
+                for (&ra, &rb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+                    panel += ra as f64 * rb as f64;
+                }
+                total += panel;
+                start = end;
+            }
+            out[i * n + j] = total;
+            out[j * n + i] = total;
         }
     }
 }
@@ -417,6 +583,37 @@ mod tests {
         for (x, y) in lhs.iter().zip(rhs.iter()) {
             assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn gram_nt_f64_matches_exact_f64_dots() {
+        for &(n, p) in &[(1usize, 1usize), (3, 7), (5, 256), (8, 1023), (4, 424)] {
+            let a = random_mat(n, p, 7);
+            let mut g = vec![f64::NAN; n * n];
+            gram_nt_f64(n, p, &a, &mut g);
+            for i in 0..n {
+                for j in 0..n {
+                    let exact: f64 = a[i * p..(i + 1) * p]
+                        .iter()
+                        .zip(&a[j * p..(j + 1) * p])
+                        .map(|(&x, &y)| x as f64 * y as f64)
+                        .sum();
+                    let got = g[i * n + j];
+                    assert!(
+                        (got - exact).abs() <= 1e-4 * (1.0 + exact.abs()),
+                        "({i},{j}) at n={n} p={p}: {got} vs {exact}"
+                    );
+                    assert_eq!(g[i * n + j], g[j * n + i], "gram must be symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gram_nt_f64_checks_lengths() {
+        let mut g = vec![0.0f64; 4];
+        gram_nt_f64(2, 3, &[0.0; 5], &mut g);
     }
 
     #[test]

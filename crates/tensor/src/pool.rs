@@ -4,7 +4,7 @@
 //! count-include-pad semantics matching the reference implementation) and a
 //! global average pool feeding the classifier head.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::{Result, Shape, Tensor, TensorError, Workspace};
 
 /// Average pooling over `kernel`×`kernel` windows with the given stride and
 /// padding. Padding contributes zeros and *is* counted in the divisor
@@ -14,6 +14,22 @@ use crate::{Result, Shape, Tensor, TensorError};
 ///
 /// Returns an error if the input is not rank 4 or `kernel`/`stride` is zero.
 pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
+    avg_pool2d_pooled(input, kernel, stride, padding, &mut Workspace::default())
+}
+
+/// [`avg_pool2d`] drawing the output tensor from the workspace recycling
+/// pool (see [`crate::conv2d_pooled`]); numerically identical.
+///
+/// # Errors
+///
+/// Same conditions as [`avg_pool2d`].
+pub fn avg_pool2d_pooled(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    workspace: &mut Workspace,
+) -> Result<Tensor> {
     if kernel == 0 || stride == 0 {
         return Err(TensorError::InvalidArgument(
             "kernel and stride must be positive".into(),
@@ -31,31 +47,47 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize, padding: usize) 
     let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
     let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
     let denom = (kernel * kernel) as f32;
-    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
-    for b in 0..n {
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..kernel {
-                        let iy = (oy * stride + ky) as isize - padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kernel {
-                            let ix = (ox * stride + kx) as isize - padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            acc += input.at4(b, ch, iy as usize, ix as usize);
-                        }
-                    }
-                    *out.at4_mut(b, ch, oy, ox) = acc / denom;
+    let out_shape = Shape::nchw(n, c, oh, ow);
+    // Every output row is filled before use, so an unspecified-content
+    // pooled buffer suffices; the per-row scratch comes from the auxiliary
+    // slot so the hot path allocates nothing.
+    let mut out_buf = workspace.take(n * c * oh * ow);
+    let row_sums = workspace.aux_buffer(h * ow);
+    // Separable two-pass windowed sum over plane slices: a horizontal pass
+    // (per input row) then a vertical pass, instead of a k×k gather with
+    // per-element index arithmetic per output. Padding contributes zeros and
+    // is counted in the divisor (count-include-pad).
+    let src = input.data();
+    for (plane, out_plane) in src
+        .chunks_exact(h * w)
+        .zip(out_buf.chunks_exact_mut(oh * ow))
+    {
+        for y in 0..h {
+            let row = &plane[y * w..(y + 1) * w];
+            let sums = &mut row_sums[y * ow..(y + 1) * ow];
+            for (ox, slot) in sums.iter_mut().enumerate() {
+                let start = (ox * stride).saturating_sub(padding).min(w);
+                let end = (ox * stride + kernel).saturating_sub(padding).min(w);
+                *slot = row[start..end].iter().sum();
+            }
+        }
+        for oy in 0..oh {
+            let y_start = (oy * stride).saturating_sub(padding).min(h);
+            let y_end = (oy * stride + kernel).saturating_sub(padding).min(h);
+            let out_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+            out_row.fill(0.0);
+            for y in y_start..y_end {
+                let sums = &row_sums[y * ow..(y + 1) * ow];
+                for (o, &s) in out_row.iter_mut().zip(sums.iter()) {
+                    *o += s;
                 }
+            }
+            for o in out_row.iter_mut() {
+                *o /= denom;
             }
         }
     }
-    Ok(out)
+    Ok(Tensor::from_vec(out_shape, out_buf).expect("length matches shape by construction"))
 }
 
 /// Backward pass of [`avg_pool2d`]: distributes the upstream gradient evenly
@@ -70,6 +102,30 @@ pub fn avg_pool2d_backward(
     kernel: usize,
     stride: usize,
     padding: usize,
+) -> Result<Tensor> {
+    avg_pool2d_backward_pooled(
+        grad_out,
+        input_shape,
+        kernel,
+        stride,
+        padding,
+        &mut Workspace::default(),
+    )
+}
+
+/// [`avg_pool2d_backward`] drawing the output tensor from the workspace
+/// recycling pool; numerically identical.
+///
+/// # Errors
+///
+/// Same conditions as [`avg_pool2d_backward`].
+pub fn avg_pool2d_backward_pooled(
+    grad_out: &Tensor,
+    input_shape: &Shape,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    workspace: &mut Workspace,
 ) -> Result<Tensor> {
     let d = input_shape.dims();
     if d.len() != 4 {
@@ -90,30 +146,47 @@ pub fn avg_pool2d_backward(
         });
     }
     let denom = (kernel * kernel) as f32;
-    let mut grad_in = Tensor::zeros(input_shape.clone());
-    for b in 0..n {
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = grad_out.at4(b, ch, oy, ox) / denom;
-                    for ky in 0..kernel {
-                        let iy = (oy * stride + ky) as isize - padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kernel {
-                            let ix = (ox * stride + kx) as isize - padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            *grad_in.at4_mut(b, ch, iy as usize, ix as usize) += g;
-                        }
-                    }
+    // The horizontal spread accumulates (`+=`), so the buffer must be
+    // zeroed; the per-row scratch comes from the auxiliary slot so the hot
+    // path allocates nothing.
+    let mut in_buf = workspace.take_zeroed(n * c * h * w);
+    let rows = workspace.aux_buffer(h * ow);
+    // Separable two-pass scatter, mirroring the forward: a vertical spread
+    // of grad/denom into per-row accumulators, then a horizontal spread into
+    // the input-gradient rows.
+    let src = grad_out.data();
+    for (grad_plane, in_plane) in src
+        .chunks_exact(oh * ow)
+        .zip(in_buf.chunks_exact_mut(h * w))
+    {
+        rows.fill(0.0);
+        for oy in 0..oh {
+            let y_start = (oy * stride).saturating_sub(padding).min(h);
+            let y_end = (oy * stride + kernel).saturating_sub(padding).min(h);
+            let g_row = &grad_plane[oy * ow..(oy + 1) * ow];
+            for y in y_start..y_end {
+                let acc = &mut rows[y * ow..(y + 1) * ow];
+                for (a, &g) in acc.iter_mut().zip(g_row.iter()) {
+                    *a += g / denom;
+                }
+            }
+        }
+        for y in 0..h {
+            let acc = &rows[y * ow..(y + 1) * ow];
+            let in_row = &mut in_plane[y * w..(y + 1) * w];
+            for (ox, &v) in acc.iter().enumerate() {
+                let start = (ox * stride).saturating_sub(padding).min(w);
+                let end = (ox * stride + kernel).saturating_sub(padding).min(w);
+                for slot in &mut in_row[start..end] {
+                    *slot += v;
                 }
             }
         }
     }
-    Ok(grad_in)
+    Ok(
+        Tensor::from_vec(input_shape.clone(), in_buf)
+            .expect("length matches shape by construction"),
+    )
 }
 
 /// Global average pooling: reduces `[N, C, H, W]` to `[N, C]`.
@@ -132,17 +205,18 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     }
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let denom = (h * w) as f32;
+    let hw = h * w;
     let mut out = Tensor::zeros(Shape::d2(n, c));
-    for b in 0..n {
-        for ch in 0..c {
-            let mut acc = 0.0f32;
-            for y in 0..h {
-                for x in 0..w {
-                    acc += input.at4(b, ch, y, x);
-                }
-            }
-            *out.at2_mut(b, ch) = acc / denom;
+    let src = input.data();
+    let dst = out.data_mut();
+    for (plane, o) in src.chunks_exact(hw).zip(dst.iter_mut()) {
+        // Sequential accumulation over the plane, matching the reference
+        // row-major loop order element for element.
+        let mut acc = 0.0f32;
+        for &v in plane {
+            acc += v;
         }
+        *o = acc / denom;
     }
     Ok(out)
 }
@@ -170,16 +244,12 @@ pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &Shape) -> Resul
         });
     }
     let denom = (h * w) as f32;
+    let hw = h * w;
     let mut grad_in = Tensor::zeros(input_shape.clone());
-    for b in 0..n {
-        for ch in 0..c {
-            let g = grad_out.at2(b, ch) / denom;
-            for y in 0..h {
-                for x in 0..w {
-                    *grad_in.at4_mut(b, ch, y, x) = g;
-                }
-            }
-        }
+    let src = grad_out.data();
+    let dst = grad_in.data_mut();
+    for (&g, plane) in src.iter().zip(dst.chunks_exact_mut(hw)) {
+        plane.fill(g / denom);
     }
     Ok(grad_in)
 }
