@@ -20,6 +20,7 @@
 //! benchmark body once without timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micronas::{MicroNasConfig, MicroNasSearch, SearchSession};
 use micronas_bench::{banner, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::{GradientPath, NtkConfig, NtkEvaluator};
@@ -71,12 +72,33 @@ fn compare_and_record(runs: usize) {
     let gemm = measured_seconds(&batched, ConvEngine::Auto, runs);
     let looped_s = measured_seconds(&looped, ConvEngine::Auto, runs);
 
+    // Store-backed provenance: how much of a real search's NTK traffic the
+    // evaluation caches absorb. One proxy-only pruning search at the fast
+    // scale; `EvalCacheStats` counts record fetches (a hit was served
+    // without running the proxies at all).
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(MicroNasConfig::fast())
+        .build()
+        .expect("session");
+    let cache = session
+        .run(&MicroNasSearch::te_nas_baseline())
+        .expect("search")
+        .cost
+        .cache;
+
     println!("paper-default NTK evaluation (batch 32, 16x16 proxy, 2 cells):");
     println!("  direct kernels, batched:   {direct:>8.4} s / evaluation");
     println!("  looped per-sample + dots:  {looped_s:>8.4} s / evaluation");
     println!("  batched [n,P] + GEMM Gram: {gemm:>8.4} s / evaluation");
     println!("  direct->batched speedup:   {:>8.2}x", direct / gemm);
     println!("  looped->batched speedup:   {:>8.2}x", looped_s / gemm);
+    println!(
+        "  search eval-cache:         {} hits / {} misses ({:.1}% absorbed)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
 
     record_bench_json(
         "ntk_engine",
@@ -86,6 +108,9 @@ fn compare_and_record(runs: usize) {
             ("batched_gradients_seconds", gemm),
             ("speedup_vs_direct", direct / gemm),
             ("speedup_vs_looped", looped_s / gemm),
+            ("search_cache_hits", cache.hits as f64),
+            ("search_cache_misses", cache.misses as f64),
+            ("search_cache_hit_rate", cache.hit_rate()),
         ],
     );
 }

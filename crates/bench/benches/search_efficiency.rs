@@ -69,7 +69,7 @@ fn bench_te_nas_search(c: &mut Criterion) {
     group.bench_function("te_nas_proxy_only_search", |b| {
         b.iter(|| {
             let ctx = SearchContext::new(DatasetKind::Cifar10, &config).expect("context");
-            MicroNasSearch::te_nas_baseline(&config)
+            MicroNasSearch::te_nas_baseline()
                 .run(&ctx)
                 .expect("search")
                 .best

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use micronas::experiments::{run_paper_sweep, SweepScale};
-use micronas::MicroNasConfig;
+use micronas::{EvalCacheStats, MicroNasConfig, MicroNasSearch, ObjectiveWeights, SearchSession};
 use micronas_bench::{banner, bench_config, paper_scale, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::ZeroCostMetrics;
@@ -108,6 +108,31 @@ fn cold_vs_warm_sweep(config: &MicroNasConfig, scale: &SweepScale) -> (f64, f64,
     )
 }
 
+/// Per-search cache provenance: the [`EvalCacheStats`] record-fetch
+/// counters of one latency-guided pruning search against a cold and then a
+/// warm store. Unlike the store-level counters above, these count requests
+/// *of the search* — including the ones its context's private caches
+/// absorbed before the store ever saw them.
+fn search_cache_provenance(config: &MicroNasConfig) -> (EvalCacheStats, EvalCacheStats) {
+    let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+    let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0));
+    let session = |store: Arc<EvalStore>| {
+        SearchSession::builder()
+            .dataset(DatasetKind::Cifar10)
+            .config(config.clone())
+            .store(store)
+            .build()
+            .expect("session")
+    };
+    let cold = session(store.clone()).run(&search).expect("cold search");
+    let warm = session(store).run(&search).expect("warm search");
+    assert_eq!(
+        warm.cost.cache.misses, 0,
+        "a pre-warmed store serves the whole search"
+    );
+    (cold.cost.cache, warm.cost.cache)
+}
+
 fn bench_store_throughput(c: &mut Criterion) {
     const LOOKUPS: usize = 100_000;
     const INSERTS: usize = 20_000;
@@ -148,6 +173,7 @@ fn bench_store_throughput(c: &mut Criterion) {
     let (cold_s, warm_s, warm_hit_rate, identical) = cold_vs_warm_sweep(&config, &scale);
     let speedup = cold_s / warm_s.max(1e-12);
     assert!(identical, "cold and warm sweeps must agree bitwise");
+    let (search_cold, search_warm) = search_cache_provenance(&config);
 
     if !c.is_test_mode() {
         println!();
@@ -159,6 +185,19 @@ fn bench_store_throughput(c: &mut Criterion) {
         println!("paper sweep, warm store:  {warm_s:>12.3} s  ({speedup:.1}x faster)");
         println!("warm hit rate:            {:>11.1}%", warm_hit_rate * 100.0);
         println!("bitwise identical:        {identical}");
+        println!();
+        println!(
+            "search eval-cache, cold store: {} hits / {} misses ({:.1}% hit rate)",
+            search_cold.hits,
+            search_cold.misses,
+            search_cold.hit_rate() * 100.0
+        );
+        println!(
+            "search eval-cache, warm store: {} hits / {} misses ({:.1}% hit rate)",
+            search_warm.hits,
+            search_warm.misses,
+            search_warm.hit_rate() * 100.0
+        );
     }
     record_bench_json(
         "store_throughput",
@@ -171,6 +210,12 @@ fn bench_store_throughput(c: &mut Criterion) {
             ("sweep_warm_speedup", speedup),
             ("sweep_warm_hit_rate", warm_hit_rate),
             ("sweep_bitwise_identical", f64::from(u8::from(identical))),
+            ("search_cache_cold_hits", search_cold.hits as f64),
+            ("search_cache_cold_misses", search_cold.misses as f64),
+            ("search_cache_cold_hit_rate", search_cold.hit_rate()),
+            ("search_cache_warm_hits", search_warm.hits as f64),
+            ("search_cache_warm_misses", search_warm.misses as f64),
+            ("search_cache_warm_hit_rate", search_warm.hit_rate()),
         ],
     );
 }

@@ -42,7 +42,7 @@ fn bench_micronas_search(c: &mut Criterion) {
     group.bench_function("micronas_latency_guided_search", |b| {
         b.iter(|| {
             let ctx = SearchContext::new(DatasetKind::Cifar10, &config).expect("context");
-            MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
+            MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0))
                 .run(&ctx)
                 .expect("search")
                 .best

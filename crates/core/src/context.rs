@@ -2,14 +2,21 @@ use crate::{EvalCacheStats, MicroNasConfig, Result};
 use micronas_datasets::DatasetKind;
 use micronas_hw::{HardwareConstraints, HardwareEvaluator, HardwareIndicators};
 use micronas_nasbench::SurrogateBenchmark;
-use micronas_proxies::{ZeroCostEvaluator, ZeroCostMetrics};
+use micronas_proxies::{MetricSet, Proxy, ZeroCostEvaluator, ZeroCostMetrics};
 use micronas_searchspace::{Architecture, CellTopology, MacroSkeleton, SearchSpace};
-use micronas_store::{EvalKey, EvalRecord, EvalStore, GetOrInsertError};
+use micronas_store::{custom_proxy_digest, EvalKey, EvalRecord, EvalStore, GetOrInsertError};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// One registered pluggable proxy plus its precomputed store identity.
+struct RegisteredProxy {
+    proxy: Arc<dyn Proxy>,
+    /// [`custom_proxy_digest`] of `(id, config fingerprint)`, computed once.
+    digest: u64,
+}
 
 /// Everything a search algorithm needs to evaluate candidates on one dataset:
 /// the search space, the zero-cost proxies, the hardware evaluator, the
@@ -34,17 +41,31 @@ use std::sync::Arc;
 /// function of architecture *identity* rather than representation: two
 /// isomorphic cells receive bitwise-identical scores, and results are
 /// bitwise-identical whether the store is enabled, disabled or pre-warmed.
+///
+/// # Pluggable proxies
+///
+/// Beyond the two built-in indicators, any number of [`Proxy`] plugins can
+/// be registered ([`SearchContext::with_proxies`], usually via
+/// `SearchSession::builder().proxies(..)`). Each plugin's score joins the
+/// candidate's [`MetricSet`] under the proxy's id and is cached in the
+/// shared store under a `ProxyKind::Custom` key derived from the proxy's
+/// stable identity — adding a proxy never perturbs the built-in records.
 pub struct SearchContext {
     space: SearchSpace,
     dataset: DatasetKind,
     zero_cost: ZeroCostEvaluator,
+    extra_proxies: Vec<RegisteredProxy>,
     hardware: HardwareEvaluator,
     constraints: HardwareConstraints,
     benchmark: SurrogateBenchmark,
     seed: u64,
     ntk_batch: u16,
     store: Option<Arc<EvalStore>>,
-    cache: Mutex<HashMap<usize, CandidateEvaluation>>,
+    /// Full evaluations by architecture index. `Arc`-boxed so a cache hit
+    /// costs one refcount bump inside the critical section — the deep clone
+    /// of the heap-backed [`MetricSet`] happens after the lock is released,
+    /// off the contended path the rayon scoring workers hammer.
+    cache: Mutex<HashMap<usize, Arc<CandidateEvaluation>>>,
     /// Hardware indicators by canonical digest. An `RwLock` so the warm
     /// feasibility path — hammered by rayon workers during evolutionary
     /// population seeding — takes only a shared read lock.
@@ -55,12 +76,15 @@ pub struct SearchContext {
 }
 
 /// The cached evaluation record of one candidate architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CandidateEvaluation {
     /// The candidate's index in the search space.
     pub arch_index: usize,
-    /// Zero-cost network-analysis metrics.
-    pub zero_cost: ZeroCostMetrics,
+    /// Every network-analysis metric of the candidate, by id: the built-in
+    /// indicators (`ntk_condition`, `linear_regions`, `trainability`,
+    /// `expressivity`) followed by one entry per registered pluggable
+    /// proxy, in registration order.
+    pub metrics: MetricSet,
     /// Hardware indicators.
     pub hardware: HardwareIndicators,
     /// Whether the candidate satisfies the context's hardware constraints.
@@ -75,7 +99,7 @@ impl SearchContext {
     ///
     /// Returns an error if the configuration is invalid.
     pub fn new(dataset: DatasetKind, config: &MicroNasConfig) -> Result<Self> {
-        Self::build(dataset, config, None)
+        Self::build(dataset, config, None, Vec::new())
     }
 
     /// Builds a context that shares (and warms) `store`. The store must have
@@ -93,21 +117,49 @@ impl SearchContext {
         store: Arc<EvalStore>,
     ) -> Result<Self> {
         ensure_store_namespace(&store, config)?;
-        Self::build(dataset, config, Some(store))
+        Self::build(dataset, config, Some(store), Vec::new())
+    }
+
+    /// Builds a context with additional pluggable proxies (and optionally a
+    /// shared store). Every registered proxy is evaluated per candidate, its
+    /// score published in the candidate's [`MetricSet`] under the proxy's id
+    /// and cached in the store under a `ProxyKind::Custom` key.
+    ///
+    /// Proxy ids must be unique (and must not collide with the built-in
+    /// metric ids), or two plugins would overwrite each other's metrics and
+    /// cached records.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid, a proxy id
+    /// collides, or the store namespace does not match the configuration.
+    pub fn with_proxies(
+        dataset: DatasetKind,
+        config: &MicroNasConfig,
+        store: Option<Arc<EvalStore>>,
+        proxies: Vec<Arc<dyn Proxy>>,
+    ) -> Result<Self> {
+        if let Some(store) = store.as_deref() {
+            ensure_store_namespace(store, config)?;
+        }
+        Self::build(dataset, config, store, proxies)
     }
 
     fn build(
         dataset: DatasetKind,
         config: &MicroNasConfig,
         store: Option<Arc<EvalStore>>,
+        proxies: Vec<Arc<dyn Proxy>>,
     ) -> Result<Self> {
         config.validate()?;
+        let extra_proxies = register_proxies(proxies)?;
         let benchmark = SurrogateBenchmark::new(config.seed);
         let skeleton = benchmark.skeleton_for(dataset);
         Ok(Self {
             space: SearchSpace::nas_bench_201(),
             dataset,
             zero_cost: ZeroCostEvaluator::new(config.ntk, config.linear_regions),
+            extra_proxies,
             hardware: HardwareEvaluator::new(skeleton, config.mcu.clone()),
             constraints: config.constraints,
             benchmark,
@@ -158,6 +210,11 @@ impl SearchContext {
         &self.zero_cost
     }
 
+    /// Ids of the registered pluggable proxies, in registration order.
+    pub fn extra_proxy_ids(&self) -> impl Iterator<Item = &str> {
+        self.extra_proxies.iter().map(|p| p.proxy.id())
+    }
+
     /// The shared evaluation store, if one is attached.
     pub fn store(&self) -> Option<&Arc<EvalStore>> {
         self.store.as_ref()
@@ -204,6 +261,28 @@ impl SearchContext {
             .ok_or_else(|| record_kind_error("zero-cost"))
     }
 
+    /// Fetches (or computes) one pluggable proxy's score of the canonical
+    /// cell, cached under its `ProxyKind::Custom` store key.
+    fn fetch_custom(&self, canonical: CellTopology, entry: &RegisteredProxy) -> Result<f64> {
+        let Some(store) = &self.store else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry.proxy.evaluate(canonical, self.dataset, self.seed)?);
+        };
+        let key = EvalKey::custom(&canonical, self.dataset, self.seed, entry.digest, 0);
+        let (record, hit) = store
+            .get_or_try_insert_with(key, || {
+                entry
+                    .proxy
+                    .evaluate(canonical, self.dataset, self.seed)
+                    .map(EvalRecord::Scalar)
+            })
+            .map_err(flatten_store_error)?;
+        self.count(hit);
+        record
+            .as_scalar()
+            .ok_or_else(|| record_kind_error(entry.proxy.id()))
+    }
+
     /// Fetches (or computes) the hardware indicators of the canonical cell.
     fn fetch_hardware(&self, canonical: CellTopology) -> Result<HardwareIndicators> {
         let digest = micronas_store::ArchDigest::of(&canonical).value();
@@ -246,6 +325,9 @@ impl SearchContext {
     /// Evaluates (or retrieves from cache) the zero-cost and hardware
     /// indicators of a cell.
     ///
+    /// Returns a shared handle to the cached record: a warm hit costs one
+    /// refcount bump, never a deep copy of the metric set.
+    ///
     /// Safe to call from parallel candidate-scoring workers: the result is a
     /// pure function of `(architecture identity, dataset, seed)` — proxies
     /// run on the cell's canonical form — and the evaluation counter only
@@ -255,30 +337,40 @@ impl SearchContext {
     /// # Errors
     ///
     /// Propagates proxy evaluation failures.
-    pub fn evaluate(&self, cell: CellTopology) -> Result<CandidateEvaluation> {
+    pub fn evaluate(&self, cell: CellTopology) -> Result<Arc<CandidateEvaluation>> {
         let arch = Architecture::from_cell(&self.space, cell);
-        if let Some(hit) = self.cache.lock().get(&arch.index()) {
+        let cached = self.cache.lock().get(&arch.index()).map(Arc::clone);
+        if let Some(hit) = cached {
             // The unit of the hit/miss counters is one *record* fetch. A
-            // full evaluation fetches two records (zero-cost + hardware), so
-            // a context-cache hit — which short-circuits both — counts two,
-            // keeping hit rates comparable across cache layers and store
-            // modes.
-            self.hits.fetch_add(2, Ordering::Relaxed);
-            return Ok(*hit);
+            // full evaluation fetches one record per proxy family (zero-cost
+            // + hardware + each registered plugin), so a context-cache hit —
+            // which short-circuits all of them — counts them all, keeping
+            // hit rates comparable across cache layers and store modes.
+            self.hits
+                .fetch_add(2 + self.extra_proxies.len(), Ordering::Relaxed);
+            return Ok(hit);
         }
         let canonical = cell.canonical_form();
-        let zero_cost = self.fetch_zero_cost(canonical)?;
+        let mut metrics = self.fetch_zero_cost(canonical)?.metric_set();
+        for entry in &self.extra_proxies {
+            metrics.insert(entry.proxy.id(), self.fetch_custom(canonical, entry)?);
+        }
         let hardware = self.fetch_hardware(canonical)?;
         let feasible = self.constraints.satisfied_by(&hardware);
-        let eval = CandidateEvaluation {
+        let eval = Arc::new(CandidateEvaluation {
             arch_index: arch.index(),
-            zero_cost,
+            metrics,
             hardware,
             feasible,
-        };
+        });
         // Two workers may race to evaluate the same cell; both compute the
         // same pure value, but only the first insertion counts it.
-        if self.cache.lock().insert(arch.index(), eval).is_none() {
+        if self
+            .cache
+            .lock()
+            .insert(arch.index(), Arc::clone(&eval))
+            .is_none()
+        {
             *self.evaluations.lock() += 1;
         }
         Ok(eval)
@@ -315,6 +407,30 @@ impl SearchContext {
     pub fn trained_accuracy(&self, arch: &Architecture) -> f64 {
         self.benchmark.query(arch, self.dataset).test_accuracy
     }
+}
+
+/// Validates a set of pluggable proxies and precomputes their store
+/// identities. Rejects duplicate ids and collisions with the metric ids the
+/// built-in indicators always publish — either would overwrite entries in
+/// every candidate's [`MetricSet`] and alias cached store records.
+fn register_proxies(proxies: Vec<Arc<dyn Proxy>>) -> Result<Vec<RegisteredProxy>> {
+    let mut registered: Vec<RegisteredProxy> = Vec::with_capacity(proxies.len());
+    for proxy in proxies {
+        let id = proxy.id();
+        if micronas_proxies::metric_ids::BUILT_IN.contains(&id) {
+            return Err(crate::MicroNasError::InvalidConfig(format!(
+                "proxy id {id:?} collides with a built-in metric id"
+            )));
+        }
+        if registered.iter().any(|r| r.proxy.id() == id) {
+            return Err(crate::MicroNasError::InvalidConfig(format!(
+                "duplicate proxy id {id:?}"
+            )));
+        }
+        let digest = custom_proxy_digest(id, proxy.config_fingerprint());
+        registered.push(RegisteredProxy { proxy, digest });
+    }
+    Ok(registered)
 }
 
 /// Verifies that `store` was opened for `config`'s evaluation namespace.
@@ -408,7 +524,7 @@ mod tests {
         let a = ctx.evaluate(cell).unwrap();
         let b = ctx.evaluate(twin).unwrap();
         assert_ne!(a.arch_index, b.arch_index, "distinct representations");
-        assert_eq!(a.zero_cost, b.zero_cost, "identical proxy scores");
+        assert_eq!(a.metrics, b.metrics, "identical proxy scores");
         assert_eq!(a.hardware, b.hardware, "identical hardware indicators");
     }
 
@@ -517,6 +633,139 @@ mod tests {
             .query(&arch, DatasetKind::Cifar10)
             .test_accuracy;
         assert_eq!(acc, direct);
+    }
+
+    #[test]
+    fn registered_proxies_join_the_metric_set_in_order() {
+        use micronas_proxies::{
+            JacobianCovarianceConfig, JacobianCovarianceProxy, SynFlowConfig, SynFlowProxy,
+        };
+
+        let config = MicroNasConfig::tiny_test();
+        let proxies: Vec<Arc<dyn micronas_proxies::Proxy>> = vec![
+            Arc::new(SynFlowProxy::new(SynFlowConfig::fast())),
+            Arc::new(JacobianCovarianceProxy::new(
+                JacobianCovarianceConfig::fast(),
+            )),
+        ];
+        let ctx =
+            SearchContext::with_proxies(DatasetKind::Cifar10, &config, None, proxies).unwrap();
+        let ids: Vec<&str> = ctx.extra_proxy_ids().collect();
+        assert_eq!(ids, ["synflow", "jacob_cov"]);
+
+        let eval = ctx.evaluate(ctx.space().cell(5_000).unwrap()).unwrap();
+        let metric_ids: Vec<&str> = eval.metrics.ids().collect();
+        assert_eq!(
+            metric_ids,
+            [
+                "ntk_condition",
+                "linear_regions",
+                "trainability",
+                "expressivity",
+                "synflow",
+                "jacob_cov"
+            ],
+            "built-ins first, then plugins in registration order"
+        );
+        assert!(eval.metrics.get("synflow").unwrap().is_finite());
+        assert!(eval.metrics.get("jacob_cov").unwrap().is_finite());
+    }
+
+    #[test]
+    fn plugin_scores_are_cached_under_custom_store_keys() {
+        use micronas_proxies::{Proxy, SynFlowConfig, SynFlowProxy};
+
+        let config = MicroNasConfig::tiny_test();
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let proxy = SynFlowProxy::new(SynFlowConfig::fast());
+        let digest = custom_proxy_digest(proxy.id(), proxy.config_fingerprint());
+        let cell = CellTopology::new([Operation::NorConv3x3; 6]);
+        let direct = proxy
+            .evaluate(cell.canonical_form(), DatasetKind::Cifar10, config.seed)
+            .unwrap();
+
+        let ctx = SearchContext::with_proxies(
+            DatasetKind::Cifar10,
+            &config,
+            Some(store.clone()),
+            vec![Arc::new(proxy)],
+        )
+        .unwrap();
+        let eval = ctx.evaluate(cell).unwrap();
+        assert_eq!(eval.metrics.get("synflow"), Some(direct));
+
+        // The score landed in the store under the proxy's Custom key.
+        let key = EvalKey::custom(
+            &cell.canonical_form(),
+            DatasetKind::Cifar10,
+            config.seed,
+            digest,
+            0,
+        );
+        let record = store.get(&key).expect("custom record must be stored");
+        assert_eq!(record.as_scalar(), Some(direct));
+
+        // A second context sharing the store serves the plugin from cache.
+        let proxy2: Arc<dyn Proxy> = Arc::new(SynFlowProxy::new(SynFlowConfig::fast()));
+        let ctx2 = SearchContext::with_proxies(
+            DatasetKind::Cifar10,
+            &config,
+            Some(store.clone()),
+            vec![proxy2],
+        )
+        .unwrap();
+        let before = store.stats();
+        let again = ctx2.evaluate(cell).unwrap();
+        assert_eq!(again, eval);
+        assert_eq!(
+            store.stats().since(&before).misses,
+            0,
+            "warm store must serve the plugin score"
+        );
+    }
+
+    #[test]
+    fn colliding_proxy_ids_are_rejected() {
+        use micronas_proxies::{SynFlowConfig, SynFlowProxy};
+
+        let config = MicroNasConfig::tiny_test();
+        let dup: Vec<Arc<dyn micronas_proxies::Proxy>> = vec![
+            Arc::new(SynFlowProxy::new(SynFlowConfig::fast())),
+            Arc::new(SynFlowProxy::new(SynFlowConfig::fast())),
+        ];
+        assert!(
+            SearchContext::with_proxies(DatasetKind::Cifar10, &config, None, dup).is_err(),
+            "duplicate plugin ids must be rejected"
+        );
+
+        struct Impostor;
+        impl micronas_proxies::Proxy for Impostor {
+            fn id(&self) -> &str {
+                micronas_proxies::metric_ids::TRAINABILITY
+            }
+            fn config_fingerprint(&self) -> u64 {
+                0
+            }
+            fn evaluate_with(
+                &self,
+                _cell: CellTopology,
+                _dataset: DatasetKind,
+                _seed: u64,
+                _workspace: &mut micronas_tensor::Workspace,
+            ) -> micronas_proxies::Result<f64> {
+                Ok(0.0)
+            }
+        }
+        assert!(
+            SearchContext::with_proxies(
+                DatasetKind::Cifar10,
+                &config,
+                None,
+                vec![Arc::new(Impostor)]
+            )
+            .is_err(),
+            "built-in metric ids are reserved"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::{
     EvolutionaryConfig, EvolutionarySearch, MicroNasConfig, MicroNasSearch, ObjectiveWeights,
-    Result, SearchContext, SearchCost,
+    Result, SearchCost, SearchSession,
 };
 use micronas_datasets::DatasetKind;
 use serde::{Deserialize, Serialize};
@@ -34,11 +34,15 @@ pub fn run_search_efficiency(
     evolution: EvolutionaryConfig,
     latency_weight: f64,
 ) -> Result<EfficiencyReport> {
-    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
-    let munas = EvolutionarySearch::new(evolution)?.run(&ctx)?;
-    let te_nas = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
-    let micro =
-        MicroNasSearch::new(ObjectiveWeights::latency_guided(latency_weight), config).run(&ctx)?;
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .build()?;
+    let munas = session.run(&EvolutionarySearch::new(evolution)?)?;
+    let te_nas = session.run(&MicroNasSearch::te_nas_baseline())?;
+    let micro = session.run(&MicroNasSearch::new(ObjectiveWeights::latency_guided(
+        latency_weight,
+    )))?;
 
     Ok(EfficiencyReport {
         efficiency_vs_munas: micro.cost.efficiency_vs(&munas.cost),

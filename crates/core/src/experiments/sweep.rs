@@ -23,7 +23,7 @@ use crate::experiments::fig2::{run_fig2a_in, run_fig2b_in};
 use crate::experiments::sweeps::latency_sweep_in;
 use crate::experiments::table1::table1_rows_in;
 use crate::experiments::{Fig2aSeries, Fig2bResult, SweepPoint, Table1Row};
-use crate::{EvolutionaryConfig, MicroNasConfig, Result, SearchContext};
+use crate::{EvolutionaryConfig, MicroNasConfig, Result, SearchSession};
 use micronas_datasets::DatasetKind;
 use micronas_store::{EvalStore, Fnv1a, StoreStats};
 use serde::{Deserialize, Serialize};
@@ -217,16 +217,19 @@ pub fn run_paper_sweep(
         store.as_deref(),
     )?;
 
-    // ---- Table I + latency sweep: one shared context --------------------
+    // ---- Table I + latency sweep: one shared session --------------------
     // The searches intersect almost completely in the candidates they
-    // evaluate; a single context (and the store behind it) makes that
+    // evaluate; a single session (and the store behind it) makes that
     // overlap free.
-    let ctx = match &store {
-        Some(store) => SearchContext::with_store(DatasetKind::Cifar10, config, store.clone())?,
-        None => SearchContext::new(DatasetKind::Cifar10, config)?,
-    };
-    let table1 = table1_rows_in(&ctx, config, scale.evolution, scale.latency_weight)?;
-    let latency_sweep = latency_sweep_in(&ctx, config, &scale.latency_weights)?;
+    let mut builder = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone());
+    if let Some(store) = &store {
+        builder = builder.store(store.clone());
+    }
+    let session = builder.build()?;
+    let table1 = table1_rows_in(&session, scale.evolution, scale.latency_weight)?;
+    let latency_sweep = latency_sweep_in(&session, &scale.latency_weights)?;
 
     let store_delta = match (stats_before, store.as_deref()) {
         (Some(before), Some(store)) => Some(store.stats().since(&before)),

@@ -1,4 +1,4 @@
-use crate::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, Result, SearchContext};
+use crate::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, Result, SearchSession};
 use micronas_datasets::DatasetKind;
 use serde::{Deserialize, Serialize};
 
@@ -33,13 +33,12 @@ pub struct GuidanceComparison {
 }
 
 fn point_from_search(
-    ctx: &SearchContext,
-    config: &MicroNasConfig,
+    session: &SearchSession,
     weights: ObjectiveWeights,
     hardware_weight: f64,
     baseline_latency_ms: f64,
 ) -> Result<SweepPoint> {
-    let outcome = MicroNasSearch::new(weights, config).run(ctx)?;
+    let outcome = session.run(&MicroNasSearch::new(weights))?;
     Ok(SweepPoint {
         hardware_weight,
         latency_ms: outcome.evaluation.hardware.latency_ms,
@@ -58,18 +57,20 @@ fn point_from_search(
 ///
 /// Propagates search failures.
 pub fn run_latency_sweep(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec<SweepPoint>> {
-    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
-    latency_sweep_in(&ctx, config, weights)
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .build()?;
+    latency_sweep_in(&session, weights)
 }
 
-/// The latency-weight sweep against a caller-provided context, so sweeps can
+/// The latency-weight sweep against a caller-provided session, so sweeps can
 /// share one evaluation cache (and one store) across experiments.
 pub(crate) fn latency_sweep_in(
-    ctx: &SearchContext,
-    config: &MicroNasConfig,
+    session: &SearchSession,
     weights: &[f64],
 ) -> Result<Vec<SweepPoint>> {
-    let baseline = MicroNasSearch::te_nas_baseline(config).run(ctx)?;
+    let baseline = session.run(&MicroNasSearch::te_nas_baseline())?;
     let baseline_latency = baseline.evaluation.hardware.latency_ms;
 
     let mut out = vec![SweepPoint {
@@ -82,8 +83,7 @@ pub(crate) fn latency_sweep_in(
     }];
     for &w in weights {
         out.push(point_from_search(
-            ctx,
-            config,
+            session,
             ObjectiveWeights::latency_guided(w),
             w,
             baseline_latency,
@@ -98,8 +98,11 @@ pub(crate) fn latency_sweep_in(
 ///
 /// Propagates search failures.
 pub fn run_flops_vs_latency(config: &MicroNasConfig, weight: f64) -> Result<GuidanceComparison> {
-    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
-    let baseline_outcome = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .build()?;
+    let baseline_outcome = session.run(&MicroNasSearch::te_nas_baseline())?;
     let baseline_latency = baseline_outcome.evaluation.hardware.latency_ms;
     let baseline = SweepPoint {
         hardware_weight: 0.0,
@@ -110,15 +113,13 @@ pub fn run_flops_vs_latency(config: &MicroNasConfig, weight: f64) -> Result<Guid
         speedup_vs_baseline: 1.0,
     };
     let flops_guided = point_from_search(
-        &ctx,
-        config,
+        &session,
         ObjectiveWeights::flops_guided(weight),
         weight,
         baseline_latency,
     )?;
     let latency_guided = point_from_search(
-        &ctx,
-        config,
+        &session,
         ObjectiveWeights::latency_guided(weight),
         weight,
         baseline_latency,
@@ -137,8 +138,11 @@ pub fn run_flops_vs_latency(config: &MicroNasConfig, weight: f64) -> Result<Guid
 ///
 /// Propagates search failures.
 pub fn run_memory_guided(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec<SweepPoint>> {
-    let ctx = SearchContext::new(DatasetKind::Cifar10, config)?;
-    let baseline = MicroNasSearch::te_nas_baseline(config).run(&ctx)?;
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .build()?;
+    let baseline = session.run(&MicroNasSearch::te_nas_baseline())?;
     let baseline_latency = baseline.evaluation.hardware.latency_ms;
 
     let mut out = vec![SweepPoint {
@@ -151,8 +155,7 @@ pub fn run_memory_guided(config: &MicroNasConfig, weights: &[f64]) -> Result<Vec
     }];
     for &w in weights {
         out.push(point_from_search(
-            &ctx,
-            config,
+            &session,
             ObjectiveWeights::memory_guided(w),
             w,
             baseline_latency,

@@ -1,6 +1,6 @@
 use crate::{
     EvolutionaryConfig, EvolutionarySearch, MicroNasConfig, MicroNasSearch, ObjectiveWeights,
-    Result, SearchContext,
+    Result, SearchSession,
 };
 use micronas_datasets::DatasetKind;
 use serde::{Deserialize, Serialize};
@@ -66,22 +66,25 @@ pub fn run_table1(
     evolution: EvolutionaryConfig,
     latency_weight: f64,
 ) -> Result<Vec<Table1Row>> {
-    let context = SearchContext::new(DatasetKind::Cifar10, config)?;
-    table1_rows_in(&context, config, evolution, latency_weight)
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .build()?;
+    table1_rows_in(&session, evolution, latency_weight)
 }
 
-/// Table I rows computed against a caller-provided context, so sweeps can
+/// Table I rows computed against a caller-provided session, so sweeps can
 /// share one evaluation cache (and one store) across experiments.
 pub(crate) fn table1_rows_in(
-    context: &SearchContext,
-    config: &MicroNasConfig,
+    session: &SearchSession,
     evolution: EvolutionaryConfig,
     latency_weight: f64,
 ) -> Result<Vec<Table1Row>> {
-    let munas = EvolutionarySearch::new(evolution)?.run(context)?;
-    let te_nas = MicroNasSearch::te_nas_baseline(config).run(context)?;
-    let micro = MicroNasSearch::new(ObjectiveWeights::latency_guided(latency_weight), config)
-        .run(context)?;
+    let munas = session.run(&EvolutionarySearch::new(evolution)?)?;
+    let te_nas = session.run(&MicroNasSearch::te_nas_baseline())?;
+    let micro = session.run(&MicroNasSearch::new(ObjectiveWeights::latency_guided(
+        latency_weight,
+    )))?;
 
     let reference_latency = te_nas.evaluation.hardware.latency_ms;
     let rows = vec![

@@ -1,20 +1,30 @@
 use micronas_hw::HardwareIndicators;
-use micronas_proxies::ZeroCostMetrics;
+use micronas_proxies::{metric_ids, MetricSet};
 use serde::{Deserialize, Serialize};
 
-/// Weights of the hybrid objective function (§II of the paper).
+/// Weights of the hybrid objective function (§II of the paper),
+/// generalised to **per-metric-id** proxy weights.
 ///
-/// The objective combines two network-analysis terms (trainability from the
-/// NTK spectrum, expressivity from the linear-region count) with hardware
-/// terms (FLOPs, estimated latency, and — as the paper's future-work
-/// extension — peak memory). The hardware weights are the paper's "tunable
-/// weight factors for precise control over the contributions of F and L".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The objective combines any number of network-analysis metrics — each
+/// weighted by its [`MetricSet`] id — with hardware terms (FLOPs, estimated
+/// latency, and — as the paper's future-work extension — peak memory). The
+/// hardware weights are the paper's "tunable weight factors for precise
+/// control over the contributions of F and L"; the per-metric weights are
+/// how pluggable proxies (`micronas_proxies::Proxy`) join the objective
+/// without any code change.
+///
+/// The paper's fixed two-proxy settings remain available as presets
+/// ([`ObjectiveWeights::accuracy_only`], [`ObjectiveWeights::latency_guided`],
+/// …) and weight exactly the metrics they always did, in the same order, so
+/// preset-driven searches score bitwise-identically to the pre-redesign
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectiveWeights {
-    /// Weight of the trainability score (negated log NTK condition number).
-    pub trainability: f64,
-    /// Weight of the expressivity score (log linear-region count).
-    pub expressivity: f64,
+    /// Ordered `metric id → weight` map. Insertion order is summation
+    /// order, which keeps objective scores bitwise-reproducible; backed by
+    /// the same [`MetricSet`] type the candidates carry, so both sides of
+    /// the objective share one ordered-map implementation.
+    metrics: MetricSet,
     /// Weight of the FLOPs penalty.
     pub flops: f64,
     /// Weight of the latency penalty.
@@ -24,16 +34,24 @@ pub struct ObjectiveWeights {
 }
 
 impl ObjectiveWeights {
-    /// The proxy-only objective used by the TE-NAS baseline and by the
-    /// paper's "no hardware constraints" configuration.
-    pub fn accuracy_only() -> Self {
+    /// No proxy metrics, no hardware terms. The starting point for fully
+    /// custom objectives: chain [`ObjectiveWeights::with_metric`] calls.
+    pub fn empty() -> Self {
         Self {
-            trainability: 1.0,
-            expressivity: 1.0,
+            metrics: MetricSet::new(),
             flops: 0.0,
             latency: 0.0,
             memory: 0.0,
         }
+    }
+
+    /// The proxy-only objective used by the TE-NAS baseline and by the
+    /// paper's "no hardware constraints" configuration: unit weights on
+    /// trainability and expressivity.
+    pub fn accuracy_only() -> Self {
+        Self::empty()
+            .with_metric(metric_ids::TRAINABILITY, 1.0)
+            .with_metric(metric_ids::EXPRESSIVITY, 1.0)
     }
 
     /// The latency-guided objective (the paper's best-performing setting).
@@ -59,6 +77,56 @@ impl ObjectiveWeights {
             ..Self::accuracy_only()
         }
     }
+
+    /// Sets (or replaces, keeping the original position) the weight of one
+    /// metric id.
+    #[must_use]
+    pub fn with_metric(mut self, id: impl Into<String>, weight: f64) -> Self {
+        self.metrics.insert(id, weight);
+        self
+    }
+
+    /// Replaces the FLOPs weight.
+    #[must_use]
+    pub fn with_flops(mut self, weight: f64) -> Self {
+        self.flops = weight;
+        self
+    }
+
+    /// Replaces the latency weight.
+    #[must_use]
+    pub fn with_latency(mut self, weight: f64) -> Self {
+        self.latency = weight;
+        self
+    }
+
+    /// Replaces the memory weight.
+    #[must_use]
+    pub fn with_memory(mut self, weight: f64) -> Self {
+        self.memory = weight;
+        self
+    }
+
+    /// The weight of a metric id (0.0 when unweighted).
+    pub fn metric(&self, id: &str) -> f64 {
+        self.metrics.get(id).unwrap_or(0.0)
+    }
+
+    /// Iterates the weighted `(metric id, weight)` pairs in insertion
+    /// (= summation) order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter()
+    }
+
+    /// The trainability weight (preset compatibility accessor).
+    pub fn trainability(&self) -> f64 {
+        self.metric(metric_ids::TRAINABILITY)
+    }
+
+    /// The expressivity weight (preset compatibility accessor).
+    pub fn expressivity(&self) -> f64 {
+        self.metric(metric_ids::EXPRESSIVITY)
+    }
 }
 
 impl Default for ObjectiveWeights {
@@ -69,7 +137,7 @@ impl Default for ObjectiveWeights {
 
 /// Reference scales used to bring the hardware penalties onto the same
 /// footing as the (log-scale) network-analysis scores.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HybridObjective {
     /// Objective weights.
     pub weights: ObjectiveWeights,
@@ -118,13 +186,25 @@ impl HybridObjective {
         }
     }
 
-    /// Scalar score of a candidate (larger is better).
-    pub fn score(&self, zero_cost: &ZeroCostMetrics, hw: &HardwareIndicators) -> f64 {
+    /// Scalar score of a candidate (larger is better): the weighted sum of
+    /// its proxy metrics minus the scaled hardware penalties.
+    ///
+    /// Metrics are summed in the weights' insertion order; a weighted
+    /// metric the candidate does not carry contributes nothing (no
+    /// floating-point op at all, so partial metric sets stay
+    /// bitwise-reproducible).
+    pub fn score(&self, metrics: &MetricSet, hw: &HardwareIndicators) -> f64 {
         let w = &self.weights;
-        w.trainability * zero_cost.trainability + w.expressivity * zero_cost.expressivity
-            - w.flops * hw.flops_m / self.flops_scale_m
-            - w.latency * hw.latency_ms / self.latency_scale_ms
-            - w.memory * hw.peak_sram_kib / self.memory_scale_kib
+        let mut score = 0.0;
+        for (id, weight) in w.metrics() {
+            if let Some(value) = metrics.get(id) {
+                score += weight * value;
+            }
+        }
+        score -= w.flops * hw.flops_m / self.flops_scale_m;
+        score -= w.latency * hw.latency_ms / self.latency_scale_ms;
+        score -= w.memory * hw.peak_sram_kib / self.memory_scale_kib;
+        score
     }
 }
 
@@ -138,13 +218,12 @@ impl Default for HybridObjective {
 mod tests {
     use super::*;
 
-    fn zc(trainability: f64, expressivity: f64) -> ZeroCostMetrics {
-        ZeroCostMetrics {
-            ntk_condition: (-trainability).exp(),
-            linear_regions: expressivity.exp() as usize,
-            trainability,
-            expressivity,
-        }
+    fn zc(trainability: f64, expressivity: f64) -> MetricSet {
+        MetricSet::new()
+            .with(metric_ids::NTK_CONDITION, (-trainability).exp())
+            .with(metric_ids::LINEAR_REGIONS, expressivity.exp().floor())
+            .with(metric_ids::TRAINABILITY, trainability)
+            .with(metric_ids::EXPRESSIVITY, expressivity)
     }
 
     fn hw(flops_m: f64, latency_ms: f64, sram: f64) -> HardwareIndicators {
@@ -202,10 +281,59 @@ mod tests {
     #[test]
     fn custom_scales_change_relative_weighting() {
         let w = ObjectiveWeights::latency_guided(1.0);
-        let default = HybridObjective::new(w);
+        let default = HybridObjective::new(w.clone());
         let strict = HybridObjective::with_scales(w, 200.0, 100.0, 320.0);
         let zc0 = zc(0.0, 0.0);
         let hw0 = hw(50.0, 300.0, 64.0);
         assert!(strict.score(&zc0, &hw0) < default.score(&zc0, &hw0));
+    }
+
+    #[test]
+    fn per_metric_weights_pick_up_custom_metrics() {
+        let weights = ObjectiveWeights::accuracy_only().with_metric("synflow", 0.5);
+        let obj = HybridObjective::new(weights);
+        let base = zc(-1.0, 2.0);
+        let with_synflow = base.clone().with("synflow", 4.0);
+        let hw0 = hw(50.0, 100.0, 64.0);
+        let plain = obj.score(&base, &hw0);
+        let boosted = obj.score(&with_synflow, &hw0);
+        assert!((boosted - plain - 0.5 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_weighted_metrics_contribute_nothing() {
+        let weights = ObjectiveWeights::empty().with_metric("absent", 100.0);
+        let obj = HybridObjective::new(weights);
+        assert_eq!(obj.score(&zc(-1.0, 2.0), &hw(50.0, 100.0, 64.0)), 0.0);
+    }
+
+    #[test]
+    fn preset_weights_expose_compatibility_accessors() {
+        let w = ObjectiveWeights::latency_guided(2.0);
+        assert_eq!(w.trainability(), 1.0);
+        assert_eq!(w.expressivity(), 1.0);
+        assert_eq!(w.latency, 2.0);
+        assert_eq!(w.flops, 0.0);
+        assert_eq!(w.metric("nonexistent"), 0.0);
+        let ids: Vec<&str> = w.metrics().map(|(id, _)| id).collect();
+        assert_eq!(ids, [metric_ids::TRAINABILITY, metric_ids::EXPRESSIVITY]);
+
+        let replaced = w.with_metric(metric_ids::TRAINABILITY, 3.0);
+        assert_eq!(replaced.trainability(), 3.0);
+        let ids: Vec<&str> = replaced.metrics().map(|(id, _)| id).collect();
+        assert_eq!(
+            ids,
+            [metric_ids::TRAINABILITY, metric_ids::EXPRESSIVITY],
+            "replacement keeps summation order"
+        );
+    }
+
+    #[test]
+    fn hardware_builder_setters_replace_fields() {
+        let w = ObjectiveWeights::empty()
+            .with_flops(1.0)
+            .with_latency(2.0)
+            .with_memory(3.0);
+        assert_eq!((w.flops, w.latency, w.memory), (1.0, 2.0, 3.0));
     }
 }

@@ -44,12 +44,13 @@ mod tests {
             best: arch,
             evaluation: CandidateEvaluation {
                 arch_index: 77,
-                zero_cost: ZeroCostMetrics {
+                metrics: ZeroCostMetrics {
                     ntk_condition: 10.0,
                     linear_regions: 20,
                     trainability: -2.3,
                     expressivity: 3.0,
-                },
+                }
+                .metric_set(),
                 hardware: HardwareIndicators {
                     flops_m: 60.0,
                     macs_m: 30.0,

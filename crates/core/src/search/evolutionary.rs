@@ -1,4 +1,7 @@
-use crate::{MicroNasError, Result, SearchContext, SearchCost, SearchOutcome};
+use crate::{
+    MicroNasError, NullObserver, Result, SearchContext, SearchCost, SearchEvent, SearchObserver,
+    SearchOutcome, SearchStrategy,
+};
 use micronas_searchspace::{mutate, random_architecture, Architecture};
 use micronas_tensor::hash_mix;
 use rand::SeedableRng;
@@ -79,13 +82,27 @@ impl EvolutionarySearch {
         &self.config
     }
 
-    /// Runs the baseline.
+    /// Runs the baseline without progress reporting (equivalent to
+    /// [`SearchStrategy::search`] with a [`NullObserver`]).
     ///
     /// # Errors
     ///
     /// Returns [`MicroNasError::NoFeasibleArchitecture`] if no feasible
     /// candidate can be sampled.
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        self.search(ctx, &NullObserver)
+    }
+}
+
+impl SearchStrategy for EvolutionarySearch {
+    fn name(&self) -> &str {
+        ALGORITHM_NAME
+    }
+
+    fn search(&self, ctx: &SearchContext, observer: &dyn SearchObserver) -> Result<SearchOutcome> {
+        observer.on_event(&SearchEvent::Started {
+            algorithm: self.name(),
+        });
         let start = Instant::now();
         let cache_before = ctx.cache_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed().wrapping_add(0x45564F));
@@ -146,6 +163,10 @@ impl EvolutionarySearch {
             .cloned()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("accuracies are finite"))
             .expect("population is non-empty");
+        observer.on_event(&SearchEvent::Step {
+            index: history.len(),
+            score: best.1,
+        });
         history.push(best.1);
 
         // Aging evolution: tournament parent selection, single mutation,
@@ -169,6 +190,10 @@ impl EvolutionarySearch {
                 retries += 1;
             }
             if !feasible(&child)? {
+                observer.on_event(&SearchEvent::Step {
+                    index: history.len(),
+                    score: best.1,
+                });
                 history.push(best.1);
                 continue;
             }
@@ -178,13 +203,17 @@ impl EvolutionarySearch {
             if child_fit > best.1 {
                 best = (child, child_fit);
             }
+            observer.on_event(&SearchEvent::Step {
+                index: history.len(),
+                score: best.1,
+            });
             history.push(best.1);
         }
 
         let evaluation = ctx.evaluate(*best.0.cell())?;
-        Ok(SearchOutcome {
+        let outcome = SearchOutcome {
             best: best.0,
-            evaluation,
+            evaluation: (*evaluation).clone(),
             test_accuracy: best.1,
             cost: SearchCost {
                 wall_clock_seconds: start.elapsed().as_secs_f64(),
@@ -192,11 +221,16 @@ impl EvolutionarySearch {
                 evaluations: trained.len(),
                 cache: ctx.cache_stats().since(&cache_before),
             },
-            algorithm: "µNAS-style constrained evolution (training-based)".to_string(),
+            algorithm: ALGORITHM_NAME.to_string(),
             history,
-        })
+        };
+        observer.on_event(&SearchEvent::Finished { outcome: &outcome });
+        Ok(outcome)
     }
 }
+
+/// Report name of the µNAS-style baseline.
+const ALGORITHM_NAME: &str = "µNAS-style constrained evolution (training-based)";
 
 #[cfg(test)]
 mod tests {

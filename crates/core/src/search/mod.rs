@@ -22,10 +22,12 @@
 mod evolutionary;
 mod pruning;
 mod random;
+pub(crate) mod strategy;
 
 pub use evolutionary::{EvolutionaryConfig, EvolutionarySearch};
 pub use pruning::MicroNasSearch;
 pub use random::RandomSearch;
+pub use strategy::{NullObserver, SearchEvent, SearchObserver, SearchStrategy};
 
 #[cfg(test)]
 mod thread_determinism_tests {
@@ -70,8 +72,7 @@ mod thread_determinism_tests {
 
     #[test]
     fn pruning_search_history_is_identical_across_thread_counts() {
-        let config = MicroNasConfig::tiny_test();
-        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0));
         let single = run_with_threads(1, |ctx| search.run(ctx).unwrap());
         for threads in [3, 8] {
             let multi = run_with_threads(threads, |ctx| search.run(ctx).unwrap());

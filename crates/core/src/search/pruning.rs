@@ -1,6 +1,6 @@
 use crate::{
-    HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost,
-    SearchOutcome,
+    HybridObjective, MicroNasError, NullObserver, ObjectiveWeights, Result, SearchContext,
+    SearchCost, SearchEvent, SearchObserver, SearchOutcome, SearchStrategy,
 };
 use micronas_searchspace::{EdgeId, Operation, Supernet};
 use rayon::prelude::*;
@@ -28,7 +28,11 @@ pub struct MicroNasSearch {
 
 impl MicroNasSearch {
     /// Creates a search with the given objective weights.
-    pub fn new(weights: ObjectiveWeights, _config: &crate::MicroNasConfig) -> Self {
+    ///
+    /// Earlier revisions also accepted a `&MicroNasConfig` that was silently
+    /// ignored; proxy configuration belongs to the evaluation context (built
+    /// by `SearchSession::builder()`), never to the strategy.
+    pub fn new(weights: ObjectiveWeights) -> Self {
         let name = if weights.latency > 0.0 {
             "MicroNAS (latency-guided)"
         } else if weights.flops > 0.0 {
@@ -47,8 +51,8 @@ impl MicroNasSearch {
 
     /// The TE-NAS baseline: identical pruning mechanics, but the objective
     /// contains only the two network-analysis terms.
-    pub fn te_nas_baseline(config: &crate::MicroNasConfig) -> Self {
-        let mut s = Self::new(ObjectiveWeights::accuracy_only(), config);
+    pub fn te_nas_baseline() -> Self {
+        let mut s = Self::new(ObjectiveWeights::accuracy_only());
         s.algorithm_name = "TE-NAS (baseline)".to_string();
         s
     }
@@ -76,7 +80,7 @@ impl MicroNasSearch {
     ) -> Result<f64> {
         let cell = supernet.representative_cell(true).with_op(edge, op)?;
         let eval = ctx.evaluate(cell)?;
-        let mut score = self.objective.score(&eval.zero_cost, &eval.hardware);
+        let mut score = self.objective.score(&eval.metrics, &eval.hardware);
         if !eval.feasible {
             let violations = ctx.constraints().violations(&eval.hardware).len() as f64;
             score -= self.infeasibility_penalty * violations;
@@ -84,12 +88,26 @@ impl MicroNasSearch {
         Ok(score)
     }
 
-    /// Runs the search to completion.
+    /// Runs the search to completion without progress reporting
+    /// (equivalent to [`SearchStrategy::search`] with a [`NullObserver`]).
     ///
     /// # Errors
     ///
     /// Propagates proxy-evaluation and search-space errors.
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        self.search(ctx, &NullObserver)
+    }
+}
+
+impl SearchStrategy for MicroNasSearch {
+    fn name(&self) -> &str {
+        &self.algorithm_name
+    }
+
+    fn search(&self, ctx: &SearchContext, observer: &dyn SearchObserver) -> Result<SearchOutcome> {
+        observer.on_event(&SearchEvent::Started {
+            algorithm: self.name(),
+        });
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
         let cache_before = ctx.cache_stats();
@@ -128,6 +146,10 @@ impl MicroNasSearch {
             }
             let (edge, op, score) = weakest.ok_or(MicroNasError::NoFeasibleArchitecture)?;
             supernet.prune(edge, op)?;
+            observer.on_event(&SearchEvent::Step {
+                index: history.len(),
+                score,
+            });
             history.push(score);
         }
 
@@ -142,9 +164,9 @@ impl MicroNasSearch {
             }
         }
         let test_accuracy = ctx.trained_accuracy(&best);
-        Ok(SearchOutcome {
+        let outcome = SearchOutcome {
             best,
-            evaluation,
+            evaluation: (*evaluation).clone(),
             test_accuracy,
             cost: SearchCost {
                 wall_clock_seconds: start.elapsed().as_secs_f64(),
@@ -154,7 +176,9 @@ impl MicroNasSearch {
             },
             algorithm: self.algorithm_name.clone(),
             history,
-        })
+        };
+        observer.on_event(&SearchEvent::Finished { outcome: &outcome });
+        Ok(outcome)
     }
 }
 
@@ -173,8 +197,7 @@ mod tests {
     #[test]
     fn proxy_only_search_collapses_to_a_connected_architecture() {
         let ctx = tiny_context(HardwareConstraints::unconstrained());
-        let config = MicroNasConfig::tiny_test();
-        let search = MicroNasSearch::te_nas_baseline(&config);
+        let search = MicroNasSearch::te_nas_baseline();
         let outcome = search.run(&ctx).unwrap();
         assert!(outcome.best.cell().has_input_output_path());
         assert_eq!(
@@ -194,9 +217,8 @@ mod tests {
     #[test]
     fn latency_guided_search_finds_faster_model_than_proxy_only() {
         let ctx = tiny_context(HardwareConstraints::unconstrained());
-        let config = MicroNasConfig::tiny_test();
-        let te_nas = MicroNasSearch::te_nas_baseline(&config).run(&ctx).unwrap();
-        let latency_guided = MicroNasSearch::new(ObjectiveWeights::latency_guided(4.0), &config)
+        let te_nas = MicroNasSearch::te_nas_baseline().run(&ctx).unwrap();
+        let latency_guided = MicroNasSearch::new(ObjectiveWeights::latency_guided(4.0))
             .run(&ctx)
             .unwrap();
         assert!(
@@ -212,14 +234,13 @@ mod tests {
     fn constrained_search_respects_a_latency_budget() {
         // Pick a budget between the fastest and slowest architectures.
         let unconstrained_ctx = tiny_context(HardwareConstraints::unconstrained());
-        let config = MicroNasConfig::tiny_test();
-        let baseline = MicroNasSearch::te_nas_baseline(&config)
+        let baseline = MicroNasSearch::te_nas_baseline()
             .run(&unconstrained_ctx)
             .unwrap();
         let budget_ms = baseline.evaluation.hardware.latency_ms * 0.6;
 
         let ctx = tiny_context(HardwareConstraints::unconstrained().with_latency_ms(budget_ms));
-        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0));
         let outcome = search.run(&ctx).unwrap();
         assert!(
             outcome.evaluation.hardware.latency_ms <= budget_ms * 1.05,
@@ -235,7 +256,7 @@ mod tests {
         use std::sync::Arc;
 
         let config = MicroNasConfig::tiny_test();
-        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
+        let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0));
 
         let off = search
             .run(&tiny_context(HardwareConstraints::unconstrained()))
@@ -264,11 +285,10 @@ mod tests {
 
     #[test]
     fn search_is_deterministic_for_a_fixed_seed() {
-        let config = MicroNasConfig::tiny_test();
         let ctx1 = tiny_context(HardwareConstraints::unconstrained());
         let ctx2 = tiny_context(HardwareConstraints::unconstrained());
-        let a = MicroNasSearch::te_nas_baseline(&config).run(&ctx1).unwrap();
-        let b = MicroNasSearch::te_nas_baseline(&config).run(&ctx2).unwrap();
+        let a = MicroNasSearch::te_nas_baseline().run(&ctx1).unwrap();
+        let b = MicroNasSearch::te_nas_baseline().run(&ctx2).unwrap();
         assert_eq!(a.best.index(), b.best.index());
     }
 }

@@ -1,6 +1,6 @@
 use crate::{
-    HybridObjective, MicroNasError, ObjectiveWeights, Result, SearchContext, SearchCost,
-    SearchOutcome,
+    HybridObjective, MicroNasError, NullObserver, ObjectiveWeights, Result, SearchContext,
+    SearchCost, SearchEvent, SearchObserver, SearchOutcome, SearchStrategy,
 };
 use micronas_searchspace::{random_architecture, Architecture};
 use micronas_tensor::hash_mix;
@@ -49,7 +49,8 @@ impl RandomSearch {
         self.budget
     }
 
-    /// Runs the search.
+    /// Runs the search without progress reporting (equivalent to
+    /// [`SearchStrategy::search`] with a [`NullObserver`]).
     ///
     /// # Errors
     ///
@@ -57,6 +58,19 @@ impl RandomSearch {
     /// architecture violates the hardware budgets, and propagates proxy
     /// failures.
     pub fn run(&self, ctx: &SearchContext) -> Result<SearchOutcome> {
+        self.search(ctx, &NullObserver)
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &str {
+        ALGORITHM_NAME
+    }
+
+    fn search(&self, ctx: &SearchContext, observer: &dyn SearchObserver) -> Result<SearchOutcome> {
+        observer.on_event(&SearchEvent::Started {
+            algorithm: self.name(),
+        });
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
         let cache_before = ctx.cache_stats();
@@ -72,11 +86,11 @@ impl RandomSearch {
             .collect();
 
         // Score in parallel; results come back in candidate order.
-        let scored: Vec<Result<(crate::CandidateEvaluation, f64)>> = candidates
+        let scored: Vec<Result<(std::sync::Arc<crate::CandidateEvaluation>, f64)>> = candidates
             .par_iter()
             .map(|arch| {
                 let eval = ctx.evaluate(*arch.cell())?;
-                let score = self.objective.score(&eval.zero_cost, &eval.hardware);
+                let score = self.objective.score(&eval.metrics, &eval.hardware);
                 Ok((eval, score))
             })
             .collect();
@@ -87,6 +101,10 @@ impl RandomSearch {
         let mut history = Vec::with_capacity(self.budget);
         for (arch, result) in candidates.iter().zip(scored) {
             let (eval, score) = result?;
+            observer.on_event(&SearchEvent::Step {
+                index: history.len(),
+                score,
+            });
             history.push(score);
             if !eval.feasible {
                 continue;
@@ -95,10 +113,10 @@ impl RandomSearch {
             if is_better {
                 let outcome = SearchOutcome {
                     best: *arch,
-                    evaluation: eval,
+                    evaluation: (*eval).clone(),
                     test_accuracy: ctx.trained_accuracy(arch),
                     cost: SearchCost::default(),
-                    algorithm: "Random search (zero-cost objective)".to_string(),
+                    algorithm: ALGORITHM_NAME.to_string(),
                     history: Vec::new(),
                 };
                 best = Some((score, outcome));
@@ -113,12 +131,16 @@ impl RandomSearch {
             cache: ctx.cache_stats().since(&cache_before),
         };
         outcome.history = history;
+        observer.on_event(&SearchEvent::Finished { outcome: &outcome });
         Ok(outcome)
     }
 }
 
 /// Seed-stream tag for the random-search RNG.
 const RANDOM_STREAM: u64 = 0x52_41_4E_44;
+
+/// Report name of the random-search baseline.
+const ALGORITHM_NAME: &str = "Random search (zero-cost objective)";
 
 #[cfg(test)]
 mod tests {

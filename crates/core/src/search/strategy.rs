@@ -1,0 +1,138 @@
+//! The [`SearchStrategy`] trait and the progress-observation surface.
+//!
+//! The three shipped algorithms — pruning ([`crate::MicroNasSearch`]),
+//! random ([`crate::RandomSearch`]) and evolutionary
+//! ([`crate::EvolutionarySearch`]) — used to expose three unrelated `run()`
+//! signatures. [`SearchStrategy`] unifies them behind one object-safe
+//! surface so drivers (the [`crate::SearchSession`] builder, the
+//! experiment harness, conformance tests) can treat any search — including
+//! external ones — as `&dyn SearchStrategy`.
+//!
+//! Progress is reported through a [`SearchObserver`]: strategies emit one
+//! [`SearchEvent::Started`], one deterministic [`SearchEvent::Step`] per
+//! decision step (the same entries that end up in
+//! [`crate::SearchOutcome::history`], in the same order, regardless of
+//! thread count) and one [`SearchEvent::Finished`]. Observers run on the
+//! caller's thread during the *sequential* reduction phase of each step, so
+//! they never perturb the parallel scoring and need no internal ordering.
+
+use crate::{Result, SearchContext, SearchOutcome};
+
+/// One progress event of a running search.
+#[derive(Debug)]
+pub enum SearchEvent<'a> {
+    /// The search started. Emitted exactly once, before any evaluation.
+    Started {
+        /// Human-readable algorithm name ([`SearchStrategy::name`]).
+        algorithm: &'a str,
+    },
+    /// One decision step completed. `score` is the step's history entry
+    /// (objective score of the step's decision; best-so-far fitness for the
+    /// evolutionary baseline) — events replay
+    /// [`crate::SearchOutcome::history`] live, in order.
+    Step {
+        /// Zero-based step index.
+        index: usize,
+        /// The step's history entry.
+        score: f64,
+    },
+    /// The search finished. Emitted exactly once, with the final outcome.
+    Finished {
+        /// The completed outcome (also returned by the strategy).
+        outcome: &'a SearchOutcome,
+    },
+}
+
+/// A progress-event sink for searches.
+///
+/// Implementations must be cheap and must not panic: strategies call them
+/// inline from their sequential reduction loops. Events arrive in a
+/// deterministic order that does not depend on the rayon thread count.
+pub trait SearchObserver: Send + Sync {
+    /// Receives one progress event.
+    fn on_event(&self, event: &SearchEvent<'_>);
+}
+
+/// The do-nothing observer used when no observer is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SearchObserver for NullObserver {
+    fn on_event(&self, _event: &SearchEvent<'_>) {}
+}
+
+/// An architecture-search algorithm, pluggable into a
+/// [`crate::SearchSession`].
+///
+/// Implementations hold their *algorithm* parameters (objective weights,
+/// budgets, population shape) and receive everything about the *evaluation
+/// environment* — dataset, proxies, store, hardware budgets — through the
+/// [`SearchContext`] at run time, so one configured strategy can run against
+/// any number of sessions.
+///
+/// The contract every implementation must keep:
+///
+/// * **Determinism** — for a fixed context seed the outcome (including
+///   [`crate::SearchOutcome::history`]) is bitwise identical on every run,
+///   for every rayon thread count, and for every store mode (off, cold or
+///   pre-warmed).
+/// * **Events** — exactly one [`SearchEvent::Started`], then one
+///   [`SearchEvent::Step`] per history entry in order, then exactly one
+///   [`SearchEvent::Finished`].
+pub trait SearchStrategy: Send + Sync {
+    /// Human-readable algorithm name (also used in
+    /// [`crate::SearchOutcome::algorithm`] and reports).
+    fn name(&self) -> &str;
+
+    /// Runs the search against `ctx`, reporting progress to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures; returns
+    /// [`crate::MicroNasError::NoFeasibleArchitecture`] when the hardware
+    /// budgets cannot be met.
+    fn search(&self, ctx: &SearchContext, observer: &dyn SearchObserver) -> Result<SearchOutcome>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records every event for assertion.
+    #[derive(Default)]
+    pub struct RecordingObserver {
+        pub started: Mutex<Vec<String>>,
+        pub steps: Mutex<Vec<(usize, f64)>>,
+        pub finished: Mutex<usize>,
+    }
+
+    impl SearchObserver for RecordingObserver {
+        fn on_event(&self, event: &SearchEvent<'_>) {
+            match event {
+                SearchEvent::Started { algorithm } => {
+                    self.started.lock().push((*algorithm).to_string());
+                }
+                SearchEvent::Step { index, score } => {
+                    self.steps.lock().push((*index, *score));
+                }
+                SearchEvent::Finished { .. } => *self.finished.lock() += 1,
+            }
+        }
+    }
+
+    /// Asserts the full event contract of one completed search.
+    pub fn assert_event_contract(observer: &RecordingObserver, outcome: &SearchOutcome) {
+        assert_eq!(
+            observer.started.lock().as_slice(),
+            std::slice::from_ref(&outcome.algorithm)
+        );
+        assert_eq!(*observer.finished.lock(), 1);
+        let steps = observer.steps.lock();
+        assert_eq!(steps.len(), outcome.history.len());
+        for (i, ((index, score), expected)) in steps.iter().zip(&outcome.history).enumerate() {
+            assert_eq!(*index, i, "step indices are dense and ordered");
+            assert_eq!(score.to_bits(), expected.to_bits(), "step {i} score");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The [`SearchSession`] builder: one entry point for configuring and
+//! running searches.
+//!
+//! A session bundles everything a search needs — dataset, proxy
+//! configuration, pluggable [`Proxy`] plugins, objective weights, an
+//! optional shared [`EvalStore`] and an optional progress
+//! [`SearchObserver`] — behind one builder, so every strategy runs through
+//! the same evaluation surface:
+//!
+//! ```no_run
+//! use micronas::{MicroNasConfig, ObjectiveWeights, SearchSession};
+//! use micronas_datasets::DatasetKind;
+//!
+//! # fn main() -> Result<(), micronas::MicroNasError> {
+//! let session = SearchSession::builder()
+//!     .dataset(DatasetKind::Cifar10)
+//!     .config(MicroNasConfig::fast())
+//!     .objective(ObjectiveWeights::latency_guided(2.0))
+//!     .build()?;
+//! let outcome = session.run_micronas()?;
+//! println!("discovered {}", outcome.best);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    MicroNasConfig, MicroNasSearch, NullObserver, ObjectiveWeights, Result, SearchContext,
+    SearchObserver, SearchOutcome, SearchStrategy,
+};
+use micronas_datasets::DatasetKind;
+use micronas_proxies::Proxy;
+use micronas_store::EvalStore;
+use std::sync::Arc;
+
+/// A fully configured search environment: an evaluation context plus the
+/// session-level objective weights and progress observer.
+///
+/// Build one with [`SearchSession::builder`], then [`SearchSession::run`]
+/// any number of [`SearchStrategy`] values against it — they share the
+/// session's caches (and store), so overlapping candidate sets are
+/// evaluated once.
+pub struct SearchSession {
+    context: SearchContext,
+    weights: ObjectiveWeights,
+    observer: Arc<dyn SearchObserver>,
+}
+
+impl SearchSession {
+    /// Starts building a session. Defaults: CIFAR-10, the paper-default
+    /// configuration, the proxy-only objective, no plugins, no store, no
+    /// observer.
+    pub fn builder() -> SearchSessionBuilder {
+        SearchSessionBuilder::default()
+    }
+
+    /// The evaluation context strategies run against.
+    pub fn context(&self) -> &SearchContext {
+        &self.context
+    }
+
+    /// The session's objective weights (used by
+    /// [`SearchSession::run_micronas`]; strategies constructed explicitly
+    /// carry their own).
+    pub fn weights(&self) -> &ObjectiveWeights {
+        &self.weights
+    }
+
+    /// Runs `strategy` against this session's context, reporting progress
+    /// to the session observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the strategy's failures.
+    pub fn run(&self, strategy: &dyn SearchStrategy) -> Result<SearchOutcome> {
+        strategy.search(&self.context, self.observer.as_ref())
+    }
+
+    /// Runs the MicroNAS pruning search with the session's objective
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search failures.
+    pub fn run_micronas(&self) -> Result<SearchOutcome> {
+        self.run(&MicroNasSearch::new(self.weights.clone()))
+    }
+}
+
+impl std::fmt::Debug for SearchSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchSession")
+            .field("context", &self.context)
+            .field("weights", &self.weights)
+            .finish()
+    }
+}
+
+/// Builder for a [`SearchSession`]; see [`SearchSession::builder`].
+#[derive(Default)]
+pub struct SearchSessionBuilder {
+    dataset: Option<DatasetKind>,
+    config: Option<MicroNasConfig>,
+    weights: Option<ObjectiveWeights>,
+    proxies: Vec<Arc<dyn Proxy>>,
+    store: Option<Arc<EvalStore>>,
+    observer: Option<Arc<dyn SearchObserver>>,
+}
+
+impl SearchSessionBuilder {
+    /// Sets the dataset the search targets (default: CIFAR-10).
+    #[must_use]
+    pub fn dataset(mut self, dataset: DatasetKind) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Sets the proxy/hardware configuration (default:
+    /// [`MicroNasConfig::paper_default`]).
+    #[must_use]
+    pub fn config(mut self, config: MicroNasConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the session objective weights (default:
+    /// [`ObjectiveWeights::accuracy_only`]). Weights may reference any
+    /// metric id, including ids published by registered plugins.
+    #[must_use]
+    pub fn objective(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Registers one pluggable proxy. Its score joins every candidate's
+    /// [`micronas_proxies::MetricSet`] under the proxy's id.
+    #[must_use]
+    pub fn proxy(mut self, proxy: Arc<dyn Proxy>) -> Self {
+        self.proxies.push(proxy);
+        self
+    }
+
+    /// Registers several pluggable proxies (appending, in order).
+    #[must_use]
+    pub fn proxies(mut self, proxies: impl IntoIterator<Item = Arc<dyn Proxy>>) -> Self {
+        self.proxies.extend(proxies);
+        self
+    }
+
+    /// Attaches a shared evaluation store. Must have been created for the
+    /// session configuration's namespace
+    /// ([`MicroNasConfig::store_namespace`]).
+    #[must_use]
+    pub fn store(mut self, store: Arc<EvalStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a progress observer that receives every
+    /// [`crate::SearchEvent`] of searches run through the session.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn SearchObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MicroNasError::InvalidConfig`] if the configuration
+    /// is invalid, a proxy id collides, or the store namespace does not
+    /// match the configuration.
+    pub fn build(self) -> Result<SearchSession> {
+        let dataset = self.dataset.unwrap_or(DatasetKind::Cifar10);
+        let config = self.config.unwrap_or_default();
+        let context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
+        Ok(SearchSession {
+            context,
+            weights: self.weights.unwrap_or_default(),
+            observer: self
+                .observer
+                .unwrap_or_else(|| Arc::new(NullObserver) as Arc<dyn SearchObserver>),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::strategy::test_support::{assert_event_contract, RecordingObserver};
+    use crate::{EvolutionaryConfig, EvolutionarySearch, RandomSearch};
+    use micronas_proxies::{metric_ids, SynFlowConfig, SynFlowProxy};
+
+    fn tiny_builder() -> SearchSessionBuilder {
+        SearchSession::builder().config(MicroNasConfig::tiny_test())
+    }
+
+    #[test]
+    fn defaults_are_filled_in() {
+        let session = tiny_builder().build().unwrap();
+        assert_eq!(session.context().dataset(), DatasetKind::Cifar10);
+        assert_eq!(session.weights(), &ObjectiveWeights::accuracy_only());
+        assert!(format!("{session:?}").contains("SearchSession"));
+    }
+
+    #[test]
+    fn session_runs_match_direct_strategy_runs_bitwise() {
+        let config = MicroNasConfig::tiny_test();
+        let session = SearchSession::builder()
+            .dataset(DatasetKind::Cifar10)
+            .config(config.clone())
+            .objective(ObjectiveWeights::latency_guided(2.0))
+            .build()
+            .unwrap();
+        let via_session = session.run_micronas().unwrap();
+
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let direct = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0))
+            .run(&ctx)
+            .unwrap();
+        assert_eq!(via_session.best.index(), direct.best.index());
+        assert_eq!(via_session.history, direct.history);
+        assert_eq!(via_session.evaluation, direct.evaluation);
+    }
+
+    #[test]
+    fn observer_receives_the_full_event_contract_for_every_strategy() {
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(MicroNasSearch::te_nas_baseline()),
+            Box::new(RandomSearch::new(ObjectiveWeights::accuracy_only(), 5).unwrap()),
+            Box::new(EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap()),
+        ];
+        for strategy in &strategies {
+            let observer = Arc::new(RecordingObserver::default());
+            let session = tiny_builder().observer(observer.clone()).build().unwrap();
+            let outcome = session.run(strategy.as_ref()).unwrap();
+            assert_eq!(outcome.algorithm, strategy.name());
+            assert_event_contract(&observer, &outcome);
+        }
+    }
+
+    #[test]
+    fn plugin_weighted_objective_changes_the_session_search() {
+        // A session with a SynFlow plugin and a weight on its metric id must
+        // run end-to-end; weighting an unpublished id must change nothing.
+        let with_plugin = tiny_builder()
+            .proxy(Arc::new(SynFlowProxy::new(SynFlowConfig::fast())))
+            .objective(ObjectiveWeights::accuracy_only().with_metric(metric_ids::SYNFLOW, 0.5))
+            .build()
+            .unwrap();
+        let outcome = with_plugin.run_micronas().unwrap();
+        assert!(outcome
+            .evaluation
+            .metrics
+            .get(metric_ids::SYNFLOW)
+            .is_some());
+
+        let baseline = tiny_builder().build().unwrap().run_micronas().unwrap();
+        let weight_without_plugin = tiny_builder()
+            .objective(ObjectiveWeights::accuracy_only().with_metric(metric_ids::SYNFLOW, 0.5))
+            .build()
+            .unwrap()
+            .run_micronas()
+            .unwrap();
+        assert_eq!(
+            baseline.history, weight_without_plugin.history,
+            "weighting a metric no proxy publishes must be a no-op"
+        );
+    }
+
+    #[test]
+    fn ported_built_in_proxies_are_registrable_as_plugins() {
+        use micronas_proxies::{LinearRegionConfig, LinearRegionProxy, NtkConfig, NtkProxy};
+
+        // A second, differently-configured probe of each built-in family
+        // rides along as a plugin — their ids ("ntk",
+        // "linear_region_score") must not collide with the built-in metric
+        // ids the session always publishes.
+        let session = tiny_builder()
+            .proxy(Arc::new(NtkProxy::new(NtkConfig::fast())))
+            .proxy(Arc::new(LinearRegionProxy::new(LinearRegionConfig::fast())))
+            .build()
+            .unwrap();
+        let cell = session.context().space().cell(42).unwrap();
+        let eval = session.context().evaluate(cell).unwrap();
+        assert!(eval.metrics.contains("ntk"));
+        assert!(eval.metrics.contains("linear_region_score"));
+        // The built-in entries are still present and untouched alongside.
+        assert!(eval.metrics.contains(metric_ids::LINEAR_REGIONS));
+        assert!(eval.metrics.contains(metric_ids::NTK_CONDITION));
+    }
+
+    #[test]
+    fn mismatched_store_namespace_is_rejected_at_build_time() {
+        let store = Arc::new(EvalStore::in_memory(1234));
+        assert!(tiny_builder().store(store).build().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Strategy-trait conformance: one shared suite run over every shipped
+//! [`SearchStrategy`] through the `dyn`-object surface.
+//!
+//! Every strategy must keep the trait contract the redesign rests on:
+//!
+//! * **Thread determinism** — a bitwise-identical outcome (including the
+//!   score history) on a 1-thread and an N-thread rayon pool;
+//! * **Store transparency** — bitwise-identical outcomes with the
+//!   evaluation store disabled, cold and pre-warmed (and a warm store
+//!   serving the proxy-driven searches without a single recomputation);
+//! * **Observer contract** — one `Started`, one `Step` per history entry
+//!   in order, one `Finished`.
+
+use micronas::{
+    EvolutionaryConfig, EvolutionarySearch, MicroNasConfig, MicroNasSearch, ObjectiveWeights,
+    RandomSearch, SearchEvent, SearchObserver, SearchOutcome, SearchSession, SearchStrategy,
+};
+use micronas_datasets::DatasetKind;
+use micronas_store::EvalStore;
+use parking_lot::Mutex;
+use rayon::ThreadPoolBuilder;
+use std::sync::Arc;
+
+/// Every shipped strategy, as trait objects.
+fn all_strategies() -> Vec<Box<dyn SearchStrategy>> {
+    vec![
+        Box::new(MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0))),
+        Box::new(RandomSearch::new(ObjectiveWeights::accuracy_only(), 8).unwrap()),
+        Box::new(EvolutionarySearch::new(EvolutionaryConfig::fast_test()).unwrap()),
+    ]
+}
+
+fn session(store: Option<Arc<EvalStore>>) -> SearchSession {
+    let mut builder = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(MicroNasConfig::tiny_test());
+    if let Some(store) = store {
+        builder = builder.store(store);
+    }
+    builder.build().unwrap()
+}
+
+fn assert_outcomes_identical(label: &str, a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.best.index(), b.best.index(), "{label}: best");
+    assert_eq!(a.evaluation, b.evaluation, "{label}: evaluation");
+    assert_eq!(a.test_accuracy, b.test_accuracy, "{label}: accuracy");
+    assert_eq!(a.cost.evaluations, b.cost.evaluations, "{label}: evals");
+    // The decisive check: bitwise-equal score trajectories.
+    assert_eq!(a.history, b.history, "{label}: history");
+}
+
+#[test]
+fn every_strategy_is_deterministic_across_thread_counts() {
+    for strategy in all_strategies() {
+        let run_with = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| session(None).run(strategy.as_ref()).unwrap())
+        };
+        let single = run_with(1);
+        for threads in [3, 7] {
+            let multi = run_with(threads);
+            assert_outcomes_identical(
+                &format!("{} @ {threads} threads", strategy.name()),
+                &single,
+                &multi,
+            );
+        }
+    }
+}
+
+#[test]
+fn every_strategy_is_bitwise_identical_across_store_modes() {
+    let config = MicroNasConfig::tiny_test();
+    for strategy in all_strategies() {
+        let off = session(None).run(strategy.as_ref()).unwrap();
+
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let cold = session(Some(store.clone())).run(strategy.as_ref()).unwrap();
+        let warm = session(Some(store)).run(strategy.as_ref()).unwrap();
+
+        assert_outcomes_identical(&format!("{} off/cold", strategy.name()), &off, &cold);
+        assert_outcomes_identical(&format!("{} off/warm", strategy.name()), &off, &warm);
+        assert_eq!(
+            warm.cost.cache.misses,
+            0,
+            "{}: a pre-warmed store must serve the whole search",
+            strategy.name()
+        );
+    }
+}
+
+/// Counts events and records the step trajectory.
+#[derive(Default)]
+struct Recorder {
+    started: Mutex<Vec<String>>,
+    steps: Mutex<Vec<(usize, f64)>>,
+    finished: Mutex<usize>,
+}
+
+impl SearchObserver for Recorder {
+    fn on_event(&self, event: &SearchEvent<'_>) {
+        match event {
+            SearchEvent::Started { algorithm } => {
+                self.started.lock().push((*algorithm).to_string());
+            }
+            SearchEvent::Step { index, score } => self.steps.lock().push((*index, *score)),
+            SearchEvent::Finished { .. } => *self.finished.lock() += 1,
+        }
+    }
+}
+
+#[test]
+fn every_strategy_honours_the_observer_contract() {
+    for strategy in all_strategies() {
+        let recorder = Arc::new(Recorder::default());
+        let outcome = SearchSession::builder()
+            .dataset(DatasetKind::Cifar10)
+            .config(MicroNasConfig::tiny_test())
+            .observer(recorder.clone())
+            .build()
+            .unwrap()
+            .run(strategy.as_ref())
+            .unwrap();
+
+        assert_eq!(
+            *recorder.started.lock(),
+            vec![outcome.algorithm.clone()],
+            "exactly one Started event carrying the algorithm name"
+        );
+        assert_eq!(*recorder.finished.lock(), 1, "exactly one Finished event");
+        let steps = recorder.steps.lock();
+        assert_eq!(
+            steps.len(),
+            outcome.history.len(),
+            "{}: one Step per history entry",
+            strategy.name()
+        );
+        for (i, ((index, score), expected)) in steps.iter().zip(&outcome.history).enumerate() {
+            assert_eq!(*index, i, "{}: dense ordered indices", strategy.name());
+            assert_eq!(
+                score.to_bits(),
+                expected.to_bits(),
+                "{}: step {i} replays the history entry",
+                strategy.name()
+            );
+        }
+    }
+}

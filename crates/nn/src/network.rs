@@ -147,6 +147,24 @@ impl CellNetwork {
         n + self.classifier.num_parameters()
     }
 
+    /// Every trainable parameter flattened into one vector, in the same
+    /// canonical order the gradient paths use (stem, cells in order with
+    /// conv edges in edge order, classifier) — so
+    /// `flattened_parameters()[i]` pairs with `parameter_gradients()[i]`.
+    /// Saliency-style proxies (e.g. SynFlow) consume this pairing.
+    pub fn flattened_parameters(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(self.num_parameters());
+        flat.extend_from_slice(self.stem.weight().data());
+        for cell in &self.cells {
+            for conv in cell.edge_convs.iter().flatten() {
+                flat.extend_from_slice(conv.weight().data());
+            }
+        }
+        flat.extend_from_slice(self.classifier.weight().data());
+        debug_assert_eq!(flat.len(), self.num_parameters());
+        flat
+    }
+
     fn check_input(&self, input: &Tensor) -> Result<()> {
         let d = input.shape().dims();
         let r = self.config.input_resolution;

@@ -1,0 +1,235 @@
+//! Jacobian-covariance proxy (gradient-diversity indicator).
+
+use crate::proxy::{fingerprint_domain, fingerprint_network, Proxy};
+use crate::{ProxyError, Result};
+use micronas_datasets::{DatasetKind, SyntheticDataset};
+use micronas_nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_searchspace::CellTopology;
+use micronas_tensor::{gram_nt_f64, sym_eigenvalues_with, EigenOptions, Shape, Tensor, Workspace};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Jacobian-covariance proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JacobianCovarianceConfig {
+    /// Mini-batch size whose per-sample Jacobians are correlated.
+    pub batch_size: usize,
+    /// Geometry of the randomly initialised probe network.
+    pub network: ProxyNetworkConfig,
+}
+
+impl JacobianCovarianceConfig {
+    /// Paper-scale probe geometry at the adopted batch size.
+    pub fn paper_default() -> Self {
+        Self {
+            batch_size: 32,
+            network: ProxyNetworkConfig::proxy_default(10),
+        }
+    }
+
+    /// A fast configuration for unit tests and quick searches.
+    pub fn fast() -> Self {
+        Self {
+            batch_size: 8,
+            network: ProxyNetworkConfig::small(10),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_size < 2 {
+            return Err(ProxyError::InvalidConfig(
+                "Jacobian-covariance batch size must be at least 2".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for JacobianCovarianceConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Numerical floor added to every eigenvalue (the `k` of Mellor et al.'s
+/// scoring rule).
+const EIGEN_FLOOR: f64 = 1e-5;
+
+/// Jacobian-covariance score (after Mellor et al., 2021): how *diverse* the
+/// per-sample tangent features of a batch are at random initialisation.
+///
+/// The proxy draws a mini-batch, computes the per-sample parameter
+/// Jacobian rows `g_i = ∇θ f(x_i)` (the same batched `[n, P]` sweep the NTK
+/// proxy uses), **centres** them (`ĝ_i = g_i − mean(g)`; without batch
+/// normalisation the raw gradients share a dominant common component that
+/// would drown the diversity signal — the same correction the NTK evaluator
+/// applies), forms their correlation matrix
+/// `C[i][j] = ĝ_i · ĝ_j / (‖ĝ_i‖ ‖ĝ_j‖)` and scores the spectrum with the
+/// structural zero mode of the centring removed:
+///
+/// `S = -(1/(n-1)) Σ_i [ ln(λ_i + k) + 1/(λ_i + k) ]`
+///
+/// A well-behaved network maps different samples to near-orthogonal
+/// tangent directions (`C ≈ I`, informative eigenvalues near 1, score near
+/// its maximum of `-1`); a degenerate one collapses every sample onto one
+/// direction (one large eigenvalue, the rest 0, score plummeting through
+/// the `1/λ` barrier). Larger is better. Zero-gradient (disconnected)
+/// cells score the spectrum of the zero matrix — the worst finite value —
+/// rather than erroring.
+#[derive(Debug, Clone)]
+pub struct JacobianCovarianceProxy {
+    config: JacobianCovarianceConfig,
+}
+
+impl JacobianCovarianceProxy {
+    /// Creates the proxy with the given configuration.
+    pub fn new(config: JacobianCovarianceConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JacobianCovarianceConfig {
+        &self.config
+    }
+}
+
+impl Proxy for JacobianCovarianceProxy {
+    fn id(&self) -> &str {
+        "jacob_cov"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = fingerprint_domain("micronas/proxy/jacob_cov");
+        h = micronas_tensor::hash_mix(h, self.config.batch_size as u64);
+        fingerprint_network(h, &self.config.network)
+    }
+
+    fn evaluate_with(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+        workspace: &mut Workspace,
+    ) -> Result<f64> {
+        self.config.validate()?;
+        let mut net_config = self.config.network;
+        net_config.num_classes = dataset.num_classes().min(16);
+        let n = self.config.batch_size;
+
+        let data = SyntheticDataset::new(dataset, seed);
+        let batch = data.sample_batch_with_stream(n, net_config.input_resolution, 0)?;
+        let net = CellNetwork::new(&cell, &net_config, seed)?;
+
+        // Raw Gram of the per-sample Jacobian rows.
+        let j = net.per_sample_gradient_matrix_with(&batch.images, workspace)?;
+        let mut raw = vec![0.0f64; n * n];
+        gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
+        workspace.recycle(j.into_values());
+
+        // Centring the rows is double-centring the Gram (Ĝ = H G H with
+        // H = I − 11ᵀ/n), avoiding a second [n, P] materialisation.
+        let inv_n = 1.0 / n as f64;
+        let row_means: Vec<f64> = (0..n)
+            .map(|i| raw[i * n..(i + 1) * n].iter().sum::<f64>() * inv_n)
+            .collect();
+        let total_mean = row_means.iter().sum::<f64>() * inv_n;
+        let centred =
+            |i: usize, k: usize| raw[i * n + k] - row_means[i] - row_means[k] + total_mean;
+        let norms: Vec<f64> = (0..n).map(|i| centred(i, i).max(0.0).sqrt()).collect();
+        let mut corr = Tensor::zeros(Shape::d2(n, n));
+        for i in 0..n {
+            for k in i..n {
+                let scale = norms[i] * norms[k];
+                let value = if scale > 0.0 {
+                    (centred(i, k) / scale) as f32
+                } else {
+                    0.0
+                };
+                *corr.at2_mut(i, k) = value;
+                *corr.at2_mut(k, i) = value;
+            }
+        }
+
+        let mut scratch = Vec::new();
+        let report = sym_eigenvalues_with(&corr, EigenOptions::default(), &mut scratch)
+            .map_err(|e| ProxyError::Eigen(e.to_string()))?;
+        // Eigenvalues are ascending; drop the structural zero mode the
+        // centring pins (the all-ones direction) and score the rest.
+        let mut score = 0.0f64;
+        for &lambda in report.eigenvalues.iter().skip(1) {
+            let l = lambda.max(0.0) + EIGEN_FLOOR;
+            score -= l.ln() + 1.0 / l;
+        }
+        Ok(score / (n - 1) as f64)
+    }
+}
+
+impl Default for JacobianCovarianceProxy {
+    fn default() -> Self {
+        Self::new(JacobianCovarianceConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_searchspace::{Operation, SearchSpace};
+
+    fn fast() -> JacobianCovarianceProxy {
+        JacobianCovarianceProxy::new(JacobianCovarianceConfig::fast())
+    }
+
+    #[test]
+    fn degenerate_batch_sizes_are_rejected() {
+        let mut cfg = JacobianCovarianceConfig::fast();
+        cfg.batch_size = 1;
+        let space = SearchSpace::nas_bench_201();
+        assert!(JacobianCovarianceProxy::new(cfg)
+            .evaluate(space.cell(0).unwrap(), DatasetKind::Cifar10, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(11_111).unwrap();
+        let a = fast().evaluate(cell, DatasetKind::Cifar10, 4).unwrap();
+        let b = fast().evaluate(cell, DatasetKind::Cifar10, 4).unwrap();
+        assert_eq!(a, b);
+        let c = fast().evaluate(cell, DatasetKind::Cifar10, 5).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diverse_conv_cell_beats_collapsed_and_disconnected_cells() {
+        let conv = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::NorConv1x1,
+            Operation::NorConv3x3,
+        ]);
+        let pool = CellTopology::new([Operation::AvgPool3x3; 6]);
+        let disconnected = CellTopology::new([Operation::None; 6]);
+        let proxy = fast();
+        let c = proxy.evaluate(conv, DatasetKind::Cifar10, 7).unwrap();
+        let p = proxy.evaluate(pool, DatasetKind::Cifar10, 7).unwrap();
+        let d = proxy
+            .evaluate(disconnected, DatasetKind::Cifar10, 7)
+            .unwrap();
+        assert!(c > p, "conv {c} must beat pool {p}");
+        assert!(p > d, "pool {p} must beat disconnected {d}");
+        // The theoretical maximum of the score is -(ln(1+k) + 1/(1+k)) ≈ -1.
+        assert!(c <= -0.9 && c.is_finite());
+    }
+
+    #[test]
+    fn fingerprint_tracks_batch_size() {
+        let a = fast();
+        let mut cfg = JacobianCovarianceConfig::fast();
+        cfg.batch_size = 16;
+        let b = JacobianCovarianceProxy::new(cfg);
+        assert_ne!(a.config_fingerprint(), b.config_fingerprint());
+        assert_eq!(a.id(), "jacob_cov");
+    }
+}

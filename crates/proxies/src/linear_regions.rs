@@ -123,6 +123,27 @@ impl LinearRegionEvaluator {
         dataset: DatasetKind,
         seed: u64,
     ) -> Result<LinearRegionReport> {
+        // The shared per-thread scratch arena serves every probe segment and
+        // stays hot across candidates.
+        crate::scratch::with_thread_workspace(|workspace| {
+            self.evaluate_in(cell, dataset, seed, workspace)
+        })
+    }
+
+    /// [`LinearRegionEvaluator::evaluate`] threading an explicit scratch
+    /// arena (identical values; this is the [`crate::Proxy`] entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the configuration is invalid or any
+    /// underlying step fails.
+    pub fn evaluate_in(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+        workspace: &mut micronas_tensor::Workspace,
+    ) -> Result<LinearRegionReport> {
         self.config.validate()?;
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
@@ -133,38 +154,33 @@ impl LinearRegionEvaluator {
         let mut all_patterns: HashSet<Vec<bool>> = HashSet::new();
         let mut relu_units = 0usize;
 
-        // The shared per-thread scratch arena serves every probe segment and
-        // stays hot across candidates.
-        crate::scratch::with_thread_workspace(|workspace| -> Result<()> {
-            for segment in 0..self.config.num_segments {
-                // Two endpoint batches of one sample each.
-                let endpoints =
-                    data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
-                let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
-                let output = net.forward_with(&points, workspace)?;
-                let patterns =
-                    activation_patterns(&output.pre_activations, self.config.points_per_segment);
-                relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
+        for segment in 0..self.config.num_segments {
+            // Two endpoint batches of one sample each.
+            let endpoints =
+                data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
+            let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
+            let output = net.forward_with(&points, workspace)?;
+            let patterns =
+                activation_patterns(&output.pre_activations, self.config.points_per_segment);
+            relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
 
-                // Count pieces along the segment: 1 + number of ReLU
-                // hyperplane crossings (Hamming distance between consecutive
-                // patterns).
-                let mut segment_regions = 1usize;
-                for w in patterns.windows(2) {
-                    segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
-                }
-                // A network with no ReLU units has a single global linear
-                // region.
-                if relu_units == 0 {
-                    segment_regions = 1;
-                }
-                total_regions += segment_regions;
-                for p in patterns {
-                    all_patterns.insert(p);
-                }
+            // Count pieces along the segment: 1 + number of ReLU
+            // hyperplane crossings (Hamming distance between consecutive
+            // patterns).
+            let mut segment_regions = 1usize;
+            for w in patterns.windows(2) {
+                segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
             }
-            Ok(())
-        })?;
+            // A network with no ReLU units has a single global linear
+            // region.
+            if relu_units == 0 {
+                segment_regions = 1;
+            }
+            total_regions += segment_regions;
+            for p in patterns {
+                all_patterns.insert(p);
+            }
+        }
 
         let regions_per_segment = total_regions as f64 / self.config.num_segments as f64;
         Ok(LinearRegionReport {

@@ -1,0 +1,207 @@
+//! The [`MetricSet`]: an ordered `metric id → value` map.
+//!
+//! Search objectives used to consume a hardcoded struct with exactly two
+//! proxy scores. A [`MetricSet`] generalises that surface: every proxy
+//! ([`crate::Proxy`]) contributes one named scalar, objectives weight
+//! metrics *by id*, and adding a proxy to a pipeline never changes a type
+//! signature. Entries keep their insertion order, so iterating a set — and
+//! anything derived from that iteration order, like an objective sum — is
+//! deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Well-known metric ids produced by the built-in proxies.
+///
+/// Custom proxies may use any id that does not collide with these; ids are
+/// part of a proxy's stable identity (see [`crate::Proxy::id`]) and should
+/// never change once results are persisted.
+pub mod metric_ids {
+    /// Trainability score: negated log NTK condition number (larger is
+    /// better). Produced by the NTK proxy.
+    pub const TRAINABILITY: &str = "trainability";
+    /// Expressivity score: log linear-region count (larger is better).
+    /// Produced by the linear-region proxy.
+    pub const EXPRESSIVITY: &str = "expressivity";
+    /// Raw NTK condition number (smaller is better; reported alongside
+    /// [`TRAINABILITY`] for analysis).
+    pub const NTK_CONDITION: &str = "ntk_condition";
+    /// Raw linear-region count (larger is better; reported alongside
+    /// [`EXPRESSIVITY`] for analysis).
+    pub const LINEAR_REGIONS: &str = "linear_regions";
+    /// SynFlow-style parameter-saliency score (larger is better).
+    pub const SYNFLOW: &str = "synflow";
+    /// Jacobian-covariance score (larger is better).
+    pub const JACOBIAN_COVARIANCE: &str = "jacob_cov";
+
+    /// The metric ids every candidate's [`crate::MetricSet`] always carries
+    /// (published by the built-in zero-cost indicators, in publication
+    /// order). Pluggable-proxy ids must not collide with these — the single
+    /// source of truth for that validation; extend it whenever
+    /// `ZeroCostMetrics::metric_set` gains an entry.
+    pub const BUILT_IN: [&str; 4] = [NTK_CONDITION, LINEAR_REGIONS, TRAINABILITY, EXPRESSIVITY];
+}
+
+/// An ordered collection of named metric values.
+///
+/// Semantically a map from metric id to `f64`, but backed by an insertion
+/// ordered vector: iteration order is the order metrics were inserted,
+/// which makes downstream reductions (objective sums, report layouts)
+/// deterministic and reproducible.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    entries: Vec<(String, f64)>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts (or replaces, keeping the original position) a metric value.
+    pub fn insert(&mut self, id: impl Into<String>, value: f64) {
+        let id = id.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == id) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((id, value)),
+        }
+    }
+
+    /// Builder-style [`MetricSet::insert`].
+    #[must_use]
+    pub fn with(mut self, id: impl Into<String>, value: f64) -> Self {
+        self.insert(id, value);
+        self
+    }
+
+    /// The value of a metric, if present.
+    pub fn get(&self, id: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == id).map(|&(_, v)| v)
+    }
+
+    /// Typed accessor for integer-valued metrics (counts). Returns `None`
+    /// for missing metrics and for values that are not non-negative whole
+    /// numbers.
+    pub fn count(&self, id: &str) -> Option<usize> {
+        let v = self.get(id)?;
+        // Strict `<`: `usize::MAX as f64` rounds up to 2^64, which is NOT
+        // representable as usize — `<=` would accept it and saturate.
+        (v >= 0.0 && v.fract() == 0.0 && v < usize::MAX as f64).then_some(v as usize)
+    }
+
+    /// Typed accessor: the trainability score ([`metric_ids::TRAINABILITY`]).
+    pub fn trainability(&self) -> Option<f64> {
+        self.get(metric_ids::TRAINABILITY)
+    }
+
+    /// Typed accessor: the expressivity score ([`metric_ids::EXPRESSIVITY`]).
+    pub fn expressivity(&self) -> Option<f64> {
+        self.get(metric_ids::EXPRESSIVITY)
+    }
+
+    /// Typed accessor: the raw NTK condition number
+    /// ([`metric_ids::NTK_CONDITION`]).
+    pub fn ntk_condition(&self) -> Option<f64> {
+        self.get(metric_ids::NTK_CONDITION)
+    }
+
+    /// Typed accessor: the raw linear-region count
+    /// ([`metric_ids::LINEAR_REGIONS`]).
+    pub fn linear_regions(&self) -> Option<usize> {
+        self.count(metric_ids::LINEAR_REGIONS)
+    }
+
+    /// Whether a metric is present.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == id)
+    }
+
+    /// Iterates `(id, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Metric ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Number of metrics in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(String, f64)> for MetricSet {
+    fn from_iter<T: IntoIterator<Item = (String, f64)>>(iter: T) -> Self {
+        let mut set = MetricSet::new();
+        for (id, value) in iter {
+            set.insert(id, value);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_preserved_and_replacement_keeps_position() {
+        let mut m = MetricSet::new();
+        m.insert("b", 2.0);
+        m.insert("a", 1.0);
+        m.insert("c", 3.0);
+        m.insert("a", 10.0);
+        let ids: Vec<&str> = m.ids().collect();
+        assert_eq!(ids, ["b", "a", "c"]);
+        assert_eq!(m.get("a"), Some(10.0));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let m = MetricSet::new()
+            .with(metric_ids::TRAINABILITY, -2.5)
+            .with(metric_ids::EXPRESSIVITY, 3.0)
+            .with(metric_ids::NTK_CONDITION, 12.18)
+            .with(metric_ids::LINEAR_REGIONS, 20.0);
+        assert_eq!(m.trainability(), Some(-2.5));
+        assert_eq!(m.expressivity(), Some(3.0));
+        assert_eq!(m.ntk_condition(), Some(12.18));
+        assert_eq!(m.linear_regions(), Some(20));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.count(metric_ids::NTK_CONDITION), None, "12.18 not whole");
+        assert!(!m.contains(metric_ids::SYNFLOW));
+    }
+
+    #[test]
+    fn count_rejects_negatives_and_fractions() {
+        let m = MetricSet::new().with("neg", -1.0).with("frac", 1.5);
+        assert_eq!(m.count("neg"), None);
+        assert_eq!(m.count("frac"), None);
+        assert_eq!(m.count("absent"), None);
+    }
+
+    #[test]
+    fn from_iterator_collects_in_order() {
+        let m: MetricSet = vec![("x".to_string(), 1.0), ("y".to_string(), 2.0)]
+            .into_iter()
+            .collect();
+        let ids: Vec<&str> = m.ids().collect();
+        assert_eq!(ids, ["x", "y"]);
+        assert!(!m.is_empty());
+    }
+}

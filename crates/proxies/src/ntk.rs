@@ -198,17 +198,33 @@ impl NtkEvaluator {
         dataset: DatasetKind,
         seed: u64,
     ) -> Result<NtkReport> {
-        self.config.validate()?;
-        let mut net_config = self.config.network;
-        net_config.num_classes = dataset.num_classes().min(16);
-
         // The thread-local arena keeps batch-level buffers hot across
         // candidates (fresh per-call allocation of batch-32 tensors costs
         // mmap round-trips) and shrinks back to the evaluation's watermark
         // on the way out.
         crate::scratch::with_thread_workspace(|workspace| {
-            self.evaluate_with_workspace(cell, dataset, seed, net_config, workspace)
+            self.evaluate_in(cell, dataset, seed, workspace)
         })
+    }
+
+    /// [`NtkEvaluator::evaluate`] threading an explicit scratch arena
+    /// (identical values; this is the [`crate::Proxy`] entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the configuration is invalid or any
+    /// underlying numerical step fails.
+    pub fn evaluate_in(
+        &self,
+        cell: CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+        workspace: &mut Workspace,
+    ) -> Result<NtkReport> {
+        self.config.validate()?;
+        let mut net_config = self.config.network;
+        net_config.num_classes = dataset.num_classes().min(16);
+        self.evaluate_with_workspace(cell, dataset, seed, net_config, workspace)
     }
 
     fn evaluate_with_workspace(

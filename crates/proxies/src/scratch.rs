@@ -25,13 +25,17 @@ thread_local! {
 const MAX_ARENA_BYTES: usize = 64 << 20;
 
 /// Runs `f` with this thread's proxy workspace, releasing the arena
-/// afterwards only if an outsized evaluation blew it past
-/// [`MAX_ARENA_BYTES`].
+/// afterwards only if an outsized evaluation blew it past the 64 MiB
+/// retention cap (`MAX_ARENA_BYTES`).
+///
+/// Public so external [`crate::Proxy`] implementations share the same warm
+/// arena as the built-in evaluators (the trait's provided
+/// [`crate::Proxy::evaluate`] goes through here).
 ///
 /// # Panics
 ///
 /// Panics if called re-entrantly from inside `f` (the evaluators never nest).
-pub(crate) fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
     PROXY_WORKSPACE.with(|cell| {
         let mut ws = cell.borrow_mut();
         let out = f(&mut ws);

@@ -1,11 +1,19 @@
 //! Combined zero-cost evaluation of a candidate architecture.
 
-use crate::{LinearRegionConfig, LinearRegionEvaluator, NtkConfig, NtkEvaluator, Result};
+use crate::{
+    metric_ids, LinearRegionConfig, LinearRegionEvaluator, MetricSet, NtkConfig, NtkEvaluator,
+    Result,
+};
 use micronas_datasets::DatasetKind;
 use micronas_searchspace::CellTopology;
 use serde::{Deserialize, Serialize};
 
-/// The two network-analysis indicators of the hybrid objective.
+/// The two built-in network-analysis indicators, bundled.
+///
+/// This fixed-layout struct remains the *storage codec* for the paper's two
+/// default proxies (the `micronas-store` log encodes it bit-for-bit); the
+/// search-facing evaluation surface is the open-ended [`MetricSet`], which
+/// [`ZeroCostMetrics::metric_set`] produces.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ZeroCostMetrics {
     /// NTK condition number (smaller is better).
@@ -16,6 +24,18 @@ pub struct ZeroCostMetrics {
     pub trainability: f64,
     /// Expressivity score: log region count (larger is better).
     pub expressivity: f64,
+}
+
+impl ZeroCostMetrics {
+    /// Publishes the bundled indicators as an ordered [`MetricSet`]
+    /// (`ntk_condition`, `linear_regions`, `trainability`, `expressivity`).
+    pub fn metric_set(&self) -> MetricSet {
+        MetricSet::with_capacity(4)
+            .with(metric_ids::NTK_CONDITION, self.ntk_condition)
+            .with(metric_ids::LINEAR_REGIONS, self.linear_regions as f64)
+            .with(metric_ids::TRAINABILITY, self.trainability)
+            .with(metric_ids::EXPRESSIVITY, self.expressivity)
+    }
 }
 
 /// Evaluates both zero-cost indicators for candidate cells.

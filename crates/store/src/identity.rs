@@ -59,9 +59,16 @@ impl fmt::Display for ArchDigest {
 
 /// Which proxy family a record belongs to, including the one configuration
 /// axis the paper sweeps (the NTK batch size). Everything else that shapes
-/// proxy values — probe-network geometry, linear-region probing, the target
-/// MCU — is captured by the store's namespace fingerprint instead (see
-/// [`crate::EvalStore::namespace`]).
+/// the built-in proxy values — probe-network geometry, linear-region
+/// probing, the target MCU — is captured by the store's namespace
+/// fingerprint instead (see [`crate::EvalStore::namespace`]).
+///
+/// The enum is **open for extension** through the [`ProxyKind::Custom`]
+/// arm: any proxy plugin gets a persistent identity from its id digest
+/// (see [`custom_proxy_digest`]) without touching this crate. The three
+/// original arms keep their exact PR 3 byte encodings (golden-tested), so
+/// extending the enum never invalidates an existing log and needs no
+/// namespace bump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProxyKind {
     /// The bundled zero-cost metrics (NTK condition + linear regions) at the
@@ -79,20 +86,46 @@ pub enum ProxyKind {
     /// Hardware indicators (FLOPs, latency, memory). Seed-independent:
     /// records of this kind use seed 0 by convention.
     Hardware,
+    /// A pluggable proxy, identified by the digest of its stable string id
+    /// and configuration fingerprint ([`custom_proxy_digest`]).
+    Custom {
+        /// Digest of the proxy's `(id, config fingerprint)` identity.
+        id_digest: u64,
+        /// A free per-kind parameter axis (mirrors the built-in kinds'
+        /// swept parameter; 0 when the proxy sweeps nothing).
+        param: u16,
+    },
 }
 
 impl ProxyKind {
     /// Stable `(tag, parameter)` encoding used by the log format and the
-    /// shard hash.
+    /// shard hash. The [`ProxyKind::Custom`] arm carries an additional
+    /// 64-bit identity word ([`ProxyKind::identity_word`]) that the log
+    /// format appends after the parameter for tag 3 only — the byte layout
+    /// of tags 0–2 is exactly the PR 3 layout.
     pub fn encode(self) -> (u8, u16) {
         match self {
             ProxyKind::ZeroCost { ntk_batch } => (0, ntk_batch),
             ProxyKind::NtkSpectrum { batch } => (1, batch),
             ProxyKind::Hardware => (2, 0),
+            ProxyKind::Custom { param, .. } => (3, param),
         }
     }
 
-    /// Inverse of [`ProxyKind::encode`].
+    /// The extra 64-bit identity word of the [`ProxyKind::Custom`] arm
+    /// (0 for the built-in kinds, which need none).
+    pub fn identity_word(self) -> u64 {
+        match self {
+            ProxyKind::Custom { id_digest, .. } => id_digest,
+            _ => 0,
+        }
+    }
+
+    /// Inverse of [`ProxyKind::encode`] for the built-in kinds.
+    ///
+    /// Returns `None` for tag 3: a [`ProxyKind::Custom`] kind cannot be
+    /// reconstructed without its identity word — use
+    /// [`ProxyKind::decode_extended`].
     pub fn decode(tag: u8, param: u16) -> Option<Self> {
         match tag {
             0 => Some(ProxyKind::ZeroCost { ntk_batch: param }),
@@ -101,6 +134,31 @@ impl ProxyKind {
             _ => None,
         }
     }
+
+    /// Inverse of [`ProxyKind::encode`] + [`ProxyKind::identity_word`],
+    /// covering every kind including [`ProxyKind::Custom`].
+    pub fn decode_extended(tag: u8, param: u16, identity_word: u64) -> Option<Self> {
+        match tag {
+            3 => Some(ProxyKind::Custom {
+                id_digest: identity_word,
+                param,
+            }),
+            _ => Self::decode(tag, param),
+        }
+    }
+}
+
+/// The persistent identity digest of a pluggable proxy: FNV-1a over a
+/// domain prefix, the proxy's stable string id and its configuration
+/// fingerprint. Two proxies share cached results exactly when id *and*
+/// configuration agree.
+pub fn custom_proxy_digest(id: &str, config_fingerprint: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(b"micronas/proxy-id/");
+    h.update(&(id.len() as u64).to_le_bytes());
+    h.update(id.as_bytes());
+    h.update(&config_fingerprint.to_le_bytes());
+    h.finish()
 }
 
 /// The full identity of one stored evaluation.
@@ -147,7 +205,27 @@ impl EvalKey {
         }
     }
 
+    /// Key for a pluggable proxy's scalar score, identified by the digest of
+    /// the proxy's `(id, config fingerprint)` pair ([`custom_proxy_digest`]).
+    pub fn custom(
+        cell: &CellTopology,
+        dataset: DatasetKind,
+        seed: u64,
+        id_digest: u64,
+        param: u16,
+    ) -> Self {
+        Self {
+            cell: ArchDigest::of(cell),
+            dataset,
+            seed,
+            kind: ProxyKind::Custom { id_digest, param },
+        }
+    }
+
     /// A stable 64-bit mix of every key field, used for shard selection.
+    ///
+    /// Built-in kinds hash exactly the PR 3 fields (values golden-tested);
+    /// the [`ProxyKind::Custom`] arm additionally mixes its identity word.
     pub fn shard_hash(&self) -> u64 {
         let (tag, param) = self.kind.encode();
         let mut h = Fnv1a::new();
@@ -156,6 +234,9 @@ impl EvalKey {
         h.update(&self.seed.to_le_bytes());
         h.update(&[tag]);
         h.update(&param.to_le_bytes());
+        if let ProxyKind::Custom { id_digest, .. } = self.kind {
+            h.update(&id_digest.to_le_bytes());
+        }
         h.finish()
     }
 }
@@ -209,8 +290,51 @@ mod tests {
         ] {
             let (tag, param) = kind.encode();
             assert_eq!(ProxyKind::decode(tag, param), Some(kind));
+            assert_eq!(kind.identity_word(), 0, "built-ins carry no identity");
+            assert_eq!(ProxyKind::decode_extended(tag, param, 0), Some(kind));
         }
         assert_eq!(ProxyKind::decode(99, 0), None);
+
+        let custom = ProxyKind::Custom {
+            id_digest: 0xFEED_FACE,
+            param: 9,
+        };
+        let (tag, param) = custom.encode();
+        assert_eq!((tag, param), (3, 9));
+        assert_eq!(custom.identity_word(), 0xFEED_FACE);
+        assert_eq!(
+            ProxyKind::decode(tag, param),
+            None,
+            "Custom cannot be reconstructed without its identity word"
+        );
+        assert_eq!(
+            ProxyKind::decode_extended(tag, param, 0xFEED_FACE),
+            Some(custom)
+        );
+    }
+
+    #[test]
+    fn custom_digests_separate_id_and_configuration() {
+        let a = custom_proxy_digest("synflow", 1);
+        assert_eq!(a, custom_proxy_digest("synflow", 1), "deterministic");
+        assert_ne!(a, custom_proxy_digest("synflow", 2), "config matters");
+        assert_ne!(a, custom_proxy_digest("jacob_cov", 1), "id matters");
+        // Length-prefixing prevents concatenation ambiguity with the
+        // fingerprint bytes that follow the id.
+        assert_ne!(custom_proxy_digest("ab", 0), custom_proxy_digest("a", 0));
+    }
+
+    #[test]
+    fn custom_keys_distinguish_digest_and_param() {
+        let space = SearchSpace::nas_bench_201();
+        let cell = space.cell(123).unwrap();
+        let a = EvalKey::custom(&cell, DatasetKind::Cifar10, 7, 100, 0);
+        let b = EvalKey::custom(&cell, DatasetKind::Cifar10, 7, 101, 0);
+        let c = EvalKey::custom(&cell, DatasetKind::Cifar10, 7, 100, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a.shard_hash(), b.shard_hash());
+        assert_ne!(a.shard_hash(), c.shard_hash());
     }
 
     #[test]

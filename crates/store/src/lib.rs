@@ -69,9 +69,9 @@ mod store;
 
 pub use error::StoreError;
 pub use fnv::{fnv1a64, Fnv1a};
-pub use identity::{ArchDigest, EvalKey, ProxyKind, IDENTITY_VERSION};
+pub use identity::{custom_proxy_digest, ArchDigest, EvalKey, ProxyKind, IDENTITY_VERSION};
 pub use log::CompactStats;
-pub use record::{EvalRecord, NtkSpectrumRecord, MAX_SPECTRUM_INDICES};
+pub use record::{decode_entry, encode_entry, EvalRecord, NtkSpectrumRecord, MAX_SPECTRUM_INDICES};
 pub use store::{EvalStore, GetOrInsertError, StoreStats};
 
 /// Convenient result alias used throughout the crate.

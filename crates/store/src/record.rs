@@ -37,6 +37,9 @@ pub enum EvalRecord {
     Hardware(HardwareIndicators),
     /// NTK condition-index spectrum.
     NtkSpectrum(NtkSpectrumRecord),
+    /// A pluggable proxy's scalar score (stored under
+    /// [`ProxyKind::Custom`] keys).
+    Scalar(f64),
 }
 
 impl EvalRecord {
@@ -64,6 +67,14 @@ impl EvalRecord {
         }
     }
 
+    /// The scalar score, if this is a pluggable-proxy record.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            EvalRecord::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Whether the record satisfies the codec's bounds (and will therefore
     /// survive a log round-trip).
     ///
@@ -82,6 +93,10 @@ impl EvalRecord {
 }
 
 /// Encodes `(key, record)` into the log payload bytes.
+///
+/// The layout for the built-in [`ProxyKind`] tags (0–2) is byte-for-byte
+/// the PR 3 layout (golden-tested); a [`ProxyKind::Custom`] key (tag 3)
+/// appends its 64-bit identity word after the kind parameter.
 pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&key.cell.0.to_le_bytes());
@@ -90,6 +105,9 @@ pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
     let (tag, param) = key.kind.encode();
     out.push(tag);
     out.extend_from_slice(&param.to_le_bytes());
+    if let ProxyKind::Custom { id_digest, .. } = key.kind {
+        out.extend_from_slice(&id_digest.to_le_bytes());
+    }
     match record {
         EvalRecord::ZeroCost(m) => {
             out.push(0);
@@ -118,6 +136,10 @@ pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
             for v in &s.condition_indices {
                 out.extend_from_slice(&v.to_bits().to_le_bytes());
             }
+        }
+        EvalRecord::Scalar(v) => {
+            out.push(3);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
     out
@@ -185,7 +207,10 @@ pub fn decode_entry(payload: &[u8]) -> Result<(EvalKey, EvalRecord), StoreError>
     let seed = r.u64()?;
     let kind_tag = r.u8()?;
     let kind_param = r.u16()?;
-    let kind = ProxyKind::decode(kind_tag, kind_param)
+    // Tag 3 (Custom) carries its 64-bit identity word after the parameter;
+    // the built-in tags carry nothing extra (PR 3 layout).
+    let identity_word = if kind_tag == 3 { r.u64()? } else { 0 };
+    let kind = ProxyKind::decode_extended(kind_tag, kind_param, identity_word)
         .ok_or(StoreError::MalformedRecord("unknown proxy kind"))?;
     let key = EvalKey {
         cell,
@@ -223,6 +248,7 @@ pub fn decode_entry(payload: &[u8]) -> Result<(EvalKey, EvalRecord), StoreError>
                 condition_indices,
             })
         }
+        3 => EvalRecord::Scalar(r.f64()?),
         _ => return Err(StoreError::MalformedRecord("unknown record tag")),
     };
     if r.pos != payload.len() {
@@ -296,6 +322,41 @@ mod tests {
         for (x, y) in a.condition_indices.iter().zip(&b.condition_indices) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn custom_scalar_roundtrip_preserves_identity_and_bits() {
+        let key = sample_key(ProxyKind::Custom {
+            id_digest: 0x0123_4567_89AB_CDEF,
+            param: 7,
+        });
+        let record = EvalRecord::Scalar(-123.456_789e-30);
+        let bytes = encode_entry(&key, &record);
+        let (k2, r2) = decode_entry(&bytes).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(
+            r2.as_scalar().unwrap().to_bits(),
+            record.as_scalar().unwrap().to_bits()
+        );
+        assert!(record.validate().is_ok());
+        // A truncated identity word must be rejected, not mis-keyed.
+        assert!(decode_entry(&bytes[..bytes.len() - 12]).is_err());
+    }
+
+    #[test]
+    fn builtin_layouts_do_not_carry_an_identity_word() {
+        // The Custom extension appends 8 bytes for tag 3 only; a built-in
+        // key + scalar record must stay at the PR 3 offsets.
+        let key = sample_key(ProxyKind::Hardware);
+        let bytes = encode_entry(&key, &EvalRecord::Scalar(1.0));
+        // 8 (cell) + 1 (dataset) + 8 (seed) + 1 (tag) + 2 (param)
+        // + 1 (record tag) + 8 (f64).
+        assert_eq!(bytes.len(), 29);
+        let custom = sample_key(ProxyKind::Custom {
+            id_digest: 1,
+            param: 0,
+        });
+        assert_eq!(encode_entry(&custom, &EvalRecord::Scalar(1.0)).len(), 37);
     }
 
     #[test]

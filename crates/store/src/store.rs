@@ -50,7 +50,7 @@ impl StoreStats {
 
 /// A shared, persistent evaluation store with content-addressed keys.
 ///
-/// In memory the store is a striped concurrent map: [`SHARDS`] independent
+/// In memory the store is a striped concurrent map: 16 independent
 /// `RwLock<HashMap>` stripes selected by the key's stable shard hash, so
 /// parallel candidate-scoring workers share hits without a global lock.
 /// Optionally, every insert is also appended to an on-disk log (see

@@ -1,0 +1,112 @@
+//! Golden store-key stability tests.
+//!
+//! The PR that opened `ProxyKind` for extension (the `Custom` arm) promised
+//! that every **pre-existing** variant keeps its exact PR 3 byte encoding —
+//! no namespace bump, no orphaned logs. These tests pin the PR 3 values
+//! verbatim: the `(tag, param)` encodings, the shard hashes and the full
+//! log payload bytes were captured from the tree *before* the extension
+//! landed. If any assertion here fails, persisted logs written by earlier
+//! builds would silently stop resolving — never update these constants;
+//! fix the regression instead (or, for a deliberate format change, bump the
+//! store namespace and write a migration).
+
+use micronas_datasets::DatasetKind;
+use micronas_proxies::ZeroCostMetrics;
+use micronas_searchspace::SearchSpace;
+use micronas_store::{decode_entry, encode_entry, ArchDigest, EvalKey, EvalRecord, ProxyKind};
+
+/// The reference cell of the golden capture.
+fn golden_cell() -> micronas_searchspace::CellTopology {
+    SearchSpace::nas_bench_201().cell(4_242).unwrap()
+}
+
+#[test]
+fn pre_existing_proxy_kinds_encode_to_the_pr3_tags() {
+    assert_eq!(ProxyKind::ZeroCost { ntk_batch: 32 }.encode(), (0, 32));
+    assert_eq!(ProxyKind::NtkSpectrum { batch: 12 }.encode(), (1, 12));
+    assert_eq!(ProxyKind::Hardware.encode(), (2, 0));
+    // And decode back (the PR 3 decode contract).
+    assert_eq!(
+        ProxyKind::decode(0, 32),
+        Some(ProxyKind::ZeroCost { ntk_batch: 32 })
+    );
+    assert_eq!(
+        ProxyKind::decode(1, 12),
+        Some(ProxyKind::NtkSpectrum { batch: 12 })
+    );
+    assert_eq!(ProxyKind::decode(2, 0), Some(ProxyKind::Hardware));
+}
+
+#[test]
+fn pre_existing_shard_hashes_match_the_pr3_values() {
+    // Captured from the PR 3 tree: cell 4242, ImageNet16-120, seed
+    // 0xDEAD_BEEF. Shard hashes feed the (future) cross-machine consistent
+    // hashing, so they are part of the stable surface too.
+    let golden = [
+        (
+            ProxyKind::ZeroCost { ntk_batch: 32 },
+            0x8c5c_0ad6_d32e_c787u64,
+        ),
+        (ProxyKind::NtkSpectrum { batch: 12 }, 0x831d_07d6_cdc7_bdd0),
+        (ProxyKind::Hardware, 0x9d42_40d6_dca2_5fbd),
+    ];
+    for (kind, expected) in golden {
+        let key = EvalKey {
+            cell: ArchDigest::of(&golden_cell()),
+            dataset: DatasetKind::ImageNet16_120,
+            seed: 0xDEAD_BEEF,
+            kind,
+        };
+        assert_eq!(
+            key.shard_hash(),
+            expected,
+            "shard hash drifted for {kind:?} (got {:#018x})",
+            key.shard_hash()
+        );
+    }
+}
+
+#[test]
+fn pre_existing_zero_cost_payload_is_byte_identical_to_pr3() {
+    // Captured from the PR 3 tree: the exact log payload of a zero-cost
+    // record under (cell 4242, CIFAR-10, seed 7, batch 32).
+    let key = EvalKey::zero_cost(&golden_cell(), DatasetKind::Cifar10, 7, 32);
+    let record = EvalRecord::ZeroCost(ZeroCostMetrics {
+        ntk_condition: 12.5,
+        linear_regions: 77,
+        trainability: -2.52,
+        expressivity: 4.34,
+    });
+    let golden: [u8; 53] = [
+        0xe0, 0x26, 0xd5, 0x05, 0xf5, 0xbe, 0xb0, 0x80, // cell digest
+        0x01, // dataset id (CIFAR-10)
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // seed
+        0x00, // kind tag (ZeroCost)
+        0x20, 0x00, // kind param (batch 32)
+        0x00, // record tag (ZeroCost)
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x29, 0x40, // ntk_condition
+        0x4d, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // linear_regions
+        0x29, 0x5c, 0x8f, 0xc2, 0xf5, 0x28, 0x04, 0xc0, // trainability
+        0x5c, 0x8f, 0xc2, 0xf5, 0x28, 0x5c, 0x11, 0x40, // expressivity
+    ];
+    assert_eq!(encode_entry(&key, &record), golden);
+    let (k2, r2) = decode_entry(&golden).unwrap();
+    assert_eq!(k2, key);
+    assert_eq!(r2, record);
+}
+
+#[test]
+fn custom_keys_reuse_the_pr3_prefix_layout() {
+    // A Custom key shares the first 17 bytes (cell, dataset, seed) with the
+    // PR 3 layout and only then diverges (tag 3 + param + identity word), so
+    // tail recovery and compaction treat mixed logs uniformly.
+    let custom = EvalKey::custom(&golden_cell(), DatasetKind::Cifar10, 7, 0xABCD, 0);
+    let old = EvalKey::zero_cost(&golden_cell(), DatasetKind::Cifar10, 7, 32);
+    let custom_bytes = encode_entry(&custom, &EvalRecord::Scalar(1.5));
+    let old_bytes = encode_entry(&old, &EvalRecord::Scalar(1.5));
+    assert_eq!(custom_bytes[..17], old_bytes[..17]);
+    assert_eq!(custom_bytes[17], 3, "Custom kind tag");
+    let (k2, r2) = decode_entry(&custom_bytes).unwrap();
+    assert_eq!(k2, custom);
+    assert_eq!(r2.as_scalar(), Some(1.5));
+}

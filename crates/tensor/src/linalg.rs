@@ -315,7 +315,7 @@ const GRAM_KC: usize = 256;
 /// GEMM-style pass: f32 panel products with f64 panel accumulation.
 ///
 /// This is the NTK Gram build over the contiguous `[n, P]` per-sample
-/// gradient matrix. The inner loops run four f32 lanes over [`GRAM_KC`]-long
+/// gradient matrix. The inner loops run four f32 lanes over `GRAM_KC`-long
 /// panels (the same shape the autovectoriser turns into packed FMAs in the
 /// GEMM kernels); every panel's partial sum is then widened and accumulated
 /// in f64. The result differs from an exact-f64 dot product by at most the

@@ -14,9 +14,9 @@
 ///
 /// Three kinds of scratch live here:
 ///
-/// * the **column buffer** ([`Workspace::col_buffer`]) holding the im2col
+/// * the **column buffer** (`col_buffer`) holding the im2col
 ///   lowering of one image,
-/// * the **auxiliary buffer** ([`Workspace::aux_buffer`]) for kernels that
+/// * the **auxiliary buffer** (`aux_buffer`) for kernels that
 ///   need a second staging area while the column buffer is in use (e.g. the
 ///   fused per-sample backward, which stages column gradients while the
 ///   column buffer holds the im2col lowering), and

@@ -4,28 +4,36 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The example runs the MicroNAS latency-guided pruning search on the
-//! CIFAR-10 surrogate at a reduced proxy scale (a couple of seconds on a
-//! laptop), then prints the discovered cell together with its hardware
+//! The example configures a `SearchSession` with the builder API — dataset,
+//! proxy scale and a latency-guided objective — runs the MicroNAS pruning
+//! search on the CIFAR-10 surrogate (a couple of seconds on a laptop), then
+//! prints the discovered cell together with its metrics, hardware
 //! indicators and surrogate accuracy.
 
-use micronas_suite::core::{MicroNasConfig, MicroNasSearch, ObjectiveWeights, SearchContext};
+use micronas_suite::core::{MicroNasConfig, ObjectiveWeights, SearchSession};
 use micronas_suite::datasets::DatasetKind;
+use micronas_suite::proxies::metric_ids;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Configure the search: fast proxy scale, STM32F746 target, no budgets.
+    // 1. Configure the session: fast proxy scale, STM32F746 target, a
+    //    latency-guided objective, no hardware budgets.
     let config = MicroNasConfig::fast();
     println!("Target device : {}", config.mcu.name);
     println!("NTK batch size: {}", config.ntk.batch_size);
 
-    // 2. Build the search context for CIFAR-10.
-    let context = SearchContext::new(DatasetKind::Cifar10, &config)?;
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config.clone())
+        .objective(ObjectiveWeights::latency_guided(2.0))
+        .build()?;
 
-    // 3. Run the latency-guided pruning search (zero training involved).
-    let search = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config);
-    let outcome = search.run(&context)?;
+    // 2. Run the latency-guided pruning search (zero training involved).
+    //    `session.run(&strategy)` accepts any `SearchStrategy`;
+    //    `run_micronas()` is the shortcut for the paper's pruning search
+    //    with the session's objective weights.
+    let outcome = session.run_micronas()?;
 
-    // 4. Report what was found.
+    // 3. Report what was found.
     println!();
     println!("Discovered architecture #{}", outcome.best.index());
     println!("  cell      : {}", outcome.best.arch_string());
@@ -42,14 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  peak SRAM : {:.0} KiB",
         outcome.evaluation.hardware.peak_sram_kib
     );
-    println!(
-        "  NTK cond. : {:.1}",
-        outcome.evaluation.zero_cost.ntk_condition
-    );
-    println!(
-        "  lin. regions: {}",
-        outcome.evaluation.zero_cost.linear_regions
-    );
+    // Proxy scores live in an id-keyed metric set; every registered proxy
+    // contributes one entry.
+    for (id, value) in outcome.evaluation.metrics.iter() {
+        println!("  metric {id:>14}: {value:.3}");
+    }
+    // Individual metrics are addressable by id constant or typed accessor.
+    if let Some(trainability) = outcome.evaluation.metrics.get(metric_ids::TRAINABILITY) {
+        println!("  trainability (by id): {trainability:.3}");
+    }
+    if let Some(regions) = outcome.evaluation.metrics.linear_regions() {
+        println!("  lin. regions (typed): {regions}");
+    }
     println!("  surrogate accuracy: {:.2} %", outcome.test_accuracy);
     println!();
     println!(

@@ -5,7 +5,58 @@
 //! member crate under a short alias so examples can write
 //! `use micronas_suite::proxies::NtkConfig;` etc.
 //!
-//! The real public API lives in the member crates:
+//! # The pluggable search API (PR 4)
+//!
+//! Search runs are configured through one builder and three traits:
+//!
+//! * [`core::SearchSession`] — `SearchSession::builder()` sets the dataset,
+//!   proxy configuration, pluggable proxies, per-metric objective weights,
+//!   optional shared evaluation store and optional progress observer.
+//! * [`proxies::Proxy`] — any train-free indicator with a stable string id
+//!   and config fingerprint. The built-ins (NTK, linear regions) and the
+//!   extension proxies ([`proxies::SynFlowProxy`],
+//!   [`proxies::JacobianCovarianceProxy`]) all implement it; scores land
+//!   in an id-keyed [`proxies::MetricSet`] per candidate and are cached in
+//!   the store under `ProxyKind::Custom` keys.
+//! * [`core::SearchStrategy`] — the pruning search and both baselines
+//!   behind one object-safe `search(ctx, observer)`;
+//!   [`core::SearchObserver`] receives one deterministic
+//!   [`core::SearchEvent`] per decision step.
+//!
+//! ```no_run
+//! use micronas_suite::core::{MicroNasConfig, ObjectiveWeights, SearchSession};
+//! use micronas_suite::datasets::DatasetKind;
+//!
+//! # fn main() -> Result<(), micronas_suite::core::MicroNasError> {
+//! let session = SearchSession::builder()
+//!     .dataset(DatasetKind::Cifar10)
+//!     .config(MicroNasConfig::fast())
+//!     .objective(ObjectiveWeights::latency_guided(2.0))
+//!     .build()?;
+//! let outcome = session.run_micronas()?;
+//! # let _ = outcome;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Migrating from the pre-PR 4 API
+//!
+//! | Before (≤ PR 3) | After |
+//! |-----------------|-------|
+//! | `SearchContext::new(ds, &cfg)?` + `MicroNasSearch::new(w, &cfg).run(&ctx)?` | `SearchSession::builder().dataset(ds).config(cfg).objective(w).build()?.run_micronas()?` |
+//! | `MicroNasSearch::new(weights, &config)` | `MicroNasSearch::new(weights)` (the config parameter was silently ignored) |
+//! | `MicroNasSearch::te_nas_baseline(&config)` | `MicroNasSearch::te_nas_baseline()` |
+//! | `SearchContext::with_store(ds, &cfg, store)` | `SearchSession::builder()...store(store).build()?` (contexts remain available for low-level use) |
+//! | `eval.zero_cost.trainability` | `eval.metrics.trainability()` / `eval.metrics.get("trainability")` |
+//! | `ObjectiveWeights { trainability, expressivity, .. }` | per-metric-id weights: presets (`accuracy_only()`, `latency_guided(w)`, …) plus `.with_metric(id, w)` |
+//! | `objective.score(&zero_cost, &hw)` | `objective.score(&metrics, &hw)` with a [`proxies::MetricSet`] |
+//!
+//! The paper-default pipeline is bitwise-identical across the migration
+//! (pinned by `tests/paper_identity.rs`), and persisted stores keep
+//! resolving: the pre-existing `ProxyKind` encodings are golden-tested in
+//! `crates/store/tests/golden_keys.rs`, so no namespace bump was needed.
+//!
+//! # Crate map
 //!
 //! * [`tensor`] — dense tensors and linear algebra ([`micronas_tensor`])
 //! * [`nn`] — neural-network substrate with explicit backprop ([`micronas_nn`])
@@ -14,9 +65,9 @@
 //! * [`nasbench`] — the surrogate accuracy benchmark ([`micronas_nasbench`])
 //! * [`mcu`] — cycle-approximate Cortex-M7 MCU model ([`micronas_mcu`])
 //! * [`hw`] — FLOPs / latency / memory hardware indicators ([`micronas_hw`])
-//! * [`proxies`] — zero-cost proxies (NTK spectrum, linear regions) ([`micronas_proxies`])
+//! * [`proxies`] — pluggable zero-cost proxies ([`micronas_proxies`])
 //! * [`store`] — shared, persistent evaluation store ([`micronas_store`])
-//! * [`core`] — the MicroNAS search framework and baselines ([`micronas`])
+//! * [`core`] — sessions, strategies and the experiment harness ([`micronas`])
 
 pub use micronas as core;
 pub use micronas_datasets as datasets;

@@ -1,11 +1,20 @@
 //! Cross-crate integration tests: the full MicroNAS pipeline from
-//! configuration to discovered architecture.
+//! configuration to discovered architecture, driven through the
+//! `SearchSession` builder API.
 
 use micronas_suite::core::{
-    MicroNasConfig, MicroNasSearch, ObjectiveWeights, RandomSearch, SearchContext,
+    MicroNasConfig, MicroNasSearch, ObjectiveWeights, RandomSearch, SearchSession,
 };
 use micronas_suite::datasets::DatasetKind;
 use micronas_suite::hw::HardwareConstraints;
+
+fn fast_session(config: &MicroNasConfig, dataset: DatasetKind) -> SearchSession {
+    SearchSession::builder()
+        .dataset(dataset)
+        .config(config.clone())
+        .build()
+        .unwrap()
+}
 
 /// The headline pipeline: a latency-guided search must return a connected,
 /// feasible architecture that is at least as fast as the proxy-only pick,
@@ -13,11 +22,11 @@ use micronas_suite::hw::HardwareConstraints;
 #[test]
 fn latency_guided_pipeline_end_to_end() {
     let config = MicroNasConfig::fast();
-    let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+    let session = fast_session(&config, DatasetKind::Cifar10);
 
-    let te_nas = MicroNasSearch::te_nas_baseline(&config).run(&ctx).unwrap();
-    let micro = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
-        .run(&ctx)
+    let te_nas = session.run(&MicroNasSearch::te_nas_baseline()).unwrap();
+    let micro = session
+        .run(&MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0)))
         .unwrap();
 
     assert!(micro.best.cell().has_input_output_path());
@@ -40,9 +49,8 @@ fn latency_guided_pipeline_end_to_end() {
 #[test]
 fn constrained_pipeline_respects_budgets() {
     let base = MicroNasConfig::fast();
-    let unconstrained_ctx = SearchContext::new(DatasetKind::Cifar10, &base).unwrap();
-    let reference = MicroNasSearch::te_nas_baseline(&base)
-        .run(&unconstrained_ctx)
+    let reference = fast_session(&base, DatasetKind::Cifar10)
+        .run(&MicroNasSearch::te_nas_baseline())
         .unwrap();
 
     let budget_ms = reference.evaluation.hardware.latency_ms * 0.5;
@@ -50,10 +58,13 @@ fn constrained_pipeline_respects_budgets() {
         HardwareConstraints::for_device(&micronas_suite::mcu::McuSpec::stm32f746zg())
             .with_latency_ms(budget_ms),
     );
-    let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-    let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(2.0), &config)
-        .run(&ctx)
+    let session = SearchSession::builder()
+        .dataset(DatasetKind::Cifar10)
+        .config(config)
+        .objective(ObjectiveWeights::latency_guided(2.0))
+        .build()
         .unwrap();
+    let outcome = session.run_micronas().unwrap();
 
     assert!(
         outcome.evaluation.hardware.latency_ms <= budget_ms * 1.05,
@@ -71,13 +82,11 @@ fn constrained_pipeline_respects_budgets() {
 fn pipeline_is_deterministic_and_beats_random_search() {
     let config = MicroNasConfig::fast();
 
-    let ctx_a = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-    let ctx_b = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
-    let a = MicroNasSearch::te_nas_baseline(&config)
-        .run(&ctx_a)
+    let a = fast_session(&config, DatasetKind::Cifar10)
+        .run(&MicroNasSearch::te_nas_baseline())
         .unwrap();
-    let b = MicroNasSearch::te_nas_baseline(&config)
-        .run(&ctx_b)
+    let b = fast_session(&config, DatasetKind::Cifar10)
+        .run(&MicroNasSearch::te_nas_baseline())
         .unwrap();
     assert_eq!(a.best.index(), b.best.index());
     assert_eq!(
@@ -86,11 +95,9 @@ fn pipeline_is_deterministic_and_beats_random_search() {
     );
 
     // Random search with a matching evaluation budget.
-    let ctx_rand = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
     let budget = a.cost.evaluations.max(8);
-    let random = RandomSearch::new(ObjectiveWeights::accuracy_only(), budget)
-        .unwrap()
-        .run(&ctx_rand)
+    let random = fast_session(&config, DatasetKind::Cifar10)
+        .run(&RandomSearch::new(ObjectiveWeights::accuracy_only(), budget).unwrap())
         .unwrap();
     // The pruning search should find an architecture at least as good (in
     // surrogate accuracy) as a random sample of equal size most of the time;
@@ -108,9 +115,8 @@ fn pipeline_is_deterministic_and_beats_random_search() {
 fn pipeline_runs_on_all_three_datasets() {
     let config = MicroNasConfig::fast();
     for dataset in [DatasetKind::Cifar100, DatasetKind::ImageNet16_120] {
-        let ctx = SearchContext::new(dataset, &config).unwrap();
-        let outcome = MicroNasSearch::new(ObjectiveWeights::latency_guided(1.0), &config)
-            .run(&ctx)
+        let outcome = fast_session(&config, dataset)
+            .run(&MicroNasSearch::new(ObjectiveWeights::latency_guided(1.0)))
             .unwrap();
         assert!(
             outcome.best.cell().has_input_output_path(),

@@ -1,0 +1,42 @@
+//! Golden identity pins for the paper-default pipeline.
+//!
+//! The API redesign (Proxy trait / MetricSet / SearchSession) promised that
+//! the paper-default configuration stays **bitwise identical** to the tree
+//! before it (PR 3). These constants were captured from that tree; every
+//! proxy value, search trajectory and experiment statistic feeds the sweep
+//! fingerprint, so a single drifted bit anywhere in the pipeline fails
+//! here. If an assertion fails after an intentional numerical change, bump
+//! the store namespace version and re-capture — never silently update.
+
+use micronas_suite::core::experiments::{run_paper_sweep, SweepScale};
+use micronas_suite::core::MicroNasConfig;
+
+/// `SweepReport::identity_fingerprint` of `run_paper_sweep(tiny_test, tiny)`
+/// captured on the PR 3 tree.
+const TINY_FINGERPRINT: u64 = 0xa18a_5c02_cac6_7ecd;
+
+/// `SweepReport::identity_fingerprint` of `run_paper_sweep(fast, tiny)`
+/// captured on the PR 3 tree.
+const FAST_FINGERPRINT: u64 = 0xd341_27d1_e32e_c3b1;
+
+#[test]
+fn tiny_sweep_fingerprint_matches_the_pre_redesign_tree() {
+    let report = run_paper_sweep(&MicroNasConfig::tiny_test(), &SweepScale::tiny(), None).unwrap();
+    assert_eq!(
+        report.identity_fingerprint(),
+        TINY_FINGERPRINT,
+        "got {:#018x}",
+        report.identity_fingerprint()
+    );
+}
+
+#[test]
+fn fast_sweep_fingerprint_matches_the_pre_redesign_tree() {
+    let report = run_paper_sweep(&MicroNasConfig::fast(), &SweepScale::tiny(), None).unwrap();
+    assert_eq!(
+        report.identity_fingerprint(),
+        FAST_FINGERPRINT,
+        "got {:#018x}",
+        report.identity_fingerprint()
+    );
+}

@@ -38,7 +38,7 @@ fn combined_zero_cost_score_correlates_with_surrogate_accuracy() {
             .evaluate(*arch.cell(), DatasetKind::Cifar10, 0)
             .unwrap();
         let hw = hardware.evaluate(*arch.cell());
-        scores.push(objective.score(&metrics, &hw));
+        scores.push(objective.score(&metrics.metric_set(), &hw));
         accuracies.push(bench.query(&arch, DatasetKind::Cifar10).test_accuracy);
     }
 
