@@ -5,18 +5,22 @@
 //! scores a fixed candidate set through `SearchContext::evaluate` and
 //! reports the aggregate throughput at both ends of the thread-count range
 //! (the histories are bitwise identical — the determinism tests in
-//! `micronas::search` enforce that).
+//! `micronas::search` enforce that). The search's `EvalCacheStats` ride
+//! along in `target/bench-json/candidate_throughput.json`, so a
+//! cache-behaviour regression (e.g. random sampling suddenly revisiting
+//! fewer duplicates, or the context cache missing where it used to hit)
+//! shows up next to the timing numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use micronas::{MicroNasConfig, ObjectiveWeights, RandomSearch, SearchContext};
-use micronas_bench::{banner, bench_config};
+use micronas::{EvalCacheStats, MicroNasConfig, ObjectiveWeights, RandomSearch, SearchContext};
+use micronas_bench::{banner, bench_config, record_bench_json};
 use micronas_datasets::DatasetKind;
 use rayon::ThreadPoolBuilder;
 use std::time::Instant;
 
 const BUDGET: usize = 16;
 
-fn run_search(config: &MicroNasConfig, threads: usize) -> f64 {
+fn run_search(config: &MicroNasConfig, threads: usize) -> (f64, EvalCacheStats) {
     let pool = ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -26,8 +30,11 @@ fn run_search(config: &MicroNasConfig, threads: usize) -> f64 {
         let ctx = SearchContext::new(DatasetKind::Cifar10, config).expect("context");
         let search = RandomSearch::new(ObjectiveWeights::accuracy_only(), BUDGET).expect("search");
         let start = Instant::now();
-        search.run(&ctx).expect("search run");
-        BUDGET as f64 / start.elapsed().as_secs_f64()
+        let outcome = search.run(&ctx).expect("search run");
+        (
+            BUDGET as f64 / start.elapsed().as_secs_f64(),
+            outcome.cost.cache,
+        )
     })
 }
 
@@ -40,12 +47,33 @@ fn print_throughput() {
     // Exercise the parallel path even on single-core machines (there the
     // number reports scheduling overhead rather than speedup).
     let max_threads = rayon::current_num_threads().max(2);
-    let single = run_search(&config, 1);
-    let multi = run_search(&config, max_threads);
+    let (single, cache_1) = run_search(&config, 1);
+    let (multi, cache_n) = run_search(&config, max_threads);
     println!("random search, {BUDGET} candidates, fast proxy configuration:");
     println!("  1 thread:            {single:>8.2} candidates/s");
     println!("  {max_threads} threads:           {multi:>8.2} candidates/s");
     println!("  parallel speedup:    {:>8.2}x", multi / single);
+    println!(
+        "  eval-cache:          {} hits / {} misses ({:.1}% absorbed)",
+        cache_1.hits,
+        cache_1.misses,
+        cache_1.hit_rate() * 100.0
+    );
+    assert_eq!(
+        cache_n, cache_1,
+        "cache traffic must be thread-count independent"
+    );
+    record_bench_json(
+        "candidate_throughput",
+        &[
+            ("candidates_per_second_1_thread", single),
+            ("candidates_per_second_max_threads", multi),
+            ("parallel_speedup", multi / single),
+            ("cache_hits", cache_1.hits as f64),
+            ("cache_misses", cache_1.misses as f64),
+            ("cache_hit_rate", cache_1.hit_rate()),
+        ],
+    );
 }
 
 fn bench_candidate_throughput(c: &mut Criterion) {

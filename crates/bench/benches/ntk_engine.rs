@@ -1,31 +1,39 @@
 //! End-to-end NTK evaluation benchmarks.
 //!
-//! Two comparisons, both on the paper-default NTK configuration (batch 32,
+//! Three comparisons, all on the paper-default NTK configuration (batch 32,
 //! 16×16 proxy networks, two cells):
 //!
 //! 1. **direct vs im2col/GEMM** conv kernels — the PR 1 engine acceptance;
 //! 2. **looped vs batched per-sample gradients** — the batched-backward
 //!    acceptance: one forward pass plus one batched backward emitting the
 //!    contiguous `[n, P]` gradient matrix and a `G = J·Jᵀ` GEMM, against the
-//!    PR 1 formulation (one backward per sample, n² scalar Gram dots).
+//!    PR 1 formulation (one backward per sample, n² scalar Gram dots);
+//! 3. **blocked-GEMM vs SIMD execution backend** — the backend-layer
+//!    acceptance: the FMA-tiled `simd` backend against the paper-default
+//!    `blocked_gemm` backend. Measured on two cells: the pinned
+//!    [`BENCH_CELL`] (one 1×1 conv per cell — an honest "sparse" data
+//!    point where shared non-kernel work dominates) and the all-conv3×3
+//!    cell, the kernel-dominated end of the space where a *kernel* backend
+//!    comparison is meaningful. The regression gate rides on the conv cell.
 //!
 //! Headline numbers land in `target/bench-json/ntk_engine.json`.
 //!
 //! # Smoke mode
 //!
-//! `MICRONAS_BENCH_SMOKE=1` runs a reduced-iteration version of the
-//! looped-vs-batched comparison and **fails** (panics) if the batched path
-//! is slower than the looped path — the CI guard against a silent fallback
-//! onto the slow route. Criterion's own `--test` flag still runs every
-//! benchmark body once without timing.
+//! `MICRONAS_BENCH_SMOKE=1` runs reduced-iteration versions of the
+//! looped-vs-batched and blocked-vs-SIMD comparisons and **fails** (panics)
+//! if the batched path regresses below the looped path, or the SIMD backend
+//! regresses below the blocked-GEMM backend on the conv-heavy cell — the CI
+//! guards against a silent fallback onto a slow route. Criterion's own
+//! `--test` flag still runs every benchmark body once without timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micronas::{MicroNasConfig, MicroNasSearch, SearchSession};
 use micronas_bench::{banner, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::{GradientPath, NtkConfig, NtkEvaluator};
-use micronas_searchspace::SearchSpace;
-use micronas_tensor::{set_conv_engine, ConvEngine};
+use micronas_searchspace::{CellTopology, Operation, SearchSpace};
+use micronas_tensor::{set_conv_engine, ConvEngine, KernelBackendKind};
 use std::time::Instant;
 
 /// The cell the engine benchmarks pin (a mid-space architecture with conv,
@@ -36,10 +44,14 @@ fn paper_evaluator(path: GradientPath) -> NtkEvaluator {
     NtkEvaluator::new(NtkConfig::paper_default()).with_gradient_path(path)
 }
 
-fn measured_seconds(evaluator: &NtkEvaluator, engine: ConvEngine, runs: usize) -> f64 {
-    let space = SearchSpace::nas_bench_201();
-    let cell = space.cell(BENCH_CELL).expect("valid index");
-    set_conv_engine(engine);
+/// The kernel-dominated cell of the backend comparison: every edge a 3×3
+/// convolution, so the execution backend's conv/GEMM kernels are the
+/// workload instead of a minority of it.
+fn conv_heavy_cell() -> CellTopology {
+    CellTopology::new([Operation::NorConv3x3; 6])
+}
+
+fn timed_seconds(evaluator: &NtkEvaluator, cell: CellTopology, runs: usize) -> f64 {
     // One warm-up evaluation, then timed runs.
     evaluator
         .evaluate(cell, DatasetKind::Cifar10, 0)
@@ -50,9 +62,25 @@ fn measured_seconds(evaluator: &NtkEvaluator, engine: ConvEngine, runs: usize) -
             .evaluate(cell, DatasetKind::Cifar10, seed as u64)
             .expect("ntk");
     }
-    let elapsed = start.elapsed().as_secs_f64() / runs as f64;
+    start.elapsed().as_secs_f64() / runs as f64
+}
+
+fn measured_seconds(evaluator: &NtkEvaluator, engine: ConvEngine, runs: usize) -> f64 {
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(BENCH_CELL).expect("valid index");
+    set_conv_engine(engine);
+    let elapsed = timed_seconds(evaluator, cell, runs);
     set_conv_engine(ConvEngine::Auto);
     elapsed
+}
+
+/// Paper-default NTK evaluation seconds under an execution backend,
+/// best-of-`rounds` to shed co-tenant noise.
+fn backend_seconds(kind: KernelBackendKind, cell: CellTopology, runs: usize, rounds: usize) -> f64 {
+    let evaluator = NtkEvaluator::new(NtkConfig::paper_default()).with_backend(kind.instantiate());
+    (0..rounds)
+        .map(|_| timed_seconds(&evaluator, cell, runs))
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Whether `MICRONAS_BENCH_SMOKE=1` smoke mode is active.
@@ -71,6 +99,15 @@ fn compare_and_record(runs: usize) {
     let direct = measured_seconds(&batched, ConvEngine::Direct, 1.max(runs / 2));
     let gemm = measured_seconds(&batched, ConvEngine::Auto, runs);
     let looped_s = measured_seconds(&looped, ConvEngine::Auto, runs);
+
+    // Backend comparison: interleaved best-of-3 rounds per side.
+    let space = SearchSpace::nas_bench_201();
+    let sparse_cell = space.cell(BENCH_CELL).expect("valid index");
+    let conv_cell = conv_heavy_cell();
+    let blocked_conv = backend_seconds(KernelBackendKind::BlockedGemm, conv_cell, runs.min(3), 3);
+    let simd_conv = backend_seconds(KernelBackendKind::Simd, conv_cell, runs.min(3), 3);
+    let blocked_sparse = backend_seconds(KernelBackendKind::BlockedGemm, sparse_cell, runs, 3);
+    let simd_sparse = backend_seconds(KernelBackendKind::Simd, sparse_cell, runs, 3);
 
     // Store-backed provenance: how much of a real search's NTK traffic the
     // evaluation caches absorb. One proxy-only pruning search at the fast
@@ -93,6 +130,15 @@ fn compare_and_record(runs: usize) {
     println!("  batched [n,P] + GEMM Gram: {gemm:>8.4} s / evaluation");
     println!("  direct->batched speedup:   {:>8.2}x", direct / gemm);
     println!("  looped->batched speedup:   {:>8.2}x", looped_s / gemm);
+    println!("execution backends (blocked_gemm vs simd, best of 3):");
+    println!(
+        "  all-conv3x3 cell:          {blocked_conv:>8.4} s -> {simd_conv:>8.4} s  ({:.2}x)",
+        blocked_conv / simd_conv
+    );
+    println!(
+        "  sparse bench cell:         {blocked_sparse:>8.4} s -> {simd_sparse:>8.4} s  ({:.2}x)",
+        blocked_sparse / simd_sparse
+    );
     println!(
         "  search eval-cache:         {} hits / {} misses ({:.1}% absorbed)",
         cache.hits,
@@ -108,6 +154,15 @@ fn compare_and_record(runs: usize) {
             ("batched_gradients_seconds", gemm),
             ("speedup_vs_direct", direct / gemm),
             ("speedup_vs_looped", looped_s / gemm),
+            ("blocked_backend_seconds_conv_cell", blocked_conv),
+            ("simd_backend_seconds_conv_cell", simd_conv),
+            ("speedup_simd_vs_blocked", blocked_conv / simd_conv),
+            ("blocked_backend_seconds_bench_cell", blocked_sparse),
+            ("simd_backend_seconds_bench_cell", simd_sparse),
+            (
+                "speedup_simd_vs_blocked_bench_cell",
+                blocked_sparse / simd_sparse,
+            ),
             ("search_cache_hits", cache.hits as f64),
             ("search_cache_misses", cache.misses as f64),
             ("search_cache_hit_rate", cache.hit_rate()),
@@ -157,6 +212,47 @@ fn bench_ntk_engines(c: &mut Criterion) {
             "batched per-sample gradients ({batched_s:.4}s) regressed far below \
              the looped path ({looped_s:.4}s)"
         );
+
+        // Backend gate: the SIMD backend must not regress below the
+        // blocked-GEMM backend on the kernel-dominated cell. Same
+        // noise-robustness scheme: interleaved best-of-3, a warning at
+        // parity, a hard failure only past 1.25× (a real regression, not a
+        // co-tenant burst).
+        banner(
+            "Backend smoke: simd must not regress below blocked_gemm",
+            "FMA-tiled SIMD backend regression gate (all-conv3x3 cell)",
+        );
+        let conv_cell = conv_heavy_cell();
+        let (mut blocked_s, mut simd_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            blocked_s = blocked_s.min(backend_seconds(
+                KernelBackendKind::BlockedGemm,
+                conv_cell,
+                2,
+                1,
+            ));
+            simd_s = simd_s.min(backend_seconds(KernelBackendKind::Simd, conv_cell, 2, 1));
+        }
+        println!("gate: blocked {blocked_s:.4}s vs simd {simd_s:.4}s (best of 3)");
+        record_bench_json(
+            "ntk_engine_backend_smoke",
+            &[
+                ("blocked_backend_seconds", blocked_s),
+                ("simd_backend_seconds", simd_s),
+                ("speedup_simd_vs_blocked", blocked_s / simd_s),
+            ],
+        );
+        if simd_s > blocked_s {
+            eprintln!(
+                "warning: simd backend ({simd_s:.4}s) is not beating the \
+                 blocked_gemm backend ({blocked_s:.4}s) on this runner"
+            );
+        }
+        assert!(
+            simd_s <= blocked_s * 1.25,
+            "the simd backend ({simd_s:.4}s) regressed below the blocked_gemm \
+             backend ({blocked_s:.4}s) on the conv-heavy cell"
+        );
         return;
     }
 
@@ -201,6 +297,23 @@ fn bench_ntk_engines(c: &mut Criterion) {
                     .condition_number
             });
         });
+    }
+    for kind in [KernelBackendKind::BlockedGemm, KernelBackendKind::Simd] {
+        let evaluator =
+            NtkEvaluator::new(NtkConfig::paper_default()).with_backend(kind.instantiate());
+        let conv_cell = conv_heavy_cell();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_backend_conv_cell", kind.id())),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    evaluator
+                        .evaluate(conv_cell, DatasetKind::Cifar10, 1)
+                        .expect("ntk")
+                        .condition_number
+                });
+            },
+        );
     }
     group.finish();
 }

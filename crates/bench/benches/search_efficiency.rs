@@ -1,9 +1,15 @@
 //! §III / Table I search-time comparison: the ≈1104× efficiency claim.
+//!
+//! Besides the efficiency ratios, each framework's `EvalCacheStats` land in
+//! `target/bench-json/search_efficiency.json` — the evolutionary baseline in
+//! particular leans on the cached-feasibility path (duplicate children hit
+//! instead of re-evaluating), so its hit counters are the early-warning
+//! signal for cache regressions in search-shaped workloads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use micronas::experiments::run_search_efficiency;
 use micronas::{EvolutionaryConfig, MicroNasSearch, SearchContext};
-use micronas_bench::{banner, bench_config, paper_scale};
+use micronas_bench::{banner, bench_config, paper_scale, record_bench_json};
 use micronas_datasets::DatasetKind;
 
 fn print_report() {
@@ -58,6 +64,35 @@ fn print_report() {
     println!(
         "Efficiency of MicroNAS vs TE-NAS:            {:.2}x   (paper: equal, 0.43 GPU hours each)",
         report.efficiency_vs_te_nas
+    );
+    println!();
+    for (name, cost) in [
+        ("munas", &report.munas),
+        ("te_nas", &report.te_nas),
+        ("micronas", &report.micronas),
+    ] {
+        println!(
+            "eval-cache [{name:<8}]: {} hits / {} misses ({:.1}% absorbed)",
+            cost.cache.hits,
+            cost.cache.misses,
+            cost.cache.hit_rate() * 100.0
+        );
+    }
+    record_bench_json(
+        "search_efficiency",
+        &[
+            ("efficiency_vs_munas", report.efficiency_vs_munas),
+            ("efficiency_vs_te_nas", report.efficiency_vs_te_nas),
+            ("munas_cache_hits", report.munas.cache.hits as f64),
+            ("munas_cache_misses", report.munas.cache.misses as f64),
+            ("munas_cache_hit_rate", report.munas.cache.hit_rate()),
+            ("te_nas_cache_hits", report.te_nas.cache.hits as f64),
+            ("te_nas_cache_misses", report.te_nas.cache.misses as f64),
+            ("te_nas_cache_hit_rate", report.te_nas.cache.hit_rate()),
+            ("micronas_cache_hits", report.micronas.cache.hits as f64),
+            ("micronas_cache_misses", report.micronas.cache.misses as f64),
+            ("micronas_cache_hit_rate", report.micronas.cache.hit_rate()),
+        ],
     );
 }
 

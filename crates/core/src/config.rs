@@ -3,10 +3,11 @@ use micronas_hw::HardwareConstraints;
 use micronas_mcu::McuSpec;
 use micronas_nn::ProxyNetworkConfig;
 use micronas_proxies::{LinearRegionConfig, NtkConfig};
+use micronas_tensor::KernelBackendKind;
 use serde::{Deserialize, Serialize};
 
 /// Top-level configuration of a MicroNAS run: proxy settings, target device,
-/// hardware constraints and reproducibility seed.
+/// hardware constraints, execution backend and reproducibility seed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MicroNasConfig {
     /// NTK proxy configuration (the paper adopts batch size 32).
@@ -19,6 +20,12 @@ pub struct MicroNasConfig {
     pub constraints: HardwareConstraints,
     /// Global seed for every stochastic component.
     pub seed: u64,
+    /// Execution backend the proxy networks run on. The default
+    /// ([`KernelBackendKind::BlockedGemm`]) is bitwise-identical to the
+    /// paper pipeline; any other backend changes proxy numerics and
+    /// therefore gets its own store namespace (see
+    /// [`MicroNasConfig::store_namespace`]).
+    pub backend: KernelBackendKind,
 }
 
 impl MicroNasConfig {
@@ -32,6 +39,7 @@ impl MicroNasConfig {
             constraints: HardwareConstraints::for_device(&mcu),
             mcu,
             seed: 0,
+            backend: KernelBackendKind::BlockedGemm,
         }
     }
 
@@ -47,6 +55,7 @@ impl MicroNasConfig {
             constraints: HardwareConstraints::unconstrained(),
             mcu,
             seed: 0,
+            backend: KernelBackendKind::BlockedGemm,
         }
     }
 
@@ -83,6 +92,7 @@ impl MicroNasConfig {
             constraints: HardwareConstraints::unconstrained(),
             mcu,
             seed: 0,
+            backend: KernelBackendKind::BlockedGemm,
         }
     }
 
@@ -95,6 +105,16 @@ impl MicroNasConfig {
     /// Replaces the hardware constraints, keeping everything else.
     pub fn with_constraints(mut self, constraints: HardwareConstraints) -> Self {
         self.constraints = constraints;
+        self
+    }
+
+    /// Replaces the execution backend, keeping everything else. Choosing a
+    /// backend that is not bitwise-identical to the paper default moves the
+    /// configuration into its own store namespace — persisted logs written
+    /// under the default numerics refuse to open rather than serve values
+    /// the new backend cannot reproduce.
+    pub fn with_backend(mut self, backend: KernelBackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -145,6 +165,25 @@ impl MicroNasConfig {
         }
         h.update(&(self.mcu.sram_kib as u64).to_le_bytes());
         h.update(&(self.mcu.flash_kib as u64).to_le_bytes());
+        // Execution backend: the paper-default backend contributes NOTHING,
+        // so every namespace (and log) minted before the backend layer
+        // existed keeps resolving. Any backend with divergent numerics is
+        // folded in — its evaluations land in a disjoint namespace, and
+        // opening a default-numerics log under it is *refused* instead of
+        // silently serving values the backend cannot reproduce.
+        if !self.backend.bitwise_paper_identical() {
+            h.update(b"backend/");
+            let id = self.backend.id();
+            h.update(&(id.len() as u64).to_le_bytes());
+            h.update(id.as_bytes());
+            h.update(
+                &self
+                    .backend
+                    .instantiate()
+                    .config_fingerprint()
+                    .to_le_bytes(),
+            );
+        }
         h.finish()
     }
 
@@ -158,6 +197,14 @@ impl MicroNasConfig {
             return Err(MicroNasError::InvalidConfig(
                 "NTK batch size must be at least 2".into(),
             ));
+        }
+        if !self.backend.supports_gradients() {
+            return Err(MicroNasError::InvalidConfig(format!(
+                "execution backend {:?} is inference-only: the NTK proxy needs gradient \
+                 kernels. Use it for deployment checks (e.g. \
+                 LinearRegionEvaluator::with_backend) instead of driving a search",
+                self.backend.id()
+            )));
         }
         if self.ntk.batch_size > MAX_NTK_BATCH {
             return Err(MicroNasError::InvalidConfig(format!(
@@ -278,6 +325,40 @@ mod tests {
             "got {:#018x}",
             MicroNasConfig::paper_default().store_namespace()
         );
+    }
+
+    #[test]
+    fn backend_selection_controls_the_namespace() {
+        let default_ns = MicroNasConfig::fast().store_namespace();
+        // The paper-default backend folds nothing: pre-backend namespaces
+        // keep resolving.
+        assert_eq!(
+            default_ns,
+            MicroNasConfig::fast()
+                .with_backend(KernelBackendKind::BlockedGemm)
+                .store_namespace()
+        );
+        // Every numerically divergent backend gets its own namespace.
+        let simd_ns = MicroNasConfig::fast()
+            .with_backend(KernelBackendKind::Simd)
+            .store_namespace();
+        let direct_ns = MicroNasConfig::fast()
+            .with_backend(KernelBackendKind::Direct)
+            .store_namespace();
+        assert_ne!(default_ns, simd_ns);
+        assert_ne!(default_ns, direct_ns);
+        assert_ne!(simd_ns, direct_ns);
+    }
+
+    #[test]
+    fn inference_only_backends_cannot_drive_a_search() {
+        let cfg = MicroNasConfig::fast().with_backend(KernelBackendKind::Int8Mcu);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("inference-only"), "{err}");
+        assert!(MicroNasConfig::fast()
+            .with_backend(KernelBackendKind::Simd)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -158,7 +158,11 @@ impl SearchContext {
         Ok(Self {
             space: SearchSpace::nas_bench_201(),
             dataset,
-            zero_cost: ZeroCostEvaluator::new(config.ntk, config.linear_regions),
+            zero_cost: ZeroCostEvaluator::with_backend(
+                config.ntk,
+                config.linear_regions,
+                config.backend.instantiate(),
+            ),
             extra_proxies,
             hardware: HardwareEvaluator::new(skeleton, config.mcu.clone()),
             constraints: config.constraints,

@@ -104,6 +104,7 @@ pub struct SearchSessionBuilder {
     proxies: Vec<Arc<dyn Proxy>>,
     store: Option<Arc<EvalStore>>,
     observer: Option<Arc<dyn SearchObserver>>,
+    backend: Option<micronas_tensor::KernelBackendKind>,
 }
 
 impl SearchSessionBuilder {
@@ -155,6 +156,25 @@ impl SearchSessionBuilder {
         self
     }
 
+    /// Selects the execution backend the session's **built-in** indicators
+    /// (NTK, linear regions) run on (overrides the configuration's
+    /// `backend` field; default: the bitwise paper-default
+    /// [`micronas_tensor::KernelBackendKind::BlockedGemm`]). A numerically
+    /// divergent backend moves the session into its own store namespace, so
+    /// an attached store must have been created for that namespace.
+    ///
+    /// Plugin proxies registered via [`SearchSessionBuilder::proxy`] are
+    /// opaque to the session and keep whatever execution configuration they
+    /// were constructed with — a plugin that supports backend selection
+    /// exposes its own `with_backend` constructor (and must fold the
+    /// backend into its `config_fingerprint`, see
+    /// [`micronas_proxies::fold_backend`]).
+    #[must_use]
+    pub fn backend(mut self, backend: micronas_tensor::KernelBackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// Attaches a progress observer that receives every
     /// [`crate::SearchEvent`] of searches run through the session.
     #[must_use]
@@ -172,7 +192,10 @@ impl SearchSessionBuilder {
     /// match the configuration.
     pub fn build(self) -> Result<SearchSession> {
         let dataset = self.dataset.unwrap_or(DatasetKind::Cifar10);
-        let config = self.config.unwrap_or_default();
+        let mut config = self.config.unwrap_or_default();
+        if let Some(backend) = self.backend {
+            config.backend = backend;
+        }
         let context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
         Ok(SearchSession {
             context,

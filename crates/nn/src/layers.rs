@@ -3,7 +3,7 @@
 use crate::Result;
 use micronas_tensor::{
     conv2d_backward_input_with, conv2d_backward_weight_with, conv2d_with, gemm_nn, gemm_nt,
-    gemm_tn, Conv2dSpec, InitKind, Shape, Tensor, Workspace,
+    gemm_tn, Conv2dSpec, InitKind, KernelBackend, Shape, Tensor, Workspace,
 };
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +96,54 @@ impl ConvLayer {
             self.spec,
             workspace,
         )?)
+    }
+
+    /// Forward pass dispatched through an execution backend. With the
+    /// paper-default backend this is bitwise-identical to
+    /// [`ConvLayer::forward_pooled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors from the backend kernel.
+    pub fn forward_on(
+        &self,
+        backend: &dyn KernelBackend,
+        input: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        Ok(backend.conv2d(input, &self.weight, self.spec, workspace)?)
+    }
+
+    /// Backward pass dispatched through an execution backend: returns
+    /// `(grad_weight, grad_input)`. With the paper-default backend the
+    /// values are bitwise-identical to [`ConvLayer::backward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors, and the backend's gradients-
+    /// unsupported error for inference-only backends.
+    pub fn backward_on(
+        &self,
+        backend: &dyn KernelBackend,
+        input: &Tensor,
+        grad_out: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<(Tensor, Tensor)> {
+        let grad_w = backend.conv2d_backward_weight(
+            input,
+            grad_out,
+            self.out_channels(),
+            self.spec,
+            workspace,
+        )?;
+        let grad_in = backend.conv2d_backward_input(
+            &self.weight,
+            grad_out,
+            input.shape(),
+            self.spec,
+            workspace,
+        )?;
+        Ok((grad_w, grad_in))
     }
 
     /// Backward pass: returns `(grad_weight, grad_input)` for the upstream
@@ -194,6 +242,75 @@ impl LinearLayer {
             false,
         );
         Ok(out)
+    }
+
+    /// [`LinearLayer::forward`] dispatched through an execution backend
+    /// (bitwise-identical under the paper default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors.
+    pub fn forward_on(&self, backend: &dyn KernelBackend, input: &Tensor) -> Result<Tensor> {
+        let (batch, in_features) = self.check_input(input)?;
+        let out_features = self.weight.shape().dims()[0];
+        let mut out = Tensor::zeros(Shape::d2(batch, out_features));
+        backend.gemm_nt(
+            batch,
+            in_features,
+            out_features,
+            input.data(),
+            self.weight.data(),
+            out.data_mut(),
+            false,
+        );
+        Ok(out)
+    }
+
+    /// [`LinearLayer::backward`] dispatched through an execution backend
+    /// (bitwise-identical under the paper default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-shape errors.
+    pub fn backward_on(
+        &self,
+        backend: &dyn KernelBackend,
+        input: &Tensor,
+        grad_out: &Tensor,
+    ) -> Result<(Tensor, Tensor)> {
+        let (batch, in_features) = self.check_input(input)?;
+        let out_features = self.weight.shape().dims()[0];
+        let gd = grad_out.shape().dims();
+        if gd.len() != 2 || gd[0] != batch || gd[1] != out_features {
+            return Err(crate::NnError::from(
+                micronas_tensor::TensorError::IncompatibleShapes {
+                    op: "linear backward",
+                    lhs: gd.to_vec(),
+                    rhs: vec![batch, out_features],
+                },
+            ));
+        }
+        let mut grad_w = Tensor::zeros(self.weight.shape().clone());
+        backend.gemm_tn(
+            out_features,
+            batch,
+            in_features,
+            grad_out.data(),
+            input.data(),
+            grad_w.data_mut(),
+            false,
+        );
+        let mut grad_in = Tensor::zeros(Shape::d2(batch, in_features));
+        backend.gemm_nn(
+            batch,
+            out_features,
+            in_features,
+            grad_out.data(),
+            self.weight.data(),
+            grad_in.data_mut(),
+            false,
+        );
+        Ok((grad_w, grad_in))
     }
 
     /// Backward pass: returns `(grad_weight, grad_input)`.

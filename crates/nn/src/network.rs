@@ -6,12 +6,11 @@ use crate::{
 };
 use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES};
 use micronas_tensor::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_pooled, avg_pool2d_pooled,
-    conv2d_backward_input_pooled, conv2d_backward_weight_per_sample_into, gemm_nn, global_avg_pool,
-    global_avg_pool_backward, hash_mix,
+    avg_pool2d, global_avg_pool, global_avg_pool_backward, hash_mix,
     ops::{relu, relu_backward},
-    Shape, Tensor, Workspace,
+    paper_default_backend, KernelBackend, Shape, Tensor, Workspace,
 };
+use std::sync::Arc;
 
 /// Result of a forward pass through a [`CellNetwork`].
 #[derive(Debug, Clone)]
@@ -52,6 +51,19 @@ struct ForwardTrace {
 /// convolution, `num_cells` stacked copies of the cell at constant channel
 /// width, global average pooling and a linear classifier. See
 /// [`ProxyNetworkConfig`] for the geometry knobs.
+///
+/// # Execution backends
+///
+/// Every kernel the network runs — convolution forward/backward, pooling,
+/// the classifier GEMMs — dispatches through the network's
+/// [`KernelBackend`] ([`CellNetwork::with_backend`]; the plain constructor
+/// uses the shared paper-default backend, which is bitwise-identical to the
+/// pre-backend pipeline). The *weights* never depend on the backend: only
+/// execution arithmetic does. Exceptions, by design: the looped reference
+/// formulation ([`CellNetwork::per_sample_gradients_looped_with`]) keeps its
+/// historical free-function forward trace (it is the pinned PR 3 baseline
+/// the batched path is property-tested and benchmarked against), and the
+/// tiny `global_avg_pool` reduction is shared by all backends.
 #[derive(Debug, Clone)]
 pub struct CellNetwork {
     cell: CellTopology,
@@ -59,10 +71,12 @@ pub struct CellNetwork {
     stem: ConvLayer,
     cells: Vec<CellInstance>,
     classifier: LinearLayer,
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl CellNetwork {
-    /// Builds and randomly initialises the network for `cell`.
+    /// Builds and randomly initialises the network for `cell` on the
+    /// paper-default execution backend.
     ///
     /// The `seed` controls every weight tensor; two networks built with the
     /// same `(cell, config, seed)` triple are identical.
@@ -71,6 +85,21 @@ impl CellNetwork {
     ///
     /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
     pub fn new(cell: &CellTopology, config: &ProxyNetworkConfig, seed: u64) -> Result<Self> {
+        Self::with_backend(cell, config, seed, paper_default_backend())
+    }
+
+    /// [`CellNetwork::new`] on an explicit execution backend. Weights are
+    /// identical for every backend; only the kernel arithmetic differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+    pub fn with_backend(
+        cell: &CellTopology,
+        config: &ProxyNetworkConfig,
+        seed: u64,
+        backend: Arc<dyn KernelBackend>,
+    ) -> Result<Self> {
         config.validate()?;
         let stem = ConvLayer::new(
             config.input_channels,
@@ -123,12 +152,18 @@ impl CellNetwork {
             stem,
             cells,
             classifier,
+            backend,
         })
     }
 
     /// The searched cell this network instantiates.
     pub fn cell(&self) -> &CellTopology {
         &self.cell
+    }
+
+    /// The execution backend this network dispatches its kernels through.
+    pub fn backend(&self) -> &Arc<dyn KernelBackend> {
+        &self.backend
     }
 
     /// The network configuration.
@@ -190,7 +225,8 @@ impl CellNetwork {
         collect_pre_activations: bool,
     ) -> Result<(ForwardTrace, Vec<Tensor>)> {
         self.check_input(input)?;
-        let stem_out = self.stem.forward_pooled(input, workspace)?;
+        let backend = &*self.backend;
+        let stem_out = self.stem.forward_on(backend, input, workspace)?;
         let mut pre_activations = Vec::new();
         let mut nodes_per_cell = Vec::with_capacity(self.cells.len());
         let mut x = pooled_copy(&stem_out, workspace);
@@ -211,7 +247,7 @@ impl CellNetwork {
                             acc.axpy(1.0, &nodes[src]).map_err(NnError::from)?;
                         }
                         Operation::AvgPool3x3 => {
-                            let c = avg_pool2d_pooled(&nodes[src], 3, 1, 1, workspace)?;
+                            let c = backend.avg_pool2d(&nodes[src], 3, 1, 1, workspace)?;
                             acc.axpy(1.0, &c).map_err(NnError::from)?;
                             workspace.recycle(c.into_vec());
                         }
@@ -223,7 +259,7 @@ impl CellNetwork {
                                 pre_activations.push(nodes[src].clone());
                             }
                             let activated = pooled_relu(&nodes[src], workspace);
-                            let c = conv.forward_pooled(&activated, workspace)?;
+                            let c = conv.forward_on(backend, &activated, workspace)?;
                             workspace.recycle(activated.into_vec());
                             acc.axpy(1.0, &c).map_err(NnError::from)?;
                             workspace.recycle(c.into_vec());
@@ -237,7 +273,7 @@ impl CellNetwork {
         }
         let features = global_avg_pool(&x)?;
         workspace.recycle(x.into_vec());
-        let logits = self.classifier.forward(&features)?;
+        let logits = self.classifier.forward_on(backend, &features)?;
         let trace = ForwardTrace {
             input: pooled_copy(input, workspace),
             stem_out,
@@ -341,7 +377,8 @@ impl CellNetwork {
     /// forward pass over the whole batch, then a single backward sweep in
     /// which every convolution edge emits all `n` per-sample weight
     /// gradients from one shared im2col lowering
-    /// ([`conv2d_backward_weight_per_sample_into`]) straight into the matrix.
+    /// ([`micronas_tensor::conv2d_backward_weight_per_sample_into`], routed
+    /// through the network's backend) straight into the matrix.
     ///
     /// Compared to the looped formulation
     /// ([`CellNetwork::per_sample_gradients_looped_with`]) this runs one
@@ -491,6 +528,7 @@ impl CellNetwork {
         workspace: &mut Workspace,
         matrix: &mut [f32],
     ) -> Result<()> {
+        let backend = &*self.backend;
         let n = trace.input.shape().dims()[0];
         let p = self.num_parameters();
         debug_assert_eq!(matrix.len(), n * p);
@@ -515,7 +553,7 @@ impl CellNetwork {
         // all-ones, batched over samples (rows are independent).
         let mut grad_features = Tensor::zeros(Shape::d2(n, channels));
         let ones = vec![1.0f32; n * num_classes];
-        gemm_nn(
+        backend.gemm_nn(
             n,
             num_classes,
             channels,
@@ -577,7 +615,7 @@ impl CellNetwork {
                         touched[src] = true;
                     }
                     Operation::AvgPool3x3 => {
-                        let g = avg_pool2d_backward_pooled(
+                        let g = backend.avg_pool2d_backward(
                             upstream,
                             nodes[src].shape(),
                             3,
@@ -594,7 +632,7 @@ impl CellNetwork {
                             .as_ref()
                             .expect("conv edge always has a layer");
                         let activated = pooled_relu(&nodes[src], workspace);
-                        conv2d_backward_weight_per_sample_into(
+                        backend.conv2d_backward_weight_per_sample_into(
                             &activated,
                             upstream,
                             conv.out_channels(),
@@ -604,7 +642,7 @@ impl CellNetwork {
                             p,
                             edge_offsets[cell_idx][edge.0],
                         )?;
-                        let mut g_src = conv2d_backward_input_pooled(
+                        let mut g_src = backend.conv2d_backward_input(
                             conv.weight(),
                             upstream,
                             activated.shape(),
@@ -632,7 +670,7 @@ impl CellNetwork {
         }
 
         // Stem, per sample.
-        conv2d_backward_weight_per_sample_into(
+        backend.conv2d_backward_weight_per_sample_into(
             &trace.input,
             &grad_x,
             self.stem.out_channels(),
@@ -652,8 +690,11 @@ impl CellNetwork {
         grad_logits: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<ParameterGradients> {
+        let backend = &*self.backend;
         // Classifier.
-        let (grad_cls_w, grad_features) = self.classifier.backward(&trace.features, grad_logits)?;
+        let (grad_cls_w, grad_features) =
+            self.classifier
+                .backward_on(backend, &trace.features, grad_logits)?;
         // Global average pooling.
         let last_x = trace
             .nodes
@@ -686,7 +727,14 @@ impl CellNetwork {
                             .map_err(NnError::from)?;
                     }
                     Operation::AvgPool3x3 => {
-                        let g = avg_pool2d_backward(&upstream, nodes[src].shape(), 3, 1, 1)?;
+                        let g = backend.avg_pool2d_backward(
+                            &upstream,
+                            nodes[src].shape(),
+                            3,
+                            1,
+                            1,
+                            workspace,
+                        )?;
                         node_grads[src].axpy(1.0, &g).map_err(NnError::from)?;
                     }
                     Operation::NorConv1x1 | Operation::NorConv3x3 => {
@@ -694,7 +742,8 @@ impl CellNetwork {
                             .as_ref()
                             .expect("conv edge always has a layer");
                         let activated = relu(&nodes[src]);
-                        let (gw, g_act) = conv.backward_with(&activated, &upstream, workspace)?;
+                        let (gw, g_act) =
+                            conv.backward_on(backend, &activated, &upstream, workspace)?;
                         weight_grads[edge.0] = Some(gw);
                         let g_src = relu_backward(&nodes[src], &g_act);
                         node_grads[src].axpy(1.0, &g_src).map_err(NnError::from)?;
@@ -707,7 +756,9 @@ impl CellNetwork {
         cell_weight_grads.reverse();
 
         // Stem.
-        let (grad_stem_w, _) = self.stem.backward_with(&trace.input, &grad_x, workspace)?;
+        let (grad_stem_w, _) = self
+            .stem
+            .backward_on(backend, &trace.input, &grad_x, workspace)?;
 
         // Flatten in canonical parameter order.
         let mut flat = Vec::with_capacity(self.num_parameters());

@@ -67,8 +67,8 @@ pub use jacobian::{JacobianCovarianceConfig, JacobianCovarianceProxy};
 pub use linear_regions::{LinearRegionConfig, LinearRegionEvaluator, LinearRegionReport};
 pub use metric::{metric_ids, MetricSet};
 pub use ntk::{GradientPath, NtkConfig, NtkEvaluator, NtkReport};
-pub use proxy::{fingerprint_network, LinearRegionProxy, NtkProxy, Proxy};
-pub use scratch::with_thread_workspace;
+pub use proxy::{fingerprint_network, fold_backend, LinearRegionProxy, NtkProxy, Proxy};
+pub use scratch::{with_thread_workspace, with_thread_workspace_capped};
 pub use synflow::{SynFlowConfig, SynFlowProxy};
 pub use zero_cost::{ZeroCostEvaluator, ZeroCostMetrics};
 

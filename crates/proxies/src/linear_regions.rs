@@ -4,9 +4,10 @@ use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
-use micronas_tensor::{Shape, Tensor};
+use micronas_tensor::{paper_default_backend, KernelBackend, Shape, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Configuration of the linear-region proxy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,12 +98,31 @@ impl LinearRegionReport {
 #[derive(Debug, Clone)]
 pub struct LinearRegionEvaluator {
     config: LinearRegionConfig,
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl LinearRegionEvaluator {
-    /// Creates an evaluator with the given configuration.
+    /// Creates an evaluator with the given configuration on the
+    /// paper-default execution backend.
     pub fn new(config: LinearRegionConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            backend: paper_default_backend(),
+        }
+    }
+
+    /// Returns a copy running on an explicit execution backend. The probe is
+    /// forward-only, so inference-only backends (int8) work here — that is
+    /// the deployment-accuracy scenario: how much expressivity survives the
+    /// device's 8-bit arithmetic.
+    pub fn with_backend(mut self, backend: Arc<dyn KernelBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend in force.
+    pub fn backend(&self) -> &Arc<dyn KernelBackend> {
+        &self.backend
     }
 
     /// The evaluator's configuration.
@@ -124,10 +144,11 @@ impl LinearRegionEvaluator {
         seed: u64,
     ) -> Result<LinearRegionReport> {
         // The shared per-thread scratch arena serves every probe segment and
-        // stays hot across candidates.
-        crate::scratch::with_thread_workspace(|workspace| {
-            self.evaluate_in(cell, dataset, seed, workspace)
-        })
+        // stays hot across candidates, under the backend's retention policy.
+        crate::scratch::with_thread_workspace_capped(
+            self.backend.arena_retention_cap_bytes(),
+            |workspace| self.evaluate_in(cell, dataset, seed, workspace),
+        )
     }
 
     /// [`LinearRegionEvaluator::evaluate`] threading an explicit scratch
@@ -147,7 +168,7 @@ impl LinearRegionEvaluator {
         self.config.validate()?;
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
-        let net = CellNetwork::new(&cell, &net_config, seed)?;
+        let net = CellNetwork::with_backend(&cell, &net_config, seed, self.backend.clone())?;
         let data = SyntheticDataset::new(dataset, seed);
 
         let mut total_regions = 0usize;

@@ -5,9 +5,11 @@ use micronas_datasets::{DatasetKind, SyntheticDataset};
 use micronas_nn::{CellNetwork, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
 use micronas_tensor::{
-    gram_nt_f64, sym_eigenvalues_with, EigenOptions, EigenReport, Shape, Tensor, Workspace,
+    paper_default_backend, sym_eigenvalues_with, EigenOptions, EigenReport, KernelBackend, Shape,
+    Tensor, Workspace,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the NTK condition-number proxy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,11 +122,14 @@ impl NtkReport {
 /// regression hunting — production code should leave the default
 /// [`GradientPath::Batched`] in place. In particular, results produced
 /// under [`GradientPath::Looped`] must **never** be written into a shared
-/// [`micronas-store`] evaluation store: store keys do not encode the
-/// formulation, and the store's bitwise-identity guarantee assumes every
-/// writer runs the default path. (The store-writing search contexts always
-/// construct default evaluators, so this only concerns code that inserts
-/// records by hand.)
+/// [`micronas-store`] evaluation store under the *built-in* zero-cost keys:
+/// those keys do not encode the formulation, and the store's
+/// bitwise-identity guarantee assumes every writer runs the default path.
+/// (The store-writing search contexts always construct default evaluators,
+/// so this concerns code that inserts records by hand. A looped evaluator
+/// registered as a *plugin* via `NtkProxy::from_evaluator` is safe: the
+/// proxy fingerprint folds a non-default gradient path, so its records can
+/// never alias the batched ones.)
 ///
 /// [`micronas-store`]: https://docs.rs/micronas-store
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -156,14 +161,17 @@ pub enum GradientPath {
 pub struct NtkEvaluator {
     config: NtkConfig,
     gradient_path: GradientPath,
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl NtkEvaluator {
-    /// Creates an evaluator with the given configuration.
+    /// Creates an evaluator with the given configuration on the
+    /// paper-default execution backend.
     pub fn new(config: NtkConfig) -> Self {
         Self {
             config,
             gradient_path: GradientPath::default(),
+            backend: paper_default_backend(),
         }
     }
 
@@ -173,6 +181,20 @@ impl NtkEvaluator {
     pub fn with_gradient_path(mut self, path: GradientPath) -> Self {
         self.gradient_path = path;
         self
+    }
+
+    /// Returns a copy running on an explicit execution backend. The backend
+    /// must implement gradient kernels
+    /// ([`KernelBackend::supports_gradients`]); inference-only backends make
+    /// every evaluation fail.
+    pub fn with_backend(mut self, backend: Arc<dyn KernelBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend in force.
+    pub fn backend(&self) -> &Arc<dyn KernelBackend> {
+        &self.backend
     }
 
     /// The gradient formulation in force.
@@ -201,10 +223,11 @@ impl NtkEvaluator {
         // The thread-local arena keeps batch-level buffers hot across
         // candidates (fresh per-call allocation of batch-32 tensors costs
         // mmap round-trips) and shrinks back to the evaluation's watermark
-        // on the way out.
-        crate::scratch::with_thread_workspace(|workspace| {
-            self.evaluate_in(cell, dataset, seed, workspace)
-        })
+        // on the way out, under the backend's retention policy.
+        crate::scratch::with_thread_workspace_capped(
+            self.backend.arena_retention_cap_bytes(),
+            |workspace| self.evaluate_in(cell, dataset, seed, workspace),
+        )
     }
 
     /// [`NtkEvaluator::evaluate`] threading an explicit scratch arena
@@ -249,7 +272,8 @@ impl NtkEvaluator {
                 net_config.input_resolution,
                 repeat as u64,
             )?;
-            let net = CellNetwork::new(&cell, &net_config, repeat_seed)?;
+            let net =
+                CellNetwork::with_backend(&cell, &net_config, repeat_seed, self.backend.clone())?;
             let gram = self.gram_matrix(&net, &batch.images, workspace)?;
             let full = sym_eigenvalues_with(&gram, EigenOptions::default(), &mut eigen_scratch)
                 .map_err(|e| ProxyError::Eigen(e.to_string()))?;
@@ -305,7 +329,8 @@ impl NtkEvaluator {
                 // with f64 accumulation).
                 let j = net.per_sample_gradient_matrix_with(images, workspace)?;
                 let mut raw = vec![0.0f64; n * n];
-                gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
+                self.backend
+                    .gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
                 workspace.recycle(j.into_values());
                 raw
             }

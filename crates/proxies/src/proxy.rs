@@ -91,6 +91,22 @@ pub fn fingerprint_network(mut h: u64, net: &ProxyNetworkConfig) -> u64 {
     hash_mix(h, init_tag)
 }
 
+/// Folds an execution backend's identity into a proxy fingerprint — but
+/// **only** for backends that are not bitwise-identical to the paper
+/// default. A backend with divergent numerics produces different scores for
+/// the same `(cell, dataset, seed, config)` and must therefore never share
+/// cached results with the default pipeline; the paper-default backend folds
+/// nothing, so pre-existing fingerprints (and every record persisted under
+/// them) stay valid. Public so external [`Proxy`] implementations that
+/// thread a backend apply the same rule.
+pub fn fold_backend(h: u64, backend: &dyn micronas_tensor::KernelBackend) -> u64 {
+    if backend.bitwise_paper_identical() {
+        h
+    } else {
+        hash_mix(h, backend.config_fingerprint())
+    }
+}
+
 /// Seed of every fingerprint chain ("MicroNAS" in ASCII).
 const FINGERPRINT_SEED: u64 = 0x4D69_6372_6F4E_4153;
 
@@ -119,6 +135,12 @@ impl NtkProxy {
         }
     }
 
+    /// Wraps a fully configured evaluator (e.g. one pinned to a
+    /// non-default execution backend via [`NtkEvaluator::with_backend`]).
+    pub fn from_evaluator(evaluator: NtkEvaluator) -> Self {
+        Self { evaluator }
+    }
+
     /// The underlying evaluator.
     pub fn evaluator(&self) -> &NtkEvaluator {
         &self.evaluator
@@ -136,7 +158,16 @@ impl Proxy for NtkProxy {
         h = hash_mix(h, c.batch_size as u64);
         h = hash_mix(h, c.repeats as u64);
         h = hash_mix(h, c.max_condition_index as u64);
-        fingerprint_network(h, &c.network)
+        h = fingerprint_network(h, &c.network);
+        // The gradient formulation is part of the numerics (the two Gram
+        // builds differ at reduction-order level, and under a non-default
+        // backend the looped path runs entirely different kernels). The
+        // default ([`crate::GradientPath::Batched`]) folds nothing, so
+        // fingerprints minted before this knob existed stay valid.
+        if self.evaluator.gradient_path() != crate::GradientPath::Batched {
+            h = hash_mix(h, 1);
+        }
+        fold_backend(h, self.evaluator.backend().as_ref())
     }
 
     fn evaluate_with(
@@ -175,6 +206,13 @@ impl LinearRegionProxy {
         }
     }
 
+    /// Wraps a fully configured evaluator — in particular one pinned to the
+    /// int8 MCU backend via [`LinearRegionEvaluator::with_backend`], which
+    /// probes the expressivity that survives 8-bit deployment arithmetic.
+    pub fn from_evaluator(evaluator: LinearRegionEvaluator) -> Self {
+        Self { evaluator }
+    }
+
     /// The underlying evaluator.
     pub fn evaluator(&self) -> &LinearRegionEvaluator {
         &self.evaluator
@@ -191,7 +229,8 @@ impl Proxy for LinearRegionProxy {
         let mut h = fingerprint_domain("micronas/proxy/linear_regions");
         h = hash_mix(h, c.num_segments as u64);
         h = hash_mix(h, c.points_per_segment as u64);
-        fingerprint_network(h, &c.network)
+        h = fingerprint_network(h, &c.network);
+        fold_backend(h, self.evaluator.backend().as_ref())
     }
 
     fn evaluate_with(

@@ -51,11 +51,26 @@ pub struct ZeroCostEvaluator {
 }
 
 impl ZeroCostEvaluator {
-    /// Creates an evaluator from the two proxy configurations.
+    /// Creates an evaluator from the two proxy configurations on the
+    /// paper-default execution backend.
     pub fn new(ntk: NtkConfig, lr: LinearRegionConfig) -> Self {
         Self {
             ntk: NtkEvaluator::new(ntk),
             linear_regions: LinearRegionEvaluator::new(lr),
+        }
+    }
+
+    /// Creates an evaluator running both indicators on an explicit execution
+    /// backend ([`micronas_tensor::KernelBackend`]). The NTK half needs
+    /// gradient kernels, so inference-only backends fail at evaluation time.
+    pub fn with_backend(
+        ntk: NtkConfig,
+        lr: LinearRegionConfig,
+        backend: std::sync::Arc<dyn micronas_tensor::KernelBackend>,
+    ) -> Self {
+        Self {
+            ntk: NtkEvaluator::new(ntk).with_backend(backend.clone()),
+            linear_regions: LinearRegionEvaluator::new(lr).with_backend(backend),
         }
     }
 

@@ -30,6 +30,14 @@ pub enum StoreError {
         /// Path of the contended log file.
         path: std::path::PathBuf,
     },
+    /// A point read at a recorded offset found a bad frame — the file was
+    /// modified underneath a live store, or the offset index is stale.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +60,9 @@ impl fmt::Display for StoreError {
                 "evaluation-store log {} is held by another store (single-writer)",
                 path.display()
             ),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt store record at byte offset {offset}: {reason}")
+            }
         }
     }
 }

@@ -72,7 +72,7 @@ pub use fnv::{fnv1a64, Fnv1a};
 pub use identity::{custom_proxy_digest, ArchDigest, EvalKey, ProxyKind, IDENTITY_VERSION};
 pub use log::CompactStats;
 pub use record::{decode_entry, encode_entry, EvalRecord, NtkSpectrumRecord, MAX_SPECTRUM_INDICES};
-pub use store::{EvalStore, GetOrInsertError, StoreStats};
+pub use store::{EvalStore, GetOrInsertError, StoreOptions, StoreStats};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StoreError>;

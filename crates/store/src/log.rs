@@ -53,6 +53,10 @@ pub struct Replay {
     /// Every valid `(key, record)` entry, in append order (callers apply
     /// last-wins).
     pub entries: Vec<(EvalKey, EvalRecord)>,
+    /// Byte offset of each entry's frame in the file, parallel to
+    /// [`Replay::entries`] — the coordinates eviction-capped stores use to
+    /// re-read records they dropped from memory.
+    pub offsets: Vec<u64>,
     /// Byte offset of the end of the valid prefix.
     pub valid_len: u64,
     /// Whether an invalid tail (torn write or checksum mismatch) was found
@@ -139,6 +143,8 @@ impl Seek for LockedFile {
 #[derive(Debug)]
 pub struct LogWriter {
     writer: BufWriter<LockedFile>,
+    /// Byte offset the next append lands at (end of the valid prefix).
+    end: u64,
 }
 
 impl LogWriter {
@@ -198,32 +204,39 @@ impl LogWriter {
             file.flush()?;
             Replay {
                 entries: Vec::new(),
+                offsets: Vec::new(),
                 valid_len: HEADER_LEN,
                 recovered: !torn.is_empty(),
             }
         };
 
+        let end = replay.valid_len;
         Ok((
             Self {
                 writer: BufWriter::new(file),
+                end,
             },
             replay,
         ))
     }
 
-    /// Appends one record and flushes it to the operating system.
+    /// Appends one record and flushes it to the operating system. Returns
+    /// the byte offset of the record's frame — the coordinate
+    /// eviction-capped stores re-read it from (`read_record_at`).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
-    pub fn append(&mut self, key: &EvalKey, record: &EvalRecord) -> Result<(), StoreError> {
+    pub fn append(&mut self, key: &EvalKey, record: &EvalRecord) -> Result<u64, StoreError> {
+        let offset = self.end;
         let payload = encode_entry(key, record);
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.writer.flush()?;
-        Ok(())
+        self.end += (FRAME_LEN + payload.len()) as u64;
+        Ok(offset)
     }
 
     /// The path of the underlying file.
@@ -269,6 +282,7 @@ pub fn replay_bytes(bytes: &[u8], namespace: u64) -> Result<Replay, StoreError> 
     }
 
     let mut entries = Vec::new();
+    let mut offsets = Vec::new();
     let mut pos = HEADER_LEN as usize;
     let mut recovered = false;
     while pos < bytes.len() {
@@ -292,7 +306,10 @@ pub fn replay_bytes(bytes: &[u8], namespace: u64) -> Result<Replay, StoreError> 
             break;
         }
         match decode_entry(payload) {
-            Ok(entry) => entries.push(entry),
+            Ok(entry) => {
+                entries.push(entry);
+                offsets.push(pos as u64);
+            }
             Err(_) => {
                 recovered = true; // checksummed but undecodable: reject
                 break;
@@ -303,9 +320,44 @@ pub fn replay_bytes(bytes: &[u8], namespace: u64) -> Result<Replay, StoreError> 
 
     Ok(Replay {
         entries,
+        offsets,
         valid_len: pos as u64,
         recovered,
     })
+}
+
+/// Reads the single record whose frame starts at `offset` through an
+/// independent read handle — the re-read path of eviction-capped stores.
+/// The frame's checksum is verified before decoding, so a wrong offset or a
+/// concurrently truncated file surfaces as corruption, never as wrong data.
+///
+/// # Errors
+///
+/// I/O failures, or [`StoreError::Corrupt`] for a bad frame at `offset`.
+pub(crate) fn read_record_at(
+    file: &mut File,
+    offset: u64,
+) -> Result<(EvalKey, EvalRecord), StoreError> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut frame = [0u8; FRAME_LEN];
+    file.read_exact(&mut frame)?;
+    let len = u32::from_le_bytes(frame[..4].try_into().expect("len 4"));
+    let checksum = u64::from_le_bytes(frame[4..12].try_into().expect("len 8"));
+    if len > MAX_PAYLOAD {
+        return Err(StoreError::Corrupt {
+            offset,
+            reason: "nonsensical payload length".into(),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != checksum {
+        return Err(StoreError::Corrupt {
+            offset,
+            reason: "checksum mismatch on point read".into(),
+        });
+    }
+    decode_entry(&payload)
 }
 
 /// Statistics of one [`compact`] run.

@@ -1,10 +1,11 @@
 //! The sharded, concurrent, optionally persistent evaluation store.
 
-use crate::log::{self, CompactStats, LogWriter, Replay};
+use crate::log::{self, read_record_at, CompactStats, LogWriter, Replay};
 use crate::{EvalKey, EvalRecord, StoreError};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fs::File;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,12 +17,13 @@ const SHARDS: usize = 16;
 /// Hit/miss/entry counters of a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StoreStats {
-    /// Lookups answered from memory.
+    /// Lookups answered from memory (or a log-backed re-read of an evicted
+    /// record — either way, without recomputation).
     pub hits: u64,
     /// Lookups that required computing (or explicitly missed).
     pub misses: u64,
-    /// Records resident in the store (or, in a [`StoreStats::since`] delta,
-    /// records added over the measured span).
+    /// Records resident in memory (or, in a [`StoreStats::since`] delta,
+    /// records that became resident over the measured span).
     pub entries: u64,
 }
 
@@ -36,16 +38,58 @@ impl StoreStats {
         }
     }
 
-    /// The counter deltas accumulated since an earlier snapshot — including
-    /// `entries`, which becomes "records added since" (nothing is ever
-    /// evicted, so the count is monotone).
+    /// The counter deltas accumulated since an earlier snapshot. The
+    /// `entries` delta saturates at zero: on an eviction-capped store the
+    /// resident count can shrink between snapshots.
     pub fn since(&self, earlier: &StoreStats) -> StoreStats {
         StoreStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
-            entries: self.entries - earlier.entries,
+            entries: self.entries.saturating_sub(earlier.entries),
         }
     }
+}
+
+/// Construction options for an [`EvalStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Upper bound on records resident in memory **per shard** (16 shards
+    /// total, so the store holds at most `16 × cap` records in memory).
+    /// `None` (the default) keeps every record resident, the pre-eviction
+    /// behaviour.
+    ///
+    /// When a shard exceeds its cap the least-recently-used record is
+    /// evicted. On a persistent store every record was already written
+    /// through to the log at insert time, so an evicted record is *not
+    /// lost*: a later lookup re-reads it from the log by offset (counting a
+    /// hit — the value was served without recomputation). On a memory-only
+    /// store eviction discards the record and a later lookup misses; the
+    /// capped memory-only store is a plain bounded cache.
+    pub max_resident_per_shard: Option<usize>,
+}
+
+impl StoreOptions {
+    /// Options with an in-memory residency cap per shard.
+    pub fn with_max_resident_per_shard(cap: usize) -> Self {
+        Self {
+            max_resident_per_shard: Some(cap.max(1)),
+        }
+    }
+}
+
+/// Entries examined per eviction when picking the LRU victim (see
+/// `EvalStore::insert_resident` — exact LRU up to this shard size, sampled
+/// approximate LRU beyond it).
+const EVICTION_SCAN: usize = 32;
+
+/// One in-memory record plus its LRU clock stamp.
+#[derive(Debug)]
+struct Resident {
+    record: EvalRecord,
+    /// Value of the store clock at the last touch; the smallest stamp in a
+    /// shard is the eviction victim. Relaxed atomics: the stamp only guides
+    /// the eviction heuristic, never correctness.
+    last_used: AtomicU64,
 }
 
 /// A shared, persistent evaluation store with content-addressed keys.
@@ -61,31 +105,59 @@ impl StoreStats {
 /// records are only meaningful under the proxy/hardware configuration that
 /// produced them, so the log header pins the namespace and refuses to open
 /// under a different one.
+///
+/// # Bounded residency
+///
+/// Long-lived daemons replaying ever-growing logs would otherwise pin every
+/// record in memory forever; [`StoreOptions::max_resident_per_shard`] caps
+/// the in-memory tier with LRU eviction and write-through semantics —
+/// persistent stores transparently re-read evicted records from the log by
+/// offset.
 #[derive(Debug)]
 pub struct EvalStore {
-    shards: Vec<RwLock<HashMap<EvalKey, EvalRecord>>>,
+    shards: Vec<RwLock<HashMap<EvalKey, Resident>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     entries: AtomicU64,
+    /// Monotone LRU clock; every touch stamps the record.
+    clock: AtomicU64,
     namespace: u64,
     log: Option<Mutex<LogWriter>>,
+    /// Byte offset of every key's latest log record — maintained only on
+    /// capped persistent stores, where it is the re-read index for evicted
+    /// records.
+    offsets: Option<RwLock<HashMap<EvalKey, u64>>>,
+    /// Independent read handle for point re-reads of evicted records.
+    reader: Option<Mutex<File>>,
+    max_resident_per_shard: Option<usize>,
 }
 
 impl EvalStore {
-    fn with_shards(namespace: u64, log: Option<Mutex<LogWriter>>) -> Self {
+    fn with_shards(namespace: u64, log: Option<Mutex<LogWriter>>, options: StoreOptions) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             entries: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
             namespace,
             log,
+            offsets: None,
+            reader: None,
+            max_resident_per_shard: options.max_resident_per_shard,
         }
     }
 
     /// A memory-only store (no persistence) for the given namespace.
     pub fn in_memory(namespace: u64) -> Self {
-        Self::with_shards(namespace, None)
+        Self::with_shards(namespace, None, StoreOptions::default())
+    }
+
+    /// A memory-only store with explicit [`StoreOptions`]. With a residency
+    /// cap this is a bounded cache: evicted records are recomputed on the
+    /// next lookup.
+    pub fn in_memory_with_options(namespace: u64, options: StoreOptions) -> Self {
+        Self::with_shards(namespace, None, options)
     }
 
     /// Opens (or creates) a persistent store backed by the log at `path`.
@@ -96,23 +168,46 @@ impl EvalStore {
     ///
     /// I/O failures, bad magic, or version/namespace mismatches.
     pub fn open(path: &Path, namespace: u64) -> Result<Self, StoreError> {
+        Self::open_with_options(path, namespace, StoreOptions::default())
+    }
+
+    /// [`EvalStore::open`] with explicit [`StoreOptions`]. With a residency
+    /// cap, replay loads at most the cap per shard (most recent records win)
+    /// and evicted records are served from the log by offset.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, bad magic, or version/namespace mismatches.
+    pub fn open_with_options(
+        path: &Path,
+        namespace: u64,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
         let (writer, replay) = LogWriter::open(path, namespace)?;
-        let store = Self::with_shards(namespace, Some(Mutex::new(writer)));
+        let mut store = Self::with_shards(namespace, Some(Mutex::new(writer)), options);
+        if options.max_resident_per_shard.is_some() {
+            store.offsets = Some(RwLock::new(HashMap::new()));
+            store.reader = Some(Mutex::new(File::open(path)?));
+        }
         store.load_replay(replay);
         Ok(store)
     }
 
     fn load_replay(&self, replay: Replay) {
-        for (key, record) in replay.entries {
-            let shard = self.shard(&key);
-            if shard.write().insert(key, record).is_none() {
-                self.entries.fetch_add(1, Ordering::Relaxed);
+        for ((key, record), offset) in replay.entries.into_iter().zip(replay.offsets) {
+            if let Some(offsets) = &self.offsets {
+                offsets.write().insert(key, offset);
             }
+            self.insert_resident(key, record);
         }
     }
 
-    fn shard(&self, key: &EvalKey) -> &RwLock<HashMap<EvalKey, EvalRecord>> {
+    fn shard(&self, key: &EvalKey) -> &RwLock<HashMap<EvalKey, Resident>> {
         &self.shards[(key.shard_hash() as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The evaluation-configuration fingerprint this store is scoped to.
@@ -120,12 +215,14 @@ impl EvalStore {
         self.namespace
     }
 
-    /// Number of resident records.
+    /// Number of records resident in memory. On an eviction-capped
+    /// persistent store this can be smaller than the number of records the
+    /// log can serve.
     pub fn len(&self) -> usize {
         self.entries.load(Ordering::Relaxed) as usize
     }
 
-    /// Whether the store holds no records.
+    /// Whether the store holds no resident records.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -137,6 +234,74 @@ impl EvalStore {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Memory lookup (stamping the LRU clock), falling back to a log point
+    /// read for evicted records on capped persistent stores. Does not touch
+    /// the hit/miss counters.
+    fn lookup(&self, key: &EvalKey) -> Option<EvalRecord> {
+        {
+            let shard = self.shard(key).read();
+            if let Some(resident) = shard.get(key) {
+                resident.last_used.store(self.tick(), Ordering::Relaxed);
+                return Some(resident.record.clone());
+            }
+        }
+        // Evicted-but-persisted records re-enter through the log.
+        let offset = *self.offsets.as_ref()?.read().get(key)?;
+        let reread = {
+            let mut reader = self.reader.as_ref()?.lock();
+            read_record_at(&mut reader, offset)
+        };
+        match reread {
+            Ok((stored_key, record)) if stored_key == *key => {
+                self.insert_resident(*key, record.clone());
+                Some(record)
+            }
+            // A stale index or a file modified underneath the store: treat
+            // as a miss (the caller recomputes) rather than serving bytes of
+            // unknown provenance.
+            _ => None,
+        }
+    }
+
+    /// Inserts into the in-memory tier only, evicting a least-recently-used
+    /// record when a residency cap is exceeded.
+    ///
+    /// Victim selection scans at most [`EVICTION_SCAN`] entries, so an
+    /// insert holds the shard's write lock for O(1) work regardless of the
+    /// cap: exact LRU for shards up to the scan budget, sampled approximate
+    /// LRU beyond it (the classic Redis-style trade — which record gets
+    /// evicted only affects what stays warm, never correctness, because
+    /// persistent stores re-read evicted records from the log).
+    fn insert_resident(&self, key: EvalKey, record: EvalRecord) -> bool {
+        let shard = self.shard(&key);
+        let mut map = shard.write();
+        let fresh = map
+            .insert(
+                key,
+                Resident {
+                    record,
+                    last_used: AtomicU64::new(self.tick()),
+                },
+            )
+            .is_none();
+        if fresh {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(cap) = self.max_resident_per_shard {
+            while map.len() > cap {
+                let victim = map
+                    .iter()
+                    .take(EVICTION_SCAN)
+                    .min_by_key(|(_, r)| r.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| *k)
+                    .expect("non-empty shard over its cap");
+                map.remove(&victim);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        fresh
     }
 
     /// Looks a record up, counting a hit or miss.
@@ -153,8 +318,7 @@ impl EvalStore {
     where
         F: FnOnce(&EvalRecord) -> bool,
     {
-        let found = self.shard(key).read().get(key).cloned();
-        match found {
+        match self.lookup(key) {
             Some(record) if usable(&record) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(record)
@@ -167,8 +331,8 @@ impl EvalStore {
     }
 
     /// Inserts (or replaces) a record, persisting it when a log is attached.
-    /// Returns `true` when the key was new. Does not touch the hit/miss
-    /// counters.
+    /// Returns `true` when the key was new in memory. Does not touch the
+    /// hit/miss counters.
     ///
     /// # Errors
     ///
@@ -177,16 +341,12 @@ impl EvalStore {
         // Reject records the log decoder would refuse; accepting one would
         // truncate it (and every record behind it) on the next replay.
         record.validate()?;
-        let fresh = {
-            let shard = self.shard(&key);
-            let mut map = shard.write();
-            map.insert(key, record.clone()).is_none()
-        };
-        if fresh {
-            self.entries.fetch_add(1, Ordering::Relaxed);
-        }
+        let fresh = self.insert_resident(key, record.clone());
         if let Some(log) = &self.log {
-            log.lock().append(&key, &record)?;
+            let offset = log.lock().append(&key, &record)?;
+            if let Some(offsets) = &self.offsets {
+                offsets.write().insert(key, offset);
+            }
         }
         Ok(fresh)
     }
@@ -207,7 +367,7 @@ impl EvalStore {
     where
         F: FnOnce() -> Result<EvalRecord, E>,
     {
-        if let Some(found) = self.shard(&key).read().get(&key).cloned() {
+        if let Some(found) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((found, true));
         }
@@ -220,7 +380,8 @@ impl EvalStore {
 
     /// Offline compaction of the log at `path`: rewrites it with exactly one
     /// record per live key. The store must not have the file open (this is
-    /// an associated function, not a method, to make that explicit).
+    /// an associated function, not a method, to make that explicit — a
+    /// capped store's offset index would be invalidated by the rewrite).
     ///
     /// # Errors
     ///
@@ -423,5 +584,96 @@ mod tests {
         let k = EvalKey::hardware(&space.cell(5).unwrap(), DatasetKind::Cifar10);
         assert_eq!(k.seed, 0);
         assert_eq!(k.kind, ProxyKind::Hardware);
+    }
+
+    // -- eviction ----------------------------------------------------------
+
+    /// Keys guaranteed to land in ONE shard (filtered by shard hash), so a
+    /// per-shard cap is exercised deterministically.
+    fn same_shard_keys(count: usize) -> Vec<EvalKey> {
+        let target = (key(0).shard_hash() as usize) % SHARDS;
+        (0..)
+            .map(key)
+            .filter(|k| (k.shard_hash() as usize) % SHARDS == target)
+            .take(count)
+            .collect()
+    }
+
+    #[test]
+    fn capped_persistent_store_serves_evicted_records_from_the_log() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("micronas-store-evict-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let options = StoreOptions::with_max_resident_per_shard(2);
+        let keys = same_shard_keys(5);
+        {
+            let store = EvalStore::open_with_options(&path, 7, options).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                store.insert(*k, record(i as f64)).unwrap();
+            }
+            // The shard is capped: at most 2 of the 5 records are resident.
+            let resident = store.len();
+            assert!(
+                resident <= 2,
+                "cap of 2 must bound the shard, got {resident}"
+            );
+
+            // The first-inserted (least recently used) key was evicted — a
+            // lookup must transparently re-read it from the log, count a
+            // hit, and return the exact record.
+            let before = store.stats();
+            let got = store.get(&keys[0]).expect("log-backed re-read");
+            assert_eq!(got, record(0.0));
+            let delta = store.stats().since(&before);
+            assert_eq!(delta.hits, 1, "a log-backed re-read is a hit");
+            assert_eq!(delta.misses, 0);
+
+            // The re-read made keys[0] resident again (evicting another);
+            // the shard stays within its cap.
+            assert!(store.len() <= 2);
+        }
+
+        // Reopening under the cap replays last-wins within the bound and
+        // still serves everything.
+        let store = EvalStore::open_with_options(&path, 7, options).unwrap();
+        assert!(store.len() <= 2);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                store.get(k).expect("every record served after reopen"),
+                record(i as f64)
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_recently_touched_record() {
+        let store =
+            EvalStore::in_memory_with_options(0, StoreOptions::with_max_resident_per_shard(2));
+        let keys = same_shard_keys(3);
+        store.insert(keys[0], record(0.0)).unwrap();
+        store.insert(keys[1], record(1.0)).unwrap();
+        // Touch keys[0] so keys[1] becomes the LRU victim.
+        assert!(store.get(&keys[0]).is_some());
+        store.insert(keys[2], record(2.0)).unwrap();
+        assert!(store.get(&keys[0]).is_some(), "recently touched survives");
+        assert!(
+            store.get(&keys[1]).is_none(),
+            "LRU record evicted from the memory-only cache"
+        );
+        assert!(store.get(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn uncapped_stores_keep_everything_resident() {
+        let store = EvalStore::in_memory_with_options(0, StoreOptions::default());
+        let keys = same_shard_keys(40);
+        for (i, k) in keys.iter().enumerate() {
+            store.insert(*k, record(i as f64)).unwrap();
+        }
+        assert_eq!(store.len(), 40, "no cap, no eviction");
+        for k in &keys {
+            assert!(store.get(k).is_some());
+        }
     }
 }

@@ -92,7 +92,7 @@ impl Conv2dSpec {
 
     /// Whether this convolution is a pure channel mix (1×1, stride 1, no
     /// padding), for which im2col lowering is the identity.
-    fn is_pointwise(&self) -> bool {
+    pub(crate) fn is_pointwise(&self) -> bool {
         self.kernel == 1 && self.stride == 1 && self.padding == 0
     }
 }
@@ -116,6 +116,14 @@ static CONV_ENGINE: AtomicU8 = AtomicU8::new(0);
 /// Intended for benchmarks (measuring direct vs GEMM on identical inputs)
 /// and for the equivalence property tests; production code should leave the
 /// default [`ConvEngine::Auto`] in place.
+///
+/// **Store hazard:** the pin changes the numerics of the paper-default
+/// execution path (and of the `blocked_gemm` backend, which *is* that
+/// path), but it is not part of any store identity — evaluations computed
+/// under a non-`Auto` pin must never be written into a shared
+/// `micronas-store` log. Benches pin temporarily around storeless
+/// measurements and restore `Auto`; do the same. The other backends
+/// (`direct`, `simd`, `int8_mcu`) ignore the pin entirely.
 pub fn set_conv_engine(engine: ConvEngine) {
     let code = match engine {
         ConvEngine::Auto => 0,
@@ -137,17 +145,47 @@ pub fn conv_engine() -> ConvEngine {
 /// Under [`ConvEngine::Auto`], problems with fewer MACs than this use the
 /// direct kernels: at that size the im2col lowering costs more than the
 /// multiply saves.
-const DIRECT_MAC_THRESHOLD: usize = 4_096;
+pub(crate) const DIRECT_MAC_THRESHOLD: usize = 4_096;
 
-fn use_direct(n: usize, c_in: usize, c_out: usize, k: usize, oh: usize, ow: usize) -> bool {
+/// Whether a problem sits below [`DIRECT_MAC_THRESHOLD`] — a pure function
+/// of the shape, independent of the process-global engine pin. Backends
+/// whose numerics must not vary with [`set_conv_engine`] (everything except
+/// the paper-default blocked path, which deliberately honours the pin)
+/// dispatch on this instead of [`use_direct`].
+pub(crate) fn below_direct_threshold(
+    n: usize,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    oh: usize,
+    ow: usize,
+) -> bool {
+    n * c_out * c_in * k * k * oh * ow < DIRECT_MAC_THRESHOLD
+}
+
+/// Serialises every test in this crate that pins (or asserts independence
+/// from) the process-global conv engine: without a shared lock, one test
+/// restoring `Auto` could silently downgrade another test's pinned engine
+/// mid-comparison.
+#[cfg(test)]
+pub(crate) static ENGINE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+pub(crate) fn use_direct(
+    n: usize,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    oh: usize,
+    ow: usize,
+) -> bool {
     match conv_engine() {
         ConvEngine::Direct => true,
         ConvEngine::Im2colGemm => false,
-        ConvEngine::Auto => n * c_out * c_in * k * k * oh * ow < DIRECT_MAC_THRESHOLD,
+        ConvEngine::Auto => below_direct_threshold(n, c_in, c_out, k, oh, ow),
     }
 }
 
-fn check_conv_args(
+pub(crate) fn check_conv_args(
     input: &Tensor,
     weight: &Tensor,
     spec: Conv2dSpec,
@@ -192,7 +230,7 @@ fn check_conv_args(
 /// matrix. Every element of `col` is written (padding regions get zeros), so
 /// the buffer needs no prior clearing.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+pub(crate) fn im2col(
     image: &[f32],
     c_in: usize,
     h: usize,
@@ -250,7 +288,7 @@ fn im2col(
 /// Scatter-adds a `[C·K·K, OH·OW]` column-gradient matrix back into one
 /// image-gradient slice (`[C, H, W]`); the inverse of [`im2col`].
 #[allow(clippy::too_many_arguments)]
-fn col2im_add(
+pub(crate) fn col2im_add(
     col: &[f32],
     c_in: usize,
     h: usize,
@@ -432,7 +470,7 @@ pub fn conv2d_direct(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Resul
 /// Loop body of [`conv2d_direct`], writing every element of `out`; callers
 /// have validated the arguments.
 #[allow(clippy::too_many_arguments)]
-fn conv2d_direct_unchecked(
+pub(crate) fn conv2d_direct_unchecked(
     input: &Tensor,
     weight: &Tensor,
     spec: Conv2dSpec,
@@ -550,7 +588,7 @@ pub fn conv2d_backward_weight_with(
 
 /// Writes `dstᵀ = src` for a row-major `[rows, cols]` `src` into a
 /// `[cols, rows]` destination.
-fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+pub(crate) fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(dst.len(), rows * cols);
     for r in 0..rows {
@@ -706,7 +744,7 @@ pub fn conv2d_backward_weight_per_sample_direct(
 /// (`[C_out, C_in, K, K]` flattened). Callers have validated the arguments
 /// and zero/overwrite semantics: `dst` is fully overwritten.
 #[allow(clippy::too_many_arguments)]
-fn direct_weight_grad_sample(
+pub(crate) fn direct_weight_grad_sample(
     input: &Tensor,
     grad_out: &Tensor,
     b: usize,
@@ -749,7 +787,7 @@ fn direct_weight_grad_sample(
     }
 }
 
-fn check_backward_weight_args(
+pub(crate) fn check_backward_weight_args(
     input: &Tensor,
     grad_out: &Tensor,
     c_out: usize,
@@ -803,7 +841,7 @@ pub fn conv2d_backward_weight_direct(
 /// Loop body of [`conv2d_backward_weight_direct`]; callers have validated
 /// the arguments.
 #[allow(clippy::too_many_arguments)]
-fn conv2d_backward_weight_unchecked(
+pub(crate) fn conv2d_backward_weight_unchecked(
     input: &Tensor,
     grad_out: &Tensor,
     c_out: usize,
@@ -973,7 +1011,7 @@ fn conv2d_backward_input_assign(
     Ok(grad_in)
 }
 
-fn check_backward_input_args(
+pub(crate) fn check_backward_input_args(
     weight: &Tensor,
     grad_out: &Tensor,
     input_shape: &Shape,
@@ -1035,7 +1073,7 @@ pub fn conv2d_backward_input_direct(
 /// Loop body of [`conv2d_backward_input_direct`], accumulating into the
 /// pre-zeroed `grad_in`; callers have validated the arguments.
 #[allow(clippy::too_many_arguments)]
-fn conv2d_backward_input_unchecked(
+pub(crate) fn conv2d_backward_input_unchecked(
     weight: &Tensor,
     grad_out: &Tensor,
     spec: Conv2dSpec,
@@ -1224,7 +1262,7 @@ mod tests {
     /// this, a concurrently running test could restore `Auto` while another
     /// is mid-comparison, silently downgrading its "GEMM" side to the direct
     /// kernels and making the equivalence check vacuous.
-    static ENGINE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use crate::conv::ENGINE_TEST_LOCK as ENGINE_LOCK;
 
     fn check_engines_agree(
         n: usize,

@@ -1,0 +1,407 @@
+//! The int8 fixed-point MCU reference backend (`"int8_mcu"`).
+//!
+//! Microcontroller deployments of the discovered models run quantized: CMSIS-NN
+//! style int8 weights and activations with 32-bit accumulators. The float
+//! pipeline cannot express the accuracy effect of that arithmetic, so this
+//! backend models it at reference fidelity:
+//!
+//! * **Per-tensor symmetric quantization** at every convolution / GEMM
+//!   boundary: activations and weights are quantized to `[-127, 127]` with
+//!   scale `max_abs / 127`, multiplied and accumulated in `i32`, and the
+//!   result is dequantized back to `f32` (so the backend slots into the
+//!   `f32` tensor substrate unchanged — what flows between layers is "what
+//!   an int8 device would have computed").
+//! * **Cycle-model-consistent work accounting**: the backend counts exactly
+//!   the multiply–accumulates the `micronas-mcu` cycle model charges for
+//!   each layer (`CycleModel::macs`), so a profiled int8 inference and the
+//!   analytic latency estimate describe the same computation. The counter is
+//!   observable via [`Int8Backend::macs_performed`].
+//! * **Inference only**: quantized training is out of scope; the gradient
+//!   entry points return a clean error and
+//!   [`crate::KernelBackend::supports_gradients`] is `false`. Forward-only
+//!   proxies (linear regions / expressivity) run under this backend, which
+//!   opens the deployment-accuracy scenario: how much expressivity survives
+//!   8-bit arithmetic.
+//!
+//! Average pooling runs in the dequantized domain — uniform scaling commutes
+//! with averaging, so a separate integer pooling kernel would change nothing
+//! but the rounding point, and CMSIS-NN average pooling carries the input
+//! scale through unchanged.
+
+use crate::backend::{backend_fingerprint, gradients_unsupported, KernelBackend};
+use crate::conv::check_conv_args;
+use crate::pool::avg_pool2d_pooled;
+use crate::{Conv2dSpec, Result, Shape, Tensor, Workspace};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The int8 fixed-point MCU reference backend. See the module docs.
+#[derive(Debug, Default)]
+pub struct Int8Backend {
+    /// Multiply–accumulates performed since construction /
+    /// [`Int8Backend::reset_macs`], counted with the same per-layer formulas
+    /// as `micronas_mcu::CycleModel::macs`.
+    macs: AtomicU64,
+}
+
+impl Int8Backend {
+    /// Creates a backend with a zeroed MAC counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Multiply–accumulates performed so far (cycle-model units).
+    pub fn macs_performed(&self) -> u64 {
+        self.macs.load(Ordering::Relaxed)
+    }
+
+    /// Resets the MAC counter.
+    pub fn reset_macs(&self) {
+        self.macs.store(0, Ordering::Relaxed);
+    }
+
+    fn count_macs(&self, macs: u64) {
+        self.macs.fetch_add(macs, Ordering::Relaxed);
+    }
+}
+
+/// Per-tensor symmetric quantization: `q = clamp(round(v / scale), ±127)`
+/// with `scale = max_abs / 127`. An all-zero (or non-finite-free) tensor
+/// quantizes to zeros with scale 1.
+fn quantize(src: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 || !max_abs.is_finite() {
+        return (vec![0; src.len()], 1.0);
+    }
+    let scale = max_abs / 127.0;
+    let q = src
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+impl KernelBackend for Int8Backend {
+    fn id(&self) -> &str {
+        "int8_mcu"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        // Version 1: per-tensor symmetric, 127-step, round-half-away.
+        backend_fingerprint("int8_mcu", 1, &[127])
+    }
+
+    fn supports_gradients(&self) -> bool {
+        false
+    }
+
+    fn arena_retention_cap_bytes(&self) -> usize {
+        // Forward-only inference holds no gradient working set; probe-scale
+        // activation traces fit comfortably below this.
+        16 << 20
+    }
+
+    fn conv2d(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        let (n, c_in, h, w, c_out, k) = check_conv_args(input, weight, spec)?;
+        let (oh, ow) = spec.output_hw(h, w);
+        let (q_in, s_in) = quantize(input.data());
+        let (q_w, s_w) = quantize(weight.data());
+        let rescale = s_in * s_w;
+        let mut out = Tensor::from_vec(
+            Shape::nchw(n, c_out, oh, ow),
+            workspace.take(n * c_out * oh * ow),
+        )
+        .expect("length matches shape by construction");
+        let dst = out.data_mut();
+        let in_plane = h * w;
+        let in_stride = c_in * in_plane;
+        for b in 0..n {
+            for oc in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc: i32 = 0;
+                        for ic in 0..c_in {
+                            let plane = &q_in[b * in_stride + ic * in_plane
+                                ..b * in_stride + (ic + 1) * in_plane];
+                            let w_base = ((oc * c_in) + ic) * k * k;
+                            for ky in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += plane[iy as usize * w + ix as usize] as i32
+                                        * q_w[w_base + ky * k + kx] as i32;
+                                }
+                            }
+                        }
+                        dst[((b * c_out + oc) * oh + oy) * ow + ox] = acc as f32 * rescale;
+                    }
+                }
+            }
+        }
+        // The cycle model charges out_elems · C_in · K² MACs per conv —
+        // padded taps included, exactly as a deployed im2col kernel executes.
+        self.count_macs((n * c_out * oh * ow) as u64 * (c_in * k * k) as u64);
+        Ok(out)
+    }
+
+    fn conv2d_backward_input(
+        &self,
+        _weight: &Tensor,
+        _grad_out: &Tensor,
+        _input_shape: &Shape,
+        _spec: Conv2dSpec,
+        _workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        Err(gradients_unsupported(self.id()))
+    }
+
+    fn conv2d_backward_weight(
+        &self,
+        _input: &Tensor,
+        _grad_out: &Tensor,
+        _c_out: usize,
+        _spec: Conv2dSpec,
+        _workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        Err(gradients_unsupported(self.id()))
+    }
+
+    fn conv2d_backward_weight_per_sample_into(
+        &self,
+        _input: &Tensor,
+        _grad_out: &Tensor,
+        _c_out: usize,
+        _spec: Conv2dSpec,
+        _workspace: &mut Workspace,
+        _out: &mut [f32],
+        _row_stride: usize,
+        _offset: usize,
+    ) -> Result<()> {
+        Err(gradients_unsupported(self.id()))
+    }
+
+    fn avg_pool2d(
+        &self,
+        input: &Tensor,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        // Averaging commutes with the uniform scale, so pooling in the
+        // dequantized domain is the int8 device's result exactly (CMSIS-NN
+        // average pooling keeps the input scale).
+        let out = avg_pool2d_pooled(input, kernel, stride, padding, workspace)?;
+        // One add per window element, as the cycle model charges pooling.
+        self.count_macs(out.numel() as u64 * (kernel * kernel) as u64);
+        Ok(out)
+    }
+
+    fn avg_pool2d_backward(
+        &self,
+        _grad_out: &Tensor,
+        _input_shape: &Shape,
+        _kernel: usize,
+        _stride: usize,
+        _padding: usize,
+        _workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        Err(gradients_unsupported(self.id()))
+    }
+
+    fn gemm_nn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        assert_eq!(a.len(), m * k, "gemm: A buffer has wrong length");
+        assert_eq!(b.len(), k * n, "gemm: B buffer has wrong length");
+        assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
+        let (qa, sa) = quantize(a);
+        let (qb, sb) = quantize(b);
+        let rescale = sa * sb;
+        if !accumulate {
+            c.fill(0.0);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i32 = 0;
+                for p in 0..k {
+                    acc += qa[i * k + p] as i32 * qb[p * n + j] as i32;
+                }
+                c[i * n + j] += acc as f32 * rescale;
+            }
+        }
+        self.count_macs((m * n * k) as u64);
+    }
+
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        assert_eq!(a.len(), m * k, "gemm: A buffer has wrong length");
+        assert_eq!(b.len(), n * k, "gemm: B buffer has wrong length");
+        assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
+        let (qa, sa) = quantize(a);
+        let (qb, sb) = quantize(b);
+        let rescale = sa * sb;
+        if !accumulate {
+            c.fill(0.0);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i32 = 0;
+                for p in 0..k {
+                    acc += qa[i * k + p] as i32 * qb[j * k + p] as i32;
+                }
+                c[i * n + j] += acc as f32 * rescale;
+            }
+        }
+        self.count_macs((m * n * k) as u64);
+    }
+
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        assert_eq!(a.len(), k * m, "gemm: A buffer has wrong length");
+        assert_eq!(b.len(), k * n, "gemm: B buffer has wrong length");
+        assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
+        let (qa, sa) = quantize(a);
+        let (qb, sb) = quantize(b);
+        let rescale = sa * sb;
+        if !accumulate {
+            c.fill(0.0);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i32 = 0;
+                for p in 0..k {
+                    acc += qa[p * m + i] as i32 * qb[p * n + j] as i32;
+                }
+                c[i * n + j] += acc as f32 * rescale;
+            }
+        }
+        self.count_macs((m * n * k) as u64);
+    }
+
+    fn gram_nt_f64(&self, n: usize, p: usize, j: &[f32], out: &mut [f64]) {
+        // Only reachable through gradient paths, which error before getting
+        // here; delegate to the float build for completeness.
+        crate::linalg::gram_nt_f64(n, p, j, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv2d_direct, DeterministicRng};
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = DeterministicRng::new(seed);
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn quantization_roundtrips_extremes_exactly() {
+        let (q, s) = quantize(&[1.0, -2.0, 0.5, 2.0]);
+        assert_eq!(q[3], 127, "the max quantizes to full scale");
+        assert_eq!(q[1], -127);
+        assert!((s - 2.0 / 127.0).abs() < 1e-9);
+        let (q, s) = quantize(&[0.0, 0.0]);
+        assert_eq!(q, vec![0, 0]);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn int8_conv_tracks_the_float_reference_within_quantization_noise() {
+        let backend = Int8Backend::new();
+        let input = random_tensor(Shape::nchw(2, 3, 8, 8), 10);
+        let weight = random_tensor(Shape::nchw(4, 3, 3, 3), 11);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let q = backend
+            .conv2d(&input, &weight, spec, &mut Workspace::default())
+            .unwrap();
+        let f = conv2d_direct(&input, &weight, spec).unwrap();
+        let err: f32 = q
+            .data()
+            .iter()
+            .zip(f.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        let norm: f32 = f.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            err / norm < 0.05,
+            "relative quantization error {} too large",
+            err / norm
+        );
+    }
+
+    #[test]
+    fn mac_counter_matches_the_analytic_conv_formula() {
+        let backend = Int8Backend::new();
+        let input = random_tensor(Shape::nchw(1, 3, 8, 8), 1);
+        let weight = random_tensor(Shape::nchw(4, 3, 3, 3), 2);
+        backend
+            .conv2d(
+                &input,
+                &weight,
+                Conv2dSpec::new(3, 1, 1),
+                &mut Workspace::default(),
+            )
+            .unwrap();
+        // out_elems (4·8·8) × C_in·K² (3·9)
+        assert_eq!(backend.macs_performed(), 4 * 8 * 8 * 3 * 9);
+        backend.reset_macs();
+        assert_eq!(backend.macs_performed(), 0);
+    }
+
+    #[test]
+    fn gradient_entry_points_error_cleanly() {
+        let backend = Int8Backend::new();
+        let input = random_tensor(Shape::nchw(1, 2, 4, 4), 3);
+        let grad = random_tensor(Shape::nchw(1, 2, 4, 4), 4);
+        let err = backend
+            .conv2d_backward_weight(
+                &input,
+                &grad,
+                2,
+                Conv2dSpec::new(3, 1, 1),
+                &mut Workspace::default(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("inference-only"), "{err}");
+        assert!(!backend.supports_gradients());
+    }
+}

@@ -26,6 +26,16 @@
 //! repeats, linear-region probes) stop allocating; [`set_conv_engine`] pins
 //! an engine process-wide for benchmarks and equivalence tests.
 //!
+//! # Execution backends
+//!
+//! The network substrate one crate up dispatches every kernel through the
+//! object-safe [`KernelBackend`] trait (see the `backend` module docs): the
+//! naive-loop [`DirectBackend`] oracle, the paper-default
+//! [`BlockedGemmBackend`] (bitwise-identical to the free functions above),
+//! the FMA-tiled rayon-chunked [`SimdBackend`] and the int8 fixed-point
+//! [`Int8Backend`] MCU reference. [`all_backends`] is the conformance-suite
+//! registry; [`paper_default_backend`] is the shared default instance.
+//!
 //! # Example
 //!
 //! ```
@@ -42,18 +52,25 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod conv;
 mod error;
 mod init;
+mod int8;
 mod linalg;
 pub mod ops;
 mod pool;
 mod rng;
 mod shape;
+mod simd;
 mod stats;
 mod tensor;
 mod workspace;
 
+pub use backend::{
+    all_backends, backend_fingerprint, paper_default_backend, BlockedGemmBackend, DirectBackend,
+    KernelBackend, KernelBackendKind, DEFAULT_ARENA_RETENTION_CAP,
+};
 pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_input_direct, conv2d_backward_input_pooled,
     conv2d_backward_input_with, conv2d_backward_weight, conv2d_backward_weight_direct,
@@ -63,6 +80,7 @@ pub use conv::{
 };
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform, InitKind};
+pub use int8::Int8Backend;
 pub use linalg::{
     condition_number, gemm_nn, gemm_nt, gemm_tn, gram_nt_f64, sym_eigenvalues,
     sym_eigenvalues_with, EigenOptions, EigenReport,
@@ -73,6 +91,7 @@ pub use pool::{
 };
 pub use rng::{hash_mix, split_mix64, DeterministicRng};
 pub use shape::Shape;
+pub use simd::SimdBackend;
 pub use stats::{dot, l2_norm, mean, population_variance, standardize};
 pub use tensor::Tensor;
 pub use workspace::Workspace;

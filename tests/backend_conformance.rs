@@ -1,0 +1,318 @@
+//! Network-level backend conformance: random cells and batch sizes through
+//! [`CellNetwork`] on every registered backend, plus the cross-layer
+//! contracts the backend seam promises:
+//!
+//! * the paper-default backend is **bitwise-identical** to the pre-backend
+//!   pipeline at the network and proxy level;
+//! * gradient-capable backends reproduce the direct oracle's per-sample
+//!   gradient matrix within their tolerance;
+//! * the int8 backend runs forward-only proxies (the deployment-accuracy
+//!   scenario) and errors cleanly out of gradient-based ones;
+//! * the int8 backend's work accounting agrees with the `micronas-mcu`
+//!   cycle model;
+//! * numerically divergent backends land in their own store namespace, so a
+//!   default-numerics store is refused instead of being poisoned;
+//! * the SIMD backend's batch chunking is bitwise-deterministic at any
+//!   thread count.
+
+use micronas_suite::core::MicroNasConfig;
+use micronas_suite::datasets::DatasetKind;
+use micronas_suite::mcu::{CycleModel, McuSpec};
+use micronas_suite::nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_suite::proxies::{LinearRegionConfig, LinearRegionEvaluator, NtkConfig, NtkEvaluator};
+use micronas_suite::searchspace::{LayerRole, OpClass, OpInstance, Operation, SearchSpace};
+use micronas_suite::store::EvalStore;
+use micronas_suite::tensor::{
+    all_backends, paper_default_backend, DeterministicRng, Int8Backend, KernelBackend,
+    KernelBackendKind, Shape, Tensor, Workspace,
+};
+use std::sync::Arc;
+
+fn random_batch(config: &ProxyNetworkConfig, n: usize, seed: u64) -> Tensor {
+    let mut rng = DeterministicRng::new(seed);
+    let shape = Shape::nchw(
+        n,
+        config.input_channels,
+        config.input_resolution,
+        config.input_resolution,
+    );
+    let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+    Tensor::from_vec(shape, data).unwrap()
+}
+
+fn tiny_config() -> ProxyNetworkConfig {
+    let mut config = ProxyNetworkConfig::small(10);
+    config.input_resolution = 8;
+    config.channels = 4;
+    config
+}
+
+fn rel_l2(got: &[f32], want: &[f32]) -> f32 {
+    let err: f32 = got
+        .iter()
+        .zip(want)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
+    let norm: f32 = want.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm == 0.0 {
+        err
+    } else {
+        err / norm
+    }
+}
+
+/// A spread of cells: conv-heavy, pool/skip-mixed, sparse, all-none.
+fn conformance_cells() -> Vec<micronas_suite::searchspace::CellTopology> {
+    let space = SearchSpace::nas_bench_201();
+    vec![
+        micronas_suite::searchspace::CellTopology::new([Operation::NorConv3x3; 6]),
+        space.cell(7_000).unwrap(),
+        space.cell(11_111).unwrap(),
+        space.cell(404).unwrap(),
+        space.cell(0).unwrap(),
+    ]
+}
+
+#[test]
+fn every_backend_reproduces_the_oracle_network_forward() {
+    let config = tiny_config();
+    for (c_idx, cell) in conformance_cells().into_iter().enumerate() {
+        let seed = 11 + c_idx as u64;
+        let oracle = CellNetwork::with_backend(
+            &cell,
+            &config,
+            seed,
+            KernelBackendKind::Direct.instantiate(),
+        )
+        .unwrap();
+        for backend in all_backends() {
+            let net = CellNetwork::with_backend(&cell, &config, seed, backend.clone()).unwrap();
+            for n in [1usize, 2, 5] {
+                let batch = random_batch(&config, n, 100 + n as u64);
+                let got = net.forward(&batch).unwrap().logits;
+                let want = oracle.forward(&batch).unwrap().logits;
+                let err = rel_l2(got.data(), want.data());
+                let gate = match backend.id() {
+                    // Two stacked cells of per-tensor int8 arithmetic; the
+                    // quantization noise compounds per layer.
+                    "int8_mcu" => 0.25,
+                    _ => 1e-3,
+                };
+                assert!(
+                    err <= gate,
+                    "backend {} cell {c_idx} n={n}: forward error {err} over gate {gate}",
+                    backend.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gradient_backends_reproduce_the_oracle_gradient_matrix() {
+    let config = tiny_config();
+    for (c_idx, cell) in conformance_cells().into_iter().enumerate() {
+        let seed = 31 + c_idx as u64;
+        let oracle = CellNetwork::with_backend(
+            &cell,
+            &config,
+            seed,
+            KernelBackendKind::Direct.instantiate(),
+        )
+        .unwrap();
+        for backend in all_backends() {
+            if !backend.supports_gradients() {
+                continue;
+            }
+            let net = CellNetwork::with_backend(&cell, &config, seed, backend.clone()).unwrap();
+            for n in [1usize, 3, 7] {
+                let batch = random_batch(&config, n, 200 + n as u64);
+                let mut ws = Workspace::default();
+                let got = net
+                    .per_sample_gradient_matrix_with(&batch, &mut ws)
+                    .unwrap();
+                let want = oracle
+                    .per_sample_gradient_matrix_with(&batch, &mut ws)
+                    .unwrap();
+                for b in 0..n {
+                    let err = rel_l2(got.row(b), want.row(b));
+                    assert!(
+                        err <= 1e-3,
+                        "backend {} cell {c_idx} n={n} sample {b}: gradient error {err}",
+                        backend.id()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_default_backend_is_bitwise_identical_at_network_and_proxy_level() {
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(8_888).unwrap();
+    let config = tiny_config();
+    let implicit = CellNetwork::new(&cell, &config, 5).unwrap();
+    let explicit = CellNetwork::with_backend(&cell, &config, 5, paper_default_backend()).unwrap();
+    let batch = random_batch(&config, 3, 6);
+    assert_eq!(
+        implicit.forward(&batch).unwrap().logits,
+        explicit.forward(&batch).unwrap().logits,
+        "explicit paper-default backend must be bitwise-identical"
+    );
+
+    let default_eval = NtkEvaluator::new(NtkConfig::fast());
+    let pinned = NtkEvaluator::new(NtkConfig::fast())
+        .with_backend(KernelBackendKind::BlockedGemm.instantiate());
+    let a = default_eval
+        .evaluate(cell, DatasetKind::Cifar10, 2)
+        .unwrap();
+    let b = pinned.evaluate(cell, DatasetKind::Cifar10, 2).unwrap();
+    assert_eq!(
+        a, b,
+        "NTK under the explicit default backend is bitwise-identical"
+    );
+}
+
+#[test]
+fn int8_backend_runs_forward_only_proxies_and_rejects_gradient_proxies() {
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(4_242).unwrap();
+    let int8 = KernelBackendKind::Int8Mcu.instantiate();
+
+    // Deployment-accuracy scenario: the expressivity probe under 8-bit
+    // arithmetic runs end-to-end and stays in the float probe's ballpark.
+    let float_lr = LinearRegionEvaluator::new(LinearRegionConfig::fast());
+    let int8_lr = LinearRegionEvaluator::new(LinearRegionConfig::fast()).with_backend(int8.clone());
+    let float_report = float_lr.evaluate(cell, DatasetKind::Cifar10, 3).unwrap();
+    let int8_report = int8_lr.evaluate(cell, DatasetKind::Cifar10, 3).unwrap();
+    assert!(int8_report.regions >= 1);
+    let ratio = int8_report.regions as f64 / float_report.regions.max(1) as f64;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "int8 expressivity ({}) should track the float probe ({})",
+        int8_report.regions,
+        float_report.regions
+    );
+
+    // The NTK proxy needs gradients: a clean error, not a wrong number.
+    let ntk = NtkEvaluator::new(NtkConfig::fast()).with_backend(int8);
+    let err = ntk.evaluate(cell, DatasetKind::Cifar10, 3).unwrap_err();
+    assert!(
+        err.to_string().contains("inference-only"),
+        "NTK under int8 must explain itself: {err}"
+    );
+}
+
+#[test]
+fn int8_mac_accounting_matches_the_mcu_cycle_model() {
+    // One conv layer, once through the int8 backend, once through the
+    // analytic cycle model: the MAC counts must agree exactly — profiled
+    // int8 inference and the latency estimate describe the same computation.
+    let backend = Int8Backend::new();
+    let (c, r, k) = (8usize, 16usize, 3usize);
+    let mut rng = DeterministicRng::new(9);
+    let input = Tensor::from_vec(
+        Shape::nchw(1, c, r, r),
+        (0..c * r * r).map(|_| rng.normal()).collect(),
+    )
+    .unwrap();
+    let weight = Tensor::from_vec(
+        Shape::nchw(c, c, k, k),
+        (0..c * c * k * k).map(|_| rng.normal()).collect(),
+    )
+    .unwrap();
+    backend
+        .conv2d(
+            &input,
+            &weight,
+            micronas_suite::tensor::Conv2dSpec::new(k, 1, 1),
+            &mut Workspace::default(),
+        )
+        .unwrap();
+
+    let model = CycleModel::new(McuSpec::stm32f746zg());
+    let op = OpInstance {
+        role: LayerRole::Cell {
+            stage: 0,
+            cell: 0,
+            edge: 0,
+        },
+        class: OpClass::Conv,
+        cell_op: Some(Operation::NorConv3x3),
+        kernel: k,
+        stride: 1,
+        c_in: c,
+        c_out: c,
+        h_in: r,
+        w_in: r,
+    };
+    assert_eq!(
+        backend.macs_performed(),
+        model.macs(&op),
+        "int8 backend and cycle model must count the same MACs"
+    );
+}
+
+#[test]
+fn divergent_backends_get_their_own_store_namespace() {
+    let default_cfg = MicroNasConfig::tiny_test();
+    let simd_cfg = MicroNasConfig::tiny_test().with_backend(KernelBackendKind::Simd);
+    assert_ne!(default_cfg.store_namespace(), simd_cfg.store_namespace());
+
+    // A store minted for the default numerics is refused under the SIMD
+    // configuration — the namespace check fires before any record could be
+    // served or appended.
+    let store = Arc::new(EvalStore::in_memory(default_cfg.store_namespace()));
+    let err = micronas_suite::core::SearchContext::with_store(
+        DatasetKind::Cifar10,
+        &simd_cfg,
+        store.clone(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("namespace"), "{err}");
+
+    // Under its own namespace the SIMD configuration works end-to-end.
+    let simd_store = Arc::new(EvalStore::in_memory(simd_cfg.store_namespace()));
+    let ctx = micronas_suite::core::SearchContext::with_store(
+        DatasetKind::Cifar10,
+        &simd_cfg,
+        simd_store,
+    )
+    .unwrap();
+    let space = SearchSpace::nas_bench_201();
+    let eval = ctx.evaluate(space.cell(123).unwrap()).unwrap();
+    assert!(eval.metrics.get("trainability").unwrap().is_finite());
+}
+
+#[test]
+fn simd_backend_is_bitwise_deterministic_across_thread_counts() {
+    use rayon::ThreadPoolBuilder;
+    let config = tiny_config();
+    let space = SearchSpace::nas_bench_201();
+    let cell = space.cell(11_111).unwrap();
+    let net = CellNetwork::with_backend(&cell, &config, 3, KernelBackendKind::Simd.instantiate())
+        .unwrap();
+    let batch = random_batch(&config, 9, 4);
+    let run = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut ws = Workspace::default();
+                let logits = net.forward_with(&batch, &mut ws).unwrap().logits;
+                let grads = net
+                    .per_sample_gradient_matrix_with(&batch, &mut ws)
+                    .unwrap();
+                (logits, grads.values().to_vec())
+            })
+    };
+    let (logits_1, grads_1) = run(1);
+    for threads in [2, 4, 7] {
+        let (logits_n, grads_n) = run(threads);
+        assert_eq!(logits_1, logits_n, "forward at {threads} threads");
+        assert_eq!(grads_1, grads_n, "gradients at {threads} threads");
+    }
+}
