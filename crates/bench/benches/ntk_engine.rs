@@ -110,19 +110,22 @@ fn compare_and_record(runs: usize) {
     let simd_sparse = backend_seconds(KernelBackendKind::Simd, sparse_cell, runs, 3);
 
     // Store-backed provenance: how much of a real search's NTK traffic the
-    // evaluation caches absorb. One proxy-only pruning search at the fast
-    // scale; `EvalCacheStats` counts record fetches (a hit was served
-    // without running the proxies at all).
+    // evaluation caches absorb, and how densely the mega-batcher packs the
+    // rest. One proxy-only pruning search at the fast scale;
+    // `EvalCacheStats` counts record fetches (a hit was served without
+    // running the proxies at all), `BatchStats` counts packed GEMM
+    // dispatches.
     let session = SearchSession::builder()
         .dataset(DatasetKind::Cifar10)
         .config(MicroNasConfig::fast())
         .build()
         .expect("session");
-    let cache = session
+    let cost = session
         .run(&MicroNasSearch::te_nas_baseline())
         .expect("search")
-        .cost
-        .cache;
+        .cost;
+    let cache = cost.cache;
+    let batch = cost.batch;
 
     println!("paper-default NTK evaluation (batch 32, 16x16 proxy, 2 cells):");
     println!("  direct kernels, batched:   {direct:>8.4} s / evaluation");
@@ -145,6 +148,12 @@ fn compare_and_record(runs: usize) {
         cache.misses,
         cache.hit_rate() * 100.0
     );
+    println!(
+        "  search pack density:       {} candidates over {} dispatches ({:.1} per dispatch)",
+        batch.computed_candidates,
+        batch.dispatches,
+        batch.candidates_per_dispatch()
+    );
 
     record_bench_json(
         "ntk_engine",
@@ -166,6 +175,16 @@ fn compare_and_record(runs: usize) {
             ("search_cache_hits", cache.hits as f64),
             ("search_cache_misses", cache.misses as f64),
             ("search_cache_hit_rate", cache.hit_rate()),
+            ("search_batch_dispatches", batch.dispatches as f64),
+            (
+                "search_batch_computed_candidates",
+                batch.computed_candidates as f64,
+            ),
+            (
+                "search_batch_candidates_per_dispatch",
+                batch.candidates_per_dispatch(),
+            ),
+            ("search_batch_fill_rate", batch.fill_rate()),
         ],
     );
 }

@@ -1,4 +1,4 @@
-use crate::{EvalCacheStats, MicroNasConfig, Result};
+use crate::{BatchStats, EvalCacheStats, MicroNasConfig, Result};
 use micronas_datasets::DatasetKind;
 use micronas_hw::{HardwareConstraints, HardwareEvaluator, HardwareIndicators};
 use micronas_nasbench::SurrogateBenchmark;
@@ -73,7 +73,24 @@ pub struct SearchContext {
     evaluations: Mutex<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Maximum number of candidates packed into one mega-batched proxy
+    /// sweep (see [`SearchContext::evaluate_pack`]).
+    pack_width: usize,
+    /// Packed proxy sweeps dispatched to the kernels.
+    batch_dispatches: AtomicUsize,
+    /// Candidates submitted through [`SearchContext::evaluate_pack`].
+    batch_packed: AtomicUsize,
+    /// Candidates freshly computed inside a packed sweep.
+    batch_computed: AtomicUsize,
 }
+
+/// Default number of candidates packed into one mega-batched proxy sweep.
+///
+/// Eight keeps the packed im2col panels comfortably inside the retained
+/// scratch arena at the paper's probe resolutions while already amortising
+/// the GEMM dispatch overhead across candidates; override per context with
+/// [`SearchContext::with_pack_width`].
+pub const DEFAULT_PACK_WIDTH: usize = 8;
 
 /// The cached evaluation record of one candidate architecture.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,7 +192,27 @@ impl SearchContext {
             evaluations: Mutex::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            pack_width: DEFAULT_PACK_WIDTH,
+            batch_dispatches: AtomicUsize::new(0),
+            batch_packed: AtomicUsize::new(0),
+            batch_computed: AtomicUsize::new(0),
         })
+    }
+
+    /// Sets the maximum number of candidates packed into one mega-batched
+    /// proxy sweep (clamped to at least 1; 1 disables cross-candidate
+    /// packing). Results are bitwise identical for every width — only
+    /// dispatch density changes.
+    #[must_use]
+    pub fn with_pack_width(mut self, width: usize) -> Self {
+        self.pack_width = width.max(1);
+        self
+    }
+
+    /// The maximum number of candidates packed into one mega-batched proxy
+    /// sweep.
+    pub fn pack_width(&self) -> usize {
+        self.pack_width
     }
 
     /// The search space.
@@ -240,6 +277,17 @@ impl SearchContext {
         EvalCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the pack-density counters of the mega-batched evaluation
+    /// path (see [`SearchContext::evaluate_pack`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats {
+            dispatches: self.batch_dispatches.load(Ordering::Relaxed),
+            packed_candidates: self.batch_packed.load(Ordering::Relaxed),
+            computed_candidates: self.batch_computed.load(Ordering::Relaxed),
+            pack_width: self.pack_width,
         }
     }
 
@@ -378,6 +426,188 @@ impl SearchContext {
             *self.evaluations.lock() += 1;
         }
         Ok(eval)
+    }
+
+    /// Evaluates a group of candidate cells through the cross-candidate
+    /// mega-batched proxy path.
+    ///
+    /// Candidates not already served by the context cache or the shared
+    /// store are deduplicated by canonical form and dispatched as **one**
+    /// packed zero-cost sweep
+    /// ([`ZeroCostEvaluator::evaluate_pack`][zc-pack]), in which
+    /// same-geometry convolutions of different candidates share a single
+    /// wide GEMM per layer. Element `i` of the result is the same shared
+    /// handle [`SearchContext::evaluate`] would have returned for
+    /// `cells[i]`, bitwise identical at every pack width and thread count,
+    /// and the hit/miss/evaluation counters advance exactly as if the
+    /// candidates had been evaluated one at a time in order.
+    ///
+    /// [zc-pack]: micronas_proxies::ZeroCostEvaluator::evaluate_pack
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy evaluation failures.
+    pub fn evaluate_pack(&self, cells: &[CellTopology]) -> Result<Vec<Arc<CandidateEvaluation>>> {
+        if cells.len() <= 1 {
+            return cells.iter().map(|&cell| self.evaluate(cell)).collect();
+        }
+        self.batch_packed.fetch_add(cells.len(), Ordering::Relaxed);
+
+        // Per-candidate resolution state while the pack is in flight.
+        enum Slot {
+            Done(Arc<CandidateEvaluation>),
+            /// Same architecture index as an earlier pack member: shares its
+            /// record, exactly as the sequential loop's context-cache hit
+            /// would.
+            DuplicateOf(usize),
+            Pending {
+                arch_index: usize,
+                canonical: CellTopology,
+                /// Zero-cost metrics probed from the warm store, if any.
+                stored: Option<ZeroCostMetrics>,
+            },
+        }
+
+        let extra = self.extra_proxies.len();
+        let mut slots: Vec<Slot> = Vec::with_capacity(cells.len());
+        let mut first_slot_of: HashMap<usize, usize> = HashMap::new();
+        for (i, &cell) in cells.iter().enumerate() {
+            let arch = Architecture::from_cell(&self.space, cell);
+            let cached = self.cache.lock().get(&arch.index()).map(Arc::clone);
+            if let Some(hit) = cached {
+                self.hits.fetch_add(2 + extra, Ordering::Relaxed);
+                slots.push(Slot::Done(hit));
+                continue;
+            }
+            if let Some(&first) = first_slot_of.get(&arch.index()) {
+                // By the time the sequential loop reached this candidate,
+                // its first occurrence would already sit in the context
+                // cache — count the same hits here.
+                self.hits.fetch_add(2 + extra, Ordering::Relaxed);
+                slots.push(Slot::DuplicateOf(first));
+                continue;
+            }
+            first_slot_of.insert(arch.index(), i);
+            let canonical = cell.canonical_form();
+            // Probe the store *without* inserting, so a warm store keeps
+            // short-circuiting the proxies before any kernel runs. A hit
+            // counts exactly where the sequential path counts it; a probe
+            // miss stays silent — the post-sweep insertion below counts the
+            // miss (or the hit, if another worker races us in).
+            let stored = match &self.store {
+                Some(store) => {
+                    let key =
+                        EvalKey::zero_cost(&canonical, self.dataset, self.seed, self.ntk_batch);
+                    let stored = store.get(&key).and_then(|record| record.as_zero_cost());
+                    if stored.is_some() {
+                        self.count(true);
+                    }
+                    stored
+                }
+                None => None,
+            };
+            slots.push(Slot::Pending {
+                arch_index: arch.index(),
+                canonical,
+                stored,
+            });
+        }
+
+        // Deduplicate the unresolved canonicals and run them through ONE
+        // packed proxy sweep. Evaluation is a pure function of the canonical
+        // form, so isomorphic pack members share one computation.
+        let mut unique: Vec<CellTopology> = Vec::new();
+        let mut unique_index_of: HashMap<u64, usize> = HashMap::new();
+        for slot in &slots {
+            if let Slot::Pending {
+                canonical,
+                stored: None,
+                ..
+            } = slot
+            {
+                let digest = micronas_store::ArchDigest::of(canonical).value();
+                if let std::collections::hash_map::Entry::Vacant(entry) =
+                    unique_index_of.entry(digest)
+                {
+                    entry.insert(unique.len());
+                    unique.push(*canonical);
+                }
+            }
+        }
+        let computed: Vec<ZeroCostMetrics> = if unique.is_empty() {
+            Vec::new()
+        } else {
+            self.batch_dispatches.fetch_add(1, Ordering::Relaxed);
+            self.batch_computed
+                .fetch_add(unique.len(), Ordering::Relaxed);
+            self.zero_cost
+                .evaluate_pack(&unique, self.dataset, self.seed)?
+        };
+
+        // Resolve every candidate in order; the per-record bookkeeping below
+        // mirrors the sequential path line for line.
+        let mut out: Vec<Arc<CandidateEvaluation>> = Vec::with_capacity(cells.len());
+        for slot in &slots {
+            match slot {
+                Slot::Done(eval) => out.push(Arc::clone(eval)),
+                Slot::DuplicateOf(first) => out.push(Arc::clone(&out[*first])),
+                Slot::Pending {
+                    arch_index,
+                    canonical,
+                    stored,
+                } => {
+                    let zero_cost = match (stored, &self.store) {
+                        (Some(zc), _) => *zc,
+                        (None, None) => {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            let digest = micronas_store::ArchDigest::of(canonical).value();
+                            computed[unique_index_of[&digest]]
+                        }
+                        (None, Some(store)) => {
+                            let digest = micronas_store::ArchDigest::of(canonical).value();
+                            let value = computed[unique_index_of[&digest]];
+                            let key = EvalKey::zero_cost(
+                                canonical,
+                                self.dataset,
+                                self.seed,
+                                self.ntk_batch,
+                            );
+                            let (record, hit) = store
+                                .get_or_try_insert_with(key, || {
+                                    Ok::<_, crate::MicroNasError>(EvalRecord::ZeroCost(value))
+                                })
+                                .map_err(flatten_store_error)?;
+                            self.count(hit);
+                            record
+                                .as_zero_cost()
+                                .ok_or_else(|| record_kind_error("zero-cost"))?
+                        }
+                    };
+                    let mut metrics = zero_cost.metric_set();
+                    for entry in &self.extra_proxies {
+                        metrics.insert(entry.proxy.id(), self.fetch_custom(*canonical, entry)?);
+                    }
+                    let hardware = self.fetch_hardware(*canonical)?;
+                    let feasible = self.constraints.satisfied_by(&hardware);
+                    let eval = Arc::new(CandidateEvaluation {
+                        arch_index: *arch_index,
+                        metrics,
+                        hardware,
+                        feasible,
+                    });
+                    if self
+                        .cache
+                        .lock()
+                        .insert(*arch_index, Arc::clone(&eval))
+                        .is_none()
+                    {
+                        *self.evaluations.lock() += 1;
+                    }
+                    out.push(eval);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// The hardware indicators of a cell, served from the caches or the
@@ -770,6 +1000,97 @@ mod tests {
             .is_err(),
             "built-in metric ids are reserved"
         );
+    }
+
+    /// A pack mixing fresh cells, an exact duplicate and an isomorphic twin
+    /// — the shapes the batched strategies submit.
+    fn pack_cells(ctx: &SearchContext) -> Vec<CellTopology> {
+        let base = CellTopology::new([
+            Operation::NorConv3x3,
+            Operation::SkipConnect,
+            Operation::None,
+            Operation::AvgPool3x3,
+            Operation::NorConv1x1,
+            Operation::None,
+        ]);
+        vec![
+            ctx.space().cell(5_000).unwrap(),
+            base,
+            ctx.space().cell(7_000).unwrap(),
+            ctx.space().cell(5_000).unwrap(),
+            base.intermediate_swap().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn packed_evaluation_matches_sequential_evaluation_and_counters() {
+        let config = MicroNasConfig::tiny_test();
+        let seq_ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let pack_ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        let cells = pack_cells(&seq_ctx);
+
+        let sequential: Vec<_> = cells
+            .iter()
+            .map(|&c| seq_ctx.evaluate(c).unwrap())
+            .collect();
+        let packed = pack_ctx.evaluate_pack(&cells).unwrap();
+
+        assert_eq!(packed.len(), sequential.len());
+        for (i, (s, p)) in sequential.iter().zip(&packed).enumerate() {
+            assert_eq!(**s, **p, "member {i}");
+        }
+        assert_eq!(seq_ctx.evaluation_count(), pack_ctx.evaluation_count());
+        assert_eq!(seq_ctx.cache_stats(), pack_ctx.cache_stats());
+        let batch = pack_ctx.batch_stats();
+        assert_eq!(batch.dispatches, 1, "one packed sweep for the fresh cells");
+        assert_eq!(batch.packed_candidates, cells.len());
+        assert_eq!(
+            batch.computed_candidates, 3,
+            "duplicate and isomorphic members dedup before dispatch"
+        );
+    }
+
+    #[test]
+    fn packed_evaluation_counters_match_on_a_warm_store() {
+        let config = MicroNasConfig::tiny_test();
+        let store = Arc::new(EvalStore::in_memory(config.store_namespace()));
+        let warmer =
+            SearchContext::with_store(DatasetKind::Cifar10, &config, store.clone()).unwrap();
+        let cells = pack_cells(&warmer);
+        let expected = warmer.evaluate_pack(&cells).unwrap();
+
+        let warm = SearchContext::with_store(DatasetKind::Cifar10, &config, store).unwrap();
+        let packed = warm.evaluate_pack(&cells).unwrap();
+        for (s, p) in expected.iter().zip(&packed) {
+            assert_eq!(**s, **p);
+        }
+        assert_eq!(
+            warm.cache_stats().misses,
+            0,
+            "a warm store serves the whole pack without running kernels"
+        );
+        assert_eq!(
+            warm.batch_stats().dispatches,
+            0,
+            "nothing left to dispatch under a warm store"
+        );
+    }
+
+    #[test]
+    fn packed_evaluation_handles_degenerate_packs() {
+        let config = MicroNasConfig::tiny_test();
+        let ctx = SearchContext::new(DatasetKind::Cifar10, &config).unwrap();
+        assert!(ctx.evaluate_pack(&[]).unwrap().is_empty());
+        let cell = ctx.space().cell(123).unwrap();
+        let one = ctx.evaluate_pack(&[cell]).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(*one[0], *ctx.evaluate(cell).unwrap());
+        assert_eq!(
+            ctx.batch_stats().packed_candidates,
+            0,
+            "width-1 packs take the sequential path"
+        );
+        assert_eq!(ctx.with_pack_width(0).pack_width(), 1, "width clamps to 1");
     }
 
     #[test]

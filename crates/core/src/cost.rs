@@ -20,6 +20,70 @@ pub struct SearchCost {
     /// Evaluation-cache traffic of the search: requests served from the
     /// context cache or the shared evaluation store versus freshly computed.
     pub cache: EvalCacheStats,
+    /// Pack-density accounting of the cross-candidate mega-batched
+    /// evaluation path (all-zero for searches that never packed).
+    pub batch: BatchStats,
+}
+
+/// Pack-density accounting for the cross-candidate mega-batched evaluator.
+///
+/// The batched candidate path ([`crate::BatchedEvaluator`] /
+/// `SearchContext::evaluate_pack`) groups several candidates into one proxy
+/// sweep so same-geometry convolutions share a single wide GEMM dispatch.
+/// These counters record how densely that packing actually ran: how many
+/// packed sweeps were issued, how many candidates rode through them, and how
+/// many of those candidates' proxies were computed fresh inside a sweep (the
+/// rest were served by a cache or the shared store before any kernel ran).
+/// Like [`EvalCacheStats`], pack density varies with cache and store warmth,
+/// so it lives in the cost record, not in the bitwise-stable outcome parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BatchStats {
+    /// Packed proxy sweeps issued (one per [`ZeroCostEvaluator::evaluate_pack`]
+    /// call that reached the kernels).
+    ///
+    /// [`ZeroCostEvaluator::evaluate_pack`]: micronas_proxies::ZeroCostEvaluator::evaluate_pack
+    pub dispatches: usize,
+    /// Candidates submitted through the packed evaluation path.
+    pub packed_candidates: usize,
+    /// Candidates whose zero-cost proxies were freshly computed inside a
+    /// packed sweep (deduplicated by canonical form before dispatch).
+    pub computed_candidates: usize,
+    /// The configured maximum pack width (candidates per sweep).
+    pub pack_width: usize,
+}
+
+impl BatchStats {
+    /// Counter deltas accumulated since an earlier snapshot (the
+    /// configuration-like `pack_width` is carried over, not subtracted).
+    pub fn since(&self, earlier: &BatchStats) -> BatchStats {
+        BatchStats {
+            dispatches: self.dispatches - earlier.dispatches,
+            packed_candidates: self.packed_candidates - earlier.packed_candidates,
+            computed_candidates: self.computed_candidates - earlier.computed_candidates,
+            pack_width: self.pack_width,
+        }
+    }
+
+    /// Mean number of freshly computed candidates per packed sweep; 0.0 when
+    /// no sweep was dispatched.
+    pub fn candidates_per_dispatch(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.computed_candidates as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Fraction of the issued pack capacity that carried fresh work, in
+    /// `[0, 1]`; 0.0 when nothing was dispatched.
+    pub fn fill_rate(&self) -> f64 {
+        let capacity = self.dispatches * self.pack_width.max(1);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.computed_candidates as f64 / capacity as f64
+        }
+    }
 }
 
 /// Hit/miss accounting for candidate evaluations.
@@ -90,7 +154,7 @@ mod tests {
             wall_clock_seconds: 3_600.0,
             simulated_gpu_hours: 2.0,
             evaluations: 10,
-            cache: EvalCacheStats::default(),
+            ..Default::default()
         };
         assert!((c.total_hours() - 3.0).abs() < 1e-12);
     }
@@ -117,16 +181,41 @@ mod tests {
             wall_clock_seconds: 1_800.0,
             simulated_gpu_hours: 0.0,
             evaluations: 400,
-            cache: EvalCacheStats::default(),
+            ..Default::default()
         };
         let munas = SearchCost {
             wall_clock_seconds: 0.0,
             simulated_gpu_hours: 552.0,
             evaluations: 500,
-            cache: EvalCacheStats::default(),
+            ..Default::default()
         };
         let ratio = micro.efficiency_vs(&munas);
         assert!(ratio > 1_000.0 && ratio < 1_300.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_stats_density_and_delta() {
+        let earlier = BatchStats {
+            dispatches: 1,
+            packed_candidates: 8,
+            computed_candidates: 6,
+            pack_width: 8,
+        };
+        let later = BatchStats {
+            dispatches: 3,
+            packed_candidates: 24,
+            computed_candidates: 18,
+            pack_width: 8,
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.dispatches, 2);
+        assert_eq!(delta.packed_candidates, 16);
+        assert_eq!(delta.computed_candidates, 12);
+        assert_eq!(delta.pack_width, 8, "pack width carries over");
+        assert!((delta.candidates_per_dispatch() - 6.0).abs() < 1e-12);
+        assert!((delta.fill_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(BatchStats::default().candidates_per_dispatch(), 0.0);
+        assert_eq!(BatchStats::default().fill_rate(), 0.0);
     }
 
     #[test]

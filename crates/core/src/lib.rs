@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod context;
 mod cost;
@@ -83,9 +84,10 @@ mod outcome;
 mod search;
 mod session;
 
+pub use batch::BatchedEvaluator;
 pub use config::MicroNasConfig;
-pub use context::{CandidateEvaluation, SearchContext};
-pub use cost::{EvalCacheStats, SearchCost};
+pub use context::{CandidateEvaluation, SearchContext, DEFAULT_PACK_WIDTH};
+pub use cost::{BatchStats, EvalCacheStats, SearchCost};
 pub use error::MicroNasError;
 pub use objective::{HybridObjective, ObjectiveWeights};
 pub use outcome::SearchOutcome;

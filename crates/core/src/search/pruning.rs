@@ -1,9 +1,9 @@
 use crate::{
-    HybridObjective, MicroNasError, NullObserver, ObjectiveWeights, Result, SearchContext,
-    SearchCost, SearchEvent, SearchObserver, SearchOutcome, SearchStrategy,
+    BatchedEvaluator, CandidateEvaluation, HybridObjective, MicroNasError, NullObserver,
+    ObjectiveWeights, Result, SearchContext, SearchCost, SearchEvent, SearchObserver,
+    SearchOutcome, SearchStrategy,
 };
-use micronas_searchspace::{EdgeId, Operation, Supernet};
-use rayon::prelude::*;
+use micronas_searchspace::{CellTopology, EdgeId, Operation, Supernet};
 use std::time::Instant;
 
 /// The hardware-aware pruning-based search (the paper's §II algorithm), also
@@ -67,25 +67,16 @@ impl MicroNasSearch {
         &self.algorithm_name
     }
 
-    /// Importance of assigning `op` to `edge` given the current supernet
-    /// state: the hybrid objective of the representative architecture with
-    /// that assignment, minus a penalty if the candidate violates the
-    /// hardware budgets.
-    fn importance(
-        &self,
-        ctx: &SearchContext,
-        supernet: &Supernet,
-        edge: EdgeId,
-        op: Operation,
-    ) -> Result<f64> {
-        let cell = supernet.representative_cell(true).with_op(edge, op)?;
-        let eval = ctx.evaluate(cell)?;
+    /// Importance of an evaluated candidate assignment: the hybrid objective
+    /// of its representative architecture, minus a penalty if the candidate
+    /// violates the hardware budgets.
+    fn importance(&self, ctx: &SearchContext, eval: &CandidateEvaluation) -> f64 {
         let mut score = self.objective.score(&eval.metrics, &eval.hardware);
         if !eval.feasible {
             let violations = ctx.constraints().violations(&eval.hardware).len() as f64;
             score -= self.infeasibility_penalty * violations;
         }
-        Ok(score)
+        score
     }
 
     /// Runs the search to completion without progress reporting
@@ -111,31 +102,36 @@ impl SearchStrategy for MicroNasSearch {
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
         let cache_before = ctx.cache_stats();
+        let batch_before = ctx.batch_stats();
         let mut supernet = Supernet::full();
         let mut history = Vec::new();
 
         while !supernet.is_collapsed() {
             // Enumerate the candidate (edge, op) assignments of this prune
-            // step, then score them on the rayon pool. `ctx.evaluate` is a
-            // pure cached function of the cell and the reduction below walks
-            // the results in enumeration order with a strict `<` (first
+            // step, then push the whole slate through the mega-batched
+            // evaluator: packs of candidates run concurrently on the rayon
+            // pool, each fusing its members' same-geometry convolutions
+            // into shared GEMM dispatches. Evaluation is a pure cached
+            // function of the cell and the reduction below walks the
+            // results in enumeration order with a strict `<` (first
             // candidate wins ties), so the chosen prune — and therefore the
             // whole search trajectory — is bitwise identical for every
-            // thread count.
+            // thread count and pack width.
             let mut candidates: Vec<(EdgeId, Operation)> = Vec::new();
             for edge in supernet.undecided_edges() {
                 for op in supernet.candidates(edge)? {
                     candidates.push((edge, op));
                 }
             }
-            let scores: Vec<Result<f64>> = candidates
-                .par_iter()
-                .map(|&(edge, op)| self.importance(ctx, &supernet, edge, op))
-                .collect();
+            let cells: Vec<CellTopology> = candidates
+                .iter()
+                .map(|&(edge, op)| supernet.representative_cell(true).with_op(edge, op))
+                .collect::<std::result::Result<_, _>>()?;
+            let evals = BatchedEvaluator::new(ctx).evaluate_all(&cells)?;
 
             let mut weakest: Option<(EdgeId, Operation, f64)> = None;
-            for (&(edge, op), score) in candidates.iter().zip(scores) {
-                let score = score?;
+            for (&(edge, op), eval) in candidates.iter().zip(&evals) {
+                let score = self.importance(ctx, eval);
                 let replace = match &weakest {
                     None => true,
                     Some((_, _, s)) => score < *s,
@@ -173,6 +169,7 @@ impl SearchStrategy for MicroNasSearch {
                 simulated_gpu_hours: 0.0,
                 evaluations: ctx.evaluation_count() - evaluations_before,
                 cache: ctx.cache_stats().since(&cache_before),
+                batch: ctx.batch_stats().since(&batch_before),
             },
             algorithm: self.algorithm_name.clone(),
             history,
@@ -207,6 +204,12 @@ mod tests {
         );
         assert!(outcome.cost.evaluations > 0);
         assert!(outcome.cost.simulated_gpu_hours == 0.0);
+        assert!(
+            outcome.cost.batch.dispatches >= 1,
+            "pruning slates ride the packed path: {:?}",
+            outcome.cost.batch
+        );
+        assert!(outcome.cost.batch.packed_candidates >= outcome.cost.batch.computed_candidates);
         assert!(
             outcome.test_accuracy > 50.0,
             "discovered model should be well above chance"
@@ -281,6 +284,24 @@ mod tests {
             warm.cost.cache.misses, 0,
             "a pre-warmed store serves the whole search"
         );
+    }
+
+    #[test]
+    fn outcome_is_bitwise_identical_across_pack_widths() {
+        let reference = MicroNasSearch::te_nas_baseline()
+            .run(&tiny_context(HardwareConstraints::unconstrained()))
+            .unwrap();
+        for width in [1usize, 3, 8] {
+            let ctx = tiny_context(HardwareConstraints::unconstrained()).with_pack_width(width);
+            let outcome = MicroNasSearch::te_nas_baseline().run(&ctx).unwrap();
+            assert_eq!(
+                reference.best.index(),
+                outcome.best.index(),
+                "width {width}"
+            );
+            assert_eq!(reference.history, outcome.history, "width {width}");
+            assert_eq!(reference.evaluation, outcome.evaluation, "width {width}");
+        }
     }
 
     #[test]

@@ -1,12 +1,11 @@
 use crate::{
-    HybridObjective, MicroNasError, NullObserver, ObjectiveWeights, Result, SearchContext,
-    SearchCost, SearchEvent, SearchObserver, SearchOutcome, SearchStrategy,
+    BatchedEvaluator, HybridObjective, MicroNasError, NullObserver, ObjectiveWeights, Result,
+    SearchContext, SearchCost, SearchEvent, SearchObserver, SearchOutcome, SearchStrategy,
 };
-use micronas_searchspace::{random_architecture, Architecture};
+use micronas_searchspace::{random_architecture, Architecture, CellTopology};
 use micronas_tensor::hash_mix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// Random search over the cell space using the same zero-cost objective.
@@ -15,11 +14,14 @@ use std::time::Instant;
 /// architectures uniformly at random, score each with the hybrid objective
 /// and keep the best feasible one.
 ///
-/// Candidate scoring runs on the rayon pool. Every candidate's architecture
-/// is drawn from its own `ChaCha8Rng` seeded from
+/// Candidate evaluation goes through the mega-batched
+/// [`BatchedEvaluator`]: the sample budget is sliced into packs that run
+/// concurrently on the rayon pool, each pack fusing its candidates'
+/// same-geometry convolutions into shared GEMM dispatches. Every
+/// candidate's architecture is drawn from its own `ChaCha8Rng` seeded from
 /// `(base seed, candidate index)`, and results are reduced in candidate
 /// order, so the outcome — including the score history — is bitwise
-/// identical for every thread count.
+/// identical for every thread count and pack width.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     objective: HybridObjective,
@@ -74,6 +76,7 @@ impl SearchStrategy for RandomSearch {
         let start = Instant::now();
         let evaluations_before = ctx.evaluation_count();
         let cache_before = ctx.cache_stats();
+        let batch_before = ctx.batch_stats();
         let base_seed = ctx.seed().wrapping_add(RANDOM_STREAM);
 
         // Draw every candidate from its own deterministic stream so the
@@ -85,22 +88,17 @@ impl SearchStrategy for RandomSearch {
             })
             .collect();
 
-        // Score in parallel; results come back in candidate order.
-        let scored: Vec<Result<(std::sync::Arc<crate::CandidateEvaluation>, f64)>> = candidates
-            .par_iter()
-            .map(|arch| {
-                let eval = ctx.evaluate(*arch.cell())?;
-                let score = self.objective.score(&eval.metrics, &eval.hardware);
-                Ok((eval, score))
-            })
-            .collect();
+        // Evaluate the whole slate through the mega-batched path; handles
+        // come back in candidate order.
+        let cells: Vec<CellTopology> = candidates.iter().map(|arch| *arch.cell()).collect();
+        let evals = BatchedEvaluator::new(ctx).evaluate_all(&cells)?;
 
         // Sequential, order-preserving reduction: identical to the previous
         // one-at-a-time loop (first-seen candidate wins ties).
         let mut best: Option<(f64, SearchOutcome)> = None;
         let mut history = Vec::with_capacity(self.budget);
-        for (arch, result) in candidates.iter().zip(scored) {
-            let (eval, score) = result?;
+        for (arch, eval) in candidates.iter().zip(evals) {
+            let score = self.objective.score(&eval.metrics, &eval.hardware);
             observer.on_event(&SearchEvent::Step {
                 index: history.len(),
                 score,
@@ -129,6 +127,7 @@ impl SearchStrategy for RandomSearch {
             simulated_gpu_hours: 0.0,
             evaluations: ctx.evaluation_count() - evaluations_before,
             cache: ctx.cache_stats().since(&cache_before),
+            batch: ctx.batch_stats().since(&batch_before),
         };
         outcome.history = history;
         observer.on_event(&SearchEvent::Finished { outcome: &outcome });
@@ -168,6 +167,28 @@ mod tests {
         assert_eq!(outcome.history.len(), 6);
         assert!(outcome.cost.evaluations <= 6);
         assert!(outcome.cost.wall_clock_seconds > 0.0);
+        assert_eq!(
+            outcome.cost.batch.packed_candidates, 6,
+            "the whole budget rides the packed path"
+        );
+        assert!(outcome.cost.batch.dispatches >= 1);
+    }
+
+    #[test]
+    fn outcome_is_bitwise_identical_across_pack_widths() {
+        let search = RandomSearch::new(ObjectiveWeights::latency_guided(1.0), 7).unwrap();
+        let reference = search.run(&tiny_context()).unwrap();
+        for width in [1usize, 2, 16] {
+            let ctx = tiny_context().with_pack_width(width);
+            let outcome = search.run(&ctx).unwrap();
+            assert_eq!(
+                reference.best.index(),
+                outcome.best.index(),
+                "width {width}"
+            );
+            assert_eq!(reference.history, outcome.history, "width {width}");
+            assert_eq!(reference.evaluation, outcome.evaluation, "width {width}");
+        }
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub struct SearchSessionBuilder {
     store: Option<Arc<EvalStore>>,
     observer: Option<Arc<dyn SearchObserver>>,
     backend: Option<micronas_tensor::KernelBackendKind>,
+    pack_width: Option<usize>,
 }
 
 impl SearchSessionBuilder {
@@ -175,6 +176,17 @@ impl SearchSessionBuilder {
         self
     }
 
+    /// Sets the maximum number of candidates the session's context packs
+    /// into one mega-batched proxy sweep (default:
+    /// [`crate::DEFAULT_PACK_WIDTH`]; clamped to at least 1, and 1 disables
+    /// cross-candidate packing). Search outcomes are bitwise identical for
+    /// every width — only GEMM dispatch density and wall-clock change.
+    #[must_use]
+    pub fn pack_width(mut self, width: usize) -> Self {
+        self.pack_width = Some(width);
+        self
+    }
+
     /// Attaches a progress observer that receives every
     /// [`crate::SearchEvent`] of searches run through the session.
     #[must_use]
@@ -196,7 +208,10 @@ impl SearchSessionBuilder {
         if let Some(backend) = self.backend {
             config.backend = backend;
         }
-        let context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
+        let mut context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
+        if let Some(width) = self.pack_width {
+            context = context.with_pack_width(width);
+        }
         Ok(SearchSession {
             context,
             weights: self.weights.unwrap_or_default(),
@@ -311,6 +326,34 @@ mod tests {
         // The built-in entries are still present and untouched alongside.
         assert!(eval.metrics.contains(metric_ids::LINEAR_REGIONS));
         assert!(eval.metrics.contains(metric_ids::NTK_CONDITION));
+    }
+
+    #[test]
+    fn pack_width_flows_into_the_context_and_preserves_outcomes() {
+        let narrow = tiny_builder().pack_width(1).build().unwrap();
+        assert_eq!(narrow.context().pack_width(), 1);
+        let wide = tiny_builder().pack_width(16).build().unwrap();
+        assert_eq!(wide.context().pack_width(), 16);
+        assert_eq!(
+            tiny_builder().build().unwrap().context().pack_width(),
+            crate::DEFAULT_PACK_WIDTH
+        );
+
+        let a = narrow.run_micronas().unwrap();
+        let b = wide.run_micronas().unwrap();
+        assert_eq!(a.best.index(), b.best.index());
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.evaluation, b.evaluation);
+        assert!(
+            b.cost.batch.dispatches >= 1,
+            "wide session must actually pack: {:?}",
+            b.cost.batch
+        );
+        assert_eq!(
+            a.cost.batch.packed_candidates, 0,
+            "width 1 disables packing: {:?}",
+            a.cost.batch
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use config::ProxyNetworkConfig;
 pub use error::NnError;
 pub use gradient::{ParameterGradients, PerSampleGradients};
 pub use layers::{ConvLayer, LinearLayer};
-pub use network::{CellNetwork, ForwardOutput};
+pub use network::{CellNetwork, CellNetworkPack, ForwardOutput};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -780,6 +780,294 @@ impl CellNetwork {
     }
 }
 
+/// A forward trace plus the collected pre-ReLU conv inputs of one pack member.
+type TraceAndPreActivations = (ForwardTrace, Vec<Tensor>);
+
+/// A pack of [`CellNetwork`]s over *different* cells that share one
+/// `(config, seed, backend)` triple and execute their forward passes in
+/// lockstep, so every convolution edge whose geometry coincides across
+/// candidates runs as **one** packed GEMM dispatch
+/// ([`micronas_tensor::KernelBackend::conv2d_forward_packed`]).
+///
+/// This is the network-level substrate of cross-candidate mega-batching:
+/// the zero-cost proxies evaluate many candidate cells against the *same*
+/// probe batch at the *same* seed, which makes three sharing opportunities
+/// exact rather than approximate:
+///
+/// * **Weights coincide.** The seed streams are position-keyed
+///   (`hash_mix(seed, cell_idx · NUM_EDGES + edge + 1)`), so every pack
+///   member that places a convolution of the same kernel size on the same
+///   edge holds a bitwise-identical weight tensor — one weight matrix
+///   serves the whole bucket's packed GEMM.
+/// * **The stem is shared computation.** All members have identical stems
+///   and see the identical input, so the stem convolution — usually the
+///   widest GEMM in a sparse cell — runs once per pack instead of once per
+///   candidate; each trace receives a bitwise copy.
+/// * **Same-geometry edges merge.** Per (cell, edge), members are
+///   partitioned by operation and conv members bucketed by kernel size;
+///   each bucket's ReLU-activated inputs go through a single packed
+///   im2col + GEMM dispatch that is bitwise-identical to per-candidate
+///   dispatch
+///   (the packed kernel falls back to the solo path whenever merging could
+///   change the GEMM schedule).
+///
+/// Backward passes are **not** merged: the per-sample weight-gradient GEMMs
+/// have per-candidate operands on both sides, so each member's backward
+/// runs solo on its pack-produced trace. Everything the pack returns is
+/// **bitwise identical** to evaluating each member through its own
+/// [`CellNetwork`] entry points.
+#[derive(Debug, Clone)]
+pub struct CellNetworkPack {
+    networks: Vec<CellNetwork>,
+}
+
+impl CellNetworkPack {
+    /// Builds one network per cell on the paper-default backend, all from
+    /// the same `(config, seed)` — exactly the networks solo evaluation of
+    /// each cell would build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(cells: &[CellTopology], config: &ProxyNetworkConfig, seed: u64) -> Result<Self> {
+        Self::with_backend(cells, config, seed, paper_default_backend())
+    }
+
+    /// [`CellNetworkPack::new`] on an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+    pub fn with_backend(
+        cells: &[CellTopology],
+        config: &ProxyNetworkConfig,
+        seed: u64,
+        backend: Arc<dyn KernelBackend>,
+    ) -> Result<Self> {
+        let networks = cells
+            .iter()
+            .map(|cell| CellNetwork::with_backend(cell, config, seed, Arc::clone(&backend)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { networks })
+    }
+
+    /// The pack members, in construction order.
+    pub fn networks(&self) -> &[CellNetwork] {
+        &self.networks
+    }
+
+    /// Number of pack members.
+    pub fn len(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Whether the pack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.networks.is_empty()
+    }
+
+    /// The lockstep pack forward. Mirrors [`CellNetwork::forward_trace`]
+    /// per member — same per-member accumulation order, same kernels —
+    /// except that the stem runs once and same-geometry conv edges dispatch
+    /// packed. Returns one `(trace, pre_activations)` pair per member, in
+    /// pack order.
+    fn forward_pack_traces(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+        collect_pre_activations: bool,
+    ) -> Result<Vec<TraceAndPreActivations>> {
+        let Some(first) = self.networks.first() else {
+            return Ok(Vec::new());
+        };
+        first.check_input(input)?;
+        let backend = &*first.backend;
+        let pack = self.networks.len();
+        let num_cells = first.cells.len();
+
+        // One stem forward for the whole pack: stems are identical (same
+        // seed, same stream) and see the identical input.
+        let stem_out = first.stem.forward_on(backend, input, workspace)?;
+        let mut pre_activations: Vec<Vec<Tensor>> = vec![Vec::new(); pack];
+        let mut nodes_per_cell: Vec<Vec<Vec<Tensor>>> =
+            (0..pack).map(|_| Vec::with_capacity(num_cells)).collect();
+        let mut xs: Vec<Tensor> = (0..pack)
+            .map(|_| pooled_copy(&stem_out, workspace))
+            .collect();
+
+        for cell_idx in 0..num_cells {
+            let mut nodes: Vec<Vec<Tensor>> = std::mem::take(&mut xs)
+                .into_iter()
+                .map(|x| {
+                    let mut v = Vec::with_capacity(NUM_NODES);
+                    v.push(x);
+                    v
+                })
+                .collect();
+            for dst in 1..NUM_NODES {
+                let mut accs: Vec<Tensor> = nodes
+                    .iter()
+                    .map(|n| pooled_zeros(n[0].shape().clone(), workspace))
+                    .collect();
+                for edge in EdgeId::all() {
+                    let (src, d) = edge.endpoints();
+                    if d != dst {
+                        continue;
+                    }
+                    // Partition members by this edge's operation. Non-conv
+                    // contributions accumulate immediately (each member has
+                    // exactly one op per edge, so per-member order across
+                    // edges stays canonical); conv members bucket by kernel
+                    // size for one packed dispatch per bucket.
+                    let mut conv_buckets: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+                    for (p, net) in self.networks.iter().enumerate() {
+                        match net.cell.edge_ops()[edge.0] {
+                            Operation::None => {}
+                            Operation::SkipConnect => {
+                                accs[p].axpy(1.0, &nodes[p][src]).map_err(NnError::from)?;
+                            }
+                            Operation::AvgPool3x3 => {
+                                let c = backend.avg_pool2d(&nodes[p][src], 3, 1, 1, workspace)?;
+                                accs[p].axpy(1.0, &c).map_err(NnError::from)?;
+                                workspace.recycle(c.into_vec());
+                            }
+                            Operation::NorConv1x1 => conv_buckets[0].push(p),
+                            Operation::NorConv3x3 => conv_buckets[1].push(p),
+                        }
+                    }
+                    for bucket in &conv_buckets {
+                        let Some(&lead) = bucket.first() else {
+                            continue;
+                        };
+                        let conv = self.networks[lead].cells[cell_idx].edge_convs[edge.0]
+                            .as_ref()
+                            .expect("conv edge always has a layer");
+                        // Position-keyed seeding makes every bucket
+                        // member's weight tensor identical to the lead's.
+                        debug_assert!(bucket.iter().all(|&p| {
+                            self.networks[p].cells[cell_idx].edge_convs[edge.0]
+                                .as_ref()
+                                .is_some_and(|c| c.weight() == conv.weight())
+                        }));
+                        if collect_pre_activations {
+                            for &p in bucket {
+                                pre_activations[p].push(nodes[p][src].clone());
+                            }
+                        }
+                        let activated: Vec<Tensor> = bucket
+                            .iter()
+                            .map(|&p| pooled_relu(&nodes[p][src], workspace))
+                            .collect();
+                        let inputs: Vec<&Tensor> = activated.iter().collect();
+                        let outs = backend.conv2d_forward_packed(
+                            &inputs,
+                            conv.weight(),
+                            conv.spec(),
+                            workspace,
+                        )?;
+                        drop(inputs);
+                        for t in activated {
+                            workspace.recycle(t.into_vec());
+                        }
+                        for (&p, c) in bucket.iter().zip(outs) {
+                            accs[p].axpy(1.0, &c).map_err(NnError::from)?;
+                            workspace.recycle(c.into_vec());
+                        }
+                    }
+                }
+                for (n, acc) in nodes.iter_mut().zip(accs) {
+                    n.push(acc);
+                }
+            }
+            xs = nodes
+                .iter()
+                .map(|n| pooled_copy(&n[NUM_NODES - 1], workspace))
+                .collect();
+            for (per_cell, n) in nodes_per_cell.iter_mut().zip(nodes) {
+                per_cell.push(n);
+            }
+        }
+
+        // Classifier per member: features differ even though weights
+        // coincide, and the GEMM is tiny — packing buys nothing here.
+        let mut out = Vec::with_capacity(pack);
+        for ((net, x), (nodes, pre)) in self
+            .networks
+            .iter()
+            .zip(xs)
+            .zip(nodes_per_cell.into_iter().zip(pre_activations))
+        {
+            let features = global_avg_pool(&x)?;
+            workspace.recycle(x.into_vec());
+            let logits = net.classifier.forward_on(backend, &features)?;
+            let trace = ForwardTrace {
+                input: pooled_copy(input, workspace),
+                stem_out: pooled_copy(&stem_out, workspace),
+                nodes,
+                features,
+                logits,
+            };
+            out.push((trace, pre));
+        }
+        workspace.recycle(stem_out.into_vec());
+        Ok(out)
+    }
+
+    /// Runs the packed forward pass on every member; element `i` of the
+    /// result is bitwise identical to
+    /// [`CellNetwork::forward_with`] on member `i` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] if the input geometry does not
+    /// match the configuration.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<ForwardOutput>> {
+        let traces = self.forward_pack_traces(input, workspace, true)?;
+        let mut out = Vec::with_capacity(traces.len());
+        for (trace, pre_activations) in traces {
+            let logits = trace.logits.clone();
+            recycle_trace(trace, workspace);
+            out.push(ForwardOutput {
+                logits,
+                pre_activations,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Per-sample gradient matrices for every member: packed forward, then
+    /// one solo backward sweep per member on its pack-produced trace
+    /// (per-sample weight-gradient GEMMs have per-candidate operands on
+    /// both sides and cannot merge). Element `i` is bitwise identical to
+    /// [`CellNetwork::per_sample_gradient_matrix_with`] on member `i`
+    /// alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for geometry mismatches.
+    pub fn per_sample_gradient_matrices_with(
+        &self,
+        batch: &Tensor,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<PerSampleGradients>> {
+        let traces = self.forward_pack_traces(batch, workspace, false)?;
+        let n = batch.shape().dims()[0];
+        let mut out = Vec::with_capacity(traces.len());
+        for (net, (trace, _)) in self.networks.iter().zip(traces) {
+            let p = net.num_parameters();
+            let mut matrix = workspace.take_zeroed(n * p);
+            net.backward_per_sample_into(&trace, workspace, &mut matrix)?;
+            recycle_trace(trace, workspace);
+            out.push(PerSampleGradients::new(n, p, matrix));
+        }
+        Ok(out)
+    }
+}
+
 /// Extracts sample `i` of an NCHW batch as a batch of one.
 fn extract_sample(batch: &Tensor, i: usize) -> Result<Tensor> {
     let d = batch.shape().dims();
@@ -1128,5 +1416,126 @@ mod tests {
 
     fn rebuild_linear(_old: &LinearLayer, weight: Tensor) -> LinearLayer {
         LinearLayer::from_weight(weight)
+    }
+
+    /// A spread of cells that exercises every pack regime: conv-heavy (big
+    /// merge buckets), mixed pool/skip (partitioned edges), sparse, and the
+    /// all-`None` degenerate cell.
+    fn pack_test_cells() -> Vec<CellTopology> {
+        let space = SearchSpace::nas_bench_201();
+        vec![
+            conv_chain_cell(),
+            space.cell(7_000).unwrap(),
+            space.cell(11_111).unwrap(),
+            space.cell(404).unwrap(),
+            space.cell(0).unwrap(),
+        ]
+    }
+
+    /// The tentpole identity at the network layer: the packed forward must
+    /// be bitwise identical to each member's solo forward, at every pack
+    /// width and under both pinned convolution engines (covering the
+    /// merged-GEMM path and the direct oracle).
+    #[test]
+    fn packed_forward_is_bitwise_identical_to_solo_members() {
+        use micronas_tensor::{set_conv_engine, ConvEngine};
+        let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cells = pack_test_cells();
+        let config = ProxyNetworkConfig::tiny(10);
+        let batch = random_batch(&config, 2, 31);
+        for engine in [ConvEngine::Auto, ConvEngine::Direct, ConvEngine::Im2colGemm] {
+            set_conv_engine(engine);
+            for width in [1usize, 2, cells.len()] {
+                let members = &cells[..width];
+                let pack = CellNetworkPack::new(members, &config, 9).unwrap();
+                let mut pack_ws = Workspace::default();
+                let packed = pack.forward_with(&batch, &mut pack_ws).unwrap();
+                assert_eq!(packed.len(), width);
+                for (i, cell) in members.iter().enumerate() {
+                    let solo_net = CellNetwork::new(cell, &config, 9).unwrap();
+                    let mut solo_ws = Workspace::default();
+                    let solo = solo_net.forward_with(&batch, &mut solo_ws).unwrap();
+                    assert_eq!(
+                        packed[i].logits.data(),
+                        solo.logits.data(),
+                        "engine {engine:?} width {width} member {i}: logits diverge"
+                    );
+                    assert_eq!(
+                        packed[i].pre_activations.len(),
+                        solo.pre_activations.len(),
+                        "engine {engine:?} width {width} member {i}"
+                    );
+                    for (a, b) in packed[i].pre_activations.iter().zip(&solo.pre_activations) {
+                        assert_eq!(a.data(), b.data());
+                    }
+                }
+            }
+        }
+        set_conv_engine(ConvEngine::Auto);
+    }
+
+    /// Per-sample gradient matrices from the pack (packed forward, solo
+    /// backward on pack traces) must be bitwise identical to each member's
+    /// solo batched formulation.
+    #[test]
+    fn packed_gradient_matrices_are_bitwise_identical_to_solo_members() {
+        use micronas_tensor::{set_conv_engine, ConvEngine};
+        let _engine_guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cells = pack_test_cells();
+        let config = ProxyNetworkConfig::tiny(4);
+        for engine in [ConvEngine::Auto, ConvEngine::Im2colGemm] {
+            set_conv_engine(engine);
+            for n in [1usize, 3] {
+                let batch = random_batch(&config, n, 47 + n as u64);
+                let pack = CellNetworkPack::new(&cells, &config, 5).unwrap();
+                let mut pack_ws = Workspace::default();
+                let matrices = pack
+                    .per_sample_gradient_matrices_with(&batch, &mut pack_ws)
+                    .unwrap();
+                assert_eq!(matrices.len(), cells.len());
+                for (i, cell) in cells.iter().enumerate() {
+                    let solo_net = CellNetwork::new(cell, &config, 5).unwrap();
+                    let mut solo_ws = Workspace::default();
+                    let solo = solo_net
+                        .per_sample_gradient_matrix_with(&batch, &mut solo_ws)
+                        .unwrap();
+                    assert_eq!(matrices[i].num_samples(), n);
+                    assert_eq!(matrices[i].num_parameters(), solo_net.num_parameters());
+                    for b in 0..n {
+                        assert_eq!(
+                            matrices[i].row(b),
+                            solo.row(b),
+                            "engine {engine:?} n={n} member {i} sample {b}: gradients diverge"
+                        );
+                    }
+                }
+            }
+        }
+        set_conv_engine(ConvEngine::Auto);
+    }
+
+    #[test]
+    fn empty_pack_is_empty_everywhere() {
+        let config = ProxyNetworkConfig::tiny(10);
+        let pack = CellNetworkPack::new(&[], &config, 1).unwrap();
+        assert!(pack.is_empty());
+        assert_eq!(pack.len(), 0);
+        let batch = random_batch(&config, 2, 1);
+        let mut ws = Workspace::default();
+        assert!(pack.forward_with(&batch, &mut ws).unwrap().is_empty());
+        assert!(pack
+            .per_sample_gradient_matrices_with(&batch, &mut ws)
+            .unwrap()
+            .is_empty());
+    }
+
+    /// The pack validates input geometry exactly like its members do.
+    #[test]
+    fn pack_input_geometry_is_validated() {
+        let config = ProxyNetworkConfig::tiny(10);
+        let pack = CellNetworkPack::new(&[conv_chain_cell()], &config, 1).unwrap();
+        let bad = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+        let mut ws = Workspace::default();
+        assert!(pack.forward_with(&bad, &mut ws).is_err());
     }
 }

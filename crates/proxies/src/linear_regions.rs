@@ -2,7 +2,7 @@
 
 use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
-use micronas_nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_nn::{CellNetwork, CellNetworkPack, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
 use micronas_tensor::{paper_default_backend, KernelBackend, Shape, Tensor};
 use serde::{Deserialize, Serialize};
@@ -171,49 +171,61 @@ impl LinearRegionEvaluator {
         let net = CellNetwork::with_backend(&cell, &net_config, seed, self.backend.clone())?;
         let data = SyntheticDataset::new(dataset, seed);
 
-        let mut total_regions = 0usize;
-        let mut all_patterns: HashSet<Vec<bool>> = HashSet::new();
-        let mut relu_units = 0usize;
-
+        let mut acc = RegionAccumulator::default();
         for segment in 0..self.config.num_segments {
             // Two endpoint batches of one sample each.
             let endpoints =
                 data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
             let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
             let output = net.forward_with(&points, workspace)?;
-            let patterns =
-                activation_patterns(&output.pre_activations, self.config.points_per_segment);
-            relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
+            acc.absorb_segment(&output.pre_activations, self.config.points_per_segment);
+        }
+        Ok(acc.finish(self.config.num_segments))
+    }
 
-            // Count pieces along the segment: 1 + number of ReLU
-            // hyperplane crossings (Hamming distance between consecutive
-            // patterns).
-            let mut segment_regions = 1usize;
-            for w in patterns.windows(2) {
-                segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
-            }
-            // A network with no ReLU units has a single global linear
-            // region.
-            if relu_units == 0 {
-                segment_regions = 1;
-            }
-            total_regions += segment_regions;
-            for p in patterns {
-                all_patterns.insert(p);
+    /// Cross-candidate mega-batched evaluation: every cell probes the
+    /// **same** segments (endpoints and interpolation do not depend on the
+    /// cell), so each segment's forward pass runs through one
+    /// [`CellNetworkPack`] whose same-geometry conv layers merge into packed
+    /// GEMM dispatches. Element `i` of the result is bitwise identical to
+    /// solo evaluation of `cells[i]` via
+    /// [`LinearRegionEvaluator::evaluate_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the configuration is invalid or any
+    /// underlying step fails.
+    pub fn evaluate_pack_in(
+        &self,
+        cells: &[CellTopology],
+        dataset: DatasetKind,
+        seed: u64,
+        workspace: &mut micronas_tensor::Workspace,
+    ) -> Result<Vec<LinearRegionReport>> {
+        self.config.validate()?;
+        if cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut net_config = self.config.network;
+        net_config.num_classes = dataset.num_classes().min(16);
+        let pack = CellNetworkPack::with_backend(cells, &net_config, seed, self.backend.clone())?;
+        let data = SyntheticDataset::new(dataset, seed);
+
+        let mut accs: Vec<RegionAccumulator> =
+            cells.iter().map(|_| RegionAccumulator::default()).collect();
+        for segment in 0..self.config.num_segments {
+            let endpoints =
+                data.sample_batch_with_stream(2, net_config.input_resolution, segment as u64)?;
+            let points = self.interpolate(&endpoints.images, self.config.points_per_segment)?;
+            let outputs = pack.forward_with(&points, workspace)?;
+            for (acc, output) in accs.iter_mut().zip(&outputs) {
+                acc.absorb_segment(&output.pre_activations, self.config.points_per_segment);
             }
         }
-
-        let regions_per_segment = total_regions as f64 / self.config.num_segments as f64;
-        Ok(LinearRegionReport {
-            regions: total_regions,
-            regions_per_segment,
-            distinct_patterns: if relu_units == 0 {
-                1
-            } else {
-                all_patterns.len()
-            },
-            relu_units,
-        })
+        Ok(accs
+            .into_iter()
+            .map(|acc| acc.finish(self.config.num_segments))
+            .collect())
     }
 
     /// Builds a batch of `steps` points interpolating linearly between the
@@ -238,6 +250,54 @@ impl LinearRegionEvaluator {
 impl Default for LinearRegionEvaluator {
     fn default() -> Self {
         Self::new(LinearRegionConfig::default())
+    }
+}
+
+/// Per-candidate region counting across probe segments, identical for the
+/// solo and packed paths (both call [`RegionAccumulator::absorb_segment`]
+/// with the same pre-activations, so reports agree bitwise).
+#[derive(Default)]
+struct RegionAccumulator {
+    total_regions: usize,
+    all_patterns: HashSet<Vec<bool>>,
+    relu_units: usize,
+}
+
+impl RegionAccumulator {
+    fn absorb_segment(&mut self, pre_activations: &[Tensor], points_per_segment: usize) {
+        let patterns = activation_patterns(pre_activations, points_per_segment);
+        self.relu_units = patterns.first().map(|p| p.len()).unwrap_or(0);
+
+        // Count pieces along the segment: 1 + number of ReLU
+        // hyperplane crossings (Hamming distance between consecutive
+        // patterns).
+        let mut segment_regions = 1usize;
+        for w in patterns.windows(2) {
+            segment_regions += w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
+        }
+        // A network with no ReLU units has a single global linear
+        // region.
+        if self.relu_units == 0 {
+            segment_regions = 1;
+        }
+        self.total_regions += segment_regions;
+        for p in patterns {
+            self.all_patterns.insert(p);
+        }
+    }
+
+    fn finish(self, num_segments: usize) -> LinearRegionReport {
+        let regions_per_segment = self.total_regions as f64 / num_segments as f64;
+        LinearRegionReport {
+            regions: self.total_regions,
+            regions_per_segment,
+            distinct_patterns: if self.relu_units == 0 {
+                1
+            } else {
+                self.all_patterns.len()
+            },
+            relu_units: self.relu_units,
+        }
     }
 }
 
@@ -330,6 +390,34 @@ mod tests {
             s.regions
         );
         assert!(r.relu_units > s.relu_units);
+    }
+
+    /// The mega-batching identity at the proxy layer: packed region reports
+    /// must be bitwise identical to solo evaluation of every pack member.
+    #[test]
+    fn packed_evaluation_is_bitwise_identical_to_solo() {
+        let space = SearchSpace::nas_bench_201();
+        let cells: Vec<_> = [7_000usize, 11_111, 404, 0, 15_624]
+            .iter()
+            .map(|&i| space.cell(i).unwrap())
+            .collect();
+        let eval = fast_eval();
+        let mut ws = micronas_tensor::Workspace::default();
+        for width in [1usize, 2, cells.len()] {
+            let members = &cells[..width];
+            let packed = eval
+                .evaluate_pack_in(members, DatasetKind::Cifar10, 8, &mut ws)
+                .unwrap();
+            assert_eq!(packed.len(), width);
+            for (i, cell) in members.iter().enumerate() {
+                let solo = eval.evaluate(*cell, DatasetKind::Cifar10, 8).unwrap();
+                assert_eq!(solo, packed[i], "width {width} member {i}");
+            }
+        }
+        assert!(eval
+            .evaluate_pack_in(&[], DatasetKind::Cifar10, 8, &mut ws)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
-use micronas_nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_nn::{CellNetwork, CellNetworkPack, PerSampleGradients, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
 use micronas_tensor::{
     paper_default_backend, sym_eigenvalues_with, EigenOptions, EigenReport, KernelBackend, Shape,
@@ -258,11 +258,7 @@ impl NtkEvaluator {
         net_config: ProxyNetworkConfig,
         workspace: &mut Workspace,
     ) -> Result<NtkReport> {
-        let mut condition_sum = 0.0f64;
-        let mut indices_sum = vec![0.0f64; self.config.max_condition_index];
-        let mut first_eigenvalues = Vec::new();
-        // One eigensolver scratch buffer serves every repeat.
-        let mut eigen_scratch = Vec::new();
+        let mut acc = NtkAccumulator::new(&self.config);
 
         for repeat in 0..self.config.repeats {
             let repeat_seed = seed.wrapping_add(repeat as u64).wrapping_mul(0x9E37_79B9);
@@ -275,33 +271,82 @@ impl NtkEvaluator {
             let net =
                 CellNetwork::with_backend(&cell, &net_config, repeat_seed, self.backend.clone())?;
             let gram = self.gram_matrix(&net, &batch.images, workspace)?;
-            let full = sym_eigenvalues_with(&gram, EigenOptions::default(), &mut eigen_scratch)
-                .map_err(|e| ProxyError::Eigen(e.to_string()))?;
-            // Centring the per-sample gradients (see `gram_matrix`) pins one
-            // structural zero eigenvalue (the all-ones direction); drop it so
-            // the condition indices describe the informative subspace.
-            let report = EigenReport {
-                eigenvalues: full.eigenvalues[1..].to_vec(),
-                sweeps: full.sweeps,
-                converged: full.converged,
-            };
-            condition_sum += report.condition_index(1);
-            for (i, slot) in indices_sum.iter_mut().enumerate() {
-                *slot += report.condition_index(i + 1);
-            }
-            if repeat == 0 {
-                first_eigenvalues = report.eigenvalues.clone();
-            }
+            acc.absorb(repeat, &gram)?;
         }
 
-        let repeats = self.config.repeats as f64;
-        Ok(NtkReport {
-            condition_number: condition_sum / repeats,
-            condition_indices: indices_sum.iter().map(|v| v / repeats).collect(),
-            eigenvalues: first_eigenvalues,
-            batch_size: self.config.batch_size,
-            repeats: self.config.repeats,
-        })
+        Ok(acc.finish(&self.config))
+    }
+
+    /// Cross-candidate mega-batched evaluation: every cell in the pack is
+    /// evaluated against the **same** probe batch at the **same**
+    /// `(seed, repeat)` stream — exactly what per-cell [`NtkEvaluator::evaluate_in`]
+    /// calls would use — so the forward passes run through one
+    /// [`CellNetworkPack`] whose same-geometry conv layers merge into packed
+    /// GEMM dispatches. Backward sweeps and eigensolves stay per-candidate
+    /// (their operands are candidate-specific on both sides). Element `i`
+    /// of the result is bitwise identical to solo evaluation of `cells[i]`.
+    ///
+    /// A non-default [`GradientPath`] has no packed formulation; the pack
+    /// falls back to per-candidate solo evaluation in that case (values are
+    /// the same either way — only scheduling differs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the configuration is invalid or any
+    /// underlying numerical step fails.
+    pub fn evaluate_pack_in(
+        &self,
+        cells: &[CellTopology],
+        dataset: DatasetKind,
+        seed: u64,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<NtkReport>> {
+        self.config.validate()?;
+        if cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.gradient_path != GradientPath::Batched {
+            return cells
+                .iter()
+                .map(|&cell| self.evaluate_in(cell, dataset, seed, workspace))
+                .collect();
+        }
+        let mut net_config = self.config.network;
+        net_config.num_classes = dataset.num_classes().min(16);
+
+        let mut accs: Vec<NtkAccumulator> = cells
+            .iter()
+            .map(|_| NtkAccumulator::new(&self.config))
+            .collect();
+        for repeat in 0..self.config.repeats {
+            let repeat_seed = seed.wrapping_add(repeat as u64).wrapping_mul(0x9E37_79B9);
+            let data = SyntheticDataset::new(dataset, repeat_seed);
+            // The probe batch does not depend on the cell: one sample serves
+            // the whole pack, bitwise what each solo call would draw.
+            let batch = data.sample_batch_with_stream(
+                self.config.batch_size,
+                net_config.input_resolution,
+                repeat as u64,
+            )?;
+            let pack = CellNetworkPack::with_backend(
+                cells,
+                &net_config,
+                repeat_seed,
+                self.backend.clone(),
+            )?;
+            let n = batch.images.shape().dims()[0];
+            let matrices = pack.per_sample_gradient_matrices_with(&batch.images, workspace)?;
+            for (acc, j) in accs.iter_mut().zip(matrices) {
+                let raw = self.raw_gram_from_matrix(n, &j);
+                workspace.recycle(j.into_values());
+                let gram = finish_gram(n, &raw);
+                acc.absorb(repeat, &gram)?;
+            }
+        }
+        Ok(accs
+            .into_iter()
+            .map(|acc| acc.finish(&self.config))
+            .collect())
     }
 
     /// Builds the NTK Gram matrix of a batch from **norm-normalised**
@@ -328,9 +373,7 @@ impl NtkEvaluator {
                 // matrix; the raw Gram is a single G = J·Jᵀ GEMM (f32 panels
                 // with f64 accumulation).
                 let j = net.per_sample_gradient_matrix_with(images, workspace)?;
-                let mut raw = vec![0.0f64; n * n];
-                self.backend
-                    .gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
+                let raw = self.raw_gram_from_matrix(n, &j);
                 workspace.recycle(j.into_values());
                 raw
             }
@@ -347,35 +390,105 @@ impl NtkEvaluator {
                 raw
             }
         };
-        // Centring the gradients (ĝ_i = g_i − mean) is equivalent to
-        // double-centring the raw Gram: Ĝ = H G H with H = I − 11ᵀ/n. This
-        // O(n²) identity avoids materialising the centred gradient matrix
-        // (n × num_parameters) entirely.
-        let inv_n = 1.0 / n.max(1) as f64;
-        let row_means: Vec<f64> = (0..n)
-            .map(|i| raw[i * n..(i + 1) * n].iter().sum::<f64>() * inv_n)
-            .collect();
-        let total_mean = row_means.iter().sum::<f64>() * inv_n;
-        let centred =
-            |i: usize, j: usize| raw[i * n + j] - row_means[i] - row_means[j] + total_mean;
-        let norms: Vec<f64> = (0..n).map(|i| centred(i, i).max(0.0).sqrt()).collect();
-        let mut gram = Tensor::zeros(Shape::d2(n, n));
-        for i in 0..n {
-            for j in i..n {
-                let scale = norms[i] * norms[j];
-                let value = if scale > 0.0 {
-                    (centred(i, j) / scale) as f32
-                } else {
-                    // A completely disconnected cell produces zero gradients;
-                    // keep the Gram all-zero (condition_index clamps the
-                    // denominator so the spectrum stays benign).
-                    0.0
-                };
-                *gram.at2_mut(i, j) = value;
-                *gram.at2_mut(j, i) = value;
-            }
+        Ok(finish_gram(n, &raw))
+    }
+
+    /// The raw (uncentred) Gram `G = J·Jᵀ` of an `[n, P]` per-sample
+    /// gradient matrix, as one GEMM with f64 accumulation.
+    fn raw_gram_from_matrix(&self, n: usize, j: &PerSampleGradients) -> Vec<f64> {
+        let mut raw = vec![0.0f64; n * n];
+        self.backend
+            .gram_nt_f64(n, j.num_parameters(), j.values(), &mut raw);
+        raw
+    }
+}
+
+/// Double-centres and norm-normalises a raw Gram matrix (shared verbatim by
+/// the solo and packed evaluation paths, so they agree bitwise).
+///
+/// Centring the gradients (ĝ_i = g_i − mean) is equivalent to
+/// double-centring the raw Gram: Ĝ = H G H with H = I − 11ᵀ/n. This
+/// O(n²) identity avoids materialising the centred gradient matrix
+/// (n × num_parameters) entirely.
+fn finish_gram(n: usize, raw: &[f64]) -> Tensor {
+    let inv_n = 1.0 / n.max(1) as f64;
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| raw[i * n..(i + 1) * n].iter().sum::<f64>() * inv_n)
+        .collect();
+    let total_mean = row_means.iter().sum::<f64>() * inv_n;
+    let centred = |i: usize, j: usize| raw[i * n + j] - row_means[i] - row_means[j] + total_mean;
+    let norms: Vec<f64> = (0..n).map(|i| centred(i, i).max(0.0).sqrt()).collect();
+    let mut gram = Tensor::zeros(Shape::d2(n, n));
+    for i in 0..n {
+        for j in i..n {
+            let scale = norms[i] * norms[j];
+            let value = if scale > 0.0 {
+                (centred(i, j) / scale) as f32
+            } else {
+                // A completely disconnected cell produces zero gradients;
+                // keep the Gram all-zero (condition_index clamps the
+                // denominator so the spectrum stays benign).
+                0.0
+            };
+            *gram.at2_mut(i, j) = value;
+            *gram.at2_mut(j, i) = value;
         }
-        Ok(gram)
+    }
+    gram
+}
+
+/// Per-candidate spectral accumulation across repeats, identical for the
+/// solo and packed paths: eigensolve the centred Gram (with a reused
+/// per-candidate scratch buffer, as solo evaluation keeps), drop the
+/// structural zero mode, and average the condition indices.
+struct NtkAccumulator {
+    condition_sum: f64,
+    indices_sum: Vec<f64>,
+    first_eigenvalues: Vec<f64>,
+    // One eigensolver scratch buffer serves every repeat.
+    eigen_scratch: Vec<f64>,
+}
+
+impl NtkAccumulator {
+    fn new(config: &NtkConfig) -> Self {
+        Self {
+            condition_sum: 0.0,
+            indices_sum: vec![0.0f64; config.max_condition_index],
+            first_eigenvalues: Vec::new(),
+            eigen_scratch: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, repeat: usize, gram: &Tensor) -> Result<()> {
+        let full = sym_eigenvalues_with(gram, EigenOptions::default(), &mut self.eigen_scratch)
+            .map_err(|e| ProxyError::Eigen(e.to_string()))?;
+        // Centring the per-sample gradients (see `finish_gram`) pins one
+        // structural zero eigenvalue (the all-ones direction); drop it so
+        // the condition indices describe the informative subspace.
+        let report = EigenReport {
+            eigenvalues: full.eigenvalues[1..].to_vec(),
+            sweeps: full.sweeps,
+            converged: full.converged,
+        };
+        self.condition_sum += report.condition_index(1);
+        for (i, slot) in self.indices_sum.iter_mut().enumerate() {
+            *slot += report.condition_index(i + 1);
+        }
+        if repeat == 0 {
+            self.first_eigenvalues = report.eigenvalues;
+        }
+        Ok(())
+    }
+
+    fn finish(self, config: &NtkConfig) -> NtkReport {
+        let repeats = config.repeats as f64;
+        NtkReport {
+            condition_number: self.condition_sum / repeats,
+            condition_indices: self.indices_sum.iter().map(|v| v / repeats).collect(),
+            eigenvalues: self.first_eigenvalues,
+            batch_size: config.batch_size,
+            repeats: config.repeats,
+        }
     }
 }
 
@@ -486,6 +599,52 @@ mod tests {
             for (a, b) in batched.eigenvalues.iter().zip(looped.eigenvalues.iter()) {
                 assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
             }
+        }
+    }
+
+    /// The mega-batching identity at the proxy layer: packed NTK reports —
+    /// including the averaged indices and the repeat-0 spectrum — must be
+    /// bitwise identical to solo evaluation of every pack member.
+    #[test]
+    fn packed_evaluation_is_bitwise_identical_to_solo() {
+        let space = SearchSpace::nas_bench_201();
+        let cells: Vec<_> = [7_000usize, 11_111, 404, 0, 8_888]
+            .iter()
+            .map(|&i| space.cell(i).unwrap())
+            .collect();
+        let eval = NtkEvaluator::new(NtkConfig::fast().with_repeats(2));
+        let mut ws = Workspace::default();
+        for width in [1usize, 2, cells.len()] {
+            let members = &cells[..width];
+            let packed = eval
+                .evaluate_pack_in(members, DatasetKind::Cifar10, 6, &mut ws)
+                .unwrap();
+            assert_eq!(packed.len(), width);
+            for (i, cell) in members.iter().enumerate() {
+                let solo = eval.evaluate(*cell, DatasetKind::Cifar10, 6).unwrap();
+                assert_eq!(solo, packed[i], "width {width} member {i}");
+            }
+        }
+        assert!(eval
+            .evaluate_pack_in(&[], DatasetKind::Cifar10, 6, &mut ws)
+            .unwrap()
+            .is_empty());
+    }
+
+    /// A non-default gradient path has no packed formulation; the pack entry
+    /// falls back to per-candidate solo evaluation with identical results.
+    #[test]
+    fn packed_evaluation_falls_back_for_looped_gradients() {
+        let space = SearchSpace::nas_bench_201();
+        let cells = [space.cell(7_000).unwrap(), space.cell(404).unwrap()];
+        let eval = NtkEvaluator::new(NtkConfig::fast()).with_gradient_path(GradientPath::Looped);
+        let mut ws = Workspace::default();
+        let packed = eval
+            .evaluate_pack_in(&cells, DatasetKind::Cifar10, 3, &mut ws)
+            .unwrap();
+        for (cell, report) in cells.iter().zip(&packed) {
+            let solo = eval.evaluate(*cell, DatasetKind::Cifar10, 3).unwrap();
+            assert_eq!(&solo, report);
         }
     }
 

@@ -119,6 +119,45 @@ pub trait KernelBackend: std::fmt::Debug + Send + Sync {
         workspace: &mut Workspace,
     ) -> Result<Tensor>;
 
+    /// Forward convolution of several same-shape inputs against one shared
+    /// weight — the cross-candidate mega-batching entry point.
+    ///
+    /// The default implementation is the per-candidate oracle: one
+    /// [`KernelBackend::conv2d`] per input, in order, so every backend is
+    /// pack-conformant by construction. Backends that can fuse the panels
+    /// into one wide dispatch override this; the override must stay
+    /// **bitwise identical** to the default for that backend (the packed
+    /// evaluation path promises bit-equality with the one-at-a-time path at
+    /// every pack width).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent shapes, or if the inputs do not
+    /// all share one shape.
+    fn conv2d_forward_packed(
+        &self,
+        inputs: &[&Tensor],
+        weight: &Tensor,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<Tensor>> {
+        if let Some(first) = inputs.first() {
+            for input in &inputs[1..] {
+                if input.shape() != first.shape() {
+                    return Err(TensorError::IncompatibleShapes {
+                        op: "conv2d_forward_packed (inputs)",
+                        lhs: first.shape().dims().to_vec(),
+                        rhs: input.shape().dims().to_vec(),
+                    });
+                }
+            }
+        }
+        inputs
+            .iter()
+            .map(|input| self.conv2d(input, weight, spec, workspace))
+            .collect()
+    }
+
     /// Gradient of the convolution output w.r.t. its input.
     ///
     /// # Errors
@@ -628,6 +667,19 @@ impl KernelBackend for BlockedGemmBackend {
         workspace: &mut Workspace,
     ) -> Result<Tensor> {
         conv2d_pooled(input, weight, spec, workspace)
+    }
+
+    fn conv2d_forward_packed(
+        &self,
+        inputs: &[&Tensor],
+        weight: &Tensor,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<Tensor>> {
+        // The packed free function proves its own bitwise-identity contract
+        // (schedule guard + per-candidate fallback), so this override keeps
+        // the paper-default numerics at every pack width.
+        crate::conv::conv2d_forward_packed_pooled(inputs, weight, spec, workspace)
     }
 
     fn conv2d_backward_input(

@@ -285,6 +285,70 @@ pub(crate) fn im2col(
     }
 }
 
+/// [`im2col`] into a slice of a wider column matrix: lowers one image into
+/// the `oh·ow` columns starting at `col_offset` of a destination whose rows
+/// are `row_stride` elements long. The cross-candidate packed forward uses
+/// this to place several candidates' panels side by side in one tall column
+/// matrix; `im2col(.., col)` is exactly `im2col_strided(.., col, ohow, 0)`.
+/// Every element of the addressed region is written.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col_strided(
+    image: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    let k = spec.kernel;
+    let ohow = oh * ow;
+    debug_assert!(col_offset + ohow <= row_stride);
+    debug_assert!(col.len() >= (c_in * k * k - 1) * row_stride + col_offset + ohow);
+    for c in 0..c_in {
+        let plane = &image[c * h * w..(c + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let dst = &mut col[row * row_stride + col_offset..][..ohow];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    if spec.stride == 1 {
+                        let shift = kx as isize - spec.padding as isize;
+                        let ox_lo = (-shift).clamp(0, ow as isize) as usize;
+                        let ox_hi = (w as isize - shift).clamp(0, ow as isize) as usize;
+                        dst_row[..ox_lo].fill(0.0);
+                        dst_row[ox_hi..].fill(0.0);
+                        if ox_lo < ox_hi {
+                            let src_lo = (ox_lo as isize + shift) as usize;
+                            dst_row[ox_lo..ox_hi]
+                                .copy_from_slice(&src_row[src_lo..src_lo + (ox_hi - ox_lo)]);
+                        }
+                    } else {
+                        for (ox, out) in dst_row.iter_mut().enumerate() {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            *out = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                src_row[ix as usize]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Scatter-adds a `[C·K·K, OH·OW]` column-gradient matrix back into one
 /// image-gradient slice (`[C, H, W]`); the inverse of [`im2col`].
 #[allow(clippy::too_many_arguments)]
@@ -509,6 +573,135 @@ pub(crate) fn conv2d_direct_unchecked(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-candidate packed forward
+// ---------------------------------------------------------------------------
+
+/// Whether packing several same-geometry convolutions into one wide GEMM is
+/// **bitwise identical** to running them one at a time.
+///
+/// Both GEMM schedules accumulate every output element over `k` in the same
+/// order regardless of the output width, so widening the column panel from
+/// `oh·ow` to `P·n·oh·ow` only changes numerics if it moves the dispatch in
+/// [`gemm_nn`] across the narrow/wide schedule boundary. Merging is safe iff
+/// the solo shape already dispatches to a width-independent decision:
+///
+/// * `ckk ≥ GEMM_DEEP_K` — deep problems use the register-tiled schedule at
+///   any width, or
+/// * `ohow > GEMM_NARROW_N` — the solo GEMM is already on the wide streaming
+///   schedule, and the packed (strictly wider) panel stays there.
+///
+/// Otherwise (`ohow ≤ 32` and `ckk < 64`) the solo GEMM is register-tiled
+/// but the packed one would go wide, so the packed path must fall back to
+/// the per-candidate loop.
+fn pack_preserves_gemm_schedule(ckk: usize, ohow: usize) -> bool {
+    use crate::linalg::{GEMM_DEEP_K, GEMM_NARROW_N};
+    ckk >= GEMM_DEEP_K || ohow > GEMM_NARROW_N
+}
+
+/// Forward convolution of several same-shape inputs against one shared
+/// weight tensor, packed into a single wide GEMM when that is bitwise-safe.
+///
+/// This is the cross-candidate mega-batching kernel: N candidates whose
+/// layers share a geometry (`c_in, c_out, kernel, h, w`) have their im2col
+/// panels placed side by side in one tall `[C_in·K·K, N·n·OH·OW]` column
+/// matrix and multiplied in one dispatch, amortising the GEMM setup,
+/// blocking overhead and weight traffic that dominate tiny per-candidate
+/// problems. Output tensors are drawn from the workspace recycling pool
+/// (recycle them like [`conv2d_pooled`] outputs).
+///
+/// **Bitwise contract:** the result is bit-for-bit identical to calling
+/// [`conv2d_pooled`] once per input. The packed GEMM runs only when the
+/// solo dispatch decisions are provably width-independent (same direct/GEMM
+/// choice — geometry-determined — and same GEMM schedule, see
+/// `pack_preserves_gemm_schedule`); anything else falls back to the
+/// per-candidate loop.
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as [`conv2d`], or if the
+/// inputs do not all share one shape.
+pub fn conv2d_forward_packed_pooled(
+    inputs: &[&Tensor],
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    workspace: &mut Workspace,
+) -> Result<Vec<Tensor>> {
+    let Some(first) = inputs.first() else {
+        return Ok(Vec::new());
+    };
+    let (n, c_in, h, w, c_out, k) = check_conv_args(first, weight, spec)?;
+    for input in &inputs[1..] {
+        if input.shape() != first.shape() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "conv2d_forward_packed (inputs)",
+                lhs: first.shape().dims().to_vec(),
+                rhs: input.shape().dims().to_vec(),
+            });
+        }
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let ohow = oh * ow;
+    let ckk = c_in * k * k;
+    if inputs.len() == 1
+        || use_direct(n, c_in, c_out, k, oh, ow)
+        || !pack_preserves_gemm_schedule(ckk, ohow)
+    {
+        // Per-candidate oracle path: identical geometry means every input
+        // makes the same dispatch decision the solo path would.
+        return inputs
+            .iter()
+            .map(|input| conv2d_pooled(input, weight, spec, workspace))
+            .collect();
+    }
+
+    let pack = inputs.len();
+    let total_cols = pack * n * ohow;
+    let in_stride = c_in * h * w;
+    let out_stride = c_out * ohow;
+    // Draw the owned per-candidate outputs from the pool *before* borrowing
+    // the col/aux staging buffers.
+    let mut outs: Vec<Vec<f32>> = (0..pack).map(|_| workspace.take(n * out_stride)).collect();
+    let (col, aux) = workspace.col_and_aux(ckk * total_cols, c_out * total_cols);
+    for (p, input) in inputs.iter().enumerate() {
+        for b in 0..n {
+            let image = &input.data()[b * in_stride..(b + 1) * in_stride];
+            let col_offset = (p * n + b) * ohow;
+            if spec.is_pointwise() {
+                // The column matrix of a pointwise conv is the image itself:
+                // copy its rows into place instead of lowering.
+                for row in 0..ckk {
+                    col[row * total_cols + col_offset..][..ohow]
+                        .copy_from_slice(&image[row * ohow..(row + 1) * ohow]);
+                }
+            } else {
+                im2col_strided(image, c_in, h, w, spec, oh, ow, col, total_cols, col_offset);
+            }
+        }
+    }
+    // One wide dispatch for the whole bucket. `accumulate = false` clears
+    // the destination, so stale pool contents are harmless.
+    gemm_nn(c_out, ckk, total_cols, weight.data(), col, aux, false);
+    // De-interleave the `[C_out, total_cols]` product into per-candidate
+    // `[n, C_out, OH, OW]` tensors.
+    for (p, out) in outs.iter_mut().enumerate() {
+        for b in 0..n {
+            let col_offset = (p * n + b) * ohow;
+            for oc in 0..c_out {
+                out[b * out_stride + oc * ohow..][..ohow]
+                    .copy_from_slice(&aux[oc * total_cols + col_offset..][..ohow]);
+            }
+        }
+    }
+    let shape = Shape::nchw(n, c_out, oh, ow);
+    Ok(outs
+        .into_iter()
+        .map(|data| {
+            Tensor::from_vec(shape.clone(), data).expect("length matches shape by construction")
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -1171,6 +1364,115 @@ mod tests {
         let weight = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
         assert!(conv2d(&input, &weight, Conv2dSpec::new(1, 1, 0)).is_err());
         assert!(conv2d_direct(&input, &weight, Conv2dSpec::new(1, 1, 0)).is_err());
+    }
+
+    /// Packed-vs-solo bitwise identity over one geometry at several pack
+    /// widths, under the engine currently in force.
+    fn assert_packed_matches_solo(shape: Shape, weight: Tensor, spec: Conv2dSpec, seed: u64) {
+        for width in [1usize, 2, 8] {
+            let inputs: Vec<Tensor> = (0..width)
+                .map(|i| random_tensor(shape.clone(), seed + i as u64))
+                .collect();
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let mut packed_ws = Workspace::default();
+            let packed = conv2d_forward_packed_pooled(&refs, &weight, spec, &mut packed_ws)
+                .expect("packed conv");
+            assert_eq!(packed.len(), width);
+            for (input, got) in inputs.iter().zip(&packed) {
+                let mut solo_ws = Workspace::default();
+                let want = conv2d_pooled(input, &weight, spec, &mut solo_ws).expect("solo conv");
+                assert_eq!(got, &want, "width {width} must be bitwise solo");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_forward_is_bitwise_solo_across_geometries() {
+        let _guard = ENGINE_TEST_LOCK.lock().unwrap();
+        set_conv_engine(ConvEngine::Auto);
+        // Merged wide schedule: pointwise, ohow 144 > 32.
+        assert_packed_matches_solo(
+            Shape::nchw(2, 6, 12, 12),
+            random_tensor(Shape::nchw(6, 6, 1, 1), 40),
+            Conv2dSpec::new(1, 1, 0),
+            400,
+        );
+        // Merged register-tiled schedule: ckk 72 >= 64, ohow 25 <= 32.
+        assert_packed_matches_solo(
+            Shape::nchw(2, 8, 5, 5),
+            random_tensor(Shape::nchw(8, 8, 3, 3), 41),
+            Conv2dSpec::new(3, 1, 1),
+            500,
+        );
+        // Schedule boundary (ohow <= 32, ckk < 64): solo would be
+        // register-tiled but a pack would go wide — the guard must force the
+        // per-candidate fallback, which is trivially identical.
+        assert_packed_matches_solo(
+            Shape::nchw(3, 2, 5, 5),
+            random_tensor(Shape::nchw(4, 2, 3, 3), 42),
+            Conv2dSpec::new(3, 1, 1),
+            600,
+        );
+        // Below the direct-dispatch threshold: per-candidate direct loops.
+        assert_packed_matches_solo(
+            Shape::nchw(1, 2, 4, 4),
+            random_tensor(Shape::nchw(2, 2, 3, 3), 43),
+            Conv2dSpec::new(3, 1, 1),
+            700,
+        );
+        // Strided non-pointwise merge (wide schedule).
+        assert_packed_matches_solo(
+            Shape::nchw(2, 4, 16, 16),
+            random_tensor(Shape::nchw(4, 4, 3, 3), 44),
+            Conv2dSpec::new(3, 2, 1),
+            800,
+        );
+    }
+
+    #[test]
+    fn packed_forward_honours_the_engine_pin() {
+        let _guard = ENGINE_TEST_LOCK.lock().unwrap();
+        for engine in [ConvEngine::Direct, ConvEngine::Im2colGemm] {
+            set_conv_engine(engine);
+            assert_packed_matches_solo(
+                Shape::nchw(2, 6, 12, 12),
+                random_tensor(Shape::nchw(6, 6, 1, 1), 45),
+                Conv2dSpec::new(1, 1, 0),
+                900,
+            );
+            // Boundary geometry stays solo-identical under both pins too.
+            assert_packed_matches_solo(
+                Shape::nchw(3, 2, 5, 5),
+                random_tensor(Shape::nchw(4, 2, 3, 3), 46),
+                Conv2dSpec::new(3, 1, 1),
+                1000,
+            );
+        }
+        set_conv_engine(ConvEngine::Auto);
+    }
+
+    #[test]
+    fn packed_forward_rejects_mismatched_input_shapes() {
+        let weight = random_tensor(Shape::nchw(4, 3, 3, 3), 47);
+        let a = random_tensor(Shape::nchw(2, 3, 8, 8), 48);
+        let b = random_tensor(Shape::nchw(1, 3, 8, 8), 49);
+        let err = conv2d_forward_packed_pooled(
+            &[&a, &b],
+            &weight,
+            Conv2dSpec::new(3, 1, 1),
+            &mut Workspace::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conv2d_forward_packed"), "{err}");
+        // Empty input list is a no-op, not an error.
+        assert!(conv2d_forward_packed_pooled(
+            &[],
+            &weight,
+            Conv2dSpec::new(3, 1, 1),
+            &mut Workspace::default()
+        )
+        .unwrap()
+        .is_empty());
     }
 
     /// Finite-difference check of the weight gradient.

@@ -76,7 +76,8 @@ pub use conv::{
     conv2d_backward_input_with, conv2d_backward_weight, conv2d_backward_weight_direct,
     conv2d_backward_weight_per_sample_direct, conv2d_backward_weight_per_sample_into,
     conv2d_backward_weight_per_sample_with, conv2d_backward_weight_with, conv2d_direct,
-    conv2d_pooled, conv2d_with, conv_engine, set_conv_engine, Conv2dSpec, ConvEngine,
+    conv2d_forward_packed_pooled, conv2d_pooled, conv2d_with, conv_engine, set_conv_engine,
+    Conv2dSpec, ConvEngine,
 };
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform, InitKind};

@@ -97,6 +97,37 @@
 //! | "future GPU / NPU / fixed-point backend" via new `ConvEngine` variants | implement [`tensor::KernelBackend`] out of tree; no enum to extend |
 //! | implicit assumption that all engines share one store namespace | declare numerics via `bitwise_paper_identical()`; divergent backends are namespace-isolated automatically |
 //!
+//! # Cross-candidate mega-batching (PR 6)
+//!
+//! Strategies no longer evaluate candidates one at a time: every shipped
+//! [`core::SearchStrategy`] hands its whole candidate slate to a
+//! [`core::BatchedEvaluator`], which slices it into packs of
+//! [`core::SearchContext::pack_width`] cells (default
+//! [`core::DEFAULT_PACK_WIDTH`] = 8, tunable per session via
+//! `SearchSession::builder().pack_width(..)`) and evaluates each pack in
+//! one fused proxy sweep:
+//!
+//! * the probe input batch is built once and shared by the whole pack;
+//! * the shared stem runs **one** forward for all pack members;
+//! * per-edge convolutions are bucketed by kernel geometry and their
+//!   im2col panels fused into one wide GEMM per layer
+//!   ([`tensor::KernelBackend::conv2d_forward_packed`] — the blocked-GEMM
+//!   backend overrides it, every other backend inherits a loop with
+//!   identical numerics).
+//!
+//! Packing is a pure scheduling change: per-candidate accumulation order
+//! is untouched, so results are **bitwise identical** to one-at-a-time
+//! evaluation at every pack width and thread count
+//! (`crates/core/tests/strategy_conformance.rs` runs the width × thread
+//! cross-product over all strategies; `tensor`'s backend-conformance suite
+//! pins the packed kernels per backend), and the store namespace did not
+//! move. Measured effect (1-core container, width 8, best-of-3): **1.57×**
+//! on the sparse bench cell, where shared per-candidate overhead dominates
+//! and amortizes across the pack; ~parity on the all-conv3×3 cell, where
+//! the GEMMs were already saturated. Pack density is observable as
+//! [`core::BatchStats`] on every [`core::SearchCost`], and the
+//! `candidate_throughput` bench gates packed-vs-unpacked in CI smoke mode.
+//!
 //! # Crate map
 //!
 //! * [`tensor`] — dense tensors and linear algebra ([`micronas_tensor`])
