@@ -27,7 +27,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micronas::{
     BatchStats, EvalCacheStats, MicroNasConfig, ObjectiveWeights, RandomSearch, SearchContext,
 };
-use micronas_bench::{banner, bench_config, record_bench_json};
+use micronas_bench::{
+    banner, batch_stat_fields, bench_config, cache_stat_fields, record_bench_json,
+};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::ZeroCostEvaluator;
 use micronas_searchspace::{CellTopology, Operation, SearchSpace};
@@ -167,35 +169,28 @@ fn print_throughput() {
         conv_solo / conv_packed
     );
 
-    record_bench_json(
-        "candidate_throughput",
-        &[
-            ("candidates_per_second_1_thread", single),
-            ("candidates_per_second_max_threads", multi),
-            ("parallel_speedup", multi / single),
-            ("cache_hits", cache_1.hits as f64),
-            ("cache_misses", cache_1.misses as f64),
-            ("cache_hit_rate", cache_1.hit_rate()),
-            ("batch_dispatches", batch_1.dispatches as f64),
-            ("batch_packed_candidates", batch_1.packed_candidates as f64),
-            (
-                "batch_computed_candidates",
-                batch_1.computed_candidates as f64,
-            ),
-            ("batch_pack_width", batch_1.pack_width as f64),
-            (
-                "batch_candidates_per_dispatch",
-                batch_1.candidates_per_dispatch(),
-            ),
-            ("batch_fill_rate", batch_1.fill_rate()),
-            ("unpacked_seconds_bench_cell", sparse_solo),
-            ("packed_seconds_bench_cell", sparse_packed),
-            ("packed_speedup_bench_cell", sparse_solo / sparse_packed),
-            ("unpacked_seconds_conv_cell", conv_solo),
-            ("packed_seconds_conv_cell", conv_packed),
-            ("packed_speedup_conv_cell", conv_solo / conv_packed),
-        ],
-    );
+    let mut fields: Vec<(String, f64)> = vec![
+        ("candidates_per_second_1_thread".to_string(), single),
+        ("candidates_per_second_max_threads".to_string(), multi),
+        ("parallel_speedup".to_string(), multi / single),
+    ];
+    fields.extend(cache_stat_fields("cache", &cache_1));
+    fields.extend(batch_stat_fields("batch", &batch_1));
+    fields.extend([
+        ("unpacked_seconds_bench_cell".to_string(), sparse_solo),
+        ("packed_seconds_bench_cell".to_string(), sparse_packed),
+        (
+            "packed_speedup_bench_cell".to_string(),
+            sparse_solo / sparse_packed,
+        ),
+        ("unpacked_seconds_conv_cell".to_string(), conv_solo),
+        ("packed_seconds_conv_cell".to_string(), conv_packed),
+        (
+            "packed_speedup_conv_cell".to_string(),
+            conv_solo / conv_packed,
+        ),
+    ]);
+    record_bench_json("candidate_throughput", &fields);
 }
 
 fn bench_candidate_throughput(c: &mut Criterion) {

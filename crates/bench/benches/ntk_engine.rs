@@ -29,7 +29,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micronas::{MicroNasConfig, MicroNasSearch, SearchSession};
-use micronas_bench::{banner, record_bench_json};
+use micronas_bench::{banner, batch_stat_fields, cache_stat_fields, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::{GradientPath, NtkConfig, NtkEvaluator};
 use micronas_searchspace::{CellTopology, Operation, SearchSpace};
@@ -155,38 +155,34 @@ fn compare_and_record(runs: usize) {
         batch.candidates_per_dispatch()
     );
 
-    record_bench_json(
-        "ntk_engine",
-        &[
-            ("direct_engine_seconds", direct),
-            ("looped_gradients_seconds", looped_s),
-            ("batched_gradients_seconds", gemm),
-            ("speedup_vs_direct", direct / gemm),
-            ("speedup_vs_looped", looped_s / gemm),
-            ("blocked_backend_seconds_conv_cell", blocked_conv),
-            ("simd_backend_seconds_conv_cell", simd_conv),
-            ("speedup_simd_vs_blocked", blocked_conv / simd_conv),
-            ("blocked_backend_seconds_bench_cell", blocked_sparse),
-            ("simd_backend_seconds_bench_cell", simd_sparse),
-            (
-                "speedup_simd_vs_blocked_bench_cell",
-                blocked_sparse / simd_sparse,
-            ),
-            ("search_cache_hits", cache.hits as f64),
-            ("search_cache_misses", cache.misses as f64),
-            ("search_cache_hit_rate", cache.hit_rate()),
-            ("search_batch_dispatches", batch.dispatches as f64),
-            (
-                "search_batch_computed_candidates",
-                batch.computed_candidates as f64,
-            ),
-            (
-                "search_batch_candidates_per_dispatch",
-                batch.candidates_per_dispatch(),
-            ),
-            ("search_batch_fill_rate", batch.fill_rate()),
-        ],
-    );
+    let mut fields: Vec<(String, f64)> = vec![
+        ("direct_engine_seconds".to_string(), direct),
+        ("looped_gradients_seconds".to_string(), looped_s),
+        ("batched_gradients_seconds".to_string(), gemm),
+        ("speedup_vs_direct".to_string(), direct / gemm),
+        ("speedup_vs_looped".to_string(), looped_s / gemm),
+        (
+            "blocked_backend_seconds_conv_cell".to_string(),
+            blocked_conv,
+        ),
+        ("simd_backend_seconds_conv_cell".to_string(), simd_conv),
+        (
+            "speedup_simd_vs_blocked".to_string(),
+            blocked_conv / simd_conv,
+        ),
+        (
+            "blocked_backend_seconds_bench_cell".to_string(),
+            blocked_sparse,
+        ),
+        ("simd_backend_seconds_bench_cell".to_string(), simd_sparse),
+        (
+            "speedup_simd_vs_blocked_bench_cell".to_string(),
+            blocked_sparse / simd_sparse,
+        ),
+    ];
+    fields.extend(cache_stat_fields("search_cache", &cache));
+    fields.extend(batch_stat_fields("search_batch", &batch));
+    record_bench_json("ntk_engine", &fields);
 }
 
 fn bench_ntk_engines(c: &mut Criterion) {
@@ -271,6 +267,40 @@ fn bench_ntk_engines(c: &mut Criterion) {
             simd_s <= blocked_s * 1.25,
             "the simd backend ({simd_s:.4}s) regressed below the blocked_gemm \
              backend ({blocked_s:.4}s) on the conv-heavy cell"
+        );
+
+        // Telemetry gate: an installed NullSink reports `is_enabled() ==
+        // false`, so every probe must stay on the disabled fast path (one
+        // relaxed atomic load). Interleaved best-of-3 on the
+        // kernel-dominated cell; anything past 5% means a probe landed on
+        // a hot path without the active-flag guard.
+        banner(
+            "Telemetry smoke: NullSink must be free",
+            "telemetry disabled-path overhead gate (all-conv3x3 cell)",
+        );
+        let evaluator = paper_evaluator(GradientPath::Batched);
+        let (mut plain_s, mut null_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            plain_s = plain_s.min(timed_seconds(&evaluator, conv_cell, 2));
+            let _scope = micronas_telemetry::install_scoped(std::sync::Arc::new(
+                micronas_telemetry::NullSink,
+            ));
+            null_s = null_s.min(timed_seconds(&evaluator, conv_cell, 2));
+        }
+        println!("gate: uninstrumented {plain_s:.4}s vs NullSink {null_s:.4}s (best of 3)");
+        record_bench_json(
+            "ntk_engine_telemetry_smoke",
+            &[
+                ("uninstrumented_seconds", plain_s),
+                ("null_sink_seconds", null_s),
+                ("null_sink_overhead", null_s / plain_s),
+            ],
+        );
+        assert!(
+            null_s <= plain_s * 1.05,
+            "an installed NullSink ({null_s:.4}s) costs more than 5% over the \
+             uninstrumented run ({plain_s:.4}s); a telemetry probe is off the \
+             disabled fast path"
         );
         return;
     }

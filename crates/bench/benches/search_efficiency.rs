@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use micronas::experiments::run_search_efficiency;
 use micronas::{EvolutionaryConfig, MicroNasSearch, SearchContext};
-use micronas_bench::{banner, bench_config, paper_scale, record_bench_json};
+use micronas_bench::{banner, bench_config, cache_stat_fields, paper_scale, record_bench_json};
 use micronas_datasets::DatasetKind;
 
 fn print_report() {
@@ -78,22 +78,20 @@ fn print_report() {
             cost.cache.hit_rate() * 100.0
         );
     }
-    record_bench_json(
-        "search_efficiency",
-        &[
-            ("efficiency_vs_munas", report.efficiency_vs_munas),
-            ("efficiency_vs_te_nas", report.efficiency_vs_te_nas),
-            ("munas_cache_hits", report.munas.cache.hits as f64),
-            ("munas_cache_misses", report.munas.cache.misses as f64),
-            ("munas_cache_hit_rate", report.munas.cache.hit_rate()),
-            ("te_nas_cache_hits", report.te_nas.cache.hits as f64),
-            ("te_nas_cache_misses", report.te_nas.cache.misses as f64),
-            ("te_nas_cache_hit_rate", report.te_nas.cache.hit_rate()),
-            ("micronas_cache_hits", report.micronas.cache.hits as f64),
-            ("micronas_cache_misses", report.micronas.cache.misses as f64),
-            ("micronas_cache_hit_rate", report.micronas.cache.hit_rate()),
-        ],
-    );
+    let mut fields: Vec<(String, f64)> = vec![
+        (
+            "efficiency_vs_munas".to_string(),
+            report.efficiency_vs_munas,
+        ),
+        (
+            "efficiency_vs_te_nas".to_string(),
+            report.efficiency_vs_te_nas,
+        ),
+    ];
+    fields.extend(cache_stat_fields("munas_cache", &report.munas.cache));
+    fields.extend(cache_stat_fields("te_nas_cache", &report.te_nas.cache));
+    fields.extend(cache_stat_fields("micronas_cache", &report.micronas.cache));
+    record_bench_json("search_efficiency", &fields);
 }
 
 fn bench_te_nas_search(c: &mut Criterion) {

@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use micronas::experiments::{run_paper_sweep, SweepScale};
 use micronas::{EvalCacheStats, MicroNasConfig, MicroNasSearch, ObjectiveWeights, SearchSession};
-use micronas_bench::{banner, bench_config, paper_scale, record_bench_json};
+use micronas_bench::{banner, bench_config, cache_stat_fields, paper_scale, record_bench_json};
 use micronas_datasets::DatasetKind;
 use micronas_proxies::ZeroCostMetrics;
 use micronas_searchspace::SearchSpace;
@@ -199,25 +199,22 @@ fn bench_store_throughput(c: &mut Criterion) {
             search_warm.hit_rate() * 100.0
         );
     }
-    record_bench_json(
-        "store_throughput",
-        &[
-            ("hit_lookups_per_s", hit_rate_per_s),
-            ("memory_inserts_per_s", insert_per_s),
-            ("logged_inserts_per_s", logged_per_s),
-            ("sweep_cold_seconds", cold_s),
-            ("sweep_warm_seconds", warm_s),
-            ("sweep_warm_speedup", speedup),
-            ("sweep_warm_hit_rate", warm_hit_rate),
-            ("sweep_bitwise_identical", f64::from(u8::from(identical))),
-            ("search_cache_cold_hits", search_cold.hits as f64),
-            ("search_cache_cold_misses", search_cold.misses as f64),
-            ("search_cache_cold_hit_rate", search_cold.hit_rate()),
-            ("search_cache_warm_hits", search_warm.hits as f64),
-            ("search_cache_warm_misses", search_warm.misses as f64),
-            ("search_cache_warm_hit_rate", search_warm.hit_rate()),
-        ],
-    );
+    let mut fields: Vec<(String, f64)> = vec![
+        ("hit_lookups_per_s".to_string(), hit_rate_per_s),
+        ("memory_inserts_per_s".to_string(), insert_per_s),
+        ("logged_inserts_per_s".to_string(), logged_per_s),
+        ("sweep_cold_seconds".to_string(), cold_s),
+        ("sweep_warm_seconds".to_string(), warm_s),
+        ("sweep_warm_speedup".to_string(), speedup),
+        ("sweep_warm_hit_rate".to_string(), warm_hit_rate),
+        (
+            "sweep_bitwise_identical".to_string(),
+            f64::from(u8::from(identical)),
+        ),
+    ];
+    fields.extend(cache_stat_fields("search_cache_cold", &search_cold));
+    fields.extend(cache_stat_fields("search_cache_warm", &search_warm));
+    record_bench_json("store_throughput", &fields);
 }
 
 criterion_group!(benches, bench_store_throughput);

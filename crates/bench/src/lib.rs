@@ -13,7 +13,7 @@
 //! variable `MICRONAS_PAPER_SCALE=1` to run the paper-scale configuration
 //! (batch-32 NTK on the 16×16 proxy networks) instead.
 
-use micronas::MicroNasConfig;
+use micronas::{BatchStats, EvalCacheStats, MicroNasConfig};
 
 /// Returns the experiment configuration for benchmark runs.
 ///
@@ -53,13 +53,22 @@ pub fn correlation_sample_size() -> usize {
 /// The directory is created (`create_dir_all`) before writing, so benches
 /// can record from a pristine checkout.
 ///
+/// Duplicate field keys would silently produce invalid JSON (most parsers
+/// keep only one of the values), so they are resolved **last-write-wins**
+/// with a warning on stderr; fields that collide with the reserved header
+/// keys (`"bench"`, `"scale"`) are dropped with a warning — the header is
+/// authoritative.
+///
 /// # Errors
 ///
 /// Returns the underlying [`std::io::Error`] when the directory cannot be
 /// created or the file cannot be written. Bench targets report the error
 /// (see [`record_bench_json`]) rather than panicking — a benchmark must
 /// never die because recording failed.
-pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> std::io::Result<std::path::PathBuf> {
+pub fn write_bench_json<S: AsRef<str>>(
+    name: &str,
+    fields: &[(S, f64)],
+) -> std::io::Result<std::path::PathBuf> {
     // Anchor at the workspace target directory: cargo runs benches with the
     // package directory (not the workspace root) as cwd.
     let target = std::env::var_os("CARGO_TARGET_DIR")
@@ -73,12 +82,34 @@ pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> std::io::Result<s
     let dir = target.join("bench-json");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
+
+    let mut ordered: Vec<(&str, f64)> = Vec::with_capacity(fields.len());
+    for (key, value) in fields {
+        let key = key.as_ref();
+        if key == "bench" || key == "scale" {
+            eprintln!(
+                "warning: bench json field {key:?} in {name} collides with a \
+                 reserved header key; dropping it"
+            );
+            continue;
+        }
+        if let Some(slot) = ordered.iter_mut().find(|(k, _)| *k == key) {
+            eprintln!(
+                "warning: duplicate bench json field {key:?} in {name}; \
+                 keeping the last value"
+            );
+            slot.1 = *value;
+        } else {
+            ordered.push((key, *value));
+        }
+    }
+
     let mut body = String::from("{\n");
     body.push_str(&format!(
         "  \"bench\": \"{name}\",\n  \"scale\": \"{}\"",
         if paper_scale() { "paper" } else { "reduced" }
     ));
-    for (key, value) in fields {
+    for (key, value) in &ordered {
         body.push_str(&format!(",\n  \"{key}\": {value:?}"));
     }
     body.push_str("\n}\n");
@@ -86,10 +117,46 @@ pub fn write_bench_json(name: &str, fields: &[(&str, f64)]) -> std::io::Result<s
     Ok(path)
 }
 
+/// Flattens an [`EvalCacheStats`] into the conventional
+/// `{prefix}_hits` / `{prefix}_misses` / `{prefix}_hit_rate` bench-json
+/// fields, so every bench target reports cache provenance under the same
+/// shape (only the prefix differs).
+pub fn cache_stat_fields(prefix: &str, cache: &EvalCacheStats) -> Vec<(String, f64)> {
+    vec![
+        (format!("{prefix}_hits"), cache.hits as f64),
+        (format!("{prefix}_misses"), cache.misses as f64),
+        (format!("{prefix}_hit_rate"), cache.hit_rate()),
+    ]
+}
+
+/// Flattens a [`BatchStats`] into the conventional `{prefix}_dispatches` /
+/// `{prefix}_packed_candidates` / `{prefix}_computed_candidates` /
+/// `{prefix}_pack_width` / `{prefix}_candidates_per_dispatch` /
+/// `{prefix}_fill_rate` bench-json fields.
+pub fn batch_stat_fields(prefix: &str, batch: &BatchStats) -> Vec<(String, f64)> {
+    vec![
+        (format!("{prefix}_dispatches"), batch.dispatches as f64),
+        (
+            format!("{prefix}_packed_candidates"),
+            batch.packed_candidates as f64,
+        ),
+        (
+            format!("{prefix}_computed_candidates"),
+            batch.computed_candidates as f64,
+        ),
+        (format!("{prefix}_pack_width"), batch.pack_width as f64),
+        (
+            format!("{prefix}_candidates_per_dispatch"),
+            batch.candidates_per_dispatch(),
+        ),
+        (format!("{prefix}_fill_rate"), batch.fill_rate()),
+    ]
+}
+
 /// [`write_bench_json`] with the standard bench-target reporting: prints the
 /// recorded path on success and a diagnostic (without failing the bench) on
 /// I/O error.
-pub fn record_bench_json(name: &str, fields: &[(&str, f64)]) {
+pub fn record_bench_json<S: AsRef<str>>(name: &str, fields: &[(S, f64)]) {
     match write_bench_json(name, fields) {
         Ok(path) => println!("recorded: {}", path.display()),
         Err(e) => eprintln!("warning: could not record bench json for {name}: {e}"),
@@ -142,5 +209,64 @@ mod tests {
         assert!(body.contains("\"beta\": 3.0"));
         assert!(body.trim_end().ends_with('}'));
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_bench_json_keys_resolve_last_write_wins() {
+        let path = write_bench_json(
+            "lib_test_duplicate",
+            &[("alpha", 1.0), ("beta", 2.0), ("alpha", 3.0)],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            body.matches("\"alpha\"").count(),
+            1,
+            "duplicate key must not be emitted twice: {body}"
+        );
+        assert!(body.contains("\"alpha\": 3.0"), "{body}");
+        assert!(body.contains("\"beta\": 2.0"), "{body}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reserved_bench_json_keys_are_dropped() {
+        let path =
+            write_bench_json("lib_test_reserved", &[("bench", 9.0), ("gamma", 4.0)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"lib_test_reserved\""), "{body}");
+        assert!(!body.contains("\"bench\": 9.0"), "{body}");
+        assert!(body.contains("\"gamma\": 4.0"), "{body}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn stat_field_helpers_use_the_conventional_names() {
+        let cache = EvalCacheStats { hits: 6, misses: 2 };
+        let fields = cache_stat_fields("cache", &cache);
+        assert_eq!(
+            fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["cache_hits", "cache_misses", "cache_hit_rate"]
+        );
+        assert_eq!(fields[2].1, 0.75);
+
+        let batch = BatchStats {
+            dispatches: 2,
+            packed_candidates: 16,
+            computed_candidates: 12,
+            pack_width: 8,
+        };
+        let fields = batch_stat_fields("batch", &batch);
+        assert_eq!(
+            fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            [
+                "batch_dispatches",
+                "batch_packed_candidates",
+                "batch_computed_candidates",
+                "batch_pack_width",
+                "batch_candidates_per_dispatch",
+                "batch_fill_rate"
+            ]
+        );
     }
 }

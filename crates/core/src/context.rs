@@ -452,6 +452,7 @@ impl SearchContext {
             return cells.iter().map(|&cell| self.evaluate(cell)).collect();
         }
         self.batch_packed.fetch_add(cells.len(), Ordering::Relaxed);
+        micronas_telemetry::counter_add("search.pack.candidates", cells.len() as u64);
 
         // Per-candidate resolution state while the pack is in flight.
         enum Slot {
@@ -540,6 +541,13 @@ impl SearchContext {
             self.batch_dispatches.fetch_add(1, Ordering::Relaxed);
             self.batch_computed
                 .fetch_add(unique.len(), Ordering::Relaxed);
+            micronas_telemetry::counter_add("search.pack.dispatches", 1);
+            micronas_telemetry::counter_add("search.pack.computed_candidates", unique.len() as u64);
+            micronas_telemetry::gauge_max(
+                "search.pack.fill_permille",
+                (unique.len().min(self.pack_width) * 1000 / self.pack_width.max(1)) as u64,
+            );
+            let _span = micronas_telemetry::span!("search.pack_eval");
             self.zero_cost
                 .evaluate_pack(&unique, self.dataset, self.seed)?
         };

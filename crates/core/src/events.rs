@@ -1,0 +1,356 @@
+//! Deterministic recording and replay of [`SearchEvent`] streams.
+//!
+//! [`EventRecorder`] is a [`SearchObserver`] that serializes every event to
+//! the JSONL line format of [`micronas_telemetry::events`]: the `"event"`
+//! section holds only deterministic fields (step scores are written as
+//! `f64::to_bits` hex so the text is byte-stable, never a rounded decimal),
+//! while wall-clock data lives in the segregated `"timing"` section that
+//! [`replay_diff`] ignores. Two same-seed searches therefore record streams
+//! whose deterministic sections are byte-identical — the property the
+//! `telemetry_inertness` integration tests pin.
+//!
+//! [`RecordedEvent`] is the typed replay: parse a recording back and fold
+//! it into tooling (progress UIs, daemon job logs, regression diffs)
+//! without re-running the search.
+
+use crate::{SearchEvent, SearchObserver};
+use micronas_telemetry::events::{format_line, parse_stream};
+use micronas_telemetry::json::{escape_string, JsonValue};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::time::Instant;
+
+pub use micronas_telemetry::events::replay_diff;
+
+/// A [`SearchObserver`] that records every event as one deterministic
+/// JSONL line.
+///
+/// The recorder is reusable: [`EventRecorder::take_jsonl`] drains the
+/// recording so one recorder can capture several runs back to back.
+pub struct EventRecorder {
+    lines: Mutex<Vec<String>>,
+    start: Instant,
+}
+
+impl Default for EventRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventRecorder {
+    /// Creates an empty recorder; timing offsets count from this moment.
+    pub fn new() -> Self {
+        Self {
+            lines: Mutex::new(Vec::new()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+
+    /// The recording as a JSONL string (one event per line, trailing
+    /// newline when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock();
+        if lines.is_empty() {
+            String::new()
+        } else {
+            let mut out = lines.join("\n");
+            out.push('\n');
+            out
+        }
+    }
+
+    /// Drains the recording, returning it as a JSONL string.
+    pub fn take_jsonl(&self) -> String {
+        let drained = std::mem::take(&mut *self.lines.lock());
+        if drained.is_empty() {
+            String::new()
+        } else {
+            let mut out = drained.join("\n");
+            out.push('\n');
+            out
+        }
+    }
+
+    /// Writes the recording to `path` as JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Parses the recording back into typed events.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed line or unknown event shape.
+    pub fn replay(&self) -> Result<Vec<RecordedEvent>, String> {
+        replay_events(&self.to_jsonl())
+    }
+
+    fn push(&self, event_json: String) {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        let timing = format!("{{\"elapsed_ns\":{elapsed}}}");
+        self.lines
+            .lock()
+            .push(format_line(&event_json, Some(&timing)));
+    }
+}
+
+impl SearchObserver for EventRecorder {
+    fn on_event(&self, event: &SearchEvent<'_>) {
+        let json = match event {
+            SearchEvent::Started { algorithm } => {
+                format!(
+                    "{{\"type\":\"started\",\"algorithm\":{}}}",
+                    escape_string(algorithm)
+                )
+            }
+            SearchEvent::Step { index, score } => {
+                format!(
+                    "{{\"type\":\"step\",\"index\":{index},\"score_bits\":\"0x{:016x}\"}}",
+                    score.to_bits()
+                )
+            }
+            SearchEvent::Finished { outcome } => {
+                format!(
+                    "{{\"type\":\"finished\",\"algorithm\":{},\"best_index\":{},\"steps\":{}}}",
+                    escape_string(&outcome.algorithm),
+                    outcome.evaluation.arch_index,
+                    outcome.history.len()
+                )
+            }
+        };
+        self.push(json);
+    }
+}
+
+/// One replayed event, parsed back from a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordedEvent {
+    /// A search started.
+    Started {
+        /// Algorithm name as recorded.
+        algorithm: String,
+    },
+    /// One decision step; `score_bits` is the exact `f64::to_bits` of the
+    /// history entry (use [`f64::from_bits`] to recover the score).
+    Step {
+        /// Zero-based step index.
+        index: usize,
+        /// Bit pattern of the step's history entry.
+        score_bits: u64,
+    },
+    /// A search finished.
+    Finished {
+        /// Algorithm name as recorded.
+        algorithm: String,
+        /// NAS-Bench-201 index of the discovered architecture.
+        best_index: usize,
+        /// Number of recorded decision steps.
+        steps: usize,
+    },
+}
+
+fn field<'a>(event: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    event
+        .get(key)
+        .ok_or_else(|| format!("event has no \"{key}\" field"))
+}
+
+fn usize_field(event: &JsonValue, key: &str) -> Result<usize, String> {
+    let value = field(event, key)?
+        .as_f64()
+        .ok_or_else(|| format!("\"{key}\" is not a number"))?;
+    if value < 0.0 || value.fract() != 0.0 {
+        return Err(format!("\"{key}\" is not a non-negative integer"));
+    }
+    Ok(value as usize)
+}
+
+fn string_field(event: &JsonValue, key: &str) -> Result<String, String> {
+    Ok(field(event, key)?
+        .as_str()
+        .ok_or_else(|| format!("\"{key}\" is not a string"))?
+        .to_string())
+}
+
+impl RecordedEvent {
+    /// Parses one deterministic event section.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or malformed field.
+    pub fn from_json(event: &JsonValue) -> Result<Self, String> {
+        match field(event, "type")?.as_str() {
+            Some("started") => Ok(Self::Started {
+                algorithm: string_field(event, "algorithm")?,
+            }),
+            Some("step") => {
+                let bits = string_field(event, "score_bits")?;
+                let hex = bits
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("\"score_bits\" {bits:?} lacks the 0x prefix"))?;
+                let score_bits = u64::from_str_radix(hex, 16)
+                    .map_err(|e| format!("\"score_bits\" {bits:?} is not hex: {e}"))?;
+                Ok(Self::Step {
+                    index: usize_field(event, "index")?,
+                    score_bits,
+                })
+            }
+            Some("finished") => Ok(Self::Finished {
+                algorithm: string_field(event, "algorithm")?,
+                best_index: usize_field(event, "best_index")?,
+                steps: usize_field(event, "steps")?,
+            }),
+            Some(other) => Err(format!("unknown event type {other:?}")),
+            None => Err("\"type\" is not a string".to_string()),
+        }
+    }
+}
+
+/// Parses a JSONL recording back into typed events.
+///
+/// # Errors
+///
+/// Reports the first malformed line (1-based) or unparseable event.
+pub fn replay_events(jsonl: &str) -> Result<Vec<RecordedEvent>, String> {
+    parse_stream(jsonl)?
+        .iter()
+        .enumerate()
+        .map(|(i, e)| RecordedEvent::from_json(e).map_err(|err| format!("event {i}: {err}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchOutcome;
+    use crate::{CandidateEvaluation, SearchCost};
+    use micronas_hw::HardwareIndicators;
+    use micronas_proxies::ZeroCostMetrics;
+    use micronas_searchspace::SearchSpace;
+
+    fn outcome() -> SearchOutcome {
+        let space = SearchSpace::nas_bench_201();
+        SearchOutcome {
+            best: space.architecture(42).unwrap(),
+            evaluation: CandidateEvaluation {
+                arch_index: 42,
+                metrics: ZeroCostMetrics {
+                    ntk_condition: 1.0,
+                    linear_regions: 2,
+                    trainability: -1.0,
+                    expressivity: 0.5,
+                }
+                .metric_set(),
+                hardware: HardwareIndicators {
+                    flops_m: 1.0,
+                    macs_m: 0.5,
+                    params_m: 0.1,
+                    latency_ms: 3.0,
+                    peak_sram_kib: 64.0,
+                    flash_kib: 128.0,
+                },
+                feasible: true,
+            },
+            test_accuracy: 90.0,
+            cost: SearchCost::default(),
+            algorithm: "micronas-pruning".to_string(),
+            history: vec![0.25, 0.5],
+        }
+    }
+
+    fn record_run(recorder: &EventRecorder) {
+        let outcome = outcome();
+        recorder.on_event(&SearchEvent::Started {
+            algorithm: "micronas-pruning",
+        });
+        for (index, score) in outcome.history.iter().enumerate() {
+            recorder.on_event(&SearchEvent::Step {
+                index,
+                score: *score,
+            });
+        }
+        recorder.on_event(&SearchEvent::Finished { outcome: &outcome });
+    }
+
+    #[test]
+    fn records_and_replays_typed_events() {
+        let recorder = EventRecorder::new();
+        record_run(&recorder);
+        assert_eq!(recorder.len(), 4);
+        let events = recorder.replay().unwrap();
+        assert_eq!(
+            events[0],
+            RecordedEvent::Started {
+                algorithm: "micronas-pruning".to_string()
+            }
+        );
+        assert_eq!(
+            events[1],
+            RecordedEvent::Step {
+                index: 0,
+                score_bits: 0.25f64.to_bits()
+            }
+        );
+        assert_eq!(
+            events[3],
+            RecordedEvent::Finished {
+                algorithm: "micronas-pruning".to_string(),
+                best_index: 42,
+                steps: 2
+            }
+        );
+    }
+
+    #[test]
+    fn two_recordings_diff_empty_despite_timing() {
+        let a = EventRecorder::new();
+        record_run(&a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = EventRecorder::new();
+        record_run(&b);
+        // Raw lines differ (timing), deterministic sections do not.
+        assert!(replay_diff(&a.to_jsonl(), &b.to_jsonl()).is_empty());
+    }
+
+    #[test]
+    fn take_jsonl_drains_the_recording() {
+        let recorder = EventRecorder::new();
+        record_run(&recorder);
+        let first = recorder.take_jsonl();
+        assert!(!first.is_empty());
+        assert!(recorder.is_empty());
+        assert!(recorder.take_jsonl().is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_malformed_events() {
+        assert!(replay_events("{\"event\":{\"type\":\"warp\"}}\n")
+            .unwrap_err()
+            .contains("unknown event type"));
+        assert!(
+            replay_events("{\"event\":{\"type\":\"step\",\"index\":0}}\n")
+                .unwrap_err()
+                .contains("score_bits")
+        );
+        assert!(replay_events(
+            "{\"event\":{\"type\":\"step\",\"index\":0,\"score_bits\":\"3ff\"}}\n"
+        )
+        .unwrap_err()
+        .contains("0x prefix"));
+    }
+}

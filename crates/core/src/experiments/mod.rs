@@ -28,7 +28,7 @@ mod table1;
 pub use efficiency::{run_search_efficiency, EfficiencyReport};
 pub use fig2::{run_fig2a, run_fig2b, Fig2aSeries, Fig2bResult};
 pub use ntk_cost::{run_ntk_cost, NtkCostPoint};
-pub use sweep::{run_paper_sweep, SweepReport, SweepScale};
+pub use sweep::{run_paper_sweep, run_paper_sweep_traced, SweepReport, SweepScale};
 pub use sweeps::{
     run_flops_vs_latency, run_latency_sweep, run_memory_guided, GuidanceComparison, SweepPoint,
 };

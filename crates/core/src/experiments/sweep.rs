@@ -108,6 +108,11 @@ pub struct SweepReport {
     pub store: Option<StoreStats>,
     /// Wall-clock duration of the whole grid, in seconds.
     pub wall_seconds: f64,
+    /// Telemetry collected over the run (`None` unless the sweep ran
+    /// through [`run_paper_sweep_traced`]). Timing data, like
+    /// [`SweepReport::wall_seconds`], is explicitly **not** part of
+    /// [`SweepReport::identity_fingerprint`].
+    pub telemetry: Option<micronas_telemetry::TelemetryReport>,
 }
 
 impl SweepReport {
@@ -194,6 +199,40 @@ pub fn run_paper_sweep(
     scale: &SweepScale,
     store: Option<Arc<EvalStore>>,
 ) -> Result<SweepReport> {
+    run_sweep_inner(config, scale, store, None)
+}
+
+/// Runs the same paper grid as [`run_paper_sweep`] with `collector`
+/// installed as the process-wide telemetry sink for the duration, folding
+/// the collected [`micronas_telemetry::TelemetryReport`] — per-layer span
+/// timings, kernel dispatch counters, store traffic — into
+/// [`SweepReport::telemetry`].
+///
+/// Telemetry is inert: the traced report's
+/// [`SweepReport::identity_fingerprint`] is bitwise identical to the
+/// untraced one's.
+///
+/// # Errors
+///
+/// Exactly as [`run_paper_sweep`].
+pub fn run_paper_sweep_traced(
+    config: &MicroNasConfig,
+    scale: &SweepScale,
+    store: Option<Arc<EvalStore>>,
+    collector: Arc<micronas_telemetry::Collector>,
+) -> Result<SweepReport> {
+    run_sweep_inner(config, scale, store, Some(collector))
+}
+
+fn run_sweep_inner(
+    config: &MicroNasConfig,
+    scale: &SweepScale,
+    store: Option<Arc<EvalStore>>,
+    collector: Option<Arc<micronas_telemetry::Collector>>,
+) -> Result<SweepReport> {
+    let _scope = collector
+        .as_ref()
+        .map(|c| micronas_telemetry::install_scoped(c.clone()));
     if let Some(store) = store.as_deref() {
         // Refuse a mismatched store up front — Fig. 2a/2b talk to the store
         // directly, before any `SearchContext` would have checked.
@@ -242,6 +281,7 @@ pub fn run_paper_sweep(
         latency_sweep,
         store: store_delta,
         wall_seconds: start.elapsed().as_secs_f64(),
+        telemetry: collector.map(|c| c.report()),
     })
 }
 

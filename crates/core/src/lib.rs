@@ -78,6 +78,7 @@ mod config;
 mod context;
 mod cost;
 mod error;
+pub mod events;
 pub mod experiments;
 mod objective;
 mod outcome;
@@ -89,6 +90,7 @@ pub use config::MicroNasConfig;
 pub use context::{CandidateEvaluation, SearchContext, DEFAULT_PACK_WIDTH};
 pub use cost::{BatchStats, EvalCacheStats, SearchCost};
 pub use error::MicroNasError;
+pub use events::{replay_diff, replay_events, EventRecorder, RecordedEvent};
 pub use objective::{HybridObjective, ObjectiveWeights};
 pub use outcome::SearchOutcome;
 pub use search::{

@@ -175,6 +175,7 @@ impl SearchStrategy for EvolutionarySearch {
         // Aging evolution: tournament parent selection, single mutation,
         // oldest member dies.
         for _ in 0..self.config.cycles {
+            let _step_span = micronas_telemetry::span!("strategy.step");
             let mut parent: Option<(Architecture, f64)> = None;
             for _ in 0..self.config.sample_size {
                 let idx = rand::Rng::gen_range(&mut rng, 0..population.len());

@@ -107,6 +107,7 @@ impl SearchStrategy for MicroNasSearch {
         let mut history = Vec::new();
 
         while !supernet.is_collapsed() {
+            let _step_span = micronas_telemetry::span!("strategy.step");
             // Enumerate the candidate (edge, op) assignments of this prune
             // step, then push the whole slate through the mega-batched
             // evaluator: packs of candidates run concurrently on the rayon

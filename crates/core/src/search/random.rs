@@ -91,7 +91,10 @@ impl SearchStrategy for RandomSearch {
         // Evaluate the whole slate through the mega-batched path; handles
         // come back in candidate order.
         let cells: Vec<CellTopology> = candidates.iter().map(|arch| *arch.cell()).collect();
-        let evals = BatchedEvaluator::new(ctx).evaluate_all(&cells)?;
+        let evals = {
+            let _step_span = micronas_telemetry::span!("strategy.step");
+            BatchedEvaluator::new(ctx).evaluate_all(&cells)?
+        };
 
         // Sequential, order-preserving reduction: identical to the previous
         // one-at-a-time loop (first-seen candidate wins ties).

@@ -43,6 +43,7 @@ pub struct SearchSession {
     context: SearchContext,
     weights: ObjectiveWeights,
     observer: Arc<dyn SearchObserver>,
+    telemetry: Option<Arc<dyn micronas_telemetry::TelemetrySink>>,
 }
 
 impl SearchSession {
@@ -72,6 +73,10 @@ impl SearchSession {
     ///
     /// Propagates the strategy's failures.
     pub fn run(&self, strategy: &dyn SearchStrategy) -> Result<SearchOutcome> {
+        let _scope = self
+            .telemetry
+            .as_ref()
+            .map(|sink| micronas_telemetry::install_scoped(sink.clone()));
         strategy.search(&self.context, self.observer.as_ref())
     }
 
@@ -106,6 +111,7 @@ pub struct SearchSessionBuilder {
     observer: Option<Arc<dyn SearchObserver>>,
     backend: Option<micronas_tensor::KernelBackendKind>,
     pack_width: Option<usize>,
+    telemetry: Option<Arc<dyn micronas_telemetry::TelemetrySink>>,
 }
 
 impl SearchSessionBuilder {
@@ -195,6 +201,22 @@ impl SearchSessionBuilder {
         self
     }
 
+    /// Attaches a telemetry sink ([`micronas_telemetry::TelemetrySink`])
+    /// that every [`SearchSession::run`] installs for the duration of the
+    /// search (restoring the previous sink afterwards), so spans and
+    /// counters from all layers — tensor kernels, network forward passes,
+    /// proxies, the store and the strategy itself — flow into it. Use a
+    /// [`micronas_telemetry::Collector`] and read its
+    /// [`micronas_telemetry::Collector::report`] after the run.
+    ///
+    /// Telemetry is provably inert: outcomes, histories and cache/batch
+    /// statistics are bitwise identical with and without a sink attached.
+    #[must_use]
+    pub fn telemetry(mut self, sink: Arc<dyn micronas_telemetry::TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
@@ -218,6 +240,7 @@ impl SearchSessionBuilder {
             observer: self
                 .observer
                 .unwrap_or_else(|| Arc::new(NullObserver) as Arc<dyn SearchObserver>),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -354,6 +377,19 @@ mod tests {
             "width 1 disables packing: {:?}",
             a.cost.batch
         );
+    }
+
+    #[test]
+    fn telemetry_sink_collects_spans_without_perturbing_the_search() {
+        let plain = tiny_builder().build().unwrap().run_micronas().unwrap();
+        let collector = Arc::new(micronas_telemetry::Collector::new());
+        let session = tiny_builder().telemetry(collector.clone()).build().unwrap();
+        let traced = session.run_micronas().unwrap();
+        assert_eq!(traced.best.index(), plain.best.index());
+        assert_eq!(traced.history, plain.history);
+        assert_eq!(traced.evaluation, plain.evaluation);
+        let report = collector.report();
+        assert!(report.span("strategy.step").is_some(), "{}", report.table());
     }
 
     #[test]

@@ -226,7 +226,11 @@ impl CellNetwork {
     ) -> Result<(ForwardTrace, Vec<Tensor>)> {
         self.check_input(input)?;
         let backend = &*self.backend;
-        let stem_out = self.stem.forward_on(backend, input, workspace)?;
+        let stem_out = {
+            let _span = micronas_telemetry::span!("nn.stem_forward");
+            self.stem.forward_on(backend, input, workspace)?
+        };
+        let _edges_span = micronas_telemetry::span!("nn.edge_forward");
         let mut pre_activations = Vec::new();
         let mut nodes_per_cell = Vec::with_capacity(self.cells.len());
         let mut x = pooled_copy(&stem_out, workspace);
@@ -271,6 +275,7 @@ impl CellNetwork {
             x = pooled_copy(&nodes[NUM_NODES - 1], workspace);
             nodes_per_cell.push(nodes);
         }
+        drop(_edges_span);
         let features = global_avg_pool(&x)?;
         workspace.recycle(x.into_vec());
         let logits = self.classifier.forward_on(backend, &features)?;
@@ -528,6 +533,7 @@ impl CellNetwork {
         workspace: &mut Workspace,
         matrix: &mut [f32],
     ) -> Result<()> {
+        let _span = micronas_telemetry::span!("nn.backward");
         let backend = &*self.backend;
         let n = trace.input.shape().dims()[0];
         let p = self.num_parameters();
@@ -880,6 +886,7 @@ impl CellNetworkPack {
         let Some(first) = self.networks.first() else {
             return Ok(Vec::new());
         };
+        let _pack_span = micronas_telemetry::span!("nn.pack_forward");
         first.check_input(input)?;
         let backend = &*first.backend;
         let pack = self.networks.len();
@@ -887,7 +894,10 @@ impl CellNetworkPack {
 
         // One stem forward for the whole pack: stems are identical (same
         // seed, same stream) and see the identical input.
-        let stem_out = first.stem.forward_on(backend, input, workspace)?;
+        let stem_out = {
+            let _span = micronas_telemetry::span!("nn.stem_forward");
+            first.stem.forward_on(backend, input, workspace)?
+        };
         let mut pre_activations: Vec<Vec<Tensor>> = vec![Vec::new(); pack];
         let mut nodes_per_cell: Vec<Vec<Vec<Tensor>>> =
             (0..pack).map(|_| Vec::with_capacity(num_cells)).collect();

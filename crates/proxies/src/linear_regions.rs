@@ -165,6 +165,7 @@ impl LinearRegionEvaluator {
         seed: u64,
         workspace: &mut micronas_tensor::Workspace,
     ) -> Result<LinearRegionReport> {
+        let _span = micronas_telemetry::span!("proxy.linear_regions");
         self.config.validate()?;
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
@@ -206,6 +207,7 @@ impl LinearRegionEvaluator {
         if cells.is_empty() {
             return Ok(Vec::new());
         }
+        let _span = micronas_telemetry::span!("proxy.linear_regions.pack");
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
         let pack = CellNetworkPack::with_backend(cells, &net_config, seed, self.backend.clone())?;

@@ -258,6 +258,7 @@ impl NtkEvaluator {
         net_config: ProxyNetworkConfig,
         workspace: &mut Workspace,
     ) -> Result<NtkReport> {
+        let _span = micronas_telemetry::span!("proxy.ntk");
         let mut acc = NtkAccumulator::new(&self.config);
 
         for repeat in 0..self.config.repeats {
@@ -311,6 +312,7 @@ impl NtkEvaluator {
                 .map(|&cell| self.evaluate_in(cell, dataset, seed, workspace))
                 .collect();
         }
+        let _span = micronas_telemetry::span!("proxy.ntk.pack");
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
 
@@ -337,9 +339,12 @@ impl NtkEvaluator {
             let n = batch.images.shape().dims()[0];
             let matrices = pack.per_sample_gradient_matrices_with(&batch.images, workspace)?;
             for (acc, j) in accs.iter_mut().zip(matrices) {
-                let raw = self.raw_gram_from_matrix(n, &j);
-                workspace.recycle(j.into_values());
-                let gram = finish_gram(n, &raw);
+                let gram = {
+                    let _gram_span = micronas_telemetry::span!("proxy.ntk.gram");
+                    let raw = self.raw_gram_from_matrix(n, &j);
+                    workspace.recycle(j.into_values());
+                    finish_gram(n, &raw)
+                };
                 acc.absorb(repeat, &gram)?;
             }
         }
@@ -365,6 +370,7 @@ impl NtkEvaluator {
         images: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<Tensor> {
+        let _span = micronas_telemetry::span!("proxy.ntk.gram");
         let n = images.shape().dims()[0];
         // Raw Gram in f64.
         let raw = match self.gradient_path {
@@ -460,6 +466,7 @@ impl NtkAccumulator {
     }
 
     fn absorb(&mut self, repeat: usize, gram: &Tensor) -> Result<()> {
+        let _span = micronas_telemetry::span!("proxy.ntk.eigensolve");
         let full = sym_eigenvalues_with(gram, EigenOptions::default(), &mut self.eigen_scratch)
             .map_err(|e| ProxyError::Eigen(e.to_string()))?;
         // Centring the per-sample gradients (see `finish_gram`) pins one

@@ -250,6 +250,7 @@ impl EvalStore {
         // Evicted-but-persisted records re-enter through the log.
         let offset = *self.offsets.as_ref()?.read().get(key)?;
         let reread = {
+            let _span = micronas_telemetry::span!("store.point_read");
             let mut reader = self.reader.as_ref()?.lock();
             read_record_at(&mut reader, offset)
         };
@@ -299,6 +300,7 @@ impl EvalStore {
                     .expect("non-empty shard over its cap");
                 map.remove(&victim);
                 self.entries.fetch_sub(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("store.evictions", 1);
             }
         }
         fresh
@@ -321,10 +323,12 @@ impl EvalStore {
         match self.lookup(key) {
             Some(record) if usable(&record) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("store.hits", 1);
                 Some(record)
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("store.misses", 1);
                 None
             }
         }
@@ -343,6 +347,7 @@ impl EvalStore {
         record.validate()?;
         let fresh = self.insert_resident(key, record.clone());
         if let Some(log) = &self.log {
+            let _span = micronas_telemetry::span!("store.log_append");
             let offset = log.lock().append(&key, &record)?;
             if let Some(offsets) = &self.offsets {
                 offsets.write().insert(key, offset);
@@ -369,9 +374,11 @@ impl EvalStore {
     {
         if let Some(found) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            micronas_telemetry::counter_add("store.hits", 1);
             return Ok((found, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        micronas_telemetry::counter_add("store.misses", 1);
         let record = compute().map_err(GetOrInsertError::Compute)?;
         self.insert(key, record.clone())
             .map_err(GetOrInsertError::Store)?;

@@ -1,0 +1,165 @@
+//! The deterministic JSONL event-line format and its replay checker.
+//!
+//! Each line of a recorded event stream is one JSON object with two
+//! sections:
+//!
+//! ```json
+//! {"event": {"type": "step", "index": 3, ...}, "timing": {"elapsed_ns": 1234}}
+//! ```
+//!
+//! The `"event"` section holds only deterministic fields — identical for
+//! every same-seed run at any thread count. The `"timing"` section is
+//! segregated wall-clock data and is *ignored* by [`replay_diff`], so two
+//! recordings of the same seed diff empty even though their clocks
+//! differ. Recorders that omit `"timing"` entirely produce byte-identical
+//! files.
+//!
+//! The `EventRecorder` in the `micronas` core crate writes this format
+//! for `SearchEvent` streams; this module is format-level only so any
+//! future event source (store traffic, daemon job logs) can share the
+//! checker.
+
+use crate::json::{self, JsonValue};
+
+/// Key of the deterministic section of an event line.
+pub const EVENT_KEY: &str = "event";
+/// Key of the segregated (ignored-by-diff) timing section.
+pub const TIMING_KEY: &str = "timing";
+
+/// Wraps a deterministic payload (and optional timing payload) into one
+/// serialized event line, both payloads given as pre-rendered JSON.
+pub fn format_line(event_json: &str, timing_json: Option<&str>) -> String {
+    match timing_json {
+        Some(t) => format!("{{\"{EVENT_KEY}\":{event_json},\"{TIMING_KEY}\":{t}}}"),
+        None => format!("{{\"{EVENT_KEY}\":{event_json}}}"),
+    }
+}
+
+/// Parses one event line, returning the deterministic section.
+///
+/// # Errors
+///
+/// Describes the syntax error or the missing `"event"` member.
+pub fn parse_line(line: &str) -> Result<JsonValue, String> {
+    let value = json::parse(line)?;
+    value
+        .get(EVENT_KEY)
+        .cloned()
+        .ok_or_else(|| format!("event line has no \"{EVENT_KEY}\" member"))
+}
+
+/// Parses a whole JSONL stream (blank lines skipped), returning the
+/// deterministic section of each line.
+///
+/// # Errors
+///
+/// Reports the 1-based line number of the first malformed line.
+pub fn parse_stream(jsonl: &str) -> Result<Vec<JsonValue>, String> {
+    let mut events = Vec::new();
+    for (index, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Compares two recorded event streams on their deterministic sections
+/// only, returning one message per difference (empty = streams identical
+/// modulo timing).
+///
+/// Malformed lines are reported as differences rather than errors so the
+/// checker never masks a corrupted recording.
+pub fn replay_diff(a: &str, b: &str) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let parse = |stream: &str, name: &str, diffs: &mut Vec<String>| match parse_stream(stream) {
+        Ok(events) => Some(events),
+        Err(e) => {
+            diffs.push(format!("stream {name} is malformed: {e}"));
+            None
+        }
+    };
+    let (Some(events_a), Some(events_b)) = (parse(a, "a", &mut diffs), parse(b, "b", &mut diffs))
+    else {
+        return diffs;
+    };
+    if events_a.len() != events_b.len() {
+        diffs.push(format!(
+            "event count differs: {} vs {}",
+            events_a.len(),
+            events_b.len()
+        ));
+    }
+    for (index, (ea, eb)) in events_a.iter().zip(events_b.iter()).enumerate() {
+        if ea != eb {
+            diffs.push(format!("event {index} differs: {ea} vs {eb}"));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        let line = format_line(r#"{"type":"step","index":1}"#, Some(r#"{"elapsed_ns":42}"#));
+        let event = parse_line(&line).unwrap();
+        assert_eq!(event.get("type").unwrap().as_str(), Some("step"));
+        assert_eq!(event.get("index").unwrap().as_f64(), Some(1.0));
+        let bare = format_line(r#"{"type":"started"}"#, None);
+        assert!(parse_line(&bare).is_ok());
+    }
+
+    #[test]
+    fn replay_diff_ignores_timing() {
+        let a = [
+            format_line(r#"{"type":"started"}"#, Some(r#"{"elapsed_ns":10}"#)),
+            format_line(r#"{"type":"step","index":0}"#, Some(r#"{"elapsed_ns":20}"#)),
+        ]
+        .join("\n");
+        let b = [
+            format_line(r#"{"type":"started"}"#, Some(r#"{"elapsed_ns":99}"#)),
+            format_line(r#"{"type":"step","index":0}"#, None),
+        ]
+        .join("\n");
+        assert!(replay_diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn replay_diff_reports_deterministic_differences() {
+        let a = format_line(r#"{"type":"step","index":0}"#, None);
+        let b = format_line(r#"{"type":"step","index":1}"#, None);
+        let diffs = replay_diff(&a, &b);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("event 0 differs"));
+    }
+
+    #[test]
+    fn replay_diff_reports_length_mismatch_and_malformed_streams() {
+        let a = format_line(r#"{"type":"started"}"#, None);
+        let two = format!("{a}\n{a}\n");
+        assert_eq!(replay_diff(&a, &two).len(), 1);
+        let diffs = replay_diff("not json", &a);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("malformed"));
+        let missing = replay_diff(r#"{"timing":{}}"#, &a);
+        assert!(missing[0].contains("no \"event\" member"));
+    }
+
+    #[test]
+    fn parse_stream_skips_blank_lines_and_numbers_errors() {
+        let good = format!(
+            "{}\n\n{}\n",
+            format_line(r#"{"type":"a"}"#, None),
+            format_line(r#"{"type":"b"}"#, None)
+        );
+        assert_eq!(parse_stream(&good).unwrap().len(), 2);
+        let bad = format!("{}\n{{oops\n", format_line(r#"{"type":"a"}"#, None));
+        let err = parse_stream(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

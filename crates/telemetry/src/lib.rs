@@ -1,0 +1,301 @@
+//! Telemetry spine for the MicroNAS stack: span timers, a metrics
+//! registry, and deterministic JSONL event-stream plumbing.
+//!
+//! The crate is built around one invariant: **instrumentation must be
+//! inert**. Every instrumented hot loop in the workspace pays exactly one
+//! relaxed atomic load when no sink is recording, and nothing a sink
+//! observes may feed back into search numerics — paper-identity
+//! fingerprints are bitwise-identical with telemetry off, on, and
+//! recording (see `tests/telemetry_inertness.rs` at the workspace root).
+//!
+//! Three pieces:
+//!
+//! 1. **Spans** — [`span!`] returns an RAII guard that measures a
+//!    monotonic wall-clock interval and reports it to the installed
+//!    [`TelemetrySink`] under a static label. The [`Collector`] sink
+//!    aggregates spans per label across threads into call-count / total /
+//!    max / p50–p99 (fixed log2-bucket histograms, no allocation on the
+//!    steady-state hot path).
+//! 2. **Metrics** — [`MetricsRegistry`] holds named atomic counters and
+//!    max-gauges; the free functions [`counter_add`] and [`gauge_max`]
+//!    route to the installed sink, compiling to a single branch when
+//!    telemetry is disabled.
+//! 3. **Events** — [`events`] provides the line format shared by the
+//!    `EventRecorder` in `micronas` core: each JSONL record carries a
+//!    deterministic `"event"` section and a segregated `"timing"` section,
+//!    and [`events::replay_diff`] proves two recordings of the same seed
+//!    identical by comparing only the deterministic sections.
+//!
+//! ```
+//! use micronas_telemetry::{span, Collector};
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(Collector::new());
+//! let _session = micronas_telemetry::install_scoped(collector.clone());
+//! {
+//!     let _span = span!("doc.example");
+//!     std::hint::black_box(1 + 1);
+//! }
+//! let report = collector.report();
+//! assert_eq!(report.span("doc.example").unwrap().count, 1);
+//! ```
+
+mod collector;
+pub mod events;
+mod histogram;
+pub mod json;
+mod sink;
+
+pub use collector::{Collector, MetricsRegistry, SpanReport, TelemetryReport};
+pub use histogram::Log2Histogram;
+pub use sink::{CountingSink, NullSink, TelemetrySink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Fast-path switch: `true` only while a sink whose
+/// [`TelemetrySink::is_enabled`] returns `true` is installed. Every
+/// instrumentation point checks this single relaxed atomic before doing
+/// any other work.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static parking_lot::RwLock<Option<Arc<dyn TelemetrySink>>> {
+    static SLOT: OnceLock<parking_lot::RwLock<Option<Arc<dyn TelemetrySink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| parking_lot::RwLock::new(None))
+}
+
+/// Whether an enabled sink is currently installed.
+///
+/// This is the branch every instrumented hot loop pays when telemetry is
+/// off: one relaxed atomic load.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global telemetry sink, replacing any
+/// previous one.
+///
+/// A [`NullSink`] (or any sink reporting `is_enabled() == false`) leaves
+/// the [`is_active`] fast path `false`, so instrumented code keeps its
+/// near-zero disabled cost.
+pub fn install(sink: Arc<dyn TelemetrySink>) {
+    let enabled = sink.is_enabled();
+    *sink_slot().write() = Some(sink);
+    ACTIVE.store(enabled, Ordering::SeqCst);
+}
+
+/// Removes the process-global sink, returning instrumentation to the
+/// disabled fast path.
+pub fn uninstall() {
+    *sink_slot().write() = None;
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Installs `sink` for the lifetime of the returned guard; dropping the
+/// guard restores whatever sink (or absence of one) was installed before.
+///
+/// This is what `SearchSession::run` uses so a session-scoped collector
+/// observes exactly one run, including its rayon worker threads.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub fn install_scoped(sink: Arc<dyn TelemetrySink>) -> ScopedSink {
+    let enabled = sink.is_enabled();
+    let prev = {
+        let mut slot = sink_slot().write();
+        slot.replace(sink)
+    };
+    let prev_active = ACTIVE.swap(enabled, Ordering::SeqCst);
+    ScopedSink { prev, prev_active }
+}
+
+/// RAII guard returned by [`install_scoped`]; restores the previously
+/// installed sink on drop.
+pub struct ScopedSink {
+    prev: Option<Arc<dyn TelemetrySink>>,
+    prev_active: bool,
+}
+
+impl Drop for ScopedSink {
+    fn drop(&mut self) {
+        *sink_slot().write() = self.prev.take();
+        ACTIVE.store(self.prev_active, Ordering::SeqCst);
+    }
+}
+
+#[inline]
+fn with_sink(f: impl FnOnce(&dyn TelemetrySink)) {
+    let guard = sink_slot().read();
+    if let Some(sink) = guard.as_ref() {
+        f(sink.as_ref());
+    }
+}
+
+/// Adds `delta` to the named counter on the installed sink.
+///
+/// No-op (one atomic load) when telemetry is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if is_active() {
+        with_sink(|s| s.add_counter(name, delta));
+    }
+}
+
+/// Raises the named max-gauge to at least `value` on the installed sink.
+///
+/// No-op (one atomic load) when telemetry is disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if is_active() {
+        with_sink(|s| s.gauge_max(name, value));
+    }
+}
+
+/// Records a completed span of `nanos` nanoseconds under `label` on the
+/// installed sink. Usually called via the [`span!`] guard rather than
+/// directly; exposed for pre-measured intervals.
+#[inline]
+pub fn record_span(label: &'static str, nanos: u64) {
+    if is_active() {
+        with_sink(|s| s.record_span(label, nanos));
+    }
+}
+
+/// RAII span timer: measures from construction to drop on the monotonic
+/// clock and reports the interval via [`record_span`].
+///
+/// When telemetry is disabled at construction the guard holds no
+/// timestamp and its drop is a no-op — the full cost is one relaxed
+/// atomic load.
+#[derive(Debug)]
+pub struct SpanGuard {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// The label this guard reports under.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Whether the guard is actually timing (telemetry was active at
+    /// construction).
+    pub fn is_timing(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            record_span(self.label, nanos);
+        }
+    }
+}
+
+/// Starts a span under a static, dot-separated hierarchical label.
+///
+/// Prefer the [`span!`] macro at call sites.
+#[inline]
+pub fn span_guard(label: &'static str) -> SpanGuard {
+    let start = if is_active() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    SpanGuard { label, start }
+}
+
+/// Opens an RAII span: `let _span = span!("ntk.gram");` times the
+/// enclosing scope under the label `"ntk.gram"`.
+///
+/// Labels are `&'static str` and conventionally dot-separated
+/// (`layer.phase[.detail]`) so reports group hierarchically when sorted.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::span_guard($label)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide; serialize tests that install one.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn null_sink_keeps_fast_path_disabled() {
+        let _guard = lock();
+        let scoped = install_scoped(Arc::new(NullSink));
+        assert!(!is_active());
+        let span = span!("test.null");
+        assert!(!span.is_timing());
+        drop(span);
+        drop(scoped);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn scoped_install_restores_previous_sink() {
+        let _guard = lock();
+        let outer = Arc::new(Collector::new());
+        let inner = Arc::new(Collector::new());
+        let s1 = install_scoped(outer.clone());
+        {
+            let _s2 = install_scoped(inner.clone());
+            counter_add("test.scope", 1);
+        }
+        counter_add("test.scope", 10);
+        drop(s1);
+        counter_add("test.scope", 100); // no sink installed: dropped
+        assert_eq!(inner.report().counter("test.scope"), 1);
+        assert_eq!(outer.report().counter("test.scope"), 10);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn spans_counters_and_gauges_reach_the_collector() {
+        let _guard = lock();
+        let collector = Arc::new(Collector::new());
+        let scoped = install_scoped(collector.clone());
+        assert!(is_active());
+        {
+            let span = span!("test.work");
+            assert!(span.is_timing());
+            assert_eq!(span.label(), "test.work");
+        }
+        counter_add("test.count", 3);
+        counter_add("test.count", 4);
+        gauge_max("test.peak", 10);
+        gauge_max("test.peak", 7);
+        drop(scoped);
+        let report = collector.report();
+        assert_eq!(report.span("test.work").unwrap().count, 1);
+        assert_eq!(report.counter("test.count"), 7);
+        assert_eq!(report.gauge("test.peak"), 10);
+    }
+
+    #[test]
+    fn counting_sink_enables_and_counts_calls() {
+        let _guard = lock();
+        let sink = Arc::new(CountingSink::default());
+        let scoped = install_scoped(sink.clone());
+        assert!(is_active());
+        {
+            let _span = span!("test.counted");
+        }
+        counter_add("test.c", 1);
+        gauge_max("test.g", 1);
+        drop(scoped);
+        assert_eq!(sink.spans(), 1);
+        assert_eq!(sink.counters(), 1);
+        assert_eq!(sink.gauges(), 1);
+    }
+}

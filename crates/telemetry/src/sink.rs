@@ -1,0 +1,89 @@
+//! The [`TelemetrySink`] trait and its trivial implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Destination for telemetry emitted by instrumented code.
+///
+/// All methods have no-op defaults so a sink only overrides what it
+/// consumes. [`is_enabled`](TelemetrySink::is_enabled) gates the global
+/// fast path: a sink returning `false` (the default, and what
+/// [`NullSink`] inherits) keeps every instrumentation point on its
+/// single-atomic-load disabled path — the sink methods are then never
+/// called at all.
+///
+/// Sinks must be cheap and infallible: they are called from kernel hot
+/// loops and rayon workers, may not panic, and must never influence the
+/// numerics of the code they observe.
+pub trait TelemetrySink: Send + Sync {
+    /// Whether instrumentation points should take their recording path.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one completed span interval under a static label.
+    fn record_span(&self, _label: &'static str, _nanos: u64) {}
+
+    /// Adds `delta` to a named monotonic counter.
+    fn add_counter(&self, _name: &'static str, _delta: u64) {}
+
+    /// Raises a named high-water gauge to at least `value`.
+    fn gauge_max(&self, _name: &'static str, _value: u64) {}
+}
+
+/// The do-nothing sink: inherits every default, so installing it keeps
+/// telemetry on the disabled fast path (near-zero overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {}
+
+/// An enabled sink that only counts how many times each hook fired —
+/// useful for inertness tests (it forces instrumented code down the
+/// recording path without retaining labels or values) and for overhead
+/// measurements.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    spans: AtomicU64,
+    counters: AtomicU64,
+    gauges: AtomicU64,
+}
+
+impl CountingSink {
+    /// Number of `record_span` calls observed.
+    pub fn spans(&self) -> u64 {
+        self.spans.load(Ordering::Relaxed)
+    }
+
+    /// Number of `add_counter` calls observed.
+    pub fn counters(&self) -> u64 {
+        self.counters.load(Ordering::Relaxed)
+    }
+
+    /// Number of `gauge_max` calls observed.
+    pub fn gauges(&self) -> u64 {
+        self.gauges.load(Ordering::Relaxed)
+    }
+
+    /// Total hook invocations of any kind.
+    pub fn total(&self) -> u64 {
+        self.spans() + self.counters() + self.gauges()
+    }
+}
+
+impl TelemetrySink for CountingSink {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_span(&self, _label: &'static str, _nanos: u64) {
+        self.spans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_counter(&self, _name: &'static str, _delta: u64) {
+        self.counters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn gauge_max(&self, _name: &'static str, _value: u64) {
+        self.gauges.fetch_add(1, Ordering::Relaxed);
+    }
+}

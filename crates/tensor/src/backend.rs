@@ -788,6 +788,240 @@ impl KernelBackend for BlockedGemmBackend {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry: per-backend dispatch counters
+// ---------------------------------------------------------------------------
+
+/// Static telemetry counter names for one backend family. Counter names
+/// must be `&'static str` (the sink contract), so each known backend id
+/// maps to a pre-built label set; unknown (external) backends share one
+/// `tensor.backend.other.*` set.
+#[derive(Debug)]
+struct DispatchCounters {
+    conv_solo: &'static str,
+    conv_packed: &'static str,
+    conv_packed_inputs: &'static str,
+    backward: &'static str,
+    pool: &'static str,
+    gemm: &'static str,
+    gram: &'static str,
+}
+
+macro_rules! dispatch_counters {
+    ($family:literal) => {
+        DispatchCounters {
+            conv_solo: concat!("tensor.backend.", $family, ".conv_solo_dispatches"),
+            conv_packed: concat!("tensor.backend.", $family, ".conv_packed_dispatches"),
+            conv_packed_inputs: concat!("tensor.backend.", $family, ".conv_packed_inputs"),
+            backward: concat!("tensor.backend.", $family, ".backward_dispatches"),
+            pool: concat!("tensor.backend.", $family, ".pool_dispatches"),
+            gemm: concat!("tensor.backend.", $family, ".gemm_dispatches"),
+            gram: concat!("tensor.backend.", $family, ".gram_dispatches"),
+        }
+    };
+}
+
+fn dispatch_counters(id: &str) -> &'static DispatchCounters {
+    static DIRECT: DispatchCounters = dispatch_counters!("direct");
+    static BLOCKED: DispatchCounters = dispatch_counters!("blocked_gemm");
+    static SIMD: DispatchCounters = dispatch_counters!("simd");
+    static INT8: DispatchCounters = dispatch_counters!("int8_mcu");
+    static OTHER: DispatchCounters = dispatch_counters!("other");
+    match id {
+        "direct" => &DIRECT,
+        "blocked_gemm" => &BLOCKED,
+        "simd" => &SIMD,
+        "int8_mcu" => &INT8,
+        _ => &OTHER,
+    }
+}
+
+/// Wraps a backend so every kernel dispatch increments a per-backend
+/// telemetry counter (`tensor.backend.<id>.*`) before forwarding.
+///
+/// The wrapper is identity-transparent — `id`, `config_fingerprint`,
+/// `bitwise_paper_identical`, `supports_gradients` and the arena policy all
+/// forward unchanged, so store namespaces and conformance identities do not
+/// move — and inert: with no enabled sink installed each dispatch pays one
+/// relaxed atomic load. [`KernelBackendKind::instantiate`],
+/// [`paper_default_backend`] and therefore [`all_backends`] return
+/// already-instrumented instances; use this only to instrument an external
+/// [`KernelBackend`] implementation.
+pub fn instrument_backend(inner: Arc<dyn KernelBackend>) -> Arc<dyn KernelBackend> {
+    let counters = dispatch_counters(inner.id());
+    Arc::new(InstrumentedBackend { inner, counters })
+}
+
+/// See [`instrument_backend`].
+#[derive(Debug)]
+struct InstrumentedBackend {
+    inner: Arc<dyn KernelBackend>,
+    counters: &'static DispatchCounters,
+}
+
+impl KernelBackend for InstrumentedBackend {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        self.inner.config_fingerprint()
+    }
+
+    fn bitwise_paper_identical(&self) -> bool {
+        self.inner.bitwise_paper_identical()
+    }
+
+    fn supports_gradients(&self) -> bool {
+        self.inner.supports_gradients()
+    }
+
+    fn arena_retention_cap_bytes(&self) -> usize {
+        self.inner.arena_retention_cap_bytes()
+    }
+
+    fn conv2d(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        micronas_telemetry::counter_add(self.counters.conv_solo, 1);
+        self.inner.conv2d(input, weight, spec, workspace)
+    }
+
+    fn conv2d_forward_packed(
+        &self,
+        inputs: &[&Tensor],
+        weight: &Tensor,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Vec<Tensor>> {
+        micronas_telemetry::counter_add(self.counters.conv_packed, 1);
+        micronas_telemetry::counter_add(self.counters.conv_packed_inputs, inputs.len() as u64);
+        self.inner
+            .conv2d_forward_packed(inputs, weight, spec, workspace)
+    }
+
+    fn conv2d_backward_input(
+        &self,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        input_shape: &Shape,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        micronas_telemetry::counter_add(self.counters.backward, 1);
+        self.inner
+            .conv2d_backward_input(weight, grad_out, input_shape, spec, workspace)
+    }
+
+    fn conv2d_backward_weight(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        c_out: usize,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        micronas_telemetry::counter_add(self.counters.backward, 1);
+        self.inner
+            .conv2d_backward_weight(input, grad_out, c_out, spec, workspace)
+    }
+
+    fn conv2d_backward_weight_per_sample_into(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        c_out: usize,
+        spec: Conv2dSpec,
+        workspace: &mut Workspace,
+        out: &mut [f32],
+        row_stride: usize,
+        offset: usize,
+    ) -> Result<()> {
+        micronas_telemetry::counter_add(self.counters.backward, 1);
+        self.inner.conv2d_backward_weight_per_sample_into(
+            input, grad_out, c_out, spec, workspace, out, row_stride, offset,
+        )
+    }
+
+    fn avg_pool2d(
+        &self,
+        input: &Tensor,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        micronas_telemetry::counter_add(self.counters.pool, 1);
+        self.inner
+            .avg_pool2d(input, kernel, stride, padding, workspace)
+    }
+
+    fn avg_pool2d_backward(
+        &self,
+        grad_out: &Tensor,
+        input_shape: &Shape,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        workspace: &mut Workspace,
+    ) -> Result<Tensor> {
+        micronas_telemetry::counter_add(self.counters.pool, 1);
+        self.inner
+            .avg_pool2d_backward(grad_out, input_shape, kernel, stride, padding, workspace)
+    }
+
+    fn gemm_nn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        micronas_telemetry::counter_add(self.counters.gemm, 1);
+        self.inner.gemm_nn(m, k, n, a, b, c, accumulate);
+    }
+
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        micronas_telemetry::counter_add(self.counters.gemm, 1);
+        self.inner.gemm_nt(m, k, n, a, b, c, accumulate);
+    }
+
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        accumulate: bool,
+    ) {
+        micronas_telemetry::counter_add(self.counters.gemm, 1);
+        self.inner.gemm_tn(m, k, n, a, b, c, accumulate);
+    }
+
+    fn gram_nt_f64(&self, n: usize, p: usize, j: &[f32], out: &mut [f64]) {
+        micronas_telemetry::counter_add(self.counters.gram, 1);
+        self.inner.gram_nt_f64(n, p, j, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry and selection
 // ---------------------------------------------------------------------------
 
@@ -851,17 +1085,17 @@ impl KernelBackendKind {
     /// ([`crate::Int8Backend::macs_performed`]) and profiling sessions must
     /// not share it.
     pub fn instantiate(self) -> Arc<dyn KernelBackend> {
-        static DIRECT: OnceLock<Arc<DirectBackend>> = OnceLock::new();
-        static SIMD: OnceLock<Arc<crate::SimdBackend>> = OnceLock::new();
+        static DIRECT: OnceLock<Arc<dyn KernelBackend>> = OnceLock::new();
+        static SIMD: OnceLock<Arc<dyn KernelBackend>> = OnceLock::new();
         match self {
-            KernelBackendKind::Direct => {
-                DIRECT.get_or_init(|| Arc::new(DirectBackend)).clone() as Arc<dyn KernelBackend>
-            }
+            KernelBackendKind::Direct => DIRECT
+                .get_or_init(|| instrument_backend(Arc::new(DirectBackend)))
+                .clone(),
             KernelBackendKind::BlockedGemm => paper_default_backend(),
-            KernelBackendKind::Simd => {
-                SIMD.get_or_init(|| Arc::new(crate::SimdBackend)).clone() as Arc<dyn KernelBackend>
-            }
-            KernelBackendKind::Int8Mcu => Arc::new(crate::Int8Backend::new()),
+            KernelBackendKind::Simd => SIMD
+                .get_or_init(|| instrument_backend(Arc::new(crate::SimdBackend)))
+                .clone(),
+            KernelBackendKind::Int8Mcu => instrument_backend(Arc::new(crate::Int8Backend::new())),
         }
     }
 }
@@ -869,8 +1103,10 @@ impl KernelBackendKind {
 /// The shared paper-default backend instance ([`BlockedGemmBackend`]): what
 /// every network and evaluator runs on when no backend is supplied.
 pub fn paper_default_backend() -> Arc<dyn KernelBackend> {
-    static DEFAULT: OnceLock<Arc<BlockedGemmBackend>> = OnceLock::new();
-    DEFAULT.get_or_init(|| Arc::new(BlockedGemmBackend)).clone() as Arc<dyn KernelBackend>
+    static DEFAULT: OnceLock<Arc<dyn KernelBackend>> = OnceLock::new();
+    DEFAULT
+        .get_or_init(|| instrument_backend(Arc::new(BlockedGemmBackend)))
+        .clone()
 }
 
 /// Every registered built-in backend, in a fixed order — the set the

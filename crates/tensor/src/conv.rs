@@ -243,6 +243,10 @@ pub(crate) fn im2col(
     let k = spec.kernel;
     let ohow = oh * ow;
     debug_assert_eq!(col.len(), c_in * k * k * ohow);
+    micronas_telemetry::counter_add(
+        "tensor.im2col.bytes",
+        (c_in * k * k * ohow * std::mem::size_of::<f32>()) as u64,
+    );
     for c in 0..c_in {
         let plane = &image[c * h * w..(c + 1) * h * w];
         for ky in 0..k {
@@ -306,6 +310,10 @@ pub(crate) fn im2col_strided(
 ) {
     let k = spec.kernel;
     let ohow = oh * ow;
+    micronas_telemetry::counter_add(
+        "tensor.im2col.bytes",
+        (c_in * k * k * ohow * std::mem::size_of::<f32>()) as u64,
+    );
     debug_assert!(col_offset + ohow <= row_stride);
     debug_assert!(col.len() >= (c_in * k * k - 1) * row_stride + col_offset + ohow);
     for c in 0..c_in {

@@ -68,8 +68,9 @@ mod tensor;
 mod workspace;
 
 pub use backend::{
-    all_backends, backend_fingerprint, paper_default_backend, BlockedGemmBackend, DirectBackend,
-    KernelBackend, KernelBackendKind, DEFAULT_ARENA_RETENTION_CAP,
+    all_backends, backend_fingerprint, instrument_backend, paper_default_backend,
+    BlockedGemmBackend, DirectBackend, KernelBackend, KernelBackendKind,
+    DEFAULT_ARENA_RETENTION_CAP,
 };
 pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_input_direct, conv2d_backward_input_pooled,

@@ -74,6 +74,8 @@ pub fn gemm_nn(
     c: &mut [f32],
     accumulate: bool,
 ) {
+    micronas_telemetry::counter_add("tensor.gemm.calls", 1);
+    let _span = micronas_telemetry::span!("tensor.gemm");
     gemm_check(m, k, n, a.len(), b.len(), c.len());
     if !accumulate {
         c.fill(0.0);
@@ -224,6 +226,8 @@ pub fn gemm_nt(
     c: &mut [f32],
     accumulate: bool,
 ) {
+    micronas_telemetry::counter_add("tensor.gemm.calls", 1);
+    let _span = micronas_telemetry::span!("tensor.gemm");
     assert_eq!(a.len(), m * k, "gemm: A buffer has wrong length");
     assert_eq!(b.len(), n * k, "gemm: B buffer has wrong length");
     assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
@@ -270,6 +274,8 @@ pub fn gemm_tn(
     c: &mut [f32],
     accumulate: bool,
 ) {
+    micronas_telemetry::counter_add("tensor.gemm.calls", 1);
+    let _span = micronas_telemetry::span!("tensor.gemm");
     assert_eq!(a.len(), k * m, "gemm: A buffer has wrong length");
     assert_eq!(b.len(), k * n, "gemm: B buffer has wrong length");
     assert_eq!(c.len(), m * n, "gemm: C buffer has wrong length");
@@ -334,6 +340,8 @@ const GRAM_KC: usize = 256;
 ///
 /// Panics if `a.len() != n * p` or `out.len() != n * n`.
 pub fn gram_nt_f64(n: usize, p: usize, a: &[f32], out: &mut [f64]) {
+    micronas_telemetry::counter_add("tensor.gram.calls", 1);
+    let _span = micronas_telemetry::span!("tensor.gram");
     assert_eq!(a.len(), n * p, "gram: A buffer has wrong length");
     assert_eq!(out.len(), n * n, "gram: G buffer has wrong length");
     for i in 0..n {

@@ -274,6 +274,7 @@ impl Workspace {
     fn note(&mut self, bytes: usize) {
         if bytes > self.watermark {
             self.watermark = bytes;
+            micronas_telemetry::gauge_max("tensor.workspace.high_water_bytes", bytes as u64);
         }
     }
 }

@@ -128,6 +128,62 @@
 //! [`core::BatchStats`] on every [`core::SearchCost`], and the
 //! `candidate_throughput` bench gates packed-vs-unpacked in CI smoke mode.
 //!
+//! # Observability (PR 7)
+//!
+//! The [`telemetry`] crate ([`micronas_telemetry`]) instruments the whole
+//! stack with three zero-dependency primitives:
+//!
+//! * **Hierarchical span timers** — every layer wraps its hot phases in
+//!   RAII [`telemetry::span!`] guards (`"tensor.gemm"`, `"nn.stem_forward"`,
+//!   `"proxy.ntk.eigensolve"`, `"store.log_append"`, `"strategy.step"`, …).
+//!   A [`telemetry::Collector`] aggregates them per label into call counts,
+//!   totals, maxima and p50/p90/p99 from fixed log2-bucket histograms — no
+//!   allocation on the hot path, thread-aware via sharded maps.
+//! * **A metrics registry** — named atomic counters and gauges behind the
+//!   [`telemetry::TelemetrySink`] trait: kernel dispatch counts per backend
+//!   (`tensor.backend.blocked_gemm.*`), im2col bytes, workspace high-water,
+//!   store hits/misses/evictions, pack fill counters (`search.pack.*`).
+//!   The default [`telemetry::NullSink`] keeps the disabled fast path — one
+//!   relaxed atomic load per probe.
+//! * **A deterministic event recorder** — [`core::EventRecorder`] is a
+//!   [`core::SearchObserver`] that serializes every [`core::SearchEvent`]
+//!   to JSONL with step scores as exact `f64::to_bits` hex; wall-clock data
+//!   is segregated in a `"timing"` section that [`core::replay_diff`]
+//!   ignores, so two same-seed searches record byte-identical deterministic
+//!   streams and [`core::replay_events`] parses them back into typed
+//!   [`core::RecordedEvent`]s.
+//!
+//! Attach a sink per session with `SearchSession::builder().telemetry(..)`,
+//! or trace the whole paper grid with
+//! [`core::experiments::run_paper_sweep_traced`], which folds the
+//! [`telemetry::TelemetryReport`] (human-readable via
+//! `TelemetryReport::table()`, machine-readable via `to_json()`) into the
+//! sweep report:
+//!
+//! ```no_run
+//! use micronas_suite::core::{MicroNasConfig, SearchSession};
+//! use micronas_suite::telemetry::Collector;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), micronas_suite::core::MicroNasError> {
+//! let collector = Arc::new(Collector::new());
+//! let session = SearchSession::builder()
+//!     .config(MicroNasConfig::fast())
+//!     .telemetry(collector.clone())
+//!     .build()?;
+//! let outcome = session.run_micronas()?;
+//! println!("{}", collector.report().table());
+//! # let _ = outcome;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Telemetry is **provably inert**: the `tests/telemetry_inertness.rs`
+//! suite pins the paper-identity fingerprints and all cache/batch counters
+//! bitwise-identical with the sink off, on and recording, at one and many
+//! rayon threads. `examples/telemetry_trace.rs` runs a traced paper sweep
+//! end to end and validates a recorded event stream replays clean.
+//!
 //! # Crate map
 //!
 //! * [`tensor`] — dense tensors and linear algebra ([`micronas_tensor`])
@@ -139,6 +195,7 @@
 //! * [`hw`] — FLOPs / latency / memory hardware indicators ([`micronas_hw`])
 //! * [`proxies`] — pluggable zero-cost proxies ([`micronas_proxies`])
 //! * [`store`] — shared, persistent evaluation store ([`micronas_store`])
+//! * [`telemetry`] — spans, metrics and the event-line format ([`micronas_telemetry`])
 //! * [`core`] — sessions, strategies and the experiment harness ([`micronas`])
 
 pub use micronas as core;
@@ -150,4 +207,5 @@ pub use micronas_nn as nn;
 pub use micronas_proxies as proxies;
 pub use micronas_searchspace as searchspace;
 pub use micronas_store as store;
+pub use micronas_telemetry as telemetry;
 pub use micronas_tensor as tensor;
