@@ -172,14 +172,18 @@ impl SearchContext {
         let extra_proxies = register_proxies(proxies)?;
         let benchmark = SurrogateBenchmark::new(config.seed);
         let skeleton = benchmark.skeleton_for(dataset);
+        let mut zero_cost = ZeroCostEvaluator::with_backend(
+            config.ntk,
+            config.linear_regions,
+            config.backend.instantiate(),
+        );
+        if let Some(kind) = config.compiler {
+            zero_cost = zero_cost.with_compiler(kind.instantiate());
+        }
         Ok(Self {
             space: SearchSpace::nas_bench_201(),
             dataset,
-            zero_cost: ZeroCostEvaluator::with_backend(
-                config.ntk,
-                config.linear_regions,
-                config.backend.instantiate(),
-            ),
+            zero_cost,
             extra_proxies,
             hardware: HardwareEvaluator::new(skeleton, config.mcu.clone()),
             constraints: config.constraints,

@@ -110,6 +110,7 @@ pub struct SearchSessionBuilder {
     store: Option<Arc<EvalStore>>,
     observer: Option<Arc<dyn SearchObserver>>,
     backend: Option<micronas_tensor::KernelBackendKind>,
+    compiler: Option<micronas_graph::CompilerKind>,
     pack_width: Option<usize>,
     telemetry: Option<Arc<dyn micronas_telemetry::TelemetrySink>>,
 }
@@ -182,6 +183,21 @@ impl SearchSessionBuilder {
         self
     }
 
+    /// Routes the session's built-in indicators (NTK, linear regions)
+    /// through a compiled kernel-graph plan instead of the eager call tree
+    /// (overrides the configuration's `compiler` field; default: eager).
+    ///
+    /// [`micronas_graph::CompilerKind::Interpreter`] replays the eager
+    /// schedule bitwise and keeps the paper store namespace; a numerically
+    /// divergent compiler such as [`micronas_graph::CompilerKind::Fusing`]
+    /// moves the session into its own namespace — exactly like a divergent
+    /// backend — so an attached store must have been created for it.
+    #[must_use]
+    pub fn compiler(mut self, compiler: micronas_graph::CompilerKind) -> Self {
+        self.compiler = Some(compiler);
+        self
+    }
+
     /// Sets the maximum number of candidates the session's context packs
     /// into one mega-batched proxy sweep (default:
     /// [`crate::DEFAULT_PACK_WIDTH`]; clamped to at least 1, and 1 disables
@@ -229,6 +245,9 @@ impl SearchSessionBuilder {
         let mut config = self.config.unwrap_or_default();
         if let Some(backend) = self.backend {
             config.backend = backend;
+        }
+        if let Some(compiler) = self.compiler {
+            config.compiler = Some(compiler);
         }
         let mut context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
         if let Some(width) = self.pack_width {

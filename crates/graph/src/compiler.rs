@@ -1,0 +1,322 @@
+//! The [`Compiler`] trait, its two shipped implementations, and the
+//! [`CompilerKind`] configuration knob.
+
+use crate::exec::{Executor, RunOutputs};
+use crate::fuse::optimize;
+use crate::ir::Graph;
+use micronas_tensor::{hash_mix, KernelBackend, Tensor, TensorError, Workspace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Errors from graph validation, compilation, or plan execution.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The graph violates SSA well-formedness (see [`Graph::validate`]).
+    Invalid(String),
+    /// The caller supplied the wrong number of inputs.
+    InputArity {
+        /// Inputs the plan declares.
+        expected: usize,
+        /// Inputs the caller passed.
+        got: usize,
+    },
+    /// A supplied input tensor does not match the declared shape.
+    InputShape {
+        /// The offending input slot.
+        slot: usize,
+        /// The declared dimensions.
+        expected: Vec<usize>,
+        /// The supplied dimensions.
+        got: Vec<usize>,
+    },
+    /// A declared graph output was never produced at run time.
+    MissingOutput(String),
+    /// A kernel failed underneath the executor.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+            GraphError::InputArity { expected, got } => {
+                write!(f, "plan expected {expected} input(s), got {got}")
+            }
+            GraphError::InputShape {
+                slot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input slot {slot} has shape {got:?}, plan expects {expected:?}"
+            ),
+            GraphError::MissingOutput(name) => {
+                write!(f, "graph output {name:?} was never produced")
+            }
+            GraphError::Tensor(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+/// A compiled, immutable execution plan.
+///
+/// The kernel backend is supplied at *run* time: the plan captures only the
+/// schedule, so one compiled plan serves every [`KernelBackend`] (and the
+/// interpreter's bitwise guarantee holds per backend, since it replays the
+/// identical kernel call sequence).
+pub trait Runnable: fmt::Debug + Send + Sync {
+    /// Executes the plan against `backend`, binding `inputs` in the
+    /// graph's declared input order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on input arity/shape mismatches or kernel errors.
+    fn run(
+        &self,
+        backend: &dyn KernelBackend,
+        inputs: &[&Tensor],
+        ws: &mut Workspace,
+    ) -> Result<RunOutputs, GraphError>;
+
+    /// Number of fused dispatches this plan issues per run (0 for the
+    /// reference interpreter).
+    fn fused_dispatches(&self) -> u64;
+
+    /// The (possibly rewritten) graph this plan executes.
+    fn graph(&self) -> &Graph;
+}
+
+impl Runnable for Executor {
+    fn run(
+        &self,
+        backend: &dyn KernelBackend,
+        inputs: &[&Tensor],
+        ws: &mut Workspace,
+    ) -> Result<RunOutputs, GraphError> {
+        Executor::run(self, backend, inputs, ws)
+    }
+
+    fn fused_dispatches(&self) -> u64 {
+        Executor::fused_dispatches(self)
+    }
+
+    fn graph(&self) -> &Graph {
+        Executor::graph(self)
+    }
+}
+
+/// Compiles a kernel [`Graph`] into a [`Runnable`] plan.
+///
+/// Implementations whose plans are not bitwise-identical to the eager
+/// paper pipeline must report it via
+/// [`Compiler::bitwise_paper_identical`]: the `(id, fingerprint)` pair then
+/// folds into the evaluation-store namespace exactly like a divergent
+/// kernel backend, so persisted logs written under one schedule refuse to
+/// open under another.
+pub trait Compiler: fmt::Debug + Send + Sync {
+    /// Stable string id, folded into store namespaces for divergent
+    /// compilers.
+    fn id(&self) -> &'static str;
+
+    /// Fingerprint of everything that changes this compiler's emitted
+    /// numerics (pass roster, schedule versions).
+    fn config_fingerprint(&self) -> u64;
+
+    /// Whether plans from this compiler produce bitwise-identical results
+    /// to the eager paper pipeline. Defaults to `false` (conservative).
+    fn bitwise_paper_identical(&self) -> bool {
+        false
+    }
+
+    /// Compiles `graph` into an executable plan.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `graph` does not validate.
+    fn compile(&self, graph: &Graph) -> Result<Box<dyn Runnable>, GraphError>;
+}
+
+fn compiler_fingerprint(id: &str, version: u64, params: &[u64]) -> u64 {
+    // "MicroNAS" xor-tagged for the compiler domain (distinct from the
+    // backend domain tag in `backend_fingerprint`).
+    let seed = 0x4D69_6372_6F4E_4153u64 ^ 0x636F_6D70_696C_6572;
+    let mut h = hash_mix(seed, id.len() as u64);
+    for b in id.bytes() {
+        h = hash_mix(h, b as u64);
+    }
+    h = hash_mix(h, version);
+    for &p in params {
+        h = hash_mix(h, p);
+    }
+    h
+}
+
+/// The reference interpreter: executes the lowered graph node by node,
+/// replaying exactly the kernel sequence the eager path runs — bitwise
+/// identical under every backend, shares the paper store namespace.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InterpreterCompiler;
+
+impl Compiler for InterpreterCompiler {
+    fn id(&self) -> &'static str {
+        "interpreter"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        compiler_fingerprint("interpreter", 1, &[])
+    }
+
+    fn bitwise_paper_identical(&self) -> bool {
+        true
+    }
+
+    fn compile(&self, graph: &Graph) -> Result<Box<dyn Runnable>, GraphError> {
+        let _span = micronas_telemetry::span!("graph.compile");
+        Ok(Box::new(Executor::new(graph.clone())?))
+    }
+}
+
+/// The fusing compiler: rewrites the graph through [`optimize`] (DCE,
+/// conv→ReLU fusion, backward-pair fusion, accumulation collapse) before
+/// handing it to the executor. Numerically divergent; folds into the store
+/// namespace.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FusingCompiler;
+
+impl Compiler for FusingCompiler {
+    fn id(&self) -> &'static str {
+        "fusing"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        // Version bumps whenever a pass changes emitted numerics.
+        compiler_fingerprint("fusing", 1, &[4])
+    }
+
+    fn compile(&self, graph: &Graph) -> Result<Box<dyn Runnable>, GraphError> {
+        let _span = micronas_telemetry::span!("graph.compile");
+        Ok(Box::new(Executor::new(optimize(graph))?))
+    }
+}
+
+/// The shipped compiler families, as a serialisable configuration value —
+/// the knob `MicroNasConfig` / `SearchSession::builder().compiler(..)`
+/// carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompilerKind {
+    /// [`InterpreterCompiler`] — bitwise reference, paper namespace.
+    Interpreter,
+    /// [`FusingCompiler`] — fused schedules, divergent namespace.
+    Fusing,
+}
+
+impl CompilerKind {
+    /// All shipped kinds, in id order.
+    pub fn all() -> [CompilerKind; 2] {
+        [CompilerKind::Interpreter, CompilerKind::Fusing]
+    }
+
+    /// The compiler's stable string id.
+    pub fn id(self) -> &'static str {
+        match self {
+            CompilerKind::Interpreter => "interpreter",
+            CompilerKind::Fusing => "fusing",
+        }
+    }
+
+    /// Parses a stable string id back into a kind.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::all().into_iter().find(|k| k.id() == id)
+    }
+
+    /// Parses a stable string id, listing the valid ids on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming every shipped compiler id.
+    pub fn parse(id: &str) -> Result<Self, String> {
+        Self::from_id(id).ok_or_else(|| {
+            let valid: Vec<&str> = Self::all().iter().map(|k| k.id()).collect();
+            format!(
+                "unknown compiler id {id:?}; valid ids: {}",
+                valid.join(", ")
+            )
+        })
+    }
+
+    /// Whether this kind's plans are bitwise-identical to the eager paper
+    /// pipeline.
+    pub fn bitwise_paper_identical(self) -> bool {
+        matches!(self, CompilerKind::Interpreter)
+    }
+
+    /// The kind's configuration fingerprint (what folds into store
+    /// namespaces for divergent kinds).
+    pub fn fingerprint(self) -> u64 {
+        self.instantiate().config_fingerprint()
+    }
+
+    /// Instantiates the compiler as a cached shared instance.
+    pub fn instantiate(self) -> Arc<dyn Compiler> {
+        static INTERPRETER: OnceLock<Arc<dyn Compiler>> = OnceLock::new();
+        static FUSING: OnceLock<Arc<dyn Compiler>> = OnceLock::new();
+        match self {
+            CompilerKind::Interpreter => INTERPRETER
+                .get_or_init(|| Arc::new(InterpreterCompiler))
+                .clone(),
+            CompilerKind::Fusing => FUSING.get_or_init(|| Arc::new(FusingCompiler)).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_and_classify() {
+        for kind in CompilerKind::all() {
+            assert_eq!(CompilerKind::from_id(kind.id()), Some(kind));
+            assert_eq!(CompilerKind::parse(kind.id()), Ok(kind));
+            assert_eq!(kind.instantiate().id(), kind.id());
+            assert_eq!(
+                kind.bitwise_paper_identical(),
+                kind.instantiate().bitwise_paper_identical()
+            );
+        }
+        assert!(CompilerKind::from_id("wgpu").is_none());
+    }
+
+    #[test]
+    fn parse_error_lists_every_valid_id() {
+        let err = CompilerKind::parse("wgpu").unwrap_err();
+        assert!(err.contains("unknown compiler id \"wgpu\""), "{err}");
+        for kind in CompilerKind::all() {
+            assert!(err.contains(kind.id()), "{err} missing {}", kind.id());
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_the_compilers() {
+        assert_ne!(
+            CompilerKind::Interpreter.fingerprint(),
+            CompilerKind::Fusing.fingerprint()
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The fusing compiler's rewrite passes.
+//!
+//! [`optimize`] rewrites a lowered graph into a cheaper schedule:
+//!
+//! 1. **Dead-code elimination** — drops every node whose outputs never
+//!    reach a graph output (the eager path computes unreachable edges and,
+//!    in gradient mode, the whole logits head; the graph knows better).
+//! 2. **Backward-pair fusion** — the per-sample weight gradient, the input
+//!    gradient, and the ReLU mask of one conv edge collapse into a single
+//!    [`OpKind::FusedConvBackward`] dispatch over one shared ReLU-fused
+//!    im2col lowering.
+//! 3. **Conv→ReLU fusion** — `conv2d(relu(pre), w)` becomes
+//!    [`OpKind::FusedConvRelu`], applying the activation inside the im2col
+//!    gather instead of materialising it.
+//! 4. **Accumulation collapse** — a zero-fill followed by its sole `axpy`
+//!    contribution becomes a plain alias (when the contribution is dead
+//!    afterwards) or a [`OpKind::CopyScaled`], eliminating a memset and a
+//!    full accumulation pass per cell node.
+//!
+//! The rewrites are *numerically divergent* from the eager schedule
+//! (always-GEMM dispatch, `0.0 + -0.0` folding), which is why the fusing
+//! compiler folds its identity into the store namespace.
+
+use crate::ir::{Graph, Node, OpKind, ValueId};
+
+/// Runs the full fusing pass pipeline on `graph` and returns the rewritten
+/// graph. Pure function: the input graph is untouched, so callers can
+/// render fused-vs-unfused dumps side by side.
+pub fn optimize(graph: &Graph) -> Graph {
+    let mut g = graph.clone();
+    dce(&mut g);
+    while fuse_one_backward_pair(&mut g) {}
+    while fuse_one_conv_relu(&mut g) {}
+    dce(&mut g);
+    while collapse_one_accumulation(&mut g) {}
+    dce(&mut g);
+    g
+}
+
+/// Removes nodes whose outputs can never reach a graph output. `Input`
+/// nodes are always kept so the plan's input arity stays stable.
+fn dce(g: &mut Graph) {
+    let mut live = vec![false; g.values.len()];
+    for (_, v) in &g.outputs {
+        live[v.index()] = true;
+    }
+    let mut keep = vec![false; g.nodes.len()];
+    for (i, node) in g.nodes.iter().enumerate().rev() {
+        let needed =
+            matches!(node.op, OpKind::Input { .. }) || node.outputs.iter().any(|v| live[v.index()]);
+        if needed {
+            keep[i] = true;
+            for v in &node.inputs {
+                live[v.index()] = true;
+            }
+        }
+    }
+    let mut idx = 0;
+    g.nodes.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// Per-value producer node index.
+fn producers(g: &Graph) -> Vec<Option<usize>> {
+    let mut p = vec![None; g.values.len()];
+    for (i, node) in g.nodes.iter().enumerate() {
+        for v in &node.outputs {
+            p[v.index()] = Some(i);
+        }
+    }
+    p
+}
+
+/// Per-value list of consuming node indices (one entry per read).
+fn consumers(g: &Graph) -> Vec<Vec<usize>> {
+    let mut c = vec![Vec::new(); g.values.len()];
+    for (i, node) in g.nodes.iter().enumerate() {
+        for v in &node.inputs {
+            c[v.index()].push(i);
+        }
+    }
+    c
+}
+
+fn is_output(g: &Graph, v: ValueId) -> bool {
+    g.outputs.iter().any(|(_, o)| *o == v)
+}
+
+/// Finds and rewrites one backward weight+input pair:
+///
+/// ```text
+/// act = relu(pre)
+/// m'  = per_sample_grad_w(act, up, m)     # node i
+/// gin = conv2d_bwd_input(w, up)           # node j
+/// gin' = relu_mask(gin, pre)              # node k
+/// ```
+///
+/// becomes `(m', gin') = fused_conv_bwd(pre, up, w, m)` at position `i`,
+/// keeping the original output [`ValueId`]s so no other node moves.
+fn fuse_one_backward_pair(g: &mut Graph) -> bool {
+    let prod = producers(g);
+    let cons = consumers(g);
+    for i in 0..g.nodes.len() {
+        let (spec, c_out, row_stride, offset) = match g.nodes[i].op {
+            OpKind::PerSampleGradW {
+                spec,
+                c_out,
+                row_stride,
+                offset,
+            } => (spec, c_out, row_stride, offset),
+            _ => continue,
+        };
+        let (act, up, m) = (
+            g.nodes[i].inputs[0],
+            g.nodes[i].inputs[1],
+            g.nodes[i].inputs[2],
+        );
+        let m2 = g.nodes[i].outputs[0];
+        // The activation must come from a ReLU so the fused kernel can
+        // rebuild it from the pre-activation during the im2col gather.
+        let pre = match prod[act.index()].map(|r| &g.nodes[r]) {
+            Some(relu) if matches!(relu.op, OpKind::Relu) => relu.inputs[0],
+            _ => continue,
+        };
+        // Find the matching input-gradient node feeding a mask on `pre`.
+        let mut found = None;
+        for j in (i + 1)..g.nodes.len() {
+            let spec_j = match g.nodes[j].op {
+                OpKind::Conv2dBackwardInput { spec } => spec,
+                _ => continue,
+            };
+            if spec_j != spec || g.nodes[j].inputs[1] != up {
+                continue;
+            }
+            let gin = g.nodes[j].outputs[0];
+            if is_output(g, gin) {
+                continue;
+            }
+            let gin_cons = &cons[gin.index()];
+            if gin_cons.len() != 1 {
+                continue;
+            }
+            let k = gin_cons[0];
+            let mask = &g.nodes[k];
+            if !matches!(mask.op, OpKind::ReluMask) || mask.inputs[1] != pre {
+                continue;
+            }
+            found = Some((j, k));
+            break;
+        }
+        let Some((j, k)) = found else { continue };
+        let w = g.nodes[j].inputs[0];
+        let gin2 = g.nodes[k].outputs[0];
+        // `w` and `pre` are defined before the ReLU/grad pair, so hoisting
+        // the whole computation to position `i` preserves SSA order.
+        g.nodes[i] = Node {
+            op: OpKind::FusedConvBackward {
+                spec,
+                c_out,
+                row_stride,
+                offset,
+            },
+            inputs: vec![pre, up, w, m],
+            outputs: vec![m2, gin2],
+        };
+        // Remove k first: k > j > i.
+        g.nodes.remove(k);
+        g.nodes.remove(j);
+        return true;
+    }
+    false
+}
+
+/// Finds and rewrites one `conv2d(relu(pre), w)` whose activation has no
+/// other reader into `fused_conv_relu(pre, w)`.
+fn fuse_one_conv_relu(g: &mut Graph) -> bool {
+    let prod = producers(g);
+    let cons = consumers(g);
+    for i in 0..g.nodes.len() {
+        let spec = match g.nodes[i].op {
+            OpKind::Conv2d { spec } => spec,
+            _ => continue,
+        };
+        let (act, w) = (g.nodes[i].inputs[0], g.nodes[i].inputs[1]);
+        if cons[act.index()].len() != 1 || is_output(g, act) {
+            continue;
+        }
+        let pre = match prod[act.index()].map(|r| &g.nodes[r]) {
+            Some(relu) if matches!(relu.op, OpKind::Relu) => relu.inputs[0],
+            _ => continue,
+        };
+        g.nodes[i].op = OpKind::FusedConvRelu { spec };
+        g.nodes[i].inputs = vec![pre, w];
+        return true;
+    }
+    false
+}
+
+/// Finds and rewrites one zero-fill + sole-contribution accumulation:
+/// `acc1 = axpy(fill(0), x, alpha)` becomes `x` itself (alias, when `x` is
+/// an owned value with no later reader) or `copy_scaled(x, alpha)`.
+fn collapse_one_accumulation(g: &mut Graph) -> bool {
+    let prod = producers(g);
+    let cons = consumers(g);
+    for a in 0..g.nodes.len() {
+        let alpha = match g.nodes[a].op {
+            OpKind::Axpy { alpha } => alpha,
+            _ => continue,
+        };
+        let (acc0, x) = (g.nodes[a].inputs[0], g.nodes[a].inputs[1]);
+        let acc1 = g.nodes[a].outputs[0];
+        let f = match prod[acc0.index()] {
+            Some(f) if matches!(g.nodes[f].op, OpKind::Fill { value } if value == 0.0) => f,
+            _ => continue,
+        };
+        let x_producer = prod[x.index()];
+        let x_owned = x_producer
+            .map(|p| !matches!(g.nodes[p].op, OpKind::Input { .. }))
+            .unwrap_or(false);
+        let x_dead_after = cons[x.index()].iter().all(|&c| c <= a) && !is_output(g, x);
+        if alpha == 1.0 && x_owned && x_dead_after {
+            // Alias: acc1 IS x. Later consumers (including in-place axpys)
+            // take over x's buffer directly.
+            for node in g.nodes.iter_mut() {
+                for v in node.inputs.iter_mut() {
+                    if *v == acc1 {
+                        *v = x;
+                    }
+                }
+            }
+            for (_, v) in g.outputs.iter_mut() {
+                if *v == acc1 {
+                    *v = x;
+                }
+            }
+            g.nodes.remove(a.max(f));
+            g.nodes.remove(a.min(f));
+        } else {
+            g.nodes[a] = Node {
+                op: OpKind::CopyScaled { alpha },
+                inputs: vec![x],
+                outputs: vec![acc1],
+            };
+            g.nodes.remove(f);
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_tensor::{Conv2dSpec, Shape};
+
+    /// Forward: stem conv, one relu+conv edge, accumulation, pooling head.
+    fn forward_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", Shape::nchw(2, 3, 8, 8));
+        let sw = g.input("stem_w", Shape::nchw(4, 3, 3, 3));
+        let ew = g.input("edge_w", Shape::nchw(4, 4, 3, 3));
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let stem = g.conv2d(x, sw, spec);
+        let act = g.relu(stem);
+        let c = g.conv2d(act, ew, spec);
+        let acc = g.fill(0.0, Shape::nchw(2, 4, 8, 8));
+        let acc = g.axpy(acc, c, 1.0);
+        let feat = g.global_avg_pool(acc);
+        g.mark_output("features", feat);
+        // A dead side computation DCE must remove.
+        let dead = g.relu(stem);
+        let _ = g.global_avg_pool(dead);
+        g
+    }
+
+    #[test]
+    fn optimize_fuses_conv_relu_and_kills_dead_code() {
+        let g = forward_graph();
+        let fused = optimize(&g);
+        assert!(fused.validate().is_ok(), "{:?}", fused.validate());
+        let ops: Vec<&str> = fused.nodes().iter().map(|n| n.op().name()).collect();
+        assert!(ops.contains(&"fused_conv_relu"), "{ops:?}");
+        assert!(!ops.contains(&"relu"), "relu must fuse away: {ops:?}");
+        // fill + axpy collapsed to an alias of the conv output.
+        assert!(!ops.contains(&"fill"), "{ops:?}");
+        assert!(!ops.contains(&"axpy"), "{ops:?}");
+        // The dead head is gone, and the fused graph is strictly smaller.
+        assert!(fused.nodes().len() < g.nodes().len());
+        assert_eq!(fused.fused_dispatch_count(), 1);
+    }
+
+    #[test]
+    fn optimize_fuses_the_backward_pair() {
+        let mut g = Graph::new();
+        let pre = g.input("pre", Shape::nchw(2, 4, 8, 8));
+        let up = g.input("up", Shape::nchw(2, 4, 8, 8));
+        let w = g.input("w", Shape::nchw(4, 4, 3, 3));
+        let matrix = g.input("m0", Shape::d2(2, 144));
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let act = g.relu(pre);
+        let m = g.per_sample_grad_w(act, up, matrix, 4, spec, 72, 0);
+        let gin = g.conv2d_backward_input(w, up, Shape::nchw(2, 4, 8, 8), spec);
+        let gin = g.relu_mask(gin, pre);
+        g.mark_output("matrix", m);
+        g.mark_output("grad_in", gin);
+        let fused = optimize(&g);
+        assert!(fused.validate().is_ok(), "{:?}", fused.validate());
+        let ops: Vec<&str> = fused.nodes().iter().map(|n| n.op().name()).collect();
+        assert!(ops.contains(&"fused_conv_bwd"), "{ops:?}");
+        assert!(!ops.contains(&"per_sample_grad_w"), "{ops:?}");
+        assert!(!ops.contains(&"conv2d_bwd_input"), "{ops:?}");
+        assert!(!ops.contains(&"relu_mask"), "{ops:?}");
+        assert!(!ops.contains(&"relu"), "{ops:?}");
+    }
+
+    #[test]
+    fn skip_connect_contribution_becomes_copy_not_alias() {
+        // x feeds both the accumulator and a later read: aliasing would let
+        // an in-place consumer clobber the other reader, so the collapse
+        // must fall back to a copy.
+        let mut g = Graph::new();
+        let x = g.input("x", Shape::d2(2, 2));
+        let c = g.relu(x);
+        let acc = g.fill(0.0, Shape::d2(2, 2));
+        let acc = g.axpy(acc, c, 1.0);
+        let later = g.relu(c);
+        g.mark_output("acc", acc);
+        g.mark_output("later", later);
+        let fused = optimize(&g);
+        assert!(fused.validate().is_ok(), "{:?}", fused.validate());
+        let ops: Vec<&str> = fused.nodes().iter().map(|n| n.op().name()).collect();
+        assert!(ops.contains(&"copy_scaled"), "{ops:?}");
+        assert!(!ops.contains(&"fill"), "{ops:?}");
+    }
+}

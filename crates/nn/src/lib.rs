@@ -42,6 +42,7 @@ mod error;
 mod gradient;
 mod layers;
 mod network;
+mod plan;
 
 pub use config::ProxyNetworkConfig;
 pub use error::NnError;

@@ -4,6 +4,7 @@ use crate::{
     ConvLayer, LinearLayer, NnError, ParameterGradients, PerSampleGradients, ProxyNetworkConfig,
     Result,
 };
+use micronas_graph::Compiler;
 use micronas_searchspace::{CellTopology, EdgeId, Operation, NUM_EDGES, NUM_NODES};
 use micronas_tensor::{
     avg_pool2d, global_avg_pool, global_avg_pool_backward, hash_mix,
@@ -26,8 +27,8 @@ pub struct ForwardOutput {
 /// One stacked instance of the searched cell: a convolution layer for every
 /// parameterised edge.
 #[derive(Debug, Clone)]
-struct CellInstance {
-    edge_convs: Vec<Option<ConvLayer>>,
+pub(crate) struct CellInstance {
+    pub(crate) edge_convs: Vec<Option<ConvLayer>>,
 }
 
 /// Intermediate tensors of a forward pass, retained for backpropagation.
@@ -66,12 +67,16 @@ struct ForwardTrace {
 /// tiny `global_avg_pool` reduction is shared by all backends.
 #[derive(Debug, Clone)]
 pub struct CellNetwork {
-    cell: CellTopology,
-    config: ProxyNetworkConfig,
-    stem: ConvLayer,
-    cells: Vec<CellInstance>,
-    classifier: LinearLayer,
+    pub(crate) cell: CellTopology,
+    pub(crate) config: ProxyNetworkConfig,
+    pub(crate) stem: ConvLayer,
+    pub(crate) cells: Vec<CellInstance>,
+    pub(crate) classifier: LinearLayer,
     backend: Arc<dyn KernelBackend>,
+    /// When set, `forward_with` and the batched per-sample gradient path
+    /// execute through a compiled kernel-graph plan instead of the eager
+    /// kernel sequence. `None` (the default) is the eager path.
+    compiler: Option<Arc<dyn Compiler>>,
 }
 
 impl CellNetwork {
@@ -153,7 +158,41 @@ impl CellNetwork {
             cells,
             classifier,
             backend,
+            compiler: None,
         })
+    }
+
+    /// Routes the forward and batched per-sample gradient passes through a
+    /// compiled kernel-graph plan built by `compiler` (the weights and the
+    /// execution backend are unchanged — only the execution strategy is).
+    /// Plans are cached per `(topology, geometry, batch, compiler)` across
+    /// the process, so repeated evaluations compile once.
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: Arc<dyn Compiler>) -> Self {
+        self.compiler = Some(compiler);
+        self
+    }
+
+    /// The graph compiler this network executes through, if any (`None`
+    /// means the eager kernel path).
+    pub fn compiler(&self) -> Option<&Arc<dyn Compiler>> {
+        self.compiler.as_ref()
+    }
+
+    /// Lowers this network's forward pass at batch size `n` to a kernel
+    /// graph (the IR the graph pipeline compiles; see
+    /// [`CellNetwork::with_compiler`]). With `collect_pre` set, the graph
+    /// additionally exposes the pre-ReLU conv inputs as `pre{i}` outputs,
+    /// as the linear-region proxy consumes them. Useful for inspection and
+    /// debug dumps ([`micronas_graph::Graph::to_dot`]).
+    pub fn lower_forward(&self, n: usize, collect_pre: bool) -> micronas_graph::Graph {
+        crate::plan::lower(self, n, crate::plan::PlanMode::Forward { collect_pre })
+    }
+
+    /// Lowers this network's batched per-sample gradient sweep at batch
+    /// size `n` to a kernel graph producing the `[n, P]` `matrix` output.
+    pub fn lower_per_sample_grad(&self, n: usize) -> micronas_graph::Graph {
+        crate::plan::lower(self, n, crate::plan::PlanMode::PerSampleGrad)
     }
 
     /// The searched cell this network instantiates.
@@ -306,6 +345,10 @@ impl CellNetwork {
     /// Returns [`NnError::InputMismatch`] if the input geometry does not
     /// match the configuration.
     pub fn forward_with(&self, input: &Tensor, workspace: &mut Workspace) -> Result<ForwardOutput> {
+        if let Some(compiler) = &self.compiler {
+            self.check_input(input)?;
+            return crate::plan::forward_graph(self, input, workspace, compiler);
+        }
         let (trace, pre_activations) = self.forward_trace(input, workspace, true)?;
         let logits = trace.logits.clone();
         recycle_trace(trace, workspace);
@@ -399,6 +442,10 @@ impl CellNetwork {
         batch: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<PerSampleGradients> {
+        if let Some(compiler) = &self.compiler {
+            self.check_input(batch)?;
+            return crate::plan::per_sample_gradient_matrix_graph(self, batch, workspace, compiler);
+        }
         let (trace, _) = self.forward_trace(batch, workspace, false)?;
         let n = batch.shape().dims()[0];
         let p = self.num_parameters();
@@ -502,7 +549,7 @@ impl CellNetwork {
     /// order (stem, cells in order with edges in canonical order,
     /// classifier). Non-conv edges get `usize::MAX`. Returns the table and
     /// the classifier offset.
-    fn edge_parameter_offsets(&self) -> (Vec<[usize; NUM_EDGES]>, usize) {
+    pub(crate) fn edge_parameter_offsets(&self) -> (Vec<[usize; NUM_EDGES]>, usize) {
         let mut offset = self.stem.num_parameters();
         let mut table = Vec::with_capacity(self.cells.len());
         for cell in &self.cells {
@@ -857,6 +904,21 @@ impl CellNetworkPack {
         Ok(Self { networks })
     }
 
+    /// Routes every member's graph-capable entry points through `compiler`
+    /// (see [`CellNetwork::with_compiler`]). Under a compiler the pack
+    /// evaluates its members through their solo compiled plans — the packed
+    /// eager fast path is definitionally bitwise-equal to solo evaluation,
+    /// so the pack contract is unchanged.
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: Arc<dyn Compiler>) -> Self {
+        self.networks = self
+            .networks
+            .into_iter()
+            .map(|n| n.with_compiler(Arc::clone(&compiler)))
+            .collect();
+        self
+    }
+
     /// The pack members, in construction order.
     pub fn networks(&self) -> &[CellNetwork] {
         &self.networks
@@ -1036,6 +1098,13 @@ impl CellNetworkPack {
         input: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<Vec<ForwardOutput>> {
+        if self.networks.first().is_some_and(|n| n.compiler.is_some()) {
+            return self
+                .networks
+                .iter()
+                .map(|net| net.forward_with(input, workspace))
+                .collect();
+        }
         let traces = self.forward_pack_traces(input, workspace, true)?;
         let mut out = Vec::with_capacity(traces.len());
         for (trace, pre_activations) in traces {
@@ -1064,6 +1133,13 @@ impl CellNetworkPack {
         batch: &Tensor,
         workspace: &mut Workspace,
     ) -> Result<Vec<PerSampleGradients>> {
+        if self.networks.first().is_some_and(|n| n.compiler.is_some()) {
+            return self
+                .networks
+                .iter()
+                .map(|net| net.per_sample_gradient_matrix_with(batch, workspace))
+                .collect();
+        }
         let traces = self.forward_pack_traces(batch, workspace, false)?;
         let n = batch.shape().dims()[0];
         let mut out = Vec::with_capacity(traces.len());
@@ -1156,6 +1232,64 @@ mod tests {
         cell = cell.with_op(EdgeId(5), Operation::NorConv3x3).unwrap();
         cell = cell.with_op(EdgeId(3), Operation::SkipConnect).unwrap();
         cell
+    }
+
+    #[test]
+    fn graph_interpreter_matches_eager_bitwise() {
+        let _guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 42).unwrap();
+        let gnet = net
+            .clone()
+            .with_compiler(micronas_graph::CompilerKind::Interpreter.instantiate());
+        let batch = random_batch(&config, 3, 7);
+        let mut ws = Workspace::default();
+
+        let eager = net.forward_with(&batch, &mut ws).unwrap();
+        let graph = gnet.forward_with(&batch, &mut ws).unwrap();
+        assert_eq!(eager.logits.data(), graph.logits.data());
+        assert_eq!(eager.pre_activations.len(), graph.pre_activations.len());
+        for (a, b) in eager.pre_activations.iter().zip(&graph.pre_activations) {
+            assert_eq!(a.data(), b.data());
+        }
+
+        let me = net
+            .per_sample_gradient_matrix_with(&batch, &mut ws)
+            .unwrap();
+        let mg = gnet
+            .per_sample_gradient_matrix_with(&batch, &mut ws)
+            .unwrap();
+        assert_eq!(me.values(), mg.values());
+    }
+
+    #[test]
+    fn graph_fusing_matches_eager_within_tolerance() {
+        let _guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cell = conv_chain_cell();
+        let config = ProxyNetworkConfig::tiny(10);
+        let net = CellNetwork::new(&cell, &config, 42).unwrap();
+        let gnet = net
+            .clone()
+            .with_compiler(micronas_graph::CompilerKind::Fusing.instantiate());
+        let batch = random_batch(&config, 3, 7);
+        let mut ws = Workspace::default();
+
+        let eager = net.forward_with(&batch, &mut ws).unwrap();
+        let graph = gnet.forward_with(&batch, &mut ws).unwrap();
+        for (a, b) in eager.logits.data().iter().zip(graph.logits.data()) {
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+
+        let me = net
+            .per_sample_gradient_matrix_with(&batch, &mut ws)
+            .unwrap();
+        let mg = gnet
+            .per_sample_gradient_matrix_with(&batch, &mut ws)
+            .unwrap();
+        for (a, b) in me.values().iter().zip(mg.values()) {
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
     }
 
     #[test]

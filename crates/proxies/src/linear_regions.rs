@@ -99,6 +99,7 @@ impl LinearRegionReport {
 pub struct LinearRegionEvaluator {
     config: LinearRegionConfig,
     backend: Arc<dyn KernelBackend>,
+    compiler: Option<Arc<dyn micronas_graph::Compiler>>,
 }
 
 impl LinearRegionEvaluator {
@@ -108,6 +109,7 @@ impl LinearRegionEvaluator {
         Self {
             config,
             backend: paper_default_backend(),
+            compiler: None,
         }
     }
 
@@ -123,6 +125,19 @@ impl LinearRegionEvaluator {
     /// The execution backend in force.
     pub fn backend(&self) -> &Arc<dyn KernelBackend> {
         &self.backend
+    }
+
+    /// Returns a copy routing the probe forward passes through a compiled
+    /// kernel-graph plan ([`micronas_nn::CellNetwork::with_compiler`]).
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: Arc<dyn micronas_graph::Compiler>) -> Self {
+        self.compiler = Some(compiler);
+        self
+    }
+
+    /// The graph compiler in force, if any (`None` means eager execution).
+    pub fn compiler(&self) -> Option<&Arc<dyn micronas_graph::Compiler>> {
+        self.compiler.as_ref()
     }
 
     /// The evaluator's configuration.
@@ -169,7 +184,10 @@ impl LinearRegionEvaluator {
         self.config.validate()?;
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
-        let net = CellNetwork::with_backend(&cell, &net_config, seed, self.backend.clone())?;
+        let mut net = CellNetwork::with_backend(&cell, &net_config, seed, self.backend.clone())?;
+        if let Some(compiler) = &self.compiler {
+            net = net.with_compiler(Arc::clone(compiler));
+        }
         let data = SyntheticDataset::new(dataset, seed);
 
         let mut acc = RegionAccumulator::default();
@@ -210,7 +228,11 @@ impl LinearRegionEvaluator {
         let _span = micronas_telemetry::span!("proxy.linear_regions.pack");
         let mut net_config = self.config.network;
         net_config.num_classes = dataset.num_classes().min(16);
-        let pack = CellNetworkPack::with_backend(cells, &net_config, seed, self.backend.clone())?;
+        let mut pack =
+            CellNetworkPack::with_backend(cells, &net_config, seed, self.backend.clone())?;
+        if let Some(compiler) = &self.compiler {
+            pack = pack.with_compiler(Arc::clone(compiler));
+        }
         let data = SyntheticDataset::new(dataset, seed);
 
         let mut accs: Vec<RegionAccumulator> =

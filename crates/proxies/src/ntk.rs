@@ -2,6 +2,7 @@
 
 use crate::{ProxyError, Result};
 use micronas_datasets::{DatasetKind, SyntheticDataset};
+use micronas_graph::Compiler;
 use micronas_nn::{CellNetwork, CellNetworkPack, PerSampleGradients, ProxyNetworkConfig};
 use micronas_searchspace::CellTopology;
 use micronas_tensor::{
@@ -162,6 +163,7 @@ pub struct NtkEvaluator {
     config: NtkConfig,
     gradient_path: GradientPath,
     backend: Arc<dyn KernelBackend>,
+    compiler: Option<Arc<dyn Compiler>>,
 }
 
 impl NtkEvaluator {
@@ -172,6 +174,7 @@ impl NtkEvaluator {
             config,
             gradient_path: GradientPath::default(),
             backend: paper_default_backend(),
+            compiler: None,
         }
     }
 
@@ -195,6 +198,21 @@ impl NtkEvaluator {
     /// The execution backend in force.
     pub fn backend(&self) -> &Arc<dyn KernelBackend> {
         &self.backend
+    }
+
+    /// Returns a copy routing the batched gradient sweep through a compiled
+    /// kernel-graph plan ([`micronas_nn::CellNetwork::with_compiler`]). The
+    /// looped reference path ignores the compiler (it exists precisely to
+    /// stay the eager oracle).
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: Arc<dyn Compiler>) -> Self {
+        self.compiler = Some(compiler);
+        self
+    }
+
+    /// The graph compiler in force, if any (`None` means eager execution).
+    pub fn compiler(&self) -> Option<&Arc<dyn Compiler>> {
+        self.compiler.as_ref()
     }
 
     /// The gradient formulation in force.
@@ -269,8 +287,11 @@ impl NtkEvaluator {
                 net_config.input_resolution,
                 repeat as u64,
             )?;
-            let net =
+            let mut net =
                 CellNetwork::with_backend(&cell, &net_config, repeat_seed, self.backend.clone())?;
+            if let Some(compiler) = &self.compiler {
+                net = net.with_compiler(Arc::clone(compiler));
+            }
             let gram = self.gram_matrix(&net, &batch.images, workspace)?;
             acc.absorb(repeat, &gram)?;
         }
@@ -330,12 +351,15 @@ impl NtkEvaluator {
                 net_config.input_resolution,
                 repeat as u64,
             )?;
-            let pack = CellNetworkPack::with_backend(
+            let mut pack = CellNetworkPack::with_backend(
                 cells,
                 &net_config,
                 repeat_seed,
                 self.backend.clone(),
             )?;
+            if let Some(compiler) = &self.compiler {
+                pack = pack.with_compiler(Arc::clone(compiler));
+            }
             let n = batch.images.shape().dims()[0];
             let matrices = pack.per_sample_gradient_matrices_with(&batch.images, workspace)?;
             for (acc, j) in accs.iter_mut().zip(matrices) {

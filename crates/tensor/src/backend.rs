@@ -1056,15 +1056,33 @@ impl KernelBackendKind {
         }
     }
 
+    /// All shipped kinds, in id order.
+    pub fn all() -> [KernelBackendKind; 4] {
+        [
+            KernelBackendKind::Direct,
+            KernelBackendKind::BlockedGemm,
+            KernelBackendKind::Simd,
+            KernelBackendKind::Int8Mcu,
+        ]
+    }
+
     /// Parses a stable string id back into a kind.
     pub fn from_id(id: &str) -> Option<Self> {
-        match id {
-            "direct" => Some(KernelBackendKind::Direct),
-            "blocked_gemm" => Some(KernelBackendKind::BlockedGemm),
-            "simd" => Some(KernelBackendKind::Simd),
-            "int8_mcu" => Some(KernelBackendKind::Int8Mcu),
-            _ => None,
-        }
+        Self::all().into_iter().find(|k| k.id() == id)
+    }
+
+    /// Parses a stable string id, listing the valid ids on failure —
+    /// `from_id` for surfaces (CLIs, configuration files) where a bare
+    /// "unknown backend" leaves the user guessing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming every shipped backend id.
+    pub fn parse(id: &str) -> std::result::Result<Self, String> {
+        Self::from_id(id).ok_or_else(|| {
+            let valid: Vec<&str> = Self::all().iter().map(|k| k.id()).collect();
+            format!("unknown backend id {id:?}; valid ids: {}", valid.join(", "))
+        })
     }
 
     /// Whether this kind's results are bitwise-identical to the
@@ -1136,6 +1154,18 @@ mod tests {
             assert_eq!(kind.instantiate().id(), kind.id());
         }
         assert_eq!(KernelBackendKind::from_id("gpu"), None);
+    }
+
+    #[test]
+    fn parse_error_lists_every_valid_id() {
+        let err = KernelBackendKind::parse("gpu").unwrap_err();
+        assert!(err.contains("unknown backend id \"gpu\""), "{err}");
+        for kind in KernelBackendKind::all() {
+            assert!(err.contains(kind.id()), "{err} missing {}", kind.id());
+        }
+        for kind in KernelBackendKind::all() {
+            assert_eq!(KernelBackendKind::parse(kind.id()), Ok(kind));
+        }
     }
 
     #[test]

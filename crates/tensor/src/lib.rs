@@ -55,6 +55,7 @@
 mod backend;
 mod conv;
 mod error;
+pub mod fused;
 mod init;
 mod int8;
 mod linalg;

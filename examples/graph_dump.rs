@@ -1,0 +1,73 @@
+//! Renders the kernel graphs the graph pipeline compiles as Graphviz DOT.
+//!
+//! ```bash
+//! cargo run --release --example graph_dump
+//! dot -Tsvg target/graph-dump/bench_cell_forward_fused.dot -o forward.svg
+//! ```
+//!
+//! For the sparse bench cell (#7000 — conv, skip and dead edges) and the
+//! all-conv3×3 cell, both at the paper-default proxy geometry, the example
+//! lowers the forward pass and the batched per-sample gradient sweep to the
+//! kernel-graph IR and writes four DOT files per cell: the unfused graph
+//! (what the bitwise interpreter executes — the eager schedule, node by
+//! node) and the fused graph (what the fusing compiler actually runs after
+//! dead-code elimination, conv→ReLU fusion and backward-pair fusion), for
+//! each of the two entry points. Diffing the pairs shows exactly which
+//! dispatches fusion removed — e.g. the dead logits subgraph of the
+//! gradient sweep, or a dead edge's whole conv chain.
+
+use micronas_suite::graph::optimize;
+use micronas_suite::nn::{CellNetwork, ProxyNetworkConfig};
+use micronas_suite::searchspace::{CellTopology, Operation, SearchSpace};
+use std::fs;
+use std::path::Path;
+
+/// Probe batch size used for the dumps (the paper's NTK batch is 32; the
+/// graph's structure is identical at any batch, so a small one keeps the
+/// shape annotations readable).
+const BATCH: usize = 8;
+
+fn dump(dir: &Path, label: &str, cell: CellTopology) -> Result<(), Box<dyn std::error::Error>> {
+    // Paper-default proxy geometry: 16×16 inputs, 8 channels, two cells.
+    let config = ProxyNetworkConfig::proxy_default(10);
+    let net = CellNetwork::new(&cell, &config, 0)?;
+
+    let forward = net.lower_forward(BATCH, true);
+    let backward = net.lower_per_sample_grad(BATCH);
+    for (entry, graph) in [("forward", &forward), ("backward", &backward)] {
+        let fused = optimize(graph);
+        let unfused_path = dir.join(format!("{label}_{entry}.dot"));
+        let fused_path = dir.join(format!("{label}_{entry}_fused.dot"));
+        fs::write(&unfused_path, graph.to_dot(&format!("{label} {entry}")))?;
+        fs::write(
+            &fused_path,
+            fused.to_dot(&format!("{label} {entry} (fused)")),
+        )?;
+        println!(
+            "{label:>12} {entry:>8}: {:>3} ops -> {:>3} fused   ({} / {})",
+            graph.nodes().len(),
+            fused.nodes().len(),
+            unfused_path.display(),
+            fused_path.display(),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("target/graph-dump");
+    fs::create_dir_all(dir)?;
+
+    let space = SearchSpace::nas_bench_201();
+    // The sparse bench cell the perf work pins (#7000) and the
+    // kernel-dominated all-conv3×3 cell.
+    dump(dir, "bench_cell", space.cell(7_000).expect("valid index"))?;
+    dump(
+        dir,
+        "conv_cell",
+        CellTopology::new([Operation::NorConv3x3; 6]),
+    )?;
+
+    println!("\nRender with: dot -Tsvg <file>.dot -o <file>.svg");
+    Ok(())
+}
