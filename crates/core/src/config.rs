@@ -34,6 +34,13 @@ pub struct MicroNasConfig {
     /// (e.g. [`CompilerKind::Fusing`]) folds into the namespace like a
     /// divergent backend.
     pub compiler: Option<CompilerKind>,
+    /// Distributed evaluation fabric this worker joins: peer addresses and
+    /// transport tuning (`None` = standalone). The fabric only changes
+    /// *where* warm records come from, never what is computed, so it does
+    /// **not** fold into [`MicroNasConfig::store_namespace`] — instead the
+    /// namespace is what the fabric handshake checks, refusing peers whose
+    /// evaluation configuration diverges.
+    pub fabric: Option<micronas_fabric::FabricConfig>,
 }
 
 impl MicroNasConfig {
@@ -49,6 +56,7 @@ impl MicroNasConfig {
             seed: 0,
             backend: KernelBackendKind::BlockedGemm,
             compiler: None,
+            fabric: None,
         }
     }
 
@@ -66,6 +74,7 @@ impl MicroNasConfig {
             seed: 0,
             backend: KernelBackendKind::BlockedGemm,
             compiler: None,
+            fabric: None,
         }
     }
 
@@ -104,6 +113,7 @@ impl MicroNasConfig {
             seed: 0,
             backend: KernelBackendKind::BlockedGemm,
             compiler: None,
+            fabric: None,
         }
     }
 
@@ -425,6 +435,27 @@ mod tests {
                 .store_namespace(),
             simd_fused_ns
         );
+    }
+
+    #[test]
+    fn fabric_membership_never_moves_the_namespace() {
+        // The fabric changes where warm records come from, not what is
+        // computed — so joining (or re-sizing) a fleet must keep every
+        // worker in the same namespace, or the fleet could never share.
+        let mut cfg = MicroNasConfig::fast();
+        let standalone_ns = cfg.store_namespace();
+        cfg.fabric = Some(micronas_fabric::FabricConfig::with_peers(vec![
+            "10.0.0.1:7000".into(),
+            "10.0.0.2:7000".into(),
+        ]));
+        assert_eq!(cfg.store_namespace(), standalone_ns);
+        cfg.fabric
+            .as_mut()
+            .unwrap()
+            .peers
+            .push("10.0.0.3:7000".into());
+        cfg.fabric.as_mut().unwrap().timeout_ms = 5;
+        assert_eq!(cfg.store_namespace(), standalone_ns);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct SearchSession {
     weights: ObjectiveWeights,
     observer: Arc<dyn SearchObserver>,
     telemetry: Option<Arc<dyn micronas_telemetry::TelemetrySink>>,
+    fabric: Option<Arc<micronas_fabric::RemoteTier>>,
 }
 
 impl SearchSession {
@@ -89,6 +90,17 @@ impl SearchSession {
     pub fn run_micronas(&self) -> Result<SearchOutcome> {
         self.run(&MicroNasSearch::new(self.weights.clone()))
     }
+
+    /// The remote fabric tier this session's store reads through, when the
+    /// configuration joined one (`fabric` in [`MicroNasConfig`] or
+    /// [`SearchSessionBuilder::fabric`]). Use it to inspect remote
+    /// hit/miss/degradation counters or to [`flush`] write-behind offers at
+    /// a sweep boundary.
+    ///
+    /// [`flush`]: micronas_fabric::RemoteTier::flush
+    pub fn fabric_tier(&self) -> Option<&Arc<micronas_fabric::RemoteTier>> {
+        self.fabric.as_ref()
+    }
 }
 
 impl std::fmt::Debug for SearchSession {
@@ -113,6 +125,7 @@ pub struct SearchSessionBuilder {
     compiler: Option<micronas_graph::CompilerKind>,
     pack_width: Option<usize>,
     telemetry: Option<Arc<dyn micronas_telemetry::TelemetrySink>>,
+    fabric: Option<micronas_fabric::FabricConfig>,
 }
 
 impl SearchSessionBuilder {
@@ -209,6 +222,23 @@ impl SearchSessionBuilder {
         self
     }
 
+    /// Joins a distributed evaluation fabric (overrides the
+    /// configuration's `fabric` field): the session's store reads through
+    /// the fleet on local misses and offers fresh evaluations back
+    /// write-behind. If no store was attached explicitly, an in-memory
+    /// store for the configuration's namespace is created to carry the
+    /// fabric tier.
+    ///
+    /// The fabric never changes search results — records are
+    /// content-addressed and evaluations deterministic, so outcomes are
+    /// bitwise identical with the fabric enabled, degraded or absent; only
+    /// the hit/miss economics move.
+    #[must_use]
+    pub fn fabric(mut self, fabric: micronas_fabric::FabricConfig) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
     /// Attaches a progress observer that receives every
     /// [`crate::SearchEvent`] of searches run through the session.
     #[must_use]
@@ -249,7 +279,30 @@ impl SearchSessionBuilder {
         if let Some(compiler) = self.compiler {
             config.compiler = Some(compiler);
         }
-        let mut context = SearchContext::with_proxies(dataset, &config, self.store, self.proxies)?;
+        if let Some(fabric) = self.fabric {
+            config.fabric = Some(fabric);
+        }
+        // Joining a fabric needs a store to carry the remote tier; sessions
+        // that did not attach one get a private in-memory store for the
+        // configuration's namespace. `attach_remote` re-checks the
+        // namespace, so a store created for a different configuration is
+        // rejected here rather than serving foreign records.
+        let (store, fabric_tier) = match &config.fabric {
+            Some(fabric_config) => {
+                let namespace = config.store_namespace();
+                let store = self
+                    .store
+                    .unwrap_or_else(|| Arc::new(EvalStore::in_memory(namespace)));
+                let tier = Arc::new(micronas_fabric::RemoteTier::from_config(
+                    namespace,
+                    fabric_config,
+                ));
+                store.attach_remote(Arc::clone(&tier) as Arc<dyn micronas_store::RemoteBackend>)?;
+                (Some(store), Some(tier))
+            }
+            None => (self.store, None),
+        };
+        let mut context = SearchContext::with_proxies(dataset, &config, store, self.proxies)?;
         if let Some(width) = self.pack_width {
             context = context.with_pack_width(width);
         }
@@ -260,6 +313,7 @@ impl SearchSessionBuilder {
                 .observer
                 .unwrap_or_else(|| Arc::new(NullObserver) as Arc<dyn SearchObserver>),
             telemetry: self.telemetry,
+            fabric: fabric_tier,
         })
     }
 }
@@ -415,5 +469,64 @@ mod tests {
     fn mismatched_store_namespace_is_rejected_at_build_time() {
         let store = Arc::new(EvalStore::in_memory(1234));
         assert!(tiny_builder().store(store).build().is_err());
+    }
+
+    #[test]
+    fn fabric_sessions_share_evaluations_and_preserve_outcomes() {
+        // A one-node "fleet" on loopback: the first session computes and
+        // writes behind; a second, cold session reads everything through
+        // the fabric — bitwise-identical outcome, remote hits visible.
+        let namespace = MicroNasConfig::tiny_test().store_namespace();
+        let node =
+            micronas_fabric::FabricNode::serve(Arc::new(EvalStore::in_memory(namespace))).unwrap();
+        let fabric = micronas_fabric::FabricConfig::with_peers(vec![node.addr()]);
+
+        let baseline = tiny_builder().build().unwrap().run_micronas().unwrap();
+
+        let warm_up = tiny_builder().fabric(fabric.clone()).build().unwrap();
+        let first = warm_up.run_micronas().unwrap();
+        let tier = warm_up
+            .fabric_tier()
+            .expect("fabric session carries a tier");
+        tier.flush().unwrap();
+        assert!(tier.stats().delivered > 0, "{:?}", tier.stats());
+        assert_eq!(first.best.index(), baseline.best.index());
+        assert_eq!(first.history, baseline.history);
+
+        let cold = tiny_builder().fabric(fabric).build().unwrap();
+        let second = cold.run_micronas().unwrap();
+        assert_eq!(second.best.index(), baseline.best.index());
+        assert_eq!(second.history, baseline.history);
+        assert_eq!(second.evaluation, baseline.evaluation);
+        let stats = cold.fabric_tier().unwrap().stats();
+        assert!(stats.remote_hits > 0, "{stats:?}");
+
+        // Sessions without a fabric expose no tier.
+        assert!(tiny_builder().build().unwrap().fabric_tier().is_none());
+    }
+
+    #[test]
+    fn fabric_with_a_divergent_namespace_peer_degrades_not_corrupts() {
+        // A node serving a *different* evaluation configuration must be
+        // refused at the handshake; the session still runs, locally.
+        let foreign_ns = MicroNasConfig::fast().store_namespace();
+        let node =
+            micronas_fabric::FabricNode::serve(Arc::new(EvalStore::in_memory(foreign_ns))).unwrap();
+        let mut fabric = micronas_fabric::FabricConfig::with_peers(vec![node.addr()]);
+        fabric.retries = 0;
+        fabric.timeout_ms = 200;
+
+        let session = tiny_builder().fabric(fabric).build().unwrap();
+        let tier = session.fabric_tier().unwrap();
+        let err = tier.connect_all().unwrap_err();
+        assert!(
+            matches!(err, micronas_fabric::FabricError::HandshakeRefused { .. }),
+            "{err:?}"
+        );
+        let outcome = session.run_micronas().unwrap();
+        let baseline = tiny_builder().build().unwrap().run_micronas().unwrap();
+        assert_eq!(outcome.history, baseline.history);
+        assert_eq!(node.stats().gets, 0, "no request may cross the handshake");
+        assert!(node.stats().refused_handshakes > 0);
     }
 }

@@ -1,0 +1,231 @@
+//! The fabric client: one lazily dialed, retried connection to one node.
+//!
+//! A client owns at most one TCP connection, re-dialing transparently when
+//! the node restarts or a request fails mid-flight. Retries are bounded and
+//! backed off, and every request is validated against the expected reply
+//! shape — a node answering `Get(k)` with a record for a *different* key is
+//! a protocol violation, not data. Retrying a `Put` is always safe because
+//! the store is last-wins over identical content-addressed records.
+//!
+//! Permanent failures ([`FabricError::retryable`] = false, i.e. a namespace
+//! refusal or protocol-version mismatch) are surfaced immediately: no retry
+//! can ever fix a peer that serves a different evaluation configuration.
+
+use crate::wire::{self, Message, MAX_BATCH};
+use crate::FabricError;
+use micronas_store::{EvalKey, EvalRecord};
+use parking_lot::Mutex;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Tuning knobs for [`FabricClient`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Socket deadline applied to connect, reads and writes.
+    pub timeout: Duration,
+    /// Retries after the first attempt (total attempts = `retries + 1`).
+    pub retries: u32,
+    /// Base backoff between attempts; attempt `n` sleeps `backoff * n`.
+    pub backoff: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            timeout: Duration::from_secs(1),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A client for one fabric node.
+#[derive(Debug)]
+pub struct FabricClient {
+    addr: String,
+    namespace: u64,
+    options: ClientOptions,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl FabricClient {
+    /// Creates a client for the node at `addr` (dialed lazily on first
+    /// request), announcing `namespace` in its handshake.
+    pub fn new(addr: impl Into<String>, namespace: u64, options: ClientOptions) -> FabricClient {
+        FabricClient {
+            addr: addr.into(),
+            namespace,
+            options,
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// The `host:port` this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Dials and handshakes eagerly, so namespace mismatches surface at
+    /// setup time instead of on the first lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::HandshakeRefused`] when the node serves a different
+    /// namespace; transport errors otherwise.
+    pub fn connect(&self) -> Result<(), FabricError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        Ok(())
+    }
+
+    fn dial(&self) -> Result<TcpStream, FabricError> {
+        let addr = self
+            .addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|_| FabricError::Protocol("unparseable fabric peer address"))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.options.timeout)?;
+        stream.set_read_timeout(Some(self.options.timeout))?;
+        stream.set_write_timeout(Some(self.options.timeout))?;
+        stream.set_nodelay(true)?;
+        wire::send(
+            &mut stream,
+            &Message::Hello {
+                namespace: self.namespace,
+            },
+        )?;
+        match wire::recv(&mut stream)? {
+            Message::HelloAck { namespace } if namespace == self.namespace => Ok(stream),
+            Message::HelloAck { .. } => {
+                Err(FabricError::Protocol("HelloAck echoed a foreign namespace"))
+            }
+            Message::Refused { expected, .. } => Err(FabricError::HandshakeRefused {
+                ours: self.namespace,
+                theirs: expected,
+            }),
+            _ => Err(FabricError::Protocol("expected HelloAck or Refused")),
+        }
+    }
+
+    /// One request/reply exchange with bounded retry. The connection is
+    /// dropped after any failure so the next attempt starts clean.
+    fn request(&self, message: &Message) -> Result<Message, FabricError> {
+        let mut last = None;
+        for attempt in 0..=self.options.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.options.backoff * attempt);
+            }
+            match self.request_once(message) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if !e.retryable() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn request_once(&self, message: &Message) -> Result<Message, FabricError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        let stream = guard.as_mut().expect("connection dialed above");
+        let result = wire::send(stream, message).and_then(|()| wire::recv(stream));
+        if result.is_err() {
+            *guard = None;
+        }
+        result
+    }
+
+    /// Round-trips a liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries are exhausted.
+    pub fn ping(&self) -> Result<(), FabricError> {
+        match self.request(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            _ => Err(FabricError::Protocol("expected Pong")),
+        }
+    }
+
+    /// Looks `key` up on the node.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries are exhausted;
+    /// [`FabricError::Protocol`] when the node answers for a different key.
+    pub fn get(&self, key: &EvalKey) -> Result<Option<EvalRecord>, FabricError> {
+        match self.request(&Message::Get(*key))? {
+            Message::Found(found_key, record) if found_key == *key => Ok(Some(record)),
+            Message::Found(..) => Err(FabricError::Protocol("Found answered a different key")),
+            Message::NotFound => Ok(None),
+            _ => Err(FabricError::Protocol("expected Found or NotFound")),
+        }
+    }
+
+    /// Writes one record to the node; returns whether it was new there.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries are exhausted.
+    pub fn put(&self, key: EvalKey, record: EvalRecord) -> Result<bool, FabricError> {
+        match self.request(&Message::Put(key, record))? {
+            Message::PutAck { fresh } => Ok(fresh),
+            _ => Err(FabricError::Protocol("expected PutAck")),
+        }
+    }
+
+    /// Looks up many keys in one round trip. The reply is positionally
+    /// aligned with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries are exhausted;
+    /// [`FabricError::Protocol`] on a misaligned or mis-keyed reply.
+    pub fn batch_get(&self, keys: &[EvalKey]) -> Result<Vec<Option<EvalRecord>>, FabricError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if keys.len() > MAX_BATCH {
+            return Err(FabricError::Malformed("batch larger than MAX_BATCH"));
+        }
+        match self.request(&Message::BatchGet(keys.to_vec()))? {
+            Message::BatchFound(slots) if slots.len() == keys.len() => slots
+                .into_iter()
+                .zip(keys)
+                .map(|(slot, want)| match slot {
+                    Some((key, record)) if key == *want => Ok(Some(record)),
+                    Some(_) => Err(FabricError::Protocol(
+                        "BatchFound slot answered a different key",
+                    )),
+                    None => Ok(None),
+                })
+                .collect(),
+            Message::BatchFound(_) => Err(FabricError::Protocol(
+                "BatchFound length mismatches the request",
+            )),
+            _ => Err(FabricError::Protocol("expected BatchFound")),
+        }
+    }
+
+    /// Writes many records in one round trip; returns how many were new on
+    /// the node.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries are exhausted.
+    pub fn batch_put(&self, entries: Vec<(EvalKey, EvalRecord)>) -> Result<u32, FabricError> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        if entries.len() > MAX_BATCH {
+            return Err(FabricError::Malformed("batch larger than MAX_BATCH"));
+        }
+        match self.request(&Message::BatchPut(entries))? {
+            Message::BatchPutAck { fresh } => Ok(fresh),
+            _ => Err(FabricError::Protocol("expected BatchPutAck")),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Scheduled compaction for fabric node logs.
+//!
+//! Long-lived fabric nodes accumulate superseded records in their
+//! append-only logs. [`CompactionDaemon`] periodically drives the store's
+//! offline [`EvalStore::compact_path`](micronas_store::EvalStore::compact_path)
+//! over a set of log paths. Compaction takes the log's advisory writer
+//! lock, so a log currently held by a live store simply reports
+//! [`CompactionOutcome::Busy`] and is retried on the next tick — the
+//! daemon never blocks a serving node and never corrupts a log.
+
+use micronas_store::{CompactStats, EvalStore, StoreError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one compaction attempt on one log did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactionOutcome {
+    /// The log was rewritten; superseded records dropped.
+    Compacted(CompactStats),
+    /// The log is locked by a live store; skipped this tick.
+    Busy,
+    /// Compaction failed (rendered store error).
+    Failed(String),
+}
+
+/// One log's result from a compaction tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionReport {
+    /// The log that was attempted.
+    pub path: PathBuf,
+    /// What happened.
+    pub outcome: CompactionOutcome,
+}
+
+/// Counters across all ticks of a daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionDaemonStats {
+    /// Ticks executed.
+    pub runs: u64,
+    /// Logs successfully compacted.
+    pub compacted: u64,
+    /// Attempts skipped because the log was locked.
+    pub busy: u64,
+    /// Attempts that failed.
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    runs: AtomicU64,
+    compacted: AtomicU64,
+    busy: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Periodic offline compaction over a fixed set of store logs.
+pub struct CompactionDaemon {
+    namespace: u64,
+    paths: Vec<PathBuf>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CompactionDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactionDaemon")
+            .field("namespace", &self.namespace)
+            .field("paths", &self.paths)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompactionDaemon {
+    /// Creates a daemon (not yet ticking) over `paths`, all expected to
+    /// hold logs in `namespace`.
+    pub fn new(namespace: u64, paths: Vec<PathBuf>) -> CompactionDaemon {
+        CompactionDaemon {
+            namespace,
+            paths,
+            counters: Arc::new(Counters::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            worker: None,
+        }
+    }
+
+    /// Runs one compaction pass over every path right now, synchronously.
+    pub fn tick_now(&self) -> Vec<CompactionReport> {
+        tick(self.namespace, &self.paths, &self.counters)
+    }
+
+    /// Starts a background thread ticking every `interval`. The thread
+    /// polls its stop flag at 50 ms granularity, so shutdown is prompt
+    /// regardless of the interval. Restarting a running daemon is a no-op.
+    pub fn start(&mut self, interval: Duration) {
+        if self.worker.is_some() {
+            return;
+        }
+        self.stop.store(false, Ordering::SeqCst);
+        let namespace = self.namespace;
+        let paths = self.paths.clone();
+        let counters = Arc::clone(&self.counters);
+        let stop = Arc::clone(&self.stop);
+        let worker = std::thread::Builder::new()
+            .name("fabric-compactor".into())
+            .spawn(move || loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let slice = Duration::from_millis(50).min(interval - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                tick(namespace, &paths, &counters);
+            })
+            .expect("spawn fabric compactor");
+        self.worker = Some(worker);
+    }
+
+    /// Stops and joins the background thread, if running.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    /// Snapshot of the daemon's counters.
+    pub fn stats(&self) -> CompactionDaemonStats {
+        CompactionDaemonStats {
+            runs: self.counters.runs.load(Ordering::Relaxed),
+            compacted: self.counters.compacted.load(Ordering::Relaxed),
+            busy: self.counters.busy.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for CompactionDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn tick(namespace: u64, paths: &[PathBuf], counters: &Counters) -> Vec<CompactionReport> {
+    counters.runs.fetch_add(1, Ordering::Relaxed);
+    micronas_telemetry::counter_add("fabric.compaction.runs", 1);
+    paths
+        .iter()
+        .map(|path| {
+            let outcome = match EvalStore::compact_path(path, namespace) {
+                Ok(stats) => {
+                    counters.compacted.fetch_add(1, Ordering::Relaxed);
+                    micronas_telemetry::counter_add("fabric.compaction.compacted", 1);
+                    CompactionOutcome::Compacted(stats)
+                }
+                Err(StoreError::Locked { .. }) => {
+                    counters.busy.fetch_add(1, Ordering::Relaxed);
+                    micronas_telemetry::counter_add("fabric.compaction.busy", 1);
+                    CompactionOutcome::Busy
+                }
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    micronas_telemetry::counter_add("fabric.compaction.failed", 1);
+                    CompactionOutcome::Failed(e.to_string())
+                }
+            };
+            CompactionReport {
+                path: path.clone(),
+                outcome,
+            }
+        })
+        .collect()
+}

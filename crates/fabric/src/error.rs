@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// Errors raised by the fabric's wire codec, clients and nodes.
+///
+/// Every failure mode of a remote conversation has a typed variant, because
+/// the remote tier routes on them: [`FabricError::Timeout`] and transport
+/// errors trip a peer's failure counter (eventually marking it out of the
+/// ring), while [`FabricError::HandshakeRefused`] is permanent — the peer
+/// serves a different evaluation-configuration namespace and retrying can
+/// never help.
+#[derive(Debug)]
+pub enum FabricError {
+    /// An underlying socket error not covered by a more specific variant.
+    Io(std::io::Error),
+    /// The peer did not produce (or accept) bytes within the configured
+    /// deadline — including a slow-loris peer stalling mid-frame.
+    Timeout,
+    /// The connection closed (EOF, reset, broken pipe) mid-conversation.
+    Disconnected,
+    /// A frame ended before its declared payload length.
+    Truncated,
+    /// A frame's payload did not match its FNV-1a checksum.
+    ChecksumMismatch {
+        /// Checksum declared in the frame header.
+        expected: u64,
+        /// Checksum of the bytes actually received.
+        found: u64,
+    },
+    /// A frame declared a payload larger than the protocol allows.
+    Oversized {
+        /// Declared payload length in bytes.
+        len: u32,
+    },
+    /// A payload carried an unknown message tag.
+    UnknownTag(u8),
+    /// A message body could not be decoded.
+    Malformed(&'static str),
+    /// The handshake did not open with the fabric magic bytes.
+    BadMagic,
+    /// The peer speaks an incompatible wire-protocol version.
+    VersionMismatch {
+        /// Version the peer announced.
+        found: u32,
+        /// Version this build speaks.
+        expected: u32,
+    },
+    /// The peer's evaluation-store namespace fingerprint differs from ours —
+    /// the wire-level analogue of a stale log refusing to open. Both
+    /// fingerprints are reported in hex so an operator can tell a stale log
+    /// from a divergent-backend peer at a glance.
+    HandshakeRefused {
+        /// Our namespace fingerprint.
+        ours: u64,
+        /// The peer's namespace fingerprint.
+        theirs: u64,
+    },
+    /// The peer answered with a message the protocol does not allow here.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Io(e) => write!(f, "fabric I/O error: {e}"),
+            FabricError::Timeout => write!(f, "fabric request timed out"),
+            FabricError::Disconnected => write!(f, "fabric peer disconnected"),
+            FabricError::Truncated => write!(f, "truncated fabric frame"),
+            FabricError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "fabric frame checksum mismatch (declared {expected:#018x}, got {found:#018x})"
+            ),
+            FabricError::Oversized { len } => {
+                write!(
+                    f,
+                    "fabric frame declares an oversized payload ({len} bytes)"
+                )
+            }
+            FabricError::UnknownTag(tag) => write!(f, "unknown fabric message tag {tag}"),
+            FabricError::Malformed(what) => write!(f, "malformed fabric message: {what}"),
+            FabricError::BadMagic => write!(f, "not a fabric peer (bad handshake magic)"),
+            FabricError::VersionMismatch { found, expected } => write!(
+                f,
+                "fabric protocol version {found} is incompatible with this build \
+                 (expected {expected})"
+            ),
+            FabricError::HandshakeRefused { ours, theirs } => write!(
+                f,
+                "fabric handshake refused: peer store namespace {theirs:#018x} does not \
+                 match the local evaluation configuration {ours:#018x}"
+            ),
+            FabricError::Protocol(what) => write!(f, "fabric protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl FabricError {
+    /// Maps a socket error onto the typed variants: read/write deadlines
+    /// become [`FabricError::Timeout`], connection teardown becomes
+    /// [`FabricError::Disconnected`], anything else stays I/O.
+    pub fn from_io(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => FabricError::Timeout,
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe => FabricError::Disconnected,
+            _ => FabricError::Io(e),
+        }
+    }
+
+    /// Whether retrying the request against the same peer can ever succeed.
+    /// Namespace refusals and protocol-version mismatches are permanent.
+    pub fn retryable(&self) -> bool {
+        !matches!(
+            self,
+            FabricError::HandshakeRefused { .. } | FabricError::VersionMismatch { .. }
+        )
+    }
+}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> Self {
+        FabricError::from_io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_refusal_reports_both_fingerprints_in_hex() {
+        let e = FabricError::HandshakeRefused {
+            ours: 0xa01c_0bcb_e15a_bdf4,
+            theirs: 0x0123_4567_89ab_cdef,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0xa01c0bcbe15abdf4"), "{msg}");
+        assert!(msg.contains("0x0123456789abcdef"), "{msg}");
+        assert!(!e.retryable());
+    }
+
+    #[test]
+    fn io_errors_map_onto_typed_variants() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            FabricError::from_io(Error::new(ErrorKind::WouldBlock, "t")),
+            FabricError::Timeout
+        ));
+        assert!(matches!(
+            FabricError::from_io(Error::new(ErrorKind::TimedOut, "t")),
+            FabricError::Timeout
+        ));
+        assert!(matches!(
+            FabricError::from_io(Error::new(ErrorKind::ConnectionReset, "t")),
+            FabricError::Disconnected
+        ));
+        assert!(matches!(
+            FabricError::from_io(Error::other("t")),
+            FabricError::Io(_)
+        ));
+        assert!(FabricError::Timeout.retryable());
+        assert!(FabricError::Disconnected.retryable());
+    }
+}

@@ -1,0 +1,79 @@
+//! `micronas-fabric`: a distributed evaluation fabric — one logical
+//! evaluation store for a fleet of search workers.
+//!
+//! The MicroNAS pipeline's proxy evaluations are pure functions of a
+//! content-addressed key (`micronas_store::EvalKey`), which makes them
+//! trivially shareable: any worker's result is every worker's result. The
+//! `micronas-store` crate already shares them within one process (striped
+//! in-memory shards) and across runs on one machine (the append-only log).
+//! This crate extends the same store across machines:
+//!
+//! - [`FabricNode`]: a TCP server exposing a local
+//!   [`EvalStore`](micronas_store::EvalStore) shard to the fleet over a
+//!   checksummed, length-prefixed wire protocol ([`wire`]) that reuses the
+//!   store log's framing and record codec byte-for-byte.
+//! - [`HashRing`]: a deterministic consistent-hash ring (virtual nodes)
+//!   every worker builds from the same peer list, so the fleet agrees on
+//!   which node owns which key with no coordination service.
+//! - [`RemoteTier`]: the client side — a read-through / write-behind
+//!   [`RemoteBackend`](micronas_store::RemoteBackend) that attaches to a
+//!   worker's local store. Local hit → done; local miss → ask the ring
+//!   owner (a hit populates the local shard); remote miss or failure →
+//!   compute locally and offer the result back asynchronously.
+//! - [`CompactionDaemon`]: scheduled offline compaction over idle node
+//!   logs.
+//!
+//! # Correctness before availability, availability before latency
+//!
+//! The fabric is a cache, not a database: every record is recomputable, so
+//! the failure policy is simply *degrade to recompute*. Requests carry
+//! socket deadlines and bounded retries; peers that keep failing are
+//! marked dead and their ring arcs fall to the next live node; with no
+//! live peers a worker runs exactly like a fabric-less one. Search results
+//! are bitwise-identical with the fabric enabled, disabled, degraded or
+//! partitioned, because records are content-addressed and evaluations are
+//! deterministic — the fabric can only change *where* a result was
+//! computed, never *what* it is.
+//!
+//! A fleet must agree on its evaluation configuration: the handshake
+//! exchanges store-namespace fingerprints
+//! (`micronas::MicroNasConfig::store_namespace`) and a node refuses
+//! divergent peers, reporting both fingerprints in hex — the wire-level
+//! analogue of a store log refusing to open under the wrong namespace.
+//!
+//! # Example
+//!
+//! ```
+//! use micronas_fabric::{FabricConfig, FabricNode, RemoteTier};
+//! use micronas_store::EvalStore;
+//! use std::sync::Arc;
+//!
+//! // One node serving a shard (normally on another machine).
+//! let node = FabricNode::serve(Arc::new(EvalStore::in_memory(42))).unwrap();
+//!
+//! // A worker: local store + remote tier over the fleet.
+//! let store = Arc::new(EvalStore::in_memory(42));
+//! let tier = Arc::new(RemoteTier::from_config(
+//!     42,
+//!     &FabricConfig::with_peers(vec![node.addr()]),
+//! ));
+//! store.attach_remote(tier).unwrap();
+//! // store.get(..) now reads through the fabric on local misses.
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod daemon;
+mod error;
+mod node;
+mod ring;
+mod tier;
+pub mod wire;
+
+pub use client::{ClientOptions, FabricClient};
+pub use daemon::{CompactionDaemon, CompactionDaemonStats, CompactionOutcome, CompactionReport};
+pub use error::FabricError;
+pub use node::{FabricNode, NodeOptions, NodeStats};
+pub use ring::HashRing;
+pub use tier::{FabricConfig, RemoteTier, RemoteTierStats};

@@ -1,0 +1,370 @@
+//! The fabric node: a TCP server answering `Get`/`Put`/`Batch`/`Ping`
+//! against a local [`EvalStore`].
+//!
+//! A node is deliberately dumb: it owns no routing and no policy, it just
+//! serves its shard of the keyspace out of an ordinary store (clients pick
+//! owners with [`crate::HashRing`]). Reads use [`EvalStore::peek`] — local
+//! memory and log only, no cache-statistics side effects — so a node's
+//! hit/miss accounting stays meaningful for its own workload.
+//!
+//! The server is a bounded worker pool over `std::net::TcpListener`
+//! blocking sockets. Every connection carries a read deadline: a peer that
+//! goes quiet between frames just idles a worker tick (which doubles as the
+//! shutdown poll), while a peer that stalls *mid-frame* — the slow-loris
+//! case — is disconnected with a timeout. When all workers are busy,
+//! excess connections beyond a bounded backlog are dropped at accept time
+//! rather than queueing without bound.
+
+use crate::wire::{self, Message};
+use crate::FabricError;
+use micronas_store::EvalStore;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`FabricNode::serve`].
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// Number of connection-serving worker threads.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// arrivals are dropped.
+    pub backlog: usize,
+    /// Per-read socket deadline; also the shutdown-poll granularity.
+    pub read_timeout: Duration,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            workers: 4,
+            backlog: 32,
+            read_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Counters describing everything a node has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Handshakes accepted.
+    pub connections: u64,
+    /// Handshakes refused over a namespace mismatch.
+    pub refused_handshakes: u64,
+    /// Point and batched lookups served (per key).
+    pub gets: u64,
+    /// Lookups that found a record.
+    pub get_hits: u64,
+    /// Point and batched writes applied (per record).
+    pub puts: u64,
+    /// Liveness probes answered.
+    pub pings: u64,
+    /// Connections dropped because the worker backlog was full.
+    pub dropped_connections: u64,
+    /// Connections that ended with a protocol or I/O error.
+    pub errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    gets: AtomicU64,
+    get_hits: AtomicU64,
+    puts: AtomicU64,
+    pings: AtomicU64,
+    dropped: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    store: Arc<EvalStore>,
+    namespace: u64,
+    stop: AtomicBool,
+    counters: Counters,
+    read_timeout: Duration,
+}
+
+/// A running fabric node. Shuts down (stopping all threads) on drop.
+pub struct FabricNode {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FabricNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricNode")
+            .field("addr", &self.addr)
+            .field("namespace", &self.shared.namespace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FabricNode {
+    /// Binds a loopback listener on an ephemeral port and starts serving
+    /// `store` with [`NodeOptions::default`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn serve(store: Arc<EvalStore>) -> io::Result<FabricNode> {
+        FabricNode::serve_with(store, NodeOptions::default())
+    }
+
+    /// Binds a loopback listener on an ephemeral port and starts serving
+    /// `store`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn serve_with(store: Arc<EvalStore>, options: NodeOptions) -> io::Result<FabricNode> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            namespace: store.namespace(),
+            store,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            read_timeout: options.read_timeout,
+        });
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(options.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..options.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("fabric-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn fabric worker")
+            })
+            .collect();
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fabric-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &tx))
+                .expect("spawn fabric acceptor")
+        };
+        Ok(FabricNode {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The `host:port` this node listens on.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// The store-namespace fingerprint this node serves.
+    pub fn namespace(&self) -> u64 {
+        self.shared.namespace
+    }
+
+    /// Snapshot of the node's service counters.
+    pub fn stats(&self) -> NodeStats {
+        let c = &self.shared.counters;
+        NodeStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            refused_handshakes: c.refused.load(Ordering::Relaxed),
+            gets: c.gets.load(Ordering::Relaxed),
+            get_hits: c.get_hits.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            pings: c.pings.load(Ordering::Relaxed),
+            dropped_connections: c.dropped.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The store this node serves.
+    pub fn store(&self) -> &Arc<EvalStore> {
+        &self.shared.store
+    }
+
+    /// Stops accepting, drains workers and joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway self-connection
+        // wakes it to observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FabricNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, tx: &SyncSender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return; // tx drops here, draining the workers
+                }
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Dropping the stream closes the connection — the
+                        // client sees Disconnected and retries elsewhere.
+                        drop(stream);
+                        shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        micronas_telemetry::counter_add("fabric.node.dropped_connections", 1);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("fabric worker queue poisoned");
+            guard.recv()
+        };
+        let Ok(stream) = stream else { return };
+        match serve_connection(shared, stream) {
+            Ok(()) => {}
+            Err(err) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("fabric.node.conn_errors", 1);
+                let _ = err; // typed; nothing useful to do beyond counting
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), FabricError> {
+    stream.set_read_timeout(Some(shared.read_timeout))?;
+    stream.set_write_timeout(Some(shared.read_timeout.max(Duration::from_secs(1))))?;
+
+    // Handshake: the first frame must be Hello; between-frame quiet just
+    // ticks the shutdown poll.
+    let hello = loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match wire::read_frame_or_idle(&mut stream) {
+            Ok(Some(payload)) => break Message::decode(&payload)?,
+            Ok(None) => continue,
+            Err(FabricError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    };
+    let Message::Hello { namespace } = hello else {
+        return Err(FabricError::Protocol(
+            "expected Hello to open the connection",
+        ));
+    };
+    if namespace != shared.namespace {
+        shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+        micronas_telemetry::counter_add("fabric.node.refused_handshakes", 1);
+        let _ = wire::send(
+            &mut stream,
+            &Message::Refused {
+                expected: shared.namespace,
+                found: namespace,
+            },
+        );
+        return Ok(());
+    }
+    wire::send(
+        &mut stream,
+        &Message::HelloAck {
+            namespace: shared.namespace,
+        },
+    )?;
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    micronas_telemetry::counter_add("fabric.node.connections", 1);
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match wire::read_frame_or_idle(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => continue,
+            Err(FabricError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = answer(shared, Message::decode(&payload)?)?;
+        wire::send(&mut stream, &reply)?;
+    }
+}
+
+fn answer(shared: &Shared, request: Message) -> Result<Message, FabricError> {
+    let c = &shared.counters;
+    Ok(match request {
+        Message::Ping => {
+            c.pings.fetch_add(1, Ordering::Relaxed);
+            Message::Pong
+        }
+        Message::Get(key) => {
+            c.gets.fetch_add(1, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.node.gets", 1);
+            match shared.store.peek(&key) {
+                Some(record) => {
+                    c.get_hits.fetch_add(1, Ordering::Relaxed);
+                    Message::Found(key, record)
+                }
+                None => Message::NotFound,
+            }
+        }
+        Message::Put(key, record) => {
+            c.puts.fetch_add(1, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.node.puts", 1);
+            // An invalid record (NaN score etc.) is acknowledged but not
+            // stored; the sender's copy is still authoritative for it.
+            let fresh = shared.store.insert(key, record).unwrap_or(false);
+            Message::PutAck { fresh }
+        }
+        Message::BatchGet(keys) => {
+            c.gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.node.gets", keys.len() as u64);
+            let slots = keys
+                .into_iter()
+                .map(|key| {
+                    shared.store.peek(&key).map(|record| {
+                        c.get_hits.fetch_add(1, Ordering::Relaxed);
+                        (key, record)
+                    })
+                })
+                .collect();
+            Message::BatchFound(slots)
+        }
+        Message::BatchPut(entries) => {
+            c.puts.fetch_add(entries.len() as u64, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.node.puts", entries.len() as u64);
+            let fresh = entries
+                .into_iter()
+                .filter(|(key, record)| shared.store.insert(*key, record.clone()).unwrap_or(false))
+                .count() as u32;
+            Message::BatchPutAck { fresh }
+        }
+        _ => return Err(FabricError::Protocol("unexpected request message")),
+    })
+}

@@ -1,0 +1,161 @@
+//! Consistent-hash ring mapping evaluation keys to owning nodes.
+//!
+//! Each node is projected onto the ring at `vnodes` points (FNV-1a of
+//! `"{node_id}#{vnode_index}"`, passed through a splitmix64-style bit
+//! finalizer — FNV alone clusters badly over near-identical peer strings
+//! like `10.0.0.1:7000` / `10.0.0.2:7000`, and clustered points mean
+//! lopsided arcs); a key's owner is the first point clockwise from the
+//! key's shard hash. Virtual nodes smooth the load (with 32 vnodes,
+//! 2–16 node rings stay within a small factor of perfectly even), and
+//! adding or removing one node only remaps the keys whose clockwise arc it
+//! owned — the rest of the fleet's warm shards stay warm.
+//!
+//! The ring is deterministic: every worker building a ring from the same
+//! peer list (in any order) computes the same ownership, which is what lets
+//! a fleet agree on who owns a key without any coordination service.
+
+use micronas_store::fnv1a64;
+
+/// Splitmix64 finalizer: full-avalanche bit mix with fixed, published
+/// constants (stable across platforms and releases, like FNV itself).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over a fixed set of node identifiers.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, node index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    /// Node identifiers, in the order given at construction.
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring placing every node at `vnodes` points.
+    ///
+    /// Duplicate node identifiers are collapsed (first occurrence wins) so a
+    /// misconfigured peer list cannot double-weight a node. Ties on a ring
+    /// position (astronomically unlikely with 64-bit positions) break
+    /// toward the lexicographically smaller node id, keeping ownership
+    /// independent of list order.
+    pub fn new<S: AsRef<str>>(node_ids: &[S], vnodes: u32) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut nodes: Vec<String> = Vec::with_capacity(node_ids.len());
+        for id in node_ids {
+            let id = id.as_ref();
+            if !nodes.iter().any(|n| n == id) {
+                nodes.push(id.to_string());
+            }
+        }
+        let mut points = Vec::with_capacity(nodes.len() * vnodes as usize);
+        for (index, id) in nodes.iter().enumerate() {
+            let mut seed = Vec::with_capacity(id.len() + 5);
+            seed.extend_from_slice(id.as_bytes());
+            seed.push(b'#');
+            for v in 0..vnodes {
+                seed.truncate(id.len() + 1);
+                seed.extend_from_slice(&v.to_le_bytes());
+                points.push((mix(fnv1a64(&seed)), index));
+            }
+        }
+        points.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| nodes[a.1].cmp(&nodes[b.1])));
+        HashRing { points, nodes }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node identifiers on the ring, in construction order.
+    pub fn node_ids(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Index (into [`HashRing::node_ids`]) of the node owning `hash`, or
+    /// `None` on an empty ring.
+    pub fn owner(&self, hash: u64) -> Option<usize> {
+        self.owner_where(hash, |_| true)
+    }
+
+    /// Index of the first node clockwise from `hash` for which `alive`
+    /// holds, or `None` when no live node exists. This is how the tier
+    /// degrades: a dead owner's keys fall to the next live node on the ring
+    /// without remapping anyone else's.
+    pub fn owner_where(&self, hash: u64, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        let mut seen = 0u32;
+        let mut seen_nodes = vec![false; self.nodes.len()];
+        for step in 0..n {
+            let (_, node) = self.points[(start + step) % n];
+            if alive(node) {
+                return Some(node);
+            }
+            if !seen_nodes[node] {
+                seen_nodes[node] = true;
+                seen += 1;
+                if seen as usize == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let a = HashRing::new(&["node-a", "node-b", "node-c"], 32);
+        let b = HashRing::new(&["node-c", "node-a", "node-b"], 32);
+        for i in 0..1_000u64 {
+            let hash = fnv1a64(&i.to_le_bytes());
+            let owner_a = &a.node_ids()[a.owner(hash).unwrap()];
+            let owner_b = &b.node_ids()[b.owner(hash).unwrap()];
+            assert_eq!(owner_a, owner_b);
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_do_not_double_weight() {
+        let ring = HashRing::new(&["n1", "n2", "n1"], 16);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn dead_owners_fall_to_the_next_live_node() {
+        let ring = HashRing::new(&["n1", "n2", "n3"], 32);
+        for i in 0..200u64 {
+            let hash = fnv1a64(&i.to_le_bytes());
+            let full = ring.owner(hash).unwrap();
+            let degraded = ring.owner_where(hash, |n| n != full).unwrap();
+            assert_ne!(degraded, full);
+            // Killing a node that is NOT the owner never remaps the key.
+            let bystander = (full + 1) % 3;
+            assert_eq!(ring.owner_where(hash, |n| n != bystander), Some(full));
+        }
+        assert_eq!(ring.owner_where(123, |_| false), None);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new::<&str>(&[], 32);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(42), None);
+    }
+}

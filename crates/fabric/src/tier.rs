@@ -1,0 +1,441 @@
+//! The remote tier: read-through / write-behind fabric layering for a
+//! local [`EvalStore`](micronas_store::EvalStore).
+//!
+//! [`RemoteTier`] implements [`RemoteBackend`], so attaching it to a store
+//! (`store.attach_remote(tier)`) turns every lookup into the fleet policy:
+//! local hit → done; local miss → the consistent-hash ring picks the
+//! owning node, a remote hit populates the local shard; a remote miss (or
+//! any remote failure) falls back to local recompute, and the freshly
+//! computed record is offered back to its owner *asynchronously* by a
+//! single write-behind flusher thread. The hot evaluation path never
+//! blocks on the network beyond one bounded, timed-out `Get`.
+//!
+//! # Degradation
+//!
+//! Peers accumulate a failure count on timeouts and transport errors;
+//! crossing [`FabricConfig::fail_threshold`] marks the peer dead, takes it
+//! out of the ring (its arc falls to the next live node), and bumps the
+//! `fabric.degraded` counter. A dead peer stays dead for the life of the
+//! process — workers in this fleet are cattle, and a search that silently
+//! flip-flops between remote and local results would be much harder to
+//! reason about than one that degrades once, monotonically. With every
+//! peer dead the tier answers every fetch `None`: the worker keeps going
+//! at local-recompute speed, never blocked, never wrong.
+
+use crate::ring::HashRing;
+use crate::wire::MAX_BATCH;
+use crate::{ClientOptions, FabricClient, FabricError};
+use micronas_store::{EvalKey, EvalRecord, RemoteBackend};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Write-behind batch assembled per flusher wakeup.
+const FLUSH_BATCH: usize = 64;
+
+/// Declarative fabric membership and tuning, nestable in the pipeline's
+/// `MicroNasConfig`. The fabric never changes *what* is computed — only
+/// where warm results come from — so none of these fields fold into the
+/// store-namespace fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Fabric node addresses (`host:port`), the ring membership. Order is
+    /// irrelevant: ownership is determined by hashing, not position.
+    pub peers: Vec<String>,
+    /// Virtual nodes per peer on the consistent-hash ring.
+    pub vnodes: u32,
+    /// Per-request socket deadline in milliseconds.
+    pub timeout_ms: u64,
+    /// Retries per request after the first attempt.
+    pub retries: u32,
+    /// Base backoff between retries in milliseconds.
+    pub backoff_ms: u64,
+    /// Consecutive failures after which a peer is marked dead.
+    pub fail_threshold: u32,
+    /// Bounded write-behind queue; offers beyond it are dropped (counted,
+    /// never blocking the evaluation path).
+    pub queue_capacity: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            peers: Vec::new(),
+            vnodes: 32,
+            timeout_ms: 1_000,
+            retries: 2,
+            backoff_ms: 50,
+            fail_threshold: 3,
+            queue_capacity: 1_024,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// A config with the given ring membership and default tuning.
+    pub fn with_peers(peers: Vec<String>) -> FabricConfig {
+        FabricConfig {
+            peers,
+            ..FabricConfig::default()
+        }
+    }
+
+    /// The per-request deadline as a [`Duration`].
+    pub fn timeout(&self) -> Duration {
+        Duration::from_millis(self.timeout_ms)
+    }
+
+    /// The retry backoff base as a [`Duration`].
+    pub fn backoff(&self) -> Duration {
+        Duration::from_millis(self.backoff_ms)
+    }
+
+    /// The [`ClientOptions`] these knobs describe.
+    pub fn client_options(&self) -> ClientOptions {
+        ClientOptions {
+            timeout: self.timeout(),
+            retries: self.retries,
+            backoff: self.backoff(),
+        }
+    }
+}
+
+/// Counters describing everything the tier has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteTierStats {
+    /// Remote lookups that returned a record.
+    pub remote_hits: u64,
+    /// Remote lookups that returned nothing.
+    pub remote_misses: u64,
+    /// Remote lookups that timed out (after retries).
+    pub timeouts: u64,
+    /// Remote lookups that failed for any other transport reason.
+    pub errors: u64,
+    /// Peers currently marked dead.
+    pub degraded_peers: u64,
+    /// Records accepted onto the write-behind queue.
+    pub offered: u64,
+    /// Records delivered to their owning node.
+    pub delivered: u64,
+    /// Records dropped (queue full, or no live owner at flush time).
+    pub dropped: u64,
+    /// Records whose delivery failed at the owning node.
+    pub failed_deliveries: u64,
+}
+
+struct Peer {
+    addr: String,
+    client: FabricClient,
+    failures: AtomicU32,
+    dead: AtomicBool,
+}
+
+impl Peer {
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct TierCounters {
+    remote_hits: AtomicU64,
+    remote_misses: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    offered: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    failed: AtomicU64,
+}
+
+struct TierInner {
+    namespace: u64,
+    ring: HashRing,
+    peers: Vec<Peer>,
+    fail_threshold: u32,
+    counters: TierCounters,
+}
+
+impl TierInner {
+    fn live_owner(&self, hash: u64) -> Option<usize> {
+        self.ring.owner_where(hash, |i| !self.peers[i].is_dead())
+    }
+
+    fn note_success(&self, peer: usize) {
+        self.peers[peer].failures.store(0, Ordering::Relaxed);
+    }
+
+    fn note_failure(&self, peer: usize, error: &FabricError) {
+        let c = &self.counters;
+        if matches!(error, FabricError::Timeout) {
+            c.timeouts.fetch_add(1, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.remote.timeouts", 1);
+        } else {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+            micronas_telemetry::counter_add("fabric.remote.errors", 1);
+        }
+        let peer = &self.peers[peer];
+        let failures = peer.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let fatal = !error.retryable();
+        if (failures >= self.fail_threshold || fatal) && !peer.dead.swap(true, Ordering::Relaxed) {
+            micronas_telemetry::counter_add("fabric.degraded", 1);
+        }
+    }
+}
+
+enum Job {
+    Offer(EvalKey, EvalRecord),
+    Flush(SyncSender<()>),
+}
+
+/// The fabric-backed remote tier. Attach with
+/// [`EvalStore::attach_remote`](micronas_store::EvalStore::attach_remote);
+/// the tier joins its flusher thread on drop.
+pub struct RemoteTier {
+    inner: Arc<TierInner>,
+    queue: Option<SyncSender<Job>>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RemoteTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteTier")
+            .field("namespace", &self.inner.namespace)
+            .field("peers", &self.inner.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteTier {
+    /// Builds a tier for `namespace` from the declarative `config`.
+    /// Connections are dialed lazily; call [`RemoteTier::connect_all`] to
+    /// surface handshake problems eagerly.
+    pub fn from_config(namespace: u64, config: &FabricConfig) -> RemoteTier {
+        let mut addrs: Vec<String> = Vec::with_capacity(config.peers.len());
+        for addr in &config.peers {
+            if !addrs.iter().any(|a| a == addr) {
+                addrs.push(addr.clone());
+            }
+        }
+        // The ring is built from the same deduplicated list, so ring node
+        // indices and peer indices coincide.
+        let ring = HashRing::new(&addrs, config.vnodes);
+        let peers = addrs
+            .into_iter()
+            .map(|addr| Peer {
+                client: FabricClient::new(&addr, namespace, config.client_options()),
+                addr,
+                failures: AtomicU32::new(0),
+                dead: AtomicBool::new(false),
+            })
+            .collect();
+        let inner = Arc::new(TierInner {
+            namespace,
+            ring,
+            peers,
+            fail_threshold: config.fail_threshold.max(1),
+            counters: TierCounters::default(),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+        let flusher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("fabric-flusher".into())
+                .spawn(move || flusher_loop(&inner, &rx))
+                .expect("spawn fabric flusher")
+        };
+        RemoteTier {
+            inner,
+            queue: Some(tx),
+            flusher: Some(flusher),
+        }
+    }
+
+    /// Dials and handshakes every peer eagerly, so a divergent-namespace
+    /// node fails the worker at setup instead of degrading silently.
+    ///
+    /// # Errors
+    ///
+    /// The first failure, with permanent refusals
+    /// ([`FabricError::HandshakeRefused`]) reported as-is.
+    pub fn connect_all(&self) -> Result<(), FabricError> {
+        for peer in &self.inner.peers {
+            peer.client.connect()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the tier's counters.
+    pub fn stats(&self) -> RemoteTierStats {
+        let c = &self.inner.counters;
+        RemoteTierStats {
+            remote_hits: c.remote_hits.load(Ordering::Relaxed),
+            remote_misses: c.remote_misses.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            degraded_peers: self.inner.peers.iter().filter(|p| p.is_dead()).count() as u64,
+            offered: c.offered.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            failed_deliveries: c.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Addresses of the peers still considered live.
+    pub fn alive_peers(&self) -> Vec<String> {
+        self.inner
+            .peers
+            .iter()
+            .filter(|p| !p.is_dead())
+            .map(|p| p.addr.clone())
+            .collect()
+    }
+
+    /// Blocks until every record offered *before this call* has been
+    /// delivered (or failed/dropped), then returns. Use at sweep
+    /// boundaries to make write-behind results visible to other workers
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Timeout`] if the flusher does not drain in time.
+    pub fn flush(&self) -> Result<(), FabricError> {
+        let Some(queue) = &self.queue else {
+            return Ok(());
+        };
+        let (ack_tx, ack_rx) = std::sync::mpsc::sync_channel(1);
+        if queue.send(Job::Flush(ack_tx)).is_err() {
+            return Ok(()); // flusher already gone; nothing left to drain
+        }
+        ack_rx
+            .recv_timeout(Duration::from_secs(30))
+            .map_err(|_| FabricError::Timeout)
+    }
+}
+
+impl Drop for RemoteTier {
+    fn drop(&mut self) {
+        drop(self.queue.take()); // disconnects the channel: flusher drains and exits
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl RemoteBackend for RemoteTier {
+    fn namespace(&self) -> u64 {
+        self.inner.namespace
+    }
+
+    fn fetch(&self, key: &EvalKey) -> Option<EvalRecord> {
+        let inner = &self.inner;
+        let owner = inner.live_owner(key.shard_hash())?;
+        let _span = micronas_telemetry::span!("fabric.rpc.get");
+        match inner.peers[owner].client.get(key) {
+            Ok(Some(record)) => {
+                inner.note_success(owner);
+                inner.counters.remote_hits.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("fabric.remote.hits", 1);
+                Some(record)
+            }
+            Ok(None) => {
+                inner.note_success(owner);
+                inner.counters.remote_misses.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("fabric.remote.misses", 1);
+                None
+            }
+            Err(e) => {
+                inner.note_failure(owner, &e);
+                None
+            }
+        }
+    }
+
+    fn offer(&self, key: EvalKey, record: EvalRecord) {
+        let Some(queue) = &self.queue else { return };
+        match queue.try_send(Job::Offer(key, record)) {
+            Ok(()) => {
+                self.inner.counters.offered.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("fabric.writebehind.offered", 1);
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.inner.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                micronas_telemetry::counter_add("fabric.writebehind.dropped", 1);
+            }
+        }
+    }
+}
+
+fn flusher_loop(inner: &TierInner, rx: &Receiver<Job>) {
+    let mut pending: Vec<(EvalKey, EvalRecord)> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(Job::Offer(key, record)) => {
+                pending.push((key, record));
+                // Opportunistically coalesce whatever else is queued into
+                // one delivery round.
+                while pending.len() < FLUSH_BATCH {
+                    match rx.try_recv() {
+                        Ok(Job::Offer(key, record)) => pending.push((key, record)),
+                        Ok(Job::Flush(ack)) => {
+                            deliver(inner, &mut pending);
+                            let _ = ack.send(());
+                        }
+                        Err(_) => break,
+                    }
+                }
+                deliver(inner, &mut pending);
+            }
+            Ok(Job::Flush(ack)) => {
+                deliver(inner, &mut pending);
+                let _ = ack.send(());
+            }
+            Err(_) => {
+                deliver(inner, &mut pending);
+                return;
+            }
+        }
+    }
+}
+
+fn deliver(inner: &TierInner, pending: &mut Vec<(EvalKey, EvalRecord)>) {
+    if pending.is_empty() {
+        return;
+    }
+    let c = &inner.counters;
+    let mut groups: Vec<Vec<(EvalKey, EvalRecord)>> = vec![Vec::new(); inner.peers.len()];
+    let mut unrouted = 0u64;
+    for (key, record) in pending.drain(..) {
+        match inner.live_owner(key.shard_hash()) {
+            Some(owner) => groups[owner].push((key, record)),
+            None => unrouted += 1,
+        }
+    }
+    if unrouted > 0 {
+        c.dropped.fetch_add(unrouted, Ordering::Relaxed);
+        micronas_telemetry::counter_add("fabric.writebehind.dropped", unrouted);
+    }
+    for (owner, group) in groups.into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let _span = micronas_telemetry::span!("fabric.rpc.batch_put");
+        for chunk in group.chunks(MAX_BATCH) {
+            let len = chunk.len() as u64;
+            match inner.peers[owner].client.batch_put(chunk.to_vec()) {
+                Ok(_) => {
+                    c.delivered.fetch_add(len, Ordering::Relaxed);
+                    micronas_telemetry::counter_add("fabric.writebehind.delivered", len);
+                }
+                Err(e) => {
+                    inner.note_failure(owner, &e);
+                    c.failed.fetch_add(len, Ordering::Relaxed);
+                    micronas_telemetry::counter_add("fabric.writebehind.failed", len);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! The fabric wire protocol.
+//!
+//! # Framing
+//!
+//! Every message travels in one frame, byte-for-byte the store log's record
+//! framing (`micronas_store::log`):
+//!
+//! ```text
+//! frame:   payload length   u32 le
+//!          checksum         u64 le   (FNV-1a 64 of the payload bytes)
+//!          payload          (tag byte + message body)
+//! ```
+//!
+//! A frame whose checksum does not match is rejected as
+//! [`FabricError::ChecksumMismatch`]; a declared length beyond
+//! [`MAX_PAYLOAD`] is [`FabricError::Oversized`]; a connection that closes
+//! mid-frame is [`FabricError::Truncated`]. None of these can hang a peer:
+//! reads run under socket deadlines and a stalled partial frame (slow loris)
+//! surfaces as [`FabricError::Timeout`].
+//!
+//! # Messages
+//!
+//! The body encodings reuse the store's at-rest codec
+//! ([`micronas_store::encode_key`] / [`micronas_store::encode_entry`]), so a
+//! record on the wire and a record in the log are the same bytes — one codec
+//! to test, one set of golden layouts. The conversation opens with
+//! [`Message::Hello`] carrying the sender's store-namespace fingerprint; a
+//! node refuses mismatched peers ([`Message::Refused`]) exactly like a
+//! stale log refusing to open.
+
+use crate::FabricError;
+use micronas_store::{decode_entry, decode_key, encode_entry, encode_key, fnv1a64};
+use micronas_store::{EvalKey, EvalRecord, StoreError};
+use std::io::{Read, Write};
+
+/// Magic bytes opening every [`Message::Hello`].
+pub const FABRIC_MAGIC: [u8; 8] = *b"MNFAB001";
+
+/// Wire-protocol version spoken by this build.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Per-frame framing overhead (length + checksum) — identical to the store
+/// log's record framing.
+pub const FRAME_LEN: usize = 4 + 8;
+
+/// Upper bound on a single frame payload; anything larger is treated as a
+/// protocol violation (the store log uses the same bound for corruption).
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Upper bound on entries in one batch message.
+pub const MAX_BATCH: usize = 4096;
+
+/// One fabric message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Opens every connection: magic + protocol version + the client's
+    /// store-namespace fingerprint.
+    Hello {
+        /// The client's evaluation-configuration namespace fingerprint.
+        namespace: u64,
+    },
+    /// The node accepted the handshake; carries the node's namespace (always
+    /// equal to the client's, echoed for symmetry).
+    HelloAck {
+        /// The node's namespace fingerprint.
+        namespace: u64,
+    },
+    /// The node refused the handshake: namespaces differ.
+    Refused {
+        /// The node's namespace fingerprint.
+        expected: u64,
+        /// The namespace the client announced.
+        found: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Liveness reply.
+    Pong,
+    /// Point lookup of one key.
+    Get(EvalKey),
+    /// Successful lookup reply: the key and its record.
+    Found(EvalKey, EvalRecord),
+    /// Lookup reply: the node does not hold the key.
+    NotFound,
+    /// Write-behind of one freshly computed record.
+    Put(EvalKey, EvalRecord),
+    /// Reply to [`Message::Put`]; `fresh` mirrors the node store's insert.
+    PutAck {
+        /// Whether the key was new on the node.
+        fresh: bool,
+    },
+    /// Batched point lookups (at most [`MAX_BATCH`]).
+    BatchGet(Vec<EvalKey>),
+    /// Reply to [`Message::BatchGet`], positionally aligned with the
+    /// request.
+    BatchFound(Vec<Option<(EvalKey, EvalRecord)>>),
+    /// Batched write-behind (at most [`MAX_BATCH`]).
+    BatchPut(Vec<(EvalKey, EvalRecord)>),
+    /// Reply to [`Message::BatchPut`]: how many records were new.
+    BatchPutAck {
+        /// Number of records that were new on the node.
+        fresh: u32,
+    },
+}
+
+// Payload tag bytes. A tag identifies the message; everything after it is
+// the body.
+const TAG_HELLO: u8 = 0;
+const TAG_HELLO_ACK: u8 = 1;
+const TAG_REFUSED: u8 = 2;
+const TAG_PING: u8 = 3;
+const TAG_PONG: u8 = 4;
+const TAG_GET: u8 = 5;
+const TAG_FOUND: u8 = 6;
+const TAG_NOT_FOUND: u8 = 7;
+const TAG_PUT: u8 = 8;
+const TAG_PUT_ACK: u8 = 9;
+const TAG_BATCH_GET: u8 = 10;
+const TAG_BATCH_FOUND: u8 = 11;
+const TAG_BATCH_PUT: u8 = 12;
+const TAG_BATCH_PUT_ACK: u8 = 13;
+
+fn map_store(e: StoreError) -> FabricError {
+    match e {
+        StoreError::MalformedRecord(what) => FabricError::Malformed(what),
+        _ => FabricError::Malformed("undecodable store entry"),
+    }
+}
+
+fn push_blob(out: &mut Vec<u8>, blob: &[u8]) {
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+}
+
+/// Cursor over a payload buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FabricError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FabricError::Malformed("message body too short"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FabricError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FabricError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FabricError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8], FabricError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    fn batch_len(&mut self) -> Result<usize, FabricError> {
+        let count = self.u32()? as usize;
+        if count > MAX_BATCH {
+            return Err(FabricError::Malformed("batch larger than MAX_BATCH"));
+        }
+        Ok(count)
+    }
+
+    fn finish(self) -> Result<(), FabricError> {
+        if self.pos != self.buf.len() {
+            return Err(FabricError::Malformed("trailing bytes in message"));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    /// Encodes the message into a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Message::Hello { namespace } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&FABRIC_MAGIC);
+                out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+                out.extend_from_slice(&namespace.to_le_bytes());
+            }
+            Message::HelloAck { namespace } => {
+                out.push(TAG_HELLO_ACK);
+                out.extend_from_slice(&namespace.to_le_bytes());
+            }
+            Message::Refused { expected, found } => {
+                out.push(TAG_REFUSED);
+                out.extend_from_slice(&expected.to_le_bytes());
+                out.extend_from_slice(&found.to_le_bytes());
+            }
+            Message::Ping => out.push(TAG_PING),
+            Message::Pong => out.push(TAG_PONG),
+            Message::Get(key) => {
+                out.push(TAG_GET);
+                out.extend_from_slice(&encode_key(key));
+            }
+            Message::Found(key, record) => {
+                out.push(TAG_FOUND);
+                out.extend_from_slice(&encode_entry(key, record));
+            }
+            Message::NotFound => out.push(TAG_NOT_FOUND),
+            Message::Put(key, record) => {
+                out.push(TAG_PUT);
+                out.extend_from_slice(&encode_entry(key, record));
+            }
+            Message::PutAck { fresh } => {
+                out.push(TAG_PUT_ACK);
+                out.push(u8::from(*fresh));
+            }
+            Message::BatchGet(keys) => {
+                out.push(TAG_BATCH_GET);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for key in keys {
+                    push_blob(&mut out, &encode_key(key));
+                }
+            }
+            Message::BatchFound(slots) => {
+                out.push(TAG_BATCH_FOUND);
+                out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+                for slot in slots {
+                    match slot {
+                        Some((key, record)) => {
+                            out.push(1);
+                            push_blob(&mut out, &encode_entry(key, record));
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+            Message::BatchPut(entries) => {
+                out.push(TAG_BATCH_PUT);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (key, record) in entries {
+                    push_blob(&mut out, &encode_entry(key, record));
+                }
+            }
+            Message::BatchPutAck { fresh } => {
+                out.push(TAG_BATCH_PUT_ACK);
+                out.extend_from_slice(&fresh.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload back into a message.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::UnknownTag`] for an unrecognised tag,
+    /// [`FabricError::BadMagic`] / [`FabricError::VersionMismatch`] for a
+    /// broken handshake, [`FabricError::Malformed`] for everything else the
+    /// codec refuses.
+    pub fn decode(payload: &[u8]) -> Result<Message, FabricError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let message = match r.u8()? {
+            TAG_HELLO => {
+                let magic = r.take(8)?;
+                if magic != FABRIC_MAGIC {
+                    return Err(FabricError::BadMagic);
+                }
+                let version = r.u32()?;
+                if version != WIRE_VERSION {
+                    return Err(FabricError::VersionMismatch {
+                        found: version,
+                        expected: WIRE_VERSION,
+                    });
+                }
+                Message::Hello {
+                    namespace: r.u64()?,
+                }
+            }
+            TAG_HELLO_ACK => Message::HelloAck {
+                namespace: r.u64()?,
+            },
+            TAG_REFUSED => Message::Refused {
+                expected: r.u64()?,
+                found: r.u64()?,
+            },
+            TAG_PING => Message::Ping,
+            TAG_PONG => Message::Pong,
+            TAG_GET => Message::Get(decode_key(r.rest()).map_err(map_store)?),
+            TAG_FOUND => {
+                let (key, record) = decode_entry(r.rest()).map_err(map_store)?;
+                Message::Found(key, record)
+            }
+            TAG_NOT_FOUND => Message::NotFound,
+            TAG_PUT => {
+                let (key, record) = decode_entry(r.rest()).map_err(map_store)?;
+                Message::Put(key, record)
+            }
+            TAG_PUT_ACK => Message::PutAck {
+                fresh: r.u8()? != 0,
+            },
+            TAG_BATCH_GET => {
+                let count = r.batch_len()?;
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(decode_key(r.blob()?).map_err(map_store)?);
+                }
+                Message::BatchGet(keys)
+            }
+            TAG_BATCH_FOUND => {
+                let count = r.batch_len()?;
+                let mut slots = Vec::with_capacity(count);
+                for _ in 0..count {
+                    slots.push(match r.u8()? {
+                        0 => None,
+                        1 => Some(decode_entry(r.blob()?).map_err(map_store)?),
+                        _ => return Err(FabricError::Malformed("bad batch presence byte")),
+                    });
+                }
+                Message::BatchFound(slots)
+            }
+            TAG_BATCH_PUT => {
+                let count = r.batch_len()?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(decode_entry(r.blob()?).map_err(map_store)?);
+                }
+                Message::BatchPut(entries)
+            }
+            TAG_BATCH_PUT_ACK => Message::BatchPutAck { fresh: r.u32()? },
+            tag => return Err(FabricError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok(message)
+    }
+}
+
+/// Outcome of filling a fixed-size buffer from a socket.
+enum Fill {
+    /// The buffer is full.
+    Filled,
+    /// The read deadline passed before the *first* byte arrived (only
+    /// reported when the caller allows idling).
+    Idle,
+    /// The peer closed the connection cleanly before the first byte.
+    Closed,
+}
+
+/// Reads exactly `buf.len()` bytes, classifying every partial outcome.
+///
+/// A deadline that passes with the buffer *partially* filled is always
+/// [`FabricError::Timeout`] — that is the slow-loris signature, and waiting
+/// longer would let one stalled peer pin a node worker forever. A deadline
+/// with nothing read is only acceptable between frames (`idle_ok`), where it
+/// gives servers a shutdown-poll tick.
+fn fill(r: &mut impl Read, buf: &mut [u8], idle_ok: bool) -> Result<Fill, FabricError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(Fill::Closed)
+                } else {
+                    Err(FabricError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return if filled == 0 && idle_ok {
+                    Ok(Fill::Idle)
+                } else {
+                    Err(FabricError::Timeout)
+                };
+            }
+            Err(e) => return Err(FabricError::from_io(e)),
+        }
+    }
+    Ok(Fill::Filled)
+}
+
+fn read_frame_inner(r: &mut impl Read, idle_ok: bool) -> Result<Option<Vec<u8>>, FabricError> {
+    let mut header = [0u8; FRAME_LEN];
+    match fill(r, &mut header, idle_ok)? {
+        Fill::Idle => return Ok(None),
+        Fill::Closed => return Err(FabricError::Disconnected),
+        Fill::Filled => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("len 4"));
+    let expected = u64::from_le_bytes(header[4..12].try_into().expect("len 8"));
+    if len > MAX_PAYLOAD {
+        return Err(FabricError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !payload.is_empty() {
+        match fill(r, &mut payload, false)? {
+            Fill::Closed => return Err(FabricError::Truncated),
+            Fill::Idle | Fill::Filled => {}
+        }
+    }
+    let found = fnv1a64(&payload);
+    if found != expected {
+        return Err(FabricError::ChecksumMismatch { expected, found });
+    }
+    Ok(Some(payload))
+}
+
+/// Reads one frame, failing on any deadline.
+///
+/// # Errors
+///
+/// Every codec failure mode: [`FabricError::Timeout`],
+/// [`FabricError::Disconnected`], [`FabricError::Truncated`],
+/// [`FabricError::Oversized`], [`FabricError::ChecksumMismatch`], and I/O.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FabricError> {
+    match read_frame_inner(r, false)? {
+        Some(payload) => Ok(payload),
+        None => unreachable!("idle is impossible with idle_ok = false"),
+    }
+}
+
+/// Reads one frame, returning `Ok(None)` when the read deadline passes with
+/// no bytes received — the server's idle tick between requests, where it
+/// checks its shutdown flag. A deadline passing *mid-frame* is still
+/// [`FabricError::Timeout`] (slow loris).
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_or_idle(r: &mut impl Read) -> Result<Option<Vec<u8>>, FabricError> {
+    read_frame_inner(r, true)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates socket failures ([`FabricError::Timeout`] on a write
+/// deadline).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FabricError> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes and sends one message.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn send(w: &mut impl Write, message: &Message) -> Result<(), FabricError> {
+    write_frame(w, &message.encode())
+}
+
+/// Receives and decodes one message, failing on any deadline.
+///
+/// # Errors
+///
+/// As [`read_frame`] plus [`Message::decode`] failures.
+pub fn recv(r: &mut impl Read) -> Result<Message, FabricError> {
+    Message::decode(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronas_datasets::DatasetKind;
+    use micronas_proxies::ZeroCostMetrics;
+    use micronas_searchspace::SearchSpace;
+    use std::io::Cursor;
+
+    fn key(i: usize) -> EvalKey {
+        let space = SearchSpace::nas_bench_201();
+        EvalKey::zero_cost(&space.cell(i).unwrap(), DatasetKind::Cifar10, i as u64, 12)
+    }
+
+    fn record(v: f64) -> EvalRecord {
+        EvalRecord::ZeroCost(ZeroCostMetrics {
+            ntk_condition: v,
+            linear_regions: 3,
+            trainability: -v,
+            expressivity: v * 0.5,
+        })
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { namespace: 0xDEAD },
+            Message::HelloAck { namespace: 0xDEAD },
+            Message::Refused {
+                expected: 1,
+                found: 2,
+            },
+            Message::Ping,
+            Message::Pong,
+            Message::Get(key(1)),
+            Message::Found(key(1), record(1.5)),
+            Message::NotFound,
+            Message::Put(key(2), record(2.5)),
+            Message::PutAck { fresh: true },
+            Message::BatchGet(vec![key(1), key(2), key(3)]),
+            Message::BatchFound(vec![
+                Some((key(1), record(1.0))),
+                None,
+                Some((key(3), record(3.0))),
+            ]),
+            Message::BatchPut(vec![(key(4), record(4.0)), (key(5), record(5.0))]),
+            Message::BatchPutAck { fresh: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for message in all_messages() {
+            let payload = message.encode();
+            assert_eq!(Message::decode(&payload).unwrap(), message, "{message:?}");
+        }
+    }
+
+    #[test]
+    fn every_message_roundtrips_through_a_frame() {
+        let mut bytes = Vec::new();
+        for message in all_messages() {
+            send(&mut bytes, &message).unwrap();
+        }
+        let mut cursor = Cursor::new(bytes);
+        for message in all_messages() {
+            assert_eq!(recv(&mut cursor).unwrap(), message);
+        }
+        // The stream is exactly consumed: the next read is a clean close.
+        assert!(matches!(recv(&mut cursor), Err(FabricError::Disconnected)));
+    }
+
+    #[test]
+    fn corrupted_checksums_are_rejected() {
+        let mut bytes = Vec::new();
+        send(&mut bytes, &Message::Put(key(1), record(1.0))).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            recv(&mut Cursor::new(bytes)),
+            Err(FabricError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let mut bytes = Vec::new();
+        send(&mut bytes, &Message::Put(key(1), record(1.0))).unwrap();
+        // Mid-payload cut.
+        assert!(matches!(
+            recv(&mut Cursor::new(&bytes[..bytes.len() - 3])),
+            Err(FabricError::Truncated)
+        ));
+        // Mid-header cut.
+        assert!(matches!(
+            recv(&mut Cursor::new(&bytes[..FRAME_LEN - 2])),
+            Err(FabricError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_without_allocating() {
+        let mut bytes = vec![0u8; FRAME_LEN];
+        bytes[..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            recv(&mut Cursor::new(bytes)),
+            Err(FabricError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        assert!(matches!(
+            Message::decode(&[99]),
+            Err(FabricError::UnknownTag(99))
+        ));
+        let mut payload = Message::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(FabricError::Malformed(_))
+        ));
+        assert!(matches!(
+            Message::decode(&[]),
+            Err(FabricError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn broken_handshakes_are_typed() {
+        let mut hello = Message::Hello { namespace: 5 }.encode();
+        hello[1] = b'X'; // corrupt the magic
+        assert!(matches!(
+            Message::decode(&hello),
+            Err(FabricError::BadMagic)
+        ));
+        let mut hello = Message::Hello { namespace: 5 }.encode();
+        hello[9] = 42; // corrupt the version
+        assert!(matches!(
+            Message::decode(&hello),
+            Err(FabricError::VersionMismatch {
+                found: 42,
+                expected: WIRE_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn lying_batch_counts_are_rejected() {
+        // Count claims more entries than the body carries.
+        let mut payload = vec![super::TAG_BATCH_GET];
+        payload.extend_from_slice(&5u32.to_le_bytes());
+        push_blob(&mut payload, &encode_key(&key(1)));
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(FabricError::Malformed(_))
+        ));
+        // Count beyond MAX_BATCH is refused before any allocation.
+        let mut payload = vec![super::TAG_BATCH_GET];
+        payload.extend_from_slice(&(MAX_BATCH as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(FabricError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wire_and_log_share_the_entry_bytes() {
+        // One codec at rest and in flight: the Put body is exactly the log
+        // payload for the same entry.
+        let payload = Message::Put(key(1), record(1.0)).encode();
+        assert_eq!(payload[1..], encode_entry(&key(1), &record(1.0))[..]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Loopback integration tests for the fabric: node/client/tier over real
+//! sockets, plus wire fault injection — truncated frames, corrupted
+//! checksums, mid-stream disconnects and slow-loris partial writes must
+//! all surface as clean typed errors, never panics or hangs.
+//!
+//! CI runs this file in the tier-1 job (`cargo test -p micronas-fabric`).
+
+use micronas_datasets::DatasetKind;
+use micronas_fabric::wire::{self, Message};
+use micronas_fabric::{
+    ClientOptions, CompactionDaemon, CompactionOutcome, FabricClient, FabricConfig, FabricError,
+    FabricNode, HashRing, NodeOptions, RemoteTier,
+};
+use micronas_proxies::ZeroCostMetrics;
+use micronas_searchspace::SearchSpace;
+use micronas_store::{EvalKey, EvalRecord, EvalStore, RemoteBackend};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NS: u64 = 7;
+
+fn key(i: usize) -> EvalKey {
+    let space = SearchSpace::nas_bench_201();
+    EvalKey::zero_cost(
+        &space.cell(i % space.len()).unwrap(),
+        DatasetKind::Cifar10,
+        i as u64,
+        12,
+    )
+}
+
+fn record(v: f64) -> EvalRecord {
+    EvalRecord::ZeroCost(ZeroCostMetrics {
+        ntk_condition: v,
+        linear_regions: 3,
+        trainability: -v,
+        expressivity: v * 0.5,
+    })
+}
+
+/// A node with short deadlines so fault tests converge quickly.
+fn quick_node(store: Arc<EvalStore>) -> FabricNode {
+    FabricNode::serve_with(
+        store,
+        NodeOptions {
+            workers: 2,
+            backlog: 8,
+            read_timeout: Duration::from_millis(50),
+        },
+    )
+    .expect("bind loopback node")
+}
+
+fn quick_client(addr: &str, namespace: u64) -> FabricClient {
+    FabricClient::new(
+        addr,
+        namespace,
+        ClientOptions {
+            timeout: Duration::from_millis(500),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        },
+    )
+}
+
+/// Polls `probe` for up to two seconds — long enough for a worker thread to
+/// observe a socket deadline, short enough to prove nothing hangs.
+fn eventually(mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn point_and_batch_requests_roundtrip() {
+    let node = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let client = quick_client(&node.addr(), NS);
+    client.connect().unwrap();
+    client.ping().unwrap();
+
+    assert_eq!(client.get(&key(1)).unwrap(), None);
+    assert!(client.put(key(1), record(1.0)).unwrap());
+    assert!(!client.put(key(1), record(1.0)).unwrap());
+    assert_eq!(client.get(&key(1)).unwrap(), Some(record(1.0)));
+
+    assert_eq!(
+        client
+            .batch_put(vec![(key(2), record(2.0)), (key(3), record(3.0))])
+            .unwrap(),
+        2
+    );
+    assert_eq!(
+        client.batch_get(&[key(1), key(2), key(9)]).unwrap(),
+        vec![Some(record(1.0)), Some(record(2.0)), None]
+    );
+
+    let stats = node.stats();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.pings, 1);
+    assert_eq!(stats.gets, 2 + 3);
+    assert_eq!(stats.get_hits, 1 + 2);
+    assert_eq!(stats.puts, 2 + 2);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn handshake_refuses_a_divergent_namespace_with_both_fingerprints() {
+    let node = quick_node(Arc::new(EvalStore::in_memory(0xAAAA)));
+    let client = quick_client(&node.addr(), 0xBBBB);
+    let err = client.connect().unwrap_err();
+    match &err {
+        FabricError::HandshakeRefused { ours, theirs } => {
+            assert_eq!(*ours, 0xBBBB);
+            assert_eq!(*theirs, 0xAAAA);
+        }
+        other => panic!("expected HandshakeRefused, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("0x000000000000aaaa"), "{msg}");
+    assert!(msg.contains("0x000000000000bbbb"), "{msg}");
+    assert!(!err.retryable());
+    assert!(eventually(|| node.stats().refused_handshakes == 1));
+    assert_eq!(node.stats().connections, 0);
+}
+
+/// Dials the node and completes a raw handshake, returning the socket for
+/// fault injection past the Hello.
+fn raw_handshaken(addr: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    wire::send(&mut stream, &Message::Hello { namespace: NS }).unwrap();
+    assert_eq!(
+        wire::recv(&mut stream).unwrap(),
+        Message::HelloAck { namespace: NS }
+    );
+    stream
+}
+
+#[test]
+fn corrupted_checksums_close_the_connection_with_a_counted_error() {
+    let node = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let mut stream = raw_handshaken(&node.addr());
+
+    // A frame whose checksum does not match its payload.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&3u32.to_le_bytes());
+    frame.extend_from_slice(&0u64.to_le_bytes());
+    frame.extend_from_slice(&[1, 2, 3]);
+    stream.write_all(&frame).unwrap();
+
+    // The server rejects and closes; our next read sees EOF, not a hang.
+    let mut buf = [0u8; 16];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    assert!(eventually(|| node.stats().errors == 1));
+}
+
+#[test]
+fn mid_stream_disconnects_are_clean_but_truncated_frames_are_errors() {
+    let node = quick_node(Arc::new(EvalStore::in_memory(NS)));
+
+    // Disconnecting between frames is a normal client departure.
+    drop(raw_handshaken(&node.addr()));
+    // Disconnecting mid-frame is a truncation error.
+    let mut stream = raw_handshaken(&node.addr());
+    stream.write_all(&7u32.to_le_bytes()).unwrap(); // header fragment
+    drop(stream);
+
+    assert!(eventually(|| node.stats().errors == 1));
+    assert!(eventually(|| node.stats().connections == 2));
+}
+
+#[test]
+fn slow_loris_partial_writes_time_out_instead_of_pinning_a_worker() {
+    let node = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let mut stream = raw_handshaken(&node.addr());
+
+    // Send part of a frame header, then stall with the socket open.
+    stream.write_all(&[1, 0]).unwrap();
+    assert!(
+        eventually(|| node.stats().errors == 1),
+        "server must disconnect a stalled mid-frame peer"
+    );
+
+    // The freed worker still serves well-behaved clients.
+    let client = quick_client(&node.addr(), NS);
+    client.ping().unwrap();
+}
+
+#[test]
+fn clients_type_stalled_and_corrupt_servers() {
+    // A "server" that accepts handshakes but never answers requests.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let stall = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = wire::recv(&mut stream).unwrap();
+        assert!(matches!(hello, Message::Hello { namespace: NS }));
+        wire::send(&mut stream, &Message::HelloAck { namespace: NS }).unwrap();
+        let _request = wire::recv(&mut stream); // read it, answer nothing
+        std::thread::sleep(Duration::from_millis(400));
+    });
+    let client = FabricClient::new(
+        &addr,
+        NS,
+        ClientOptions {
+            timeout: Duration::from_millis(100),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    assert!(matches!(
+        client.get(&key(1)).unwrap_err(),
+        FabricError::Timeout
+    ));
+    stall.join().unwrap();
+
+    // A "server" answering the handshake with a corrupted frame.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let corrupt = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let _ = wire::recv(&mut stream).unwrap();
+        let mut frame = Message::HelloAck { namespace: NS }.encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes()); // wrong checksum
+        bytes.append(&mut frame);
+        stream.write_all(&bytes).unwrap();
+    });
+    let client = quick_client(&addr, NS);
+    assert!(matches!(
+        client.connect().unwrap_err(),
+        FabricError::ChecksumMismatch { .. }
+    ));
+    corrupt.join().unwrap();
+}
+
+#[test]
+fn tier_write_behind_delivers_to_ring_owners_and_reads_through() {
+    let node_a = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let node_b = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let config = FabricConfig::with_peers(vec![node_a.addr(), node_b.addr()]);
+
+    // Worker 1 computes: every local insert is offered write-behind.
+    let store1 = Arc::new(EvalStore::in_memory(NS));
+    let tier1 = Arc::new(RemoteTier::from_config(NS, &config));
+    store1
+        .attach_remote(Arc::clone(&tier1) as Arc<dyn RemoteBackend>)
+        .unwrap();
+    const N: usize = 40;
+    for i in 0..N {
+        store1.insert(key(i), record(i as f64)).unwrap();
+    }
+    tier1.flush().unwrap();
+    let stats1 = tier1.stats();
+    assert_eq!(stats1.offered, N as u64);
+    assert_eq!(stats1.delivered, N as u64);
+    assert_eq!(stats1.dropped + stats1.failed_deliveries, 0);
+
+    // Every record landed on exactly its ring owner.
+    let ring = HashRing::new(&[node_a.addr(), node_b.addr()], config.vnodes);
+    assert_eq!(node_a.store().len() + node_b.store().len(), N);
+    for i in 0..N {
+        let owner = ring.owner(key(i).shard_hash()).unwrap();
+        let owner_store = if owner == 0 {
+            node_a.store()
+        } else {
+            node_b.store()
+        };
+        assert_eq!(owner_store.peek(&key(i)), Some(record(i as f64)));
+    }
+    assert!(!node_a.store().is_empty() && !node_b.store().is_empty());
+
+    // Worker 2 arrives cold: every lookup reads through the fabric and
+    // fills the local shard — no recompute anywhere.
+    let store2 = Arc::new(EvalStore::in_memory(NS));
+    let tier2 = Arc::new(RemoteTier::from_config(NS, &config));
+    store2
+        .attach_remote(Arc::clone(&tier2) as Arc<dyn RemoteBackend>)
+        .unwrap();
+    for i in 0..N {
+        assert_eq!(store2.get(&key(i)), Some(record(i as f64)));
+    }
+    assert_eq!(tier2.stats().remote_hits, N as u64);
+    assert_eq!(store2.stats().hits, N as u64);
+    assert_eq!(store2.len(), N); // remote hits filled the local shard
+    for i in 0..N {
+        assert_eq!(store2.peek(&key(i)), Some(record(i as f64)));
+    }
+}
+
+#[test]
+fn dead_peers_leave_the_ring_and_lookups_fail_over() {
+    let mut node_a = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let node_b = quick_node(Arc::new(EvalStore::in_memory(NS)));
+    let addr_a = node_a.addr();
+    let addr_b = node_b.addr();
+
+    // A key owned by node A while both nodes are live.
+    let ring = HashRing::new(&[addr_a.clone(), addr_b.clone()], 32);
+    let owned_by_a = (0..1_000)
+        .map(key)
+        .find(|k| ring.owner(k.shard_hash()) == Some(0))
+        .expect("some key owned by node A");
+    // Node B holds the record (e.g. replicated by an earlier fleet).
+    node_b.store().insert(owned_by_a, record(4.2)).unwrap();
+
+    let mut config = FabricConfig::with_peers(vec![addr_a.clone(), addr_b.clone()]);
+    config.timeout_ms = 100;
+    config.retries = 0;
+    config.fail_threshold = 1;
+    let tier = RemoteTier::from_config(NS, &config);
+
+    node_a.shutdown();
+    // First fetch: the owner is dead — the failure marks it degraded.
+    assert_eq!(tier.fetch(&owned_by_a), None);
+    let stats = tier.stats();
+    assert_eq!(stats.degraded_peers, 1);
+    assert!(stats.timeouts + stats.errors >= 1);
+    assert_eq!(tier.alive_peers(), vec![addr_b]);
+
+    // Second fetch: the key's arc fell to node B, which has it.
+    assert_eq!(tier.fetch(&owned_by_a), Some(record(4.2)));
+    assert_eq!(tier.stats().remote_hits, 1);
+}
+
+#[test]
+fn compaction_daemon_compacts_idle_logs_and_skips_live_ones() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "micronas-fabric-compaction-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let store = EvalStore::open(&path, NS).unwrap();
+    for round in 0..3 {
+        for i in 0..8 {
+            store
+                .insert(key(i), record((round * 8 + i) as f64))
+                .unwrap();
+        }
+    }
+    let daemon = CompactionDaemon::new(NS, vec![path.clone()]);
+
+    // While the store holds the log, the daemon reports Busy — never blocks.
+    let reports = daemon.tick_now();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].outcome, CompactionOutcome::Busy);
+
+    // Once the store is gone, superseded records are dropped.
+    drop(store);
+    let reports = daemon.tick_now();
+    match &reports[0].outcome {
+        CompactionOutcome::Compacted(stats) => {
+            assert_eq!(stats.records_before, 24);
+            assert_eq!(stats.records_after, 8);
+        }
+        other => panic!("expected Compacted, got {other:?}"),
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.runs, 2);
+    assert_eq!(stats.busy, 1);
+    assert_eq!(stats.compacted, 1);
+    assert_eq!(stats.failed, 0);
+
+    // The compacted log replays to the same live state.
+    let reopened = EvalStore::open(&path, NS).unwrap();
+    assert_eq!(reopened.len(), 8);
+    assert_eq!(reopened.peek(&key(0)), Some(record(16.0)));
+    drop(reopened);
+    let _ = std::fs::remove_file(&path);
+}

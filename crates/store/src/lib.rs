@@ -65,13 +65,18 @@ mod fnv;
 mod identity;
 pub mod log;
 mod record;
+mod remote;
 mod store;
 
 pub use error::StoreError;
 pub use fnv::{fnv1a64, Fnv1a};
 pub use identity::{custom_proxy_digest, ArchDigest, EvalKey, ProxyKind, IDENTITY_VERSION};
 pub use log::CompactStats;
-pub use record::{decode_entry, encode_entry, EvalRecord, NtkSpectrumRecord, MAX_SPECTRUM_INDICES};
+pub use record::{
+    decode_entry, decode_key, encode_entry, encode_key, EvalRecord, NtkSpectrumRecord,
+    MAX_SPECTRUM_INDICES,
+};
+pub use remote::RemoteBackend;
 pub use store::{EvalStore, GetOrInsertError, StoreOptions, StoreStats};
 
 /// Convenient result alias used throughout the crate.

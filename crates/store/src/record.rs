@@ -92,13 +92,8 @@ impl EvalRecord {
     }
 }
 
-/// Encodes `(key, record)` into the log payload bytes.
-///
-/// The layout for the built-in [`ProxyKind`] tags (0–2) is byte-for-byte
-/// the PR 3 layout (golden-tested); a [`ProxyKind::Custom`] key (tag 3)
-/// appends its 64-bit identity word after the kind parameter.
-pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+/// Appends the key prefix of the entry layout to `out`.
+fn encode_key_into(out: &mut Vec<u8>, key: &EvalKey) {
     out.extend_from_slice(&key.cell.0.to_le_bytes());
     out.push(key.dataset.id() as u8);
     out.extend_from_slice(&key.seed.to_le_bytes());
@@ -108,6 +103,43 @@ pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
     if let ProxyKind::Custom { id_digest, .. } = key.kind {
         out.extend_from_slice(&id_digest.to_le_bytes());
     }
+}
+
+/// Encodes a bare [`EvalKey`] — byte-for-byte the key prefix of
+/// [`encode_entry`]'s layout, so a key on the wire (the fabric's `Get`
+/// requests) and a key at rest in the log are the same bytes.
+pub fn encode_key(key: &EvalKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    encode_key_into(&mut out, key);
+    out
+}
+
+/// Decodes a bare [`EvalKey`] produced by [`encode_key`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::MalformedRecord`] when the buffer is truncated,
+/// carries an unknown dataset or proxy kind, or has trailing garbage.
+pub fn decode_key(payload: &[u8]) -> Result<EvalKey, StoreError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let key = read_key(&mut r)?;
+    if r.pos != payload.len() {
+        return Err(StoreError::MalformedRecord("trailing bytes after key"));
+    }
+    Ok(key)
+}
+
+/// Encodes `(key, record)` into the log payload bytes.
+///
+/// The layout for the built-in [`ProxyKind`] tags (0–2) is byte-for-byte
+/// the PR 3 layout (golden-tested); a [`ProxyKind::Custom`] key (tag 3)
+/// appends its 64-bit identity word after the kind parameter.
+pub fn encode_entry(key: &EvalKey, record: &EvalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_key_into(&mut out, key);
     match record {
         EvalRecord::ZeroCost(m) => {
             out.push(0);
@@ -191,6 +223,26 @@ fn dataset_from_id(id: u8) -> Result<DatasetKind, StoreError> {
         .ok_or(StoreError::MalformedRecord("unknown dataset id"))
 }
 
+/// Reads the key prefix of the entry layout from `r`.
+fn read_key(r: &mut Reader<'_>) -> Result<EvalKey, StoreError> {
+    let cell = ArchDigest(r.u64()?);
+    let dataset = dataset_from_id(r.u8()?)?;
+    let seed = r.u64()?;
+    let kind_tag = r.u8()?;
+    let kind_param = r.u16()?;
+    // Tag 3 (Custom) carries its 64-bit identity word after the parameter;
+    // the built-in tags carry nothing extra (PR 3 layout).
+    let identity_word = if kind_tag == 3 { r.u64()? } else { 0 };
+    let kind = ProxyKind::decode_extended(kind_tag, kind_param, identity_word)
+        .ok_or(StoreError::MalformedRecord("unknown proxy kind"))?;
+    Ok(EvalKey {
+        cell,
+        dataset,
+        seed,
+        kind,
+    })
+}
+
 /// Decodes a log payload back into `(key, record)`.
 ///
 /// # Errors
@@ -202,22 +254,7 @@ pub fn decode_entry(payload: &[u8]) -> Result<(EvalKey, EvalRecord), StoreError>
         buf: payload,
         pos: 0,
     };
-    let cell = ArchDigest(r.u64()?);
-    let dataset = dataset_from_id(r.u8()?)?;
-    let seed = r.u64()?;
-    let kind_tag = r.u8()?;
-    let kind_param = r.u16()?;
-    // Tag 3 (Custom) carries its 64-bit identity word after the parameter;
-    // the built-in tags carry nothing extra (PR 3 layout).
-    let identity_word = if kind_tag == 3 { r.u64()? } else { 0 };
-    let kind = ProxyKind::decode_extended(kind_tag, kind_param, identity_word)
-        .ok_or(StoreError::MalformedRecord("unknown proxy kind"))?;
-    let key = EvalKey {
-        cell,
-        dataset,
-        seed,
-        kind,
-    };
+    let key = read_key(&mut r)?;
     let record = match r.u8()? {
         0 => EvalRecord::ZeroCost(ZeroCostMetrics {
             ntk_condition: r.f64()?,
@@ -357,6 +394,31 @@ mod tests {
             param: 0,
         });
         assert_eq!(encode_entry(&custom, &EvalRecord::Scalar(1.0)).len(), 37);
+    }
+
+    #[test]
+    fn bare_key_codec_matches_the_entry_prefix() {
+        for kind in [
+            ProxyKind::ZeroCost { ntk_batch: 32 },
+            ProxyKind::NtkSpectrum { batch: 12 },
+            ProxyKind::Hardware,
+            ProxyKind::Custom {
+                id_digest: 0xFEED_FACE_CAFE_BEEF,
+                param: 3,
+            },
+        ] {
+            let key = sample_key(kind);
+            let bytes = encode_key(&key);
+            // The bare key is exactly the prefix of the full entry layout.
+            let entry = encode_entry(&key, &EvalRecord::Scalar(0.0));
+            assert_eq!(entry[..bytes.len()], bytes[..]);
+            assert_eq!(decode_key(&bytes).unwrap(), key);
+            // Truncation and trailing garbage are both rejected.
+            assert!(decode_key(&bytes[..bytes.len() - 1]).is_err());
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(decode_key(&long).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The remote-tier seam: a pluggable backend consulted on local misses.
+//!
+//! The store key is a stable content address ([`crate::EvalKey`] hashes the
+//! canonical isomorphism-orbit digest × dataset × seed × proxy), so a record
+//! computed by *any* worker under the same namespace is bitwise-valid for
+//! every other worker. [`RemoteBackend`] is the seam that exploits this: an
+//! [`crate::EvalStore`] with a remote attached consults it after the
+//! in-memory shards and the log point-read tier miss, and offers freshly
+//! computed records back — read-through/write-behind layered over the local
+//! LRU tier without any caller changing.
+//!
+//! The `micronas-fabric` crate provides the production implementation (a
+//! consistent-hash ring of TCP peers); tests can attach anything that
+//! implements the trait.
+
+use crate::{EvalKey, EvalRecord};
+
+/// A remote record source layered behind a local [`crate::EvalStore`].
+///
+/// Implementations must be **best-effort and non-blocking in spirit**: a
+/// fetch that cannot be answered promptly (dead peer, timeout) should return
+/// `None` so the caller recomputes locally, and `offer` should queue
+/// asynchronously rather than stall the inserting worker. Because records
+/// are pure values keyed by content address, serving `None` is always
+/// *correct* — the remote tier only ever changes how much work is saved,
+/// never what is computed.
+///
+/// Implementations must only ever return records produced under the same
+/// store namespace; [`crate::EvalStore::attach_remote`] enforces the
+/// namespace fingerprint up front, mirroring how persisted logs refuse to
+/// open under a different configuration.
+pub trait RemoteBackend: Send + Sync + std::fmt::Debug {
+    /// The evaluation-configuration namespace this backend serves. Must
+    /// match the local store's namespace to be attachable.
+    fn namespace(&self) -> u64;
+
+    /// Looks `key` up remotely. `None` means "not available" for any reason
+    /// — a genuine remote miss, a timeout, or a degraded ring — and the
+    /// caller recomputes locally.
+    fn fetch(&self, key: &EvalKey) -> Option<EvalRecord>;
+
+    /// Offers a freshly computed record to the fabric (write-behind). Must
+    /// not block the caller on network I/O; dropping the offer under
+    /// backpressure is acceptable (the record can always be recomputed or
+    /// re-offered later).
+    fn offer(&self, key: EvalKey, record: EvalRecord);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Null;
+    impl RemoteBackend for Null {
+        fn namespace(&self) -> u64 {
+            7
+        }
+        fn fetch(&self, _key: &EvalKey) -> Option<EvalRecord> {
+            None
+        }
+        fn offer(&self, _key: EvalKey, _record: EvalRecord) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<std::sync::Arc<dyn RemoteBackend>>();
+        let b: Box<dyn RemoteBackend> = Box::new(Null);
+        assert_eq!(b.namespace(), 7);
+    }
+}

@@ -1,6 +1,7 @@
 //! The sharded, concurrent, optionally persistent evaluation store.
 
 use crate::log::{self, read_record_at, CompactStats, LogWriter, Replay};
+use crate::remote::RemoteBackend;
 use crate::{EvalKey, EvalRecord, StoreError};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -8,6 +9,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of lock stripes. Reads take a shard's `RwLock` in shared mode, so
 /// rayon workers pounding the same warm store contend only on the stripe
@@ -130,6 +132,9 @@ pub struct EvalStore {
     /// Independent read handle for point re-reads of evicted records.
     reader: Option<Mutex<File>>,
     max_resident_per_shard: Option<usize>,
+    /// Optional remote tier consulted after the local tiers miss (see
+    /// [`EvalStore::attach_remote`]).
+    remote: RwLock<Option<Arc<dyn RemoteBackend>>>,
 }
 
 impl EvalStore {
@@ -145,6 +150,7 @@ impl EvalStore {
             offsets: None,
             reader: None,
             max_resident_per_shard: options.max_resident_per_shard,
+            remote: RwLock::new(None),
         }
     }
 
@@ -236,10 +242,51 @@ impl EvalStore {
         }
     }
 
+    /// Attaches a remote tier that [`EvalStore::get`] and friends consult
+    /// after both local tiers (memory, log point read) miss. A remote hit
+    /// populates the local shard (and the log, on a persistent store) and
+    /// counts as a **hit** — the value was served without recomputation;
+    /// fresh local inserts are offered back to the remote (write-behind).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NamespaceMismatch`] when the backend serves a
+    /// different evaluation-configuration namespace — the in-process
+    /// analogue of a stale log refusing to open, with both fingerprints
+    /// reported in hex.
+    pub fn attach_remote(&self, remote: Arc<dyn RemoteBackend>) -> Result<(), StoreError> {
+        if remote.namespace() != self.namespace {
+            return Err(StoreError::NamespaceMismatch {
+                found: remote.namespace(),
+                expected: self.namespace,
+            });
+        }
+        *self.remote.write() = Some(remote);
+        Ok(())
+    }
+
+    /// Detaches the remote tier, if any; the store is purely local again.
+    pub fn detach_remote(&self) {
+        *self.remote.write() = None;
+    }
+
+    /// Whether a remote tier is attached.
+    pub fn has_remote(&self) -> bool {
+        self.remote.read().is_some()
+    }
+
+    /// **Local-only** point read: memory, then the log for evicted records —
+    /// never the remote tier, and never the hit/miss counters. This is the
+    /// read a fabric node answers `Get` requests with (a node serving a peer
+    /// must not recurse into its own remote tier or skew its local stats).
+    pub fn peek(&self, key: &EvalKey) -> Option<EvalRecord> {
+        self.lookup_local(key)
+    }
+
     /// Memory lookup (stamping the LRU clock), falling back to a log point
     /// read for evicted records on capped persistent stores. Does not touch
     /// the hit/miss counters.
-    fn lookup(&self, key: &EvalKey) -> Option<EvalRecord> {
+    fn lookup_local(&self, key: &EvalKey) -> Option<EvalRecord> {
         {
             let shard = self.shard(key).read();
             if let Some(resident) = shard.get(key) {
@@ -264,6 +311,29 @@ impl EvalStore {
             // unknown provenance.
             _ => None,
         }
+    }
+
+    /// Full lookup: local tiers first, then the remote tier (read-through).
+    /// Does not touch the hit/miss counters.
+    fn lookup(&self, key: &EvalKey) -> Option<EvalRecord> {
+        if let Some(found) = self.lookup_local(key) {
+            return Some(found);
+        }
+        let remote = self.remote.read().clone()?;
+        let record = remote.fetch(key)?;
+        if record.validate().is_err() {
+            // A peer handing out records the local log codec would refuse is
+            // misbehaving; recompute rather than poison the local tiers.
+            return None;
+        }
+        // Read-through fill: the fetched record becomes resident (and, on a
+        // persistent store, durable) so the next lookup is a memory hit. The
+        // fill is deliberately NOT offered back to the remote — it came from
+        // there.
+        if self.store_local(*key, record.clone()).is_err() {
+            micronas_telemetry::counter_add("store.remote_fill_log_errors", 1);
+        }
+        Some(record)
     }
 
     /// Inserts into the in-memory tier only, evicting a least-recently-used
@@ -334,9 +404,24 @@ impl EvalStore {
         }
     }
 
-    /// Inserts (or replaces) a record, persisting it when a log is attached.
-    /// Returns `true` when the key was new in memory. Does not touch the
-    /// hit/miss counters.
+    /// Inserts into the local tiers only (memory + log), never offering to
+    /// the remote.
+    fn store_local(&self, key: EvalKey, record: EvalRecord) -> Result<bool, StoreError> {
+        let fresh = self.insert_resident(key, record.clone());
+        if let Some(log) = &self.log {
+            let _span = micronas_telemetry::span!("store.log_append");
+            let offset = log.lock().append(&key, &record)?;
+            if let Some(offsets) = &self.offsets {
+                offsets.write().insert(key, offset);
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Inserts (or replaces) a record, persisting it when a log is attached
+    /// and offering fresh records to the remote tier (write-behind) when one
+    /// is attached. Returns `true` when the key was new in memory. Does not
+    /// touch the hit/miss counters.
     ///
     /// # Errors
     ///
@@ -345,12 +430,10 @@ impl EvalStore {
         // Reject records the log decoder would refuse; accepting one would
         // truncate it (and every record behind it) on the next replay.
         record.validate()?;
-        let fresh = self.insert_resident(key, record.clone());
-        if let Some(log) = &self.log {
-            let _span = micronas_telemetry::span!("store.log_append");
-            let offset = log.lock().append(&key, &record)?;
-            if let Some(offsets) = &self.offsets {
-                offsets.write().insert(key, offset);
+        let fresh = self.store_local(key, record.clone())?;
+        if fresh {
+            if let Some(remote) = self.remote.read().clone() {
+                remote.offer(key, record);
             }
         }
         Ok(fresh)
@@ -669,6 +752,126 @@ mod tests {
             "LRU record evicted from the memory-only cache"
         );
         assert!(store.get(&keys[2]).is_some());
+    }
+
+    // -- remote tier -------------------------------------------------------
+
+    /// A scriptable in-process remote: serves from a fixed map, records
+    /// every offer.
+    #[derive(Debug, Default)]
+    struct FakeRemote {
+        namespace: u64,
+        served: Mutex<HashMap<EvalKey, EvalRecord>>,
+        fetches: AtomicU64,
+        offers: Mutex<Vec<EvalKey>>,
+    }
+
+    impl crate::RemoteBackend for FakeRemote {
+        fn namespace(&self) -> u64 {
+            self.namespace
+        }
+        fn fetch(&self, key: &EvalKey) -> Option<EvalRecord> {
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+            self.served.lock().get(key).cloned()
+        }
+        fn offer(&self, key: EvalKey, _record: EvalRecord) {
+            self.offers.lock().push(key);
+        }
+    }
+
+    #[test]
+    fn attach_remote_enforces_the_namespace_in_hex() {
+        let store = EvalStore::in_memory(0xAAAA);
+        let remote = Arc::new(FakeRemote {
+            namespace: 0xBBBB,
+            ..FakeRemote::default()
+        });
+        let err = store.attach_remote(remote).unwrap_err();
+        let msg = err.to_string();
+        // Both fingerprints in hex, so an operator can tell a stale log from
+        // a divergent-backend peer at a glance.
+        assert!(msg.contains("0x000000000000bbbb"), "{msg}");
+        assert!(msg.contains("0x000000000000aaaa"), "{msg}");
+        assert!(!store.has_remote());
+    }
+
+    #[test]
+    fn remote_hit_counts_as_a_hit_and_fills_the_local_shard() {
+        let remote = Arc::new(FakeRemote::default());
+        remote.served.lock().insert(key(1), record(4.5));
+        let store = EvalStore::in_memory(0);
+        store.attach_remote(remote.clone()).unwrap();
+
+        assert_eq!(store.get(&key(1)), Some(record(4.5)));
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1, "a remote hit is served without recompute");
+        assert_eq!(stats.misses, 0);
+        assert_eq!(remote.fetches.load(Ordering::Relaxed), 1);
+
+        // The fill made the record resident: the second get never leaves the
+        // process, and the fill was not offered back to the remote.
+        assert_eq!(store.get(&key(1)), Some(record(4.5)));
+        assert_eq!(remote.fetches.load(Ordering::Relaxed), 1);
+        assert!(remote.offers.lock().is_empty());
+
+        // A miss everywhere consults the remote once and counts a miss.
+        assert!(store.get(&key(2)).is_none());
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(remote.fetches.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fresh_inserts_are_offered_write_behind() {
+        let remote = Arc::new(FakeRemote::default());
+        let store = EvalStore::in_memory(0);
+        store.attach_remote(remote.clone()).unwrap();
+        store.insert(key(3), record(1.0)).unwrap();
+        // Re-inserting the same key is not fresh and is not re-offered.
+        store.insert(key(3), record(1.0)).unwrap();
+        assert_eq!(remote.offers.lock().as_slice(), &[key(3)]);
+
+        store.detach_remote();
+        store.insert(key(4), record(2.0)).unwrap();
+        assert_eq!(remote.offers.lock().len(), 1, "detached remote is silent");
+    }
+
+    #[test]
+    fn peek_is_local_only_and_counts_nothing() {
+        let remote = Arc::new(FakeRemote::default());
+        remote.served.lock().insert(key(5), record(9.0));
+        let store = EvalStore::in_memory(0);
+        store.attach_remote(remote.clone()).unwrap();
+
+        // peek never consults the remote and never counts.
+        assert!(store.peek(&key(5)).is_none());
+        assert_eq!(remote.fetches.load(Ordering::Relaxed), 0);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+
+        store.insert(key(6), record(3.0)).unwrap();
+        assert_eq!(store.peek(&key(6)), Some(record(3.0)));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn get_or_insert_reads_through_the_remote() {
+        let remote = Arc::new(FakeRemote::default());
+        remote.served.lock().insert(key(7), record(7.0));
+        let store = EvalStore::in_memory(0);
+        store.attach_remote(remote.clone()).unwrap();
+        let (found, hit) = store
+            .get_or_try_insert_with::<(), _>(key(7), || panic!("remote hit must skip compute"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(found, record(7.0));
+        // A genuine miss computes locally and offers the fresh record back.
+        let (computed, hit) = store
+            .get_or_try_insert_with::<(), _>(key(8), || Ok(record(8.0)))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(computed, record(8.0));
+        assert_eq!(remote.offers.lock().as_slice(), &[key(8)]);
     }
 
     #[test]

@@ -226,6 +226,50 @@
 //! paper-default cell's forward/backward graphs (fused and unfused) as
 //! Graphviz via [`graph::Graph::to_dot`].
 //!
+//! # Deployment topologies (PR 9): from one process to a fleet
+//!
+//! The evaluation store has always been the unit of sharing; the [`fabric`]
+//! crate ([`micronas_fabric`]) makes it the unit of *distribution*. Three
+//! topologies, in increasing order of ambition — all three produce
+//! **bitwise-identical** search results, because the fabric only changes
+//! where warm [`store::EvalRecord`]s come from, never what is computed:
+//!
+//! 1. **Single process** — the default. `SearchSession::builder().build()`
+//!    evaluates everything locally; an in-memory [`store::EvalStore`]
+//!    deduplicates within the run.
+//! 2. **Warm local store** — `EvalStore::open` a log file and pass it to
+//!    the session; repeat runs replay cached evaluations from disk.
+//! 3. **Fabric fleet** — each worker machine runs a [`fabric::FabricNode`]
+//!    serving its shard of the keyspace over loopback/LAN TCP, and each
+//!    search process joins via `SearchSession::builder().fabric(..)` (or
+//!    [`core::MicroNasConfig::fabric`]). A deterministic consistent-hash
+//!    ring ([`fabric::HashRing`], virtual-node placement, identical on
+//!    every worker with no coordination service) routes each
+//!    `EvalKey::shard_hash` to its owning node; local misses read through
+//!    the ring ([`fabric::RemoteTier`]), and fresh evaluations are offered
+//!    back write-behind on a bounded queue that never blocks the search.
+//!
+//! The wire protocol reuses the store log's checksummed frame codec
+//! byte-for-byte, and every connection opens with a `Hello` carrying the
+//! worker's [`core::MicroNasConfig::store_namespace`] fingerprint — a node
+//! serving a divergent evaluation configuration refuses the handshake,
+//! naming both fingerprints in hex, exactly like a namespace-mismatched
+//! store log refuses to open. Fabric membership itself deliberately does
+//! **not** fold into the namespace: joining, leaving, or resizing a fleet
+//! never invalidates warm records.
+//!
+//! Failure is a first-class state, not an error: per-request timeouts and
+//! bounded retries bound the cost of a sick peer, and a peer that keeps
+//! failing is marked dead and drops out of the ring (its arc falls to the
+//! next live node; everyone else's shards stay warm). With every peer dead
+//! the tier degrades to local recompute — slower, never wrong, and visible
+//! in telemetry (`fabric.degraded`, `fabric.remote.*`,
+//! `fabric.writebehind.*`, `fabric.node.*` counters). A
+//! [`fabric::CompactionDaemon`] rewrites idle node logs on a schedule,
+//! skipping logs that are live-locked. `tests/fabric_integration.rs` pins
+//! the paper fingerprint across warm two-node and kill-a-node topologies;
+//! `examples/fabric_cluster.rs` runs a three-node ring end to end.
+//!
 //! # Crate map
 //!
 //! * [`tensor`] — dense tensors and linear algebra ([`micronas_tensor`])
@@ -238,11 +282,13 @@
 //! * [`hw`] — FLOPs / latency / memory hardware indicators ([`micronas_hw`])
 //! * [`proxies`] — pluggable zero-cost proxies ([`micronas_proxies`])
 //! * [`store`] — shared, persistent evaluation store ([`micronas_store`])
+//! * [`fabric`] — distributed evaluation fabric over TCP ([`micronas_fabric`])
 //! * [`telemetry`] — spans, metrics and the event-line format ([`micronas_telemetry`])
 //! * [`core`] — sessions, strategies and the experiment harness ([`micronas`])
 
 pub use micronas as core;
 pub use micronas_datasets as datasets;
+pub use micronas_fabric as fabric;
 pub use micronas_graph as graph;
 pub use micronas_hw as hw;
 pub use micronas_mcu as mcu;

@@ -1,0 +1,149 @@
+//! End-to-end acceptance tests for the distributed evaluation fabric:
+//! a two-node loopback fleet must serve a warm repeat of the paper sweep
+//! without recompute and without moving a single bit of the result; a
+//! killed node must degrade the fleet, not the answer; and a peer serving
+//! a divergent evaluation configuration must be refused at the handshake.
+
+use micronas_suite::core::experiments::{run_paper_sweep, SweepScale};
+use micronas_suite::core::MicroNasConfig;
+use micronas_suite::fabric::{FabricConfig, FabricNode, RemoteTier};
+use micronas_suite::store::{EvalStore, RemoteBackend};
+use micronas_suite::telemetry::Collector;
+use std::sync::Arc;
+
+/// `run_paper_sweep(tiny_test, tiny)` — pinned in `tests/paper_identity.rs`.
+const TINY_FINGERPRINT: u64 = 0xa18a_5c02_cac6_7ecd;
+
+fn two_nodes(namespace: u64) -> (FabricNode, FabricNode, FabricConfig) {
+    let node_a = FabricNode::serve(Arc::new(EvalStore::in_memory(namespace))).unwrap();
+    let node_b = FabricNode::serve(Arc::new(EvalStore::in_memory(namespace))).unwrap();
+    let config = FabricConfig::with_peers(vec![node_a.addr(), node_b.addr()]);
+    (node_a, node_b, config)
+}
+
+/// A worker: a local in-memory store reading through a fabric tier.
+fn worker(namespace: u64, config: &FabricConfig) -> (Arc<EvalStore>, Arc<RemoteTier>) {
+    let store = Arc::new(EvalStore::in_memory(namespace));
+    let tier = Arc::new(RemoteTier::from_config(namespace, config));
+    store
+        .attach_remote(Arc::clone(&tier) as Arc<dyn RemoteBackend>)
+        .unwrap();
+    (store, tier)
+}
+
+#[test]
+fn warm_two_node_repeat_is_bitwise_identical_and_mostly_served() {
+    let config = MicroNasConfig::tiny_test();
+    let namespace = config.store_namespace();
+    let (node_a, node_b, fabric) = two_nodes(namespace);
+
+    // Worker 1 computes the tiny paper sweep cold, offering every fresh
+    // evaluation to the fleet write-behind.
+    let (store1, tier1) = worker(namespace, &fabric);
+    let report1 = run_paper_sweep(&config, &SweepScale::tiny(), Some(store1)).unwrap();
+    assert_eq!(
+        report1.identity_fingerprint(),
+        TINY_FINGERPRINT,
+        "fabric-attached sweep drifted: got {:#018x}",
+        report1.identity_fingerprint()
+    );
+    tier1.flush().unwrap();
+    let stats1 = tier1.stats();
+    assert!(stats1.delivered > 0, "{stats1:?}");
+    assert_eq!(stats1.offered, stats1.delivered, "{stats1:?}");
+    assert!(
+        !node_a.store().is_empty() && !node_b.store().is_empty(),
+        "the ring must spread records over both nodes ({} / {})",
+        node_a.store().len(),
+        node_b.store().len()
+    );
+
+    // Worker 2 arrives cold on another "machine": identical result, and at
+    // least 90% of its evaluations come from the fleet instead of being
+    // recomputed.
+    let (store2, tier2) = worker(namespace, &fabric);
+    let report2 = run_paper_sweep(&config, &SweepScale::tiny(), Some(store2.clone())).unwrap();
+    assert_eq!(report2.identity_fingerprint(), TINY_FINGERPRINT);
+
+    let s = store2.stats();
+    let served = s.hits as f64 / (s.hits + s.misses) as f64;
+    assert!(
+        served >= 0.9,
+        "second arrival must be mostly warm: {} hits / {} misses ({served:.3})",
+        s.hits,
+        s.misses
+    );
+    assert!(tier2.stats().remote_hits > 0, "{:?}", tier2.stats());
+}
+
+#[test]
+fn killing_a_node_degrades_the_fleet_but_not_the_answer() {
+    let config = MicroNasConfig::tiny_test();
+    let namespace = config.store_namespace();
+    let (mut node_a, node_b, mut fabric) = two_nodes(namespace);
+    // Fail fast so the dead node costs one timeout, not a retry ladder.
+    fabric.timeout_ms = 150;
+    fabric.retries = 0;
+    fabric.fail_threshold = 1;
+
+    // Warm the fleet, then kill one node.
+    let (store1, tier1) = worker(namespace, &fabric);
+    run_paper_sweep(&config, &SweepScale::tiny(), Some(store1)).unwrap();
+    tier1.flush().unwrap();
+    node_a.shutdown();
+
+    // A fresh worker against the half-dead fleet: identical fingerprint,
+    // with the degradation visible in telemetry counters.
+    let collector = Arc::new(Collector::new());
+    let scoped = micronas_suite::telemetry::install_scoped(collector.clone());
+    let (store2, tier2) = worker(namespace, &fabric);
+    let report = run_paper_sweep(&config, &SweepScale::tiny(), Some(store2)).unwrap();
+    drop(scoped);
+    assert_eq!(
+        report.identity_fingerprint(),
+        TINY_FINGERPRINT,
+        "a degraded fleet must not change results: got {:#018x}",
+        report.identity_fingerprint()
+    );
+
+    let stats = tier2.stats();
+    assert_eq!(stats.degraded_peers, 1, "{stats:?}");
+    assert!(stats.timeouts + stats.errors >= 1, "{stats:?}");
+    assert_eq!(tier2.alive_peers(), vec![node_b.addr()]);
+
+    let telemetry = collector.report();
+    assert_eq!(telemetry.counter("fabric.degraded"), 1);
+    assert!(
+        telemetry.counter("fabric.remote.timeouts") + telemetry.counter("fabric.remote.errors")
+            >= 1,
+        "{}",
+        telemetry.table()
+    );
+    // The surviving node still served what it owned.
+    assert!(
+        telemetry.counter("fabric.remote.hits") > 0,
+        "{}",
+        telemetry.table()
+    );
+}
+
+#[test]
+fn divergent_namespace_peers_are_refused_at_the_handshake() {
+    // A node from a *different* evaluation configuration (fast vs
+    // tiny_test: different probe networks, different namespaces).
+    let foreign = MicroNasConfig::fast().store_namespace();
+    let ours = MicroNasConfig::tiny_test().store_namespace();
+    assert_ne!(foreign, ours);
+    let node = FabricNode::serve(Arc::new(EvalStore::in_memory(foreign))).unwrap();
+
+    let (_store, tier) = worker(ours, &FabricConfig::with_peers(vec![node.addr()]));
+    let err = tier.connect_all().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{foreign:#018x}")) && msg.contains(&format!("{ours:#018x}")),
+        "refusal must name both fingerprints in hex: {msg}"
+    );
+    assert!(!err.retryable());
+    assert_eq!(node.stats().refused_handshakes, 1);
+    assert_eq!(node.stats().connections, 0);
+}
