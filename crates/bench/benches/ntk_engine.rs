@@ -20,17 +20,26 @@
 //!    fusion over a cached compiled plan) against the eager call tree, both
 //!    on the paper-default blocked-GEMM backend, on the sparse
 //!    [`BENCH_CELL`] where dead edges and scheduling overhead dominate.
+//! 5. **full packing vs forward-only packing** — the packed-backward
+//!    acceptance: one width-[`PACK`] `evaluate_pack_in` sweep of the sparse
+//!    [`BENCH_CELL`] with the per-sample gradient sweep packed (stem and
+//!    same-geometry conv backward kernels merged across pack members)
+//!    against the forward-only packing it extends (the packed forward plus
+//!    one solo backward sweep per member), single rayon thread so the ratio
+//!    measures dispatch amortisation rather than parallelism.
 //!
 //! Headline numbers land in `target/bench-json/ntk_engine.json`.
 //!
 //! # Smoke mode
 //!
 //! `MICRONAS_BENCH_SMOKE=1` runs reduced-iteration versions of the
-//! looped-vs-batched and blocked-vs-SIMD comparisons and **fails** (panics)
-//! if the batched path regresses below the looped path, or the SIMD backend
-//! regresses below the blocked-GEMM backend on the conv-heavy cell — the CI
-//! guards against a silent fallback onto a slow route. Criterion's own
-//! `--test` flag still runs every benchmark body once without timing.
+//! looped-vs-batched, blocked-vs-SIMD and full-vs-forward-only-packing
+//! comparisons and **fails** (panics) if the batched path regresses below
+//! the looped path, the SIMD backend regresses below the blocked-GEMM
+//! backend on the conv-heavy cell, or the packed backward regresses below
+//! the forward-only packing on the sparse cell — the CI guards against a
+//! silent fallback onto a slow route. Criterion's own `--test` flag still
+//! runs every benchmark body once without timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micronas::{MicroNasConfig, MicroNasSearch, SearchSession};
@@ -44,6 +53,9 @@ use std::time::Instant;
 /// The cell the engine benchmarks pin (a mid-space architecture with conv,
 /// skip and none edges).
 const BENCH_CELL: usize = 7_000;
+
+/// Pack width of the packed-backward comparison (the context default).
+const PACK: usize = 8;
 
 fn paper_evaluator(path: GradientPath) -> NtkEvaluator {
     NtkEvaluator::new(NtkConfig::paper_default()).with_gradient_path(path)
@@ -102,6 +114,44 @@ fn compiler_seconds(
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Seconds for one width-[`PACK`] packed paper-default NTK sweep of `cell`,
+/// with the per-sample gradient sweep either fully packed (`packed_backward
+/// = true`, this PR) or looped per member over a packed forward
+/// (`false`, the forward-only packing this PR extends), best-of-`rounds`.
+/// Runs on a one-thread rayon pool: the packed sweep's claim is dispatch
+/// amortisation, so it must win without parallelism.
+fn packed_sweep_seconds(
+    cell: CellTopology,
+    packed_backward: bool,
+    runs: usize,
+    rounds: usize,
+) -> f64 {
+    let evaluator =
+        NtkEvaluator::new(NtkConfig::paper_default()).with_packed_backward(packed_backward);
+    let cells = [cell; PACK];
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        let mut ws = micronas_tensor::Workspace::default();
+        evaluator
+            .evaluate_pack_in(&cells, DatasetKind::Cifar10, 0, &mut ws)
+            .expect("warm-up");
+        (0..rounds)
+            .map(|_| {
+                let start = Instant::now();
+                for seed in 0..runs {
+                    evaluator
+                        .evaluate_pack_in(&cells, DatasetKind::Cifar10, seed as u64, &mut ws)
+                        .expect("ntk pack");
+                }
+                start.elapsed().as_secs_f64() / runs as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    })
+}
+
 /// Whether `MICRONAS_BENCH_SMOKE=1` smoke mode is active.
 fn smoke_mode() -> bool {
     std::env::var("MICRONAS_BENCH_SMOKE")
@@ -132,6 +182,12 @@ fn compare_and_record(runs: usize) {
     // cached plan, both on the paper-default backend, on the sparse cell.
     let eager_sparse = backend_seconds(KernelBackendKind::BlockedGemm, sparse_cell, runs, 3);
     let fused_sparse = compiler_seconds(micronas_graph::CompilerKind::Fusing, sparse_cell, runs, 3);
+
+    // Packed-backward comparison: one width-PACK packed sweep of the sparse
+    // cell, full packing vs the forward-only packing it extends, one rayon
+    // thread, best-of-3.
+    let forward_only_pack = packed_sweep_seconds(sparse_cell, false, runs.min(3), 3);
+    let full_pack = packed_sweep_seconds(sparse_cell, true, runs.min(3), 3);
 
     // Store-backed provenance: how much of a real search's NTK traffic the
     // evaluation caches absorb, and how densely the mega-batcher packs the
@@ -170,6 +226,13 @@ fn compare_and_record(runs: usize) {
     println!(
         "  sparse bench cell:         {eager_sparse:>8.4} s -> {fused_sparse:>8.4} s  ({:.2}x)",
         eager_sparse / fused_sparse
+    );
+    println!(
+        "packed backward ({PACK}-wide sweep, forward-only vs full packing, 1 thread, best of 3):"
+    );
+    println!(
+        "  sparse bench cell:         {forward_only_pack:>8.4} s -> {full_pack:>8.4} s  ({:.2}x)",
+        forward_only_pack / full_pack
     );
     println!(
         "  search eval-cache:         {} hits / {} misses ({:.1}% absorbed)",
@@ -213,6 +276,15 @@ fn compare_and_record(runs: usize) {
         (
             "speedup_fused_vs_eager_bench_cell".to_string(),
             eager_sparse / fused_sparse,
+        ),
+        (
+            "forward_only_packed_seconds_bench_cell".to_string(),
+            forward_only_pack,
+        ),
+        ("full_packed_seconds_bench_cell".to_string(), full_pack),
+        (
+            "speedup_full_vs_forward_only_packed_bench_cell".to_string(),
+            forward_only_pack / full_pack,
         ),
     ];
     fields.extend(cache_stat_fields("search_cache", &cache));
@@ -349,6 +421,43 @@ fn bench_ntk_engines(c: &mut Criterion) {
             fused_s <= eager_s * 1.25,
             "the fusing compiler ({fused_s:.4}s) regressed below the eager \
              path ({eager_s:.4}s) on the sparse bench cell"
+        );
+
+        // Packed-backward gate: the fully packed per-sample gradient sweep
+        // must not regress below the forward-only packing it replaced as the
+        // default. Same noise-robustness scheme: interleaved best-of-3, a
+        // warning at parity, a hard failure only past 1.25×.
+        banner(
+            "Packed-backward smoke: full packing must not regress below forward-only",
+            "packed per-sample gradient sweep regression gate (sparse bench cell)",
+        );
+        let (mut forward_only_s, mut full_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            forward_only_s = forward_only_s.min(packed_sweep_seconds(sparse_cell, false, 2, 1));
+            full_s = full_s.min(packed_sweep_seconds(sparse_cell, true, 2, 1));
+        }
+        println!("gate: forward-only {forward_only_s:.4}s vs full {full_s:.4}s (best of 3)");
+        record_bench_json(
+            "ntk_engine_packed_backward_smoke",
+            &[
+                ("forward_only_packed_seconds", forward_only_s),
+                ("full_packed_seconds", full_s),
+                (
+                    "speedup_full_vs_forward_only_packed",
+                    forward_only_s / full_s,
+                ),
+            ],
+        );
+        if full_s > forward_only_s {
+            eprintln!(
+                "warning: the packed backward sweep ({full_s:.4}s) is not beating \
+                 forward-only packing ({forward_only_s:.4}s) on this runner"
+            );
+        }
+        assert!(
+            full_s <= forward_only_s * 1.25,
+            "the packed per-sample gradient sweep ({full_s:.4}s) regressed below \
+             forward-only packing ({forward_only_s:.4}s) on the sparse bench cell"
         );
 
         // Telemetry gate: an installed NullSink reports `is_enabled() ==

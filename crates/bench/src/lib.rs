@@ -132,7 +132,10 @@ pub fn cache_stat_fields(prefix: &str, cache: &EvalCacheStats) -> Vec<(String, f
 /// Flattens a [`BatchStats`] into the conventional `{prefix}_dispatches` /
 /// `{prefix}_packed_candidates` / `{prefix}_computed_candidates` /
 /// `{prefix}_pack_width` / `{prefix}_candidates_per_dispatch` /
-/// `{prefix}_fill_rate` bench-json fields.
+/// `{prefix}_fill_rate` bench-json fields, followed by the kernel-level
+/// forward/backward pack-fill split (`{prefix}_forward_kernel_dispatches` /
+/// `_members` / `_fill`, same for `backward`) so recorded runs show whether
+/// the per-sample gradient sweeps merged as densely as the forward probes.
 pub fn batch_stat_fields(prefix: &str, batch: &BatchStats) -> Vec<(String, f64)> {
     vec![
         (format!("{prefix}_dispatches"), batch.dispatches as f64),
@@ -150,6 +153,24 @@ pub fn batch_stat_fields(prefix: &str, batch: &BatchStats) -> Vec<(String, f64)>
             batch.candidates_per_dispatch(),
         ),
         (format!("{prefix}_fill_rate"), batch.fill_rate()),
+        (
+            format!("{prefix}_forward_kernel_dispatches"),
+            batch.forward_kernel_dispatches as f64,
+        ),
+        (
+            format!("{prefix}_forward_kernel_members"),
+            batch.forward_kernel_members as f64,
+        ),
+        (format!("{prefix}_forward_fill"), batch.forward_fill()),
+        (
+            format!("{prefix}_backward_kernel_dispatches"),
+            batch.backward_kernel_dispatches as f64,
+        ),
+        (
+            format!("{prefix}_backward_kernel_members"),
+            batch.backward_kernel_members as f64,
+        ),
+        (format!("{prefix}_backward_fill"), batch.backward_fill()),
     ]
 }
 
@@ -255,6 +276,10 @@ mod tests {
             packed_candidates: 16,
             computed_candidates: 12,
             pack_width: 8,
+            forward_kernel_dispatches: 4,
+            forward_kernel_members: 20,
+            backward_kernel_dispatches: 6,
+            backward_kernel_members: 36,
         };
         let fields = batch_stat_fields("batch", &batch);
         assert_eq!(
@@ -265,8 +290,16 @@ mod tests {
                 "batch_computed_candidates",
                 "batch_pack_width",
                 "batch_candidates_per_dispatch",
-                "batch_fill_rate"
+                "batch_fill_rate",
+                "batch_forward_kernel_dispatches",
+                "batch_forward_kernel_members",
+                "batch_forward_fill",
+                "batch_backward_kernel_dispatches",
+                "batch_backward_kernel_members",
+                "batch_backward_fill"
             ]
         );
+        assert_eq!(fields[8].1, 5.0);
+        assert_eq!(fields[11].1, 6.0);
     }
 }

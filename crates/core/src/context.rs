@@ -82,6 +82,13 @@ pub struct SearchContext {
     batch_packed: AtomicUsize,
     /// Candidates freshly computed inside a packed sweep.
     batch_computed: AtomicUsize,
+    /// Snapshot of the process-global packed-kernel fill counters
+    /// ([`micronas_nn::pack_kernel_stats`]) at construction, so
+    /// [`SearchContext::batch_stats`] reports this context's lifetime
+    /// rather than the whole process history. A construction-time baseline
+    /// (instead of per-call deltas) keeps concurrently running packs from
+    /// double-attributing each other's kernel work.
+    kernel_baseline: micronas_nn::PackKernelStats,
 }
 
 /// Default number of candidates packed into one mega-batched proxy sweep.
@@ -200,6 +207,7 @@ impl SearchContext {
             batch_dispatches: AtomicUsize::new(0),
             batch_packed: AtomicUsize::new(0),
             batch_computed: AtomicUsize::new(0),
+            kernel_baseline: micronas_nn::pack_kernel_stats(),
         })
     }
 
@@ -286,12 +294,23 @@ impl SearchContext {
 
     /// Snapshot of the pack-density counters of the mega-batched evaluation
     /// path (see [`SearchContext::evaluate_pack`]).
+    ///
+    /// The candidate-level counters are private to this context; the
+    /// kernel-level forward/backward fill counters are process-wide deltas
+    /// since this context's construction (other contexts packing in the same
+    /// process would show up here — diff two snapshots around a search with
+    /// [`BatchStats::since`] for an exact attribution).
     pub fn batch_stats(&self) -> BatchStats {
+        let kernel = micronas_nn::pack_kernel_stats().since(&self.kernel_baseline);
         BatchStats {
             dispatches: self.batch_dispatches.load(Ordering::Relaxed),
             packed_candidates: self.batch_packed.load(Ordering::Relaxed),
             computed_candidates: self.batch_computed.load(Ordering::Relaxed),
             pack_width: self.pack_width,
+            forward_kernel_dispatches: kernel.forward_dispatches as usize,
+            forward_kernel_members: kernel.forward_members as usize,
+            backward_kernel_dispatches: kernel.backward_dispatches as usize,
+            backward_kernel_members: kernel.backward_members as usize,
         }
     }
 
@@ -551,9 +570,29 @@ impl SearchContext {
                 "search.pack.fill_permille",
                 (unique.len().min(self.pack_width) * 1000 / self.pack_width.max(1)) as u64,
             );
-            let _span = micronas_telemetry::span!("search.pack_eval");
-            self.zero_cost
-                .evaluate_pack(&unique, self.dataset, self.seed)?
+            let metrics = {
+                let _span = micronas_telemetry::span!("search.pack_eval");
+                self.zero_cost
+                    .evaluate_pack(&unique, self.dataset, self.seed)?
+            };
+            // Measured kernel-level pack density, split by sweep direction
+            // (permille of pack members per packed dispatch, scaled by the
+            // configured width): a backward gauge lagging the forward one
+            // means the per-sample gradient sweeps only partially merged.
+            let kernel = micronas_nn::pack_kernel_stats().since(&self.kernel_baseline);
+            if kernel.forward_dispatches > 0 {
+                micronas_telemetry::gauge_max(
+                    "search.pack.forward_fill_permille",
+                    (kernel.forward_fill() * 1000.0 / self.pack_width.max(1) as f64) as u64,
+                );
+            }
+            if kernel.backward_dispatches > 0 {
+                micronas_telemetry::gauge_max(
+                    "search.pack.backward_fill_permille",
+                    (kernel.backward_fill() * 1000.0 / self.pack_width.max(1) as f64) as u64,
+                );
+            }
+            metrics
         };
 
         // Resolve every candidate in order; the per-record bookkeeping below

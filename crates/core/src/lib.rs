@@ -85,7 +85,7 @@ mod outcome;
 mod search;
 mod session;
 
-pub use batch::BatchedEvaluator;
+pub use batch::{BatchedEvaluator, SlatePlan, SlateScheduler};
 pub use config::MicroNasConfig;
 pub use context::{CandidateEvaluation, SearchContext, DEFAULT_PACK_WIDTH};
 pub use cost::{BatchStats, EvalCacheStats, SearchCost};

@@ -1,0 +1,75 @@
+//! Measured packed-kernel fill on a real evolutionary-search slate.
+//!
+//! The acceptance bar for the packed backward sweep: on an evolutionary
+//! slate (a seeded population plus mutated children — genuinely mixed
+//! geometry with duplicate candidates, exactly what aging evolution submits
+//! per generation) the measured backward-pack fill must be at least the
+//! forward fill — the per-sample gradient sweep packs everything the
+//! forward probe packs (the same per-edge conv buckets), plus the stem
+//! backward at full pack width.
+//!
+//! This lives in its own integration-test binary on purpose: the kernel
+//! fill counters are process-global (`micronas_nn::pack_kernel_stats`), so
+//! a dedicated process keeps other tests' pack traffic out of the
+//! measurement.
+
+use micronas::{BatchedEvaluator, MicroNasConfig, SearchContext};
+use micronas_datasets::DatasetKind;
+use micronas_searchspace::{mutate, random_architecture, Architecture, CellTopology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A population of random candidates plus a generation of mutated children
+/// and a few repeated parents — the candidate mix an evolutionary strategy
+/// hands the batched evaluator.
+fn evolutionary_slate(ctx: &SearchContext) -> Vec<CellTopology> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x45564F);
+    let population: Vec<Architecture> = (0..12)
+        .map(|_| random_architecture(ctx.space(), &mut rng))
+        .collect();
+    let mut slate: Vec<CellTopology> = population.iter().map(|arch| *arch.cell()).collect();
+    for parent in &population {
+        slate.push(*mutate(ctx.space(), parent, &mut rng).cell());
+    }
+    // Tournament re-visits: duplicates of earlier members.
+    slate.push(slate[0]);
+    slate.push(slate[5]);
+    slate
+}
+
+#[test]
+fn backward_pack_fill_is_at_least_forward_fill_on_an_evolutionary_slate() {
+    let ctx = SearchContext::new(DatasetKind::Cifar10, &MicroNasConfig::tiny_test())
+        .unwrap()
+        .with_pack_width(8);
+    let slate = evolutionary_slate(&ctx);
+    let before = ctx.batch_stats();
+    let evaluations = BatchedEvaluator::new(&ctx).evaluate_all(&slate).unwrap();
+    assert_eq!(evaluations.len(), slate.len());
+    let batch = ctx.batch_stats().since(&before);
+
+    assert!(
+        batch.dispatches >= 1,
+        "the slate must actually pack: {batch:?}"
+    );
+    assert_eq!(batch.packed_candidates, slate.len());
+    assert!(
+        batch.forward_kernel_dispatches > 0,
+        "no packed forward conv buckets ran: {batch:?}"
+    );
+    assert!(
+        batch.backward_kernel_dispatches > 0,
+        "no packed backward buckets ran: {batch:?}"
+    );
+    assert!(
+        batch.forward_kernel_members >= batch.forward_kernel_dispatches,
+        "fill below one member per dispatch is impossible: {batch:?}"
+    );
+    assert!(
+        batch.backward_fill() >= batch.forward_fill(),
+        "backward sweeps packed less densely than forward sweeps: \
+         backward {:.3} vs forward {:.3} ({batch:?})",
+        batch.backward_fill(),
+        batch.forward_fill()
+    );
+}

@@ -48,7 +48,9 @@ pub use config::ProxyNetworkConfig;
 pub use error::NnError;
 pub use gradient::{ParameterGradients, PerSampleGradients};
 pub use layers::{ConvLayer, LinearLayer};
-pub use network::{CellNetwork, CellNetworkPack, ForwardOutput};
+pub use network::{
+    pack_kernel_stats, CellNetwork, CellNetworkPack, ForwardOutput, PackKernelStats,
+};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

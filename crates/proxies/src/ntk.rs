@@ -164,6 +164,7 @@ pub struct NtkEvaluator {
     gradient_path: GradientPath,
     backend: Arc<dyn KernelBackend>,
     compiler: Option<Arc<dyn Compiler>>,
+    packed_backward: bool,
 }
 
 impl NtkEvaluator {
@@ -175,7 +176,20 @@ impl NtkEvaluator {
             gradient_path: GradientPath::default(),
             backend: paper_default_backend(),
             compiler: None,
+            packed_backward: true,
         }
+    }
+
+    /// Enables or disables the packed backward sweep inside
+    /// [`NtkEvaluator::evaluate_pack_in`] (enabled by default). Both
+    /// settings produce bitwise-identical reports — the toggle only changes
+    /// whether per-sample gradients are swept per member or packed — so
+    /// this knob, like the pack width, is *not* part of any fingerprint; it
+    /// exists so benchmarks can measure forward-only packing as a baseline.
+    #[must_use]
+    pub fn with_packed_backward(mut self, packed_backward: bool) -> Self {
+        self.packed_backward = packed_backward;
+        self
     }
 
     /// Returns a copy pinned to a specific per-sample gradient formulation
@@ -304,9 +318,12 @@ impl NtkEvaluator {
     /// `(seed, repeat)` stream — exactly what per-cell [`NtkEvaluator::evaluate_in`]
     /// calls would use — so the forward passes run through one
     /// [`CellNetworkPack`] whose same-geometry conv layers merge into packed
-    /// GEMM dispatches. Backward sweeps and eigensolves stay per-candidate
-    /// (their operands are candidate-specific on both sides). Element `i`
-    /// of the result is bitwise identical to solo evaluation of `cells[i]`.
+    /// GEMM dispatches, and the per-sample gradient sweep runs as one packed
+    /// backward over the pack (same bucketing, packed weight/input-gradient
+    /// kernels, one im2col lowering of the shared probe batch for every
+    /// member's stem backward). Only the eigensolves stay per-candidate.
+    /// Element `i` of the result is bitwise identical to solo evaluation of
+    /// `cells[i]`.
     ///
     /// A non-default [`GradientPath`] has no packed formulation; the pack
     /// falls back to per-candidate solo evaluation in that case (values are
@@ -360,6 +377,7 @@ impl NtkEvaluator {
             if let Some(compiler) = &self.compiler {
                 pack = pack.with_compiler(Arc::clone(compiler));
             }
+            pack = pack.with_packed_backward(self.packed_backward);
             let n = batch.images.shape().dims()[0];
             let matrices = pack.per_sample_gradient_matrices_with(&batch.images, workspace)?;
             for (acc, j) in accs.iter_mut().zip(matrices) {

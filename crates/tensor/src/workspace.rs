@@ -412,6 +412,52 @@ mod tests {
     }
 
     #[test]
+    fn reset_after_tall_packed_backward_panel_keeps_steady_state_buffers() {
+        let mut ws = Workspace::new();
+        // Steady-state solo backward: a per-sample col lowering plus
+        // transpose staging, and pooled `[N, P]` gradient matrices cycling
+        // through the pool.
+        ws.col_and_aux(4 * 1024, 2 * 1024);
+        let a = ws.take_zeroed(16 * 1024);
+        let b = ws.take_zeroed(16 * 1024);
+        let pooled_ptr = b.as_ptr();
+        ws.recycle(a);
+        ws.recycle(b);
+        let steady = ws.capacity_bytes();
+        let steady_watermark = ws.watermark_bytes();
+        assert_eq!(steady_watermark, 16 * 1024 * BYTES);
+        // One packed backward sweep lowers the full batch into a tall
+        // shared column panel: col grows ~N× while aux stays solo-sized.
+        ws.col_and_aux(512 * 1024, 2 * 1024);
+        assert!(ws.capacity_bytes() > steady);
+        assert!(
+            ws.watermark_bytes() >= (512 * 1024 + 2 * 1024) * BYTES,
+            "watermark missed the packed backward panel: {}",
+            ws.watermark_bytes()
+        );
+        // Selective trim: the tall backward panel goes, the steady-state
+        // staging and the warm pooled gradient matrices stay.
+        assert!(ws.reset_if_larger_than(steady));
+        assert!(
+            ws.capacity_bytes() <= steady,
+            "tall backward panel still pinned: {} > {steady}",
+            ws.capacity_bytes()
+        );
+        assert!(
+            ws.capacity_bytes() >= 2 * 16 * 1024 * BYTES,
+            "steady-state pool discarded: {}",
+            ws.capacity_bytes()
+        );
+        let c = ws.take_zeroed(16 * 1024);
+        assert_eq!(c.as_ptr(), pooled_ptr, "warm pooled buffer must survive");
+        ws.recycle(c);
+        // The watermark restarts with the trim: the next window reflects
+        // the post-trim workload, not the packed sweep's peak.
+        assert_eq!(ws.watermark_bytes(), 16 * 1024 * BYTES);
+        assert!(!ws.reset_if_larger_than(steady));
+    }
+
+    #[test]
     fn shrink_to_watermark_after_mixed_shapes() {
         let mut ws = Workspace::new();
         // One huge outlier request, then a steady small workload.

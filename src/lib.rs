@@ -97,36 +97,56 @@
 //! | "future GPU / NPU / fixed-point backend" via new `ConvEngine` variants | implement [`tensor::KernelBackend`] out of tree; no enum to extend |
 //! | implicit assumption that all engines share one store namespace | declare numerics via `bitwise_paper_identical()`; divergent backends are namespace-isolated automatically |
 //!
-//! # Cross-candidate mega-batching (PR 6)
+//! # Cross-candidate mega-batching (PR 6 forward, PR 10 backward + slates)
 //!
 //! Strategies no longer evaluate candidates one at a time: every shipped
 //! [`core::SearchStrategy`] hands its whole candidate slate to a
-//! [`core::BatchedEvaluator`], which slices it into packs of
-//! [`core::SearchContext::pack_width`] cells (default
+//! [`core::BatchedEvaluator`], whose [`core::SlateScheduler`] plans it
+//! into packs of up to [`core::SearchContext::pack_width`] cells (default
 //! [`core::DEFAULT_PACK_WIDTH`] = 8, tunable per session via
-//! `SearchSession::builder().pack_width(..)`) and evaluates each pack in
-//! one fused proxy sweep:
+//! `SearchSession::builder().pack_width(..)`). Planning looks at the whole
+//! slate, not arrival order: candidates dedup by canonical digest
+//! (duplicates ride in their owner's pack as cache shares), the distinct
+//! ones bucket by geometry signature, and each bucket emits maximal-fill
+//! packs with remainders coalesced — exactly `ceil(owners / width)`
+//! dispatches, with results reassembled in slate order. Each pack then
+//! runs as one fused proxy sweep:
 //!
 //! * the probe input batch is built once and shared by the whole pack;
 //! * the shared stem runs **one** forward for all pack members;
 //! * per-edge convolutions are bucketed by kernel geometry and their
 //!   im2col panels fused into one wide GEMM per layer
-//!   ([`tensor::KernelBackend::conv2d_forward_packed`] — the blocked-GEMM
-//!   backend overrides it, every other backend inherits a loop with
-//!   identical numerics).
+//!   ([`tensor::KernelBackend::conv2d_forward_packed`]);
+//! * the per-sample gradient sweep runs the same lockstep *backward*:
+//!   per (cell, edge, kernel-size) buckets dispatch through
+//!   [`tensor::KernelBackend::conv2d_backward_weight_per_sample_packed`]
+//!   and [`tensor::KernelBackend::conv2d_backward_input_packed`], and
+//!   members with the same topology (hence, at one seed, bitwise-equal
+//!   weights and traces) are swept once with duplicates' gradient
+//!   matrices copied from the representative.
 //!
-//! Packing is a pure scheduling change: per-candidate accumulation order
-//! is untouched, so results are **bitwise identical** to one-at-a-time
-//! evaluation at every pack width and thread count
-//! (`crates/core/tests/strategy_conformance.rs` runs the width × thread
-//! cross-product over all strategies; `tensor`'s backend-conformance suite
-//! pins the packed kernels per backend), and the store namespace did not
-//! move. Measured effect (1-core container, width 8, best-of-3): **1.57×**
-//! on the sparse bench cell, where shared per-candidate overhead dominates
-//! and amortizes across the pack; ~parity on the all-conv3×3 cell, where
-//! the GEMMs were already saturated. Pack density is observable as
-//! [`core::BatchStats`] on every [`core::SearchCost`], and the
-//! `candidate_throughput` bench gates packed-vs-unpacked in CI smoke mode.
+//! Why this stays **bitwise identical** to one-at-a-time evaluation: the
+//! packed kernels iterate the exact solo per-candidate schedule — same
+//! direct-vs-GEMM dispatch decision, same GEMM shapes, same per-member
+//! accumulation order — and share work only between bitwise-equal
+//! operands (equal input bytes are lowered to one im2col panel; equal
+//! bytes in, equal bytes out). The blocked-GEMM backend overrides the
+//! packed entry points; every other backend inherits a per-member loop
+//! with identical numerics, and the NTK evaluator falls back to the solo
+//! path entirely when the gradient formulation is not the batched `[n,P]`
+//! one or a kernel-graph compiler is installed (compiled plans fuse
+//! within one candidate, not across). The cross-product is pinned in CI
+//! (`crates/core/tests/strategy_conformance.rs` over strategies × widths
+//! × threads; `tests/backend_conformance.rs` over gradient backends ×
+//! widths × threads), and the store namespace did not move.
+//!
+//! Measured effect (1-core container, width 8, best-of-3): **1.57×** on
+//! the sparse bench cell from forward packing alone (PR 6), and a further
+//! **1.51×** end-to-end from the packed backward over forward-only
+//! packing on the same cell (PR 10, `ntk_engine.json`). Pack density is
+//! observable as [`core::BatchStats`] on every [`core::SearchCost`],
+//! now split into forward/backward kernel fill; the `candidate_throughput`
+//! and `ntk_engine` benches gate both halves in CI smoke mode.
 //!
 //! # Observability (PR 7)
 //!
